@@ -1,0 +1,128 @@
+// E4 — Join strategies (§3: "the ability to express arbitrary join
+// queries" answers the CODASYL criticism). Three ways to join orders with
+// items:
+//   nested-loop  : forall o, forall i suchthat (o.item_name == i.name)
+//   indexed      : forall o, index lookup on item name
+//   navigation   : follow the stored Ref (the CODASYL-style pointer chase)
+
+#include <string>
+#include <vector>
+
+#include "bench_models.h"
+#include "bench_util.h"
+#include "util/random.h"
+
+namespace {
+
+using odebench::Item;
+using odebench::Order;
+using namespace ode;
+using namespace ode::bench;
+
+}  // namespace
+
+int main() {
+  Header("E4", "join: nested-loop vs indexed vs pointer navigation");
+  auto db = OpenFresh("join");
+  Check(db->CreateCluster<Item>());
+  Check(db->CreateCluster<Order>());
+  Check(db->CreateIndex<Item>("item_name", [](const Item& item) {
+    return index_key::FromString(item.name());
+  }));
+
+  Row("%8s | %8s | %12s | %10s | %12s", "orders", "items", "nested ms",
+      "index ms", "navigate ms");
+  for (int scale : {1, 2, 4}) {
+    const int kItems = 250 * scale;
+    const int kOrders = 1000 * scale;
+    auto fresh = OpenFresh("join_" + std::to_string(scale));
+    Check(fresh->CreateCluster<Item>());
+    Check(fresh->CreateCluster<Order>());
+    Check(fresh->CreateIndex<Item>("item_name", [](const Item& item) {
+      return index_key::FromString(item.name());
+    }));
+    Random rng(scale);
+    std::vector<Ref<Item>> items;
+    Check(fresh->RunTransaction([&](Transaction& txn) -> Status {
+      for (int i = 0; i < kItems; i++) {
+        ODE_ASSIGN_OR_RETURN(
+            Ref<Item> item,
+            txn.New<Item>("item" + std::to_string(i), rng.NextDouble() * 50));
+        items.push_back(item);
+      }
+      for (int i = 0; i < kOrders; i++) {
+        const int pick = static_cast<int>(rng.Uniform(kItems));
+        ODE_ASSIGN_OR_RETURN(
+            Ref<Order> order,
+            txn.New<Order>(i, "item" + std::to_string(pick), items[pick],
+                           1 + static_cast<int>(rng.Uniform(5))));
+        (void)order;
+      }
+      return Status::OK();
+    }));
+
+    double nested_ms = 0, index_ms = 0, nav_ms = 0;
+    double total_nested = 0, total_index = 0, total_nav = 0;
+
+    // Nested-loop join.
+    Check(fresh->RunTransaction([&](Transaction& txn) -> Status {
+      nested_ms = TimeMs([&] {
+        Check(ForAll<Order>(txn).Do([&](Ref<Order> o) -> Status {
+          ODE_ASSIGN_OR_RETURN(const Order* order, txn.Read(o));
+          return ForAll<Item>(txn).Do([&](Ref<Item> i) -> Status {
+            ODE_ASSIGN_OR_RETURN(const Item* item, txn.Read(i));
+            if (item->name() == order->item_name()) {
+              total_nested += item->price() * order->count();
+            }
+            return Status::OK();
+          });
+        }));
+      });
+      return Status::OK();
+    }));
+
+    // Index join.
+    Check(fresh->RunTransaction([&](Transaction& txn) -> Status {
+      index_ms = TimeMs([&] {
+        Check(ForAll<Order>(txn).Do([&](Ref<Order> o) -> Status {
+          ODE_ASSIGN_OR_RETURN(const Order* order, txn.Read(o));
+          std::vector<Oid> oids;
+          ODE_RETURN_IF_ERROR(fresh->indexes().ScanExact(
+              "item_name", index_key::FromString(order->item_name()), &oids));
+          for (const Oid& oid : oids) {
+            ODE_ASSIGN_OR_RETURN(const Item* item,
+                                 txn.Read(Ref<Item>(fresh.get(), oid)));
+            total_index += item->price() * order->count();
+          }
+          return Status::OK();
+        }));
+      });
+      return Status::OK();
+    }));
+
+    // Pointer navigation (CODASYL style): follow the stored reference.
+    Check(fresh->RunTransaction([&](Transaction& txn) -> Status {
+      nav_ms = TimeMs([&] {
+        Check(ForAll<Order>(txn).Do([&](Ref<Order> o) -> Status {
+          ODE_ASSIGN_OR_RETURN(const Order* order, txn.Read(o));
+          ODE_ASSIGN_OR_RETURN(const Item* item, txn.Read(order->item_ref()));
+          total_nav += item->price() * order->count();
+        return Status::OK();
+        }));
+      });
+      return Status::OK();
+    }));
+
+    if (total_nested != total_index || total_index != total_nav) {
+      Note("MISMATCH between join strategies!");
+      return 1;
+    }
+    Row("%8d | %8d | %12.1f | %10.2f | %12.2f", kOrders, kItems, nested_ms,
+        index_ms, nav_ms);
+  }
+  Note("expected shape: nested-loop grows O(orders*items); the index join");
+  Note("grows O(orders*log items); navigation is fastest but only answers");
+  Note("the pre-wired access path — which is exactly the paper's point:");
+  Note("declarative joins free queries from stored pointer topology.");
+  return 0;
+}

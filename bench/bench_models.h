@@ -1,0 +1,162 @@
+#ifndef ODE_BENCH_BENCH_MODELS_H_
+#define ODE_BENCH_BENCH_MODELS_H_
+
+// Model classes shared by the experiment harnesses.
+
+#include <string>
+#include <vector>
+
+#include "core/ode.h"
+
+namespace odebench {
+
+/// Variable-payload object for storage-oriented experiments.
+class Blob {
+ public:
+  Blob() = default;
+  Blob(uint64_t id, std::string payload)
+      : id_(id), payload_(std::move(payload)) {}
+  uint64_t id() const { return id_; }
+  const std::string& payload() const { return payload_; }
+  void set_payload(std::string p) { payload_ = std::move(p); }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(id_, payload_);
+  }
+
+ private:
+  uint64_t id_ = 0;
+  std::string payload_;
+};
+
+class Person {
+ public:
+  Person() = default;
+  Person(std::string name, int age, double income)
+      : name_(std::move(name)), age_(age), income_(income) {}
+  const std::string& name() const { return name_; }
+  int age() const { return age_; }
+  double income() const { return income_; }
+  void set_income(double v) { income_ = v; }
+  void set_age(int a) { age_ = a; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(name_, age_, income_);
+  }
+
+ private:
+  std::string name_;
+  int age_ = 0;
+  double income_ = 0;
+};
+
+class Student : public Person {
+ public:
+  Student() = default;
+  Student(std::string name, int age, double income, double gpa)
+      : Person(std::move(name), age, income), gpa_(gpa) {}
+  double gpa() const { return gpa_; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    Person::OdeFields(ar);
+    ar(gpa_);
+  }
+
+ private:
+  double gpa_ = 0;
+};
+
+class Faculty : public Person {
+ public:
+  Faculty() = default;
+  Faculty(std::string name, int age, double income, std::string dept)
+      : Person(std::move(name), age, income), dept_(std::move(dept)) {}
+  const std::string& dept() const { return dept_; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    Person::OdeFields(ar);
+    ar(dept_);
+  }
+
+ private:
+  std::string dept_;
+};
+
+/// Order -> item: supports both value join (item_name) and CODASYL-style
+/// pointer navigation (item_ref), for the E4 join comparison.
+class Item {
+ public:
+  Item() = default;
+  Item(std::string name, double price) : name_(std::move(name)), price_(price) {}
+  const std::string& name() const { return name_; }
+  double price() const { return price_; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(name_, price_);
+  }
+
+ private:
+  std::string name_;
+  double price_ = 0;
+};
+
+class Order {
+ public:
+  Order() = default;
+  Order(uint64_t id, std::string item_name, ode::Ref<Item> item_ref, int count)
+      : id_(id),
+        item_name_(std::move(item_name)),
+        item_ref_(item_ref),
+        count_(count) {}
+  uint64_t id() const { return id_; }
+  const std::string& item_name() const { return item_name_; }
+  const ode::Ref<Item>& item_ref() const { return item_ref_; }
+  int count() const { return count_; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(id_, item_name_, item_ref_, count_);
+  }
+
+ private:
+  uint64_t id_ = 0;
+  std::string item_name_;
+  ode::Ref<Item> item_ref_;
+  int count_ = 0;
+};
+
+/// Node of a parts graph for fixpoint experiments.
+class Node {
+ public:
+  Node() = default;
+  explicit Node(uint64_t id) : id_(id) {}
+  uint64_t id() const { return id_; }
+  const std::vector<ode::Ref<Node>>& edges() const { return edges_; }
+  void add_edge(const ode::Ref<Node>& n) { edges_.push_back(n); }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(id_, edges_);
+  }
+
+ private:
+  uint64_t id_ = 0;
+  std::vector<ode::Ref<Node>> edges_;
+};
+
+}  // namespace odebench
+
+ODE_REGISTER_CLASS(odebench::Blob);
+ODE_REGISTER_CLASS(odebench::Person);
+ODE_REGISTER_CLASS(odebench::Student, odebench::Person);
+ODE_REGISTER_CLASS(odebench::Faculty, odebench::Person);
+ODE_REGISTER_CLASS(odebench::Item);
+ODE_REGISTER_CLASS(odebench::Order);
+ODE_REGISTER_CLASS(odebench::Node);
+
+#endif  // ODE_BENCH_BENCH_MODELS_H_

@@ -1,0 +1,112 @@
+// Tooling bench — oppc translator throughput: O++ source lines per second
+// across construct mixes (the preprocessor must be fast enough to sit in a
+// build, as the paper's prototype pipeline implies).
+
+#include <string>
+
+#include "bench_util.h"
+#include "opp/translator.h"
+
+namespace {
+
+using namespace ode;
+using namespace ode::bench;
+
+std::string Repeat(const std::string& block, int times) {
+  std::string out;
+  out.reserve(block.size() * times);
+  for (int i = 0; i < times; i++) {
+    std::string numbered = block;
+    // Make class names unique per repetition.
+    size_t pos;
+    while ((pos = numbered.find("@N")) != std::string::npos) {
+      numbered.replace(pos, 2, std::to_string(i));
+    }
+    out += numbered;
+  }
+  return out;
+}
+
+int CountLines(const std::string& s) {
+  int lines = 1;
+  for (char c : s) {
+    if (c == '\n') lines++;
+  }
+  return lines;
+}
+
+void RunCase(const char* label, const std::string& source) {
+  opp::Translator::Options options;
+  options.emit_prelude = false;
+  const int reps = 20;
+  double ms = TimeMs([&] {
+    for (int i = 0; i < reps; i++) {
+      auto result = opp::Translator::Translate(source, options);
+      if (!result.ok()) Fail(result.status());
+    }
+  });
+  const double lines = CountLines(source);
+  Row("%-22s | %8.0f | %10.0f | %9.2f", label, lines,
+      lines * reps / ms * 1000, ms / reps);
+}
+
+}  // namespace
+
+int main() {
+  Header("T1", "oppc translator throughput");
+  Row("%-22s | %8s | %10s | %9s", "construct mix", "lines", "lines/s",
+      "ms/pass");
+
+  RunCase("plain C++ passthrough", Repeat(R"(
+int helper_@N(int x) {
+  int total = 0;
+  for (int i = 0; i < x; i++) {
+    total += i * x;
+  }
+  return total;
+}
+)", 300));
+
+  RunCase("forall-heavy", Repeat(R"(
+static void query_@N(ode::Transaction& txn) {
+  forall (p in person) suchthat (p->age() > @N) by (p->name()) {
+    use(p);
+  }
+  forall (a in order, b in item) suchthat (a->k == b->k) {
+    match(a, b);
+  }
+}
+)", 150));
+
+  RunCase("class-heavy", Repeat(R"(
+class widget_@N {
+  int quantity;
+  double price;
+  std::string label;
+ public:
+  widget_@N() : quantity(0), price(1) {}
+  int qty() const { return quantity; }
+  constraint:
+    quantity >= 0;
+    price > 0;
+  trigger:
+    low(double n) : quantity < n ==> { restock(self); }
+};
+)", 100));
+
+  RunCase("persistence-ops", Repeat(R"(
+static void ops_@N(ode::Transaction& txn) {
+  persistent widget *w, *v;
+  w = pnew widget(@N, 2.5);
+  v = pnew widget;
+  newversion(w);
+  if (w is persistent widget *) { touch(w); }
+  pdelete v;
+}
+)", 150));
+
+  Note("shape: translation is single-pass over the token stream, so");
+  Note("throughput is roughly constant per line regardless of construct");
+  Note("density — fast enough to run on every build.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E3 — Selection queries: full cluster scan with `suchthat` vs a B+tree
+// index access path (§3's claim that iteration subsets "can be used to
+// advantage in query optimization").
+//
+// Table: selectivity -> scan ms vs index ms, with the crossover visible.
+
+#include <string>
+#include <vector>
+
+#include "bench_models.h"
+#include "bench_util.h"
+#include "util/random.h"
+
+namespace {
+
+using odebench::Person;
+using namespace ode;
+using namespace ode::bench;
+
+constexpr int kPeople = 20000;
+constexpr int kAges = 10000;  // distinct age values for fine selectivity
+
+}  // namespace
+
+int main() {
+  Header("E3", "suchthat selection: full scan vs index access path");
+  auto db = OpenFresh("select");
+  Check(db->CreateCluster<Person>());
+  Check(db->CreateIndex<Person>("age", [](const Person& p) {
+    return index_key::FromInt64(p.age());
+  }));
+  Random rng(3);
+  Check(db->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i < kPeople; i++) {
+      ODE_ASSIGN_OR_RETURN(
+          Ref<Person> p,
+          txn.New<Person>("p" + std::to_string(i),
+                          static_cast<int>(rng.Uniform(kAges)),
+                          rng.NextDouble() * 1e5));
+      (void)p;
+    }
+    return Status::OK();
+  }));
+
+  Note("20000 people, uniform ages in [0,10000)");
+  Row("%12s | %8s | %9s | %9s | %7s", "selectivity", "rows", "scan ms",
+      "index ms", "winner");
+  for (int range : {1, 10, 100, 1000, 5000, 10000}) {
+    size_t scan_rows = 0, index_rows = 0;
+    double scan_ms = 0, index_ms = 0;
+    Check(db->RunTransaction([&](Transaction& txn) -> Status {
+      scan_ms = TimeMs([&] {
+        auto count = ForAll<Person>(txn)
+                         .SuchThat([&](const Person& p) {
+                           return p.age() < range;
+                         })
+                         .Count();
+        scan_rows = Unwrap(std::move(count));
+      });
+      return Status::OK();
+    }));
+    Check(db->RunTransaction([&](Transaction& txn) -> Status {
+      index_ms = TimeMs([&] {
+        auto count = ForAll<Person>(txn)
+                         .ViaIndexRange("age", index_key::FromInt64(0),
+                                        index_key::FromInt64(range))
+                         .Count();
+        index_rows = Unwrap(std::move(count));
+      });
+      return Status::OK();
+    }));
+    const double selectivity = 100.0 * range / kAges;
+    Row("%10.2f%% | %8zu | %9.2f | %9.2f | %7s", selectivity, scan_rows,
+        scan_ms, index_ms, index_ms < scan_ms ? "index" : "scan");
+    if (scan_rows != index_rows) {
+      Note("MISMATCH: scan and index disagree!");
+      return 1;
+    }
+  }
+  Note("expected shape: the index wins at low selectivity; the full scan");
+  Note("catches up as selectivity approaches 100% (it reads every object");
+  Note("either way, and the index adds per-row indirection).");
+  return 0;
+}

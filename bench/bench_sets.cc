@@ -1,0 +1,82 @@
+// E6 — Set facility (§2.6): persistent OSet vs volatile VSet, bulk set
+// operations, and the cost of worklist iteration.
+
+#include <string>
+#include <vector>
+
+#include "bench_models.h"
+#include "bench_util.h"
+#include "util/random.h"
+
+namespace {
+
+using odebench::Person;
+using namespace ode;
+using namespace ode::bench;
+
+}  // namespace
+
+int main() {
+  Header("E6", "sets: insert / membership / union / intersect");
+  Row("%8s | %12s | %12s | %10s | %12s | %9s", "size", "oset ins/s",
+      "vset ins/s", "union ms", "intersect ms", "iter ms");
+  for (int size : {1000, 5000, 20000}) {
+    auto db = OpenFresh("sets_" + std::to_string(size));
+    Check(db->CreateCluster<Person>());
+    std::vector<Ref<Person>> people;
+    Check(db->RunTransaction([&](Transaction& txn) -> Status {
+      for (int i = 0; i < size; i++) {
+        ODE_ASSIGN_OR_RETURN(Ref<Person> p,
+                             txn.New<Person>("p" + std::to_string(i), i, i));
+        people.push_back(p);
+      }
+      return Status::OK();
+    }));
+
+    double oset_insert_ms = 0, union_ms = 0, intersect_ms = 0, iter_ms = 0;
+    Check(db->RunTransaction([&](Transaction& txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(OSet<Person> a, OSet<Person>::Create(txn));
+      ODE_ASSIGN_OR_RETURN(OSet<Person> b, OSet<Person>::Create(txn));
+      // Bulk insert into a persistent set (first half / second two-thirds).
+      oset_insert_ms = TimeMs([&] {
+        for (int i = 0; i < size / 2; i++) {
+          Check(a.Insert(txn, people[i]));
+        }
+      });
+      for (int i = size / 3; i < size; i++) {
+        Check(b.Insert(txn, people[i]));
+      }
+      union_ms = TimeMs([&] { Check(a.UnionWith(txn, b)); });
+      ODE_ASSIGN_OR_RETURN(OSet<Person> c, OSet<Person>::Create(txn));
+      Check(c.UnionWith(txn, a));
+      intersect_ms = TimeMs([&] { Check(c.IntersectWith(txn, b)); });
+      size_t visited = 0;
+      iter_ms = TimeMs([&] {
+        Check(a.ForEach(txn, [&](Ref<Person>) -> Status {
+          visited++;
+          return Status::OK();
+        }));
+      });
+      if (visited != static_cast<size_t>(size)) {
+        Note("union size mismatch!");
+      }
+      return Status::OK();
+    }));
+
+    // Volatile set baseline.
+    double vset_insert_ms = TimeMs([&] {
+      VSet<Person> v;
+      for (int i = 0; i < size / 2; i++) v.Insert(people[i]);
+    });
+
+    Row("%8d | %12.0f | %12.0f | %10.2f | %12.2f | %9.2f", size,
+        (size / 2) / oset_insert_ms * 1000, (size / 2) / vset_insert_ms * 1000,
+        union_ms, intersect_ms, iter_ms);
+  }
+  Note("expected shape: OSet single-element insert pays an O(n) membership");
+  Note("scan of the persistent vector (documented trade-off); bulk union /");
+  Note("intersect are hash-based O(n+m); volatile sets are hash-backed and");
+  Note("orders of magnitude faster — same facility, two storage classes,");
+  Note("exactly the paper's volatile/persistent symmetry.");
+  return 0;
+}

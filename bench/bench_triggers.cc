@@ -1,0 +1,124 @@
+// E10 — Triggers (§6): commit overhead vs number of active activations,
+// once-only vs perpetual firing, and trigger-action execution cost.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "bench_models.h"
+#include "bench_util.h"
+#include "util/random.h"
+
+namespace {
+
+using odebench::Person;
+using namespace ode;
+using namespace ode::bench;
+
+constexpr int kObjects = 1000;
+constexpr int kTxns = 100;
+
+}  // namespace
+
+int main() {
+  Header("E10", "triggers: commit cost vs active activations");
+  Row("%12s | %10s | %10s | %12s", "activations", "txn/s", "commit us",
+      "fired");
+  for (int activations : {0, 10, 100, 1000}) {
+    auto db = OpenFresh("triggers_" + std::to_string(activations));
+    Check(db->CreateCluster<Person>());
+    std::atomic<int> fired{0};
+    db->DefineTrigger<Person>(
+        "watch",
+        [](const Person& p, const std::vector<double>&) {
+          return p.income() > 1e18;  // never true: measures pure scan cost
+        },
+        [&](Transaction&, Ref<Person>, const std::vector<double>&) -> Status {
+          fired++;
+          return Status::OK();
+        });
+    std::vector<Ref<Person>> refs;
+    Check(db->RunTransaction([&](Transaction& txn) -> Status {
+      for (int i = 0; i < kObjects; i++) {
+        ODE_ASSIGN_OR_RETURN(Ref<Person> p,
+                             txn.New<Person>("p" + std::to_string(i), 30, 1));
+        refs.push_back(p);
+      }
+      for (int a = 0; a < activations; a++) {
+        ODE_RETURN_IF_ERROR(
+            txn.ActivateTrigger(refs[a % refs.size()], "watch", {},
+                                /*perpetual=*/true)
+                .status());
+      }
+      return Status::OK();
+    }));
+    Random rng(activations + 1);
+    const double ms = TimeMs([&] {
+      for (int t = 0; t < kTxns; t++) {
+        Check(db->RunTransaction([&](Transaction& txn) -> Status {
+          for (int w = 0; w < 10; w++) {
+            ODE_ASSIGN_OR_RETURN(Person * p,
+                                 txn.Write(refs[rng.Uniform(refs.size())]));
+            p->set_income(p->income() + 1);
+          }
+          return Status::OK();
+        }));
+      }
+    });
+    Row("%12d | %10.0f | %10.1f | %12d", activations, kTxns / ms * 1000,
+        ms * 1000 / kTxns, fired.load());
+  }
+
+  // Once-only vs perpetual firing behavior and action cost.
+  {
+    auto db = OpenFresh("triggers_fire");
+    Check(db->CreateCluster<Person>());
+    std::atomic<int> fired{0};
+    db->DefineTrigger<Person>(
+        "always", [](const Person&, const std::vector<double>&) { return true; },
+        [&](Transaction&, Ref<Person>, const std::vector<double>&) -> Status {
+          fired++;
+          return Status::OK();
+        });
+    Ref<Person> target;
+    Check(db->RunTransaction([&](Transaction& txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(target, txn.New<Person>("t", 1, 1));
+      return Status::OK();
+    }));
+
+    auto run_txns = [&](int n) {
+      for (int i = 0; i < n; i++) {
+        Check(db->RunTransaction([&](Transaction& txn) -> Status {
+          ODE_ASSIGN_OR_RETURN(Person * p, txn.Write(target));
+          p->set_income(p->income() + 1);
+          return Status::OK();
+        }));
+      }
+    };
+
+    // Once-only: fires once, then disarms itself.
+    fired = 0;
+    Check(db->RunTransaction([&](Transaction& txn) -> Status {
+      return txn.ActivateTrigger(target, "always").status();
+    }));
+    run_txns(10);
+    const int once_fired = fired.load();
+
+    // Perpetual: fires on every qualifying commit.
+    fired = 0;
+    Check(db->RunTransaction([&](Transaction& txn) -> Status {
+      return txn.ActivateTrigger(target, "always", {}, /*perpetual=*/true)
+          .status();
+    }));
+    const double fire_ms = TimeMs([&] { run_txns(50); });
+    Note("");
+    Row("once-only fired %d time(s) over 10 txns; perpetual fired %d over 50",
+        once_fired, fired.load());
+    Row("perpetual firing commit+action: %.1f us/txn (weak coupling: action "
+        "is its own txn)", fire_ms * 1000 / 50);
+  }
+  Note("expected shape: with condition-false activations, commit cost grows");
+  Note("with the activation count (the commit scans activations against the");
+  Note("write set); once-only fires exactly once (auto-deactivation, §6).");
+  return 0;
+}

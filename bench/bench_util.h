@@ -1,0 +1,97 @@
+#ifndef ODE_BENCH_BENCH_UTIL_H_
+#define ODE_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harnesses (E1..E11 in DESIGN.md).
+// Each bench binary prints one or more tables; EXPERIMENTS.md records the
+// paper-vs-measured discussion.
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/ode.h"
+
+namespace ode {
+namespace bench {
+
+inline void Fail(const Status& status) {
+  fprintf(stderr, "bench error: %s\n", status.ToString().c_str());
+  exit(1);
+}
+
+inline void Check(const Status& status) {
+  if (!status.ok()) Fail(status);
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) Fail(result.status());
+  return result.TakeValue();
+}
+
+/// Wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedUs() const { return ElapsedMs() * 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Times one run of `fn` in milliseconds.
+inline double TimeMs(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.ElapsedMs();
+}
+
+/// Opens a fresh database under /tmp for a bench (WAL sync off unless the
+/// bench is about durability).
+inline std::unique_ptr<Database> OpenFresh(
+    const std::string& name,
+    Wal::SyncMode sync = Wal::SyncMode::kNoSync,
+    size_t pool_pages = 4096) {
+  const std::string dir = "/tmp/ode_bench_" + name;
+  (void)env::RemoveDirRecursively(dir);
+  Check(env::CreateDir(dir));
+  DatabaseOptions options;
+  options.engine.wal_sync = sync;
+  options.engine.buffer_pool_pages = pool_pages;
+  // Benches measure steady-state work, not checkpoint policy.
+  options.engine.checkpoint_wal_bytes = 1ull << 40;
+  std::unique_ptr<Database> db;
+  Check(Database::Open(dir + "/bench.db", options, &db));
+  return db;
+}
+
+/// printf-style row formatting with a leading two-space indent.
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  printf("  ");
+  vprintf(format, args);
+  printf("\n");
+  va_end(args);
+}
+
+inline void Header(const std::string& experiment, const std::string& title) {
+  printf("\n=== %s: %s ===\n", experiment.c_str(), title.c_str());
+}
+
+inline void Note(const std::string& text) { printf("  # %s\n", text.c_str()); }
+
+}  // namespace bench
+}  // namespace ode
+
+#endif  // ODE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,104 @@
+// E11 — Durability substrate: commit throughput under WAL sync modes and
+// crash-recovery time vs log size. (The paper presumes transactional
+// persistence; this measures what it costs here.)
+
+#include <string>
+
+#include "bench_models.h"
+#include "bench_util.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace {
+
+using odebench::Blob;
+using namespace ode;
+using namespace ode::bench;
+
+double CommitThroughput(Wal::SyncMode mode, int txns, Histogram* lat) {
+  auto db = OpenFresh(mode == Wal::SyncMode::kSyncEveryCommit ? "wal_sync"
+                                                              : "wal_nosync",
+                      mode);
+  Check(db->CreateCluster<Blob>());
+  Random rng(1);
+  const std::string payload = rng.NextString(200);
+  const double ms = TimeMs([&] {
+    for (int i = 0; i < txns; i++) {
+      Timer t;
+      Check(db->RunTransaction([&](Transaction& txn) -> Status {
+        return txn.New<Blob>(i, payload).status();
+      }));
+      lat->Add(t.ElapsedUs());
+    }
+  });
+  return txns / ms * 1000;
+}
+
+}  // namespace
+
+int main() {
+  Header("E11", "WAL: commit throughput and recovery time");
+  Row("%22s | %10s | %s", "sync mode", "commit/s", "latency us");
+  {
+    Histogram lat;
+    const double rate =
+        CommitThroughput(Wal::SyncMode::kSyncEveryCommit, 200, &lat);
+    Row("%22s | %10.0f | %s", "fsync every commit", rate,
+        lat.Summary().c_str());
+  }
+  {
+    Histogram lat;
+    const double rate = CommitThroughput(Wal::SyncMode::kNoSync, 2000, &lat);
+    Row("%22s | %10.0f | %s", "no fsync (OS cache)", rate,
+        lat.Summary().c_str());
+  }
+
+  Note("");
+  Note("recovery: crash after N committed txns, measure re-open time");
+  Row("%8s | %12s | %12s | %12s", "txns", "wal MiB", "recover ms",
+      "txns/s replay");
+  for (int txns : {100, 500, 2000}) {
+    const std::string dir = "/tmp/ode_bench_walrec";
+    (void)env::RemoveDirRecursively(dir);
+    Check(env::CreateDir(dir));
+    DatabaseOptions options;
+    options.engine.wal_sync = Wal::SyncMode::kNoSync;
+    options.engine.checkpoint_wal_bytes = 1ull << 40;  // never checkpoint
+    double wal_bytes = 0;
+    {
+      std::unique_ptr<Database> db;
+      Check(Database::Open(dir + "/bench.db", options, &db));
+      Check(db->CreateCluster<Blob>());
+      Random rng(txns);
+      for (int i = 0; i < txns; i++) {
+        Check(db->RunTransaction([&](Transaction& txn) -> Status {
+          return txn.New<Blob>(i, rng.NextString(300)).status();
+        }));
+      }
+      wal_bytes = static_cast<double>(db->engine().wal().size_bytes());
+      db->SimulateCrash();
+    }
+    double recover_ms = 0;
+    {
+      std::unique_ptr<Database> db;
+      recover_ms = TimeMs([&] {
+        Check(Database::Open(dir + "/bench.db", options, &db));
+      });
+      // Sanity: the data survived.
+      Check(db->RunTransaction([&](Transaction& txn) -> Status {
+        auto count = ForAll<Blob>(txn).Count();
+        ODE_RETURN_IF_ERROR(count.status());
+        if (count.value() != static_cast<size_t>(txns)) {
+          return Status::Corruption("lost objects in recovery");
+        }
+        return Status::OK();
+      }));
+    }
+    Row("%8d | %12.1f | %12.1f | %12.0f", txns, wal_bytes / (1 << 20),
+        recover_ms, txns / recover_ms * 1000);
+  }
+  Note("expected shape: fsync-per-commit is bounded by device sync latency");
+  Note("(orders of magnitude under no-sync); recovery time grows linearly");
+  Note("with log volume (redo-only replay of committed page images).");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Quickstart: the paper's stockroom example (§2, §5, §6) on the ODE C++ API.
+//
+//  * create a cluster (type extent) and persistent objects (pnew),
+//  * query it with ForAll/suchthat/by,
+//  * attach constraints and a reorder trigger,
+//  * reopen the database and find everything still there.
+//
+// Usage: quickstart [db-path]   (default: ./quickstart.db)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ode.h"
+
+/// A stockroom item (paper §2.1).
+class StockItem {
+ public:
+  StockItem() = default;
+  StockItem(std::string name, double price, int quantity, int reorder_level)
+      : name_(std::move(name)),
+        price_(price),
+        quantity_(quantity),
+        reorder_level_(reorder_level) {}
+
+  const std::string& name() const { return name_; }
+  double price() const { return price_; }
+  int quantity() const { return quantity_; }
+  int reorder_level() const { return reorder_level_; }
+  void take(int n) { quantity_ -= n; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(name_, price_, quantity_, reorder_level_);
+  }
+
+ private:
+  std::string name_;
+  double price_ = 0;
+  int quantity_ = 0;
+  int reorder_level_ = 0;
+};
+
+ODE_REGISTER_CLASS(StockItem);
+
+namespace {
+
+void Check(const ode::Status& status) {
+  if (!status.ok()) {
+    fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    exit(1);
+  }
+}
+
+/// Registers the code parts of the schema: constraints (§5) and the reorder
+/// trigger (§6). Persistent state (activations) lives in the database.
+void RegisterSchema(ode::Database& db) {
+  db.RegisterConstraint<StockItem>(
+      "quantity_nonneg",
+      [](const StockItem& s) { return s.quantity() >= 0; });
+  db.RegisterConstraint<StockItem>(
+      "price_positive", [](const StockItem& s) { return s.price() > 0; });
+  db.DefineTrigger<StockItem>(
+      "reorder",
+      [](const StockItem& s, const std::vector<double>& params) {
+        return s.quantity() <= (params.empty() ? s.reorder_level()
+                                               : params[0]);
+      },
+      [](ode::Transaction& txn, ode::Ref<StockItem> item,
+         const std::vector<double>&) -> ode::Status {
+        ODE_ASSIGN_OR_RETURN(const StockItem* s, txn.Read(item));
+        printf("  >> TRIGGER fired: reorder '%s' (quantity down to %d)\n",
+               s->name().c_str(), s->quantity());
+        return ode::Status::OK();
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "./quickstart.db";
+  (void)ode::env::RemoveFile(path);
+  (void)ode::env::RemoveFile(path + ".wal");
+
+  ode::DatabaseOptions options;
+  std::unique_ptr<ode::Database> db;
+  Check(ode::Database::Open(path, options, &db));
+  RegisterSchema(*db);
+
+  printf("== stocking the room ==\n");
+  Check(db->CreateCluster<StockItem>());  // the paper's create(stockitem)
+  ode::Ref<StockItem> dram;
+  Check(db->RunTransaction([&](ode::Transaction& txn) -> ode::Status {
+    // pnew stockitem("512 dram", 0.05, 7500, ...), §2.4.
+    ODE_ASSIGN_OR_RETURN(dram,
+                         txn.New<StockItem>("512 dram", 0.05, 7500, 1000));
+    ODE_RETURN_IF_ERROR(
+        txn.New<StockItem>("we32100", 75.00, 60, 50).status());
+    ODE_RETURN_IF_ERROR(
+        txn.New<StockItem>("db25 connector", 1.25, 340, 100).status());
+    // Arm a once-only reorder trigger on the dram (§6).
+    ODE_RETURN_IF_ERROR(txn.ActivateTrigger(dram, "reorder", {1000.0}).status());
+    return ode::Status::OK();
+  }));
+
+  printf("\n== inventory, by name (forall ... by ...) ==\n");
+  Check(db->RunTransaction([&](ode::Transaction& txn) -> ode::Status {
+    return ode::ForAll<StockItem>(txn)
+        .By<std::string>([](const StockItem& s) { return s.name(); })
+        .Each([](ode::Ref<StockItem>, const StockItem& s) {
+          printf("  %-16s  $%8.2f  qty %5d\n", s.name().c_str(), s.price(),
+                 s.quantity());
+        });
+  }));
+
+  printf("\n== constraint stops an oversell ==\n");
+  ode::Status violation =
+      db->RunTransaction([&](ode::Transaction& txn) -> ode::Status {
+        ODE_ASSIGN_OR_RETURN(StockItem * item, txn.Write(dram));
+        item->take(100000);
+        return ode::Status::OK();
+      });
+  printf("  attempt to take 100000 drams: %s\n",
+         violation.ToString().c_str());
+
+  printf("\n== big sale fires the reorder trigger after commit ==\n");
+  Check(db->RunTransaction([&](ode::Transaction& txn) -> ode::Status {
+    ODE_ASSIGN_OR_RETURN(StockItem * item, txn.Write(dram));
+    item->take(6800);  // 700 left, below the 1000 reorder point
+    return ode::Status::OK();
+  }));
+
+  printf("\n== reopen: persistence (§2) ==\n");
+  Check(db->Close());
+  db.reset();
+  Check(ode::Database::Open(path, options, &db));
+  RegisterSchema(*db);
+  Check(db->RunTransaction([&](ode::Transaction& txn) -> ode::Status {
+    double total_value = 0;
+    int kinds = 0;
+    ODE_RETURN_IF_ERROR(ode::ForAll<StockItem>(txn).Each(
+        [&](ode::Ref<StockItem>, const StockItem& s) {
+          total_value += s.price() * s.quantity();
+          kinds++;
+        }));
+    printf("  %d kinds of stock worth $%.2f survived the restart\n", kinds,
+           total_value);
+    return ode::Status::OK();
+  }));
+  Check(db->Close());
+  printf("\nquickstart done.\n");
+  return 0;
+}

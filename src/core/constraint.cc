@@ -1,0 +1,62 @@
+#include "core/constraint.h"
+
+namespace ode {
+
+namespace {
+
+/// Collects `type` and all transitive bases into `out` (depth-first, with
+/// duplicates removed by the caller's use pattern: diamond bases may appear
+/// twice, which only costs a re-check).
+void CollectBases(const TypeRegistry& registry, const std::string& type,
+                  std::vector<std::string>* out) {
+  out->push_back(type);
+  const TypeInfo* info = registry.Find(type);
+  if (info == nullptr) return;
+  for (const auto& link : info->bases) {
+    CollectBases(registry, link.base_name, out);
+  }
+}
+
+}  // namespace
+
+void ConstraintRegistry::Add(const std::string& type_name,
+                             const std::string& constraint_name,
+                             Predicate pred) {
+  by_type_[type_name].push_back(Entry{constraint_name, std::move(pred)});
+}
+
+Status ConstraintRegistry::Check(const TypeRegistry& registry,
+                                 const std::string& dynamic_type,
+                                 void* obj) const {
+  if (by_type_.empty()) return Status::OK();
+  std::vector<std::string> lineage;
+  CollectBases(registry, dynamic_type, &lineage);
+  for (const auto& type : lineage) {
+    auto it = by_type_.find(type);
+    if (it == by_type_.end()) continue;
+    void* as_base = registry.Upcast(obj, dynamic_type, type);
+    if (as_base == nullptr) continue;
+    for (const auto& entry : it->second) {
+      if (!entry.pred(as_base)) {
+        return Status::ConstraintViolation("constraint '" + entry.name +
+                                           "' of class " + type +
+                                           " violated by a " + dynamic_type);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t ConstraintRegistry::CountFor(const TypeRegistry& registry,
+                                    const std::string& dynamic_type) const {
+  std::vector<std::string> lineage;
+  CollectBases(registry, dynamic_type, &lineage);
+  size_t count = 0;
+  for (const auto& type : lineage) {
+    auto it = by_type_.find(type);
+    if (it != by_type_.end()) count += it->second.size();
+  }
+  return count;
+}
+
+}  // namespace ode

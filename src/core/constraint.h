@@ -1,0 +1,56 @@
+#ifndef ODE_CORE_CONSTRAINT_H_
+#define ODE_CORE_CONSTRAINT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "schema/type_registry.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// Class-level constraints (paper §5). A constraint is a named boolean
+/// predicate attached to a class; every object of the class — including
+/// objects of derived classes, which is what enables constraint-based
+/// specialization like `class female : public person` — must satisfy it at
+/// the end of each transaction. A violation aborts and rolls back the
+/// transaction.
+///
+/// Constraints are code, so (like the O++ compiler would) applications
+/// register them at startup; the registry lives on the Database instance.
+class ConstraintRegistry {
+ public:
+  /// Type-erased predicate: the argument points to an object of exactly the
+  /// class the constraint was registered for.
+  using Predicate = std::function<bool(const void*)>;
+
+  /// Registers `pred` for class `type_name` under `constraint_name`.
+  void Add(const std::string& type_name, const std::string& constraint_name,
+           Predicate pred);
+
+  /// Checks every constraint of `dynamic_type` and its (transitive) base
+  /// classes against `obj` (a pointer to the dynamic type). On failure
+  /// returns ConstraintViolation naming the offending constraint.
+  Status Check(const TypeRegistry& registry, const std::string& dynamic_type,
+               void* obj) const;
+
+  /// Number of constraints that apply to `dynamic_type` (diagnostics).
+  size_t CountFor(const TypeRegistry& registry,
+                  const std::string& dynamic_type) const;
+
+  bool empty() const { return by_type_.empty(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Predicate pred;
+  };
+
+  std::map<std::string, std::vector<Entry>> by_type_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_CORE_CONSTRAINT_H_

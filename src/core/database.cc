@@ -1,0 +1,224 @@
+#include "core/database.h"
+
+#include <cstring>
+#include <vector>
+
+#include "core/transaction.h"
+#include "util/logging.h"
+
+namespace ode {
+
+Database::Database(const DatabaseOptions& options,
+                   std::unique_ptr<StorageEngine> engine)
+    : options_(options), engine_(std::move(engine)) {
+  store_ = std::make_unique<ObjectStore>(engine_.get());
+  indexes_ = std::make_unique<IndexManager>(engine_.get(), &catalog_,
+                                            [this] { return SaveCatalog(); });
+}
+
+Database::~Database() {
+  if (!closed_) {
+    Status s = Close();
+    if (!s.ok()) {
+      ODE_LOG(kError) << "close failed: " << s.ToString();
+    }
+  }
+}
+
+Status Database::Open(const std::string& path, const DatabaseOptions& options,
+                      std::unique_ptr<Database>* out) {
+  std::unique_ptr<StorageEngine> engine;
+  ODE_RETURN_IF_ERROR(StorageEngine::Open(path, options.engine, &engine));
+  std::unique_ptr<Database> db(new Database(options, std::move(engine)));
+  ODE_RETURN_IF_ERROR(db->ReloadCatalog());
+  *out = std::move(db);
+  return Status::OK();
+}
+
+Status Database::Close() {
+  if (closed_) return Status::OK();
+  if (!pending_firings_.empty()) {
+    ODE_LOG(kWarn) << "closing with " << pending_firings_.size()
+                   << " unexecuted trigger firing(s) (RunPendingTriggers "
+                      "was not called)";
+  }
+  if (active_txn_ != nullptr) {
+    Status s = active_txn_->Abort();
+    if (!s.ok()) {
+      ODE_LOG(kError) << "aborting open transaction on close: "
+                      << s.ToString();
+    }
+  }
+  closed_ = true;
+  return engine_->Close();
+}
+
+// --- Transactions -------------------------------------------------------------
+
+Result<std::unique_ptr<Transaction>> Database::Begin() {
+  if (closed_) return Status::InvalidArgument("database is closed");
+  if (active_txn_ != nullptr) {
+    return Status::Busy("a transaction is already active");
+  }
+  std::unique_ptr<Transaction> txn(new Transaction(this));
+  ODE_RETURN_IF_ERROR(txn->Start());
+  return txn;
+}
+
+Status Database::RunTransaction(
+    const std::function<Status(Transaction&)>& body) {
+  ODE_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn, Begin());
+  Status s = body(*txn);
+  if (!s.ok()) {
+    Status abort_status = txn->Abort();
+    if (!abort_status.ok()) {
+      ODE_LOG(kError) << "abort failed: " << abort_status.ToString();
+    }
+    return s;
+  }
+  return txn->Commit();
+}
+
+Status Database::InTransaction(
+    const std::function<Status(Transaction&)>& fn) {
+  if (active_txn_ != nullptr) return fn(*active_txn_);
+  return RunTransaction(fn);
+}
+
+// --- Catalog helpers ------------------------------------------------------------
+
+Result<ClusterId> Database::ClusterIdForName(
+    const std::string& type_name) const {
+  const CatalogData::ClusterEntry* entry =
+      catalog_.FindClusterByType(type_name);
+  if (entry == nullptr) {
+    return Status::NotFound("no cluster for type " + type_name +
+                            " (create it first, paper §2.5)");
+  }
+  return entry->id;
+}
+
+Status Database::SaveCatalog() { return Catalog::Save(engine_.get(), catalog_); }
+
+Status Database::ReloadCatalog() {
+  return Catalog::Load(engine_.get(), &catalog_);
+}
+
+Result<uint32_t> Database::EnsureTypeCode(const std::string& type_name) {
+  if (const CatalogData::TypeEntry* entry = catalog_.FindType(type_name)) {
+    return entry->code;
+  }
+  CatalogData::TypeEntry entry;
+  entry.name = type_name;
+  entry.code = catalog_.next_type_code++;
+  catalog_.types.push_back(entry);
+  ODE_RETURN_IF_ERROR(SaveCatalog());
+  return entry.code;
+}
+
+Result<std::string> Database::TypeNameByCode(uint32_t code) const {
+  const CatalogData::TypeEntry* entry = catalog_.FindTypeByCode(code);
+  if (entry == nullptr) {
+    return Status::Corruption("unknown type code " + std::to_string(code));
+  }
+  return entry->name;
+}
+
+Result<PageId> Database::TableRootOf(ClusterId cluster) const {
+  const CatalogData::ClusterEntry* entry = catalog_.FindCluster(cluster);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown cluster " + std::to_string(cluster));
+  }
+  return entry->table_root;
+}
+
+Result<uint64_t> Database::NextTriggerId() {
+  ODE_ASSIGN_OR_RETURN(
+      uint64_t id,
+      engine_->ReadSuperU64(SuperblockLayout::kNextTriggerIdOffset));
+  ODE_RETURN_IF_ERROR(
+      engine_->WriteSuperU64(SuperblockLayout::kNextTriggerIdOffset, id + 1));
+  return id;
+}
+
+// --- Indexes -----------------------------------------------------------------------
+
+Status Database::DropIndex(const std::string& name) {
+  return InTransaction(
+      [&](Transaction& txn) { return txn.DropIndex(name); });
+}
+
+Status Database::BackupTo(const std::string& path) {
+  if (active_txn_ != nullptr) {
+    return Status::Busy("cannot back up inside a transaction");
+  }
+  // After a checkpoint the WAL is empty and the page file holds every
+  // committed byte.
+  ODE_RETURN_IF_ERROR(engine_->Checkpoint());
+  ODE_ASSIGN_OR_RETURN(
+      uint32_t page_count,
+      engine_->ReadSuperU32(SuperblockLayout::kPageCountOffset));
+  std::unique_ptr<File> src;
+  ODE_RETURN_IF_ERROR(File::OpenReadOnly(engine_->path(), &src));
+  // Copy via a temp file + rename so a crash never leaves a torn backup.
+  const std::string tmp = path + ".tmp";
+  ODE_RETURN_IF_ERROR(env::RemoveFile(tmp));
+  std::unique_ptr<File> dst;
+  ODE_RETURN_IF_ERROR(File::Open(tmp, &dst));
+  std::vector<char> buf(kPageSize);
+  for (PageId p = 0; p < page_count; p++) {
+    size_t n = 0;
+    ODE_RETURN_IF_ERROR(src->ReadAtMost(static_cast<uint64_t>(p) * kPageSize,
+                                        kPageSize, buf.data(), &n));
+    if (n < kPageSize) {
+      memset(buf.data() + n, 0, kPageSize - n);  // never-flushed tail page
+    }
+    ODE_RETURN_IF_ERROR(
+        dst->Write(static_cast<uint64_t>(p) * kPageSize,
+                   Slice(buf.data(), kPageSize)));
+  }
+  ODE_RETURN_IF_ERROR(dst->Sync());
+  ODE_RETURN_IF_ERROR(env::RemoveFile(path + ".wal"));
+  return env::RenameFile(tmp, path);
+}
+
+// --- Triggers -----------------------------------------------------------------------
+
+void Database::ExecuteFirings(std::vector<Firing> firings) {
+  if (firings.empty()) return;
+  if (trigger_depth_ >= options_.max_trigger_cascade_depth) {
+    ODE_LOG(kWarn) << "trigger cascade depth limit ("
+                   << options_.max_trigger_cascade_depth << ") reached; "
+                   << firings.size() << " firing(s) dropped";
+    return;
+  }
+  trigger_depth_++;
+  for (const Firing& firing : firings) {
+    Status s = RunTransaction([&](Transaction& txn) {
+      return firing.def->action(txn, firing.oid, firing.params);
+    });
+    if (!s.ok()) {
+      ODE_LOG(kWarn) << "trigger action (id " << firing.trigger_id
+                     << ") failed: " << s.ToString();
+    }
+  }
+  trigger_depth_--;
+}
+
+Status Database::RunPendingTriggers() {
+  int rounds = 0;
+  while (!pending_firings_.empty()) {
+    if (++rounds > options_.max_trigger_cascade_depth) {
+      ODE_LOG(kWarn) << "trigger cascade depth limit reached; "
+                     << pending_firings_.size() << " firing(s) dropped";
+      pending_firings_.clear();
+      break;
+    }
+    std::vector<Firing> batch;
+    batch.swap(pending_firings_);
+    ExecuteFirings(std::move(batch));
+  }
+  return Status::OK();
+}
+
+}  // namespace ode

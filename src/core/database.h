@@ -1,0 +1,232 @@
+#ifndef ODE_CORE_DATABASE_H_
+#define ODE_CORE_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/constraint.h"
+#include "core/options.h"
+#include "core/ref.h"
+#include "core/trigger.h"
+#include "objstore/object_store.h"
+#include "query/index_manager.h"
+#include "schema/catalog.h"
+#include "schema/type_registry.h"
+#include "storage/engine.h"
+#include "util/status.h"
+
+namespace ode {
+
+class Transaction;
+
+/// An ODE database: persistent objects grouped into per-type clusters,
+/// accessed and manipulated inside transactions (paper §1–2). This is the
+/// C++ embedding of what O++ source compiles down to; the `oppc` translator
+/// (src/opp) emits calls against this API.
+///
+/// Thread model: single-threaded, one active transaction at a time — the
+/// paper explicitly defers concurrency ("any O++ program ... will be
+/// considered to be a single transaction").
+class Database {
+ public:
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  ~Database();
+
+  /// Opens (creating if necessary) the database at `path`; runs crash
+  /// recovery if needed and loads the catalog.
+  static Status Open(const std::string& path, const DatabaseOptions& options,
+                     std::unique_ptr<Database>* out);
+
+  /// Checkpoints and closes.
+  Status Close();
+
+  // --- Transactions --------------------------------------------------------
+
+  /// Starts a transaction. At most one can be open.
+  Result<std::unique_ptr<Transaction>> Begin();
+
+  /// Runs `body` in a transaction: commit on OK, abort on error. The commit
+  /// itself can fail (e.g. ConstraintViolation), which also aborts.
+  Status RunTransaction(const std::function<Status(Transaction&)>& body);
+
+  /// The open transaction, if any (used by Ref<T>::operator->).
+  Transaction* active_txn() const { return active_txn_; }
+
+  // --- Clusters (paper §2.5) -----------------------------------------------
+
+  /// The paper's `create(T)`: creates the cluster (type extent) for T.
+  /// Runs in the active transaction, or its own if none is open.
+  template <typename T>
+  Status CreateCluster();
+
+  template <typename T>
+  bool HasCluster() const {
+    return catalog_.FindClusterByType(TypeNameOf<T>()) != nullptr;
+  }
+
+  template <typename T>
+  Result<ClusterId> ClusterOf() const {
+    return ClusterIdForName(TypeNameOf<T>());
+  }
+
+  Result<ClusterId> ClusterIdForName(const std::string& type_name) const;
+
+  // --- Constraints (paper §5) ----------------------------------------------
+
+  /// Attaches a named constraint to class T. Applies to T and all derived
+  /// classes; checked on the write set at commit.
+  template <typename T>
+  void RegisterConstraint(const std::string& name,
+                          std::function<bool(const T&)> pred) {
+    constraints_.Add(TypeNameOf<T>(), name, [pred = std::move(pred)](
+                                                const void* obj) {
+      return pred(*static_cast<const T*>(obj));
+    });
+  }
+
+  // --- Triggers (paper §6) ---------------------------------------------------
+
+  /// Registers the (condition, action) code of a class-level trigger
+  /// definition. Activations referencing it are created per object with
+  /// Transaction::ActivateTrigger and persist in the database.
+  template <typename T>
+  void DefineTrigger(
+      const std::string& name,
+      std::function<bool(const T&, const std::vector<double>&)> condition,
+      std::function<Status(Transaction&, Ref<T>, const std::vector<double>&)>
+          action,
+      bool perpetual_default = false);
+
+  /// Executes firings deferred by run_triggers_on_commit=false.
+  Status RunPendingTriggers();
+
+  size_t pending_trigger_count() const { return pending_firings_.size(); }
+
+  // --- Indexes ---------------------------------------------------------------
+
+  /// Creates a persistent secondary index on cluster T. `key_fn` returns the
+  /// encoded user key (see index_key.h). Existing objects are backfilled.
+  /// Runs in the active transaction, or its own if none is open.
+  template <typename T>
+  Status CreateIndex(const std::string& name,
+                     std::function<std::string(const T&)> key_fn);
+
+  /// Re-attaches extractor code to a persisted index after re-open.
+  template <typename T>
+  void AttachIndexExtractor(const std::string& name,
+                            std::function<std::string(const T&)> key_fn) {
+    indexes_->RegisterExtractor(
+        name, [key_fn = std::move(key_fn)](const void* obj) {
+          return key_fn(*static_cast<const T*>(obj));
+        });
+  }
+
+  Status DropIndex(const std::string& name);
+
+  /// Reclaims trailing free pages, shrinking the database file (storage
+  /// maintenance; must be called outside a transaction). Returns the number
+  /// of 4 KiB pages released.
+  Result<uint32_t> Vacuum() { return engine_->Vacuum(); }
+
+  /// Online backup: checkpoints (so the page file is self-contained, WAL
+  /// empty) and copies it to `path`. The copy opens as a normal database.
+  /// Must be called outside a transaction.
+  Status BackupTo(const std::string& path);
+
+  // --- Internal plumbing (used by Transaction/ForAll; stable but not part
+  // --- of the end-user surface) ----------------------------------------------
+
+  StorageEngine& engine() { return *engine_; }
+  ObjectStore& store() { return *store_; }
+  CatalogData& catalog() { return catalog_; }
+  const CatalogData& catalog() const { return catalog_; }
+  IndexManager& indexes() { return *indexes_; }
+  ConstraintRegistry& constraints() { return constraints_; }
+  TriggerRegistry& triggers() { return triggers_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Persists the catalog inside the active transaction.
+  Status SaveCatalog();
+  /// Re-reads the catalog from disk (after an abort).
+  Status ReloadCatalog();
+
+  /// Assigns (persisting) a stable type code for `type_name` if absent.
+  Result<uint32_t> EnsureTypeCode(const std::string& type_name);
+  Result<std::string> TypeNameByCode(uint32_t code) const;
+
+  /// Object-table root for a cluster.
+  Result<PageId> TableRootOf(ClusterId cluster) const;
+
+  /// Fresh persistent trigger id (inside the active transaction).
+  Result<uint64_t> NextTriggerId();
+
+  /// A scheduled trigger firing awaiting execution.
+  struct Firing {
+    const TriggerRegistry::Definition* def;
+    uint64_t trigger_id;
+    Oid oid;
+    std::vector<double> params;
+  };
+
+  /// Runs each firing as an independent transaction (weak coupling, §6).
+  void ExecuteFirings(std::vector<Firing> firings);
+
+  /// Test hook: abandons the database as a crash would (no checkpoint; the
+  /// WAL is recovered on the next Open).
+  void SimulateCrash() {
+    closed_ = true;
+    engine_->SimulateCrash();
+  }
+
+ private:
+  friend class Transaction;
+
+  Database(const DatabaseOptions& options,
+           std::unique_ptr<StorageEngine> engine);
+
+  /// Runs `fn` inside the active transaction if one is open, else inside a
+  /// fresh one (used by schema conveniences).
+  Status InTransaction(const std::function<Status(Transaction&)>& fn);
+
+  DatabaseOptions options_;
+  std::unique_ptr<StorageEngine> engine_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<IndexManager> indexes_;
+  CatalogData catalog_;
+  ConstraintRegistry constraints_;
+  TriggerRegistry triggers_;
+  Transaction* active_txn_ = nullptr;
+  std::vector<Firing> pending_firings_;
+  int trigger_depth_ = 0;
+  bool closed_ = false;
+};
+
+template <typename T>
+void Database::DefineTrigger(
+    const std::string& name,
+    std::function<bool(const T&, const std::vector<double>&)> condition,
+    std::function<Status(Transaction&, Ref<T>, const std::vector<double>&)>
+        action,
+    bool perpetual_default) {
+  TriggerRegistry::Definition def;
+  def.type_name = TypeNameOf<T>();
+  def.trigger_name = name;
+  def.perpetual_default = perpetual_default;
+  def.condition = [condition = std::move(condition)](
+                      const void* obj, const std::vector<double>& params) {
+    return condition(*static_cast<const T*>(obj), params);
+  };
+  def.action = [this, action = std::move(action)](
+                   Transaction& txn, Oid oid,
+                   const std::vector<double>& params) {
+    return action(txn, Ref<T>(this, oid), params);
+  };
+  triggers_.Define(std::move(def));
+}
+
+}  // namespace ode
+
+#endif  // ODE_CORE_DATABASE_H_

@@ -1,0 +1,75 @@
+#ifndef ODE_CORE_ODE_H_
+#define ODE_CORE_ODE_H_
+
+/// \file
+/// Umbrella header for the ODE object database (Agrawal & Gehani, SIGMOD
+/// 1989). Applications include this one header; it pulls in the Database,
+/// Transaction, Ref, ForAll, OSet/VSet and versioning APIs and completes the
+/// template definitions that span them.
+
+#include <cstdlib>
+
+#include "core/database.h"
+#include "core/forall.h"
+#include "core/ref.h"
+#include "core/set.h"
+#include "core/transaction.h"
+#include "core/version.h"
+#include "query/index_key.h"
+#include "util/logging.h"
+
+namespace ode {
+
+// --- Late template definitions ---------------------------------------------
+
+template <typename T>
+Status Database::CreateCluster() {
+  return InTransaction(
+      [&](Transaction& txn) { return txn.CreateCluster<T>(); });
+}
+
+template <typename T>
+Status Database::CreateIndex(const std::string& name,
+                             std::function<std::string(const T&)> key_fn) {
+  IndexManager::Extractor extractor =
+      [key_fn = std::move(key_fn)](const void* obj) {
+        return key_fn(*static_cast<const T*>(obj));
+      };
+  return InTransaction([&](Transaction& txn) {
+    return txn.CreateIndexByName(name, TypeNameOf<T>(), extractor);
+  });
+}
+
+/// `persistent T*` dereference: reads through the active transaction.
+/// Dereferencing with no open transaction, or a dangling/unreadable ref,
+/// terminates the process — it is the moral equivalent of dereferencing a
+/// bad pointer. Use Transaction::Read for checked access.
+template <typename T>
+const T* Ref<T>::operator->() const {
+  if (db_ == nullptr) {
+    ODE_LOG(kError) << "deref of unbound persistent ref";
+    abort();
+  }
+  Transaction* txn = db_->active_txn();
+  if (txn == nullptr) {
+    ODE_LOG(kError) << "deref of persistent ref outside a transaction";
+    abort();
+  }
+  Result<const T*> result = txn->Read(*this);
+  if (!result.ok()) {
+    ODE_LOG(kError) << "deref of persistent ref " << oid_.ToString()
+                    << " failed: " << result.status().ToString();
+    abort();
+  }
+  return result.value();
+}
+
+/// Free-function form of the `is persistent T*` predicate (§3.1.2).
+template <typename To, typename From>
+Result<Ref<To>> RefCast(Transaction& txn, const Ref<From>& ref) {
+  return txn.template RefCast<To>(ref);
+}
+
+}  // namespace ode
+
+#endif  // ODE_CORE_ODE_H_

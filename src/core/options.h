@@ -1,0 +1,28 @@
+#ifndef ODE_CORE_OPTIONS_H_
+#define ODE_CORE_OPTIONS_H_
+
+#include "storage/engine.h"
+
+namespace ode {
+
+/// Configuration for opening an ODE database.
+struct DatabaseOptions {
+  EngineOptions engine;
+
+  /// Evaluate class constraints on the write set at commit (paper §5).
+  /// Disabling is for benchmarking the checking overhead only.
+  bool check_constraints = true;
+
+  /// Run fired trigger actions (as independent transactions) right after the
+  /// triggering transaction commits — the paper's weak coupling (§6).
+  /// When false, fired actions queue up until RunPendingTriggers().
+  bool run_triggers_on_commit = true;
+
+  /// Bound on trigger cascades (action transactions firing more triggers).
+  /// Beyond this depth further firings are dropped with a warning.
+  int max_trigger_cascade_depth = 16;
+};
+
+}  // namespace ode
+
+#endif  // ODE_CORE_OPTIONS_H_

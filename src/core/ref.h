@@ -1,0 +1,95 @@
+#ifndef ODE_CORE_REF_H_
+#define ODE_CORE_REF_H_
+
+#include <cstdint>
+
+#include "objstore/object_id.h"
+#include "serial/archive.h"
+
+namespace ode {
+
+class Database;
+class Transaction;
+
+/// Untyped persistent reference: the paper's "pointer to a persistent
+/// object" (§2). Carries the object id, an optional specific version number
+/// (§4: generic vs. specific references), and the owning database so that
+/// dereferencing can route through the active transaction.
+///
+/// Refs serialize as (cluster, local, vnum); the database binding is
+/// re-established when a containing object is loaded (ReadArchive supplies
+/// it).
+class RefBase {
+ public:
+  RefBase() = default;
+  RefBase(Database* db, Oid oid, uint32_t vnum = kGenericVersion)
+      : db_(db), oid_(oid), vnum_(vnum) {}
+
+  bool null() const { return !oid_.valid(); }
+  explicit operator bool() const { return !null(); }
+
+  Oid oid() const { return oid_; }
+  ClusterId cluster() const { return oid_.cluster; }
+  LocalOid local() const { return oid_.local; }
+
+  /// kGenericVersion for a generic reference, else the pinned version.
+  uint32_t vnum() const { return vnum_; }
+  bool is_specific() const { return vnum_ != kGenericVersion; }
+
+  Database* db() const { return db_; }
+
+  friend bool operator==(const RefBase& a, const RefBase& b) {
+    return a.oid_ == b.oid_ && a.vnum_ == b.vnum_;
+  }
+  friend bool operator!=(const RefBase& a, const RefBase& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const RefBase& a, const RefBase& b) {
+    if (a.oid_ != b.oid_) return a.oid_ < b.oid_;
+    return a.vnum_ < b.vnum_;
+  }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(oid_.cluster, oid_.local, vnum_);
+    if constexpr (AR::kIsLoading) {
+      db_ = ar.db();
+    }
+  }
+
+ protected:
+  Database* db_ = nullptr;
+  Oid oid_{};
+  uint32_t vnum_ = kGenericVersion;
+};
+
+/// Typed persistent reference — O++'s `persistent T*`.
+///
+/// `operator->` reads the object through the database's active transaction
+/// (terminating the process on I/O failure, like dereferencing a bad pointer
+/// would); use Transaction::Read / Transaction::Write for Status-checked
+/// access and for mutation.
+template <typename T>
+class Ref : public RefBase {
+ public:
+  using value_type = T;
+
+  Ref() = default;
+  Ref(Database* db, Oid oid, uint32_t vnum = kGenericVersion)
+      : RefBase(db, oid, vnum) {}
+  explicit Ref(const RefBase& base) : RefBase(base) {}
+
+  /// Read-only dereference via the active transaction (defined in ode.h).
+  const T* operator->() const;
+  const T& operator*() const { return *operator->(); }
+};
+
+struct RefBaseHash {
+  size_t operator()(const RefBase& r) const {
+    return OidHash()(r.oid()) * 1000003u + r.vnum();
+  }
+};
+
+}  // namespace ode
+
+#endif  // ODE_CORE_REF_H_

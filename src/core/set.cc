@@ -1,0 +1,14 @@
+#include "core/set.h"
+
+namespace ode {
+
+void EnsureSetTypeRegistered() {
+  static const bool registered = [] {
+    internal_schema::TypeRegistrar<OSetData> registrar("ode::OSetData");
+    (void)registrar;
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace ode

@@ -1,0 +1,277 @@
+#ifndef ODE_CORE_SET_H_
+#define ODE_CORE_SET_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/forall.h"
+#include "core/transaction.h"
+
+namespace ode {
+
+/// Backing object for persistent sets (paper §2.6). Members are packed
+/// object ids in insertion order (insertion order is what gives set
+/// iteration its worklist/fixpoint semantics, §3.2). A set is itself a
+/// persistent object, so sets nest and sets may be members of objects.
+struct OSetData {
+  std::vector<uint64_t> members;
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(members);
+  }
+
+  bool Contains(uint64_t packed) const {
+    for (uint64_t m : members) {
+      if (m == packed) return true;
+    }
+    return false;
+  }
+};
+
+/// Registers OSetData with the type registry (idempotent); called by
+/// OSet<T> operations so linking the core library suffices.
+void EnsureSetTypeRegistered();
+
+/// Typed persistent set of references — O++'s `set T*` (§2.6).
+///
+/// All operations run inside a transaction. ForEach visits elements
+/// inserted *during* the iteration exactly once (the facility §3.2 uses for
+/// fixpoint queries); elements erased mid-iteration and not yet visited are
+/// skipped.
+template <typename T>
+class OSet {
+ public:
+  OSet() = default;
+  explicit OSet(Ref<OSetData> data) : data_(data) {}
+
+  /// Creates an empty persistent set (auto-creating the system cluster for
+  /// set objects on first use).
+  static Result<OSet<T>> Create(Transaction& txn) {
+    EnsureSetTypeRegistered();
+    ODE_RETURN_IF_ERROR(txn.EnsureCluster<OSetData>());
+    ODE_ASSIGN_OR_RETURN(Ref<OSetData> data, txn.New<OSetData>());
+    return OSet<T>(data);
+  }
+
+  bool null() const { return data_.null(); }
+  Ref<OSetData> handle() const { return data_; }
+
+  /// Adds `elem`; no-op when already a member.
+  Status Insert(Transaction& txn, const Ref<T>& elem) {
+    ODE_ASSIGN_OR_RETURN(const OSetData* data, txn.Read(data_));
+    if (data->Contains(elem.oid().Pack())) return Status::OK();
+    ODE_ASSIGN_OR_RETURN(OSetData * mut, txn.Write(data_));
+    mut->members.push_back(elem.oid().Pack());
+    return Status::OK();
+  }
+
+  /// Removes `elem`; no-op when absent.
+  Status Erase(Transaction& txn, const Ref<T>& elem) {
+    ODE_ASSIGN_OR_RETURN(const OSetData* data, txn.Read(data_));
+    if (!data->Contains(elem.oid().Pack())) return Status::OK();
+    ODE_ASSIGN_OR_RETURN(OSetData * mut, txn.Write(data_));
+    const uint64_t packed = elem.oid().Pack();
+    for (auto it = mut->members.begin(); it != mut->members.end(); ++it) {
+      if (*it == packed) {
+        mut->members.erase(it);
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Contains(Transaction& txn, const Ref<T>& elem) const {
+    ODE_ASSIGN_OR_RETURN(const OSetData* data, txn.Read(data_));
+    return data->Contains(elem.oid().Pack());
+  }
+
+  Result<size_t> Size(Transaction& txn) const {
+    ODE_ASSIGN_OR_RETURN(const OSetData* data, txn.Read(data_));
+    return data->members.size();
+  }
+
+  /// Worklist iteration (§2.6/§3.2): members appended by `body` are visited
+  /// in this same loop; each member is visited at most once. Erasures during
+  /// iteration are also safe — the scan repeats until a full pass finds no
+  /// unvisited member, so elements shifted by an erase are not skipped.
+  Status ForEach(Transaction& txn,
+                 const std::function<Status(Ref<T>)>& body) const {
+    std::unordered_set<uint64_t> visited;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      size_t i = 0;
+      while (true) {
+        ODE_ASSIGN_OR_RETURN(const OSetData* data, txn.Read(data_));
+        if (i >= data->members.size()) break;
+        const uint64_t packed = data->members[i];
+        i++;
+        if (!visited.insert(packed).second) continue;
+        progressed = true;
+        ODE_RETURN_IF_ERROR(body(Ref<T>(&txn.db(), Oid::Unpack(packed))));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Members as typed refs, in insertion order.
+  Result<std::vector<Ref<T>>> Elements(Transaction& txn) const {
+    ODE_ASSIGN_OR_RETURN(const OSetData* data, txn.Read(data_));
+    std::vector<Ref<T>> out;
+    out.reserve(data->members.size());
+    for (uint64_t packed : data->members) {
+      out.emplace_back(&txn.db(), Oid::Unpack(packed));
+    }
+    return out;
+  }
+
+  /// this = this ∪ other.
+  Status UnionWith(Transaction& txn, const OSet<T>& other) {
+    ODE_ASSIGN_OR_RETURN(const OSetData* theirs, txn.Read(other.data_));
+    const std::vector<uint64_t> incoming = theirs->members;
+    ODE_ASSIGN_OR_RETURN(const OSetData* mine, txn.Read(data_));
+    std::unordered_set<uint64_t> present(mine->members.begin(),
+                                         mine->members.end());
+    std::vector<uint64_t> to_add;
+    for (uint64_t m : incoming) {
+      if (present.insert(m).second) to_add.push_back(m);
+    }
+    if (to_add.empty()) return Status::OK();
+    ODE_ASSIGN_OR_RETURN(OSetData * mut, txn.Write(data_));
+    mut->members.insert(mut->members.end(), to_add.begin(), to_add.end());
+    return Status::OK();
+  }
+
+  /// this = this ∩ other.
+  Status IntersectWith(Transaction& txn, const OSet<T>& other) {
+    ODE_ASSIGN_OR_RETURN(const OSetData* theirs, txn.Read(other.data_));
+    std::unordered_set<uint64_t> keep(theirs->members.begin(),
+                                      theirs->members.end());
+    ODE_ASSIGN_OR_RETURN(OSetData * mut, txn.Write(data_));
+    std::vector<uint64_t> kept;
+    for (uint64_t m : mut->members) {
+      if (keep.count(m)) kept.push_back(m);
+    }
+    mut->members = std::move(kept);
+    return Status::OK();
+  }
+
+  /// this = this \ other.
+  Status Subtract(Transaction& txn, const OSet<T>& other) {
+    ODE_ASSIGN_OR_RETURN(const OSetData* theirs, txn.Read(other.data_));
+    std::unordered_set<uint64_t> drop(theirs->members.begin(),
+                                      theirs->members.end());
+    ODE_ASSIGN_OR_RETURN(OSetData * mut, txn.Write(data_));
+    std::vector<uint64_t> kept;
+    for (uint64_t m : mut->members) {
+      if (!drop.count(m)) kept.push_back(m);
+    }
+    mut->members = std::move(kept);
+    return Status::OK();
+  }
+
+  /// Deletes the set object itself (not its members).
+  Status Destroy(Transaction& txn) { return txn.Delete(data_); }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(data_);
+  }
+
+ private:
+  Ref<OSetData> data_;
+};
+
+/// Volatile (in-memory) set of references with the same iteration semantics
+/// as OSet — O++ sets work identically on volatile and persistent data.
+template <typename T>
+class VSet {
+ public:
+  bool Insert(const Ref<T>& elem) {
+    if (present_.count(elem.oid().Pack())) return false;
+    present_.insert(elem.oid().Pack());
+    order_.push_back(elem);
+    return true;
+  }
+
+  bool Erase(const Ref<T>& elem) {
+    if (present_.erase(elem.oid().Pack()) == 0) return false;
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (it->oid() == elem.oid()) {
+        order_.erase(it);
+        break;
+      }
+    }
+    return true;
+  }
+
+  bool Contains(const Ref<T>& elem) const {
+    return present_.count(elem.oid().Pack()) > 0;
+  }
+
+  size_t size() const { return order_.size(); }
+  bool empty() const { return order_.empty(); }
+  const std::vector<Ref<T>>& elements() const { return order_; }
+
+  /// Worklist iteration: visits elements `body` inserts; erase-safe (see
+  /// OSet::ForEach).
+  Status ForEach(const std::function<Status(Ref<T>)>& body) {
+    std::unordered_set<uint64_t> visited;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      size_t i = 0;
+      while (i < order_.size()) {
+        Ref<T> elem = order_[i];
+        i++;
+        if (!visited.insert(elem.oid().Pack()).second) continue;
+        progressed = true;
+        ODE_RETURN_IF_ERROR(body(elem));
+      }
+    }
+    return Status::OK();
+  }
+
+  void UnionWith(const VSet<T>& other) {
+    for (const auto& e : other.order_) Insert(e);
+  }
+
+  void IntersectWith(const VSet<T>& other) {
+    std::vector<Ref<T>> kept;
+    for (const auto& e : order_) {
+      if (other.Contains(e)) kept.push_back(e);
+    }
+    Rebuild(std::move(kept));
+  }
+
+  void Subtract(const VSet<T>& other) {
+    std::vector<Ref<T>> kept;
+    for (const auto& e : order_) {
+      if (!other.Contains(e)) kept.push_back(e);
+    }
+    Rebuild(std::move(kept));
+  }
+
+ private:
+  void Rebuild(std::vector<Ref<T>> kept) {
+    order_ = std::move(kept);
+    present_.clear();
+    for (const auto& e : order_) present_.insert(e.oid().Pack());
+  }
+
+  std::vector<Ref<T>> order_;
+  std::unordered_set<uint64_t> present_;
+};
+
+}  // namespace ode
+
+/// TypeTag for OSetData so TypeNameOf<OSetData>() works; the runtime
+/// registration happens in EnsureSetTypeRegistered().
+template <>
+struct ode::TypeTag<ode::OSetData> {
+  static constexpr const char* kName = "ode::OSetData";
+};
+
+#endif  // ODE_CORE_SET_H_

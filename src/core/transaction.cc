@@ -1,0 +1,561 @@
+#include "core/transaction.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ode {
+
+Transaction::Transaction(Database* db) : db_(db) {}
+
+Transaction::~Transaction() {
+  if (open_) {
+    Status s = Abort();
+    if (!s.ok()) {
+      ODE_LOG(kError) << "abort in ~Transaction failed: " << s.ToString();
+    }
+  }
+}
+
+Status Transaction::Start() {
+  ODE_ASSIGN_OR_RETURN(TxnId id, db_->engine().BeginTxn());
+  txn_id_ = id;
+  open_ = true;
+  db_->active_txn_ = this;
+  return Status::OK();
+}
+
+Status Transaction::CloseOut(bool aborted) {
+  (void)aborted;
+  cache_.clear();
+  open_ = false;
+  if (db_->active_txn_ == this) db_->active_txn_ = nullptr;
+  return Status::OK();
+}
+
+// --- Object cache -----------------------------------------------------------
+
+Status Transaction::LoadObject(Oid oid, uint32_t vnum, Cached** out) {
+  const CacheKey key{oid.Pack(), vnum};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    if (it->second->deleted) {
+      return Status::NotFound("object " + oid.ToString() + " was deleted");
+    }
+    *out = it->second.get();
+    return Status::OK();
+  }
+  // A deleted head invalidates all version reads.
+  auto head_it = cache_.find({oid.Pack(), kGenericVersion});
+  if (head_it != cache_.end() && head_it->second->deleted) {
+    return Status::NotFound("object " + oid.ToString() + " was deleted");
+  }
+
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
+  std::string bytes;
+  uint32_t type_code = 0;
+  uint32_t resolved = 0;
+  ODE_RETURN_IF_ERROR(
+      db_->store().Read(root, oid.local, vnum, &bytes, &type_code, &resolved));
+
+  ODE_ASSIGN_OR_RETURN(std::string type_name, db_->TypeNameByCode(type_code));
+  const TypeInfo* info = TypeRegistry::Global().Find(type_name);
+  if (info == nullptr) {
+    return Status::NotSupported("type not registered in this program: " +
+                                type_name);
+  }
+  auto cached = std::make_unique<Cached>();
+  cached->obj = info->construct();
+  cached->type = info;
+  cached->type_code = type_code;
+  cached->resolved_vnum = resolved;
+  Status s = info->deserialize(Slice(bytes), db_, cached->obj);
+  if (!s.ok()) return s;
+  *out = cached.get();
+  cache_[key] = std::move(cached);
+  return Status::OK();
+}
+
+Status Transaction::MarkWrite(Oid oid, Cached** out) {
+  Cached* cached = nullptr;
+  ODE_RETURN_IF_ERROR(LoadObject(oid, kGenericVersion, &cached));
+  if (!cached->dirty && !cached->is_new && !cached->old_keys_captured) {
+    ODE_RETURN_IF_ERROR(db_->indexes().CaptureKeys(oid.cluster, cached->obj,
+                                                   &cached->old_index_keys));
+    cached->old_keys_captured = true;
+  }
+  cached->dirty = true;
+  *out = cached;
+  return Status::OK();
+}
+
+void Transaction::DropFromCache(Oid oid) {
+  auto it = cache_.lower_bound({oid.Pack(), 0});
+  while (it != cache_.end() && it->first.first == oid.Pack()) {
+    it = cache_.erase(it);
+  }
+}
+
+// --- Object operations --------------------------------------------------------
+
+Status Transaction::Delete(const RefBase& ref) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  if (ref.null()) return Status::InvalidArgument("null reference");
+  if (ref.is_specific()) {
+    // Paper §4: "Given a version pointer, pdelete deletes the specified
+    // version" (not the whole object).
+    return DeleteVersion(ref);
+  }
+  const Oid oid = ref.oid();
+  // Load for index-entry removal (pre-delete state).
+  Cached* cached = nullptr;
+  ODE_RETURN_IF_ERROR(LoadObject(oid, kGenericVersion, &cached));
+  ODE_RETURN_IF_ERROR(db_->indexes().OnErase(oid.cluster, oid, cached->obj));
+
+  // Remove persistent trigger activations on this object.
+  auto& activations = db_->catalog().triggers;
+  const size_t before = activations.size();
+  activations.erase(
+      std::remove_if(activations.begin(), activations.end(),
+                     [&](const CatalogData::TriggerActivation& a) {
+                       return a.cluster == oid.cluster && a.local == oid.local;
+                     }),
+      activations.end());
+  if (activations.size() != before) {
+    ODE_RETURN_IF_ERROR(db_->SaveCatalog());
+  }
+
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
+  ODE_RETURN_IF_ERROR(db_->store().Delete(root, oid.local));
+
+  // Invalidate every cached version of the object.
+  auto it = cache_.lower_bound({oid.Pack(), 0});
+  while (it != cache_.end() && it->first.first == oid.Pack()) {
+    it->second->deleted = true;
+    it->second->dirty = false;
+    it->second->is_new = false;
+    ++it;
+  }
+  return Status::OK();
+}
+
+Result<bool> Transaction::Exists(const RefBase& ref) {
+  if (ref.null()) return false;
+  auto head_it = cache_.find({ref.oid().Pack(), kGenericVersion});
+  if (head_it != cache_.end()) return !head_it->second->deleted;
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
+  ObjectTable::Entry entry;
+  Status s = db_->store().GetInfo(root, ref.oid().local, &entry);
+  if (s.IsNotFound()) return false;
+  ODE_RETURN_IF_ERROR(s);
+  return !entry.is_version();
+}
+
+// --- Versioning ------------------------------------------------------------------
+
+Result<uint32_t> Transaction::NewVersion(const RefBase& ref) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  if (ref.is_specific()) {
+    return Status::InvalidArgument("newversion takes a generic reference");
+  }
+  const Oid oid = ref.oid();
+  // Pending in-memory changes must reach the store before the snapshot.
+  auto it = cache_.find({oid.Pack(), kGenericVersion});
+  if (it != cache_.end()) {
+    if (it->second->deleted) return Status::NotFound("object was deleted");
+    if (it->second->dirty || it->second->is_new) {
+      ODE_RETURN_IF_ERROR(FlushObject(oid, *it->second));
+    }
+  }
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
+  uint32_t new_vnum = 0;
+  ODE_RETURN_IF_ERROR(db_->store().NewVersion(root, oid.local, &new_vnum));
+  if (it != cache_.end()) it->second->resolved_vnum = new_vnum;
+  return new_vnum;
+}
+
+Status Transaction::DeleteVersion(const RefBase& ref) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  if (!ref.is_specific()) {
+    return Status::InvalidArgument("delversion takes a version reference");
+  }
+  const Oid oid = ref.oid();
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
+
+  ObjectTable::Entry head;
+  ODE_RETURN_IF_ERROR(db_->store().GetInfo(root, oid.local, &head));
+  const bool deletes_current = ref.vnum() == head.vnum;
+
+  // Index pre-images: deleting the current version promotes older content,
+  // which is an update as far as secondary indexes are concerned.
+  std::vector<std::pair<std::string, std::string>> old_keys;
+  if (deletes_current) {
+    Cached* current = nullptr;
+    ODE_RETURN_IF_ERROR(LoadObject(oid, kGenericVersion, &current));
+    if (current->old_keys_captured) {
+      old_keys = current->old_index_keys;
+    } else {
+      ODE_RETURN_IF_ERROR(
+          db_->indexes().CaptureKeys(oid.cluster, current->obj, &old_keys));
+    }
+    if (current->dirty) {
+      ODE_RETURN_IF_ERROR(FlushObject(oid, *current));
+    }
+  } else {
+    auto head_it = cache_.find({oid.Pack(), kGenericVersion});
+    if (head_it != cache_.end()) {
+      if (head_it->second->deleted) return Status::NotFound("object deleted");
+      if (head_it->second->dirty) {
+        ODE_RETURN_IF_ERROR(FlushObject(oid, *head_it->second));
+      }
+    }
+  }
+
+  ODE_RETURN_IF_ERROR(db_->store().DeleteVersion(root, oid.local, ref.vnum()));
+  cache_.erase({oid.Pack(), ref.vnum()});
+
+  if (deletes_current) {
+    // Reload the promoted state and mark it dirty carrying the pre-delete
+    // index keys, so commit re-points the indexes at the promoted content.
+    cache_.erase({oid.Pack(), kGenericVersion});
+    Cached* promoted = nullptr;
+    ODE_RETURN_IF_ERROR(LoadObject(oid, kGenericVersion, &promoted));
+    promoted->dirty = true;
+    promoted->old_index_keys = std::move(old_keys);
+    promoted->old_keys_captured = true;
+  }
+  return Status::OK();
+}
+
+Status Transaction::RevertToVersion(const RefBase& ref, uint32_t vnum) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  if (ref.is_specific()) {
+    return Status::InvalidArgument("revert takes a generic reference");
+  }
+  // Write path: captures index pre-images and marks the object dirty, so
+  // commit flushes the reverted state and fixes index entries.
+  Cached* cached = nullptr;
+  ODE_RETURN_IF_ERROR(MarkWrite(ref.oid(), &cached));
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
+  std::string bytes;
+  uint32_t type_code = 0, resolved = 0;
+  ODE_RETURN_IF_ERROR(db_->store().Read(root, ref.oid().local, vnum, &bytes,
+                                        &type_code, &resolved));
+  // Record the derivation edge: the current content now stems from `vnum`
+  // (the version-tree extension, paper footnote 15).
+  ODE_RETURN_IF_ERROR(db_->store().SetDerivation(root, ref.oid().local, vnum));
+  // Deserialize the historical state into the cached (current) object.
+  return cached->type->deserialize(Slice(bytes), db_, cached->obj);
+}
+
+Result<uint32_t> Transaction::CurrentVnum(const RefBase& ref) {
+  auto it = cache_.find({ref.oid().Pack(), kGenericVersion});
+  if (it != cache_.end() && !it->second->deleted) {
+    return it->second->resolved_vnum;
+  }
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
+  ObjectTable::Entry entry;
+  ODE_RETURN_IF_ERROR(db_->store().GetInfo(root, ref.oid().local, &entry));
+  return entry.vnum;
+}
+
+Result<std::string> Transaction::DynamicTypeOf(const RefBase& ref) {
+  auto it = cache_.find({ref.oid().Pack(), kGenericVersion});
+  if (it != cache_.end() && !it->second->deleted) {
+    return it->second->type->name;
+  }
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
+  ObjectTable::Entry entry;
+  ODE_RETURN_IF_ERROR(db_->store().GetInfo(root, ref.oid().local, &entry));
+  return db_->TypeNameByCode(entry.type_code);
+}
+
+// --- Schema ------------------------------------------------------------------------
+
+Status Transaction::CreateClusterByName(const std::string& type_name) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  if (TypeRegistry::Global().Find(type_name) == nullptr) {
+    return Status::NotSupported("type not registered: " + type_name);
+  }
+  if (db_->catalog().FindClusterByType(type_name) != nullptr) {
+    return Status::AlreadyExists("cluster for " + type_name);
+  }
+  ODE_ASSIGN_OR_RETURN(uint32_t code, db_->EnsureTypeCode(type_name));
+  (void)code;
+  PageId root;
+  ODE_RETURN_IF_ERROR(db_->store().CreateTable(&root));
+  CatalogData::ClusterEntry entry;
+  entry.id = db_->catalog().next_cluster_id++;
+  entry.type_name = type_name;
+  entry.table_root = root;
+  db_->catalog().clusters.push_back(entry);
+  return db_->SaveCatalog();
+}
+
+Status Transaction::DropClusterByName(const std::string& type_name) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_ASSIGN_OR_RETURN(ClusterId cluster, db_->ClusterIdForName(type_name));
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(cluster));
+
+  // Indexes on the cluster go wholesale (no per-object maintenance needed).
+  std::vector<std::string> index_names;
+  for (const auto& index : db_->catalog().indexes) {
+    if (index.cluster == cluster) index_names.push_back(index.name);
+  }
+  for (const auto& name : index_names) {
+    ODE_RETURN_IF_ERROR(db_->indexes().DropIndex(name));
+  }
+
+  // Trigger activations on the cluster's objects.
+  auto& activations = db_->catalog().triggers;
+  activations.erase(
+      std::remove_if(activations.begin(), activations.end(),
+                     [&](const CatalogData::TriggerActivation& a) {
+                       return a.cluster == cluster;
+                     }),
+      activations.end());
+
+  // Storage, then the catalog entry.
+  ODE_RETURN_IF_ERROR(db_->store().DropTable(root));
+  auto& clusters = db_->catalog().clusters;
+  for (auto it = clusters.begin(); it != clusters.end(); ++it) {
+    if (it->id == cluster) {
+      clusters.erase(it);
+      break;
+    }
+  }
+  ODE_RETURN_IF_ERROR(db_->SaveCatalog());
+
+  // Invalidate cached objects of the dropped cluster.
+  for (auto& [key, cached] : cache_) {
+    if (Oid::Unpack(key.first).cluster == cluster) {
+      cached->deleted = true;
+      cached->dirty = false;
+      cached->is_new = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status Transaction::CreateIndexByName(const std::string& index_name,
+                                      const std::string& type_name,
+                                      IndexManager::Extractor extractor) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_ASSIGN_OR_RETURN(ClusterId cluster, db_->ClusterIdForName(type_name));
+  ODE_RETURN_IF_ERROR(
+      db_->indexes().CreateIndex(index_name, cluster, extractor));
+  // Backfill existing objects.
+  LocalOid at = 0;
+  while (true) {
+    bool found = false;
+    LocalOid local;
+    ODE_RETURN_IF_ERROR(NextInCluster(cluster, at, &local, &found));
+    if (!found) break;
+    const Oid oid{cluster, local};
+    Cached* cached = nullptr;
+    ODE_RETURN_IF_ERROR(LoadObject(oid, kGenericVersion, &cached));
+    ODE_RETURN_IF_ERROR(db_->indexes().AddEntry(
+        index_name, extractor(cached->obj), oid));
+    at = local + 1;
+  }
+  return Status::OK();
+}
+
+// --- Triggers ------------------------------------------------------------------------
+
+Result<uint64_t> Transaction::ActivateTriggerOn(const RefBase& ref,
+                                                const std::string& trigger_name,
+                                                std::vector<double> params,
+                                                bool perpetual) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_ASSIGN_OR_RETURN(bool exists, Exists(ref));
+  if (!exists) return Status::NotFound("object " + ref.oid().ToString());
+  ODE_ASSIGN_OR_RETURN(std::string dynamic_type, DynamicTypeOf(ref));
+  if (db_->triggers().Resolve(TypeRegistry::Global(), dynamic_type,
+                              trigger_name) == nullptr) {
+    return Status::NotFound("trigger definition '" + trigger_name +
+                            "' for class " + dynamic_type);
+  }
+  ODE_ASSIGN_OR_RETURN(uint64_t id, db_->NextTriggerId());
+  CatalogData::TriggerActivation activation;
+  activation.trigger_id = id;
+  activation.cluster = ref.oid().cluster;
+  activation.local = ref.oid().local;
+  activation.trigger_name = trigger_name;
+  activation.perpetual = perpetual;
+  activation.params = std::move(params);
+  db_->catalog().triggers.push_back(std::move(activation));
+  ODE_RETURN_IF_ERROR(db_->SaveCatalog());
+  return id;
+}
+
+Status Transaction::DeactivateTrigger(uint64_t trigger_id) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  auto& activations = db_->catalog().triggers;
+  for (auto it = activations.begin(); it != activations.end(); ++it) {
+    if (it->trigger_id == trigger_id) {
+      activations.erase(it);
+      return db_->SaveCatalog();
+    }
+  }
+  return Status::NotFound("trigger " + std::to_string(trigger_id));
+}
+
+Result<size_t> Transaction::DeactivateTriggersOn(
+    const RefBase& ref, const std::string& trigger_name) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  auto& activations = db_->catalog().triggers;
+  const size_t before = activations.size();
+  activations.erase(
+      std::remove_if(activations.begin(), activations.end(),
+                     [&](const CatalogData::TriggerActivation& a) {
+                       return a.cluster == ref.oid().cluster &&
+                              a.local == ref.oid().local &&
+                              a.trigger_name == trigger_name;
+                     }),
+      activations.end());
+  const size_t removed = before - activations.size();
+  if (removed > 0) {
+    ODE_RETURN_IF_ERROR(db_->SaveCatalog());
+  }
+  return removed;
+}
+
+size_t Transaction::ActiveTriggerCount(const RefBase& ref) const {
+  size_t count = 0;
+  for (const auto& a : db_->catalog().triggers) {
+    if (a.cluster == ref.oid().cluster && a.local == ref.oid().local) count++;
+  }
+  return count;
+}
+
+// --- Scan support -----------------------------------------------------------------------
+
+Status Transaction::NextInCluster(ClusterId cluster, LocalOid start,
+                                  LocalOid* local, bool* found) {
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(cluster));
+  return db_->store().NextHead(root, start, local, found);
+}
+
+// --- Commit path -------------------------------------------------------------------------
+
+Status Transaction::FlushObject(Oid oid, Cached& cached) {
+  std::string bytes;
+  cached.type->serialize(cached.obj, &bytes);
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
+  return db_->store().Update(root, oid.local, Slice(bytes));
+}
+
+Status Transaction::CheckConstraints() {
+  const auto& registry = TypeRegistry::Global();
+  for (auto& [key, cached] : cache_) {
+    if (key.second != kGenericVersion) continue;
+    if (cached->deleted || !(cached->dirty || cached->is_new)) continue;
+    ODE_RETURN_IF_ERROR(db_->constraints().Check(registry, cached->type->name,
+                                                 cached->obj));
+  }
+  return Status::OK();
+}
+
+Status Transaction::MaintainIndexes() {
+  for (auto& [key, cached] : cache_) {
+    if (key.second != kGenericVersion || cached->deleted) continue;
+    const Oid oid = Oid::Unpack(key.first);
+    if (cached->is_new) {
+      ODE_RETURN_IF_ERROR(
+          db_->indexes().OnInsert(oid.cluster, oid, cached->obj));
+    } else if (cached->dirty) {
+      ODE_RETURN_IF_ERROR(db_->indexes().OnUpdate(
+          oid.cluster, oid, cached->old_index_keys, cached->obj));
+    }
+  }
+  return Status::OK();
+}
+
+Status Transaction::EvaluateTriggers(std::vector<Database::Firing>* fired) {
+  fired->clear();
+  auto& activations = db_->catalog().triggers;
+  if (activations.empty()) return Status::OK();
+  const auto& registry = TypeRegistry::Global();
+
+  std::vector<uint64_t> deactivated;
+  for (const auto& activation : activations) {
+    const Oid oid{activation.cluster, activation.local};
+    auto it = cache_.find({oid.Pack(), kGenericVersion});
+    if (it == cache_.end()) continue;  // Object not touched this txn.
+    Cached& cached = *it->second;
+    if (cached.deleted || !(cached.dirty || cached.is_new)) continue;
+
+    const TriggerRegistry::Definition* def = db_->triggers().Resolve(
+        registry, cached.type->name, activation.trigger_name);
+    if (def == nullptr) {
+      ODE_LOG(kWarn) << "active trigger '" << activation.trigger_name
+                     << "' has no definition in this program; skipping";
+      continue;
+    }
+    void* as_def_type =
+        registry.Upcast(cached.obj, cached.type->name, def->type_name);
+    if (as_def_type == nullptr) continue;
+    if (!def->condition(as_def_type, activation.params)) continue;
+
+    fired->push_back(Database::Firing{def, activation.trigger_id, oid,
+                                      activation.params});
+    if (!activation.perpetual) {
+      deactivated.push_back(activation.trigger_id);
+    }
+  }
+  if (!deactivated.empty()) {
+    activations.erase(
+        std::remove_if(activations.begin(), activations.end(),
+                       [&](const CatalogData::TriggerActivation& a) {
+                         return std::find(deactivated.begin(),
+                                          deactivated.end(),
+                                          a.trigger_id) != deactivated.end();
+                       }),
+        activations.end());
+    ODE_RETURN_IF_ERROR(db_->SaveCatalog());
+  }
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  if (db_->options().check_constraints) {
+    Status s = CheckConstraints();
+    if (!s.ok()) {
+      ODE_RETURN_IF_ERROR(Abort());
+      return s;
+    }
+  }
+  // Flush the write set.
+  for (auto& [key, cached] : cache_) {
+    if (key.second != kGenericVersion || cached->deleted) continue;
+    if (cached->dirty || cached->is_new) {
+      ODE_RETURN_IF_ERROR(FlushObject(Oid::Unpack(key.first), *cached));
+    }
+  }
+  ODE_RETURN_IF_ERROR(MaintainIndexes());
+  std::vector<Database::Firing> fired;
+  ODE_RETURN_IF_ERROR(EvaluateTriggers(&fired));
+
+  ODE_RETURN_IF_ERROR(db_->engine().CommitTxn(txn_id_));
+  ODE_RETURN_IF_ERROR(CloseOut(/*aborted=*/false));
+
+  if (!fired.empty()) {
+    if (db_->options().run_triggers_on_commit) {
+      db_->ExecuteFirings(std::move(fired));
+    } else {
+      for (auto& f : fired) db_->pending_firings_.push_back(std::move(f));
+    }
+  }
+  return Status::OK();
+}
+
+Status Transaction::Abort() {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(db_->engine().AbortTxn(txn_id_));
+  ODE_RETURN_IF_ERROR(db_->ReloadCatalog());
+  return CloseOut(/*aborted=*/true);
+}
+
+}  // namespace ode

@@ -1,0 +1,26 @@
+#include "core/trigger.h"
+
+namespace ode {
+
+void TriggerRegistry::Define(Definition def) {
+  auto key = std::make_pair(def.type_name, def.trigger_name);
+  defs_[std::move(key)] = std::move(def);
+}
+
+const TriggerRegistry::Definition* TriggerRegistry::Resolve(
+    const TypeRegistry& registry, const std::string& dynamic_type,
+    const std::string& trigger_name) const {
+  auto it = defs_.find({dynamic_type, trigger_name});
+  if (it != defs_.end()) return &it->second;
+  const TypeInfo* info = registry.Find(dynamic_type);
+  if (info == nullptr) return nullptr;
+  for (const auto& link : info->bases) {
+    if (const Definition* def =
+            Resolve(registry, link.base_name, trigger_name)) {
+      return def;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ode

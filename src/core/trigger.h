@@ -1,0 +1,68 @@
+#ifndef ODE_CORE_TRIGGER_H_
+#define ODE_CORE_TRIGGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "objstore/object_id.h"
+#include "schema/type_registry.h"
+#include "util/status.h"
+
+namespace ode {
+
+class Transaction;
+
+/// Trigger machinery (paper §6).
+///
+/// Trigger *definitions* are class members in O++: a named (condition,
+/// action) pair, optionally `perpetual`. Definitions are code, registered at
+/// startup (Database::DefineTrigger). Trigger *activations* attach a
+/// definition to one object with arguments; they are database state and are
+/// persisted in the catalog, so they survive program runs.
+///
+/// Semantics implemented exactly as §6 specifies:
+///  * conditions are evaluated at end of transaction over the objects the
+///    transaction wrote;
+///  * a firing schedules the action as an independent transaction executed
+///    after the triggering transaction commits (weak coupling) — if the
+///    triggering transaction aborts, nothing fires;
+///  * once-only activations are deactivated by firing; perpetual ones stay
+///    active and fire again in any later transaction whose condition holds.
+class TriggerRegistry {
+ public:
+  /// Type-erased definition. `obj` points to an object of the class the
+  /// trigger was defined for (upcast applied by the caller).
+  struct Definition {
+    std::string type_name;
+    std::string trigger_name;
+    /// O++'s `perpetual` keyword on the definition: activations default to
+    /// perpetual (re-fire on every qualifying transaction) instead of
+    /// once-only.
+    bool perpetual_default = false;
+    std::function<bool(const void* obj, const std::vector<double>& params)>
+        condition;
+    std::function<Status(Transaction& txn, Oid oid,
+                         const std::vector<double>& params)>
+        action;
+  };
+
+  /// Registers a definition for (type, name). Overwrites silently (useful in
+  /// tests).
+  void Define(Definition def);
+
+  /// Finds the definition visible on `dynamic_type` under `trigger_name`:
+  /// the type's own definition or an inherited one (nearest base wins).
+  const Definition* Resolve(const TypeRegistry& registry,
+                            const std::string& dynamic_type,
+                            const std::string& trigger_name) const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, Definition> defs_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_CORE_TRIGGER_H_

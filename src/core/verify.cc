@@ -1,0 +1,376 @@
+#include "core/verify.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "objstore/object_table.h"
+#include "query/btree.h"
+#include "query/index_key.h"
+#include "storage/overflow.h"
+#include "util/coding.h"
+
+namespace ode {
+
+namespace {
+
+/// Tracks which structure claims each page; reports double-claims.
+class PageClaims {
+ public:
+  explicit PageClaims(VerifyReport* report) : report_(report) {}
+
+  void Claim(PageId page, const std::string& owner) {
+    if (page == kInvalidPageId) {
+      report_->problems.push_back(owner + " references an invalid page id");
+      return;
+    }
+    auto [it, inserted] = owners_.emplace(page, owner);
+    if (!inserted) {
+      report_->problems.push_back("page " + std::to_string(page) +
+                                  " claimed by both '" + it->second +
+                                  "' and '" + owner + "'");
+    }
+  }
+
+  bool Claimed(PageId page) const { return owners_.count(page) > 0; }
+  size_t count() const { return owners_.size(); }
+
+ private:
+  VerifyReport* report_;
+  std::unordered_map<PageId, std::string> owners_;
+};
+
+void Problem(VerifyReport* report, const std::string& text) {
+  report->problems.push_back(text);
+}
+
+Status VerifyFreeList(StorageEngine& engine, uint32_t page_count,
+                      PageClaims* claims, VerifyReport* report) {
+  ODE_ASSIGN_OR_RETURN(uint32_t head,
+                       engine.ReadSuperU32(SuperblockLayout::kFreeListOffset));
+  std::unordered_set<PageId> seen;
+  PageId page = head;
+  while (page != kInvalidPageId) {
+    if (page >= page_count) {
+      Problem(report, "free list contains out-of-range page " +
+                          std::to_string(page));
+      break;
+    }
+    if (!seen.insert(page).second) {
+      Problem(report, "free list cycle at page " + std::to_string(page));
+      break;
+    }
+    claims->Claim(page, "free list");
+    report->free_pages++;
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine.GetPageRead(page, &handle));
+    page = DecodeFixed32(handle.data());
+  }
+  return Status::OK();
+}
+
+Status VerifyCatalogShape(const CatalogData& catalog, VerifyReport* report) {
+  std::set<uint32_t> codes;
+  std::set<std::string> type_names;
+  for (const auto& type : catalog.types) {
+    if (!codes.insert(type.code).second) {
+      Problem(report, "duplicate type code " + std::to_string(type.code));
+    }
+    if (!type_names.insert(type.name).second) {
+      Problem(report, "duplicate type name " + type.name);
+    }
+  }
+  std::set<ClusterId> cluster_ids;
+  std::set<PageId> roots;
+  for (const auto& cluster : catalog.clusters) {
+    if (!cluster_ids.insert(cluster.id).second) {
+      Problem(report,
+              "duplicate cluster id " + std::to_string(cluster.id));
+    }
+    if (!roots.insert(cluster.table_root).second) {
+      Problem(report, "clusters share table root page " +
+                          std::to_string(cluster.table_root));
+    }
+    if (catalog.FindType(cluster.type_name) == nullptr) {
+      Problem(report, "cluster type '" + cluster.type_name +
+                          "' has no type code in the catalog");
+    }
+  }
+  std::set<std::string> index_names;
+  for (const auto& index : catalog.indexes) {
+    if (!index_names.insert(index.name).second) {
+      Problem(report, "duplicate index name " + index.name);
+    }
+    if (cluster_ids.count(index.cluster) == 0) {
+      Problem(report, "index " + index.name + " references unknown cluster " +
+                          std::to_string(index.cluster));
+    }
+  }
+  return Status::OK();
+}
+
+struct ClusterCensus {
+  /// Live head object ids (for index/trigger cross-checks).
+  std::unordered_set<LocalOid> heads;
+};
+
+bool CatalogHasCode(Database& db, uint32_t code) {
+  return db.catalog().FindTypeByCode(code) != nullptr;
+}
+
+Status VerifyCluster(Database& db, const CatalogData::ClusterEntry& cluster,
+                     PageClaims* claims, ClusterCensus* census,
+                     VerifyReport* report) {
+  StorageEngine& engine = db.engine();
+  ObjectTable table(&engine, cluster.table_root);
+  const std::string tag = "cluster " + cluster.type_name;
+
+  // Structure pages.
+  std::vector<PageId> root_pages, entry_pages;
+  ODE_RETURN_IF_ERROR(table.ListStructurePages(&root_pages, &entry_pages));
+  for (PageId p : root_pages) claims->Claim(p, tag + " table directory");
+  for (PageId p : entry_pages) claims->Claim(p, tag + " entry page");
+
+  ODE_ASSIGN_OR_RETURN(uint32_t num_entries, table.NumEntries());
+  std::unordered_set<PageId> data_pages;
+  std::unordered_set<LocalOid> version_entries;
+
+  // First pass: every allocated entry's record location, plus chains.
+  for (LocalOid i = 0; i < num_entries; i++) {
+    ObjectTable::Entry entry;
+    ODE_RETURN_IF_ERROR(table.GetEntry(i, &entry));
+    if (!entry.allocated()) continue;
+    if (entry.is_version()) {
+      version_entries.insert(i);
+      report->versions++;
+    } else {
+      census->heads.insert(i);
+      report->objects++;
+    }
+    if (entry.overflow()) {
+      std::vector<PageId> chain;
+      Status s = overflow::ListChainPages(&engine, entry.page, &chain);
+      if (!s.ok()) {
+        Problem(report, tag + " object " + std::to_string(i) +
+                            ": broken overflow chain: " + s.ToString());
+        continue;
+      }
+      for (PageId p : chain) {
+        claims->Claim(p, tag + " overflow of object " + std::to_string(i));
+      }
+    } else {
+      data_pages.insert(entry.page);
+    }
+    if (!CatalogHasCode(db, entry.type_code)) {
+      Problem(report, tag + " object " + std::to_string(i) +
+                          " has unknown type code " +
+                          std::to_string(entry.type_code));
+    }
+  }
+  for (PageId p : data_pages) claims->Claim(p, tag + " data page");
+  ODE_ASSIGN_OR_RETURN(PageId current, table.GetCurrentDataPage());
+  if (current != kInvalidPageId && data_pages.count(current) == 0) {
+    claims->Claim(current, tag + " current data page");
+  }
+
+  // Second pass: version chains from each head.
+  for (LocalOid head : census->heads) {
+    ObjectTable::Entry entry;
+    ODE_RETURN_IF_ERROR(table.GetEntry(head, &entry));
+    uint32_t prev_vnum = entry.vnum + 1;  // sentinel: head vnum must be less
+    LocalOid at = head;
+    std::unordered_set<LocalOid> seen;
+    while (true) {
+      if (!seen.insert(at).second) {
+        Problem(report, tag + " object " + std::to_string(head) +
+                            ": version chain cycle at entry " +
+                            std::to_string(at));
+        break;
+      }
+      if (entry.vnum >= prev_vnum) {
+        Problem(report, tag + " object " + std::to_string(head) +
+                            ": version numbers not strictly decreasing");
+        break;
+      }
+      prev_vnum = entry.vnum;
+      // The record itself must be readable.
+      std::string bytes;
+      uint32_t type_code = 0, resolved = 0;
+      Status s = db.store().Read(cluster.table_root, head, entry.vnum, &bytes,
+                                 &type_code, &resolved);
+      if (!s.ok()) {
+        Problem(report, tag + " object " + std::to_string(head) + " v" +
+                            std::to_string(entry.vnum) +
+                            ": unreadable record: " + s.ToString());
+      }
+      if (entry.prev_version == kInvalidLocalOid) break;
+      at = entry.prev_version;
+      ODE_RETURN_IF_ERROR(table.GetEntry(at, &entry));
+      if (!entry.allocated() || !entry.is_version()) {
+        Problem(report, tag + " object " + std::to_string(head) +
+                            ": chain links to a non-version entry " +
+                            std::to_string(at));
+        break;
+      }
+      version_entries.erase(at);
+    }
+  }
+  for (LocalOid orphan : version_entries) {
+    Problem(report, tag + ": version entry " + std::to_string(orphan) +
+                        " not reachable from any head");
+  }
+
+  // Free-entry list.
+  ODE_ASSIGN_OR_RETURN(LocalOid free_head, table.GetFreeEntryHead());
+  std::unordered_set<LocalOid> seen_free;
+  LocalOid at = free_head;
+  while (at != kInvalidLocalOid) {
+    if (at >= num_entries) {
+      Problem(report, tag + ": free-entry list index out of range");
+      break;
+    }
+    if (!seen_free.insert(at).second) {
+      Problem(report, tag + ": free-entry list cycle");
+      break;
+    }
+    ObjectTable::Entry entry;
+    ODE_RETURN_IF_ERROR(table.GetEntry(at, &entry));
+    if (entry.allocated()) {
+      Problem(report, tag + ": allocated entry " + std::to_string(at) +
+                          " on the free-entry list");
+      break;
+    }
+    at = entry.page;  // next-free link
+  }
+  return Status::OK();
+}
+
+Status VerifyIndex(Database& db, const CatalogData::IndexEntry& index,
+                   const std::unordered_map<ClusterId, ClusterCensus>& census,
+                   PageClaims* claims, VerifyReport* report) {
+  BTree tree(&db.engine(), index.btree_root);
+  std::vector<PageId> pages;
+  Status s = tree.ListPages(&pages);
+  if (!s.ok()) {
+    Problem(report, "index " + index.name + ": " + s.ToString());
+    return Status::OK();
+  }
+  for (PageId p : pages) claims->Claim(p, "index " + index.name);
+
+  auto cluster_census = census.find(index.cluster);
+  BTree::Iterator it;
+  ODE_RETURN_IF_ERROR(tree.SeekFirst(&it));
+  std::string prev_key;
+  bool first = true;
+  while (it.Valid()) {
+    const std::string key = it.key().ToString();
+    if (!first && !(prev_key < key)) {
+      Problem(report,
+              "index " + index.name + ": keys not strictly increasing");
+      break;
+    }
+    first = false;
+    prev_key = key;
+    const Oid oid = index_key::OidSuffix(Slice(key));
+    if (oid.cluster != index.cluster) {
+      Problem(report, "index " + index.name + ": entry for foreign cluster " +
+                          std::to_string(oid.cluster));
+    } else if (cluster_census == census.end() ||
+               cluster_census->second.heads.count(oid.local) == 0) {
+      Problem(report, "index " + index.name + ": dangling entry for object " +
+                          std::to_string(oid.local));
+    }
+    report->index_entries++;
+    ODE_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string VerifyReport::ToString() const {
+  std::string out = "pages=" + std::to_string(pages) +
+                    " free=" + std::to_string(free_pages) +
+                    " clusters=" + std::to_string(clusters) +
+                    " objects=" + std::to_string(objects) +
+                    " versions=" + std::to_string(versions) +
+                    " indexes=" + std::to_string(indexes) +
+                    " index_entries=" + std::to_string(index_entries) +
+                    " activations=" + std::to_string(trigger_activations);
+  if (problems.empty()) {
+    out += "\nOK";
+  } else {
+    out += "\n" + std::to_string(problems.size()) + " problem(s):";
+    for (const auto& p : problems) out += "\n  - " + p;
+  }
+  return out;
+}
+
+Status VerifyDatabase(Database& db, VerifyReport* report) {
+  *report = VerifyReport();
+  StorageEngine& engine = db.engine();
+  const CatalogData& catalog = db.catalog();
+
+  ODE_ASSIGN_OR_RETURN(
+      uint32_t page_count,
+      engine.ReadSuperU32(SuperblockLayout::kPageCountOffset));
+  report->pages = page_count;
+
+  PageClaims claims(report);
+  claims.Claim(kSuperblockPageId, "superblock");
+
+  ODE_RETURN_IF_ERROR(VerifyCatalogShape(catalog, report));
+
+  // Catalog blob chain.
+  ODE_ASSIGN_OR_RETURN(
+      uint32_t catalog_root,
+      engine.ReadSuperU32(SuperblockLayout::kCatalogRootOffset));
+  if (catalog_root != kInvalidPageId) {
+    std::vector<PageId> chain;
+    Status s = overflow::ListChainPages(&engine, catalog_root, &chain);
+    if (!s.ok()) {
+      Problem(report, "catalog chain: " + s.ToString());
+    } else {
+      for (PageId p : chain) claims.Claim(p, "catalog");
+    }
+  }
+
+  ODE_RETURN_IF_ERROR(VerifyFreeList(engine, page_count, &claims, report));
+
+  std::unordered_map<ClusterId, ClusterCensus> census;
+  for (const auto& cluster : catalog.clusters) {
+    report->clusters++;
+    ODE_RETURN_IF_ERROR(
+        VerifyCluster(db, cluster, &claims, &census[cluster.id], report));
+  }
+
+  for (const auto& index : catalog.indexes) {
+    report->indexes++;
+    ODE_RETURN_IF_ERROR(VerifyIndex(db, index, census, &claims, report));
+  }
+
+  // Trigger activations reference live objects.
+  for (const auto& activation : catalog.triggers) {
+    report->trigger_activations++;
+    auto it = census.find(activation.cluster);
+    if (it == census.end() || it->second.heads.count(activation.local) == 0) {
+      Problem(report,
+              "trigger activation " + std::to_string(activation.trigger_id) +
+                  " references missing object (" +
+                  std::to_string(activation.cluster) + ":" +
+                  std::to_string(activation.local) + ")");
+    }
+  }
+
+  // Ownership completeness: every page below the high-water mark must be
+  // claimed exactly once (double-claims were reported as they occurred).
+  for (PageId p = 0; p < page_count; p++) {
+    if (!claims.Claimed(p)) {
+      Problem(report, "page " + std::to_string(p) +
+                          " is not referenced by any structure (leaked)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ode

@@ -1,0 +1,51 @@
+#ifndef ODE_CORE_VERIFY_H_
+#define ODE_CORE_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace ode {
+
+/// Result of an integrity check. `problems` is empty for a healthy
+/// database; counters summarize what was visited.
+struct VerifyReport {
+  uint64_t pages = 0;
+  uint64_t free_pages = 0;
+  uint64_t clusters = 0;
+  uint64_t objects = 0;
+  uint64_t versions = 0;  ///< Old (non-head) versions.
+  uint64_t indexes = 0;
+  uint64_t index_entries = 0;
+  uint64_t trigger_activations = 0;
+  std::vector<std::string> problems;
+
+  bool ok() const { return problems.empty(); }
+  std::string ToString() const;
+};
+
+/// Verifies the structural invariants documented in docs/STORAGE.md:
+///
+///  1. catalog sanity: unique type codes / cluster ids, every cluster's type
+///     has a code, table roots distinct;
+///  2. free-page list: acyclic, in-range, no page claimed elsewhere;
+///  3. object tables: allocated heads have readable records; version chains
+///     have strictly decreasing version numbers and end cleanly; free-entry
+///     lists are acyclic and point at unallocated entries;
+///  4. B+trees: keys strictly increasing along the leaf chain; every entry's
+///     oid refers to a live head object of the indexed cluster;
+///  5. trigger activations reference live objects;
+///  6. page ownership: every page below the high-water mark is claimed by
+///     exactly one owner (superblock, catalog chain, table directory/entry
+///     pages, record data pages, overflow chains, B+tree nodes, or the free
+///     list) — double-claims and leaked (unreferenced) pages are reported.
+///
+/// Read-only; requires no open transaction. Structural damage is reported
+/// in `report->problems` (the function itself only fails on I/O errors).
+Status VerifyDatabase(Database& db, VerifyReport* report);
+
+}  // namespace ode
+
+#endif  // ODE_CORE_VERIFY_H_

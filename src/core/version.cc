@@ -1,0 +1,24 @@
+#include "core/version.h"
+
+namespace ode {
+
+Status ListVersions(Transaction& txn, const RefBase& ref,
+                    std::vector<uint32_t>* vnums) {
+  Database& db = txn.db();
+  ODE_ASSIGN_OR_RETURN(PageId root, db.TableRootOf(ref.oid().cluster));
+  return db.store().ListVersions(root, ref.oid().local, vnums);
+}
+
+Status ListVersionTree(Transaction& txn, const RefBase& ref,
+                       std::vector<std::pair<uint32_t, uint32_t>>* edges) {
+  Database& db = txn.db();
+  ODE_ASSIGN_OR_RETURN(PageId root, db.TableRootOf(ref.oid().cluster));
+  return db.store().ListVersionTree(root, ref.oid().local, edges);
+}
+
+Result<uint32_t> VNum(Transaction& txn, const RefBase& ref) {
+  if (ref.is_specific()) return ref.vnum();
+  return txn.CurrentVnum(ref);
+}
+
+}  // namespace ode

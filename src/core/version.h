@@ -1,0 +1,114 @@
+#ifndef ODE_CORE_VERSION_H_
+#define ODE_CORE_VERSION_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/transaction.h"
+
+namespace ode {
+
+/// Linear versioning helpers (paper §4). The primitive operations live on
+/// Transaction (NewVersion / DeleteVersion / CurrentVnum); these free
+/// functions provide the paper's navigation vocabulary over references:
+///
+///   generic reference  — Ref with vnum() == kGenericVersion; always the
+///                        current version;
+///   specific reference — Ref pinned to one version number.
+
+/// Existing version numbers of the object, ascending.
+Status ListVersions(Transaction& txn, const RefBase& ref,
+                    std::vector<uint32_t>* vnums);
+
+/// Specific reference to version `vnum` (validated to exist).
+template <typename T>
+Result<Ref<T>> VersionRef(Transaction& txn, const Ref<T>& ref, uint32_t vnum) {
+  std::vector<uint32_t> vnums;
+  ODE_RETURN_IF_ERROR(ListVersions(txn, ref, &vnums));
+  for (uint32_t v : vnums) {
+    if (v == vnum) return Ref<T>(ref.db(), ref.oid(), vnum);
+  }
+  return Status::NotFound("version " + std::to_string(vnum));
+}
+
+/// Generic reference (the current version) — `vlatest`.
+template <typename T>
+Ref<T> VLatest(const Ref<T>& ref) {
+  return Ref<T>(ref.db(), ref.oid(), kGenericVersion);
+}
+
+/// Specific reference to the oldest existing version — `vfirst`.
+template <typename T>
+Result<Ref<T>> VFirst(Transaction& txn, const Ref<T>& ref) {
+  std::vector<uint32_t> vnums;
+  ODE_RETURN_IF_ERROR(ListVersions(txn, ref, &vnums));
+  return Ref<T>(ref.db(), ref.oid(), vnums.front());
+}
+
+/// The version preceding `ref`'s (resolving a generic ref to the current
+/// version first) — `vprev`. NotFound at the oldest version.
+template <typename T>
+Result<Ref<T>> VPrev(Transaction& txn, const Ref<T>& ref) {
+  uint32_t at = ref.vnum();
+  if (at == kGenericVersion) {
+    ODE_ASSIGN_OR_RETURN(at, txn.CurrentVnum(ref));
+  }
+  std::vector<uint32_t> vnums;
+  ODE_RETURN_IF_ERROR(ListVersions(txn, ref, &vnums));
+  const uint32_t* best = nullptr;
+  for (const uint32_t& v : vnums) {
+    if (v < at && (best == nullptr || v > *best)) best = &v;
+  }
+  if (best == nullptr) return Status::NotFound("no previous version");
+  return Ref<T>(ref.db(), ref.oid(), *best);
+}
+
+/// The version following `ref`'s — `vnext`. NotFound at the current version.
+template <typename T>
+Result<Ref<T>> VNext(Transaction& txn, const Ref<T>& ref) {
+  if (!ref.is_specific()) return Status::NotFound("no next version");
+  std::vector<uint32_t> vnums;
+  ODE_RETURN_IF_ERROR(ListVersions(txn, ref, &vnums));
+  const uint32_t* best = nullptr;
+  for (const uint32_t& v : vnums) {
+    if (v > ref.vnum() && (best == nullptr || v < *best)) best = &v;
+  }
+  if (best == nullptr) return Status::NotFound("no next version");
+  return Ref<T>(ref.db(), ref.oid(), *best);
+}
+
+/// The version number a reference denotes (`vnum`): the pinned version for
+/// specific refs, the current version for generic refs.
+Result<uint32_t> VNum(Transaction& txn, const RefBase& ref);
+
+/// The version-derivation tree (paper footnote 15 / reference [4]):
+/// (vnum, parent_vnum) pairs, ascending by vnum; parent
+/// ObjectTable::kNoParentVersion marks the root. Linear histories produce a
+/// path; RevertToVersion creates branches.
+Status ListVersionTree(Transaction& txn, const RefBase& ref,
+                       std::vector<std::pair<uint32_t, uint32_t>>* edges);
+
+/// The version `ref`'s content derives from; NotFound at a tree root.
+template <typename T>
+Result<Ref<T>> VParent(Transaction& txn, const Ref<T>& ref) {
+  uint32_t at = ref.vnum();
+  if (at == kGenericVersion) {
+    ODE_ASSIGN_OR_RETURN(at, txn.CurrentVnum(ref));
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  ODE_RETURN_IF_ERROR(ListVersionTree(txn, ref, &edges));
+  for (const auto& [vnum, parent] : edges) {
+    if (vnum == at) {
+      if (parent == ObjectTable::kNoParentVersion) {
+        return Status::NotFound("version " + std::to_string(at) +
+                                " is a derivation root");
+      }
+      return Ref<T>(ref.db(), ref.oid(), parent);
+    }
+  }
+  return Status::NotFound("version " + std::to_string(at));
+}
+
+}  // namespace ode
+
+#endif  // ODE_CORE_VERSION_H_

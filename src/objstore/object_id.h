@@ -1,0 +1,63 @@
+#ifndef ODE_OBJSTORE_OBJECT_ID_H_
+#define ODE_OBJSTORE_OBJECT_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ode {
+
+/// Identifies a cluster (type extent, paper §2.5).
+using ClusterId = uint32_t;
+
+/// Identifies an object within its cluster's object table.
+using LocalOid = uint32_t;
+
+inline constexpr ClusterId kInvalidClusterId = 0xFFFFFFFFu;
+inline constexpr LocalOid kInvalidLocalOid = 0xFFFFFFFFu;
+
+/// Requests the current version of an object (a "generic" reference in the
+/// paper's terms, §4). Specific versions are 0-based version numbers.
+inline constexpr uint32_t kGenericVersion = 0xFFFFFFFFu;
+
+/// A database-wide object identifier: the paper's "object id" that doubles
+/// as a pointer to a persistent object (§2).
+struct Oid {
+  ClusterId cluster = kInvalidClusterId;
+  LocalOid local = kInvalidLocalOid;
+
+  bool valid() const { return cluster != kInvalidClusterId; }
+
+  friend bool operator==(const Oid& a, const Oid& b) {
+    return a.cluster == b.cluster && a.local == b.local;
+  }
+  friend bool operator!=(const Oid& a, const Oid& b) { return !(a == b); }
+  friend bool operator<(const Oid& a, const Oid& b) {
+    return a.cluster != b.cluster ? a.cluster < b.cluster : a.local < b.local;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(cluster) + ":" + std::to_string(local) + ")";
+  }
+
+  /// Packs into a single 64-bit value (used as index payloads).
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(cluster) << 32) | local;
+  }
+  static Oid Unpack(uint64_t packed) {
+    return Oid{static_cast<ClusterId>(packed >> 32),
+               static_cast<LocalOid>(packed & 0xFFFFFFFFu)};
+  }
+};
+
+inline constexpr Oid kInvalidOid{};
+
+struct OidHash {
+  size_t operator()(const Oid& oid) const {
+    return std::hash<uint64_t>()(oid.Pack());
+  }
+};
+
+}  // namespace ode
+
+#endif  // ODE_OBJSTORE_OBJECT_ID_H_

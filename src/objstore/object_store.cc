@@ -1,0 +1,376 @@
+#include "objstore/object_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "storage/overflow.h"
+#include "storage/slotted_page.h"
+
+namespace ode {
+
+Status ObjectStore::CreateTable(PageId* table_root) {
+  return ObjectTable::Create(engine_, table_root);
+}
+
+Status ObjectStore::DropTable(PageId table_root) {
+  // Delete every head (frees records and version chains).
+  LocalOid at = 0;
+  while (true) {
+    LocalOid local;
+    bool found = false;
+    ODE_RETURN_IF_ERROR(NextHead(table_root, at, &local, &found));
+    if (!found) break;
+    ODE_RETURN_IF_ERROR(Delete(table_root, local));
+    at = local + 1;
+  }
+  // The current insert page survives per-record deletion; release it.
+  ObjectTable table(engine_, table_root);
+  ODE_ASSIGN_OR_RETURN(PageId current, table.GetCurrentDataPage());
+  if (current != kInvalidPageId) {
+    ODE_RETURN_IF_ERROR(engine_->FreePage(current));
+  }
+  return table.Drop();
+}
+
+Status ObjectStore::WriteRecord(ObjectTable* table, const Slice& data,
+                                ObjectTable::Entry* entry) {
+  if (data.size() > kInlineRecordMax) {
+    PageId first;
+    ODE_RETURN_IF_ERROR(overflow::WriteChain(engine_, data, &first));
+    entry->page = first;
+    entry->slot = 0;
+    entry->flags |= ObjectTable::kFlagOverflow;
+    return Status::OK();
+  }
+  entry->flags &= static_cast<uint16_t>(~ObjectTable::kFlagOverflow);
+  // Try the cluster's current insert page.
+  ODE_ASSIGN_OR_RETURN(PageId current, table->GetCurrentDataPage());
+  if (current != kInvalidPageId) {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageWrite(current, &handle));
+    uint16_t slot;
+    if (SlottedPage::Insert(handle.mutable_data(), data, &slot)) {
+      entry->page = current;
+      entry->slot = slot;
+      return Status::OK();
+    }
+  }
+  // Start a fresh data page.
+  PageId fresh;
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->AllocPage(&fresh, &handle));
+  SlottedPage::Init(handle.mutable_data(), PageType::kSlotted, 0);
+  uint16_t slot;
+  if (!SlottedPage::Insert(handle.mutable_data(), data, &slot)) {
+    return Status::Corruption("record does not fit an empty page");
+  }
+  handle.Release();
+  ODE_RETURN_IF_ERROR(table->SetCurrentDataPage(fresh));
+  entry->page = fresh;
+  entry->slot = slot;
+  return Status::OK();
+}
+
+Status ObjectStore::FreeRecord(ObjectTable* table,
+                               const ObjectTable::Entry& entry) {
+  if (entry.overflow()) {
+    return overflow::FreeChain(engine_, entry.page);
+  }
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageWrite(entry.page, &handle));
+  SlottedPage::Delete(handle.mutable_data(), entry.slot);
+  // Reclaim fully-empty pages (but keep the current insert target).
+  if (SlottedPage::SlotCount(handle.data()) == 0) {
+    ODE_ASSIGN_OR_RETURN(PageId current, table->GetCurrentDataPage());
+    if (entry.page != current) {
+      handle.Release();
+      return engine_->FreePage(entry.page);
+    }
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::ReadRecord(const ObjectTable::Entry& entry,
+                               std::string* data) const {
+  if (entry.overflow()) {
+    return overflow::ReadChain(engine_, entry.page, data);
+  }
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageRead(entry.page, &handle));
+  Slice record;
+  if (!SlottedPage::Read(handle.data(), entry.slot, &record)) {
+    return Status::Corruption("missing record at page " +
+                              std::to_string(entry.page) + " slot " +
+                              std::to_string(entry.slot));
+  }
+  data->assign(record.data(), record.size());
+  return Status::OK();
+}
+
+Status ObjectStore::Insert(PageId table_root, uint32_t type_code,
+                           const Slice& data, LocalOid* local) {
+  ObjectTable table(engine_, table_root);
+  ODE_RETURN_IF_ERROR(table.AllocEntry(local));
+  ObjectTable::Entry entry;
+  entry.flags = ObjectTable::kFlagAllocated;
+  entry.type_code = type_code;
+  entry.prev_version = kInvalidLocalOid;
+  entry.vnum = 0;
+  Status s = WriteRecord(&table, data, &entry);
+  if (!s.ok()) {
+    (void)table.FreeEntry(*local);
+    return s;
+  }
+  return table.SetEntry(*local, entry);
+}
+
+Status ObjectStore::Read(PageId table_root, LocalOid local, uint32_t vnum,
+                         std::string* data, uint32_t* type_code,
+                         uint32_t* resolved_vnum) const {
+  ObjectTable table(engine_, table_root);
+  ObjectTable::Entry entry;
+  ODE_RETURN_IF_ERROR(table.GetEntry(local, &entry));
+  if (!entry.allocated() || entry.is_version()) {
+    return Status::NotFound("object " + std::to_string(local));
+  }
+  if (vnum != kGenericVersion && vnum > entry.vnum) {
+    return Status::NotFound("version " + std::to_string(vnum) +
+                            " of object " + std::to_string(local));
+  }
+  // Walk the version chain to the requested version.
+  LocalOid at = local;
+  while (vnum != kGenericVersion && entry.vnum != vnum) {
+    at = entry.prev_version;
+    if (at == kInvalidLocalOid) {
+      return Status::NotFound("version " + std::to_string(vnum) +
+                              " of object " + std::to_string(local) +
+                              " (deleted)");
+    }
+    ODE_RETURN_IF_ERROR(table.GetEntry(at, &entry));
+    if (entry.vnum < vnum && vnum != kGenericVersion) {
+      return Status::NotFound("version " + std::to_string(vnum) +
+                              " of object " + std::to_string(local) +
+                              " (deleted)");
+    }
+  }
+  if (type_code != nullptr) *type_code = entry.type_code;
+  if (resolved_vnum != nullptr) *resolved_vnum = entry.vnum;
+  return ReadRecord(entry, data);
+}
+
+Status ObjectStore::Update(PageId table_root, LocalOid local,
+                           const Slice& data) {
+  ObjectTable table(engine_, table_root);
+  ObjectTable::Entry entry;
+  ODE_RETURN_IF_ERROR(table.GetEntry(local, &entry));
+  if (!entry.allocated() || entry.is_version()) {
+    return Status::NotFound("object " + std::to_string(local));
+  }
+  const bool was_overflow = entry.overflow();
+  const bool now_overflow = data.size() > kInlineRecordMax;
+  if (!was_overflow && !now_overflow) {
+    // Try updating in place on the same page.
+    const PageId old_page = entry.page;
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageWrite(old_page, &handle));
+    if (SlottedPage::Update(handle.mutable_data(), entry.slot, data)) {
+      return Status::OK();
+    }
+    // No room: the slot was freed by the failed update; relocate.
+    const bool old_page_empty = SlottedPage::SlotCount(handle.data()) == 0;
+    handle.Release();
+    ODE_RETURN_IF_ERROR(WriteRecord(&table, data, &entry));
+    ODE_RETURN_IF_ERROR(table.SetEntry(local, entry));
+    // Reclaim the old page if the eviction emptied it (and nothing else
+    // still uses it).
+    if (old_page_empty && entry.page != old_page) {
+      ODE_ASSIGN_OR_RETURN(PageId current, table.GetCurrentDataPage());
+      if (old_page != current) {
+        ODE_RETURN_IF_ERROR(engine_->FreePage(old_page));
+      }
+    }
+    return Status::OK();
+  }
+  // Representation change or overflow rewrite: free old, write new.
+  ODE_RETURN_IF_ERROR(FreeRecord(&table, entry));
+  ODE_RETURN_IF_ERROR(WriteRecord(&table, data, &entry));
+  return table.SetEntry(local, entry);
+}
+
+Status ObjectStore::Delete(PageId table_root, LocalOid local) {
+  ObjectTable table(engine_, table_root);
+  ObjectTable::Entry entry;
+  ODE_RETURN_IF_ERROR(table.GetEntry(local, &entry));
+  if (!entry.allocated() || entry.is_version()) {
+    return Status::NotFound("object " + std::to_string(local));
+  }
+  // Free the whole version chain.
+  LocalOid at = local;
+  while (true) {
+    const LocalOid prev = entry.prev_version;
+    ODE_RETURN_IF_ERROR(FreeRecord(&table, entry));
+    ODE_RETURN_IF_ERROR(table.FreeEntry(at));
+    if (prev == kInvalidLocalOid) break;
+    at = prev;
+    ODE_RETURN_IF_ERROR(table.GetEntry(at, &entry));
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::NewVersion(PageId table_root, LocalOid local,
+                               uint32_t* new_vnum) {
+  ObjectTable table(engine_, table_root);
+  ObjectTable::Entry head;
+  ODE_RETURN_IF_ERROR(table.GetEntry(local, &head));
+  if (!head.allocated() || head.is_version()) {
+    return Status::NotFound("object " + std::to_string(local));
+  }
+  // Freeze the current record under a new (non-head) entry.
+  LocalOid frozen;
+  ODE_RETURN_IF_ERROR(table.AllocEntry(&frozen));
+  ObjectTable::Entry frozen_entry = head;
+  frozen_entry.flags |= ObjectTable::kFlagVersion;
+  ODE_RETURN_IF_ERROR(table.SetEntry(frozen, frozen_entry));
+  // Give the head a fresh copy of the record for the new current version.
+  std::string data;
+  ODE_RETURN_IF_ERROR(ReadRecord(head, &data));
+  ObjectTable::Entry new_head = head;
+  new_head.prev_version = frozen;
+  new_head.vnum = head.vnum + 1;
+  // Derivation: the new current's content comes from the version just
+  // frozen (the frozen entry keeps the parent it already had).
+  new_head.parent_vnum = head.vnum;
+  ODE_RETURN_IF_ERROR(WriteRecord(&table, data, &new_head));
+  ODE_RETURN_IF_ERROR(table.SetEntry(local, new_head));
+  if (new_vnum != nullptr) *new_vnum = new_head.vnum;
+  return Status::OK();
+}
+
+Status ObjectStore::DeleteVersion(PageId table_root, LocalOid local,
+                                  uint32_t vnum) {
+  ObjectTable table(engine_, table_root);
+  ObjectTable::Entry head;
+  ODE_RETURN_IF_ERROR(table.GetEntry(local, &head));
+  if (!head.allocated() || head.is_version()) {
+    return Status::NotFound("object " + std::to_string(local));
+  }
+  if (vnum > head.vnum) {
+    return Status::NotFound("version " + std::to_string(vnum));
+  }
+  if (vnum == head.vnum) {
+    // Deleting the current version promotes the previous one.
+    if (head.prev_version == kInvalidLocalOid) {
+      return Status::InvalidArgument(
+          "cannot delete the only version; use pdelete");
+    }
+    ObjectTable::Entry prev;
+    const LocalOid prev_local = head.prev_version;
+    ODE_RETURN_IF_ERROR(table.GetEntry(prev_local, &prev));
+    ODE_RETURN_IF_ERROR(FreeRecord(&table, head));
+    ObjectTable::Entry promoted = prev;
+    promoted.flags &= static_cast<uint16_t>(~ObjectTable::kFlagVersion);
+    ODE_RETURN_IF_ERROR(table.SetEntry(local, promoted));
+    return table.FreeEntry(prev_local);
+  }
+  // Find the chain entry with `vnum` and its successor.
+  LocalOid succ_local = local;
+  ObjectTable::Entry succ = head;
+  while (succ.prev_version != kInvalidLocalOid) {
+    ObjectTable::Entry candidate;
+    const LocalOid candidate_local = succ.prev_version;
+    ODE_RETURN_IF_ERROR(table.GetEntry(candidate_local, &candidate));
+    if (candidate.vnum == vnum) {
+      // Unlink candidate.
+      succ.prev_version = candidate.prev_version;
+      ODE_RETURN_IF_ERROR(table.SetEntry(succ_local, succ));
+      ODE_RETURN_IF_ERROR(FreeRecord(&table, candidate));
+      return table.FreeEntry(candidate_local);
+    }
+    if (candidate.vnum < vnum) break;  // Chain is descending; not found.
+    succ_local = candidate_local;
+    succ = candidate;
+  }
+  return Status::NotFound("version " + std::to_string(vnum) + " (deleted)");
+}
+
+Status ObjectStore::ListVersions(PageId table_root, LocalOid local,
+                                 std::vector<uint32_t>* vnums) const {
+  vnums->clear();
+  ObjectTable table(engine_, table_root);
+  ObjectTable::Entry entry;
+  ODE_RETURN_IF_ERROR(table.GetEntry(local, &entry));
+  if (!entry.allocated() || entry.is_version()) {
+    return Status::NotFound("object " + std::to_string(local));
+  }
+  while (true) {
+    vnums->push_back(entry.vnum);
+    if (entry.prev_version == kInvalidLocalOid) break;
+    ODE_RETURN_IF_ERROR(table.GetEntry(entry.prev_version, &entry));
+  }
+  std::reverse(vnums->begin(), vnums->end());
+  return Status::OK();
+}
+
+Status ObjectStore::RevertToVersion(PageId table_root, LocalOid local,
+                                    uint32_t vnum) {
+  std::string data;
+  uint32_t type_code = 0, resolved = 0;
+  ODE_RETURN_IF_ERROR(
+      Read(table_root, local, vnum, &data, &type_code, &resolved));
+  return Update(table_root, local, Slice(data));
+}
+
+Status ObjectStore::ListVersionTree(
+    PageId table_root, LocalOid local,
+    std::vector<std::pair<uint32_t, uint32_t>>* edges) const {
+  edges->clear();
+  ObjectTable table(engine_, table_root);
+  ObjectTable::Entry entry;
+  ODE_RETURN_IF_ERROR(table.GetEntry(local, &entry));
+  if (!entry.allocated() || entry.is_version()) {
+    return Status::NotFound("object " + std::to_string(local));
+  }
+  while (true) {
+    edges->emplace_back(entry.vnum, entry.parent_vnum);
+    if (entry.prev_version == kInvalidLocalOid) break;
+    ODE_RETURN_IF_ERROR(table.GetEntry(entry.prev_version, &entry));
+  }
+  std::reverse(edges->begin(), edges->end());
+  return Status::OK();
+}
+
+Status ObjectStore::SetDerivation(PageId table_root, LocalOid local,
+                                  uint32_t parent_vnum) {
+  ObjectTable table(engine_, table_root);
+  ObjectTable::Entry head;
+  ODE_RETURN_IF_ERROR(table.GetEntry(local, &head));
+  if (!head.allocated() || head.is_version()) {
+    return Status::NotFound("object " + std::to_string(local));
+  }
+  head.parent_vnum = parent_vnum;
+  return table.SetEntry(local, head);
+}
+
+Status ObjectStore::GetInfo(PageId table_root, LocalOid local,
+                            ObjectTable::Entry* entry) const {
+  ObjectTable table(engine_, table_root);
+  ODE_RETURN_IF_ERROR(table.GetEntry(local, entry));
+  if (!entry->allocated()) {
+    return Status::NotFound("object " + std::to_string(local));
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::NextHead(PageId table_root, LocalOid start,
+                             LocalOid* local, bool* found) const {
+  ObjectTable table(engine_, table_root);
+  return table.NextHead(start, local, found);
+}
+
+Result<uint32_t> ObjectStore::NumEntries(PageId table_root) const {
+  ObjectTable table(engine_, table_root);
+  return table.NumEntries();
+}
+
+}  // namespace ode

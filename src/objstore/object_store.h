@@ -1,0 +1,123 @@
+#ifndef ODE_OBJSTORE_OBJECT_STORE_H_
+#define ODE_OBJSTORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "objstore/object_id.h"
+#include "objstore/object_table.h"
+#include "storage/engine.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// Stores serialized objects as records and implements the persistent-object
+/// operations the ODE core builds on: pnew/pdelete (§2), and the linear
+/// versioning operations (§4). One ObjectStore serves all clusters; each
+/// cluster is identified by the root page of its object table.
+///
+/// Records up to kInlineRecordMax bytes live in slotted data pages; larger
+/// records spill into overflow-page chains. The object table indirection
+/// makes both representations and record moves invisible to object ids.
+class ObjectStore {
+ public:
+  /// Records larger than this are stored in overflow chains.
+  static constexpr size_t kInlineRecordMax = 2048;
+
+  explicit ObjectStore(StorageEngine* engine) : engine_(engine) {}
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Creates an empty object table for a new cluster.
+  Status CreateTable(PageId* table_root);
+
+  /// Deletes every object (all versions) and frees all table pages — the
+  /// storage side of dropping a cluster.
+  Status DropTable(PageId table_root);
+
+  /// Inserts a new object; assigns its LocalOid. The object starts at
+  /// version 0.
+  Status Insert(PageId table_root, uint32_t type_code, const Slice& data,
+                LocalOid* local);
+
+  /// Reads an object's record. `vnum` selects a specific version or
+  /// kGenericVersion for the current one. Returns the record bytes plus the
+  /// entry's type code and the resolved version number.
+  Status Read(PageId table_root, LocalOid local, uint32_t vnum,
+              std::string* data, uint32_t* type_code,
+              uint32_t* resolved_vnum) const;
+
+  /// Replaces the current version's record bytes. Old versions are
+  /// read-only (paper §4).
+  Status Update(PageId table_root, LocalOid local, const Slice& data);
+
+  /// Deletes the object and all of its versions (pdelete on a head, §4).
+  Status Delete(PageId table_root, LocalOid local);
+
+  /// Snapshots the current state as a frozen version and bumps the current
+  /// version number (the paper's `newversion`, §4). Returns the new current
+  /// version number.
+  Status NewVersion(PageId table_root, LocalOid local, uint32_t* new_vnum);
+
+  /// Deletes one specific version (`delversion`, §4). Deleting the current
+  /// version promotes the previous one; deleting the only version is an
+  /// error (use Delete).
+  Status DeleteVersion(PageId table_root, LocalOid local, uint32_t vnum);
+
+  /// Makes the current record a copy of version `vnum`'s record (without
+  /// touching history). Combined with NewVersion this gives the
+  /// checkpoint-and-revert workflow of versioned design objects.
+  Status RevertToVersion(PageId table_root, LocalOid local, uint32_t vnum);
+
+  /// Entry metadata (type code, current vnum, flags) without reading data.
+  Status GetInfo(PageId table_root, LocalOid local,
+                 ObjectTable::Entry* entry) const;
+
+  /// Existing version numbers of the object, ascending (ends with the
+  /// current version). Deleted versions are absent.
+  Status ListVersions(PageId table_root, LocalOid local,
+                      std::vector<uint32_t>* vnums) const;
+
+  /// The version-derivation tree (footnote 15 of the paper; realized fully
+  /// in its reference [4]): (vnum, parent_vnum) edges for every existing
+  /// version plus the current one. Parent kNoParentVersion marks a root.
+  Status ListVersionTree(
+      PageId table_root, LocalOid local,
+      std::vector<std::pair<uint32_t, uint32_t>>* edges) const;
+
+  /// Records that the current content now derives from `parent_vnum`
+  /// (used by revert/branch operations).
+  Status SetDerivation(PageId table_root, LocalOid local,
+                       uint32_t parent_vnum);
+
+  /// First allocated head with index >= `start`; *found=false past the end.
+  Status NextHead(PageId table_root, LocalOid start, LocalOid* local,
+                  bool* found) const;
+
+  /// High-water mark of entry indexes for the cluster.
+  Result<uint32_t> NumEntries(PageId table_root) const;
+
+  StorageEngine* engine() { return engine_; }
+
+ private:
+  /// Writes `data` as a record, inline or overflow; fills location fields
+  /// (page/slot/kFlagOverflow) of `entry`.
+  Status WriteRecord(ObjectTable* table, const Slice& data,
+                     ObjectTable::Entry* entry);
+
+  /// Frees the record referenced by `entry` (inline slot or overflow chain).
+  Status FreeRecord(ObjectTable* table, const ObjectTable::Entry& entry);
+
+  /// Reads the raw record bytes referenced by `entry`.
+  Status ReadRecord(const ObjectTable::Entry& entry, std::string* data) const;
+
+  StorageEngine* engine_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_OBJSTORE_OBJECT_STORE_H_

@@ -1,0 +1,313 @@
+#include "objstore/object_table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace ode {
+
+namespace {
+
+// Root page layout:
+//   [0]      page type
+//   [1..3]   pad
+//   [4..7]   num_entries u32     (first root only)
+//   [8..11]  free_entry_head u32 (first root only)
+//   [12..15] current_data_page u32 (first root only)
+//   [16..19] dir_count u32       (entry-page ids stored in THIS root page)
+//   [20..23] next_root u32
+//   [24..]   entry-page ids (u32 each)
+constexpr uint32_t kNumEntriesOff = 4;
+constexpr uint32_t kFreeHeadOff = 8;
+constexpr uint32_t kCurrentDataOff = 12;
+constexpr uint32_t kDirCountOff = 16;
+constexpr uint32_t kNextRootOff = 20;
+constexpr uint32_t kDirStartOff = 24;
+constexpr uint32_t kDirCap = (kPageSize - kDirStartOff) / 4;  // ids per root
+
+// Entry page layout: [0] type, [1..7] pad, entries from byte 8.
+constexpr uint32_t kEntryStart = 8;
+constexpr uint32_t kEntrySize = 24;
+constexpr uint32_t kEntriesPerPage = (kPageSize - kEntryStart) / kEntrySize;
+
+void EncodeEntry(char* dst, const ObjectTable::Entry& e) {
+  EncodeFixed32(dst + 0, e.page);
+  EncodeFixed16(dst + 4, e.slot);
+  EncodeFixed16(dst + 6, e.flags);
+  EncodeFixed32(dst + 8, e.type_code);
+  EncodeFixed32(dst + 12, e.prev_version);
+  EncodeFixed32(dst + 16, e.vnum);
+  EncodeFixed32(dst + 20, e.parent_vnum);
+}
+
+void DecodeEntry(const char* src, ObjectTable::Entry* e) {
+  e->page = DecodeFixed32(src + 0);
+  e->slot = DecodeFixed16(src + 4);
+  e->flags = DecodeFixed16(src + 6);
+  e->type_code = DecodeFixed32(src + 8);
+  e->prev_version = DecodeFixed32(src + 12);
+  e->vnum = DecodeFixed32(src + 16);
+  e->parent_vnum = DecodeFixed32(src + 20);
+}
+
+void InitRootPage(char* buf) {
+  memset(buf, 0, kPageSize);
+  buf[0] = static_cast<char>(PageType::kTableRoot);
+  EncodeFixed32(buf + kNumEntriesOff, 0);
+  EncodeFixed32(buf + kFreeHeadOff, kInvalidLocalOid);
+  EncodeFixed32(buf + kCurrentDataOff, kInvalidPageId);
+  EncodeFixed32(buf + kDirCountOff, 0);
+  EncodeFixed32(buf + kNextRootOff, kInvalidPageId);
+}
+
+}  // namespace
+
+Status ObjectTable::Create(StorageEngine* engine, PageId* root) {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine->AllocPage(root, &handle));
+  InitRootPage(handle.mutable_data());
+  return Status::OK();
+}
+
+Status ObjectTable::Drop() {
+  // Free all entry pages, then the root chain.
+  PageId root = root_;
+  while (root != kInvalidPageId) {
+    uint32_t dir_count;
+    PageId next;
+    std::vector<PageId> entry_pages;
+    {
+      PageHandle handle;
+      ODE_RETURN_IF_ERROR(engine_->GetPageRead(root, &handle));
+      dir_count = DecodeFixed32(handle.data() + kDirCountOff);
+      next = DecodeFixed32(handle.data() + kNextRootOff);
+      for (uint32_t i = 0; i < dir_count; i++) {
+        entry_pages.push_back(
+            DecodeFixed32(handle.data() + kDirStartOff + 4 * i));
+      }
+    }
+    for (PageId p : entry_pages) {
+      ODE_RETURN_IF_ERROR(engine_->FreePage(p));
+    }
+    ODE_RETURN_IF_ERROR(engine_->FreePage(root));
+    root = next;
+  }
+  return Status::OK();
+}
+
+Status ObjectTable::LocateEntryPage(LocalOid local, bool create,
+                                    PageId* page) const {
+  const uint32_t page_index = local / kEntriesPerPage;
+  uint32_t roots_to_skip = page_index / kDirCap;
+  const uint32_t dir_slot = page_index % kDirCap;
+
+  PageId root = root_;
+  while (true) {
+    PageId next;
+    {
+      PageHandle handle;
+      ODE_RETURN_IF_ERROR(engine_->GetPageRead(root, &handle));
+      next = DecodeFixed32(handle.data() + kNextRootOff);
+    }
+    if (roots_to_skip == 0) break;
+    if (next == kInvalidPageId) {
+      if (!create) return Status::NotFound("object-table page out of range");
+      PageId new_root;
+      PageHandle fresh;
+      ODE_RETURN_IF_ERROR(engine_->AllocPage(&new_root, &fresh));
+      InitRootPage(fresh.mutable_data());
+      fresh.Release();
+      PageHandle handle;
+      ODE_RETURN_IF_ERROR(engine_->GetPageWrite(root, &handle));
+      EncodeFixed32(handle.mutable_data() + kNextRootOff, new_root);
+      next = new_root;
+    }
+    root = next;
+    roots_to_skip--;
+  }
+
+  // `root` is the directory page that owns dir_slot.
+  uint32_t dir_count;
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(root, &handle));
+    dir_count = DecodeFixed32(handle.data() + kDirCountOff);
+    if (dir_slot < dir_count) {
+      *page = DecodeFixed32(handle.data() + kDirStartOff + 4 * dir_slot);
+      return Status::OK();
+    }
+  }
+  if (!create) return Status::NotFound("object-table entry out of range");
+  if (dir_slot != dir_count) {
+    return Status::Corruption("non-contiguous object-table directory");
+  }
+  // Append a new entry page.
+  PageId entry_page;
+  {
+    PageHandle fresh;
+    ODE_RETURN_IF_ERROR(engine_->AllocPage(&entry_page, &fresh));
+    memset(fresh.mutable_data(), 0, kPageSize);
+    fresh.mutable_data()[0] = static_cast<char>(PageType::kObjectTable);
+  }
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageWrite(root, &handle));
+  EncodeFixed32(handle.mutable_data() + kDirStartOff + 4 * dir_slot,
+                entry_page);
+  EncodeFixed32(handle.mutable_data() + kDirCountOff, dir_count + 1);
+  *page = entry_page;
+  return Status::OK();
+}
+
+Status ObjectTable::AllocEntry(LocalOid* local) {
+  // Try the free list first.
+  uint32_t free_head;
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+    free_head = DecodeFixed32(handle.data() + kFreeHeadOff);
+  }
+  if (free_head != kInvalidLocalOid) {
+    Entry entry;
+    ODE_RETURN_IF_ERROR(GetEntry(free_head, &entry));
+    // For freed entries, `page` stores the next free index.
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageWrite(root_, &handle));
+    EncodeFixed32(handle.mutable_data() + kFreeHeadOff, entry.page);
+    *local = free_head;
+    return Status::OK();
+  }
+  // Extend the high-water mark.
+  uint32_t num;
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+    num = DecodeFixed32(handle.data() + kNumEntriesOff);
+  }
+  PageId entry_page;
+  ODE_RETURN_IF_ERROR(LocateEntryPage(num, /*create=*/true, &entry_page));
+  (void)entry_page;
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageWrite(root_, &handle));
+  EncodeFixed32(handle.mutable_data() + kNumEntriesOff, num + 1);
+  *local = num;
+  return Status::OK();
+}
+
+Status ObjectTable::FreeEntry(LocalOid local) {
+  uint32_t free_head;
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+    free_head = DecodeFixed32(handle.data() + kFreeHeadOff);
+  }
+  Entry entry;  // zeroed: flags=0 marks it unallocated
+  entry.page = free_head;
+  entry.slot = 0;
+  entry.flags = 0;
+  entry.prev_version = kInvalidLocalOid;
+  entry.parent_vnum = kNoParentVersion;
+  ODE_RETURN_IF_ERROR(SetEntry(local, entry));
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageWrite(root_, &handle));
+  EncodeFixed32(handle.mutable_data() + kFreeHeadOff, local);
+  return Status::OK();
+}
+
+Status ObjectTable::GetEntry(LocalOid local, Entry* entry) const {
+  PageId page;
+  ODE_RETURN_IF_ERROR(LocateEntryPage(local, /*create=*/false, &page));
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageRead(page, &handle));
+  const uint32_t offset = kEntryStart + (local % kEntriesPerPage) * kEntrySize;
+  DecodeEntry(handle.data() + offset, entry);
+  return Status::OK();
+}
+
+Status ObjectTable::SetEntry(LocalOid local, const Entry& entry) {
+  PageId page;
+  ODE_RETURN_IF_ERROR(LocateEntryPage(local, /*create=*/false, &page));
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageWrite(page, &handle));
+  const uint32_t offset = kEntryStart + (local % kEntriesPerPage) * kEntrySize;
+  EncodeEntry(handle.mutable_data() + offset, entry);
+  return Status::OK();
+}
+
+Result<uint32_t> ObjectTable::NumEntries() const {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+  return DecodeFixed32(handle.data() + kNumEntriesOff);
+}
+
+Status ObjectTable::NextHead(LocalOid start, LocalOid* local,
+                             bool* found) const {
+  ODE_ASSIGN_OR_RETURN(uint32_t num, NumEntries());
+  for (LocalOid i = start; i < num; i++) {
+    // Scan one entry page at a time to amortize the directory walk.
+    PageId page;
+    ODE_RETURN_IF_ERROR(LocateEntryPage(i, /*create=*/false, &page));
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(page, &handle));
+    const uint32_t first_on_page = (i / kEntriesPerPage) * kEntriesPerPage;
+    const uint32_t end_on_page =
+        std::min<uint32_t>(first_on_page + kEntriesPerPage, num);
+    for (LocalOid j = i; j < end_on_page; j++) {
+      const uint32_t offset =
+          kEntryStart + (j % kEntriesPerPage) * kEntrySize;
+      const uint16_t flags = DecodeFixed16(handle.data() + offset + 6);
+      if ((flags & kFlagAllocated) && !(flags & kFlagVersion)) {
+        *local = j;
+        *found = true;
+        return Status::OK();
+      }
+    }
+    i = end_on_page - 1;  // Loop ++ moves to the next page's first entry.
+  }
+  *found = false;
+  return Status::OK();
+}
+
+Status ObjectTable::ListStructurePages(std::vector<PageId>* root_pages,
+                                       std::vector<PageId>* entry_pages) const {
+  root_pages->clear();
+  entry_pages->clear();
+  PageId root = root_;
+  while (root != kInvalidPageId) {
+    root_pages->push_back(root);
+    if (root_pages->size() > 1u << 20) {
+      return Status::Corruption("object-table root chain cycle suspected");
+    }
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(root, &handle));
+    const uint32_t dir_count = DecodeFixed32(handle.data() + kDirCountOff);
+    for (uint32_t i = 0; i < dir_count && i < kDirCap; i++) {
+      entry_pages->push_back(
+          DecodeFixed32(handle.data() + kDirStartOff + 4 * i));
+    }
+    root = DecodeFixed32(handle.data() + kNextRootOff);
+  }
+  return Status::OK();
+}
+
+Result<LocalOid> ObjectTable::GetFreeEntryHead() const {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+  return DecodeFixed32(handle.data() + kFreeHeadOff);
+}
+
+Result<PageId> ObjectTable::GetCurrentDataPage() const {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+  return DecodeFixed32(handle.data() + kCurrentDataOff);
+}
+
+Status ObjectTable::SetCurrentDataPage(PageId page) {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageWrite(root_, &handle));
+  EncodeFixed32(handle.mutable_data() + kCurrentDataOff, page);
+  return Status::OK();
+}
+
+}  // namespace ode

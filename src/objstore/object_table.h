@@ -1,0 +1,99 @@
+#ifndef ODE_OBJSTORE_OBJECT_TABLE_H_
+#define ODE_OBJSTORE_OBJECT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "objstore/object_id.h"
+#include "storage/engine.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// One object table exists per cluster. It maps a LocalOid to the physical
+/// location of the object's record plus identity metadata (type code,
+/// version-chain links). The indirection lets records move between pages
+/// without invalidating object ids — the paper's stable object identity.
+///
+/// Structure on disk:
+///  * root/directory pages (PageType::kTableRoot), chained, listing entry
+///    pages; the first root also carries allocation state;
+///  * entry pages (PageType::kObjectTable) holding fixed 24-byte entries.
+class ObjectTable {
+ public:
+  /// Entry flag bits.
+  static constexpr uint16_t kFlagAllocated = 1 << 0;
+  static constexpr uint16_t kFlagVersion = 1 << 1;   ///< Old version, not head.
+  static constexpr uint16_t kFlagOverflow = 1 << 2;  ///< Record is a chain ref.
+
+  /// Sentinel parent version for "root of the derivation tree".
+  static constexpr uint32_t kNoParentVersion = 0xFFFFFFFFu;
+
+  /// Decoded object-table entry.
+  struct Entry {
+    PageId page = kInvalidPageId;  ///< Data page (or overflow first page).
+    uint16_t slot = 0;
+    uint16_t flags = 0;
+    uint32_t type_code = 0;
+    LocalOid prev_version = kInvalidLocalOid;
+    uint32_t vnum = 0;
+    /// Version this one's content derives from (the version-*tree* edge of
+    /// the paper's footnote 15 / reference [4]); kNoParentVersion for v0.
+    uint32_t parent_vnum = kNoParentVersion;
+
+    bool allocated() const { return flags & kFlagAllocated; }
+    bool is_version() const { return flags & kFlagVersion; }
+    bool overflow() const { return flags & kFlagOverflow; }
+  };
+
+  ObjectTable(StorageEngine* engine, PageId root) : engine_(engine), root_(root) {}
+
+  /// Allocates a fresh table (one root page) within the active transaction.
+  static Status Create(StorageEngine* engine, PageId* root);
+
+  /// Frees all table pages. The caller must have freed all records first.
+  Status Drop();
+
+  /// Allocates an entry index (reusing freed indexes when available).
+  Status AllocEntry(LocalOid* local);
+
+  /// Returns `local` to the free-entry list.
+  Status FreeEntry(LocalOid local);
+
+  Status GetEntry(LocalOid local, Entry* entry) const;
+  Status SetEntry(LocalOid local, const Entry& entry);
+
+  /// High-water mark: every allocated entry index is < this value.
+  Result<uint32_t> NumEntries() const;
+
+  /// Finds the first entry index >= `start` that is an allocated head
+  /// (allocated, not an old version). Sets *found=false past the end.
+  Status NextHead(LocalOid start, LocalOid* local, bool* found) const;
+
+  /// The page currently targeted for record inserts (kInvalidPageId if none
+  /// yet); maintained by the ObjectStore.
+  Result<PageId> GetCurrentDataPage() const;
+  Status SetCurrentDataPage(PageId page);
+
+  PageId root() const { return root_; }
+
+  /// Collects the table's own pages: the root/directory chain and the entry
+  /// pages it references (integrity checking).
+  Status ListStructurePages(std::vector<PageId>* root_pages,
+                            std::vector<PageId>* entry_pages) const;
+
+  /// Head of the freed-entry-index list (kInvalidLocalOid when empty).
+  Result<LocalOid> GetFreeEntryHead() const;
+
+ private:
+  /// Locates (creating on demand when `create` is set) the entry page that
+  /// holds entry index `local`.
+  Status LocateEntryPage(LocalOid local, bool create, PageId* page) const;
+
+  StorageEngine* engine_;
+  PageId root_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_OBJSTORE_OBJECT_TABLE_H_

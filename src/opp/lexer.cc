@@ -1,0 +1,136 @@
+#include "opp/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace ode {
+namespace opp {
+
+namespace {
+
+/// Multi-character punctuators, longest first within each first-char group.
+/// "==>" is O++'s trigger arrow (condition ==> action).
+const char* kPuncts[] = {
+    "==>", "<<=", ">>=", "...", "->*", "::",  "->", "++", "--", "<<",
+    ">>",  "<=",  ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=",  "##",
+};
+
+bool StartsWith(const std::string& s, size_t pos, const char* prefix) {
+  for (size_t i = 0; prefix[i] != '\0'; i++) {
+    if (pos + i >= s.size() || s[pos + i] != prefix[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<TokenList> Lex(const std::string& src) {
+  TokenList out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = src.size();
+
+  auto push = [&](Token::Kind kind, size_t begin, size_t end) {
+    Token t;
+    t.kind = kind;
+    t.text = src.substr(begin, end - begin);
+    t.line = line;
+    for (char c : t.text) {
+      if (c == '\n') line++;
+    }
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (isspace(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && isspace(static_cast<unsigned char>(src[j]))) j++;
+      push(Token::Kind::kSpace, i, j);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t j = i;
+      while (j < n && src[j] != '\n') j++;
+      push(Token::Kind::kComment, i, j);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) j++;
+      if (j + 1 >= n) {
+        return Status::InvalidArgument("unterminated /* comment at line " +
+                                       std::to_string(line));
+      }
+      push(Token::Kind::kComment, i, j + 2);
+      i = j + 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) j++;
+        j++;
+      }
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated literal at line " +
+                                       std::to_string(line));
+      }
+      push(quote == '"' ? Token::Kind::kString : Token::Kind::kChar, i, j + 1);
+      i = j + 1;
+      continue;
+    }
+    if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_')) {
+        j++;
+      }
+      push(Token::Kind::kIdent, i, j);
+      i = j;
+      continue;
+    }
+    if (isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t j = i;
+      // Liberal number scan (ints, floats, hex, suffixes, exponents).
+      while (j < n && (isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        j++;
+      }
+      push(Token::Kind::kNumber, i, j);
+      i = j;
+      continue;
+    }
+    // Punctuator: longest match.
+    const char* matched = nullptr;
+    for (const char* p : kPuncts) {
+      if (StartsWith(src, i, p)) {
+        matched = p;
+        break;
+      }
+    }
+    if (matched != nullptr) {
+      push(Token::Kind::kPunct, i, i + strlen(matched));
+      i += strlen(matched);
+    } else {
+      push(Token::Kind::kPunct, i, i + 1);
+      i += 1;
+    }
+  }
+  Token eof;
+  eof.kind = Token::Kind::kEnd;
+  eof.line = line;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace opp
+}  // namespace ode

@@ -1,0 +1,20 @@
+#ifndef ODE_OPP_LEXER_H_
+#define ODE_OPP_LEXER_H_
+
+#include <string>
+
+#include "opp/token.h"
+#include "util/status.h"
+
+namespace ode {
+namespace opp {
+
+/// Tokenizes O++ source (a C++ superset). Loss-less: concatenating all token
+/// texts reproduces the input exactly. Unterminated strings/comments yield
+/// an error.
+Result<TokenList> Lex(const std::string& source);
+
+}  // namespace opp
+}  // namespace ode
+
+#endif  // ODE_OPP_LEXER_H_

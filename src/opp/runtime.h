@@ -1,0 +1,111 @@
+#ifndef ODE_OPP_RUNTIME_H_
+#define ODE_OPP_RUNTIME_H_
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ode.h"
+
+namespace ode {
+namespace opp {
+
+/// Runtime support for translated O++ code. O++ programs are written in the
+/// paper's style — no error plumbing; a failed database operation is a
+/// program error — so these helpers unwrap Status/Result and terminate on
+/// failure, like a failed `new` or a dereference of a bad pointer would.
+
+[[noreturn]] inline void Die(const Status& status) {
+  ODE_LOG(kError) << "O++ runtime failure: " << status.ToString();
+  abort();
+}
+
+inline void Check(const Status& status) {
+  if (!status.ok()) Die(status);
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return result.TakeValue();
+}
+
+/// `pnew T(args...)`.
+template <typename T, typename... Args>
+Ref<T> PNew(Transaction& txn, Args&&... args) {
+  return Unwrap(txn.New<T>(std::forward<Args>(args)...));
+}
+
+/// `pdelete p;`
+inline void PDelete(Transaction& txn, const RefBase& ref) {
+  Check(txn.Delete(ref));
+}
+
+/// `create(T)` — idempotent cluster creation.
+template <typename T>
+void Create(Transaction& txn) {
+  Check(txn.EnsureCluster<T>());
+}
+
+/// `newversion(p)`.
+inline uint32_t NewVersion(Transaction& txn, const RefBase& ref) {
+  return Unwrap(txn.NewVersion(ref));
+}
+
+/// `delversion(p)`.
+inline void DeleteVersion(Transaction& txn, const RefBase& ref) {
+  Check(txn.DeleteVersion(ref));
+}
+
+/// `vnum(p)`.
+inline uint32_t VNum(Transaction& txn, const RefBase& ref) {
+  return Unwrap(ode::VNum(txn, ref));
+}
+
+/// `p is persistent T*`.
+template <typename T, typename From>
+bool Is(Transaction& txn, const Ref<From>& ref) {
+  return !Unwrap(txn.RefCast<T>(ref)).null();
+}
+
+/// `forall (p in C)` / `forall (p in C*)` — materialized extent.
+template <typename C>
+std::vector<Ref<C>> ForallCollect(Transaction& txn, bool derived) {
+  ForAll<C> loop(txn);
+  if (derived) loop.WithDerived();
+  return Unwrap(loop.Collect());
+}
+
+/// `forall (p in C) by (key)`.
+template <typename C, typename KeyFn>
+std::vector<Ref<C>> ForallCollectBy(Transaction& txn, bool derived,
+                                    KeyFn key) {
+  using K = decltype(key(std::declval<const C&>()));
+  ForAll<C> loop(txn);
+  if (derived) loop.WithDerived();
+  loop.template By<K>(std::function<K(const C&)>(key));
+  return Unwrap(loop.Collect());
+}
+
+/// Trigger activation `tid = obj->T1(args)`: perpetual-ness comes from the
+/// trigger definition (the `perpetual` keyword in the class, §6).
+template <typename T>
+uint64_t Activate(Transaction& txn, const Ref<T>& ref, const std::string& name,
+                  std::vector<double> params = {}) {
+  const std::string dynamic_type = Unwrap(txn.DynamicTypeOf(ref));
+  const TriggerRegistry::Definition* def = txn.db().triggers().Resolve(
+      TypeRegistry::Global(), dynamic_type, name);
+  const bool perpetual = def != nullptr && def->perpetual_default;
+  return Unwrap(txn.ActivateTriggerOn(ref, name, std::move(params), perpetual));
+}
+
+/// Trigger deactivation `trigger-id`.
+inline void Deactivate(Transaction& txn, uint64_t trigger_id) {
+  Check(txn.DeactivateTrigger(trigger_id));
+}
+
+}  // namespace opp
+}  // namespace ode
+
+#endif  // ODE_OPP_RUNTIME_H_

@@ -1,0 +1,43 @@
+#ifndef ODE_OPP_TOKEN_H_
+#define ODE_OPP_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace ode {
+namespace opp {
+
+/// A lexical token of an O++ source file. The lexer is loss-less: comments
+/// and whitespace are tokens too, so untranslated code passes through the
+/// rewriter byte-for-byte.
+struct Token {
+  enum class Kind {
+    kIdent,
+    kNumber,
+    kString,   ///< including quotes
+    kChar,     ///< character literal including quotes
+    kPunct,    ///< operator/punctuator, longest-match (includes "==>")
+    kComment,  ///< // or /* */ comment, verbatim
+    kSpace,    ///< whitespace run (may contain newlines)
+    kEnd,
+  };
+
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+
+  bool is(Kind k) const { return kind == k; }
+  bool is_ident(const char* s) const {
+    return kind == Kind::kIdent && text == s;
+  }
+  bool is_punct(const char* s) const {
+    return kind == Kind::kPunct && text == s;
+  }
+};
+
+using TokenList = std::vector<Token>;
+
+}  // namespace opp
+}  // namespace ode
+
+#endif  // ODE_OPP_TOKEN_H_

@@ -1,0 +1,855 @@
+#include "opp/translator.h"
+
+#include <cstdint>
+
+#include "opp/lexer.h"
+#include "opp/token.h"
+
+namespace ode {
+namespace opp {
+
+namespace {
+
+bool IsSignificant(const Token& t) {
+  return t.kind != Token::Kind::kSpace && t.kind != Token::Kind::kComment;
+}
+
+bool IsAccessKeyword(const std::string& s) {
+  return s == "public" || s == "private" || s == "protected";
+}
+
+bool IsMemberBanned(const std::string& s) {
+  return s == "typedef" || s == "using" || s == "friend" || s == "static" ||
+         s == "template" || s == "enum" || s == "class" || s == "struct" ||
+         s == "virtual" || s == "operator" || s == "constexpr" ||
+         s == "inline" || s == "explicit" || s == "union";
+}
+
+struct TriggerInfo {
+  std::string name;
+  bool perpetual = false;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::vector<std::string> bases;
+  int num_constraints = 0;
+  std::vector<TriggerInfo> triggers;
+};
+
+/// Rewrites `X is persistent T *` into `ode::opp::Is<T>(txn, X)` as a
+/// token-list pre-pass (it needs to consume the expression to the *left* of
+/// the keyword, which the forward rewriter cannot).
+TokenList ApplyIsRewrite(const TokenList& in) {
+  TokenList out;
+  out.reserve(in.size());
+  size_t i = 0;
+  auto next_sig = [&](size_t from) {
+    while (from < in.size() && !IsSignificant(in[from])) from++;
+    return from;
+  };
+  while (i < in.size()) {
+    const Token& t = in[i];
+    if (t.is_ident("is")) {
+      const size_t pi = next_sig(i + 1);
+      if (pi < in.size() && in[pi].is_ident("persistent")) {
+        // Parse the type (ident (:: ident)*) and optional '*'.
+        size_t ti = next_sig(pi + 1);
+        if (ti < in.size() && in[ti].kind == Token::Kind::kIdent) {
+          std::string type = in[ti].text;
+          size_t end = ti + 1;
+          while (true) {
+            const size_t c = next_sig(end);
+            if (c < in.size() && in[c].is_punct("::")) {
+              const size_t n = next_sig(c + 1);
+              if (n < in.size() && in[n].kind == Token::Kind::kIdent) {
+                type += "::" + in[n].text;
+                end = n + 1;
+                continue;
+              }
+            }
+            break;
+          }
+          size_t star = next_sig(end);
+          if (star < in.size() && in[star].is_punct("*")) end = star + 1;
+
+          // Pop the preceding primary expression off `out`.
+          size_t ls = out.size();
+          while (ls > 0 && !IsSignificant(out[ls - 1])) ls--;
+          size_t start = ls;  // one past... adjust below
+          bool matched = false;
+          if (ls > 0 && out[ls - 1].kind == Token::Kind::kIdent) {
+            start = ls - 1;
+            matched = true;
+          } else if (ls > 0 && out[ls - 1].is_punct(")")) {
+            int depth = 0;
+            size_t k = ls;
+            while (k > 0) {
+              k--;
+              if (!IsSignificant(out[k])) continue;
+              if (out[k].is_punct(")")) depth++;
+              if (out[k].is_punct("(")) {
+                depth--;
+                if (depth == 0) break;
+              }
+            }
+            start = k;
+            // Include a call target: ident directly before '('.
+            size_t b = start;
+            while (b > 0 && !IsSignificant(out[b - 1])) b--;
+            if (b > 0 && out[b - 1].kind == Token::Kind::kIdent) start = b - 1;
+            matched = true;
+          }
+          if (matched) {
+            std::string primary;
+            for (size_t k = start; k < out.size(); k++) primary += out[k].text;
+            out.resize(start);
+            Token blob;
+            blob.kind = Token::Kind::kPunct;  // opaque to later passes
+            blob.line = t.line;
+            blob.text = "ode::opp::Is<" + type + ">(txn, " + primary + ")";
+            out.push_back(blob);
+            i = end;
+            continue;
+          }
+        }
+      }
+    }
+    out.push_back(t);
+    i++;
+  }
+  return out;
+}
+
+class Rewriter {
+ public:
+  Rewriter(TokenList toks, const Translator::Options& opts)
+      : toks_(std::move(toks)), opts_(opts) {
+    sinks_.push_back(&out_);
+  }
+
+  Result<std::string> Run() {
+    if (opts_.emit_prelude) {
+      Emit("#include \"opp/runtime.h\"\n");
+      if (opts_.emit_registration) {
+        // Defined at end of file; declared up front so main() can call it.
+        Emit("inline void __ode_register_all_classes(ode::Database& db);\n");
+      }
+    }
+    while (!AtEnd()) {
+      ODE_RETURN_IF_ERROR(ProcessOne());
+    }
+    if (opts_.emit_registration && !classes_.empty()) {
+      Emit("\ninline void __ode_register_all_classes(ode::Database& db) {\n");
+      Emit("  (void)db;\n");
+      for (const auto& c : classes_) {
+        Emit("  __ode_register_" + c.name + "(db);\n");
+      }
+      Emit("}\n");
+    }
+    return out_;
+  }
+
+ private:
+  // --- Output --------------------------------------------------------------
+
+  std::string& sink() { return *sinks_.back(); }
+  void Emit(const std::string& s) { sink() += s; }
+
+  // --- Stream --------------------------------------------------------------
+
+  const Token& cur() const { return toks_[pos_]; }
+  bool AtEnd() const { return cur().kind == Token::Kind::kEnd; }
+  void Copy() {
+    if (IsSignificant(cur())) last_sig_ = cur().text;
+    Emit(cur().text);
+    pos_++;
+  }
+  void Drop() { pos_++; }
+
+  /// Index of the first significant token at or after `from`.
+  size_t NextSig(size_t from) const {
+    while (from < toks_.size() && !IsSignificant(toks_[from])) from++;
+    return from;
+  }
+
+  /// Copies whitespace/comments.
+  void CopySpace() {
+    while (!AtEnd() && !IsSignificant(cur())) Copy();
+  }
+
+  /// Drops whitespace/comments.
+  void DropSpace() {
+    while (!AtEnd() && !IsSignificant(cur())) Drop();
+  }
+
+  Status Fail(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at line " +
+                                   std::to_string(cur().line));
+  }
+
+  /// Parses `ident (:: ident)*` starting at a significant position.
+  Status ParseQualifiedType(std::string* type) {
+    if (cur().kind != Token::Kind::kIdent) {
+      return Fail("expected a type name");
+    }
+    *type = cur().text;
+    Drop();
+    while (true) {
+      const size_t c = NextSig(pos_);
+      if (c >= toks_.size() || !toks_[c].is_punct("::")) break;
+      const size_t n = NextSig(c + 1);
+      if (n >= toks_.size() || toks_[n].kind != Token::Kind::kIdent) break;
+      *type += "::" + toks_[n].text;
+      pos_ = n + 1;
+    }
+    return Status::OK();
+  }
+
+  /// With cur()=='(', consumes through the matching ')' and returns the raw
+  /// inner text.
+  Status CollectParenRaw(std::string* inner) {
+    if (!cur().is_punct("(")) return Fail("expected '('");
+    Drop();
+    int depth = 1;
+    inner->clear();
+    while (!AtEnd()) {
+      if (cur().is_punct("(")) depth++;
+      if (cur().is_punct(")")) {
+        depth--;
+        if (depth == 0) {
+          Drop();
+          return Status::OK();
+        }
+      }
+      *inner += cur().text;
+      Drop();
+    }
+    return Fail("unbalanced parentheses");
+  }
+
+  /// Same, but keeps the tokens for later substitution.
+  Status CollectParenTokens(TokenList* inner) {
+    if (!cur().is_punct("(")) return Fail("expected '('");
+    Drop();
+    int depth = 1;
+    inner->clear();
+    while (!AtEnd()) {
+      if (cur().is_punct("(")) depth++;
+      if (cur().is_punct(")")) {
+        depth--;
+        if (depth == 0) {
+          Drop();
+          return Status::OK();
+        }
+      }
+      inner->push_back(cur());
+      Drop();
+    }
+    return Fail("unbalanced parentheses");
+  }
+
+  /// With cur()=='{', consumes through the matching '}' (inclusive),
+  /// translating nested constructs, and returns the block text (with
+  /// braces).
+  Status CollectBlockTranslated(std::string* block) {
+    if (!cur().is_punct("{")) return Fail("expected '{'");
+    std::string tmp;
+    sinks_.push_back(&tmp);
+    Copy();  // '{'
+    int depth = 1;
+    Status status;
+    while (!AtEnd() && depth > 0) {
+      if (cur().is_punct("{")) {
+        depth++;
+        Copy();
+        continue;
+      }
+      if (cur().is_punct("}")) {
+        depth--;
+        Copy();
+        continue;
+      }
+      status = ProcessOne();
+      if (!status.ok()) break;
+    }
+    sinks_.pop_back();
+    ODE_RETURN_IF_ERROR(status);
+    if (depth != 0) return Fail("unbalanced braces");
+    *block = std::move(tmp);
+    return Status::OK();
+  }
+
+  // --- Dispatch -------------------------------------------------------------
+
+  Status ProcessOne() {
+    const Token& t = cur();
+    if (t.kind == Token::Kind::kIdent) {
+      if (t.text == "persistent") return HandlePersistent();
+      if (t.text == "pnew") return HandlePnew();
+      if (t.text == "pdelete") return HandlePdelete();
+      if (t.text == "forall") return HandleForall();
+      if ((t.text == "class" || t.text == "struct") && !in_class_) {
+        return HandleClass();
+      }
+      if (t.text == "newversion") return HandleRuntimeCall("NewVersion");
+      if (t.text == "delversion") return HandleRuntimeCall("DeleteVersion");
+      if (t.text == "vnum") return HandleRuntimeCall("VNum");
+      if (t.text == "create") return HandleCreate();
+    }
+    if (strip_decl_stars_) {
+      if (t.is_punct(";") || t.is_punct(")") || t.is_punct("=") ||
+          t.is_punct("{")) {
+        strip_decl_stars_ = false;
+      } else if (t.is_punct("*") && last_sig_ == ",") {
+        Drop();
+        return Status::OK();
+      }
+    }
+    Copy();
+    return Status::OK();
+  }
+
+  // --- Constructs ------------------------------------------------------------
+
+  /// `persistent T *x, *y` → `ode::Ref<T> x, y`.
+  Status HandlePersistent() {
+    Drop();  // 'persistent'
+    DropSpace();
+    std::string type;
+    ODE_RETURN_IF_ERROR(ParseQualifiedType(&type));
+    DropSpace();
+    if (!cur().is_punct("*")) {
+      return Fail("expected '*' after 'persistent " + type + "'");
+    }
+    Drop();  // '*'
+    Emit("ode::Ref<" + type + "> ");
+    strip_decl_stars_ = true;
+    last_sig_.clear();
+    return Status::OK();
+  }
+
+  /// `pnew T(args)` → `ode::opp::PNew<T>(txn, args)`.
+  Status HandlePnew() {
+    Drop();  // 'pnew'
+    DropSpace();
+    std::string type;
+    ODE_RETURN_IF_ERROR(ParseQualifiedType(&type));
+    Emit("ode::opp::PNew<" + type + ">");
+    const size_t c = NextSig(pos_);
+    if (c < toks_.size() && toks_[c].is_punct("(")) {
+      CopySpace();
+      Copy();  // '('
+      const size_t a = NextSig(pos_);
+      const bool empty_args = a < toks_.size() && toks_[a].is_punct(")");
+      Emit(empty_args ? "txn" : "txn, ");
+      // The argument list and ')' flow through the normal rewriter.
+    } else {
+      Emit("(txn)");
+    }
+    return Status::OK();
+  }
+
+  /// `pdelete expr ;` → `ode::opp::PDelete(txn, expr);`.
+  Status HandlePdelete() {
+    Drop();  // 'pdelete'
+    DropSpace();
+    Emit("ode::opp::PDelete(txn, ");
+    int depth = 0;
+    while (!AtEnd()) {
+      if (depth == 0 && cur().is_punct(";")) break;
+      if (cur().is_punct("(") || cur().is_punct("[")) depth++;
+      if (cur().is_punct(")") || cur().is_punct("]")) depth--;
+      ODE_RETURN_IF_ERROR(ProcessOne());
+    }
+    Emit(")");
+    return Status::OK();  // ';' copied by the main loop
+  }
+
+  /// `newversion(p)` → `ode::opp::NewVersion(txn, p)`, etc.
+  Status HandleRuntimeCall(const std::string& runtime_name) {
+    const size_t c = NextSig(pos_ + 1);
+    if (c >= toks_.size() || !toks_[c].is_punct("(")) {
+      Copy();  // Not a call: plain identifier use.
+      return Status::OK();
+    }
+    Drop();  // the keyword
+    Emit("ode::opp::" + runtime_name);
+    CopySpace();
+    Copy();  // '('
+    const size_t a = NextSig(pos_);
+    const bool empty_args = a < toks_.size() && toks_[a].is_punct(")");
+    Emit(empty_args ? "txn" : "txn, ");
+    return Status::OK();
+  }
+
+  /// `create(T)` → `ode::opp::Create<T>(txn)` (only the exact shape; other
+  /// uses of the identifier `create` pass through).
+  Status HandleCreate() {
+    const size_t c = NextSig(pos_ + 1);
+    if (c < toks_.size() && toks_[c].is_punct("(")) {
+      const size_t ty = NextSig(c + 1);
+      const size_t close = ty < toks_.size() ? NextSig(ty + 1) : toks_.size();
+      if (ty < toks_.size() && toks_[ty].kind == Token::Kind::kIdent &&
+          close < toks_.size() && toks_[close].is_punct(")")) {
+        Emit("ode::opp::Create<" + toks_[ty].text + ">(txn)");
+        pos_ = close + 1;
+        return Status::OK();
+      }
+    }
+    Copy();
+    return Status::OK();
+  }
+
+  /// Substitutes loop-variable identifiers with `(&__o)` in a key/pred
+  /// expression operating on `const T& __o`.
+  static std::string SubstVar(const TokenList& expr, const std::string& var) {
+    std::string out;
+    for (const Token& t : expr) {
+      if (t.kind == Token::Kind::kIdent && t.text == var) {
+        out += "(&__o)";
+      } else {
+        out += t.text;
+      }
+    }
+    return out;
+  }
+
+  /// forall (v in C[*]) [, w in D[*]] [suchthat (e)] [by (k)] stmt
+  Status HandleForall() {
+    Drop();  // 'forall'
+    DropSpace();
+    if (!cur().is_punct("(")) return Fail("expected '(' after forall");
+    Drop();
+
+    struct Spec {
+      std::string var;
+      std::string type;
+      bool derived = false;
+    };
+    std::vector<Spec> specs;
+    while (true) {
+      DropSpace();
+      if (cur().kind != Token::Kind::kIdent) {
+        return Fail("expected loop variable in forall");
+      }
+      Spec spec;
+      spec.var = cur().text;
+      Drop();
+      DropSpace();
+      if (!cur().is_ident("in")) return Fail("expected 'in' in forall");
+      Drop();
+      DropSpace();
+      ODE_RETURN_IF_ERROR(ParseQualifiedType(&spec.type));
+      DropSpace();
+      if (cur().is_punct("*")) {
+        spec.derived = true;
+        Drop();
+        DropSpace();
+      }
+      specs.push_back(std::move(spec));
+      if (cur().is_punct(",")) {
+        Drop();
+        continue;
+      }
+      if (cur().is_punct(")")) {
+        Drop();
+        break;
+      }
+      return Fail("expected ',' or ')' in forall header");
+    }
+
+    std::string suchthat;
+    TokenList by_expr;
+    bool has_suchthat = false, has_by = false;
+    while (true) {
+      const size_t c = NextSig(pos_);
+      if (c < toks_.size() && toks_[c].is_ident("suchthat") && !has_suchthat) {
+        pos_ = c + 1;
+        DropSpace();
+        ODE_RETURN_IF_ERROR(CollectParenRaw(&suchthat));
+        has_suchthat = true;
+        continue;
+      }
+      if (c < toks_.size() && toks_[c].is_ident("by") && !has_by) {
+        pos_ = c + 1;
+        DropSpace();
+        ODE_RETURN_IF_ERROR(CollectParenTokens(&by_expr));
+        has_by = true;
+        continue;
+      }
+      break;
+    }
+
+    for (size_t i = 0; i < specs.size(); i++) {
+      const Spec& s = specs[i];
+      const char* derived = s.derived ? "true" : "false";
+      if (i == 0 && has_by) {
+        Emit("for (ode::Ref<" + s.type + "> " + s.var +
+             " : ode::opp::ForallCollectBy<" + s.type + ">(txn, " + derived +
+             ", [&](const " + s.type + "& __o) { return (" +
+             SubstVar(by_expr, s.var) + "); })) ");
+      } else {
+        Emit("for (ode::Ref<" + s.type + "> " + s.var +
+             " : ode::opp::ForallCollect<" + s.type + ">(txn, " + derived +
+             ")) ");
+      }
+    }
+    if (has_suchthat) {
+      Emit("if ((" + suchthat + ")) ");
+    }
+    return Status::OK();  // Loop body follows and flows through normally.
+  }
+
+  // --- Classes ---------------------------------------------------------------
+
+  Status HandleClass() {
+    // Is this a definition (a '{' before the next ';')?
+    bool is_definition = false;
+    for (size_t k = pos_ + 1; k < toks_.size(); k++) {
+      if (toks_[k].is_punct(";")) break;
+      if (toks_[k].is_punct("{")) {
+        is_definition = true;
+        break;
+      }
+      if (toks_[k].kind == Token::Kind::kEnd) break;
+    }
+    const size_t name_idx = NextSig(pos_ + 1);
+    if (!is_definition || name_idx >= toks_.size() ||
+        toks_[name_idx].kind != Token::Kind::kIdent) {
+      Copy();  // plain declaration / anonymous: pass through
+      return Status::OK();
+    }
+
+    in_class_ = true;
+    ClassInfo info;
+    info.name = toks_[name_idx].text;
+
+    // Copy head through '{', collecting base-class names.
+    bool seen_colon = false;
+    while (!AtEnd() && !cur().is_punct("{")) {
+      if (cur().is_punct(":")) seen_colon = true;
+      if (seen_colon && cur().kind == Token::Kind::kIdent &&
+          !IsAccessKeyword(cur().text) && cur().text != "virtual") {
+        info.bases.push_back(cur().text);
+      }
+      Copy();
+    }
+    if (AtEnd()) return Fail("unterminated class " + info.name);
+    Copy();  // '{'
+
+    int depth = 1;
+    TokenList stmt;
+    bool has_user_odefields = false;
+    std::vector<std::string> members;
+
+    while (!AtEnd() && depth > 0) {
+      const Token& t = cur();
+      if (depth == 1 && t.kind == Token::Kind::kIdent &&
+          (t.text == "constraint" || t.text == "trigger")) {
+        const size_t colon = NextSig(pos_ + 1);
+        if (colon < toks_.size() && toks_[colon].is_punct(":")) {
+          if (t.text == "constraint") {
+            ODE_RETURN_IF_ERROR(HandleConstraintSection(&info));
+          } else {
+            ODE_RETURN_IF_ERROR(HandleTriggerSection(&info));
+          }
+          stmt.clear();
+          continue;
+        }
+      }
+      if (t.is_punct("{")) {
+        depth++;
+        Copy();
+        continue;
+      }
+      if (t.is_punct("}")) {
+        depth--;
+        if (depth == 0) break;
+        if (depth == 1) stmt.clear();
+        Copy();
+        continue;
+      }
+      if (depth == 1) {
+        if (t.is_punct(";")) {
+          AnalyzeMember(stmt, &members);
+          stmt.clear();
+          Copy();
+          continue;
+        }
+        if (t.is_punct(":")) {
+          stmt.clear();  // access label
+          Copy();
+          continue;
+        }
+        if (t.is_ident("OdeFields")) has_user_odefields = true;
+        const size_t before = pos_;
+        ODE_RETURN_IF_ERROR(ProcessOne());
+        for (size_t k = before; k < pos_; k++) {
+          if (IsSignificant(toks_[k])) stmt.push_back(toks_[k]);
+        }
+        continue;
+      }
+      ODE_RETURN_IF_ERROR(ProcessOne());
+    }
+    if (AtEnd()) return Fail("unterminated class body of " + info.name);
+
+    // Inject the generated serialization member.
+    if (!has_user_odefields) {
+      Emit("\n public:\n  template <typename AR> void OdeFields(AR& ar) {");
+      for (const auto& base : info.bases) {
+        Emit(" " + base + "::OdeFields(ar);");
+      }
+      if (members.empty()) {
+        Emit(" (void)ar;");
+      } else {
+        Emit(" ar(");
+        for (size_t i = 0; i < members.size(); i++) {
+          if (i) Emit(", ");
+          Emit(members[i]);
+        }
+        Emit(");");
+      }
+      Emit(" }\n");
+    }
+    Copy();  // '}'
+    while (!AtEnd() && !cur().is_punct(";")) Copy();
+    if (!AtEnd()) Copy();  // ';'
+    in_class_ = false;
+
+    if (opts_.emit_registration) EmitRegistration(info);
+    classes_.push_back(std::move(info));
+    return Status::OK();
+  }
+
+  /// Whether the next significant token sequence ends the special section:
+  /// '}' or an access/section label `ident :` (but not `ident ::`).
+  bool AtSectionEnd() const {
+    const size_t c = NextSig(pos_);
+    if (c >= toks_.size()) return true;
+    if (toks_[c].is_punct("}")) return true;
+    if (toks_[c].kind == Token::Kind::kIdent &&
+        (IsAccessKeyword(toks_[c].text) || toks_[c].text == "constraint" ||
+         toks_[c].text == "trigger")) {
+      const size_t colon = NextSig(c + 1);
+      if (colon < toks_.size() && toks_[colon].is_punct(":")) return true;
+    }
+    return false;
+  }
+
+  /// constraint: expr1 ; expr2 ; ...  →  generated const member predicates.
+  Status HandleConstraintSection(ClassInfo* info) {
+    Drop();  // 'constraint'
+    DropSpace();
+    Drop();  // ':'
+    Emit("\n public:");
+    while (!AtSectionEnd()) {
+      DropSpace();
+      std::string expr;
+      int depth = 0;
+      while (!AtEnd()) {
+        if (depth == 0 && cur().is_punct(";")) {
+          Drop();
+          break;
+        }
+        if (cur().is_punct("(") || cur().is_punct("[")) depth++;
+        if (cur().is_punct(")") || cur().is_punct("]")) depth--;
+        expr += cur().text;
+        Drop();
+      }
+      const int idx = info->num_constraints++;
+      Emit("\n  bool __ode_constraint_" + std::to_string(idx) +
+           "() const { return (" + expr + "); }");
+      DropSpace();
+    }
+    Emit("\n");
+    return Status::OK();
+  }
+
+  /// trigger:
+  ///   [perpetual] Name(double n, ...) : cond ==> { action } [;]
+  Status HandleTriggerSection(ClassInfo* info) {
+    Drop();  // 'trigger'
+    DropSpace();
+    Drop();  // ':'
+    Emit("\n public:");
+    while (!AtSectionEnd()) {
+      DropSpace();
+      TriggerInfo trig;
+      if (cur().is_ident("perpetual")) {
+        trig.perpetual = true;
+        Drop();
+        DropSpace();
+      }
+      if (cur().kind != Token::Kind::kIdent) {
+        return Fail("expected trigger name");
+      }
+      trig.name = cur().text;
+      Drop();
+      DropSpace();
+      TokenList param_tokens;
+      ODE_RETURN_IF_ERROR(CollectParenTokens(&param_tokens));
+      // Parse "type name" pairs.
+      std::string param_decls;
+      {
+        std::vector<TokenList> chunks(1);
+        int depth = 0;
+        for (const Token& p : param_tokens) {
+          if (!IsSignificant(p)) continue;
+          if (p.is_punct("(") || p.is_punct("<") || p.is_punct("[")) depth++;
+          if (p.is_punct(")") || p.is_punct(">") || p.is_punct("]")) depth--;
+          if (depth == 0 && p.is_punct(",")) {
+            chunks.emplace_back();
+            continue;
+          }
+          chunks.back().push_back(p);
+        }
+        int arg_index = 0;
+        for (const auto& chunk : chunks) {
+          if (chunk.empty()) continue;
+          std::string pname;
+          std::string ptype;
+          for (size_t k = 0; k < chunk.size(); k++) {
+            if (k + 1 == chunk.size() &&
+                chunk[k].kind == Token::Kind::kIdent) {
+              pname = chunk[k].text;
+            } else {
+              if (!ptype.empty()) ptype += " ";
+              ptype += chunk[k].text;
+            }
+          }
+          if (pname.empty()) continue;
+          if (ptype.empty()) ptype = "double";
+          param_decls += " " + ptype + " " + pname + " = (" + ptype +
+                         ")__args[" + std::to_string(arg_index++) + "];";
+        }
+      }
+      DropSpace();
+      if (!cur().is_punct(":")) return Fail("expected ':' in trigger");
+      Drop();
+      // Condition until '==>'.
+      std::string cond;
+      int depth = 0;
+      while (!AtEnd()) {
+        if (depth == 0 && cur().is_punct("==>")) {
+          Drop();
+          break;
+        }
+        if (cur().is_punct("(") || cur().is_punct("[")) depth++;
+        if (cur().is_punct(")") || cur().is_punct("]")) depth--;
+        cond += cur().text;
+        Drop();
+      }
+      DropSpace();
+      std::string action;
+      ODE_RETURN_IF_ERROR(CollectBlockTranslated(&action));
+      DropSpace();
+      if (cur().is_punct(";")) Drop();
+
+      Emit("\n  bool __ode_trigger_cond_" + trig.name +
+           "(const std::vector<double>& __args) const { (void)__args;" +
+           param_decls + " return (" + cond + "); }");
+      Emit("\n  static ode::Status __ode_trigger_action_" + trig.name +
+           "(ode::Transaction& txn, ode::Ref<" + info->name +
+           "> self, const std::vector<double>& __args) { (void)txn; "
+           "(void)self; (void)__args;" +
+           param_decls + " " + action + " return ode::Status::OK(); }");
+      info->triggers.push_back(std::move(trig));
+      DropSpace();
+    }
+    Emit("\n");
+    return Status::OK();
+  }
+
+  /// Extracts serializable data-member names from one depth-1 statement.
+  static void AnalyzeMember(const TokenList& stmt,
+                            std::vector<std::string>* members) {
+    if (stmt.empty()) return;
+    if (stmt[0].kind == Token::Kind::kIdent && IsMemberBanned(stmt[0].text)) {
+      return;
+    }
+    for (const Token& t : stmt) {
+      if (t.is_punct("(") || t.is_punct("{") || t.is_ident("OdeFields") ||
+          t.is_ident("operator") || t.is_punct("~") || t.is_punct("&")) {
+        return;
+      }
+    }
+    // Split into declarator chunks at top-level commas.
+    std::vector<TokenList> chunks(1);
+    int depth = 0;
+    for (const Token& t : stmt) {
+      if (t.is_punct("<") || t.is_punct("[")) depth++;
+      if (t.is_punct(">") || t.is_punct("]")) depth--;
+      if (depth == 0 && t.is_punct(",")) {
+        chunks.emplace_back();
+        continue;
+      }
+      chunks.back().push_back(t);
+    }
+    const bool is_persistent_decl =
+        stmt[0].is_ident("persistent");
+    for (const auto& chunk : chunks) {
+      bool has_star = false;
+      for (const Token& t : chunk) {
+        if (t.is_punct("*")) has_star = true;
+      }
+      if (has_star && !is_persistent_decl) continue;  // raw pointer member
+      std::string name;
+      for (size_t k = 0; k < chunk.size(); k++) {
+        if (chunk[k].is_punct("=") || chunk[k].is_punct("[")) break;
+        if (chunk[k].kind == Token::Kind::kIdent &&
+            !IsMemberBanned(chunk[k].text) &&
+            !chunk[k].is_ident("persistent")) {
+          name = chunk[k].text;
+        }
+      }
+      if (!name.empty()) members->push_back(name);
+    }
+  }
+
+  void EmitRegistration(const ClassInfo& info) {
+    Emit("\nODE_REGISTER_CLASS(" + info.name);
+    for (const auto& base : info.bases) Emit(", " + base);
+    Emit(");\n");
+    Emit("inline void __ode_register_" + info.name + "(ode::Database& db) {\n");
+    Emit("  (void)db;\n");
+    for (int i = 0; i < info.num_constraints; i++) {
+      const std::string idx = std::to_string(i);
+      Emit("  db.RegisterConstraint<" + info.name + ">(\"" + info.name +
+           "::constraint_" + idx + "\", [](const " + info.name +
+           "& __o) { return __o.__ode_constraint_" + idx + "(); });\n");
+    }
+    for (const auto& trig : info.triggers) {
+      Emit("  db.DefineTrigger<" + info.name + ">(\"" + trig.name +
+           "\", [](const " + info.name +
+           "& __o, const std::vector<double>& __args) { return "
+           "__o.__ode_trigger_cond_" +
+           trig.name + "(__args); }, &" + info.name + "::__ode_trigger_action_" +
+           trig.name + ", " + (trig.perpetual ? "true" : "false") + ");\n");
+    }
+    Emit("}\n");
+  }
+
+  TokenList toks_;
+  size_t pos_ = 0;
+  std::string out_;
+  std::vector<std::string*> sinks_;
+  Translator::Options opts_;
+  std::vector<ClassInfo> classes_;
+  bool in_class_ = false;
+  bool strip_decl_stars_ = false;
+  std::string last_sig_;
+};
+
+}  // namespace
+
+Result<std::string> Translator::Translate(const std::string& source,
+                                          const Options& options) {
+  ODE_ASSIGN_OR_RETURN(TokenList tokens, Lex(source));
+  tokens = ApplyIsRewrite(tokens);
+  Rewriter rewriter(std::move(tokens), options);
+  return rewriter.Run();
+}
+
+}  // namespace opp
+}  // namespace ode

@@ -1,0 +1,59 @@
+#ifndef ODE_OPP_TRANSLATOR_H_
+#define ODE_OPP_TRANSLATOR_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace ode {
+namespace opp {
+
+/// The O++-to-C++ source translator (the preprocessor the paper's prototype
+/// implies: "We have begun a prototype implementation of O++").
+///
+/// Supported O++ constructs and their translations:
+///
+///   persistent T *p;                → ode::Ref<T> p;
+///   pnew T(args)                    → ode::opp::PNew<T>(txn, args)
+///   pdelete p;                      → ode::opp::PDelete(txn, p);
+///   create(T);                      → ode::opp::Create<T>(txn);
+///   newversion(p) / delversion(p)   → ode::opp::NewVersion(txn, p) / ...
+///   vnum(p)                         → ode::opp::VNum(txn, p)
+///   p is persistent T*              → ode::opp::Is<T>(txn, p)
+///   forall (p in C) suchthat (e) by (k) stmt
+///                                   → ordered/filtered range-for over
+///                                     ode::opp::ForallCollect<C>(...)
+///   forall (p in C*)                → hierarchy iteration (derived extents)
+///   forall (a in A, b in B) ...     → nested (join) loops
+///   class C { ... constraint: e1; e2; trigger: [perpetual] T(double n):
+///       cond ==> { action } ... };  → generated constraint/trigger members,
+///                                     a generated OdeFields (from parsed
+///                                     data members), ODE_REGISTER_CLASS and
+///                                     a __ode_register_<C>(db) function
+///
+/// Dialect conventions (documented in README): translated statements run in
+/// a scope with an `ode::Transaction& txn` visible (the paper equates a
+/// program with one transaction); trigger actions receive `txn` and `self`
+/// (a Ref to the triggering object).
+class Translator {
+ public:
+  struct Options {
+    /// Emit ODE_REGISTER_CLASS / __ode_register_* plumbing after classes.
+    bool emit_registration = true;
+    /// Emit `#include "opp/runtime.h"` at the top of the output.
+    bool emit_prelude = true;
+  };
+
+  /// Translates O++ `source` to C++. Returns InvalidArgument with a line
+  /// number on malformed O++ constructs.
+  static Result<std::string> Translate(const std::string& source,
+                                       const Options& options);
+  static Result<std::string> Translate(const std::string& source) {
+    return Translate(source, Options());
+  }
+};
+
+}  // namespace opp
+}  // namespace ode
+
+#endif  // ODE_OPP_TRANSLATOR_H_

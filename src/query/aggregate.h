@@ -1,0 +1,105 @@
+#ifndef ODE_QUERY_AGGREGATE_H_
+#define ODE_QUERY_AGGREGATE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/forall.h"
+
+namespace ode {
+
+/// Aggregation over ForAll iterations. The paper's income query (§3.1.2)
+/// computes running sums and counts inside the loop body; these helpers
+/// package the common aggregates so queries read declaratively:
+///
+///   ODE_ASSIGN_OR_RETURN(double avg,
+///       Avg<Person>(ForAll<Person>(txn).WithDerived(), txn,
+///                   [](const Person& p) { return p.income(); }));
+///
+/// Each helper consumes the ForAll (applying its suchthat/hierarchy/index
+/// configuration) in one streaming pass.
+
+/// Sum of `value` over the matching objects.
+template <typename T>
+Result<double> Sum(ForAll<T> loop, Transaction& txn,
+                   std::function<double(const T&)> value) {
+  double sum = 0;
+  ODE_RETURN_IF_ERROR(loop.Do([&](Ref<T> ref) -> Status {
+    ODE_ASSIGN_OR_RETURN(const T* obj, txn.Read(ref));
+    sum += value(*obj);
+    return Status::OK();
+  }));
+  return sum;
+}
+
+/// Average of `value`; NotFound when no object matches.
+template <typename T>
+Result<double> Avg(ForAll<T> loop, Transaction& txn,
+                   std::function<double(const T&)> value) {
+  double sum = 0;
+  size_t n = 0;
+  ODE_RETURN_IF_ERROR(loop.Do([&](Ref<T> ref) -> Status {
+    ODE_ASSIGN_OR_RETURN(const T* obj, txn.Read(ref));
+    sum += value(*obj);
+    n++;
+    return Status::OK();
+  }));
+  if (n == 0) return Status::NotFound("Avg over an empty extent");
+  return sum / static_cast<double>(n);
+}
+
+/// The object minimizing `key`; a null ref when nothing matches.
+template <typename T, typename K>
+Result<Ref<T>> MinBy(ForAll<T> loop, Transaction& txn,
+                     std::function<K(const T&)> key) {
+  Ref<T> best;
+  std::optional<K> best_key;
+  ODE_RETURN_IF_ERROR(loop.Do([&](Ref<T> ref) -> Status {
+    ODE_ASSIGN_OR_RETURN(const T* obj, txn.Read(ref));
+    K k = key(*obj);
+    if (!best_key.has_value() || k < *best_key) {
+      best_key = std::move(k);
+      best = ref;
+    }
+    return Status::OK();
+  }));
+  return best;
+}
+
+/// The object maximizing `key`; a null ref when nothing matches.
+template <typename T, typename K>
+Result<Ref<T>> MaxBy(ForAll<T> loop, Transaction& txn,
+                     std::function<K(const T&)> key) {
+  Ref<T> best;
+  std::optional<K> best_key;
+  ODE_RETURN_IF_ERROR(loop.Do([&](Ref<T> ref) -> Status {
+    ODE_ASSIGN_OR_RETURN(const T* obj, txn.Read(ref));
+    K k = key(*obj);
+    if (!best_key.has_value() || *best_key < k) {
+      best_key = std::move(k);
+      best = ref;
+    }
+    return Status::OK();
+  }));
+  return best;
+}
+
+/// Per-group aggregate: groups matching objects by `group`, folding each
+/// group with `fold(accumulator, object)`. Returns group -> accumulator.
+template <typename T, typename G, typename A>
+Result<std::map<G, A>> GroupBy(ForAll<T> loop, Transaction& txn,
+                               std::function<G(const T&)> group,
+                               std::function<void(A&, const T&)> fold) {
+  std::map<G, A> groups;
+  ODE_RETURN_IF_ERROR(loop.Do([&](Ref<T> ref) -> Status {
+    ODE_ASSIGN_OR_RETURN(const T* obj, txn.Read(ref));
+    fold(groups[group(*obj)], *obj);
+    return Status::OK();
+  }));
+  return groups;
+}
+
+}  // namespace ode
+
+#endif  // ODE_QUERY_AGGREGATE_H_

@@ -1,0 +1,479 @@
+#include "query/btree.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace ode {
+
+namespace {
+
+constexpr uint32_t kHdr = 16;
+constexpr uint32_t kCountOff = 2;
+constexpr uint32_t kHeapLowOff = 4;
+constexpr uint32_t kLinkOff = 6;  // next leaf / leftmost child
+
+inline bool IsLeaf(const char* page) {
+  return static_cast<PageType>(page[0]) == PageType::kBTreeLeaf;
+}
+inline uint16_t Count(const char* page) {
+  return DecodeFixed16(page + kCountOff);
+}
+inline void SetCount(char* page, uint16_t n) {
+  EncodeFixed16(page + kCountOff, n);
+}
+inline uint16_t HeapLow(const char* page) {
+  return DecodeFixed16(page + kHeapLowOff);
+}
+inline void SetHeapLow(char* page, uint16_t v) {
+  EncodeFixed16(page + kHeapLowOff, v);
+}
+inline PageId Link(const char* page) { return DecodeFixed32(page + kLinkOff); }
+inline void SetLink(char* page, PageId id) {
+  EncodeFixed32(page + kLinkOff, id);
+}
+
+inline uint16_t CellOffset(const char* page, uint16_t rank) {
+  return DecodeFixed16(page + kHdr + 2u * rank);
+}
+inline Slice CellKey(const char* page, uint16_t rank) {
+  const uint16_t off = CellOffset(page, rank);
+  const uint16_t keylen = DecodeFixed16(page + off);
+  return Slice(page + off + 2, keylen);
+}
+inline uint64_t LeafValue(const char* page, uint16_t rank) {
+  const uint16_t off = CellOffset(page, rank);
+  const uint16_t keylen = DecodeFixed16(page + off);
+  return DecodeFixed64(page + off + 2 + keylen);
+}
+inline PageId InternalChild(const char* page, uint16_t rank) {
+  const uint16_t off = CellOffset(page, rank);
+  const uint16_t keylen = DecodeFixed16(page + off);
+  return DecodeFixed32(page + off + 2 + keylen);
+}
+
+inline size_t CellSize(size_t keylen, bool leaf) {
+  return 2 + keylen + (leaf ? 8 : 4);
+}
+
+inline uint32_t FreeSpace(const char* page) {
+  return HeapLow(page) - (kHdr + 2u * Count(page));
+}
+
+void InitNode(char* page, bool leaf, uint8_t level) {
+  memset(page, 0, kPageSize);
+  page[0] = static_cast<char>(leaf ? PageType::kBTreeLeaf
+                                   : PageType::kBTreeInternal);
+  page[1] = static_cast<char>(level);
+  SetCount(page, 0);
+  SetHeapLow(page, static_cast<uint16_t>(kPageSize));
+  SetLink(page, kInvalidPageId);
+}
+
+/// First rank whose key is >= `key` (== Count when none).
+uint16_t LowerBound(const char* page, const Slice& key) {
+  uint16_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    const uint16_t mid = (lo + hi) / 2;
+    if (CellKey(page, mid).compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First rank whose key is > `key`.
+uint16_t UpperBound(const char* page, const Slice& key) {
+  uint16_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    const uint16_t mid = (lo + hi) / 2;
+    if (CellKey(page, mid).compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Writes a cell into the heap and its pointer at `rank`, shifting the
+/// pointer array. Caller guarantees space.
+void InsertCell(char* page, uint16_t rank, const Slice& key,
+                const char* payload, size_t payload_len) {
+  const size_t cell = 2 + key.size() + payload_len;
+  const uint16_t off = static_cast<uint16_t>(HeapLow(page) - cell);
+  EncodeFixed16(page + off, static_cast<uint16_t>(key.size()));
+  memcpy(page + off + 2, key.data(), key.size());
+  memcpy(page + off + 2 + key.size(), payload, payload_len);
+  SetHeapLow(page, off);
+  const uint16_t n = Count(page);
+  char* ptrs = page + kHdr;
+  memmove(ptrs + 2u * (rank + 1), ptrs + 2u * rank, 2u * (n - rank));
+  EncodeFixed16(ptrs + 2u * rank, off);
+  SetCount(page, static_cast<uint16_t>(n + 1));
+}
+
+void RemoveCell(char* page, uint16_t rank) {
+  const uint16_t n = Count(page);
+  char* ptrs = page + kHdr;
+  memmove(ptrs + 2u * rank, ptrs + 2u * (rank + 1), 2u * (n - rank - 1));
+  SetCount(page, static_cast<uint16_t>(n - 1));
+  // The cell bytes become a heap hole, reclaimed by Rebuild.
+}
+
+/// Compacts the heap, dropping holes left by RemoveCell.
+void Rebuild(char* page) {
+  const uint16_t n = Count(page);
+  const bool leaf = IsLeaf(page);
+  std::vector<std::string> cells(n);
+  for (uint16_t i = 0; i < n; i++) {
+    const uint16_t off = CellOffset(page, i);
+    const uint16_t keylen = DecodeFixed16(page + off);
+    const size_t size = CellSize(keylen, leaf);
+    cells[i].assign(page + off, size);
+  }
+  uint16_t heap = static_cast<uint16_t>(kPageSize);
+  for (uint16_t i = 0; i < n; i++) {
+    heap = static_cast<uint16_t>(heap - cells[i].size());
+    memcpy(page + heap, cells[i].data(), cells[i].size());
+    EncodeFixed16(page + kHdr + 2u * i, heap);
+  }
+  SetHeapLow(page, heap);
+}
+
+/// Moves cells [from..count) of `src` into empty `dst` (same node kind).
+void MoveUpperCells(char* src, char* dst, uint16_t from) {
+  const uint16_t n = Count(src);
+  const bool leaf = IsLeaf(src);
+  for (uint16_t i = from; i < n; i++) {
+    const uint16_t off = CellOffset(src, i);
+    const uint16_t keylen = DecodeFixed16(src + off);
+    const Slice key(src + off + 2, keylen);
+    const char* payload = src + off + 2 + keylen;
+    InsertCell(dst, static_cast<uint16_t>(i - from), key, payload,
+               leaf ? 8 : 4);
+  }
+  SetCount(src, from);
+  Rebuild(src);
+}
+
+}  // namespace
+
+Status BTree::Create(StorageEngine* engine, PageId* root) {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine->AllocPage(root, &handle));
+  InitNode(handle.mutable_data(), /*leaf=*/true, /*level=*/0);
+  return Status::OK();
+}
+
+Status BTree::FindLeaf(const Slice& key, PageId* leaf) const {
+  PageId page = root_;
+  while (true) {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(page, &handle));
+    const char* buf = handle.data();
+    if (IsLeaf(buf)) {
+      *leaf = page;
+      return Status::OK();
+    }
+    const uint16_t rank = UpperBound(buf, key);
+    page = (rank == 0) ? Link(buf) : InternalChild(buf, rank - 1);
+  }
+}
+
+Status BTree::InsertInto(PageId page_id, const Slice& key, uint64_t value,
+                         std::optional<SplitResult>* split) {
+  split->reset();
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageRead(page_id, &handle));
+
+  if (!IsLeaf(handle.data())) {
+    const uint16_t rank = UpperBound(handle.data(), key);
+    const PageId child = (rank == 0) ? Link(handle.data())
+                                     : InternalChild(handle.data(), rank - 1);
+    handle.Release();
+
+    std::optional<SplitResult> child_split;
+    ODE_RETURN_IF_ERROR(InsertInto(child, key, value, &child_split));
+    if (!child_split.has_value()) return Status::OK();
+
+    // Insert {separator -> right} into this internal node.
+    const Slice sep(child_split->separator);
+    char payload[4];
+    EncodeFixed32(payload, child_split->right);
+
+    PageHandle wh;
+    ODE_RETURN_IF_ERROR(engine_->GetPageWrite(page_id, &wh));
+    char* buf = wh.mutable_data();
+    const size_t need = CellSize(sep.size(), /*leaf=*/false) + 2;
+    if (FreeSpace(buf) < need) {
+      Rebuild(buf);
+    }
+    if (FreeSpace(buf) >= need) {
+      InsertCell(buf, LowerBound(buf, sep), sep, payload, 4);
+      return Status::OK();
+    }
+    // Split this internal node: promote the middle key.
+    const uint16_t n = Count(buf);
+    const uint16_t mid = n / 2;
+    const std::string promoted = CellKey(buf, mid).ToString();
+    const PageId mid_child = InternalChild(buf, mid);
+
+    PageId right_id;
+    PageHandle rh;
+    ODE_RETURN_IF_ERROR(engine_->AllocPage(&right_id, &rh));
+    InitNode(rh.mutable_data(), /*leaf=*/false, static_cast<uint8_t>(buf[1]));
+    SetLink(rh.mutable_data(), mid_child);  // leftmost child of right node
+    MoveUpperCells(buf, rh.mutable_data(), static_cast<uint16_t>(mid + 1));
+    // Drop the promoted cell from the left node.
+    RemoveCell(buf, mid);
+    Rebuild(buf);
+
+    // Now place the pending separator in the correct half.
+    char* target = Slice(promoted).compare(sep) <= 0 ? rh.mutable_data() : buf;
+    InsertCell(target, LowerBound(target, sep), sep, payload, 4);
+
+    *split = SplitResult{promoted, right_id};
+    return Status::OK();
+  }
+
+  // Leaf.
+  {
+    const uint16_t rank = LowerBound(handle.data(), key);
+    if (rank < Count(handle.data()) &&
+        CellKey(handle.data(), rank) == key) {
+      return Status::AlreadyExists("duplicate index key");
+    }
+  }
+  handle.Release();
+
+  PageHandle wh;
+  ODE_RETURN_IF_ERROR(engine_->GetPageWrite(page_id, &wh));
+  char* buf = wh.mutable_data();
+  char payload[8];
+  EncodeFixed64(payload, value);
+  const size_t need = CellSize(key.size(), /*leaf=*/true) + 2;
+  if (FreeSpace(buf) < need) {
+    Rebuild(buf);
+  }
+  if (FreeSpace(buf) >= need) {
+    InsertCell(buf, LowerBound(buf, key), key, payload, 8);
+    return Status::OK();
+  }
+  // Split the leaf.
+  const uint16_t n = Count(buf);
+  const uint16_t mid = n / 2;
+  PageId right_id;
+  PageHandle rh;
+  ODE_RETURN_IF_ERROR(engine_->AllocPage(&right_id, &rh));
+  InitNode(rh.mutable_data(), /*leaf=*/true, 0);
+  SetLink(rh.mutable_data(), Link(buf));
+  MoveUpperCells(buf, rh.mutable_data(), mid);
+  SetLink(buf, right_id);
+
+  const std::string separator = CellKey(rh.data(), 0).ToString();
+  char* target = Slice(separator).compare(key) <= 0 ? rh.mutable_data() : buf;
+  InsertCell(target, LowerBound(target, key), key, payload, 8);
+
+  *split = SplitResult{separator, right_id};
+  return Status::OK();
+}
+
+Status BTree::Insert(const Slice& key, uint64_t value) {
+  if (key.size() > kMaxKeySize) {
+    return Status::InvalidArgument("index key too large");
+  }
+  if (key.empty()) {
+    return Status::InvalidArgument("empty index key");
+  }
+  std::optional<SplitResult> split;
+  ODE_RETURN_IF_ERROR(InsertInto(root_, key, value, &split));
+  if (!split.has_value()) return Status::OK();
+
+  // Grow a new root.
+  uint8_t old_level;
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+    old_level = static_cast<uint8_t>(handle.data()[1]);
+  }
+  PageId new_root;
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->AllocPage(&new_root, &handle));
+  InitNode(handle.mutable_data(), /*leaf=*/false,
+           static_cast<uint8_t>(old_level + 1));
+  SetLink(handle.mutable_data(), root_);
+  char payload[4];
+  EncodeFixed32(payload, split->right);
+  InsertCell(handle.mutable_data(), 0, Slice(split->separator), payload, 4);
+  root_ = new_root;
+  return Status::OK();
+}
+
+Status BTree::Delete(const Slice& key, bool* deleted) {
+  *deleted = false;
+  PageId leaf;
+  ODE_RETURN_IF_ERROR(FindLeaf(key, &leaf));
+  PageHandle probe;
+  ODE_RETURN_IF_ERROR(engine_->GetPageRead(leaf, &probe));
+  const uint16_t rank = LowerBound(probe.data(), key);
+  if (rank >= Count(probe.data()) || CellKey(probe.data(), rank) != key) {
+    return Status::OK();
+  }
+  probe.Release();
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageWrite(leaf, &handle));
+  RemoveCell(handle.mutable_data(), rank);
+  *deleted = true;
+  return Status::OK();
+}
+
+Status BTree::Get(const Slice& key, uint64_t* value, bool* found) const {
+  *found = false;
+  PageId leaf;
+  ODE_RETURN_IF_ERROR(FindLeaf(key, &leaf));
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageRead(leaf, &handle));
+  const uint16_t rank = LowerBound(handle.data(), key);
+  if (rank < Count(handle.data()) && CellKey(handle.data(), rank) == key) {
+    *value = LeafValue(handle.data(), rank);
+    *found = true;
+  }
+  return Status::OK();
+}
+
+Status BTree::Iterator::LoadPosition(StorageEngine* engine, PageId leaf,
+                                     uint16_t rank) {
+  engine_ = engine;
+  PageId page = leaf;
+  uint16_t r = rank;
+  while (true) {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine->GetPageRead(page, &handle));
+    if (r < Count(handle.data())) {
+      page_ = std::move(handle);
+      rank_ = r;
+      valid_ = true;
+      return Status::OK();
+    }
+    const PageId next = Link(handle.data());
+    if (next == kInvalidPageId) {
+      valid_ = false;
+      return Status::OK();
+    }
+    page = next;
+    r = 0;
+  }
+}
+
+Status BTree::Iterator::Next() {
+  if (!valid_) return Status::InvalidArgument("Next on invalid iterator");
+  const PageId page = page_.id();
+  const uint16_t rank = rank_;
+  page_.Release();
+  return LoadPosition(engine_, page, static_cast<uint16_t>(rank + 1));
+}
+
+Slice BTree::Iterator::key() const { return CellKey(page_.data(), rank_); }
+
+uint64_t BTree::Iterator::value() const {
+  return LeafValue(page_.data(), rank_);
+}
+
+Status BTree::SeekGE(const Slice& key, Iterator* it) const {
+  PageId leaf;
+  ODE_RETURN_IF_ERROR(FindLeaf(key, &leaf));
+  uint16_t rank;
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(leaf, &handle));
+    rank = LowerBound(handle.data(), key);
+  }
+  return it->LoadPosition(engine_, leaf, rank);
+}
+
+Status BTree::SeekFirst(Iterator* it) const {
+  PageId page = root_;
+  while (true) {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(page, &handle));
+    if (IsLeaf(handle.data())) break;
+    page = Link(handle.data());
+  }
+  return it->LoadPosition(engine_, page, 0);
+}
+
+Result<uint64_t> BTree::CountAll() const {
+  uint64_t count = 0;
+  Iterator it;
+  ODE_RETURN_IF_ERROR(SeekFirst(&it));
+  while (it.Valid()) {
+    count++;
+    ODE_RETURN_IF_ERROR(it.Next());
+  }
+  return count;
+}
+
+Result<uint32_t> BTree::Height() const {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+  return static_cast<uint32_t>(static_cast<uint8_t>(handle.data()[1])) + 1;
+}
+
+Status BTree::DropSubtree(PageId page_id) {
+  bool leaf;
+  std::vector<PageId> children;
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(page_id, &handle));
+    leaf = IsLeaf(handle.data());
+    if (!leaf) {
+      children.push_back(Link(handle.data()));
+      for (uint16_t i = 0; i < Count(handle.data()); i++) {
+        children.push_back(InternalChild(handle.data(), i));
+      }
+    }
+  }
+  for (PageId child : children) {
+    ODE_RETURN_IF_ERROR(DropSubtree(child));
+  }
+  return engine_->FreePage(page_id);
+}
+
+Status BTree::Drop() { return DropSubtree(root_); }
+
+namespace {
+Status ListSubtree(StorageEngine* engine, PageId page_id,
+                   std::vector<PageId>* pages, int depth) {
+  if (depth > 64) {
+    return Status::Corruption("btree deeper than 64 levels (cycle?)");
+  }
+  pages->push_back(page_id);
+  std::vector<PageId> children;
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine->GetPageRead(page_id, &handle));
+    if (!IsLeaf(handle.data())) {
+      children.push_back(Link(handle.data()));
+      for (uint16_t i = 0; i < Count(handle.data()); i++) {
+        children.push_back(InternalChild(handle.data(), i));
+      }
+    }
+  }
+  for (PageId child : children) {
+    ODE_RETURN_IF_ERROR(ListSubtree(engine, child, pages, depth + 1));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status BTree::ListPages(std::vector<PageId>* pages) const {
+  pages->clear();
+  return ListSubtree(engine_, root_, pages, 0);
+}
+
+}  // namespace ode

@@ -1,0 +1,115 @@
+#ifndef ODE_QUERY_BTREE_H_
+#define ODE_QUERY_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/engine.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// A disk-resident B+tree mapping byte-string keys to 64-bit values, used
+/// for ODE's secondary indexes (the `suchthat`/`by` access paths of §3).
+///
+/// Keys must be unique; IndexManager achieves duplicate user keys by
+/// suffixing the object id (see index_key.h). Keys are limited to
+/// kMaxKeySize bytes. Deletion is lazy: underfull pages are not merged,
+/// which is the classic trade-off for insert-mostly index workloads.
+///
+/// Node format (dedicated layout, not SlottedPage, because the cell
+/// directory must stay sorted by key rank):
+///   [0]      page type (kBTreeLeaf / kBTreeInternal)
+///   [1]      level (0 = leaf)
+///   [2..3]   cell count u16
+///   [4..5]   heap low-water mark u16 (cells grow down from page end)
+///   [6..9]   leaf: next-leaf page id; internal: leftmost child page id
+///   [10..15] reserved
+///   [16..]   sorted cell-pointer array (u16 offsets)
+/// Leaf cell:     [keylen u16][key][value u64]
+/// Internal cell: [keylen u16][key][child u32] — child holds keys >= key.
+class BTree {
+ public:
+  static constexpr size_t kMaxKeySize = 512;
+
+  BTree(StorageEngine* engine, PageId root) : engine_(engine), root_(root) {}
+
+  /// Allocates an empty tree (one leaf page) inside the active transaction.
+  static Status Create(StorageEngine* engine, PageId* root);
+
+  /// Inserts `key` -> `value`. AlreadyExists if the key is present.
+  /// The root page id can change (splits); read root() afterwards.
+  Status Insert(const Slice& key, uint64_t value);
+
+  /// Removes `key`. Sets *deleted=false when the key was absent.
+  Status Delete(const Slice& key, bool* deleted);
+
+  /// Point lookup.
+  Status Get(const Slice& key, uint64_t* value, bool* found) const;
+
+  /// Frees every page of the tree.
+  Status Drop();
+
+  /// Collects every page of the tree (integrity checking).
+  Status ListPages(std::vector<PageId>* pages) const;
+
+  /// Forward iterator over key order; holds a pin on the current leaf.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    /// Advances; iterator becomes invalid past the last key.
+    Status Next();
+    /// Key/value at the current position (valid() required).
+    Slice key() const;
+    uint64_t value() const;
+
+   private:
+    friend class BTree;
+    StorageEngine* engine_ = nullptr;
+    PageHandle page_;
+    uint16_t rank_ = 0;
+    bool valid_ = false;
+
+    Status LoadPosition(StorageEngine* engine, PageId leaf, uint16_t rank);
+  };
+
+  /// Positions at the first key >= `key` (or end).
+  Status SeekGE(const Slice& key, Iterator* it) const;
+
+  /// Positions at the smallest key.
+  Status SeekFirst(Iterator* it) const;
+
+  /// Number of keys (full scan; diagnostics and tests).
+  Result<uint64_t> CountAll() const;
+
+  /// Height of the tree (1 = single leaf).
+  Result<uint32_t> Height() const;
+
+  PageId root() const { return root_; }
+
+ private:
+  struct SplitResult {
+    std::string separator;  ///< First key of the new right sibling.
+    PageId right;
+  };
+
+  /// Recursive insert; sets `split` when `page` had to split.
+  Status InsertInto(PageId page, const Slice& key, uint64_t value,
+                    std::optional<SplitResult>* split);
+
+  /// Descends to the leaf that would hold `key`.
+  Status FindLeaf(const Slice& key, PageId* leaf) const;
+
+  Status DropSubtree(PageId page);
+
+  StorageEngine* engine_;
+  PageId root_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_QUERY_BTREE_H_

@@ -1,0 +1,66 @@
+#include "query/fixpoint.h"
+
+namespace ode {
+
+Status SemiNaiveFixpoint(const std::vector<Oid>& seeds, const StepFn& step,
+                         std::vector<Oid>* closure, FixpointStats* stats) {
+  FixpointStats local;
+  closure->clear();
+  std::unordered_set<uint64_t> seen;
+  std::vector<Oid> delta;
+  for (const Oid& seed : seeds) {
+    if (internal_fixpoint::Insert(&seen, seed)) {
+      closure->push_back(seed);
+      delta.push_back(seed);
+    }
+  }
+  while (!delta.empty()) {
+    local.rounds++;
+    std::vector<Oid> derived;
+    ODE_RETURN_IF_ERROR(step(delta, &derived));
+    local.derived += derived.size();
+    delta.clear();
+    for (const Oid& oid : derived) {
+      if (internal_fixpoint::Insert(&seen, oid)) {
+        closure->push_back(oid);
+        delta.push_back(oid);
+      } else {
+        local.duplicates++;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status NaiveFixpoint(const std::vector<Oid>& seeds, const StepFn& step,
+                     std::vector<Oid>* closure, FixpointStats* stats) {
+  FixpointStats local;
+  closure->clear();
+  std::unordered_set<uint64_t> seen;
+  for (const Oid& seed : seeds) {
+    if (internal_fixpoint::Insert(&seen, seed)) {
+      closure->push_back(seed);
+    }
+  }
+  bool changed = !closure->empty();
+  while (changed) {
+    local.rounds++;
+    changed = false;
+    std::vector<Oid> derived;
+    ODE_RETURN_IF_ERROR(step(*closure, &derived));
+    local.derived += derived.size();
+    for (const Oid& oid : derived) {
+      if (internal_fixpoint::Insert(&seen, oid)) {
+        closure->push_back(oid);
+        changed = true;
+      } else {
+        local.duplicates++;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace ode

@@ -1,0 +1,54 @@
+#ifndef ODE_QUERY_FIXPOINT_H_
+#define ODE_QUERY_FIXPOINT_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "objstore/object_id.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// Least-fixpoint evaluation engines (paper §3.2). The set/cluster worklist
+/// iteration built into OSet/VSet/ForAll already gives semi-naive behavior
+/// for queries phrased as loops; this module provides the same strategies as
+/// an explicit evaluator for derived-fact computations phrased as a step
+/// function ("given these newly derived objects, derive more"), which is the
+/// shape recursive queries take in deductive databases (references [2, 9] of
+/// the paper).
+
+struct FixpointStats {
+  int rounds = 0;
+  size_t derived = 0;     ///< Facts produced by step calls (with duplicates).
+  size_t duplicates = 0;  ///< Derived facts that were already known.
+};
+
+/// Derives new facts from a batch of facts. Appends to `out` (need not
+/// dedupe — the evaluator does).
+using StepFn =
+    std::function<Status(const std::vector<Oid>& batch, std::vector<Oid>* out)>;
+
+/// Semi-naive evaluation: each round feeds only the *delta* (facts first
+/// derived last round) back into `step`, so every fact is expanded exactly
+/// once. `closure` returns seeds + everything derived, in discovery order.
+Status SemiNaiveFixpoint(const std::vector<Oid>& seeds, const StepFn& step,
+                         std::vector<Oid>* closure,
+                         FixpointStats* stats = nullptr);
+
+/// Naive evaluation: each round feeds the *entire* closure back into `step`
+/// and stops when a round derives nothing new. Provided as the baseline the
+/// paper's iteration semantics improves on (see bench_fixpoint).
+Status NaiveFixpoint(const std::vector<Oid>& seeds, const StepFn& step,
+                     std::vector<Oid>* closure, FixpointStats* stats = nullptr);
+
+namespace internal_fixpoint {
+
+inline bool Insert(std::unordered_set<uint64_t>* seen, const Oid& oid) {
+  return seen->insert(oid.Pack()).second;
+}
+
+}  // namespace internal_fixpoint
+}  // namespace ode
+
+#endif  // ODE_QUERY_FIXPOINT_H_

@@ -1,0 +1,104 @@
+#ifndef ODE_QUERY_INDEX_KEY_H_
+#define ODE_QUERY_INDEX_KEY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "objstore/object_id.h"
+#include "util/slice.h"
+
+namespace ode {
+
+/// Order-preserving byte encodings for index keys. B+tree keys compare with
+/// memcmp, so every supported key type is mapped to a byte string whose
+/// lexicographic order equals the natural order of the values:
+///
+///  * signed integers: sign bit flipped, big-endian;
+///  * doubles: IEEE bits, sign-massaged, big-endian;
+///  * strings: 0x00 escaped as {0x00,0xFF}, terminated by {0x00,0x00} so a
+///    shorter string sorts before any extension of it.
+///
+/// Secondary indexes allow duplicate user keys by appending the 8-byte
+/// big-endian packed Oid, which also makes precise deletion possible.
+namespace index_key {
+
+inline void AppendBigEndian64(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+inline uint64_t ReadBigEndian64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+inline void AppendInt64(std::string* out, int64_t v) {
+  AppendBigEndian64(out, static_cast<uint64_t>(v) ^ (1ull << 63));
+}
+
+inline void AppendDouble(std::string* out, double v) {
+  uint64_t bits;
+  memcpy(&bits, &v, sizeof(bits));
+  // Positive doubles: flip the sign bit. Negative: flip all bits. This
+  // yields total order matching numeric order (NaNs sort high).
+  if (bits & (1ull << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (1ull << 63);
+  }
+  AppendBigEndian64(out, bits);
+}
+
+inline void AppendString(std::string* out, const Slice& s) {
+  for (size_t i = 0; i < s.size(); i++) {
+    out->push_back(s[i]);
+    if (s[i] == '\0') out->push_back('\xFF');
+  }
+  out->push_back('\0');
+  out->push_back('\0');
+}
+
+/// Builds a composite key for one index entry: encoded user key + packed oid.
+inline std::string Compose(const std::string& encoded_user_key,
+                           const Oid& oid) {
+  std::string key = encoded_user_key;
+  AppendBigEndian64(&key, oid.Pack());
+  return key;
+}
+
+/// Extracts the oid suffix from a composite key.
+inline Oid OidSuffix(const Slice& composite) {
+  return Oid::Unpack(ReadBigEndian64(composite.data() + composite.size() - 8));
+}
+
+/// The encoded-user-key prefix of a composite key.
+inline Slice UserKeyPrefix(const Slice& composite) {
+  return Slice(composite.data(), composite.size() - 8);
+}
+
+// Typed one-call encoders (each returns the encoded *user* key).
+inline std::string FromInt64(int64_t v) {
+  std::string out;
+  AppendInt64(&out, v);
+  return out;
+}
+inline std::string FromDouble(double v) {
+  std::string out;
+  AppendDouble(&out, v);
+  return out;
+}
+inline std::string FromString(const Slice& v) {
+  std::string out;
+  AppendString(&out, v);
+  return out;
+}
+
+}  // namespace index_key
+}  // namespace ode
+
+#endif  // ODE_QUERY_INDEX_KEY_H_

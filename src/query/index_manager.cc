@@ -1,0 +1,185 @@
+#include "query/index_manager.h"
+
+#include "query/index_key.h"
+
+namespace ode {
+
+Status IndexManager::CreateIndex(const std::string& name, ClusterId cluster,
+                                 Extractor extractor) {
+  if (catalog_->FindIndex(name) != nullptr) {
+    return Status::AlreadyExists("index " + name);
+  }
+  PageId root;
+  ODE_RETURN_IF_ERROR(BTree::Create(engine_, &root));
+  CatalogData::IndexEntry entry;
+  entry.name = name;
+  entry.cluster = cluster;
+  entry.btree_root = root;
+  catalog_->indexes.push_back(entry);
+  ODE_RETURN_IF_ERROR(save_catalog_());
+  extractors_[name] = std::move(extractor);
+  return Status::OK();
+}
+
+Status IndexManager::DropIndex(const std::string& name) {
+  const CatalogData::IndexEntry* entry = catalog_->FindIndex(name);
+  if (entry == nullptr) return Status::NotFound("index " + name);
+  BTree tree(engine_, entry->btree_root);
+  ODE_RETURN_IF_ERROR(tree.Drop());
+  auto& v = catalog_->indexes;
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    if (it->name == name) {
+      v.erase(it);
+      break;
+    }
+  }
+  extractors_.erase(name);
+  return save_catalog_();
+}
+
+void IndexManager::RegisterExtractor(const std::string& name,
+                                     Extractor extractor) {
+  extractors_[name] = std::move(extractor);
+}
+
+bool IndexManager::HasExtractor(const std::string& name) const {
+  return extractors_.count(name) > 0;
+}
+
+Status IndexManager::CaptureKeys(
+    ClusterId cluster, const void* obj,
+    std::vector<std::pair<std::string, std::string>>* keys) const {
+  keys->clear();
+  for (const auto& entry : catalog_->indexes) {
+    if (entry.cluster != cluster) continue;
+    auto it = extractors_.find(entry.name);
+    if (it == extractors_.end()) {
+      return Status::NotSupported(
+          "index '" + entry.name +
+          "' has no extractor attached in this program; call "
+          "AttachIndexExtractor before writing to its cluster");
+    }
+    keys->emplace_back(entry.name, it->second(obj));
+  }
+  return Status::OK();
+}
+
+Status IndexManager::WithTree(const std::string& name,
+                              const std::function<Status(BTree&)>& fn) {
+  CatalogData::IndexEntry* entry = catalog_->FindIndex(name);
+  if (entry == nullptr) return Status::NotFound("index " + name);
+  BTree tree(engine_, entry->btree_root);
+  ODE_RETURN_IF_ERROR(fn(tree));
+  if (tree.root() != entry->btree_root) {
+    entry->btree_root = tree.root();
+    ODE_RETURN_IF_ERROR(save_catalog_());
+  }
+  return Status::OK();
+}
+
+Status IndexManager::AddEntry(const std::string& name,
+                               const std::string& user_key, Oid oid) {
+  return WithTree(name, [&](BTree& tree) {
+    return tree.Insert(Slice(index_key::Compose(user_key, oid)), oid.Pack());
+  });
+}
+
+Status IndexManager::RemoveEntry(const std::string& name,
+                              const std::string& user_key, Oid oid) {
+  return WithTree(name, [&](BTree& tree) {
+    bool deleted = false;
+    return tree.Delete(Slice(index_key::Compose(user_key, oid)), &deleted);
+  });
+}
+
+Status IndexManager::OnInsert(ClusterId cluster, Oid oid, const void* obj) {
+  std::vector<std::pair<std::string, std::string>> keys;
+  ODE_RETURN_IF_ERROR(CaptureKeys(cluster, obj, &keys));
+  for (const auto& [name, key] : keys) {
+    ODE_RETURN_IF_ERROR(AddEntry(name, key, oid));
+  }
+  return Status::OK();
+}
+
+Status IndexManager::OnErase(ClusterId cluster, Oid oid, const void* obj) {
+  std::vector<std::pair<std::string, std::string>> keys;
+  ODE_RETURN_IF_ERROR(CaptureKeys(cluster, obj, &keys));
+  for (const auto& [name, key] : keys) {
+    ODE_RETURN_IF_ERROR(RemoveEntry(name, key, oid));
+  }
+  return Status::OK();
+}
+
+Status IndexManager::OnUpdate(
+    ClusterId cluster, Oid oid,
+    const std::vector<std::pair<std::string, std::string>>& old_keys,
+    const void* new_obj) {
+  std::vector<std::pair<std::string, std::string>> new_keys;
+  ODE_RETURN_IF_ERROR(CaptureKeys(cluster, new_obj, &new_keys));
+  // Both lists follow catalog order; diff pairwise by index name.
+  for (const auto& [name, old_key] : old_keys) {
+    std::string new_key;
+    bool still_indexed = false;
+    for (const auto& [nname, nkey] : new_keys) {
+      if (nname == name) {
+        new_key = nkey;
+        still_indexed = true;
+        break;
+      }
+    }
+    if (still_indexed && new_key == old_key) continue;
+    ODE_RETURN_IF_ERROR(RemoveEntry(name, old_key, oid));
+    if (still_indexed) {
+      ODE_RETURN_IF_ERROR(AddEntry(name, new_key, oid));
+    }
+  }
+  // Indexes created after the old capture: insert fresh keys.
+  for (const auto& [nname, nkey] : new_keys) {
+    bool had_old = false;
+    for (const auto& [name, unused] : old_keys) {
+      (void)unused;
+      if (name == nname) {
+        had_old = true;
+        break;
+      }
+    }
+    if (!had_old) {
+      ODE_RETURN_IF_ERROR(AddEntry(nname, nkey, oid));
+    }
+  }
+  return Status::OK();
+}
+
+Status IndexManager::ScanExact(const std::string& name,
+                               const std::string& user_key,
+                               std::vector<Oid>* out) const {
+  return ScanRange(name, user_key, user_key + std::string(1, '\x01'), out);
+}
+
+Status IndexManager::ScanRange(const std::string& name, const std::string& lo,
+                               const std::string& hi,
+                               std::vector<Oid>* out) const {
+  out->clear();
+  const CatalogData::IndexEntry* entry = catalog_->FindIndex(name);
+  if (entry == nullptr) return Status::NotFound("index " + name);
+  BTree tree(engine_, entry->btree_root);
+  BTree::Iterator it;
+  ODE_RETURN_IF_ERROR(tree.SeekGE(Slice(lo), &it));
+  while (it.Valid()) {
+    const Slice composite = it.key();
+    const Slice prefix = index_key::UserKeyPrefix(composite);
+    if (!hi.empty() && prefix.compare(Slice(hi)) >= 0) break;
+    out->push_back(index_key::OidSuffix(composite));
+    ODE_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> IndexManager::CountEntries(const std::string& name) const {
+  const CatalogData::IndexEntry* entry = catalog_->FindIndex(name);
+  if (entry == nullptr) return Status::NotFound("index " + name);
+  BTree tree(engine_, entry->btree_root);
+  return tree.CountAll();
+}
+
+}  // namespace ode

@@ -1,0 +1,112 @@
+#ifndef ODE_QUERY_INDEX_MANAGER_H_
+#define ODE_QUERY_INDEX_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "objstore/object_id.h"
+#include "query/btree.h"
+#include "schema/catalog.h"
+#include "storage/engine.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// Secondary indexes over clusters, giving `suchthat`/`by` queries an access
+/// path besides the full cluster scan (the optimization §3 of the paper
+/// anticipates: "iteration subsets and order ... can be used to advantage in
+/// query optimization").
+///
+/// Index *structures* (B+trees) are persistent and recorded in the catalog;
+/// key *extractors* are code, re-registered by the application on re-open
+/// (RegisterExtractor). Composite keys are encoded-user-key + packed oid, so
+/// duplicate user keys coexist and deletions are exact (see index_key.h).
+class IndexManager {
+ public:
+  /// Returns the encoded user key (index_key::From*) for an object. The
+  /// pointer refers to an object of the indexed cluster's exact type.
+  using Extractor = std::function<std::string(const void*)>;
+
+  IndexManager(StorageEngine* engine, CatalogData* catalog,
+               std::function<Status()> save_catalog)
+      : engine_(engine),
+        catalog_(catalog),
+        save_catalog_(std::move(save_catalog)) {}
+
+  /// Creates the index structure + catalog entry (inside the active
+  /// transaction) and registers its extractor. Backfilling existing objects
+  /// is the caller's job (it requires object deserialization).
+  Status CreateIndex(const std::string& name, ClusterId cluster,
+                     Extractor extractor);
+
+  /// Removes the index structure and catalog entry.
+  Status DropIndex(const std::string& name);
+
+  /// Re-attaches code to a persisted index after re-opening a database.
+  void RegisterExtractor(const std::string& name, Extractor extractor);
+  bool HasExtractor(const std::string& name) const;
+
+  // --- Write hooks (called by Transaction inside the txn) -----------------
+
+  /// (index name, encoded user key) pairs for every index on `cluster`.
+  /// Fails with NotSupported if an index on the cluster has no extractor
+  /// attached (writing would silently corrupt it — re-attach with
+  /// Database::AttachIndexExtractor after reopening a database).
+  Status CaptureKeys(ClusterId cluster, const void* obj,
+                     std::vector<std::pair<std::string, std::string>>* keys)
+      const;
+
+  /// Adds index entries for a new object.
+  Status OnInsert(ClusterId cluster, Oid oid, const void* obj);
+
+  /// Removes index entries for a deleted object (pass its pre-delete state).
+  Status OnErase(ClusterId cluster, Oid oid, const void* obj);
+
+  /// Replaces entries whose keys changed between `old_keys` (from
+  /// CaptureKeys before mutation) and the object's current state.
+  Status OnUpdate(ClusterId cluster, Oid oid,
+                  const std::vector<std::pair<std::string, std::string>>&
+                      old_keys,
+                  const void* new_obj);
+
+  // --- Queries -------------------------------------------------------------
+
+  /// All oids whose encoded user key equals `user_key`, in oid order.
+  Status ScanExact(const std::string& name, const std::string& user_key,
+                   std::vector<Oid>* out) const;
+
+  /// All oids with user key in [lo, hi) — hi empty means "to the end" —
+  /// in key order.
+  Status ScanRange(const std::string& name, const std::string& lo,
+                   const std::string& hi, std::vector<Oid>* out) const;
+
+  const CatalogData::IndexEntry* FindEntry(const std::string& name) const {
+    return catalog_->FindIndex(name);
+  }
+
+  /// Index entry count (diagnostics/tests).
+  Result<uint64_t> CountEntries(const std::string& name) const;
+
+  /// Low-level entry maintenance (used for backfill).
+  Status AddEntry(const std::string& name, const std::string& user_key,
+                  Oid oid);
+  Status RemoveEntry(const std::string& name, const std::string& user_key,
+                     Oid oid);
+
+ private:
+  /// Runs `fn` on the index's B+tree and persists a root change.
+  Status WithTree(const std::string& name,
+                  const std::function<Status(BTree&)>& fn);
+
+  StorageEngine* engine_;
+  CatalogData* catalog_;
+  std::function<Status()> save_catalog_;
+  std::map<std::string, Extractor> extractors_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_QUERY_INDEX_MANAGER_H_

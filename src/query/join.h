@@ -1,0 +1,87 @@
+#ifndef ODE_QUERY_JOIN_H_
+#define ODE_QUERY_JOIN_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/forall.h"
+#include "core/transaction.h"
+#include "query/index_key.h"
+
+namespace ode {
+
+/// Join helpers for the paper's multi-variable `forall` queries (§3):
+///
+///   forall (a in A, b in B) suchthat (theta(a, b)) { body }
+///
+/// NestedLoopJoin is the literal translation; IndexJoin and HashJoin are the
+/// access-path refinements §3 anticipates when the predicate is an equality.
+/// All stream pairs to `body` and stop on the first error.
+
+/// theta-join by nested loops: body(a, b) for every pair that satisfies the
+/// predicate. O(|A| * |B|) object reads.
+template <typename L, typename R>
+Status NestedLoopJoin(
+    Transaction& txn, const std::function<bool(const L&, const R&)>& theta,
+    const std::function<Status(Ref<L>, Ref<R>)>& body) {
+  return ForAll<L>(txn).Do([&](Ref<L> left) -> Status {
+    ODE_ASSIGN_OR_RETURN(const L* l, txn.Read(left));
+    return ForAll<R>(txn).Do([&](Ref<R> right) -> Status {
+      ODE_ASSIGN_OR_RETURN(const R* r, txn.Read(right));
+      if (theta(*l, *r)) {
+        return body(left, right);
+      }
+      return Status::OK();
+    });
+  });
+}
+
+/// Equality join through a persistent index on the right side: for each left
+/// object, `left_key` produces the encoded user key probed against
+/// `right_index` (an index over R's cluster). O(|A| log |B|).
+template <typename L, typename R>
+Status IndexJoin(Transaction& txn, const std::string& right_index,
+                 const std::function<std::string(const L&)>& left_key,
+                 const std::function<Status(Ref<L>, Ref<R>)>& body) {
+  IndexManager& indexes = txn.db().indexes();
+  return ForAll<L>(txn).Do([&](Ref<L> left) -> Status {
+    ODE_ASSIGN_OR_RETURN(const L* l, txn.Read(left));
+    std::vector<Oid> matches;
+    ODE_RETURN_IF_ERROR(indexes.ScanExact(right_index, left_key(*l), &matches));
+    for (const Oid& oid : matches) {
+      ODE_RETURN_IF_ERROR(body(left, Ref<R>(&txn.db(), oid)));
+    }
+    return Status::OK();
+  });
+}
+
+/// Equality join by building a transient hash table over the right side:
+/// one scan of each cluster, O(|A| + |B|) object reads plus hashing. The
+/// right-side key and left-side probe key must use the same encoding.
+template <typename L, typename R>
+Status HashJoin(Transaction& txn,
+                const std::function<std::string(const L&)>& left_key,
+                const std::function<std::string(const R&)>& right_key,
+                const std::function<Status(Ref<L>, Ref<R>)>& body) {
+  std::unordered_map<std::string, std::vector<Ref<R>>> table;
+  ODE_RETURN_IF_ERROR(ForAll<R>(txn).Do([&](Ref<R> right) -> Status {
+    ODE_ASSIGN_OR_RETURN(const R* r, txn.Read(right));
+    table[right_key(*r)].push_back(right);
+    return Status::OK();
+  }));
+  return ForAll<L>(txn).Do([&](Ref<L> left) -> Status {
+    ODE_ASSIGN_OR_RETURN(const L* l, txn.Read(left));
+    auto it = table.find(left_key(*l));
+    if (it == table.end()) return Status::OK();
+    for (const Ref<R>& right : it->second) {
+      ODE_RETURN_IF_ERROR(body(left, right));
+    }
+    return Status::OK();
+  });
+}
+
+}  // namespace ode
+
+#endif  // ODE_QUERY_JOIN_H_

@@ -1,0 +1,90 @@
+#include "schema/catalog.h"
+
+#include "storage/overflow.h"
+
+namespace ode {
+
+const CatalogData::ClusterEntry* CatalogData::FindCluster(ClusterId id) const {
+  for (const auto& c : clusters) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+CatalogData::ClusterEntry* CatalogData::FindCluster(ClusterId id) {
+  for (auto& c : clusters) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+const CatalogData::ClusterEntry* CatalogData::FindClusterByType(
+    const std::string& type_name) const {
+  for (const auto& c : clusters) {
+    if (c.type_name == type_name) return &c;
+  }
+  return nullptr;
+}
+
+const CatalogData::TypeEntry* CatalogData::FindType(
+    const std::string& name) const {
+  for (const auto& t : types) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const CatalogData::TypeEntry* CatalogData::FindTypeByCode(
+    uint32_t code) const {
+  for (const auto& t : types) {
+    if (t.code == code) return &t;
+  }
+  return nullptr;
+}
+
+const CatalogData::IndexEntry* CatalogData::FindIndex(
+    const std::string& name) const {
+  for (const auto& i : indexes) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
+CatalogData::IndexEntry* CatalogData::FindIndex(const std::string& name) {
+  for (auto& i : indexes) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
+Status Catalog::Load(StorageEngine* engine, CatalogData* data) {
+  *data = CatalogData();
+  ODE_ASSIGN_OR_RETURN(
+      uint32_t root, engine->ReadSuperU32(SuperblockLayout::kCatalogRootOffset));
+  if (root == kInvalidPageId) return Status::OK();  // Fresh database.
+  std::string blob;
+  ODE_RETURN_IF_ERROR(overflow::ReadChain(engine, root, &blob));
+  ReadArchive ar(Slice(blob), /*db=*/nullptr);
+  ar(*data);
+  if (!ar.ok()) return Status::Corruption("unreadable catalog");
+  return Status::OK();
+}
+
+Status Catalog::Save(StorageEngine* engine, CatalogData& data) {
+  ODE_ASSIGN_OR_RETURN(
+      uint32_t old_root,
+      engine->ReadSuperU32(SuperblockLayout::kCatalogRootOffset));
+  std::string blob;
+  WriteArchive ar(&blob);
+  ar(data);
+  PageId new_root;
+  ODE_RETURN_IF_ERROR(overflow::WriteChain(engine, Slice(blob), &new_root));
+  ODE_RETURN_IF_ERROR(
+      engine->WriteSuperU32(SuperblockLayout::kCatalogRootOffset, new_root));
+  if (old_root != kInvalidPageId) {
+    ODE_RETURN_IF_ERROR(overflow::FreeChain(engine, old_root));
+  }
+  return Status::OK();
+}
+
+}  // namespace ode

@@ -1,0 +1,105 @@
+#ifndef ODE_SCHEMA_CATALOG_H_
+#define ODE_SCHEMA_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "objstore/object_id.h"
+#include "serial/archive.h"
+#include "storage/engine.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// The database's persistent schema directory. Clusters (type extents,
+/// paper §2.5), stable type codes and secondary indexes live here. The
+/// catalog is serialized as one blob in an overflow-page chain whose first
+/// page id is recorded in the superblock; saving rewrites the chain inside
+/// the enclosing transaction, so schema changes commit or roll back with
+/// everything else.
+struct CatalogData {
+  struct TypeEntry {
+    std::string name;
+    uint32_t code = 0;
+
+    template <typename AR>
+    void OdeFields(AR& ar) {
+      ar(name, code);
+    }
+  };
+
+  struct ClusterEntry {
+    ClusterId id = kInvalidClusterId;
+    std::string type_name;
+    PageId table_root = kInvalidPageId;
+
+    template <typename AR>
+    void OdeFields(AR& ar) {
+      ar(id, type_name, table_root);
+    }
+  };
+
+  struct IndexEntry {
+    std::string name;
+    ClusterId cluster = kInvalidClusterId;
+    PageId btree_root = kInvalidPageId;
+
+    template <typename AR>
+    void OdeFields(AR& ar) {
+      ar(name, cluster, btree_root);
+    }
+  };
+
+  /// Persisted trigger activation (paper §6): which trigger definition is
+  /// armed on which object, with its arguments.
+  struct TriggerActivation {
+    uint64_t trigger_id = 0;
+    ClusterId cluster = kInvalidClusterId;
+    LocalOid local = kInvalidLocalOid;
+    std::string trigger_name;  ///< Class-level trigger definition name.
+    bool perpetual = false;
+    std::vector<double> params;
+
+    template <typename AR>
+    void OdeFields(AR& ar) {
+      ar(trigger_id, cluster, local, trigger_name, perpetual, params);
+    }
+  };
+
+  uint32_t next_cluster_id = 1;
+  uint32_t next_type_code = 1;
+  std::vector<TypeEntry> types;
+  std::vector<ClusterEntry> clusters;
+  std::vector<IndexEntry> indexes;
+  std::vector<TriggerActivation> triggers;
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(next_cluster_id, next_type_code, types, clusters, indexes, triggers);
+  }
+
+  // Convenience lookups (linear; catalogs are small).
+  const ClusterEntry* FindCluster(ClusterId id) const;
+  ClusterEntry* FindCluster(ClusterId id);
+  const ClusterEntry* FindClusterByType(const std::string& type_name) const;
+  const TypeEntry* FindType(const std::string& name) const;
+  const TypeEntry* FindTypeByCode(uint32_t code) const;
+  const IndexEntry* FindIndex(const std::string& name) const;
+  IndexEntry* FindIndex(const std::string& name);
+};
+
+/// Loads/saves the catalog blob.
+class Catalog {
+ public:
+  /// Reads the catalog from the chain referenced by the superblock. A fresh
+  /// database (no chain yet) yields a default-constructed CatalogData.
+  static Status Load(StorageEngine* engine, CatalogData* data);
+
+  /// Rewrites the catalog chain (must be inside the active transaction).
+  static Status Save(StorageEngine* engine, CatalogData& data);
+};
+
+}  // namespace ode
+
+#endif  // ODE_SCHEMA_CATALOG_H_

@@ -1,0 +1,71 @@
+#include "schema/type_registry.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace ode {
+
+TypeRegistry& TypeRegistry::Global() {
+  static TypeRegistry* registry = new TypeRegistry();
+  return *registry;
+}
+
+void TypeRegistry::Register(TypeInfo info) {
+  auto it = types_.find(info.name);
+  if (it != types_.end()) {
+    if (it->second.size != info.size) {
+      ODE_LOG(kWarn) << "conflicting re-registration of type " << info.name;
+    }
+    return;
+  }
+  types_.emplace(info.name, std::move(info));
+}
+
+const TypeInfo* TypeRegistry::Find(const std::string& name) const {
+  auto it = types_.find(name);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+bool TypeRegistry::IsDerivedFrom(const std::string& derived,
+                                 const std::string& base) const {
+  if (derived == base) return true;
+  const TypeInfo* info = Find(derived);
+  if (info == nullptr) return false;
+  for (const auto& link : info->bases) {
+    if (IsDerivedFrom(link.base_name, base)) return true;
+  }
+  return false;
+}
+
+void* TypeRegistry::Upcast(void* obj, const std::string& from,
+                           const std::string& to) const {
+  if (from == to) return obj;
+  const TypeInfo* info = Find(from);
+  if (info == nullptr) return nullptr;
+  for (const auto& link : info->bases) {
+    void* base_ptr = link.upcast(obj);
+    if (void* result = Upcast(base_ptr, link.base_name, to)) {
+      return result;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TypeRegistry::SelfAndDerived(
+    const std::string& base) const {
+  std::vector<std::string> out;
+  for (const auto& [name, info] : types_) {
+    if (IsDerivedFrom(name, base)) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> TypeRegistry::AllNames() const {
+  std::vector<std::string> out;
+  out.reserve(types_.size());
+  for (const auto& [name, info] : types_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,132 @@
+#ifndef ODE_SCHEMA_TYPE_REGISTRY_H_
+#define ODE_SCHEMA_TYPE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serial/archive.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// Compile-time name tag for registered persistent classes. Left undefined
+/// for unregistered types so misuse fails at compile time. Specialized by
+/// ODE_REGISTER_CLASS.
+template <typename T>
+struct TypeTag;
+
+/// The registered type name for T.
+template <typename T>
+const char* TypeNameOf() {
+  return TypeTag<T>::kName;
+}
+
+/// Runtime metadata for one registered persistent class: construction,
+/// serialization thunks and the (multiple) inheritance links that make
+/// cluster-hierarchy queries and `is persistent T*` checks work (paper §2,
+/// §3.1.1).
+struct TypeInfo {
+  /// Upcast edge to a direct base class. The thunk adjusts the pointer,
+  /// which matters under multiple inheritance.
+  struct BaseLink {
+    std::string base_name;
+    void* (*upcast)(void*);
+  };
+
+  std::string name;
+  size_t size = 0;
+  void* (*construct)() = nullptr;
+  void (*destroy)(void*) = nullptr;
+  void (*serialize)(void* obj, std::string* out) = nullptr;
+  Status (*deserialize)(Slice data, Database* db, void* obj) = nullptr;
+  std::vector<BaseLink> bases;
+};
+
+/// Process-wide registry of persistent classes, populated by
+/// ODE_REGISTER_CLASS static initializers.
+class TypeRegistry {
+ public:
+  static TypeRegistry& Global();
+
+  /// Registers a class. Re-registration under the same name is ignored
+  /// (e.g. a registration macro expanded in several translation units).
+  void Register(TypeInfo info);
+
+  /// Looks up by registered name; nullptr when unknown.
+  const TypeInfo* Find(const std::string& name) const;
+
+  /// True when `derived` is `base` or (transitively) inherits from it.
+  bool IsDerivedFrom(const std::string& derived, const std::string& base) const;
+
+  /// Adjusts a pointer of dynamic type `from` to its base subobject of type
+  /// `to`. Returns nullptr when `to` is not a (transitive) base.
+  void* Upcast(void* obj, const std::string& from, const std::string& to) const;
+
+  /// All registered names that are `base` or derive from it.
+  std::vector<std::string> SelfAndDerived(const std::string& base) const;
+
+  std::vector<std::string> AllNames() const;
+
+ private:
+  std::map<std::string, TypeInfo> types_;
+};
+
+namespace internal_schema {
+
+/// Static-initializer helper behind ODE_REGISTER_CLASS.
+template <typename T, typename... Bases>
+struct TypeRegistrar {
+  explicit TypeRegistrar(const char* name) {
+    TypeInfo info;
+    info.name = name;
+    info.size = sizeof(T);
+    info.construct = []() -> void* { return SerialAccess::Construct<T>(); };
+    info.destroy = &SerialAccess::Destroy<T>;
+    info.serialize = [](void* obj, std::string* out) {
+      WriteArchive ar(out);
+      ar(*static_cast<T*>(obj));
+    };
+    info.deserialize = [](Slice data, Database* db, void* obj) -> Status {
+      ReadArchive ar(data, db);
+      ar(*static_cast<T*>(obj));
+      if (!ar.ok()) {
+        return Status::Corruption(std::string("truncated record for type ") +
+                                  TypeNameOf<T>());
+      }
+      return Status::OK();
+    };
+    (info.bases.push_back(TypeInfo::BaseLink{
+         TypeNameOf<Bases>(),
+         [](void* p) -> void* {
+           return static_cast<Bases*>(static_cast<T*>(p));
+         }}),
+     ...);
+    TypeRegistry::Global().Register(std::move(info));
+  }
+};
+
+}  // namespace internal_schema
+}  // namespace ode
+
+/// Registers a persistent class with ODE. Use at global namespace scope in
+/// exactly one translation unit per class, after the class definition:
+///
+///   ODE_REGISTER_CLASS(Person);
+///   ODE_REGISTER_CLASS(Student, Person);          // Student : public Person
+///   ODE_REGISTER_CLASS(TA, Student, Employee);    // multiple inheritance
+///
+/// The class needs a default constructor and an OdeFields member (both may
+/// be private with `friend struct ode::SerialAccess;`).
+#define ODE_REGISTER_CLASS(T, ...)                                       \
+  template <>                                                            \
+  struct ode::TypeTag<T> {                                               \
+    static constexpr const char* kName = #T;                             \
+  };                                                                     \
+  static const ::ode::internal_schema::TypeRegistrar<T __VA_OPT__(, )    \
+                                                         __VA_ARGS__>    \
+      ODE_CONCAT_(ode_type_registrar_, __COUNTER__)(#T)
+
+#endif  // ODE_SCHEMA_TYPE_REGISTRY_H_

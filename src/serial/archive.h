@@ -1,0 +1,242 @@
+#ifndef ODE_SERIAL_ARCHIVE_H_
+#define ODE_SERIAL_ARCHIVE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace ode {
+
+class Database;
+
+/// Grants the serialization machinery access to private members.
+/// User classes declare `friend struct ode::SerialAccess;` when their
+/// `OdeFields` member or default constructor is not public.
+struct SerialAccess {
+  template <typename T, typename AR>
+  static void Fields(T& t, AR& ar) {
+    t.OdeFields(ar);
+  }
+  template <typename T>
+  static T* Construct() {
+    return new T();
+  }
+  template <typename T>
+  static void Destroy(void* p) {
+    delete static_cast<T*>(p);
+  }
+};
+
+/// True when T participates in serialization via a member
+/// `template <class AR> void OdeFields(AR&)`.
+template <typename T, typename AR>
+concept HasOdeFields = requires(T& t, AR& ar) { SerialAccess::Fields(t, ar); };
+
+/// Serializes objects to a byte string. Usage inside a user class:
+///
+///   class StockItem {
+///    public:
+///     template <typename AR>
+///     void OdeFields(AR& ar) { ar(name_, price_, quantity_); }
+///     ...
+///   };
+///
+/// The same member serves both directions (the archive type decides).
+class WriteArchive {
+ public:
+  static constexpr bool kIsLoading = false;
+
+  explicit WriteArchive(std::string* out) : out_(out) {}
+
+  template <typename... Ts>
+  void operator()(Ts&... vals) {
+    (Field(vals), ...);
+  }
+
+  void Bytes(const void* data, size_t n) {
+    out_->append(static_cast<const char*>(data), n);
+  }
+
+  template <typename T>
+  void Field(T& v) {
+    if constexpr (std::is_enum_v<T>) {
+      auto raw = static_cast<std::underlying_type_t<T>>(v);
+      Bytes(&raw, sizeof(raw));
+    } else if constexpr (std::is_arithmetic_v<T>) {
+      Bytes(&v, sizeof(v));
+    } else if constexpr (HasOdeFields<T, WriteArchive>) {
+      SerialAccess::Fields(v, *this);
+    } else {
+      static_assert(sizeof(T) == 0,
+                    "type is not serializable: add an OdeFields member");
+    }
+  }
+
+  void Field(std::string& v) {
+    PutVarint64(out_, v.size());
+    out_->append(v);
+  }
+
+  template <typename T>
+  void Field(std::vector<T>& v) {
+    PutVarint64(out_, v.size());
+    for (auto& e : v) Field(e);
+  }
+
+  template <typename T>
+  void Field(std::optional<T>& v) {
+    uint8_t present = v.has_value() ? 1 : 0;
+    Bytes(&present, 1);
+    if (v.has_value()) Field(*v);
+  }
+
+  template <typename A, typename B>
+  void Field(std::pair<A, B>& v) {
+    Field(v.first);
+    Field(v.second);
+  }
+
+  template <typename K, typename V>
+  void Field(std::map<K, V>& v) {
+    PutVarint64(out_, v.size());
+    for (auto& [k, val] : v) {
+      K key = k;  // map keys are const; serialize a copy
+      Field(key);
+      Field(val);
+    }
+  }
+
+  bool ok() const { return true; }
+
+ private:
+  std::string* out_;
+};
+
+/// Deserializes objects from a byte string. Carries the owning Database so
+/// persistent references (Ref<T>) can be re-bound on load. Truncated or
+/// malformed input flips ok() to false and turns further reads into no-ops.
+class ReadArchive {
+ public:
+  static constexpr bool kIsLoading = true;
+
+  ReadArchive(Slice in, Database* db) : in_(in), db_(db) {}
+
+  Database* db() const { return db_; }
+
+  template <typename... Ts>
+  void operator()(Ts&... vals) {
+    (Field(vals), ...);
+  }
+
+  bool Bytes(void* dst, size_t n) {
+    if (!ok_ || in_.size() < n) {
+      ok_ = false;
+      return false;
+    }
+    memcpy(dst, in_.data(), n);
+    in_.remove_prefix(n);
+    return true;
+  }
+
+  template <typename T>
+  void Field(T& v) {
+    if constexpr (std::is_enum_v<T>) {
+      std::underlying_type_t<T> raw{};
+      if (Bytes(&raw, sizeof(raw))) v = static_cast<T>(raw);
+    } else if constexpr (std::is_arithmetic_v<T>) {
+      Bytes(&v, sizeof(v));
+    } else if constexpr (HasOdeFields<T, ReadArchive>) {
+      SerialAccess::Fields(v, *this);
+    } else {
+      static_assert(sizeof(T) == 0,
+                    "type is not serializable: add an OdeFields member");
+    }
+  }
+
+  void Field(std::string& v) {
+    uint64_t n;
+    if (!ok_ || !GetVarint64(&in_, &n) || in_.size() < n) {
+      ok_ = false;
+      return;
+    }
+    v.assign(in_.data(), n);
+    in_.remove_prefix(n);
+  }
+
+  template <typename T>
+  void Field(std::vector<T>& v) {
+    uint64_t n;
+    if (!ok_ || !GetVarint64(&in_, &n)) {
+      ok_ = false;
+      return;
+    }
+    v.clear();
+    v.reserve(n < 4096 ? n : 4096);  // guard against hostile sizes
+    for (uint64_t i = 0; i < n && ok_; i++) {
+      v.emplace_back();
+      Field(v.back());
+    }
+  }
+
+  template <typename T>
+  void Field(std::optional<T>& v) {
+    uint8_t present = 0;
+    if (!Bytes(&present, 1)) return;
+    if (present) {
+      v.emplace();
+      Field(*v);
+    } else {
+      v.reset();
+    }
+  }
+
+  template <typename A, typename B>
+  void Field(std::pair<A, B>& v) {
+    Field(v.first);
+    Field(v.second);
+  }
+
+  template <typename K, typename V>
+  void Field(std::map<K, V>& v) {
+    uint64_t n;
+    if (!ok_ || !GetVarint64(&in_, &n)) {
+      ok_ = false;
+      return;
+    }
+    v.clear();
+    for (uint64_t i = 0; i < n && ok_; i++) {
+      K key{};
+      V val{};
+      Field(key);
+      Field(val);
+      if (ok_) v.emplace(std::move(key), std::move(val));
+    }
+  }
+
+  bool ok() const { return ok_; }
+  Slice remaining() const { return in_; }
+
+ private:
+  Slice in_;
+  Database* db_;
+  bool ok_ = true;
+};
+
+/// Serializes any OdeFields type to `*out` (convenience).
+template <typename T>
+void SerializeTo(T& value, std::string* out) {
+  WriteArchive ar(out);
+  ar(value);
+}
+
+}  // namespace ode
+
+#endif  // ODE_SERIAL_ARCHIVE_H_

@@ -1,0 +1,112 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace ode {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
+    : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+Status BufferPool::Fetch(PageId id, Frame** frame) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    stats_.hits++;
+    Frame* f = it->second.get();
+    f->pins++;
+    lru_.splice(lru_.begin(), lru_, f->lru_pos);  // move to MRU position
+    *frame = f;
+    return Status::OK();
+  }
+  stats_.misses++;
+  ODE_RETURN_IF_ERROR(EnsureRoom());
+  auto f = std::make_unique<Frame>();
+  f->id = id;
+  f->data = std::make_unique<char[]>(kPageSize);
+  ODE_RETURN_IF_ERROR(pager_->ReadPage(id, f->data.get()));
+  f->pins = 1;
+  lru_.push_front(id);
+  f->lru_pos = lru_.begin();
+  Frame* raw = f.get();
+  frames_.emplace(id, std::move(f));
+  *frame = raw;
+  return Status::OK();
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  assert(frame->pins > 0);
+  frame->pins--;
+}
+
+Status BufferPool::EvictOne(bool* evicted) {
+  *evicted = false;
+  // Walk from the cold end; the first evictable frame is the victim.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto found = frames_.find(*it);
+    assert(found != frames_.end());
+    Frame* f = found->second.get();
+    if (f->pins > 0) continue;
+    if (f->dirty && !f->flushable) continue;  // No-steal: keep txn pages.
+    if (f->dirty) {
+      ODE_RETURN_IF_ERROR(FlushFrame(f));
+    }
+    stats_.evictions++;
+    RemoveFrame(f);
+    *evicted = true;
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+void BufferPool::RemoveFrame(Frame* frame) {
+  lru_.erase(frame->lru_pos);
+  frames_.erase(frame->id);
+}
+
+Status BufferPool::EnsureRoom() {
+  if (frames_.size() < capacity_) return Status::OK();
+  bool evicted = false;
+  ODE_RETURN_IF_ERROR(EvictOne(&evicted));
+  if (!evicted) {
+    // Everything pinned or unflushable: grow rather than fail.
+    stats_.grows++;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::ShrinkToCapacity() {
+  while (frames_.size() > capacity_) {
+    bool evicted = false;
+    ODE_RETURN_IF_ERROR(EvictOne(&evicted));
+    if (!evicted) break;  // Everything pinned: give up for now.
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushFrame(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  assert(frame->flushable);
+  ODE_RETURN_IF_ERROR(pager_->WritePage(frame->id, frame->data.get()));
+  frame->dirty = false;
+  stats_.flushes++;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, f] : frames_) {
+    if (f->dirty && f->flushable) {
+      ODE_RETURN_IF_ERROR(FlushFrame(f.get()));
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Evict(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  if (it->second->pins > 0 || it->second->dirty) return;
+  RemoveFrame(it->second.get());
+}
+
+}  // namespace ode

@@ -1,0 +1,138 @@
+#ifndef ODE_STORAGE_BUFFER_POOL_H_
+#define ODE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// A fixed-capacity (growable under pressure) page cache over the Pager with
+/// pin counts and true LRU eviction (recency list maintained on every
+/// fetch; victims found from the cold end in O(evictable distance)).
+///
+/// Flushing discipline: a frame whose `dirty` flag is set differs from the
+/// database file. A dirty frame may only be written back when `flushable` is
+/// also set — the StorageEngine clears `flushable` while the page belongs to
+/// an uncommitted transaction (no-steal policy) and sets it at commit.
+class BufferPool {
+ public:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pins = 0;
+    bool dirty = false;      ///< Frame content differs from the db file.
+    bool flushable = true;   ///< May be written back (committed content).
+    std::list<PageId>::iterator lru_pos;  ///< Position in the recency list.
+    std::unique_ptr<char[]> data;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t flushes = 0;
+    uint64_t grows = 0;  ///< Times the pool exceeded capacity under pressure.
+  };
+
+  BufferPool(Pager* pager, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the frame holding `id`, loading it from the pager on a miss.
+  /// The caller must Unpin() exactly once per successful Fetch.
+  Status Fetch(PageId id, Frame** frame);
+
+  void Unpin(Frame* frame);
+
+  /// Writes back every dirty+flushable frame; clears their dirty flags.
+  Status FlushAll();
+
+  /// Writes back one frame if dirty (must be flushable).
+  Status FlushFrame(Frame* frame);
+
+  /// Drops an unpinned clean frame from the pool if cached (test helper).
+  void Evict(PageId id);
+
+  /// Evicts LRU frames (flushing dirty ones) until the pool is back within
+  /// capacity. Called after commit/abort releases the no-steal pins that
+  /// forced the pool to grow.
+  Status ShrinkToCapacity();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return frames_.size(); }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  /// Makes room for one more frame if at capacity. Grows the pool when every
+  /// frame is pinned or unflushable.
+  Status EnsureRoom();
+
+  /// Evicts the least-recently-used evictable frame; sets *evicted=false if
+  /// every frame is pinned or unflushable.
+  Status EvictOne(bool* evicted);
+
+  void RemoveFrame(Frame* frame);
+
+  Pager* pager_;
+  size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  /// Recency order: front = most recently used, back = LRU victim side.
+  std::list<PageId> lru_;
+  Stats stats_;
+};
+
+/// RAII pin on a buffer-pool frame.
+class PageHandle {
+ public:
+  PageHandle() : pool_(nullptr), frame_(nullptr) {}
+  PageHandle(BufferPool* pool, BufferPool::Frame* frame)
+      : pool_(pool), frame_(frame) {}
+  ~PageHandle() { Release(); }
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept
+      : pool_(other.pool_), frame_(other.frame_) {
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  PageHandle& operator=(PageHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      other.pool_ = nullptr;
+      other.frame_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return frame_ != nullptr; }
+  PageId id() const { return frame_->id; }
+  const char* data() const { return frame_->data.get(); }
+  char* mutable_data() { return frame_->data.get(); }
+  BufferPool::Frame* frame() { return frame_; }
+
+  void Release() {
+    if (frame_ != nullptr) {
+      pool_->Unpin(frame_);
+      frame_ = nullptr;
+      pool_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_;
+  BufferPool::Frame* frame_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,318 @@
+#include "storage/engine.h"
+
+#include <cassert>
+#include <set>
+#include <vector>
+#include <cstring>
+
+#include "storage/recovery.h"
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace ode {
+
+StorageEngine::StorageEngine(std::string path, std::unique_ptr<Pager> pager,
+                             std::unique_ptr<Wal> wal,
+                             const EngineOptions& options)
+    : path_(std::move(path)),
+      pager_(std::move(pager)),
+      wal_(std::move(wal)),
+      pool_(new BufferPool(pager_.get(), options.buffer_pool_pages)),
+      options_(options) {}
+
+StorageEngine::~StorageEngine() {
+  if (!closed_) {
+    Status s = Close();
+    if (!s.ok()) {
+      ODE_LOG(kError) << "close " << path_ << " failed: " << s.ToString();
+    }
+  }
+}
+
+Status StorageEngine::Open(const std::string& path,
+                           const EngineOptions& options,
+                           std::unique_ptr<StorageEngine>* out) {
+  std::unique_ptr<Pager> pager;
+  bool created = false;
+  ODE_RETURN_IF_ERROR(Pager::Open(path, &pager, &created));
+
+  const std::string wal_path = path + ".wal";
+  std::unique_ptr<Wal> wal;
+  ODE_RETURN_IF_ERROR(Wal::Open(wal_path, options.wal_sync, &wal));
+
+  if (wal->size_bytes() > 0) {
+    RecoveryStats recovery_stats;
+    ODE_RETURN_IF_ERROR(RunRecovery(pager.get(), wal.get(), &recovery_stats));
+    ODE_LOG(kInfo) << "recovered " << path << ": "
+                   << recovery_stats.committed_txns << " txns, "
+                   << recovery_stats.pages_replayed << " page images";
+  }
+
+  std::unique_ptr<StorageEngine> engine(
+      new StorageEngine(path, std::move(pager), std::move(wal), options));
+  // Seed the transaction-id counter from the superblock.
+  ODE_ASSIGN_OR_RETURN(uint64_t next_txn, engine->ReadSuperU64(
+                                              SuperblockLayout::kNextTxnIdOffset));
+  engine->next_txn_id_ = next_txn;
+  *out = std::move(engine);
+  return Status::OK();
+}
+
+Status StorageEngine::Close() {
+  if (closed_) return Status::OK();
+  if (in_txn()) {
+    ODE_RETURN_IF_ERROR(AbortTxn(active_txn_));
+  }
+  Status s = Checkpoint();
+  closed_ = true;
+  return s;
+}
+
+Result<TxnId> StorageEngine::BeginTxn() {
+  if (active_txn_ != 0) {
+    return Status::Busy("a transaction is already active");
+  }
+  active_txn_ = next_txn_id_++;
+  txn_dirty_.clear();
+  undo_.clear();
+  // Persist the advanced counter so a crash cannot reuse a txn id. This is
+  // itself a superblock write within the transaction.
+  ODE_RETURN_IF_ERROR(
+      WriteSuperU64(SuperblockLayout::kNextTxnIdOffset, next_txn_id_));
+  return active_txn_;
+}
+
+Status StorageEngine::CommitTxn(TxnId txn) {
+  if (txn == 0 || txn != active_txn_) {
+    return Status::InvalidArgument("CommitTxn: not the active transaction");
+  }
+  // Log after-images in page order, then the commit record.
+  for (PageId id : txn_dirty_) {
+    BufferPool::Frame* frame = nullptr;
+    ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
+    Status s = wal_->AppendPageImage(txn, id, frame->data.get());
+    pool_->Unpin(frame);
+    ODE_RETURN_IF_ERROR(s);
+  }
+  ODE_RETURN_IF_ERROR(wal_->AppendCommit(txn));
+  // Pages are now durable in the log: allow write-back.
+  for (PageId id : txn_dirty_) {
+    BufferPool::Frame* frame = nullptr;
+    ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
+    frame->flushable = true;
+    pool_->Unpin(frame);
+  }
+  txn_dirty_.clear();
+  undo_.clear();
+  active_txn_ = 0;
+  stats_.txns_committed++;
+  ODE_RETURN_IF_ERROR(pool_->ShrinkToCapacity());
+  if (wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
+    ODE_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::AbortTxn(TxnId txn) {
+  if (txn == 0 || txn != active_txn_) {
+    return Status::InvalidArgument("AbortTxn: not the active transaction");
+  }
+  for (PageId id : txn_dirty_) {
+    auto it = undo_.find(id);
+    assert(it != undo_.end());
+    BufferPool::Frame* frame = nullptr;
+    ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
+    memcpy(frame->data.get(), it->second.image.get(), kPageSize);
+    frame->dirty = it->second.was_dirty;
+    frame->flushable = true;
+    pool_->Unpin(frame);
+  }
+  txn_dirty_.clear();
+  undo_.clear();
+  active_txn_ = 0;
+  stats_.txns_aborted++;
+  return pool_->ShrinkToCapacity();
+}
+
+Status StorageEngine::GetPageRead(PageId id, PageHandle* handle) {
+  BufferPool::Frame* frame = nullptr;
+  ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
+  *handle = PageHandle(pool_.get(), frame);
+  return Status::OK();
+}
+
+Status StorageEngine::GetPageWrite(PageId id, PageHandle* handle) {
+  if (active_txn_ == 0) {
+    return Status::InvalidArgument("page write outside a transaction");
+  }
+  BufferPool::Frame* frame = nullptr;
+  ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
+  if (txn_dirty_.insert(id).second) {
+    UndoEntry entry;
+    entry.image = std::make_unique<char[]>(kPageSize);
+    memcpy(entry.image.get(), frame->data.get(), kPageSize);
+    entry.was_dirty = frame->dirty;
+    undo_.emplace(id, std::move(entry));
+  }
+  frame->dirty = true;
+  frame->flushable = false;  // No-steal until commit.
+  *handle = PageHandle(pool_.get(), frame);
+  return Status::OK();
+}
+
+Status StorageEngine::AllocPage(PageId* id, PageHandle* handle) {
+  if (active_txn_ == 0) {
+    return Status::InvalidArgument("page allocation outside a transaction");
+  }
+  ODE_ASSIGN_OR_RETURN(uint32_t free_head,
+                       ReadSuperU32(SuperblockLayout::kFreeListOffset));
+  PageId page;
+  if (free_head != kInvalidPageId) {
+    page = free_head;
+    // Pop: head = page.next (stored in the free page's first 4 bytes).
+    PageHandle freed;
+    ODE_RETURN_IF_ERROR(GetPageWrite(page, &freed));
+    const PageId next = DecodeFixed32(freed.data());
+    ODE_RETURN_IF_ERROR(WriteSuperU32(SuperblockLayout::kFreeListOffset, next));
+    memset(freed.mutable_data(), 0, kPageSize);
+    *id = page;
+    *handle = std::move(freed);
+    stats_.pages_allocated++;
+    return Status::OK();
+  }
+  // Extend the file.
+  ODE_ASSIGN_OR_RETURN(uint32_t page_count,
+                       ReadSuperU32(SuperblockLayout::kPageCountOffset));
+  page = page_count;
+  ODE_RETURN_IF_ERROR(
+      WriteSuperU32(SuperblockLayout::kPageCountOffset, page_count + 1));
+  PageHandle fresh;
+  ODE_RETURN_IF_ERROR(GetPageWrite(page, &fresh));
+  memset(fresh.mutable_data(), 0, kPageSize);
+  *id = page;
+  *handle = std::move(fresh);
+  stats_.pages_allocated++;
+  return Status::OK();
+}
+
+Status StorageEngine::FreePage(PageId id) {
+  if (active_txn_ == 0) {
+    return Status::InvalidArgument("page free outside a transaction");
+  }
+  if (id == kSuperblockPageId || id == kInvalidPageId) {
+    return Status::InvalidArgument("cannot free page " + std::to_string(id));
+  }
+  ODE_ASSIGN_OR_RETURN(uint32_t free_head,
+                       ReadSuperU32(SuperblockLayout::kFreeListOffset));
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(GetPageWrite(id, &handle));
+  memset(handle.mutable_data(), 0, kPageSize);
+  EncodeFixed32(handle.mutable_data(), free_head);
+  ODE_RETURN_IF_ERROR(WriteSuperU32(SuperblockLayout::kFreeListOffset, id));
+  stats_.pages_freed++;
+  return Status::OK();
+}
+
+Result<uint32_t> StorageEngine::ReadSuperU32(uint32_t offset) {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(GetPageRead(kSuperblockPageId, &handle));
+  return DecodeFixed32(handle.data() + offset);
+}
+
+Result<uint64_t> StorageEngine::ReadSuperU64(uint32_t offset) {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(GetPageRead(kSuperblockPageId, &handle));
+  return DecodeFixed64(handle.data() + offset);
+}
+
+Status StorageEngine::WriteSuperU32(uint32_t offset, uint32_t value) {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(GetPageWrite(kSuperblockPageId, &handle));
+  EncodeFixed32(handle.mutable_data() + offset, value);
+  return Status::OK();
+}
+
+Status StorageEngine::WriteSuperU64(uint32_t offset, uint64_t value) {
+  PageHandle handle;
+  ODE_RETURN_IF_ERROR(GetPageWrite(kSuperblockPageId, &handle));
+  EncodeFixed64(handle.mutable_data() + offset, value);
+  return Status::OK();
+}
+
+Result<uint32_t> StorageEngine::Vacuum() {
+  if (active_txn_ != 0) {
+    return Status::Busy("cannot vacuum inside a transaction");
+  }
+  // Collect the free list.
+  std::vector<PageId> free_pages;
+  {
+    ODE_ASSIGN_OR_RETURN(uint32_t head,
+                         ReadSuperU32(SuperblockLayout::kFreeListOffset));
+    PageId page = head;
+    while (page != kInvalidPageId) {
+      free_pages.push_back(page);
+      if (free_pages.size() > (1u << 26)) {
+        return Status::Corruption("free list cycle during vacuum");
+      }
+      PageHandle handle;
+      ODE_RETURN_IF_ERROR(GetPageRead(page, &handle));
+      page = DecodeFixed32(handle.data());
+    }
+  }
+  ODE_ASSIGN_OR_RETURN(uint32_t page_count,
+                       ReadSuperU32(SuperblockLayout::kPageCountOffset));
+  // Find the maximal free tail.
+  std::set<PageId> free_set(free_pages.begin(), free_pages.end());
+  uint32_t new_count = page_count;
+  while (new_count > 1 && free_set.count(new_count - 1) > 0) {
+    new_count--;
+  }
+  const uint32_t released = page_count - new_count;
+  if (released == 0) return 0u;
+
+  // Rebuild the free list without the dropped tail, inside a transaction.
+  ODE_ASSIGN_OR_RETURN(TxnId txn, BeginTxn());
+  Status status = [&]() -> Status {
+    PageId head = kInvalidPageId;
+    for (auto it = free_pages.rbegin(); it != free_pages.rend(); ++it) {
+      if (*it >= new_count) continue;
+      PageHandle handle;
+      ODE_RETURN_IF_ERROR(GetPageWrite(*it, &handle));
+      memset(handle.mutable_data(), 0, kPageSize);
+      EncodeFixed32(handle.mutable_data(), head);
+      head = *it;
+    }
+    ODE_RETURN_IF_ERROR(WriteSuperU32(SuperblockLayout::kFreeListOffset, head));
+    ODE_RETURN_IF_ERROR(
+        WriteSuperU32(SuperblockLayout::kPageCountOffset, new_count));
+    return Status::OK();
+  }();
+  if (!status.ok()) {
+    ODE_RETURN_IF_ERROR(AbortTxn(txn));
+    return status;
+  }
+  ODE_RETURN_IF_ERROR(CommitTxn(txn));
+  // Metadata is durable; the dropped tail is unreferenced. Make sure no
+  // stale frames survive, flush, then shrink the file. (A crash between
+  // commit and truncate just leaves a harmless oversized file.)
+  for (PageId p = new_count; p < page_count; p++) {
+    pool_->Evict(p);
+  }
+  ODE_RETURN_IF_ERROR(Checkpoint());
+  ODE_RETURN_IF_ERROR(pager_->TruncateToPages(new_count));
+  ODE_RETURN_IF_ERROR(pager_->Sync());
+  return released;
+}
+
+Status StorageEngine::Checkpoint() {
+  if (active_txn_ != 0) {
+    return Status::Busy("cannot checkpoint inside a transaction");
+  }
+  ODE_RETURN_IF_ERROR(pool_->FlushAll());
+  ODE_RETURN_IF_ERROR(pager_->Sync());
+  ODE_RETURN_IF_ERROR(wal_->Reset());
+  stats_.checkpoints++;
+  return Status::OK();
+}
+
+}  // namespace ode

@@ -1,0 +1,142 @@
+#ifndef ODE_STORAGE_ENGINE_H_
+#define ODE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// Tuning knobs for the storage engine.
+struct EngineOptions {
+  size_t buffer_pool_pages = 1024;  ///< 4 MiB of cache by default.
+  Wal::SyncMode wal_sync = Wal::SyncMode::kSyncEveryCommit;
+  /// Checkpoint (flush pages + truncate log) once the WAL exceeds this size.
+  uint64_t checkpoint_wal_bytes = 8ull << 20;
+};
+
+/// The transactional page store: pager + buffer pool + redo WAL + recovery.
+///
+/// Transaction model (matches the paper's "an O++ program is a single
+/// transaction"): exactly one transaction may be active at a time. Page
+/// writes within a transaction are buffered (no-steal); the first write to a
+/// page snapshots an undo image so Abort can restore it in memory. Commit
+/// logs the after-image of every dirtied page plus a commit record; the pages
+/// then become flushable and reach the database file via eviction or
+/// checkpoints. Opening a database replays committed transactions from the
+/// log (crash recovery).
+class StorageEngine {
+ public:
+  struct Stats {
+    uint64_t txns_committed = 0;
+    uint64_t txns_aborted = 0;
+    uint64_t pages_allocated = 0;
+    uint64_t pages_freed = 0;
+    uint64_t checkpoints = 0;
+  };
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// Opens (creating if needed) the database at `path` (the WAL lives at
+  /// `path` + ".wal"). Runs crash recovery if the log is non-empty.
+  static Status Open(const std::string& path, const EngineOptions& options,
+                     std::unique_ptr<StorageEngine>* out);
+
+  /// Checkpoints and closes. The destructor also checkpoints best-effort.
+  Status Close();
+
+  ~StorageEngine();
+
+  // --- Transactions -------------------------------------------------------
+
+  /// Starts a transaction. Fails with Busy if one is already active.
+  Result<TxnId> BeginTxn();
+
+  /// Durably commits the active transaction.
+  Status CommitTxn(TxnId txn);
+
+  /// Rolls back every page the active transaction touched.
+  Status AbortTxn(TxnId txn);
+
+  bool in_txn() const { return active_txn_ != 0; }
+  TxnId active_txn() const { return active_txn_; }
+
+  // --- Page access ---------------------------------------------------------
+
+  /// Pins `id` for reading.
+  Status GetPageRead(PageId id, PageHandle* handle);
+
+  /// Pins `id` for writing within the active transaction; snapshots an undo
+  /// image the first time the transaction touches the page.
+  Status GetPageWrite(PageId id, PageHandle* handle);
+
+  /// Allocates a page (free list first, then file extension) within the
+  /// active transaction and returns it pinned for writing, zero-filled.
+  Status AllocPage(PageId* id, PageHandle* handle);
+
+  /// Returns `id` to the free list within the active transaction.
+  Status FreePage(PageId id);
+
+  // --- Superblock fields ---------------------------------------------------
+
+  Result<uint32_t> ReadSuperU32(uint32_t offset);
+  Result<uint64_t> ReadSuperU64(uint32_t offset);
+  Status WriteSuperU32(uint32_t offset, uint32_t value);  ///< Needs a txn.
+  Status WriteSuperU64(uint32_t offset, uint64_t value);  ///< Needs a txn.
+
+  // --- Maintenance ---------------------------------------------------------
+
+  /// Flushes all committed dirty pages, syncs the db file, truncates the WAL.
+  /// Must be called outside a transaction.
+  Status Checkpoint();
+
+  /// Reclaims trailing free pages: unlinks every free page at the end of
+  /// the file from the free list, commits the shrunken metadata, checkpoints
+  /// and truncates the file. Returns the number of pages released. Must be
+  /// called outside a transaction.
+  Result<uint32_t> Vacuum();
+
+  /// Test hook: drops the engine as a crash would — no checkpoint, no page
+  /// write-back. Committed state only survives via WAL recovery on reopen.
+  void SimulateCrash() { closed_ = true; }
+
+  BufferPool& buffer_pool() { return *pool_; }
+  Wal& wal() { return *wal_; }
+  const Stats& stats() const { return stats_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  StorageEngine(std::string path, std::unique_ptr<Pager> pager,
+                std::unique_ptr<Wal> wal, const EngineOptions& options);
+
+  struct UndoEntry {
+    std::unique_ptr<char[]> image;
+    bool was_dirty;  ///< Frame was committed-dirty before this txn touched it.
+  };
+
+  std::string path_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<BufferPool> pool_;
+  EngineOptions options_;
+
+  TxnId active_txn_ = 0;
+  TxnId next_txn_id_ = 1;
+  std::set<PageId> txn_dirty_;  // Sorted so commit logging is deterministic.
+  std::unordered_map<PageId, UndoEntry> undo_;
+  Stats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_ENGINE_H_

@@ -1,0 +1,111 @@
+#include "storage/overflow.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace ode {
+namespace overflow {
+
+namespace {
+constexpr uint32_t kNextOffset = 4;
+constexpr uint32_t kLenOffset = 8;
+constexpr uint32_t kDataOffset = 12;
+}  // namespace
+
+Status WriteChain(StorageEngine* engine, const Slice& data, PageId* first) {
+  *first = kInvalidPageId;
+  if (data.empty()) {
+    return Status::InvalidArgument("empty overflow chain");
+  }
+  size_t remaining = data.size();
+  const char* cursor = data.data();
+  PageId prev = kInvalidPageId;
+  PageHandle prev_handle;
+  while (remaining > 0) {
+    PageId page;
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine->AllocPage(&page, &handle));
+    char* buf = handle.mutable_data();
+    buf[0] = static_cast<char>(PageType::kOverflow);
+    EncodeFixed32(buf + kNextOffset, kInvalidPageId);
+    const uint32_t chunk = remaining > kOverflowPayload
+                               ? kOverflowPayload
+                               : static_cast<uint32_t>(remaining);
+    EncodeFixed32(buf + kLenOffset, chunk);
+    memcpy(buf + kDataOffset, cursor, chunk);
+    cursor += chunk;
+    remaining -= chunk;
+    if (prev == kInvalidPageId) {
+      *first = page;
+    } else {
+      EncodeFixed32(prev_handle.mutable_data() + kNextOffset, page);
+    }
+    prev = page;
+    prev_handle = std::move(handle);
+  }
+  return Status::OK();
+}
+
+Status ReadChain(StorageEngine* engine, PageId first, std::string* out) {
+  out->clear();
+  PageId page = first;
+  while (page != kInvalidPageId) {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine->GetPageRead(page, &handle));
+    const char* buf = handle.data();
+    if (static_cast<PageType>(buf[0]) != PageType::kOverflow) {
+      return Status::Corruption("overflow chain hit non-overflow page " +
+                                std::to_string(page));
+    }
+    const uint32_t len = DecodeFixed32(buf + kLenOffset);
+    if (len > kOverflowPayload) {
+      return Status::Corruption("overflow page length out of range");
+    }
+    out->append(buf + kDataOffset, len);
+    page = DecodeFixed32(buf + kNextOffset);
+  }
+  return Status::OK();
+}
+
+Status FreeChain(StorageEngine* engine, PageId first) {
+  PageId page = first;
+  while (page != kInvalidPageId) {
+    PageId next;
+    {
+      PageHandle handle;
+      ODE_RETURN_IF_ERROR(engine->GetPageRead(page, &handle));
+      if (static_cast<PageType>(handle.data()[0]) != PageType::kOverflow) {
+        return Status::Corruption("overflow chain hit non-overflow page " +
+                                  std::to_string(page));
+      }
+      next = DecodeFixed32(handle.data() + kNextOffset);
+    }
+    ODE_RETURN_IF_ERROR(engine->FreePage(page));
+    page = next;
+  }
+  return Status::OK();
+}
+
+Status ListChainPages(StorageEngine* engine, PageId first,
+                      std::vector<PageId>* pages) {
+  pages->clear();
+  PageId page = first;
+  while (page != kInvalidPageId) {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine->GetPageRead(page, &handle));
+    if (static_cast<PageType>(handle.data()[0]) != PageType::kOverflow) {
+      return Status::Corruption("overflow chain hit non-overflow page " +
+                                std::to_string(page));
+    }
+    pages->push_back(page);
+    if (pages->size() > 1u << 22) {
+      return Status::Corruption("overflow chain cycle suspected");
+    }
+    page = DecodeFixed32(handle.data() + kNextOffset);
+  }
+  return Status::OK();
+}
+
+}  // namespace overflow
+}  // namespace ode

@@ -1,0 +1,35 @@
+#ifndef ODE_STORAGE_OVERFLOW_H_
+#define ODE_STORAGE_OVERFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/engine.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+namespace overflow {
+
+/// Payload bytes stored per overflow page (after the 12-byte header:
+/// type u8 + pad + next u32 + len u32).
+inline constexpr uint32_t kOverflowPayload = kPageSize - 12;
+
+/// Writes `data` into a fresh chain of overflow pages (inside the active
+/// transaction) and returns the first page id.
+Status WriteChain(StorageEngine* engine, const Slice& data, PageId* first);
+
+/// Reads an entire chain back into `*out`.
+Status ReadChain(StorageEngine* engine, PageId first, std::string* out);
+
+/// Frees all pages of the chain starting at `first`.
+Status FreeChain(StorageEngine* engine, PageId first);
+
+/// Collects the page ids of a chain (integrity checking).
+Status ListChainPages(StorageEngine* engine, PageId first,
+                      std::vector<PageId>* pages);
+
+}  // namespace overflow
+}  // namespace ode
+
+#endif  // ODE_STORAGE_OVERFLOW_H_

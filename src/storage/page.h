@@ -1,0 +1,60 @@
+#ifndef ODE_STORAGE_PAGE_H_
+#define ODE_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace ode {
+
+/// Size of every on-disk page. The database file is an array of such pages;
+/// page 0 is the superblock.
+inline constexpr uint32_t kPageSize = 4096;
+
+/// Identifies a page by its index in the database file.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// The superblock page id.
+inline constexpr PageId kSuperblockPageId = 0;
+
+/// On-disk page type tags (first byte of typed pages). Raw consumers such as
+/// overflow chains use their own tag so corruption is detectable.
+enum class PageType : uint8_t {
+  kFree = 0,
+  kSuperblock = 1,
+  kSlotted = 2,       ///< Variable-length record page (objects, catalog).
+  kObjectTable = 3,   ///< Object-table entry page.
+  kTableRoot = 4,     ///< Object-table root/directory page.
+  kOverflow = 5,      ///< Large-record overflow chain page.
+  kBTreeLeaf = 6,
+  kBTreeInternal = 7,
+  kBlob = 8,          ///< Catalog blob chain page.
+};
+
+/// Superblock layout (offsets within page 0).
+///
+///   [0..7]    magic "ODEDB001"
+///   [8..11]   format version (u32)
+///   [12..15]  page_count (u32)      -- pages allocated in the file
+///   [16..19]  free_list_head (u32)  -- head of free page list
+///   [20..23]  catalog_root (u32)    -- first page of the catalog blob chain
+///   [24..31]  next_txn_id (u64)
+///   [32..39]  next_trigger_id (u64)
+struct SuperblockLayout {
+  static constexpr uint32_t kMagicOffset = 0;
+  static constexpr uint32_t kVersionOffset = 8;
+  static constexpr uint32_t kPageCountOffset = 12;
+  static constexpr uint32_t kFreeListOffset = 16;
+  static constexpr uint32_t kCatalogRootOffset = 20;
+  static constexpr uint32_t kNextTxnIdOffset = 24;
+  static constexpr uint32_t kNextTriggerIdOffset = 32;
+};
+
+inline constexpr char kSuperblockMagic[8] = {'O', 'D', 'E', 'D',
+                                             'B', '0', '0', '1'};
+inline constexpr uint32_t kFormatVersion = 1;
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_PAGE_H_

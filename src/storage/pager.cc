@@ -1,0 +1,71 @@
+#include "storage/pager.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace ode {
+
+Status Pager::Open(const std::string& path, std::unique_ptr<Pager>* out,
+                   bool* created) {
+  std::unique_ptr<File> file;
+  ODE_RETURN_IF_ERROR(File::Open(path, &file));
+  ODE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::unique_ptr<Pager> pager(new Pager(std::move(file), path));
+  *created = (size == 0);
+  if (*created) {
+    // Format a fresh superblock: 1 page in the file, empty free list, no
+    // catalog yet.
+    char page[kPageSize];
+    memset(page, 0, sizeof(page));
+    memcpy(page + SuperblockLayout::kMagicOffset, kSuperblockMagic, 8);
+    EncodeFixed32(page + SuperblockLayout::kVersionOffset, kFormatVersion);
+    EncodeFixed32(page + SuperblockLayout::kPageCountOffset, 1);
+    EncodeFixed32(page + SuperblockLayout::kFreeListOffset, kInvalidPageId);
+    EncodeFixed32(page + SuperblockLayout::kCatalogRootOffset, kInvalidPageId);
+    EncodeFixed64(page + SuperblockLayout::kNextTxnIdOffset, 1);
+    EncodeFixed64(page + SuperblockLayout::kNextTriggerIdOffset, 1);
+    ODE_RETURN_IF_ERROR(pager->WritePage(kSuperblockPageId, page));
+    ODE_RETURN_IF_ERROR(pager->Sync());
+  } else {
+    // Validate the superblock of an existing file.
+    char page[kPageSize];
+    ODE_RETURN_IF_ERROR(pager->ReadPage(kSuperblockPageId, page));
+    if (memcmp(page + SuperblockLayout::kMagicOffset, kSuperblockMagic, 8) !=
+        0) {
+      return Status::Corruption("bad database magic in " + path);
+    }
+    const uint32_t version =
+        DecodeFixed32(page + SuperblockLayout::kVersionOffset);
+    if (version != kFormatVersion) {
+      return Status::NotSupported("database format version " +
+                                  std::to_string(version));
+    }
+  }
+  *out = std::move(pager);
+  return Status::OK();
+}
+
+Status Pager::ReadPage(PageId id, char* buf) const {
+  const uint64_t offset = static_cast<uint64_t>(id) * kPageSize;
+  size_t bytes_read = 0;
+  ODE_RETURN_IF_ERROR(file_->ReadAtMost(offset, kPageSize, buf, &bytes_read));
+  if (bytes_read < kPageSize) {
+    // Logically-allocated page that was never flushed: reads as zeroes.
+    memset(buf + bytes_read, 0, kPageSize - bytes_read);
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId id, const char* buf) {
+  const uint64_t offset = static_cast<uint64_t>(id) * kPageSize;
+  return file_->Write(offset, Slice(buf, kPageSize));
+}
+
+Status Pager::Sync() { return file_->Sync(); }
+
+Status Pager::TruncateToPages(uint32_t page_count) {
+  return file_->Truncate(static_cast<uint64_t>(page_count) * kPageSize);
+}
+
+}  // namespace ode

@@ -1,0 +1,54 @@
+#ifndef ODE_STORAGE_PAGER_H_
+#define ODE_STORAGE_PAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/page.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// Raw page I/O on the database file. The pager knows nothing about caching,
+/// transactions or logging — that is the StorageEngine's job. It only
+/// guarantees page-granular reads/writes and file growth.
+class Pager {
+ public:
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Opens (or creates) the database file. A new file is formatted with a
+  /// fresh superblock. `created` reports whether formatting happened.
+  static Status Open(const std::string& path, std::unique_ptr<Pager>* out,
+                     bool* created);
+
+  /// Reads page `id` into `buf` (kPageSize bytes). Pages past the current
+  /// high-water mark read as zeroes (they exist logically but were never
+  /// written).
+  Status ReadPage(PageId id, char* buf) const;
+
+  /// Writes `buf` (kPageSize bytes) as page `id`, extending the file as
+  /// needed.
+  Status WritePage(PageId id, const char* buf);
+
+  /// Flushes the file to stable storage.
+  Status Sync();
+
+  /// Shrinks the file to `page_count` pages (Vacuum support; the caller
+  /// guarantees the dropped tail is unreferenced and metadata is durable).
+  Status TruncateToPages(uint32_t page_count);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Pager(std::unique_ptr<File> file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
+
+  std::unique_ptr<File> file_;
+  std::string path_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_PAGER_H_

@@ -1,0 +1,52 @@
+#include "storage/recovery.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace ode {
+
+Status RunRecovery(Pager* pager, Wal* wal, RecoveryStats* stats) {
+  *stats = RecoveryStats();
+
+  // Pass 1: find committed transactions.
+  std::unordered_set<TxnId> committed;
+  {
+    Wal::Reader reader(wal->file());
+    Wal::Record record;
+    std::string scratch;
+    bool eof = false;
+    while (true) {
+      ODE_RETURN_IF_ERROR(reader.Next(&record, &scratch, &eof));
+      if (eof) break;
+      stats->records_scanned++;
+      if (record.type == Wal::RecordType::kCommit) {
+        committed.insert(record.txn_id);
+      }
+    }
+  }
+  stats->committed_txns = committed.size();
+
+  // Pass 2: replay committed page images in log order.
+  if (!committed.empty()) {
+    Wal::Reader reader(wal->file());
+    Wal::Record record;
+    std::string scratch;
+    bool eof = false;
+    while (true) {
+      ODE_RETURN_IF_ERROR(reader.Next(&record, &scratch, &eof));
+      if (eof) break;
+      if (record.type == Wal::RecordType::kPageImage &&
+          committed.count(record.txn_id) > 0) {
+        ODE_RETURN_IF_ERROR(
+            pager->WritePage(record.page_id, record.image.data()));
+        stats->pages_replayed++;
+      }
+    }
+    ODE_RETURN_IF_ERROR(pager->Sync());
+  }
+
+  // The log's work is done.
+  return wal->Reset();
+}
+
+}  // namespace ode

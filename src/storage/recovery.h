@@ -1,0 +1,29 @@
+#ifndef ODE_STORAGE_RECOVERY_H_
+#define ODE_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+
+#include "storage/pager.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace ode {
+
+struct RecoveryStats {
+  uint64_t committed_txns = 0;
+  uint64_t pages_replayed = 0;
+  uint64_t records_scanned = 0;
+};
+
+/// Crash recovery for the redo-only WAL.
+///
+/// Pass 1 scans the log and collects the set of transactions with a commit
+/// record. Pass 2 rescans and writes the page images of committed
+/// transactions, in log order, straight to the database file. Finally the
+/// file is synced and the log truncated. Page images are full after-images,
+/// so replay is idempotent and the last write of each page wins.
+Status RunRecovery(Pager* pager, Wal* wal, RecoveryStats* stats);
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_RECOVERY_H_

@@ -1,0 +1,73 @@
+#ifndef ODE_STORAGE_SLOTTED_PAGE_H_
+#define ODE_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+
+#include "storage/page.h"
+#include "util/slice.h"
+
+namespace ode {
+
+/// Variable-length record management within one kPageSize buffer.
+///
+/// Layout:
+///   [0]      page type (PageType)
+///   [1]      reserved
+///   [2..3]   slot count (u16)
+///   [4..5]   heap end (u16) — first free byte above the record heap
+///   [6..7]   extra-header size (u16)
+///   [8..]    caller "extra" header region, then the record heap growing up
+///   [end]    slot directory growing down: per slot {offset u16, length u16};
+///            offset 0 marks a free (deleted) slot.
+///
+/// All functions are static and operate on a raw page buffer, which is how
+/// the buffer pool hands out pages. Record offsets are never 0 because the
+/// heap starts at or above byte 8.
+class SlottedPage {
+ public:
+  /// Largest record an empty page (with `extra` header bytes) can hold.
+  static uint16_t MaxRecordSize(uint16_t extra);
+
+  /// Formats `page` as an empty slotted page of the given type.
+  static void Init(char* page, PageType type, uint16_t extra);
+
+  static PageType Type(const char* page);
+  static uint16_t SlotCount(const char* page);
+
+  /// Caller-owned extra header region (size fixed at Init).
+  static char* Extra(char* page);
+  static const char* Extra(const char* page);
+
+  /// Inserts `record`, compacting if fragmentation blocks an otherwise-fitting
+  /// insert. Returns false if there is genuinely not enough space.
+  static bool Insert(char* page, const Slice& record, uint16_t* slot);
+
+  /// Reads the record in `slot`. Returns false for out-of-range or deleted
+  /// slots.
+  static bool Read(const char* page, uint16_t slot, Slice* record);
+
+  /// Replaces the record in `slot`. In place when the new record is no
+  /// larger; otherwise re-allocates within the page (possibly compacting).
+  /// Returns false if it cannot fit.
+  static bool Update(char* page, uint16_t slot, const Slice& record);
+
+  /// Deletes the record in `slot` (slot index becomes reusable).
+  static bool Delete(char* page, uint16_t slot);
+
+  /// Bytes available for one new record (accounts for a new slot entry).
+  static uint16_t FreeSpace(const char* page);
+
+  /// Space used by live records (diagnostics).
+  static uint32_t LiveBytes(const char* page);
+
+  /// Rewrites the heap to squeeze out holes left by deletes/updates.
+  static void Compact(char* page);
+
+ private:
+  static constexpr uint16_t kHeaderSize = 8;
+  static constexpr uint16_t kSlotSize = 4;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_SLOTTED_PAGE_H_

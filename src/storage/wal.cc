@@ -1,0 +1,125 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace ode {
+
+namespace {
+constexpr size_t kHeaderSize = 8;  // len u32 + crc u32
+}  // namespace
+
+Status Wal::Open(const std::string& path, SyncMode mode,
+                 std::unique_ptr<Wal>* out) {
+  std::unique_ptr<File> file;
+  ODE_RETURN_IF_ERROR(File::Open(path, &file));
+  ODE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  out->reset(new Wal(std::move(file), mode, size));
+  return Status::OK();
+}
+
+Status Wal::AppendRecord(RecordType type, TxnId txn, const Slice& payload) {
+  buffer_.clear();
+  buffer_.reserve(kHeaderSize + 9 + payload.size());
+  // Body: type + txn_id + payload.
+  std::string body;
+  body.reserve(9 + payload.size());
+  body.push_back(static_cast<char>(type));
+  PutFixed64(&body, txn);
+  body.append(payload.data(), payload.size());
+
+  PutFixed32(&buffer_, static_cast<uint32_t>(body.size()));
+  PutFixed32(&buffer_, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  buffer_.append(body);
+
+  ODE_RETURN_IF_ERROR(file_->Write(write_offset_, buffer_));
+  write_offset_ += buffer_.size();
+  return Status::OK();
+}
+
+Status Wal::AppendPageImage(TxnId txn, PageId page, const char* image) {
+  std::string payload;
+  payload.reserve(4 + kPageSize);
+  PutFixed32(&payload, page);
+  payload.append(image, kPageSize);
+  return AppendRecord(RecordType::kPageImage, txn, payload);
+}
+
+Status Wal::AppendCommit(TxnId txn) {
+  ODE_RETURN_IF_ERROR(AppendRecord(RecordType::kCommit, txn, Slice()));
+  if (sync_mode_ == SyncMode::kSyncEveryCommit) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() { return file_->Sync(); }
+
+Status Wal::Reset() {
+  ODE_RETURN_IF_ERROR(file_->Truncate(0));
+  ODE_RETURN_IF_ERROR(file_->Sync());
+  write_offset_ = 0;
+  return Status::OK();
+}
+
+Status Wal::Reader::Next(Record* record, std::string* scratch, bool* eof) {
+  *eof = false;
+  char header[kHeaderSize];
+  size_t n = 0;
+  ODE_RETURN_IF_ERROR(file_->ReadAtMost(offset_, kHeaderSize, header, &n));
+  if (n < kHeaderSize) {
+    *eof = true;
+    return Status::OK();
+  }
+  const uint32_t len = DecodeFixed32(header);
+  const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header + 4));
+  if (len < 9 || len > 16u * 1024 * 1024) {
+    *eof = true;  // Corrupt length: treat as torn tail.
+    return Status::OK();
+  }
+  scratch->resize(len);
+  ODE_RETURN_IF_ERROR(
+      file_->ReadAtMost(offset_ + kHeaderSize, len, scratch->data(), &n));
+  if (n < len) {
+    *eof = true;  // Torn record.
+    return Status::OK();
+  }
+  if (crc32c::Value(scratch->data(), len) != expected_crc) {
+    *eof = true;  // Corrupt body: stop scanning.
+    return Status::OK();
+  }
+  Slice body(*scratch);
+  record->type = static_cast<RecordType>(body[0]);
+  body.remove_prefix(1);
+  uint64_t txn;
+  if (!GetFixed64(&body, &txn)) {
+    *eof = true;
+    return Status::OK();
+  }
+  record->txn_id = txn;
+  switch (record->type) {
+    case RecordType::kPageImage: {
+      uint32_t page;
+      if (!GetFixed32(&body, &page) || body.size() != kPageSize) {
+        *eof = true;
+        return Status::OK();
+      }
+      record->page_id = page;
+      record->image = body;
+      break;
+    }
+    case RecordType::kCommit:
+      record->page_id = kInvalidPageId;
+      record->image = Slice();
+      break;
+    default:
+      *eof = true;  // Unknown record type: stop.
+      return Status::OK();
+  }
+  offset_ += kHeaderSize + len;
+  return Status::OK();
+}
+
+}  // namespace ode

@@ -1,0 +1,103 @@
+#ifndef ODE_STORAGE_WAL_H_
+#define ODE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/page.h"
+#include "util/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+
+using TxnId = uint64_t;
+
+/// Redo-only write-ahead log.
+///
+/// ODE uses a no-steal buffer policy: dirty pages of an uncommitted
+/// transaction never reach the database file, so no undo information is
+/// logged. At commit, the full after-image of every page the transaction
+/// dirtied is appended, followed by a commit record. Recovery replays page
+/// images of committed transactions in log order (see recovery.h).
+///
+/// Record framing: [len u32][masked crc32c u32][body], where body is
+/// [type u8][txn_id u64][payload]. A torn or corrupt tail ends the scan.
+class Wal {
+ public:
+  enum class RecordType : uint8_t {
+    kPageImage = 1,  ///< payload: page_id u32 + kPageSize image bytes
+    kCommit = 2,     ///< payload: empty
+  };
+
+  /// A decoded record (image points into caller-provided scratch).
+  struct Record {
+    RecordType type;
+    TxnId txn_id = 0;
+    PageId page_id = kInvalidPageId;
+    Slice image;
+  };
+
+  /// Controls when the log is forced to stable storage.
+  enum class SyncMode {
+    kSyncEveryCommit,  ///< fdatasync after each commit record (durable).
+    kNoSync,           ///< leave flushing to the OS (fast, test/bench use).
+  };
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if needed) the log file at `path` for appending.
+  static Status Open(const std::string& path, SyncMode mode,
+                     std::unique_ptr<Wal>* out);
+
+  Status AppendPageImage(TxnId txn, PageId page, const char* image);
+
+  /// Appends a commit record; syncs per the SyncMode.
+  Status AppendCommit(TxnId txn);
+
+  Status Sync();
+
+  /// Truncates the log to empty (after a checkpoint).
+  Status Reset();
+
+  /// Current log size in bytes.
+  uint64_t size_bytes() const { return write_offset_; }
+
+  void set_sync_mode(SyncMode mode) { sync_mode_ = mode; }
+  SyncMode sync_mode() const { return sync_mode_; }
+
+  /// Sequential scanner over a closed or live log file, used by recovery.
+  class Reader {
+   public:
+    explicit Reader(File* file) : file_(file) {}
+
+    /// Reads the next record. Sets *eof=true (and returns OK) at clean end
+    /// of log or at the first torn/corrupt record.
+    Status Next(Record* record, std::string* scratch, bool* eof);
+
+   private:
+    File* file_;
+    uint64_t offset_ = 0;
+  };
+
+  File* file() { return file_.get(); }
+
+ private:
+  Wal(std::unique_ptr<File> file, SyncMode mode, uint64_t write_offset)
+      : file_(std::move(file)),
+        sync_mode_(mode),
+        write_offset_(write_offset) {}
+
+  Status AppendRecord(RecordType type, TxnId txn, const Slice& payload);
+
+  std::unique_ptr<File> file_;
+  SyncMode sync_mode_;
+  uint64_t write_offset_;
+  std::string buffer_;  // reused encode buffer
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_WAL_H_

@@ -1,0 +1,75 @@
+#ifndef ODE_UTIL_CODING_H_
+#define ODE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace ode {
+
+// Little-endian fixed-width and varint integer codings used by the storage
+// layer, WAL records and serialization archives.
+
+inline void EncodeFixed16(char* dst, uint16_t value) {
+  memcpy(dst, &value, sizeof(value));  // Little-endian hosts only.
+}
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Appends a base-128 varint encoding of `value` (1..5 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+/// Appends a base-128 varint encoding of `value` (1..10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends varint length followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parses a varint32 from the front of `*input`, advancing it.
+/// Returns false on malformed/truncated input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+bool GetFixed16(Slice* input, uint16_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+/// Number of bytes PutVarint64 would append.
+int VarintLength(uint64_t value);
+
+/// Encodes a signed integer as zig-zag so small magnitudes stay small.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_CODING_H_

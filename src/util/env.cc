@@ -1,0 +1,161 @@
+#include "util/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ode {
+
+namespace {
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + strerror(errno));
+}
+}  // namespace
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status File::Open(const std::string& path, std::unique_ptr<File>* out) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  out->reset(new File(fd, path));
+  return Status::OK();
+}
+
+Status File::OpenReadOnly(const std::string& path,
+                          std::unique_ptr<File>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path);
+    return ErrnoStatus("open " + path);
+  }
+  out->reset(new File(fd, path));
+  return Status::OK();
+}
+
+Status File::Read(uint64_t offset, size_t n, char* scratch) const {
+  size_t bytes_read = 0;
+  ODE_RETURN_IF_ERROR(ReadAtMost(offset, n, scratch, &bytes_read));
+  if (bytes_read != n) {
+    return Status::IOError("short read from " + path_);
+  }
+  return Status::OK();
+}
+
+Status File::ReadAtMost(uint64_t offset, size_t n, char* scratch,
+                        size_t* bytes_read) const {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, scratch + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread " + path_);
+    }
+    if (r == 0) break;  // EOF
+    done += static_cast<size_t>(r);
+  }
+  *bytes_read = done;
+  return Status::OK();
+}
+
+Status File::Write(uint64_t offset, const Slice& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t w = ::pwrite(fd_, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite " + path_);
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status File::Append(const Slice& data) {
+  ODE_ASSIGN_OR_RETURN(uint64_t size, Size());
+  return Write(size, data);
+}
+
+Status File::Sync() {
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
+  return Status::OK();
+}
+
+Status File::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("ftruncate " + path_);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> File::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat " + path_);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+namespace env {
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink " + path);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename " + from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+Status CreateDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir " + path);
+  }
+  return Status::OK();
+}
+
+Status RemoveDirRecursively(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return ErrnoStatus("opendir " + path);
+  }
+  struct dirent* entry;
+  Status status;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string child = path + "/" + name;
+    struct stat st;
+    if (::lstat(child.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      status = RemoveDirRecursively(child);
+    } else {
+      status = RemoveFile(child);
+    }
+    if (!status.ok()) break;
+  }
+  ::closedir(dir);
+  if (status.ok() && ::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("rmdir " + path);
+  }
+  return status;
+}
+
+}  // namespace env
+}  // namespace ode

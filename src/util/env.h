@@ -1,0 +1,72 @@
+#ifndef ODE_UTIL_ENV_H_
+#define ODE_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// A random-access file handle (POSIX pread/pwrite). All storage-layer I/O
+/// (database file, WAL) goes through this so tests can keep files small and
+/// the engine has a single seam for I/O errors.
+class File {
+ public:
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Opens (creating if necessary) `path` for read/write.
+  static Status Open(const std::string& path, std::unique_ptr<File>* out);
+  /// Opens `path` read-only; NotFound if missing.
+  static Status OpenReadOnly(const std::string& path,
+                             std::unique_ptr<File>* out);
+
+  /// Reads exactly `n` bytes at `offset` into `scratch`. Returns IOError on a
+  /// short read (reading past EOF is a short read).
+  Status Read(uint64_t offset, size_t n, char* scratch) const;
+
+  /// Reads up to `n` bytes; sets *bytes_read (can be < n at EOF).
+  Status ReadAtMost(uint64_t offset, size_t n, char* scratch,
+                    size_t* bytes_read) const;
+
+  /// Writes all of `data` at `offset`.
+  Status Write(uint64_t offset, const Slice& data);
+
+  /// Appends `data` at end of file.
+  Status Append(const Slice& data);
+
+  /// Flushes file contents (and metadata) to stable storage.
+  Status Sync();
+
+  /// Truncates to `size` bytes.
+  Status Truncate(uint64_t size);
+
+  Result<uint64_t> Size() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+/// Filesystem helpers.
+namespace env {
+
+bool FileExists(const std::string& path);
+Status RemoveFile(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+Status CreateDir(const std::string& path);           ///< OK if already exists.
+Status RemoveDirRecursively(const std::string& path);
+
+}  // namespace env
+}  // namespace ode
+
+#endif  // ODE_UTIL_ENV_H_

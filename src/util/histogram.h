@@ -1,0 +1,79 @@
+#ifndef ODE_UTIL_HISTOGRAM_H_
+#define ODE_UTIL_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ode {
+
+/// A small latency recorder for benches and diagnostics: collects samples
+/// (microseconds by convention) and reports count/mean/percentiles. Exact —
+/// keeps all samples — which is fine at bench scale.
+class Histogram {
+ public:
+  void Add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double min() const {
+    Sort();
+    return samples_.empty() ? 0 : samples_.front();
+  }
+
+  double max() const {
+    Sort();
+    return samples_.empty() ? 0 : samples_.back();
+  }
+
+  /// p in [0, 100]. Nearest-rank percentile.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0;
+    Sort();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  /// "n=100 mean=12.3 p50=11.0 p99=40.2 max=55.1" (values as given).
+  std::string Summary() const {
+    char buf[160];
+    snprintf(buf, sizeof(buf), "n=%zu mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+             count(), mean(), Percentile(50), Percentile(95), Percentile(99),
+             max());
+    return buf;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void Sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_HISTOGRAM_H_

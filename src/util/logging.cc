@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ode {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel()) {
+    std::string msg = stream_.str();
+    fprintf(stderr, "%s\n", msg.c_str());
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace ode

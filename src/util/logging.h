@@ -1,0 +1,42 @@
+#ifndef ODE_UTIL_LOGGING_H_
+#define ODE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ode {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimum level actually emitted; defaults to kWarn so library users are
+/// not spammed. Tests and tools may lower it.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits to stderr on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ode
+
+#define ODE_LOG(level)                                                  \
+  ::ode::internal_logging::LogMessage(::ode::LogLevel::level, __FILE__, \
+                                      __LINE__)                         \
+      .stream()
+
+#endif  // ODE_UTIL_LOGGING_H_

@@ -1,0 +1,59 @@
+#ifndef ODE_UTIL_RANDOM_H_
+#define ODE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ode {
+
+/// Small, fast, deterministic PRNG (xorshift128+) for tests, workload
+/// generators and benchmarks. Not cryptographic.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s0_ = seed ? seed : 0x9E3779B97F4A7C15ull;
+    s1_ = s0_ ^ 0xBF58476D1CE4E5B9ull;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; i++) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p/100.
+  bool PercentTrue(int p) { return static_cast<int>(Uniform(100)) < p; }
+
+  double NextDouble() {  // in [0,1)
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+  /// Random lowercase ASCII string of length n.
+  std::string NextString(size_t n) {
+    std::string s(n, 'a');
+    for (size_t i = 0; i < n; i++) {
+      s[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_RANDOM_H_

@@ -1,0 +1,132 @@
+#ifndef ODE_UTIL_STATUS_H_
+#define ODE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ode {
+
+/// Outcome of an operation that can fail. Modeled on the LevelDB/RocksDB
+/// Status idiom: cheap to copy when OK, carries a code and message otherwise.
+/// ODE core paths do not throw exceptions; every fallible operation returns a
+/// Status (or a Result<T>, see below).
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kAlreadyExists = 5,
+    kNotSupported = 6,
+    kConstraintViolation = 7,  ///< A class constraint failed (paper §5).
+    kTransactionAborted = 8,
+    kBusy = 9,
+  };
+
+  /// Creates an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(Code::kConstraintViolation, std::move(msg));
+  }
+  static Status TransactionAborted(std::string msg) {
+    return Status(Code::kTransactionAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg) { return Status(Code::kBusy, std::move(msg)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsConstraintViolation() const {
+    return code_ == Code::kConstraintViolation;
+  }
+  bool IsTransactionAborted() const {
+    return code_ == Code::kTransactionAborted;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" form, e.g. "IOError: short read".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A Status or a value. `ok()` implies the value is present.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Undefined behavior otherwise (matches value of a
+  /// default-constructed T in practice; callers must check ok()).
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T&& TakeValue() { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace ode
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define ODE_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::ode::Status _ode_status_ = (expr);            \
+    if (!_ode_status_.ok()) return _ode_status_;    \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.
+#define ODE_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto ODE_CONCAT_(_ode_result_, __LINE__) = (expr);    \
+  if (!ODE_CONCAT_(_ode_result_, __LINE__).ok())        \
+    return ODE_CONCAT_(_ode_result_, __LINE__).status();\
+  lhs = ODE_CONCAT_(_ode_result_, __LINE__).TakeValue()
+
+#define ODE_CONCAT_INNER_(a, b) a##b
+#define ODE_CONCAT_(a, b) ODE_CONCAT_INNER_(a, b)
+
+#endif  // ODE_UTIL_STATUS_H_

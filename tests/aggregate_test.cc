@@ -1,0 +1,166 @@
+// Tests for the aggregation helpers (src/query/aggregate.h).
+
+#include <gtest/gtest.h>
+
+#include "query/aggregate.h"
+#include "test_models.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using odetest::Faculty;
+using odetest::Person;
+using odetest::Student;
+using testing::TestDb;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_->CreateCluster<Person>());
+    ASSERT_OK(db_->CreateCluster<Student>());
+    ASSERT_OK(db_->CreateCluster<Faculty>());
+    ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+      ODE_RETURN_IF_ERROR(txn.New<Person>("a", 30, 100.0).status());
+      ODE_RETURN_IF_ERROR(txn.New<Person>("b", 40, 300.0).status());
+      ODE_RETURN_IF_ERROR(txn.New<Student>("s", 20, 50.0, 3.0).status());
+      ODE_RETURN_IF_ERROR(
+          txn.New<Faculty>("f", 50, 550.0, "cs").status());
+      ODE_RETURN_IF_ERROR(
+          txn.New<Faculty>("g", 60, 650.0, "math").status());
+      return Status::OK();
+    }));
+  }
+
+  TestDb db_;
+};
+
+TEST_F(AggregateTest, SumOverExtentAndHierarchy) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(
+        double base, Sum<Person>(ForAll<Person>(txn), txn,
+                                 [](const Person& p) { return p.income(); }));
+    EXPECT_DOUBLE_EQ(base, 400.0);
+    ODE_ASSIGN_OR_RETURN(
+        double all, Sum<Person>(ForAll<Person>(txn).WithDerived(), txn,
+                                [](const Person& p) { return p.income(); }));
+    EXPECT_DOUBLE_EQ(all, 100 + 300 + 50 + 550 + 650);
+    return Status::OK();
+  }));
+}
+
+TEST_F(AggregateTest, AvgWithPredicate) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(
+        double avg,
+        Avg<Person>(ForAll<Person>(txn).WithDerived().SuchThat(
+                        [](const Person& p) { return p.age() >= 40; }),
+                    txn, [](const Person& p) { return p.income(); }));
+    EXPECT_DOUBLE_EQ(avg, (300.0 + 550.0 + 650.0) / 3);
+    return Status::OK();
+  }));
+}
+
+TEST_F(AggregateTest, AvgOverEmptySelectionIsNotFound) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    auto result = Avg<Person>(
+        ForAll<Person>(txn).SuchThat([](const Person&) { return false; }),
+        txn, [](const Person& p) { return p.income(); });
+    EXPECT_TRUE(result.status().IsNotFound());
+    return Status::OK();
+  }));
+}
+
+TEST_F(AggregateTest, MinByMaxBy) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(
+        Ref<Person> youngest,
+        (MinBy<Person, int>(ForAll<Person>(txn).WithDerived(), txn,
+                            [](const Person& p) { return p.age(); })));
+    ODE_ASSIGN_OR_RETURN(const Person* young, txn.Read(youngest));
+    EXPECT_EQ(young->name(), "s");
+    ODE_ASSIGN_OR_RETURN(
+        Ref<Person> richest,
+        (MaxBy<Person, double>(ForAll<Person>(txn).WithDerived(), txn,
+                               [](const Person& p) { return p.income(); })));
+    ODE_ASSIGN_OR_RETURN(const Person* rich, txn.Read(richest));
+    EXPECT_EQ(rich->name(), "g");
+    return Status::OK();
+  }));
+}
+
+TEST_F(AggregateTest, MinByEmptyIsNullRef) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(
+        Ref<Person> none,
+        (MinBy<Person, int>(
+            ForAll<Person>(txn).SuchThat([](const Person&) { return false; }),
+            txn, [](const Person& p) { return p.age(); })));
+    EXPECT_TRUE(none.null());
+    return Status::OK();
+  }));
+}
+
+TEST_F(AggregateTest, GroupByDept) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    struct Acc {
+      int count = 0;
+      double income = 0;
+    };
+    ODE_ASSIGN_OR_RETURN(
+        auto groups,
+        (GroupBy<Faculty, std::string, Acc>(
+            ForAll<Faculty>(txn), txn,
+            [](const Faculty& f) { return f.dept(); },
+            [](Acc& acc, const Faculty& f) {
+              acc.count++;
+              acc.income += f.income();
+            })));
+    EXPECT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups["cs"].count, 1);
+    EXPECT_DOUBLE_EQ(groups["cs"].income, 550.0);
+    EXPECT_DOUBLE_EQ(groups["math"].income, 650.0);
+    return Status::OK();
+  }));
+}
+
+TEST_F(AggregateTest, GroupByAgeBucketAcrossHierarchy) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(
+        auto buckets,
+        (GroupBy<Person, int, int>(
+            ForAll<Person>(txn).WithDerived(), txn,
+            [](const Person& p) { return p.age() / 20 * 20; },
+            [](int& n, const Person&) { n++; })));
+    EXPECT_EQ(buckets[20], 2);  // ages 20, 30
+    EXPECT_EQ(buckets[40], 2);  // ages 40, 50
+    EXPECT_EQ(buckets[60], 1);  // age 60
+    return Status::OK();
+  }));
+}
+
+TEST_F(AggregateTest, DeactivateTriggersOnForm) {
+  // The paper's `object-id->Ti(args)` deactivation form.
+  db_->DefineTrigger<Person>(
+      "t", [](const Person&, const std::vector<double>&) { return false; },
+      [](Transaction&, Ref<Person>, const std::vector<double>&) -> Status {
+        return Status::OK();
+      });
+  Ref<Person> target;
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(target, txn.New<Person>("t", 1, 1));
+    ODE_RETURN_IF_ERROR(txn.ActivateTrigger(target, "t").status());
+    ODE_RETURN_IF_ERROR(txn.ActivateTrigger(target, "t").status());
+    EXPECT_EQ(txn.ActiveTriggerCount(target), 2u);
+    ODE_ASSIGN_OR_RETURN(size_t removed, txn.DeactivateTriggersOn(target, "t"));
+    EXPECT_EQ(removed, 2u);
+    EXPECT_EQ(txn.ActiveTriggerCount(target), 0u);
+    ODE_ASSIGN_OR_RETURN(size_t removed2,
+                         txn.DeactivateTriggersOn(target, "t"));
+    EXPECT_EQ(removed2, 0u);
+    return Status::OK();
+  }));
+}
+
+}  // namespace
+}  // namespace ode

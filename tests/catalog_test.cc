@@ -1,0 +1,159 @@
+// Tests for the persistent catalog: blob-chain storage, growth across
+// pages, stability across reopen, corruption detection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "schema/catalog.h"
+#include "storage/overflow.h"
+#include "test_util.h"
+#include "util/coding.h"
+
+namespace ode {
+namespace {
+
+using testing::TempDir;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    options.wal_sync = Wal::SyncMode::kNoSync;
+    ASSERT_OK(StorageEngine::Open(dir_.file("db"), options, &engine_));
+  }
+
+  Status SaveInTxn(CatalogData& data) {
+    ODE_ASSIGN_OR_RETURN(TxnId txn, engine_->BeginTxn());
+    Status s = Catalog::Save(engine_.get(), data);
+    if (!s.ok()) {
+      (void)engine_->AbortTxn(txn);
+      return s;
+    }
+    return engine_->CommitTxn(txn);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<StorageEngine> engine_;
+};
+
+TEST_F(CatalogTest, FreshDatabaseHasEmptyCatalog) {
+  CatalogData data;
+  data.next_cluster_id = 99;  // must be overwritten by Load
+  ASSERT_OK(Catalog::Load(engine_.get(), &data));
+  EXPECT_EQ(data.next_cluster_id, 1u);
+  EXPECT_TRUE(data.clusters.empty());
+  EXPECT_TRUE(data.types.empty());
+}
+
+TEST_F(CatalogTest, SaveLoadRoundTrip) {
+  CatalogData data;
+  data.next_cluster_id = 5;
+  data.next_type_code = 7;
+  data.types.push_back({"Person", 1});
+  data.types.push_back({"Student", 2});
+  data.clusters.push_back({1, "Person", 42});
+  data.indexes.push_back({"person_age", 1, 77});
+  CatalogData::TriggerActivation activation;
+  activation.trigger_id = 9;
+  activation.cluster = 1;
+  activation.local = 3;
+  activation.trigger_name = "reorder";
+  activation.perpetual = true;
+  activation.params = {1.5, 2.5};
+  data.triggers.push_back(activation);
+  ASSERT_OK(SaveInTxn(data));
+
+  CatalogData loaded;
+  ASSERT_OK(Catalog::Load(engine_.get(), &loaded));
+  EXPECT_EQ(loaded.next_cluster_id, 5u);
+  EXPECT_EQ(loaded.next_type_code, 7u);
+  ASSERT_EQ(loaded.types.size(), 2u);
+  EXPECT_EQ(loaded.types[1].name, "Student");
+  ASSERT_EQ(loaded.clusters.size(), 1u);
+  EXPECT_EQ(loaded.clusters[0].table_root, 42u);
+  ASSERT_EQ(loaded.indexes.size(), 1u);
+  EXPECT_EQ(loaded.indexes[0].btree_root, 77u);
+  ASSERT_EQ(loaded.triggers.size(), 1u);
+  EXPECT_TRUE(loaded.triggers[0].perpetual);
+  EXPECT_EQ(loaded.triggers[0].params, (std::vector<double>{1.5, 2.5}));
+}
+
+TEST_F(CatalogTest, LargeCatalogSpansChainPages) {
+  CatalogData data;
+  // ~400 clusters with long names -> blob well past one 4 KiB page.
+  for (int i = 0; i < 400; i++) {
+    const std::string name =
+        "namespace::prefix::VeryLongGeneratedTypeName_" + std::to_string(i);
+    data.types.push_back({name, static_cast<uint32_t>(i + 1)});
+    data.clusters.push_back(
+        {static_cast<ClusterId>(i + 1), name, static_cast<PageId>(i + 100)});
+  }
+  ASSERT_OK(SaveInTxn(data));
+  CatalogData loaded;
+  ASSERT_OK(Catalog::Load(engine_.get(), &loaded));
+  ASSERT_EQ(loaded.clusters.size(), 400u);
+  EXPECT_EQ(loaded.clusters[399].type_name, data.clusters[399].type_name);
+}
+
+TEST_F(CatalogTest, RepeatedSavesReuseChainPages) {
+  CatalogData data;
+  for (int i = 0; i < 100; i++) {
+    data.types.push_back({"type" + std::to_string(i),
+                          static_cast<uint32_t>(i + 1)});
+  }
+  ASSERT_OK(SaveInTxn(data));
+  auto pages_after_first =
+      engine_->ReadSuperU32(SuperblockLayout::kPageCountOffset);
+  ASSERT_TRUE(pages_after_first.ok());
+  // Saving repeatedly must not grow the file unboundedly (the old chain is
+  // freed each time).
+  for (int round = 0; round < 20; round++) {
+    ASSERT_OK(SaveInTxn(data));
+  }
+  auto pages_after_many =
+      engine_->ReadSuperU32(SuperblockLayout::kPageCountOffset);
+  ASSERT_TRUE(pages_after_many.ok());
+  EXPECT_LE(pages_after_many.value(), pages_after_first.value() + 2);
+}
+
+TEST_F(CatalogTest, SurvivesEngineReopen) {
+  CatalogData data;
+  data.types.push_back({"T", 1});
+  ASSERT_OK(SaveInTxn(data));
+  ASSERT_OK(engine_->Close());
+  engine_.reset();
+  EngineOptions options;
+  options.wal_sync = Wal::SyncMode::kNoSync;
+  ASSERT_OK(StorageEngine::Open(dir_.file("db"), options, &engine_));
+  CatalogData loaded;
+  ASSERT_OK(Catalog::Load(engine_.get(), &loaded));
+  ASSERT_EQ(loaded.types.size(), 1u);
+  EXPECT_EQ(loaded.types[0].name, "T");
+}
+
+TEST_F(CatalogTest, CorruptBlobDetectedOnLoad) {
+  CatalogData data;
+  for (int i = 0; i < 50; i++) {
+    data.types.push_back({"type" + std::to_string(i),
+                          static_cast<uint32_t>(i + 1)});
+  }
+  ASSERT_OK(SaveInTxn(data));
+  auto root = engine_->ReadSuperU32(SuperblockLayout::kCatalogRootOffset);
+  ASSERT_TRUE(root.ok());
+  auto txn = engine_->BeginTxn();
+  ASSERT_TRUE(txn.ok());
+  {
+    PageHandle handle;
+    ASSERT_OK(engine_->GetPageWrite(root.value(), &handle));
+    // Truncate the stored chunk length: the blob ends mid-structure.
+    EncodeFixed32(handle.mutable_data() + 8, 10);
+  }
+  ASSERT_OK(engine_->CommitTxn(txn.value()));
+  CatalogData loaded;
+  Status s = Catalog::Load(engine_.get(), &loaded);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace ode

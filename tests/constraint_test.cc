@@ -1,0 +1,219 @@
+// Tests for class constraints (paper §5): commit-time checking, abort and
+// rollback on violation, inheritance, and constraint-based specialization.
+
+#include <gtest/gtest.h>
+
+#include "test_models.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using odetest::Person;
+using odetest::Student;
+using testing::TestDb;
+
+/// The paper's constraint-based specialization example (§5):
+///   class female : public person { constraint: sex == 'f' || sex == 'F'; };
+class Female : public Person {
+ public:
+  Female() = default;
+  Female(std::string name, int age, double income, char sex)
+      : Person(std::move(name), age, income), sex_(sex) {}
+
+  char sex() const { return sex_; }
+  void set_sex(char s) { sex_ = s; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    Person::OdeFields(ar);
+    ar(sex_);
+  }
+
+ private:
+  char sex_ = 'f';
+};
+
+}  // namespace
+}  // namespace ode
+
+ODE_REGISTER_CLASS(ode::Female, odetest::Person);
+
+namespace ode {
+namespace {
+
+class ConstraintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_->CreateCluster<Person>());
+    ASSERT_OK(db_->CreateCluster<Student>());
+    ASSERT_OK(db_->CreateCluster<Female>());
+    db_->RegisterConstraint<Person>(
+        "age_nonneg", [](const Person& p) { return p.age() >= 0; });
+    db_->RegisterConstraint<Person>(
+        "income_nonneg", [](const Person& p) { return p.income() >= 0; });
+  }
+
+  TestDb db_;
+};
+
+TEST_F(ConstraintTest, SatisfiedConstraintsAllowCommit) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Person>("ok", 30, 100.0).status();
+  }));
+}
+
+TEST_F(ConstraintTest, ViolationOnNewObjectAbortsCommit) {
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Person>("bad", -5, 100.0).status();
+  });
+  EXPECT_TRUE(s.IsConstraintViolation()) << s.ToString();
+  // Nothing was stored.
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    auto count = ForAll<Person>(txn).Count();
+    ODE_RETURN_IF_ERROR(count.status());
+    EXPECT_EQ(count.value(), 0u);
+    return Status::OK();
+  }));
+}
+
+TEST_F(ConstraintTest, ViolationOnUpdateRollsBackWholeTransaction) {
+  Ref<Person> a, b;
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(a, txn.New<Person>("a", 10, 10.0));
+    ODE_ASSIGN_OR_RETURN(b, txn.New<Person>("b", 20, 20.0));
+    return Status::OK();
+  }));
+  // One transaction updates both objects; the second update violates. The
+  // paper: the whole transaction aborts and rolls back.
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Person * pa, txn.Write(a));
+    pa->set_age(11);  // valid
+    ODE_ASSIGN_OR_RETURN(Person * pb, txn.Write(b));
+    pb->set_age(-1);  // violation
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.IsConstraintViolation());
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(const Person* pa, txn.Read(a));
+    EXPECT_EQ(pa->age(), 10);  // rolled back too
+    ODE_ASSIGN_OR_RETURN(const Person* pb, txn.Read(b));
+    EXPECT_EQ(pb->age(), 20);
+    return Status::OK();
+  }));
+}
+
+TEST_F(ConstraintTest, ViolationMessageNamesTheConstraint) {
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Person>("bad", 5, -1.0).status();
+  });
+  ASSERT_TRUE(s.IsConstraintViolation());
+  EXPECT_NE(s.message().find("income_nonneg"), std::string::npos);
+}
+
+TEST_F(ConstraintTest, BaseConstraintsApplyToDerivedObjects) {
+  // Student inherits Person's constraints (§5: constraints are associated
+  // with classes; derived objects must satisfy them).
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Student>("bad student", -3, 100.0, 3.0).status();
+  });
+  EXPECT_TRUE(s.IsConstraintViolation());
+}
+
+TEST_F(ConstraintTest, DerivedConstraintDoesNotApplyToBase) {
+  db_->RegisterConstraint<Student>(
+      "gpa_range", [](const Student& st) { return st.gpa() <= 4.0; });
+  // A Person has no gpa; the Student constraint must not affect it.
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Person>("fine", 40, 10.0).status();
+  }));
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Student>("cheat", 20, 10.0, 5.0).status();
+  });
+  EXPECT_TRUE(s.IsConstraintViolation());
+}
+
+TEST_F(ConstraintTest, ConstraintBasedSpecialization) {
+  // The paper's `female` class: a subclass whose constraint narrows the
+  // legal instances.
+  db_->RegisterConstraint<Female>("is_female", [](const Female& f) {
+    return f.sex() == 'f' || f.sex() == 'F';
+  });
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Female>("flo", 30, 100.0, 'F').status();
+  }));
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Female>("not", 30, 100.0, 'm').status();
+  });
+  EXPECT_TRUE(s.IsConstraintViolation());
+  // The base Person constraints apply to Female too.
+  s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Female>("neg", -1, 100.0, 'f').status();
+  });
+  EXPECT_TRUE(s.IsConstraintViolation());
+}
+
+TEST_F(ConstraintTest, UnmodifiedObjectsNotRechecked) {
+  // An object that already violates (constraint registered afterwards) is
+  // only caught when a transaction writes it.
+  Ref<Person> ref;
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(ref, txn.New<Person>("old", 5, 5.0));
+    return Status::OK();
+  }));
+  db_->RegisterConstraint<Person>(
+      "age_over_10", [](const Person& p) { return p.age() > 10; });
+  // Reading alone commits fine.
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.Read(ref).status();
+  }));
+  // Writing it (even a no-op write) triggers the check.
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.Write(ref).status();
+  });
+  EXPECT_TRUE(s.IsConstraintViolation());
+}
+
+TEST_F(ConstraintTest, ChecksDisabledByOption) {
+  DatabaseOptions options = TestDb::FastOptions();
+  options.check_constraints = false;
+  TestDb db(options);
+  ASSERT_OK(db->CreateCluster<Person>());
+  db->RegisterConstraint<Person>("age_nonneg",
+                                 [](const Person& p) { return p.age() >= 0; });
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Person>("bad", -5, 1.0).status();  // not checked
+  }));
+}
+
+TEST_F(ConstraintTest, DeletedObjectsNotChecked) {
+  Ref<Person> ref;
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(ref, txn.New<Person>("gone", 30, 1.0));
+    return Status::OK();
+  }));
+  // Put the object in violation and delete it in the same transaction: the
+  // commit must succeed (no check on deleted objects).
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Person * p, txn.Write(ref));
+    p->set_age(-5);
+    return txn.Delete(ref);
+  }));
+}
+
+TEST_F(ConstraintTest, CountForDiagnostics) {
+  EXPECT_EQ(db_->constraints().CountFor(TypeRegistry::Global(),
+                                        "odetest::Person"),
+            2u);
+  EXPECT_EQ(db_->constraints().CountFor(TypeRegistry::Global(),
+                                        "odetest::Student"),
+            2u);  // inherited
+  db_->RegisterConstraint<Student>("gpa",
+                                   [](const Student&) { return true; });
+  EXPECT_EQ(db_->constraints().CountFor(TypeRegistry::Global(),
+                                        "odetest::Student"),
+            3u);
+}
+
+}  // namespace
+}  // namespace ode

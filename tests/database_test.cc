@@ -1,0 +1,260 @@
+// Tests for Database lifecycle, clusters (§2.5), schema persistence and
+// transaction management plumbing.
+
+#include <gtest/gtest.h>
+
+#include "test_models.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using odetest::Person;
+using odetest::Student;
+using testing::TestDb;
+
+TEST(DatabaseTest, OpenCreatesFiles) {
+  TestDb db;
+  EXPECT_TRUE(env::FileExists(db.dir.file("test.db")));
+}
+
+TEST(DatabaseTest, CreateClusterOnceOnly) {
+  TestDb db;
+  EXPECT_FALSE(db->HasCluster<Person>());
+  ASSERT_OK(db->CreateCluster<Person>());
+  EXPECT_TRUE(db->HasCluster<Person>());
+  EXPECT_TRUE(db->CreateCluster<Person>().IsAlreadyExists());
+}
+
+TEST(DatabaseTest, ClusterOfUnknownType) {
+  TestDb db;
+  EXPECT_TRUE(db->ClusterOf<Person>().status().IsNotFound());
+}
+
+TEST(DatabaseTest, PnewRequiresCluster) {
+  // The paper (§2.5): "Before creating a persistent object, the
+  // corresponding cluster must exist."
+  TestDb db;
+  Status s = db->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Person>("x", 1, 1.0).status();
+  });
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(DatabaseTest, SchemaSurvivesReopen) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  ASSERT_OK(db->CreateCluster<Student>());
+  auto person_id = db->ClusterOf<Person>();
+  ASSERT_TRUE(person_id.ok());
+  db.Reopen();
+  EXPECT_TRUE(db->HasCluster<Person>());
+  EXPECT_TRUE(db->HasCluster<Student>());
+  auto person_id_after = db->ClusterOf<Person>();
+  ASSERT_TRUE(person_id_after.ok());
+  EXPECT_EQ(person_id.value(), person_id_after.value());
+}
+
+TEST(DatabaseTest, TypeCodesStableAcrossReopen) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  const auto* entry = db->catalog().FindType("odetest::Person");
+  ASSERT_NE(entry, nullptr);
+  const uint32_t code = entry->code;
+  db.Reopen();
+  const auto* after = db->catalog().FindType("odetest::Person");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->code, code);
+}
+
+TEST(DatabaseTest, OnlyOneActiveTransaction) {
+  TestDb db;
+  auto t1 = db->Begin();
+  ASSERT_TRUE(t1.ok());
+  auto t2 = db->Begin();
+  EXPECT_EQ(t2.status().code(), Status::Code::kBusy);
+  ASSERT_OK(t1.value()->Abort());
+  auto t3 = db->Begin();
+  EXPECT_TRUE(t3.ok());
+  ASSERT_OK(t3.value()->Abort());
+}
+
+TEST(DatabaseTest, RunTransactionAbortsOnBodyError) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  Ref<Person> leaked;
+  Status s = db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(leaked, txn.New<Person>("ghost", 1, 1.0));
+    return Status::InvalidArgument("body failed");
+  });
+  EXPECT_TRUE(s.IsInvalidArgument());
+  // The object does not exist.
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(bool exists, txn.Exists(leaked));
+    EXPECT_FALSE(exists);
+    return Status::OK();
+  }));
+}
+
+TEST(DatabaseTest, AbortedSchemaChangeRollsBack) {
+  TestDb db;
+  Status s = db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.CreateCluster<Person>());
+    EXPECT_TRUE(db->HasCluster<Person>());
+    return Status::IOError("abort it");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  // Catalog reloaded from disk: cluster gone.
+  EXPECT_FALSE(db->HasCluster<Person>());
+  // And the cluster can be created for real afterwards.
+  ASSERT_OK(db->CreateCluster<Person>());
+}
+
+TEST(DatabaseTest, TransactionDestructorAborts) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  Ref<Person> ref;
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    auto result = txn.value()->New<Person>("temp", 5, 5.0);
+    ASSERT_TRUE(result.ok());
+    ref = result.value();
+    // unique_ptr destroyed without Commit.
+  }
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(bool exists, txn.Exists(ref));
+    EXPECT_FALSE(exists);
+    return Status::OK();
+  }));
+}
+
+TEST(DatabaseTest, CloseAbortsOpenTransaction) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_OK(db->Close());
+  // Transaction object still exists but is closed.
+  EXPECT_TRUE(txn.value()
+                  ->New<Person>("x", 1, 1.0)
+                  .status()
+                  .IsTransactionAborted());
+  db.db.reset();
+  txn.value().reset();
+}
+
+TEST(DatabaseTest, DataVisibleAfterCrashRecovery) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  Ref<Person> ann;
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(ann, txn.New<Person>("ann", 30, 1000.0));
+    return Status::OK();
+  }));
+  db.CrashAndReopen();
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(ClusterId cluster, db->ClusterOf<Person>());
+    ODE_ASSIGN_OR_RETURN(const Person* p,
+                         txn.Read(Ref<Person>(db.db.get(),
+                                              Oid{cluster, ann.local()})));
+    EXPECT_EQ(p->name(), "ann");
+    return Status::OK();
+  }));
+}
+
+TEST(DatabaseTest, DropClusterRemovesEverything) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  ASSERT_OK(db->CreateIndex<Person>("age", [](const Person& p) {
+    return index_key::FromInt64(p.age());
+  }));
+  db->DefineTrigger<Person>(
+      "t", [](const Person&, const std::vector<double>&) { return false; },
+      [](Transaction&, Ref<Person>, const std::vector<double>&) -> Status {
+        return Status::OK();
+      });
+  Ref<Person> ref;
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i < 50; i++) {
+      ODE_ASSIGN_OR_RETURN(ref, txn.New<Person>("p" + std::to_string(i), i, i));
+    }
+    ODE_RETURN_IF_ERROR(txn.NewVersion(ref).status());
+    ODE_RETURN_IF_ERROR(txn.ActivateTrigger(ref, "t").status());
+    return Status::OK();
+  }));
+  const auto pages_before =
+      db->engine().ReadSuperU32(SuperblockLayout::kPageCountOffset);
+  ASSERT_TRUE(pages_before.ok());
+
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.DropCluster<Person>());
+    EXPECT_TRUE(txn.Read(ref).status().IsNotFound());
+    return Status::OK();
+  }));
+  EXPECT_FALSE(db->HasCluster<Person>());
+  EXPECT_EQ(db->catalog().indexes.size(), 0u);
+  EXPECT_EQ(db->catalog().triggers.size(), 0u);
+
+  // Re-creating and refilling reuses the freed pages (no file growth).
+  ASSERT_OK(db->CreateCluster<Person>());
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i < 50; i++) {
+      ODE_RETURN_IF_ERROR(
+          txn.New<Person>("q" + std::to_string(i), i, i).status());
+    }
+    return Status::OK();
+  }));
+  const auto pages_after =
+      db->engine().ReadSuperU32(SuperblockLayout::kPageCountOffset);
+  ASSERT_TRUE(pages_after.ok());
+  EXPECT_LE(pages_after.value(), pages_before.value() + 2);
+}
+
+TEST(DatabaseTest, DropClusterRollsBackOnAbort) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  Ref<Person> ref;
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(ref, txn.New<Person>("keep", 1, 1));
+    return Status::OK();
+  }));
+  Status s = db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.DropCluster<Person>());
+    return Status::IOError("no, keep it");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(db->HasCluster<Person>());
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(const Person* p, txn.Read(ref));
+    EXPECT_EQ(p->name(), "keep");
+    return Status::OK();
+  }));
+}
+
+TEST(DatabaseTest, UnregisteredTypeReadFails) {
+  // Simulate opening a database whose stored type has no code registered in
+  // this program: forge a catalog type entry.
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  Ref<Person> ref;
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(ref, txn.New<Person>("x", 1, 1.0));
+    return Status::OK();
+  }));
+  // Rename the type in the catalog to something unregistered.
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    (void)txn;
+    for (auto& t : db->catalog().types) {
+      if (t.name == "odetest::Person") t.name = "not::Registered";
+    }
+    return db->SaveCatalog();
+  }));
+  Status s = db->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.Read(ref).status();
+  });
+  EXPECT_TRUE(s.IsNotSupported()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace ode

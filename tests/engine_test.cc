@@ -1,0 +1,360 @@
+// Tests for the Pager, BufferPool and transactional StorageEngine
+// (no-steal buffering, undo on abort, page allocation, checkpoints).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "storage/engine.h"
+#include "storage/pager.h"
+#include "test_util.h"
+#include "util/coding.h"
+
+namespace ode {
+namespace {
+
+using testing::TempDir;
+
+EngineOptions FastEngine() {
+  EngineOptions options;
+  options.wal_sync = Wal::SyncMode::kNoSync;
+  return options;
+}
+
+// --- Pager -------------------------------------------------------------------
+
+TEST(PagerTest, FormatsFreshFile) {
+  TempDir dir;
+  std::unique_ptr<Pager> pager;
+  bool created = false;
+  ASSERT_OK(Pager::Open(dir.file("db"), &pager, &created));
+  EXPECT_TRUE(created);
+  char page[kPageSize];
+  ASSERT_OK(pager->ReadPage(kSuperblockPageId, page));
+  EXPECT_EQ(memcmp(page, kSuperblockMagic, 8), 0);
+  EXPECT_EQ(DecodeFixed32(page + SuperblockLayout::kPageCountOffset), 1u);
+}
+
+TEST(PagerTest, ReopenExisting) {
+  TempDir dir;
+  {
+    std::unique_ptr<Pager> pager;
+    bool created;
+    ASSERT_OK(Pager::Open(dir.file("db"), &pager, &created));
+    char page[kPageSize];
+    memset(page, 7, sizeof(page));
+    ASSERT_OK(pager->WritePage(5, page));
+    ASSERT_OK(pager->Sync());
+  }
+  std::unique_ptr<Pager> pager;
+  bool created = true;
+  ASSERT_OK(Pager::Open(dir.file("db"), &pager, &created));
+  EXPECT_FALSE(created);
+  char page[kPageSize];
+  ASSERT_OK(pager->ReadPage(5, page));
+  EXPECT_EQ(page[100], 7);
+}
+
+TEST(PagerTest, RejectsBadMagic) {
+  TempDir dir;
+  {
+    std::unique_ptr<File> file;
+    ASSERT_OK(File::Open(dir.file("db"), &file));
+    ASSERT_OK(file->Write(0, Slice("not a database at all, sorry......")));
+  }
+  std::unique_ptr<Pager> pager;
+  bool created;
+  EXPECT_TRUE(Pager::Open(dir.file("db"), &pager, &created).IsCorruption());
+}
+
+TEST(PagerTest, UnwrittenPagesReadZero) {
+  TempDir dir;
+  std::unique_ptr<Pager> pager;
+  bool created;
+  ASSERT_OK(Pager::Open(dir.file("db"), &pager, &created));
+  char page[kPageSize];
+  ASSERT_OK(pager->ReadPage(42, page));
+  for (size_t i = 0; i < kPageSize; i++) ASSERT_EQ(page[i], 0);
+}
+
+// --- StorageEngine: transactions ----------------------------------------------
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void Open(EngineOptions options = FastEngine()) {
+    ASSERT_OK(StorageEngine::Open(dir_.file("db"), options, &engine_));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<StorageEngine> engine_;
+};
+
+TEST_F(EngineTest, SingleActiveTransaction) {
+  Open();
+  auto txn = engine_->BeginTxn();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_TRUE(engine_->BeginTxn().status().code() == Status::Code::kBusy);
+  ASSERT_OK(engine_->CommitTxn(txn.value()));
+  EXPECT_TRUE(engine_->BeginTxn().ok());
+  ASSERT_OK(engine_->AbortTxn(engine_->active_txn()));
+}
+
+TEST_F(EngineTest, CommitPersistsAcrossReopen) {
+  Open();
+  PageId page;
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&page, &handle));
+    memcpy(handle.mutable_data(), "committed data", 14);
+    handle.Release();
+    ASSERT_OK(engine_->CommitTxn(txn.value()));
+  }
+  ASSERT_OK(engine_->Close());
+  engine_.reset();
+  Open();
+  PageHandle handle;
+  ASSERT_OK(engine_->GetPageRead(page, &handle));
+  EXPECT_EQ(memcmp(handle.data(), "committed data", 14), 0);
+}
+
+TEST_F(EngineTest, AbortRestoresPageContent) {
+  Open();
+  PageId page;
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&page, &handle));
+    memcpy(handle.mutable_data(), "before", 6);
+    handle.Release();
+    ASSERT_OK(engine_->CommitTxn(txn.value()));
+  }
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageHandle handle;
+    ASSERT_OK(engine_->GetPageWrite(page, &handle));
+    memcpy(handle.mutable_data(), "after!", 6);
+    handle.Release();
+    ASSERT_OK(engine_->AbortTxn(txn.value()));
+  }
+  PageHandle handle;
+  ASSERT_OK(engine_->GetPageRead(page, &handle));
+  EXPECT_EQ(memcmp(handle.data(), "before", 6), 0);
+}
+
+TEST_F(EngineTest, AbortRollsBackAllocation) {
+  Open();
+  uint32_t count_before;
+  {
+    auto r = engine_->ReadSuperU32(SuperblockLayout::kPageCountOffset);
+    ASSERT_TRUE(r.ok());
+    count_before = r.value();
+  }
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageId page;
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&page, &handle));
+    handle.Release();
+    ASSERT_OK(engine_->AbortTxn(txn.value()));
+  }
+  auto r = engine_->ReadSuperU32(SuperblockLayout::kPageCountOffset);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), count_before);
+}
+
+TEST_F(EngineTest, FreedPageIsReused) {
+  Open();
+  PageId first;
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&first, &handle));
+    handle.Release();
+    ASSERT_OK(engine_->FreePage(first));
+    ASSERT_OK(engine_->CommitTxn(txn.value()));
+  }
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageId second;
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&second, &handle));
+    EXPECT_EQ(second, first);
+    ASSERT_OK(engine_->CommitTxn(txn.value()));
+  }
+}
+
+TEST_F(EngineTest, FreedPageZeroedOnRealloc) {
+  Open();
+  PageId page;
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&page, &handle));
+    memset(handle.mutable_data(), 0xAB, kPageSize);
+    handle.Release();
+    ASSERT_OK(engine_->FreePage(page));
+    PageId again;
+    ASSERT_OK(engine_->AllocPage(&again, &handle));
+    ASSERT_EQ(again, page);
+    for (size_t i = 0; i < kPageSize; i++) {
+      ASSERT_EQ(handle.data()[i], 0);
+    }
+    ASSERT_OK(engine_->CommitTxn(txn.value()));
+  }
+}
+
+TEST_F(EngineTest, WriteOutsideTransactionFails) {
+  Open();
+  PageHandle handle;
+  EXPECT_TRUE(engine_->GetPageWrite(1, &handle).IsInvalidArgument());
+  PageId page;
+  EXPECT_TRUE(engine_->AllocPage(&page, &handle).IsInvalidArgument());
+  EXPECT_TRUE(engine_->FreePage(1).IsInvalidArgument());
+}
+
+TEST_F(EngineTest, CannotFreeSuperblock) {
+  Open();
+  auto txn = engine_->BeginTxn();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_TRUE(engine_->FreePage(kSuperblockPageId).IsInvalidArgument());
+  ASSERT_OK(engine_->AbortTxn(txn.value()));
+}
+
+TEST_F(EngineTest, TxnIdsAdvanceAcrossReopen) {
+  Open();
+  auto t1 = engine_->BeginTxn();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_OK(engine_->CommitTxn(t1.value()));
+  ASSERT_OK(engine_->Close());
+  engine_.reset();
+  Open();
+  auto t2 = engine_->BeginTxn();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_GT(t2.value(), t1.value());
+  ASSERT_OK(engine_->AbortTxn(t2.value()));
+}
+
+TEST_F(EngineTest, CheckpointTruncatesWal) {
+  Open();
+  for (int i = 0; i < 5; i++) {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageId page;
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&page, &handle));
+    handle.Release();
+    ASSERT_OK(engine_->CommitTxn(txn.value()));
+  }
+  EXPECT_GT(engine_->wal().size_bytes(), 0u);
+  ASSERT_OK(engine_->Checkpoint());
+  EXPECT_EQ(engine_->wal().size_bytes(), 0u);
+}
+
+TEST_F(EngineTest, CheckpointInsideTxnRejected) {
+  Open();
+  auto txn = engine_->BeginTxn();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(engine_->Checkpoint().code(), Status::Code::kBusy);
+  ASSERT_OK(engine_->AbortTxn(txn.value()));
+}
+
+TEST_F(EngineTest, AutoCheckpointAtWalThreshold) {
+  EngineOptions options = FastEngine();
+  options.checkpoint_wal_bytes = 64 * 1024;
+  Open(options);
+  const uint64_t checkpoints_before = engine_->stats().checkpoints;
+  for (int i = 0; i < 40; i++) {  // each commit logs >= 1 page (4 KiB)
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageId page;
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&page, &handle));
+    handle.Release();
+    ASSERT_OK(engine_->CommitTxn(txn.value()));
+  }
+  EXPECT_GT(engine_->stats().checkpoints, checkpoints_before);
+  EXPECT_LT(engine_->wal().size_bytes(), 64u * 1024);
+}
+
+// --- BufferPool ----------------------------------------------------------------
+
+TEST_F(EngineTest, BufferPoolHitsAndMisses) {
+  Open();
+  engine_->buffer_pool().ResetStats();
+  // Page 3 was never touched: first fetch misses, second hits.
+  PageHandle handle;
+  ASSERT_OK(engine_->GetPageRead(3, &handle));
+  handle.Release();
+  ASSERT_OK(engine_->GetPageRead(3, &handle));
+  handle.Release();
+  const auto& stats = engine_->buffer_pool().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.hits, 1u);
+}
+
+TEST_F(EngineTest, EvictionUnderCapacity) {
+  EngineOptions options = FastEngine();
+  options.buffer_pool_pages = 8;
+  Open(options);
+  // Create 32 pages.
+  std::vector<PageId> pages;
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    for (int i = 0; i < 32; i++) {
+      PageId page;
+      PageHandle handle;
+      ASSERT_OK(engine_->AllocPage(&page, &handle));
+      EncodeFixed32(handle.mutable_data(), page * 31);
+      pages.push_back(page);
+    }
+    ASSERT_OK(engine_->CommitTxn(txn.value()));
+  }
+  // Touch all pages repeatedly; pool must evict but contents stay correct.
+  for (int round = 0; round < 3; round++) {
+    for (PageId page : pages) {
+      PageHandle handle;
+      ASSERT_OK(engine_->GetPageRead(page, &handle));
+      ASSERT_EQ(DecodeFixed32(handle.data()), page * 31);
+    }
+  }
+  EXPECT_GT(engine_->buffer_pool().stats().evictions, 0u);
+  EXPECT_LE(engine_->buffer_pool().size(), 9u);  // capacity + slack
+}
+
+TEST_F(EngineTest, NoStealUncommittedPagesGrowPool) {
+  EngineOptions options = FastEngine();
+  options.buffer_pool_pages = 4;
+  Open(options);
+  // Dirty more pages than the pool holds in one transaction: the pool must
+  // grow (never write uncommitted data) and the commit must still succeed.
+  auto txn = engine_->BeginTxn();
+  ASSERT_TRUE(txn.ok());
+  std::vector<PageId> pages;
+  for (int i = 0; i < 16; i++) {
+    PageId page;
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&page, &handle));
+    EncodeFixed32(handle.mutable_data(), 0xC0FFEE00u + i);
+    pages.push_back(page);
+  }
+  EXPECT_GT(engine_->buffer_pool().stats().grows, 0u);
+  ASSERT_OK(engine_->CommitTxn(txn.value()));
+  for (size_t i = 0; i < pages.size(); i++) {
+    PageHandle handle;
+    ASSERT_OK(engine_->GetPageRead(pages[i], &handle));
+    ASSERT_EQ(DecodeFixed32(handle.data()), 0xC0FFEE00u + i);
+  }
+}
+
+}  // namespace
+}  // namespace ode

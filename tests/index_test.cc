@@ -1,0 +1,291 @@
+// Tests for index-key encodings and the IndexManager (secondary indexes
+// powering suchthat/by access paths, §3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "query/index_key.h"
+#include "test_models.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using odetest::Person;
+using testing::TestDb;
+
+// --- index_key codecs -----------------------------------------------------------
+
+TEST(IndexKeyTest, Int64OrderPreserved) {
+  std::vector<int64_t> values = {std::numeric_limits<int64_t>::min(),
+                                 -1000000,
+                                 -2,
+                                 -1,
+                                 0,
+                                 1,
+                                 2,
+                                 999999,
+                                 std::numeric_limits<int64_t>::max()};
+  for (size_t i = 0; i + 1 < values.size(); i++) {
+    EXPECT_LT(index_key::FromInt64(values[i]),
+              index_key::FromInt64(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(IndexKeyTest, Int64OrderRandomSweep) {
+  Random rng(12);
+  for (int i = 0; i < 2000; i++) {
+    const int64_t a = static_cast<int64_t>(rng.Next());
+    const int64_t b = static_cast<int64_t>(rng.Next());
+    const auto ka = index_key::FromInt64(a);
+    const auto kb = index_key::FromInt64(b);
+    ASSERT_EQ(a < b, ka < kb) << a << " vs " << b;
+    ASSERT_EQ(a == b, ka == kb);
+  }
+}
+
+TEST(IndexKeyTest, DoubleOrderPreserved) {
+  std::vector<double> values = {-std::numeric_limits<double>::infinity(),
+                                -1e100,
+                                -2.5,
+                                -1.0,
+                                -std::numeric_limits<double>::denorm_min(),
+                                0.0,
+                                std::numeric_limits<double>::denorm_min(),
+                                0.5,
+                                1.0,
+                                1e100,
+                                std::numeric_limits<double>::infinity()};
+  for (size_t i = 0; i + 1 < values.size(); i++) {
+    EXPECT_LT(index_key::FromDouble(values[i]),
+              index_key::FromDouble(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(IndexKeyTest, StringOrderPreservedWithTrickyCases) {
+  // Prefixes sort first, and embedded NULs must not confuse the composite.
+  std::vector<std::string> values = {std::string(""),
+                                     std::string("\0", 1),
+                                     std::string("\0a", 2),
+                                     std::string("a"),
+                                     std::string("a\0", 2),
+                                     std::string("a\0b", 3),
+                                     std::string("aa"),
+                                     std::string("ab"),
+                                     std::string("b")};
+  for (size_t i = 0; i + 1 < values.size(); i++) {
+    EXPECT_LT(index_key::FromString(values[i]),
+              index_key::FromString(values[i + 1]))
+        << i;
+  }
+}
+
+TEST(IndexKeyTest, CompositeRoundTrip) {
+  const Oid oid{7, 123};
+  const std::string composite =
+      index_key::Compose(index_key::FromString("alpha"), oid);
+  EXPECT_EQ(index_key::OidSuffix(Slice(composite)), oid);
+  EXPECT_EQ(index_key::UserKeyPrefix(Slice(composite)).ToString(),
+            index_key::FromString("alpha"));
+}
+
+TEST(IndexKeyTest, CompositeTieBreaksByOid) {
+  const std::string k = index_key::FromInt64(5);
+  EXPECT_LT(index_key::Compose(k, Oid{1, 1}), index_key::Compose(k, Oid{1, 2}));
+  EXPECT_LT(index_key::Compose(k, Oid{1, 9}), index_key::Compose(k, Oid{2, 0}));
+}
+
+// --- IndexManager through the Database API -----------------------------------------
+
+class IndexManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_->CreateCluster<Person>());
+    ASSERT_OK(db_->CreateIndex<Person>("person_age", [](const Person& p) {
+      return index_key::FromInt64(p.age());
+    }));
+  }
+
+  Ref<Person> Add(const std::string& name, int age) {
+    Ref<Person> ref;
+    Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(ref, txn.New<Person>(name, age, 100.0 * age));
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return ref;
+  }
+
+  std::vector<std::string> NamesByAgeRange(int lo, int hi) {
+    std::vector<std::string> names;
+    Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+      std::vector<Oid> oids;
+      ODE_RETURN_IF_ERROR(db_->indexes().ScanRange(
+          "person_age", index_key::FromInt64(lo), index_key::FromInt64(hi),
+          &oids));
+      for (const Oid& oid : oids) {
+        ODE_ASSIGN_OR_RETURN(const Person* p,
+                             txn.Read(Ref<Person>(db_.db.get(), oid)));
+        names.push_back(p->name());
+      }
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return names;
+  }
+
+  TestDb db_;
+};
+
+TEST_F(IndexManagerTest, InsertMaintainsIndex) {
+  Add("ann", 30);
+  Add("bob", 25);
+  Add("cid", 35);
+  EXPECT_EQ(NamesByAgeRange(0, 100),
+            (std::vector<std::string>{"bob", "ann", "cid"}));
+  EXPECT_EQ(NamesByAgeRange(26, 31), (std::vector<std::string>{"ann"}));
+}
+
+TEST_F(IndexManagerTest, UpdateMovesIndexEntry) {
+  Ref<Person> bob = Add("bob", 25);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Person * p, txn.Write(bob));
+    p->set_age(40);
+    return Status::OK();
+  }));
+  EXPECT_EQ(NamesByAgeRange(20, 30), (std::vector<std::string>{}));
+  EXPECT_EQ(NamesByAgeRange(35, 45), (std::vector<std::string>{"bob"}));
+  auto count = db_->indexes().CountEntries("person_age");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 1u);
+}
+
+TEST_F(IndexManagerTest, DeleteRemovesIndexEntry) {
+  Ref<Person> ann = Add("ann", 30);
+  Add("bob", 25);
+  ASSERT_OK(db_->RunTransaction(
+      [&](Transaction& txn) -> Status { return txn.Delete(ann); }));
+  EXPECT_EQ(NamesByAgeRange(0, 100), (std::vector<std::string>{"bob"}));
+}
+
+TEST_F(IndexManagerTest, DuplicateKeysCoexist) {
+  Add("ann", 30);
+  Add("bob", 30);
+  Add("cid", 30);
+  EXPECT_EQ(NamesByAgeRange(30, 31).size(), 3u);
+}
+
+TEST_F(IndexManagerTest, BackfillIndexesExistingObjects) {
+  Add("ann", 41);
+  Add("bob", 52);
+  // A second index created after the fact sees the existing objects.
+  ASSERT_OK(db_->CreateIndex<Person>("person_name", [](const Person& p) {
+    return index_key::FromString(p.name());
+  }));
+  std::vector<Oid> oids;
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    (void)txn;
+    return db_->indexes().ScanExact("person_name",
+                                    index_key::FromString("bob"), &oids);
+  }));
+  ASSERT_EQ(oids.size(), 1u);
+}
+
+TEST_F(IndexManagerTest, AbortRollsBackIndexChanges) {
+  Add("ann", 30);
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Ref<Person> p, txn.New<Person>("temp", 33, 0.0));
+    (void)p;
+    return Status::IOError("force abort");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(NamesByAgeRange(0, 100), (std::vector<std::string>{"ann"}));
+  auto count = db_->indexes().CountEntries("person_age");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 1u);
+}
+
+TEST_F(IndexManagerTest, IndexSurvivesReopenWithReattachedExtractor) {
+  Add("ann", 30);
+  Add("bob", 25);
+  db_.Reopen();
+  db_->AttachIndexExtractor<Person>("person_age", [](const Person& p) {
+    return index_key::FromInt64(p.age());
+  });
+  EXPECT_EQ(NamesByAgeRange(0, 100),
+            (std::vector<std::string>{"bob", "ann"}));
+  // Maintenance still works after reopen.
+  Add("cid", 20);
+  EXPECT_EQ(NamesByAgeRange(0, 100),
+            (std::vector<std::string>{"cid", "bob", "ann"}));
+}
+
+TEST_F(IndexManagerTest, MissingExtractorBlocksWrites) {
+  Add("ann", 30);
+  db_.Reopen();
+  // Extractor NOT re-attached: writing the indexed cluster must fail rather
+  // than silently corrupt the index.
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Person>("bob", 25, 1.0).status();
+  });
+  EXPECT_TRUE(s.IsNotSupported()) << s.ToString();
+  // Reads and scans remain fine.
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    auto count = ForAll<Person>(txn).Count();
+    ODE_RETURN_IF_ERROR(count.status());
+    EXPECT_EQ(count.value(), 1u);
+    return Status::OK();
+  }));
+  // After re-attaching, writes work again.
+  db_->AttachIndexExtractor<Person>("person_age", [](const Person& p) {
+    return index_key::FromInt64(p.age());
+  });
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    return txn.New<Person>("bob", 25, 1.0).status();
+  }));
+  EXPECT_EQ(NamesByAgeRange(0, 100).size(), 2u);
+}
+
+TEST_F(IndexManagerTest, DropIndex) {
+  Add("ann", 30);
+  ASSERT_OK(db_->DropIndex("person_age"));
+  std::vector<Oid> oids;
+  Status s = db_->indexes().ScanExact("person_age",
+                                      index_key::FromInt64(30), &oids);
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_TRUE(db_->DropIndex("person_age").IsNotFound());
+}
+
+TEST_F(IndexManagerTest, DuplicateIndexNameRejected) {
+  Status s = db_->CreateIndex<Person>("person_age", [](const Person& p) {
+    return index_key::FromInt64(p.age());
+  });
+  EXPECT_TRUE(s.IsAlreadyExists());
+}
+
+TEST_F(IndexManagerTest, ManyEntriesScale) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i < 3000; i++) {
+      ODE_ASSIGN_OR_RETURN(
+          Ref<Person> p,
+          txn.New<Person>("p" + std::to_string(i), i % 90, 0.0));
+      (void)p;
+    }
+    return Status::OK();
+  }));
+  auto count = db_->indexes().CountEntries("person_age");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 3000u);
+  EXPECT_EQ(NamesByAgeRange(89, 90).size(), 3000u / 90);
+}
+
+}  // namespace
+}  // namespace ode

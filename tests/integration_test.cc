@@ -1,0 +1,363 @@
+// End-to-end integration tests reproducing the paper's running examples:
+// the stockroom with reorder triggers (§2, §6), the university hierarchy
+// queries (§3.1), bill-of-materials fixpoint queries (§3.2), versioned
+// design objects (§4) — plus full-stack crash recovery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/verify.h"
+#include "test_models.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using odetest::Faculty;
+using odetest::Part;
+using odetest::Person;
+using odetest::StockItem;
+using odetest::Student;
+using odetest::TA;
+using testing::TestDb;
+
+TEST(IntegrationTest, StockroomScenario) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<StockItem>());
+  db->RegisterConstraint<StockItem>(
+      "qty_nonneg", [](const StockItem& s) { return s.quantity() >= 0; });
+  db->RegisterConstraint<StockItem>(
+      "price_positive", [](const StockItem& s) { return s.price() > 0; });
+  std::vector<std::string> reorders;
+  db->DefineTrigger<StockItem>(
+      "reorder",
+      [](const StockItem& s, const std::vector<double>& params) {
+        return s.quantity() <= (params.empty() ? s.reorder_level()
+                                               : params[0]);
+      },
+      [&](Transaction& txn, Ref<StockItem> item,
+          const std::vector<double>&) -> Status {
+        ODE_ASSIGN_OR_RETURN(const StockItem* s, txn.Read(item));
+        reorders.push_back(s->name());
+        return Status::OK();
+      });
+
+  // Stock the room (paper §2.4: pnew stockitem("512 dram", ...)).
+  Ref<StockItem> dram, cpu;
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(dram,
+                         txn.New<StockItem>("512 dram", 0.05, 7500, 1000));
+    ODE_ASSIGN_OR_RETURN(cpu, txn.New<StockItem>("we32100", 75.0, 60, 50));
+    ODE_RETURN_IF_ERROR(txn.ActivateTrigger(dram, "reorder", {1000.0}).status());
+    ODE_RETURN_IF_ERROR(txn.ActivateTrigger(cpu, "reorder", {50.0}).status());
+    return Status::OK();
+  }));
+
+  // A sale that keeps stock above levels: no trigger.
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(StockItem * s, txn.Write(dram));
+    s->set_quantity(s->quantity() - 500);
+    return Status::OK();
+  }));
+  EXPECT_TRUE(reorders.empty());
+
+  // Overselling is rejected by the constraint and rolled back.
+  Status s = db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(StockItem * w, txn.Write(dram));
+    w->set_quantity(w->quantity() - 100000);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.IsConstraintViolation());
+
+  // A big sale drops below the reorder level: trigger fires after commit.
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(StockItem * w, txn.Write(dram));
+    w->set_quantity(800);
+    return Status::OK();
+  }));
+  EXPECT_EQ(reorders, (std::vector<std::string>{"512 dram"}));
+
+  // Inventory value query over the cluster.
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    double value = 0;
+    ODE_RETURN_IF_ERROR(ForAll<StockItem>(txn).Each(
+        [&](Ref<StockItem>, const StockItem& item) {
+          value += item.price() * item.quantity();
+        }));
+    EXPECT_NEAR(value, 800 * 0.05 + 60 * 75.0, 1e-9);
+    return Status::OK();
+  }));
+}
+
+TEST(IntegrationTest, UniversityHierarchyQueries) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  ASSERT_OK(db->CreateCluster<Student>());
+  ASSERT_OK(db->CreateCluster<Faculty>());
+  ASSERT_OK(db->CreateCluster<TA>());
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i < 10; i++) {
+      ODE_RETURN_IF_ERROR(
+          txn.New<Person>("person" + std::to_string(i), 30 + i, 1000.0 * i)
+              .status());
+      ODE_RETURN_IF_ERROR(
+          txn.New<Student>("student" + std::to_string(i), 18 + i, 100.0 * i,
+                           2.0 + 0.2 * (i % 10))
+              .status());
+    }
+    for (int i = 0; i < 5; i++) {
+      ODE_RETURN_IF_ERROR(
+          txn.New<Faculty>("faculty" + std::to_string(i), 40 + i,
+                           5000.0 * (i + 1), i % 2 ? "cs" : "math")
+              .status());
+    }
+    ODE_RETURN_IF_ERROR(txn.New<TA>("ta0", 25, 900.0, 3.5, 1200.0).status());
+    return Status::OK();
+  }));
+
+  // The paper's average-income-per-kind query (§3.1.2).
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    double income_p = 0, income_s = 0, income_f = 0;
+    int np = 0, ns = 0, nf = 0;
+    ODE_RETURN_IF_ERROR(
+        ForAll<Person>(txn).WithDerived().Do([&](Ref<Person> p) -> Status {
+          ODE_ASSIGN_OR_RETURN(const Person* obj, txn.Read(p));
+          income_p += obj->income();
+          np++;
+          ODE_ASSIGN_OR_RETURN(Ref<Student> st, txn.RefCast<Student>(p));
+          if (!st.null()) {
+            income_s += obj->income();
+            ns++;
+          }
+          ODE_ASSIGN_OR_RETURN(Ref<Faculty> fa, txn.RefCast<Faculty>(p));
+          if (!fa.null()) {
+            income_f += obj->income();
+            nf++;
+          }
+          return Status::OK();
+        }));
+    EXPECT_EQ(np, 26);
+    EXPECT_EQ(ns, 11);  // 10 students + 1 TA
+    EXPECT_EQ(nf, 5);
+    EXPECT_GT(income_p, income_s + income_f - 1e-9);
+    return Status::OK();
+  }));
+
+  // Ordered iteration with predicate (suchthat + by).
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    std::vector<std::string> names;
+    ODE_RETURN_IF_ERROR(ForAll<Person>(txn)
+                            .WithDerived()
+                            .SuchThat([](const Person& p) {
+                              return p.income() >= 5000.0;
+                            })
+                            .By<double>([](const Person& p) {
+                              return p.income();
+                            })
+                            .Each([&](Ref<Person>, const Person& p) {
+                              names.push_back(p.name());
+                            }));
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"faculty0", "person5", "person6",
+                                        "person7", "person8", "person9",
+                                        "faculty1", "faculty2", "faculty3",
+                                        "faculty4"}));
+    return Status::OK();
+  }));
+}
+
+TEST(IntegrationTest, PartsExplosionFixpoint) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Part>());
+  // Build a 3-level bill of materials: 1 assembly, 4 subassemblies, each
+  // with 5 leaf parts; plus some shared parts.
+  Ref<Part> root;
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(root, txn.New<Part>("engine"));
+    ODE_ASSIGN_OR_RETURN(Ref<Part> shared, txn.New<Part>("bolt"));
+    for (int i = 0; i < 4; i++) {
+      ODE_ASSIGN_OR_RETURN(Ref<Part> sub,
+                           txn.New<Part>("sub" + std::to_string(i)));
+      {
+        ODE_ASSIGN_OR_RETURN(Part * r, txn.Write(root));
+        r->add_subpart(sub);
+      }
+      ODE_ASSIGN_OR_RETURN(Part * s, txn.Write(sub));
+      for (int j = 0; j < 5; j++) {
+        ODE_ASSIGN_OR_RETURN(
+            Ref<Part> leaf,
+            txn.New<Part>("leaf" + std::to_string(i) + "_" +
+                          std::to_string(j)));
+        s->add_subpart(leaf);
+      }
+      s->add_subpart(shared);  // the bolt appears in every subassembly
+    }
+    return Status::OK();
+  }));
+
+  // Transitive closure via set worklist iteration (§3.2).
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(OSet<Part> closure, OSet<Part>::Create(txn));
+    ODE_RETURN_IF_ERROR(closure.Insert(txn, root));
+    int visited = 0;
+    ODE_RETURN_IF_ERROR(closure.ForEach(txn, [&](Ref<Part> p) -> Status {
+      visited++;
+      ODE_ASSIGN_OR_RETURN(const Part* part, txn.Read(p));
+      for (const auto& sub : part->subparts()) {
+        ODE_RETURN_IF_ERROR(closure.Insert(txn, sub));
+      }
+      return Status::OK();
+    }));
+    // 1 root + 4 subs + 20 leaves + 1 shared bolt = 26, each exactly once.
+    EXPECT_EQ(visited, 26);
+    ODE_ASSIGN_OR_RETURN(size_t size, closure.Size(txn));
+    EXPECT_EQ(size, 26u);
+    return Status::OK();
+  }));
+}
+
+TEST(IntegrationTest, VersionedDesignWorkflow) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Part>());
+  Ref<Part> design;
+  // v0: initial design; v1: adds a part; v2: removes it again.
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(design, txn.New<Part>("bridge-v0"));
+    return Status::OK();
+  }));
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(design).status());
+    ODE_ASSIGN_OR_RETURN(Part * d, txn.Write(design));
+    ODE_ASSIGN_OR_RETURN(Ref<Part> beam, txn.New<Part>("beam"));
+    d->add_subpart(beam);
+    return Status::OK();
+  }));
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(design).status());
+    ODE_ASSIGN_OR_RETURN(uint32_t vnum, VNum(txn, design));
+    EXPECT_EQ(vnum, 2u);
+    return Status::OK();
+  }));
+  // Historical query: how many subparts did each version have?
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    std::vector<uint32_t> vnums;
+    ODE_RETURN_IF_ERROR(ListVersions(txn, design, &vnums));
+    EXPECT_EQ(vnums, (std::vector<uint32_t>{0, 1, 2}));
+    std::vector<size_t> counts;
+    for (uint32_t v : vnums) {
+      ODE_ASSIGN_OR_RETURN(Ref<Part> at, VersionRef(txn, design, v));
+      ODE_ASSIGN_OR_RETURN(const Part* part, txn.Read(at));
+      counts.push_back(part->subparts().size());
+    }
+    EXPECT_EQ(counts, (std::vector<size_t>{0, 1, 1}));
+    return Status::OK();
+  }));
+}
+
+TEST(IntegrationTest, FullStackCrashRecovery) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<StockItem>());
+  ASSERT_OK(db->CreateIndex<StockItem>("by_qty", [](const StockItem& s) {
+    return index_key::FromInt64(s.quantity());
+  }));
+  db->DefineTrigger<StockItem>(
+      "noop", [](const StockItem&, const std::vector<double>&) { return false; },
+      [](Transaction&, Ref<StockItem>, const std::vector<double>&) -> Status {
+        return Status::OK();
+      });
+  Ref<StockItem> item;
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(item, txn.New<StockItem>("survivor", 2.0, 42, 5));
+    ODE_RETURN_IF_ERROR(txn.NewVersion(item).status());
+    ODE_ASSIGN_OR_RETURN(StockItem * w, txn.Write(item));
+    w->set_quantity(43);
+    return txn.ActivateTrigger(item, "noop").status();
+  }));
+  // Uncommitted transaction lost in the crash.
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(
+        txn.value()->New<StockItem>("ghost", 1.0, 1, 1).status().ok());
+    // Crash with the txn open: release the Transaction first (its dtor
+    // aborts), then drop the engine without checkpointing.
+    ASSERT_OK(txn.value()->Abort());
+  }
+  db.CrashAndReopen();
+  db->AttachIndexExtractor<StockItem>("by_qty", [](const StockItem& s) {
+    return index_key::FromInt64(s.quantity());
+  });
+
+  Ref<StockItem> again(db.db.get(), item.oid());
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    // Object, version chain, index and trigger activation all survived.
+    ODE_ASSIGN_OR_RETURN(const StockItem* s, txn.Read(again));
+    EXPECT_EQ(s->name(), "survivor");
+    EXPECT_EQ(s->quantity(), 43);
+    ODE_ASSIGN_OR_RETURN(Ref<StockItem> v0, VersionRef(txn, again, 0));
+    ODE_ASSIGN_OR_RETURN(const StockItem* old, txn.Read(v0));
+    EXPECT_EQ(old->quantity(), 42);
+    EXPECT_EQ(txn.ActiveTriggerCount(again), 1u);
+    std::vector<Oid> oids;
+    ODE_RETURN_IF_ERROR(db->indexes().ScanExact(
+        "by_qty", index_key::FromInt64(43), &oids));
+    EXPECT_EQ(oids.size(), 1u);
+    // The ghost is gone.
+    auto count = ForAll<StockItem>(txn).Count();
+    ODE_RETURN_IF_ERROR(count.status());
+    EXPECT_EQ(count.value(), 1u);
+    return Status::OK();
+  }));
+}
+
+TEST(IntegrationTest, LargeMixedWorkload) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  ASSERT_OK(db->CreateCluster<Student>());
+  ode::Random rng(2026);
+  std::vector<Ref<Person>> people;
+  // 20 transactions of mixed creates/updates/deletes.
+  for (int round = 0; round < 20; round++) {
+    ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+      for (int i = 0; i < 50; i++) {
+        ODE_ASSIGN_OR_RETURN(
+            Ref<Person> p,
+            txn.New<Person>("r" + std::to_string(round) + "_" +
+                                std::to_string(i),
+                            static_cast<int>(rng.Uniform(80)),
+                            rng.NextDouble() * 10000));
+        people.push_back(p);
+      }
+      for (int i = 0; i < 10 && !people.empty(); i++) {
+        const size_t idx = rng.Uniform(people.size());
+        ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(people[idx]));
+        w->set_income(w->income() + 1);
+      }
+      for (int i = 0; i < 5 && people.size() > 10; i++) {
+        const size_t idx = rng.Uniform(people.size());
+        ODE_RETURN_IF_ERROR(txn.Delete(people[idx]));
+        people.erase(people.begin() + idx);
+      }
+      return Status::OK();
+    }));
+  }
+  db.Reopen();
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    auto count = ForAll<Person>(txn).Count();
+    ODE_RETURN_IF_ERROR(count.status());
+    EXPECT_EQ(count.value(), people.size());
+    return Status::OK();
+  }));
+  // The whole workload must leave a structurally sound database.
+  VerifyReport report;
+  ASSERT_OK(VerifyDatabase(*db, &report));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,197 @@
+// Randomized transaction-level model test: a long mixed workload of
+// creates/updates/deletes/versioning with random commits and aborts is
+// cross-checked against an in-memory reference model after every
+// transaction, across reopens and crashes — the highest-level property test
+// in the suite.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/verify.h"
+#include "test_models.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using odetest::Person;
+using testing::TestDb;
+
+/// Reference model of one object: current state + frozen versions.
+struct ModelObject {
+  std::map<uint32_t, std::pair<std::string, int>> versions;  // vnum -> state
+  uint32_t current = 0;
+  std::pair<std::string, int> state;  // name, age
+};
+
+class TransactionModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransactionModelTest, MatchesReferenceModel) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  Random rng(GetParam());
+
+  std::map<uint64_t, ModelObject> model;  // packed oid -> state
+  std::map<uint64_t, Ref<Person>> refs;
+  int next_name = 0;
+
+  auto check_all = [&]() {
+    ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+      auto count = ForAll<Person>(txn).Count();
+      ODE_RETURN_IF_ERROR(count.status());
+      EXPECT_EQ(count.value(), model.size());
+      for (const auto& [packed, obj] : model) {
+        ODE_ASSIGN_OR_RETURN(const Person* p, txn.Read(refs[packed]));
+        EXPECT_EQ(p->name(), obj.state.first);
+        EXPECT_EQ(p->age(), obj.state.second);
+        // Spot-check one frozen version.
+        if (!obj.versions.empty()) {
+          auto it = obj.versions.begin();
+          std::advance(it, rng.Uniform(obj.versions.size()));
+          ODE_ASSIGN_OR_RETURN(
+              Ref<Person> at,
+              VersionRef(txn, refs[packed], it->first));
+          ODE_ASSIGN_OR_RETURN(const Person* old, txn.Read(at));
+          EXPECT_EQ(old->name(), it->second.first);
+          EXPECT_EQ(old->age(), it->second.second);
+        }
+      }
+      return Status::OK();
+    }));
+  };
+
+  for (int round = 0; round < 40; round++) {
+    // Speculative copies: applied to the model only if the txn commits.
+    auto pending_model = model;
+    auto pending_refs = refs;
+    const bool abort_this = rng.PercentTrue(25);
+
+    Status s = db->RunTransaction([&](Transaction& txn) -> Status {
+      const int ops = 1 + static_cast<int>(rng.Uniform(12));
+      for (int op = 0; op < ops; op++) {
+        const int kind = static_cast<int>(rng.Uniform(10));
+        if (kind < 4 || pending_model.empty()) {  // create
+          const std::string name = "obj" + std::to_string(next_name++);
+          const int age = static_cast<int>(rng.Uniform(100));
+          ODE_ASSIGN_OR_RETURN(Ref<Person> p,
+                               txn.New<Person>(name, age, 0.0));
+          pending_refs[p.oid().Pack()] = p;
+          ModelObject m;
+          m.state = {name, age};
+          pending_model[p.oid().Pack()] = m;
+        } else if (kind < 7) {  // update
+          auto it = pending_model.begin();
+          std::advance(it, rng.Uniform(pending_model.size()));
+          ODE_ASSIGN_OR_RETURN(Person * p,
+                               txn.Write(pending_refs[it->first]));
+          const int age = static_cast<int>(rng.Uniform(100));
+          p->set_age(age);
+          it->second.state.second = age;
+        } else if (kind < 8) {  // newversion
+          auto it = pending_model.begin();
+          std::advance(it, rng.Uniform(pending_model.size()));
+          ODE_ASSIGN_OR_RETURN(uint32_t vnum,
+                               txn.NewVersion(pending_refs[it->first]));
+          it->second.versions[vnum - 1] = it->second.state;
+          it->second.current = vnum;
+        } else if (kind < 9 && pending_model.size() > 2) {  // delete
+          auto it = pending_model.begin();
+          std::advance(it, rng.Uniform(pending_model.size()));
+          ODE_RETURN_IF_ERROR(txn.Delete(pending_refs[it->first]));
+          pending_refs.erase(it->first);
+          pending_model.erase(it);
+        } else {  // read-back inside the txn
+          auto it = pending_model.begin();
+          std::advance(it, rng.Uniform(pending_model.size()));
+          ODE_ASSIGN_OR_RETURN(const Person* p,
+                               txn.Read(pending_refs[it->first]));
+          if (p->age() != it->second.state.second) {
+            return Status::Corruption("in-txn read mismatch");
+          }
+        }
+      }
+      if (abort_this) return Status::IOError("random abort");
+      return Status::OK();
+    });
+
+    if (abort_this) {
+      EXPECT_TRUE(s.IsIOError());
+      // Model unchanged.
+    } else {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      model = std::move(pending_model);
+      refs = std::move(pending_refs);
+    }
+
+    if (round % 10 == 3) check_all();
+    if (round == 15) db.Reopen();
+    if (round == 30) db.CrashAndReopen();
+    if (round == 15 || round == 30) {
+      // Refresh ref database bindings after reopen.
+      for (auto& [packed, ref] : refs) {
+        ref = Ref<Person>(db.db.get(), ref.oid());
+      }
+    }
+  }
+  check_all();
+  VerifyReport report;
+  ASSERT_OK(VerifyDatabase(*db, &report));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransactionModelTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(BackupTest, BackupOpensAsIdenticalDatabase) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  Ref<Person> p;
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(p, txn.New<Person>("original", 42, 1.0));
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(43);
+    return Status::OK();
+  }));
+  const std::string backup_path = db.dir.file("backup.db");
+  ASSERT_OK(db->BackupTo(backup_path));
+
+  // Mutate the original after the backup.
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(99);
+    return Status::OK();
+  }));
+
+  // The backup opens and reflects the state at backup time.
+  std::unique_ptr<Database> copy;
+  ASSERT_OK(Database::Open(backup_path, TestDb::FastOptions(), &copy));
+  ASSERT_OK(copy->RunTransaction([&](Transaction& txn) -> Status {
+    Ref<Person> same(copy.get(), p.oid());
+    ODE_ASSIGN_OR_RETURN(const Person* obj, txn.Read(same));
+    EXPECT_EQ(obj->age(), 43);
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v0, VersionRef(txn, same, 0));
+    ODE_ASSIGN_OR_RETURN(const Person* old, txn.Read(v0));
+    EXPECT_EQ(old->age(), 42);
+    return Status::OK();
+  }));
+  VerifyReport report;
+  ASSERT_OK(VerifyDatabase(*copy, &report));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  ASSERT_OK(copy->Close());
+}
+
+TEST(BackupTest, BackupRejectedInsideTransaction) {
+  TestDb db;
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(db->BackupTo(db.dir.file("b.db")).code(), Status::Code::kBusy);
+  ASSERT_OK(txn.value()->Abort());
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,142 @@
+// Tests for the O++ lexer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "opp/lexer.h"
+#include "util/random.h"
+
+namespace ode {
+namespace opp {
+namespace {
+
+TokenList MustLex(const std::string& src) {
+  auto result = Lex(src);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.TakeValue();
+}
+
+std::string Rejoin(const TokenList& tokens) {
+  std::string out;
+  for (const auto& t : tokens) out += t.text;
+  return out;
+}
+
+TEST(OppLexerTest, LosslessRoundTrip) {
+  const std::string src = R"(
+// a comment
+class stockitem {
+  double price;  /* inline comment */
+  char name[30];
+ public:
+  stockitem(const char* n) { strcpy(name, n); }
+};
+int main() { return 0; }
+)";
+  EXPECT_EQ(Rejoin(MustLex(src)), src);
+}
+
+TEST(OppLexerTest, TokenKinds) {
+  TokenList tokens = MustLex("int x = 42;");
+  // [int][ ][x][ ][=][ ][42][;][eof]
+  ASSERT_EQ(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kIdent);
+  EXPECT_EQ(tokens[1].kind, Token::Kind::kSpace);
+  EXPECT_EQ(tokens[2].kind, Token::Kind::kIdent);
+  EXPECT_EQ(tokens[4].kind, Token::Kind::kPunct);
+  EXPECT_EQ(tokens[6].kind, Token::Kind::kNumber);
+  EXPECT_EQ(tokens[7].kind, Token::Kind::kPunct);
+  EXPECT_EQ(tokens[8].kind, Token::Kind::kEnd);
+}
+
+TEST(OppLexerTest, TriggerArrowIsOneToken) {
+  TokenList tokens = MustLex("a ==> b");
+  EXPECT_TRUE(tokens[2].is_punct("==>"));
+  // And '==' alone still lexes as '=='.
+  tokens = MustLex("a == b");
+  EXPECT_TRUE(tokens[2].is_punct("=="));
+  // '==>' wins longest-match over '==' then '>'.
+  tokens = MustLex("a==>b");
+  EXPECT_TRUE(tokens[1].is_punct("==>"));
+}
+
+TEST(OppLexerTest, MultiCharPunctuators) {
+  for (const char* punct :
+       {"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+        "||", "+=", "-=", "->*", "<<=", ">>="}) {
+    TokenList tokens = MustLex(std::string("a") + punct + "b");
+    ASSERT_GE(tokens.size(), 3u);
+    EXPECT_TRUE(tokens[1].is_punct(punct)) << punct << " got " << tokens[1].text;
+  }
+}
+
+TEST(OppLexerTest, StringsAndCharsKeepQuotesAndEscapes) {
+  TokenList tokens = MustLex(R"(x = "he said \"hi\"" + 'a' + '\n';)");
+  bool found_string = false, found_char = false;
+  for (const auto& t : tokens) {
+    if (t.kind == Token::Kind::kString) {
+      EXPECT_EQ(t.text, R"("he said \"hi\"")");
+      found_string = true;
+    }
+    if (t.kind == Token::Kind::kChar && t.text == "'\\n'") found_char = true;
+  }
+  EXPECT_TRUE(found_string);
+  EXPECT_TRUE(found_char);
+}
+
+TEST(OppLexerTest, CommentsArePreserved) {
+  TokenList tokens = MustLex("a // to end of line\nb /* span */ c");
+  int comments = 0;
+  for (const auto& t : tokens) {
+    if (t.kind == Token::Kind::kComment) comments++;
+  }
+  EXPECT_EQ(comments, 2);
+}
+
+TEST(OppLexerTest, NumbersIncludingFloatsAndHex) {
+  for (const char* num : {"42", "3.14", "1e10", "1.5e-3", "0x1F", "42u",
+                          "7ull", "2.5f"}) {
+    TokenList tokens = MustLex(num);
+    EXPECT_EQ(tokens[0].kind, Token::Kind::kNumber) << num;
+    EXPECT_EQ(tokens[0].text, num);
+  }
+}
+
+TEST(OppLexerTest, LineNumbersTracked) {
+  TokenList tokens = MustLex("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1);  // a
+  EXPECT_EQ(tokens[2].line, 2);  // b
+  EXPECT_EQ(tokens[4].line, 4);  // c
+}
+
+TEST(OppLexerTest, UnterminatedStringRejected) {
+  EXPECT_TRUE(Lex("x = \"oops").status().IsInvalidArgument());
+  EXPECT_TRUE(Lex("x = 'y").status().IsInvalidArgument());
+}
+
+TEST(OppLexerTest, UnterminatedCommentRejected) {
+  EXPECT_TRUE(Lex("a /* never closed").status().IsInvalidArgument());
+}
+
+TEST(OppLexerTest, RandomizedLosslessProperty) {
+  Random rng(77);
+  const char* pieces[] = {"ident",  " ",    "\n",  "42",   "\"s\"", "(",
+                          ")",      "{",    "}",   ";",    "->",    "::",
+                          "==>",    "+",    "/**/", "//c\n", "'c'", "forall",
+                          "persistent"};
+  for (int round = 0; round < 200; round++) {
+    std::string src;
+    const int n = static_cast<int>(rng.Uniform(40));
+    for (int i = 0; i < n; i++) {
+      src += pieces[rng.Uniform(sizeof(pieces) / sizeof(pieces[0]))];
+    }
+    auto result = Lex(src);
+    ASSERT_TRUE(result.ok()) << src;
+    ASSERT_EQ(Rejoin(result.value()), src) << src;
+  }
+}
+
+}  // namespace
+}  // namespace opp
+}  // namespace ode

@@ -1,0 +1,161 @@
+// Tests for the O++ runtime shims (src/opp/runtime.h) — the functions
+// translated code calls. These unwrap errors by aborting, so the tests
+// exercise the success paths and the semantic glue (e.g. the `perpetual`
+// keyword flowing from a trigger definition into activations).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "opp/runtime.h"
+#include "test_models.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using odetest::Person;
+using odetest::StockItem;
+using odetest::Student;
+using testing::TestDb;
+
+class OppRuntimeTest : public ::testing::Test {
+ protected:
+  TestDb db_;
+};
+
+TEST_F(OppRuntimeTest, CreateIsIdempotent) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    opp::Create<Person>(txn);  // create(person);
+    opp::Create<Person>(txn);  // calling create again is harmless
+    EXPECT_TRUE(db_->HasCluster<Person>());
+    return Status::OK();
+  }));
+}
+
+TEST_F(OppRuntimeTest, PnewPdeleteRoundTrip) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    opp::Create<Person>(txn);
+    Ref<Person> p = opp::PNew<Person>(txn, "ann", 31, 800.0);
+    EXPECT_FALSE(p.null());
+    EXPECT_EQ(p->name(), "ann");  // deref through the active txn
+    opp::PDelete(txn, p);
+    ODE_ASSIGN_OR_RETURN(bool exists, txn.Exists(p));
+    EXPECT_FALSE(exists);
+    return Status::OK();
+  }));
+}
+
+TEST_F(OppRuntimeTest, VersionShims) {
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    opp::Create<Person>(txn);
+    Ref<Person> p = opp::PNew<Person>(txn, "bob", 1, 1.0);
+    EXPECT_EQ(opp::VNum(txn, p), 0u);
+    EXPECT_EQ(opp::NewVersion(txn, p), 1u);
+    EXPECT_EQ(opp::VNum(txn, p), 1u);
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v0, VersionRef(txn, p, 0));
+    opp::DeleteVersion(txn, v0);
+    std::vector<uint32_t> versions;
+    ODE_RETURN_IF_ERROR(ListVersions(txn, p, &versions));
+    EXPECT_EQ(versions, (std::vector<uint32_t>{1}));
+    return Status::OK();
+  }));
+}
+
+TEST_F(OppRuntimeTest, IsPredicate) {
+  ASSERT_OK(db_->CreateCluster<Person>());
+  ASSERT_OK(db_->CreateCluster<Student>());
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    Ref<Student> s = opp::PNew<Student>(txn, "stu", 20, 1.0, 3.5);
+    Ref<Person> plain = opp::PNew<Person>(txn, "per", 30, 1.0);
+    Ref<Person> s_as_person(db_.db.get(), s.oid());
+    EXPECT_TRUE(opp::Is<Student>(txn, s_as_person));
+    EXPECT_TRUE(opp::Is<Person>(txn, s_as_person));
+    EXPECT_FALSE(opp::Is<Student>(txn, plain));
+    return Status::OK();
+  }));
+}
+
+TEST_F(OppRuntimeTest, ForallCollectAndBy) {
+  ASSERT_OK(db_->CreateCluster<Person>());
+  ASSERT_OK(db_->CreateCluster<Student>());
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    opp::PNew<Person>(txn, "zeta", 40, 1.0);
+    opp::PNew<Person>(txn, "alpha", 30, 1.0);
+    opp::PNew<Student>(txn, "mid", 20, 1.0, 3.0);
+
+    auto plain = opp::ForallCollect<Person>(txn, /*derived=*/false);
+    EXPECT_EQ(plain.size(), 2u);
+    auto all = opp::ForallCollect<Person>(txn, /*derived=*/true);
+    EXPECT_EQ(all.size(), 3u);
+
+    auto ordered = opp::ForallCollectBy<Person>(
+        txn, true, [](const Person& p) { return p.name(); });
+    EXPECT_EQ(ordered.size(), 3u);
+    if (ordered.size() != 3u) return Status::InvalidArgument("size");
+    EXPECT_EQ(ordered[0]->name(), "alpha");
+    EXPECT_EQ(ordered[1]->name(), "mid");
+    EXPECT_EQ(ordered[2]->name(), "zeta");
+    return Status::OK();
+  }));
+}
+
+TEST_F(OppRuntimeTest, ActivateUsesDefinitionPerpetualDefault) {
+  ASSERT_OK(db_->CreateCluster<StockItem>());
+  int fired = 0;
+  // A trigger defined `perpetual` in O++ carries perpetual_default=true —
+  // activations made through opp::Activate inherit it.
+  db_->DefineTrigger<StockItem>(
+      "audit",
+      [](const StockItem& s, const std::vector<double>&) {
+        return s.quantity() < 0 || s.quantity() >= 0;  // always true
+      },
+      [&fired](Transaction&, Ref<StockItem>,
+               const std::vector<double>&) -> Status {
+        fired++;
+        return Status::OK();
+      },
+      /*perpetual_default=*/true);
+  Ref<StockItem> item;
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    opp::Create<StockItem>(txn);
+    item = opp::PNew<StockItem>(txn, "x", 1.0, 5, 1);
+    opp::Activate(txn, item, "audit");
+    return Status::OK();
+  }));
+  for (int i = 0; i < 3; i++) {
+    ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(StockItem * s, txn.Write(item));
+      s->set_quantity(s->quantity() + 1);
+      return Status::OK();
+    }));
+  }
+  EXPECT_EQ(fired, 4);  // creation txn + 3 updates: perpetual re-fires
+}
+
+TEST_F(OppRuntimeTest, DeactivateShim) {
+  ASSERT_OK(db_->CreateCluster<StockItem>());
+  db_->DefineTrigger<StockItem>(
+      "never",
+      [](const StockItem&, const std::vector<double>&) { return false; },
+      [](Transaction&, Ref<StockItem>, const std::vector<double>&) -> Status {
+        return Status::OK();
+      });
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    Ref<StockItem> item = opp::PNew<StockItem>(txn, "y", 1.0, 5, 1);
+    const uint64_t tid = opp::Activate(txn, item, "never");
+    EXPECT_EQ(txn.ActiveTriggerCount(item), 1u);
+    opp::Deactivate(txn, tid);
+    EXPECT_EQ(txn.ActiveTriggerCount(item), 0u);
+    return Status::OK();
+  }));
+}
+
+TEST_F(OppRuntimeTest, UnwrapAndCheckPassThrough) {
+  EXPECT_EQ(opp::Unwrap(Result<int>(42)), 42);
+  opp::Check(Status::OK());  // must not abort
+}
+
+}  // namespace
+}  // namespace ode

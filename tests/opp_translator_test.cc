@@ -1,0 +1,361 @@
+// Tests for the O++ -> C++ translator (src/opp/translator.h).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "opp/translator.h"
+
+namespace ode {
+namespace opp {
+namespace {
+
+std::string MustTranslate(const std::string& src) {
+  Translator::Options options;
+  options.emit_prelude = false;
+  auto result = Translator::Translate(src, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.TakeValue();
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+#define EXPECT_CONTAINS(text, needle) \
+  EXPECT_TRUE(Contains(text, needle)) << "missing `" << needle << "` in:\n" << text
+
+TEST(OppTranslatorTest, PassThroughPlainCpp) {
+  const std::string src = "int main() { return 1 + 2; }\n";
+  EXPECT_EQ(MustTranslate(src), src);
+}
+
+TEST(OppTranslatorTest, PersistentPointerDeclaration) {
+  EXPECT_CONTAINS(MustTranslate("persistent stockitem *sip;"),
+                  "ode::Ref<stockitem> sip;");
+}
+
+TEST(OppTranslatorTest, PersistentMultipleDeclarators) {
+  const std::string out = MustTranslate("persistent item *a, *b;");
+  EXPECT_CONTAINS(out, "ode::Ref<item> a, b;");
+}
+
+TEST(OppTranslatorTest, PersistentQualifiedType) {
+  EXPECT_CONTAINS(MustTranslate("persistent ns::item *p;"),
+                  "ode::Ref<ns::item> p;");
+}
+
+TEST(OppTranslatorTest, PersistentInParameterList) {
+  EXPECT_CONTAINS(MustTranslate("void f(persistent person *p) {}"),
+                  "void f(ode::Ref<person> p) {}");
+}
+
+TEST(OppTranslatorTest, Pnew) {
+  EXPECT_CONTAINS(MustTranslate("x = pnew stockitem(\"dram\", 5);"),
+                  "x = ode::opp::PNew<stockitem>(txn, \"dram\", 5);");
+  EXPECT_CONTAINS(MustTranslate("x = pnew thing();"),
+                  "ode::opp::PNew<thing>(txn)");
+  EXPECT_CONTAINS(MustTranslate("x = pnew thing;"),
+                  "ode::opp::PNew<thing>(txn);");
+}
+
+TEST(OppTranslatorTest, PnewNestedArguments) {
+  EXPECT_CONTAINS(MustTranslate("x = pnew pair(f(1, 2), g());"),
+                  "ode::opp::PNew<pair>(txn, f(1, 2), g());");
+}
+
+TEST(OppTranslatorTest, Pdelete) {
+  EXPECT_CONTAINS(MustTranslate("pdelete sip;"),
+                  "ode::opp::PDelete(txn, sip);");
+  EXPECT_CONTAINS(MustTranslate("pdelete items[i];"),
+                  "ode::opp::PDelete(txn, items[i]);");
+}
+
+TEST(OppTranslatorTest, CreateCluster) {
+  EXPECT_CONTAINS(MustTranslate("create(stockitem);"),
+                  "ode::opp::Create<stockitem>(txn);");
+  // Non-matching uses of `create` pass through.
+  EXPECT_CONTAINS(MustTranslate("create(a, b);"), "create(a, b);");
+  EXPECT_CONTAINS(MustTranslate("int create = 4;"), "int create = 4;");
+}
+
+TEST(OppTranslatorTest, VersionCalls) {
+  EXPECT_CONTAINS(MustTranslate("newversion(p);"),
+                  "ode::opp::NewVersion(txn, p);");
+  EXPECT_CONTAINS(MustTranslate("delversion(p);"),
+                  "ode::opp::DeleteVersion(txn, p);");
+  EXPECT_CONTAINS(MustTranslate("int n = vnum(p);"),
+                  "int n = ode::opp::VNum(txn, p);");
+  // Bare identifier (not a call) passes through.
+  EXPECT_CONTAINS(MustTranslate("int vnum = 3;"), "int vnum = 3;");
+}
+
+TEST(OppTranslatorTest, IsPersistentPredicate) {
+  const std::string out =
+      MustTranslate("if (p is persistent student *) { x++; }");
+  EXPECT_CONTAINS(out, "ode::opp::Is<student>(txn, p )");
+}
+
+TEST(OppTranslatorTest, IsPersistentOnCallResult) {
+  const std::string out =
+      MustTranslate("if (lookup(i) is persistent faculty*) y();");
+  EXPECT_CONTAINS(out, "ode::opp::Is<faculty>(txn, lookup(i) )");
+}
+
+TEST(OppTranslatorTest, ForallBasic) {
+  const std::string out = MustTranslate("forall (s in stockitem) { use(s); }");
+  EXPECT_CONTAINS(out,
+                  "for (ode::Ref<stockitem> s : "
+                  "ode::opp::ForallCollect<stockitem>(txn, false))");
+  EXPECT_CONTAINS(out, "{ use(s); }");
+}
+
+TEST(OppTranslatorTest, ForallHierarchyStar) {
+  EXPECT_CONTAINS(MustTranslate("forall (p in person*) f(p);"),
+                  "ode::opp::ForallCollect<person>(txn, true)");
+}
+
+TEST(OppTranslatorTest, ForallSuchThat) {
+  const std::string out = MustTranslate(
+      "forall (p in person) suchthat (p->age() > 30) { g(p); }");
+  EXPECT_CONTAINS(out, "if ((p->age() > 30))");
+}
+
+TEST(OppTranslatorTest, ForallBy) {
+  const std::string out =
+      MustTranslate("forall (p in person) by (p->name()) { g(p); }");
+  EXPECT_CONTAINS(out, "ForallCollectBy<person>(txn, false,");
+  EXPECT_CONTAINS(out, "[&](const person& __o) { return ((&__o)->name()); }");
+}
+
+TEST(OppTranslatorTest, ForallJoin) {
+  const std::string out = MustTranslate(
+      "forall (a in order, b in stockitem) suchthat (a->item == b->name) "
+      "{ match(a, b); }");
+  EXPECT_CONTAINS(out, "ForallCollect<order>(txn, false)");
+  EXPECT_CONTAINS(out, "ForallCollect<stockitem>(txn, false)");
+  EXPECT_CONTAINS(out, "if ((a->item == b->name))");
+}
+
+TEST(OppTranslatorTest, ClassConstraintSection) {
+  const std::string out = MustTranslate(R"(
+class item {
+  int quantity;
+ public:
+  int qty() const { return quantity; }
+  constraint:
+    quantity >= 0;
+    quantity < 100000;
+};
+)");
+  EXPECT_CONTAINS(out, "bool __ode_constraint_0() const { return (quantity >= 0); }");
+  EXPECT_CONTAINS(out, "bool __ode_constraint_1() const { return (quantity < 100000); }");
+  EXPECT_CONTAINS(out, "ODE_REGISTER_CLASS(item);");
+  EXPECT_CONTAINS(out, "db.RegisterConstraint<item>(\"item::constraint_0\"");
+  EXPECT_CONTAINS(out, "__ode_register_item(db)");
+}
+
+TEST(OppTranslatorTest, ClassTriggerSection) {
+  const std::string out = MustTranslate(R"(
+class item {
+  int quantity;
+  trigger:
+    reorder(double level) : quantity <= level ==> { notify(self); }
+    perpetual audit() : quantity < 0 ==> { alarm(); };
+};
+)");
+  EXPECT_CONTAINS(out, "__ode_trigger_cond_reorder");
+  EXPECT_CONTAINS(out, "double level = (double)__args[0];");
+  EXPECT_CONTAINS(out, "return ( quantity <= level );");
+  EXPECT_CONTAINS(out, "static ode::Status __ode_trigger_action_reorder");
+  EXPECT_CONTAINS(out, "{ notify(self); }");
+  EXPECT_CONTAINS(out, "db.DefineTrigger<item>(\"reorder\"");
+  EXPECT_CONTAINS(out, ", false);");  // reorder: once-only
+  EXPECT_CONTAINS(out, "db.DefineTrigger<item>(\"audit\"");
+  EXPECT_CONTAINS(out, ", true);");  // audit: perpetual
+}
+
+TEST(OppTranslatorTest, GeneratedOdeFieldsFromMembers) {
+  const std::string out = MustTranslate(R"(
+class point {
+  double x;
+  double y;
+  std::string label;
+ public:
+  double norm() const { return x * x + y * y; }
+};
+)");
+  EXPECT_CONTAINS(out, "void OdeFields(AR& ar) { ar(x, y, label); }");
+}
+
+TEST(OppTranslatorTest, OdeFieldsCallsBases) {
+  const std::string out = MustTranslate(R"(
+class student : public person {
+  double gpa;
+};
+)");
+  EXPECT_CONTAINS(out, "person::OdeFields(ar);");
+  EXPECT_CONTAINS(out, "ar(gpa);");
+  EXPECT_CONTAINS(out, "ODE_REGISTER_CLASS(student, person);");
+}
+
+TEST(OppTranslatorTest, UserOdeFieldsNotDuplicated) {
+  const std::string out = MustTranslate(R"(
+class custom {
+  int x;
+ public:
+  template <typename AR> void OdeFields(AR& ar) { ar(x); }
+};
+)");
+  // Exactly one OdeFields definition (the user's).
+  const size_t first = out.find("OdeFields");
+  const size_t second = out.find("OdeFields", first + 1);
+  EXPECT_EQ(second, std::string::npos) << out;
+}
+
+TEST(OppTranslatorTest, MethodsAndRawPointersNotSerialized) {
+  const std::string out = MustTranslate(R"(
+class node {
+  int value;
+  int *scratch;
+  persistent node *next;
+  void helper();
+};
+)");
+  EXPECT_CONTAINS(out, "ar(value, next);");  // scratch (raw ptr) skipped
+}
+
+TEST(OppTranslatorTest, PersistentMemberTranslatedInsideClass) {
+  const std::string out = MustTranslate(R"(
+class node {
+  persistent node *next;
+};
+)");
+  EXPECT_CONTAINS(out, "ode::Ref<node> next;");
+}
+
+TEST(OppTranslatorTest, ConstructsInsideMethodBodies) {
+  const std::string out = MustTranslate(R"(
+class factory {
+ public:
+  void make(ode::Transaction& txn) {
+    persistent item *p;
+    p = pnew item(1);
+    pdelete p;
+  }
+  int dummy;
+};
+)");
+  EXPECT_CONTAINS(out, "ode::Ref<item> p;");
+  EXPECT_CONTAINS(out, "ode::opp::PNew<item>(txn, 1)");
+  EXPECT_CONTAINS(out, "ode::opp::PDelete(txn, p)");
+}
+
+TEST(OppTranslatorTest, ForwardDeclarationPassesThrough) {
+  EXPECT_EQ(MustTranslate("class widget;\n"), "class widget;\n");
+}
+
+TEST(OppTranslatorTest, RegistrationAggregatorEmitted) {
+  const std::string out = MustTranslate(R"(
+class a { int x; };
+class b { int y; };
+)");
+  EXPECT_CONTAINS(out, "__ode_register_all_classes");
+  EXPECT_CONTAINS(out, "__ode_register_a(db);");
+  EXPECT_CONTAINS(out, "__ode_register_b(db);");
+}
+
+TEST(OppTranslatorTest, PreludeOption) {
+  Translator::Options options;
+  options.emit_prelude = true;
+  auto result = Translator::Translate("int x;", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_CONTAINS(result.value(), "#include \"opp/runtime.h\"");
+}
+
+TEST(OppTranslatorTest, RegistrationCanBeDisabled) {
+  Translator::Options options;
+  options.emit_prelude = false;
+  options.emit_registration = false;
+  auto result = Translator::Translate("class a { int x; };", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(Contains(result.value(), "ODE_REGISTER_CLASS"));
+  EXPECT_FALSE(Contains(result.value(), "__ode_register_all_classes"));
+  // The generated OdeFields is still there (serialization is structural).
+  EXPECT_CONTAINS(result.value(), "OdeFields");
+}
+
+TEST(OppTranslatorTest, NestedForallBodies) {
+  const std::string out = MustTranslate(R"(
+forall (a in order) {
+  forall (b in item) suchthat (a->k == b->k) {
+    use(a, b);
+  }
+}
+)");
+  EXPECT_CONTAINS(out, "ForallCollect<order>(txn, false)");
+  EXPECT_CONTAINS(out, "ForallCollect<item>(txn, false)");
+  EXPECT_CONTAINS(out, "if ((a->k == b->k))");
+}
+
+TEST(OppTranslatorTest, CommentsInsideForallHeader) {
+  const std::string out = MustTranslate(
+      "forall (s /* the item */ in stockitem) { f(s); }");
+  EXPECT_CONTAINS(out, "ForallCollect<stockitem>(txn, false)");
+}
+
+TEST(OppTranslatorTest, ByBeforeSuchThatAccepted) {
+  const std::string out = MustTranslate(
+      "forall (p in person) by (p->name()) suchthat (p->ok()) { g(p); }");
+  EXPECT_CONTAINS(out, "ForallCollectBy<person>");
+  EXPECT_CONTAINS(out, "if ((p->ok()))");
+}
+
+TEST(OppTranslatorTest, MultipleTriggerParams) {
+  const std::string out = MustTranslate(R"(
+class tank {
+  double level;
+  trigger:
+    watch(double lo, double hi) : level < lo || level > hi ==> { act(self); }
+};
+)");
+  EXPECT_CONTAINS(out, "double lo = (double)__args[0];");
+  EXPECT_CONTAINS(out, "double hi = (double)__args[1];");
+}
+
+TEST(OppTranslatorTest, PnewInsideTriggerAction) {
+  const std::string out = MustTranslate(R"(
+class cell {
+  int n;
+  trigger:
+    split() : n > 10 ==> { persistent cell *c; c = pnew cell; use(c); }
+};
+)");
+  EXPECT_CONTAINS(out, "ode::Ref<cell> c;");
+  EXPECT_CONTAINS(out, "ode::opp::PNew<cell>(txn)");
+}
+
+TEST(OppTranslatorTest, ErrorsCarryLineNumbers) {
+  auto result = Translator::Translate("\n\nforall (x of y) {}",
+                                      Translator::Options{false, false});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(Contains(result.status().message(), "line 3"))
+      << result.status().ToString();
+}
+
+TEST(OppTranslatorTest, UnbalancedForallRejected) {
+  auto result = Translator::Translate("forall (x in y { }",
+                                      Translator::Options{false, false});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OppTranslatorTest, StringsAndCommentsNotTranslated) {
+  const std::string out = MustTranslate(
+      "const char* s = \"pnew item pdelete forall\"; // pnew in comment\n");
+  EXPECT_CONTAINS(out, "\"pnew item pdelete forall\"");
+  EXPECT_CONTAINS(out, "// pnew in comment");
+}
+
+}  // namespace
+}  // namespace opp
+}  // namespace ode

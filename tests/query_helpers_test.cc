@@ -1,0 +1,283 @@
+// Tests for the query-layer helpers: fixpoint evaluators (§3.2 as explicit
+// engines) and join strategies (§3 multi-variable forall refinements).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/fixpoint.h"
+#include "query/join.h"
+#include "test_models.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using odetest::Part;
+using odetest::Person;
+using odetest::StockItem;
+using testing::TestDb;
+
+// --- Fixpoint evaluators ---------------------------------------------------------
+
+class FixpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_OK(db_->CreateCluster<Part>()); }
+
+  /// Builds edges: id -> ids; returns refs by id.
+  std::vector<Ref<Part>> BuildGraph(
+      const std::map<int, std::vector<int>>& edges, int n) {
+    std::vector<Ref<Part>> refs(n);
+    Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+      for (int i = 0; i < n; i++) {
+        ODE_ASSIGN_OR_RETURN(refs[i], txn.New<Part>("n" + std::to_string(i)));
+      }
+      for (const auto& [from, tos] : edges) {
+        ODE_ASSIGN_OR_RETURN(Part * p, txn.Write(refs[from]));
+        for (int to : tos) p->add_subpart(refs[to]);
+      }
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return refs;
+  }
+
+  /// Step function: expand each Oid to its subpart Oids.
+  StepFn Expand(Transaction& txn) {
+    return [&txn](const std::vector<Oid>& batch,
+                  std::vector<Oid>* out) -> Status {
+      for (const Oid& oid : batch) {
+        ODE_ASSIGN_OR_RETURN(const Part* part,
+                             txn.Read(Ref<Part>(&txn.db(), oid)));
+        for (const auto& sub : part->subparts()) {
+          out->push_back(sub.oid());
+        }
+      }
+      return Status::OK();
+    };
+  }
+
+  TestDb db_;
+};
+
+TEST_F(FixpointTest, SemiNaiveComputesClosure) {
+  // 0 -> {1,2}, 1 -> {3}, 2 -> {3}, 3 -> {}; 4 unreachable.
+  auto refs = BuildGraph({{0, {1, 2}}, {1, {3}}, {2, {3}}}, 5);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    std::vector<Oid> closure;
+    FixpointStats stats;
+    ODE_RETURN_IF_ERROR(SemiNaiveFixpoint({refs[0].oid()}, Expand(txn),
+                                          &closure, &stats));
+    EXPECT_EQ(closure.size(), 4u);  // 0,1,2,3 — not 4
+    EXPECT_EQ(closure[0], refs[0].oid());  // discovery order: seed first
+    EXPECT_EQ(stats.duplicates, 1u);       // 3 derived twice
+    EXPECT_EQ(stats.rounds, 3);            // delta rounds: {0},{1,2},{3}
+    return Status::OK();
+  }));
+}
+
+TEST_F(FixpointTest, NaiveMatchesSemiNaive) {
+  auto refs = BuildGraph(
+      {{0, {1}}, {1, {2}}, {2, {3}}, {3, {4}}, {4, {0}}}, 5);  // a cycle
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    std::vector<Oid> semi, naive;
+    FixpointStats semi_stats, naive_stats;
+    ODE_RETURN_IF_ERROR(
+        SemiNaiveFixpoint({refs[0].oid()}, Expand(txn), &semi, &semi_stats));
+    ODE_RETURN_IF_ERROR(
+        NaiveFixpoint({refs[0].oid()}, Expand(txn), &naive, &naive_stats));
+    std::set<uint64_t> a, b;
+    for (const Oid& oid : semi) a.insert(oid.Pack());
+    for (const Oid& oid : naive) b.insert(oid.Pack());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(semi.size(), 5u);
+    // The naive engine re-derives everything every round.
+    EXPECT_GT(naive_stats.derived, semi_stats.derived);
+    EXPECT_GT(naive_stats.duplicates, semi_stats.duplicates);
+    return Status::OK();
+  }));
+}
+
+TEST_F(FixpointTest, EmptySeeds) {
+  std::vector<Oid> closure = {Oid{1, 1}};
+  FixpointStats stats;
+  ASSERT_OK(SemiNaiveFixpoint(
+      {}, [](const std::vector<Oid>&, std::vector<Oid>*) { return Status::OK(); },
+      &closure, &stats));
+  EXPECT_TRUE(closure.empty());
+  EXPECT_EQ(stats.rounds, 0);
+  ASSERT_OK(NaiveFixpoint(
+      {}, [](const std::vector<Oid>&, std::vector<Oid>*) { return Status::OK(); },
+      &closure, &stats));
+  EXPECT_TRUE(closure.empty());
+}
+
+TEST_F(FixpointTest, DuplicateSeedsDeduped) {
+  auto refs = BuildGraph({}, 2);
+  std::vector<Oid> closure;
+  ASSERT_OK(SemiNaiveFixpoint(
+      {refs[0].oid(), refs[0].oid(), refs[1].oid()},
+      [](const std::vector<Oid>&, std::vector<Oid>*) { return Status::OK(); },
+      &closure));
+  EXPECT_EQ(closure.size(), 2u);
+}
+
+TEST_F(FixpointTest, StepErrorPropagates) {
+  auto refs = BuildGraph({}, 1);
+  std::vector<Oid> closure;
+  Status s = SemiNaiveFixpoint(
+      {refs[0].oid()},
+      [](const std::vector<Oid>&, std::vector<Oid>*) {
+        return Status::IOError("step failed");
+      },
+      &closure);
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST_F(FixpointTest, SelfLoopTerminates) {
+  auto refs = BuildGraph({{0, {0}}}, 1);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    std::vector<Oid> closure;
+    FixpointStats stats;
+    ODE_RETURN_IF_ERROR(
+        SemiNaiveFixpoint({refs[0].oid()}, Expand(txn), &closure, &stats));
+    EXPECT_EQ(closure.size(), 1u);
+    EXPECT_LE(stats.rounds, 2);
+    return Status::OK();
+  }));
+}
+
+// --- Join helpers ------------------------------------------------------------------
+
+class JoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_->CreateCluster<Person>());
+    ASSERT_OK(db_->CreateCluster<StockItem>());
+    ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+      // People whose age matches a stock item's quantity join with it.
+      ODE_RETURN_IF_ERROR(txn.New<Person>("ann", 10, 1).status());
+      ODE_RETURN_IF_ERROR(txn.New<Person>("bob", 20, 1).status());
+      ODE_RETURN_IF_ERROR(txn.New<Person>("cid", 20, 1).status());
+      ODE_RETURN_IF_ERROR(txn.New<Person>("dee", 99, 1).status());
+      ODE_RETURN_IF_ERROR(txn.New<StockItem>("ten", 1.0, 10, 0).status());
+      ODE_RETURN_IF_ERROR(txn.New<StockItem>("twenty", 1.0, 20, 0).status());
+      ODE_RETURN_IF_ERROR(
+          txn.New<StockItem>("twenty2", 1.0, 20, 0).status());
+      return Status::OK();
+    }));
+  }
+
+  using Pair = std::pair<std::string, std::string>;
+
+  std::set<Pair> expected() {
+    return {{"ann", "ten"},
+            {"bob", "twenty"},
+            {"bob", "twenty2"},
+            {"cid", "twenty"},
+            {"cid", "twenty2"}};
+  }
+
+  std::set<Pair> Collect(
+      const std::function<Status(Transaction&, std::set<Pair>*)>& run) {
+    std::set<Pair> pairs;
+    Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+      return run(txn, &pairs);
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return pairs;
+  }
+
+  Status Record(Transaction& txn, std::set<Pair>* pairs, Ref<Person> l,
+                Ref<StockItem> r) {
+    ODE_ASSIGN_OR_RETURN(const Person* p, txn.Read(l));
+    ODE_ASSIGN_OR_RETURN(const StockItem* s, txn.Read(r));
+    pairs->emplace(p->name(), s->name());
+    return Status::OK();
+  }
+
+  TestDb db_;
+};
+
+TEST_F(JoinTest, NestedLoopJoin) {
+  auto pairs = Collect([&](Transaction& txn, std::set<Pair>* out) {
+    return ode::NestedLoopJoin<Person, StockItem>(
+        txn,
+        [](const Person& p, const StockItem& s) {
+          return p.age() == s.quantity();
+        },
+        [&](Ref<Person> l, Ref<StockItem> r) {
+          return Record(txn, out, l, r);
+        });
+  });
+  EXPECT_EQ(pairs, expected());
+}
+
+TEST_F(JoinTest, IndexJoin) {
+  ASSERT_OK(db_->CreateIndex<StockItem>("qty", [](const StockItem& s) {
+    return index_key::FromInt64(s.quantity());
+  }));
+  auto pairs = Collect([&](Transaction& txn, std::set<Pair>* out) {
+    return ode::IndexJoin<Person, StockItem>(
+        txn, "qty",
+        [](const Person& p) { return index_key::FromInt64(p.age()); },
+        [&](Ref<Person> l, Ref<StockItem> r) {
+          return Record(txn, out, l, r);
+        });
+  });
+  EXPECT_EQ(pairs, expected());
+}
+
+TEST_F(JoinTest, HashJoin) {
+  auto pairs = Collect([&](Transaction& txn, std::set<Pair>* out) {
+    return ode::HashJoin<Person, StockItem>(
+        txn, [](const Person& p) { return index_key::FromInt64(p.age()); },
+        [](const StockItem& s) { return index_key::FromInt64(s.quantity()); },
+        [&](Ref<Person> l, Ref<StockItem> r) {
+          return Record(txn, out, l, r);
+        });
+  });
+  EXPECT_EQ(pairs, expected());
+}
+
+TEST_F(JoinTest, BodyErrorStopsJoin) {
+  int calls = 0;
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    return ode::HashJoin<Person, StockItem>(
+        txn, [](const Person& p) { return index_key::FromInt64(p.age()); },
+        [](const StockItem& st) {
+          return index_key::FromInt64(st.quantity());
+        },
+        [&](Ref<Person>, Ref<StockItem>) -> Status {
+          calls++;
+          return Status::IOError("stop");
+        });
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(JoinTest, EmptySideYieldsNoPairs) {
+  TestDb db;
+  ASSERT_OK(db->CreateCluster<Person>());
+  ASSERT_OK(db->CreateCluster<StockItem>());
+  int calls = 0;
+  ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
+    return ode::HashJoin<Person, StockItem>(
+        txn, [](const Person& p) { return index_key::FromInt64(p.age()); },
+        [](const StockItem& st) {
+          return index_key::FromInt64(st.quantity());
+        },
+        [&](Ref<Person>, Ref<StockItem>) -> Status {
+          calls++;
+          return Status::OK();
+        });
+  }));
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,244 @@
+// Tests for the serialization archives (src/serial/archive.h).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serial/archive.h"
+#include "test_models.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+template <typename T>
+std::string Ser(T& value) {
+  std::string out;
+  WriteArchive ar(&out);
+  ar(value);
+  return out;
+}
+
+template <typename T>
+bool Deser(const std::string& bytes, T* out, Database* db = nullptr) {
+  ReadArchive ar(Slice(bytes), db);
+  ar(*out);
+  return ar.ok();
+}
+
+struct Values {
+    int8_t i8 = -5;
+    uint8_t u8 = 200;
+    int16_t i16 = -30000;
+    uint16_t u16 = 60000;
+    int32_t i32 = -2000000000;
+    uint32_t u32 = 4000000000u;
+    int64_t i64 = std::numeric_limits<int64_t>::min();
+    uint64_t u64 = std::numeric_limits<uint64_t>::max();
+    float f = 3.14f;
+    double d = 2.718281828459045;
+    bool b = true;
+    char c = 'x';
+
+    template <typename AR>
+    void OdeFields(AR& ar) {
+      ar(i8, u8, i16, u16, i32, u32, i64, u64, f, d, b, c);
+    }
+};
+
+TEST(SerialTest, ArithmeticRoundTrip) {
+  Values in;
+  const std::string bytes = Ser(in);
+  Values out{};
+  out.i8 = 0;
+  out.d = 0;
+  ASSERT_TRUE(Deser(bytes, &out));
+  EXPECT_EQ(out.i8, in.i8);
+  EXPECT_EQ(out.u8, in.u8);
+  EXPECT_EQ(out.i16, in.i16);
+  EXPECT_EQ(out.u16, in.u16);
+  EXPECT_EQ(out.i32, in.i32);
+  EXPECT_EQ(out.u32, in.u32);
+  EXPECT_EQ(out.i64, in.i64);
+  EXPECT_EQ(out.u64, in.u64);
+  EXPECT_EQ(out.f, in.f);
+  EXPECT_EQ(out.d, in.d);
+  EXPECT_EQ(out.b, in.b);
+  EXPECT_EQ(out.c, in.c);
+}
+
+TEST(SerialTest, StringRoundTrip) {
+  std::string s = "hello";
+  std::string bytes = Ser(s);
+  std::string out;
+  ASSERT_TRUE(Deser(bytes, &out));
+  EXPECT_EQ(out, "hello");
+
+  std::string with_nul("a\0b\0c", 5);
+  bytes = Ser(with_nul);
+  ASSERT_TRUE(Deser(bytes, &out));
+  EXPECT_EQ(out, with_nul);
+
+  std::string empty;
+  bytes = Ser(empty);
+  out = "junk";
+  ASSERT_TRUE(Deser(bytes, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SerialTest, VectorRoundTrip) {
+  std::vector<int> v = {1, -2, 3, -4, 5};
+  std::vector<int> out;
+  ASSERT_TRUE(Deser(Ser(v), &out));
+  EXPECT_EQ(out, v);
+
+  std::vector<std::string> vs = {"a", "", "ccc"};
+  std::vector<std::string> vs_out;
+  ASSERT_TRUE(Deser(Ser(vs), &vs_out));
+  EXPECT_EQ(vs_out, vs);
+
+  std::vector<std::vector<int>> nested = {{1}, {}, {2, 3}};
+  std::vector<std::vector<int>> nested_out;
+  ASSERT_TRUE(Deser(Ser(nested), &nested_out));
+  EXPECT_EQ(nested_out, nested);
+}
+
+TEST(SerialTest, OptionalRoundTrip) {
+  std::optional<int> some = 7;
+  std::optional<int> out;
+  ASSERT_TRUE(Deser(Ser(some), &out));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 7);
+
+  std::optional<int> none;
+  out = 9;
+  ASSERT_TRUE(Deser(Ser(none), &out));
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST(SerialTest, PairAndMapRoundTrip) {
+  std::pair<std::string, int> p = {"k", 3};
+  std::pair<std::string, int> p_out;
+  ASSERT_TRUE(Deser(Ser(p), &p_out));
+  EXPECT_EQ(p_out, p);
+
+  std::map<std::string, double> m = {{"a", 1.5}, {"b", -2.5}};
+  std::map<std::string, double> m_out;
+  ASSERT_TRUE(Deser(Ser(m), &m_out));
+  EXPECT_EQ(m_out, m);
+}
+
+enum class Color : uint8_t { kRed = 1, kBlue = 2 };
+struct ColorHolder {
+  Color color = Color::kRed;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(color);
+  }
+};
+
+TEST(SerialTest, EnumRoundTrip) {
+  ColorHolder h;
+  h.color = Color::kBlue;
+  ColorHolder out;
+  ASSERT_TRUE(Deser(Ser(h), &out));
+  EXPECT_EQ(out.color, Color::kBlue);
+}
+
+struct Inner {
+  int x = 0;
+  std::string tag;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(x, tag);
+  }
+};
+struct Outer {
+  Inner one;
+  std::vector<Inner> many;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(one, many);
+  }
+};
+
+TEST(SerialTest, NestedUserTypes) {
+  Outer in;
+  in.one = {42, "first"};
+  in.many = {{1, "a"}, {2, "b"}};
+  Outer out;
+  ASSERT_TRUE(Deser(Ser(in), &out));
+  EXPECT_EQ(out.one.x, 42);
+  EXPECT_EQ(out.one.tag, "first");
+  ASSERT_EQ(out.many.size(), 2u);
+  EXPECT_EQ(out.many[1].tag, "b");
+}
+
+TEST(SerialTest, InheritanceChainSerialization) {
+  odetest::Student in("ann", 22, 1200.0, 3.9);
+  odetest::Student out;
+  ASSERT_TRUE(Deser(Ser(in), &out));
+  EXPECT_EQ(out.name(), "ann");
+  EXPECT_EQ(out.age(), 22);
+  EXPECT_EQ(out.gpa(), 3.9);
+}
+
+TEST(SerialTest, TruncationDetected) {
+  odetest::Person p("bob", 30, 500.0);
+  std::string bytes = Ser(p);
+  for (size_t cut = 0; cut < bytes.size(); cut++) {
+    odetest::Person out;
+    EXPECT_FALSE(Deser(bytes.substr(0, cut), &out))
+        << "cut at " << cut << " not detected";
+  }
+}
+
+TEST(SerialTest, TruncatedVectorDetected) {
+  std::vector<std::string> v = {"aaaa", "bbbb"};
+  std::string bytes = Ser(v);
+  std::vector<std::string> out;
+  EXPECT_FALSE(Deser(bytes.substr(0, bytes.size() - 2), &out));
+}
+
+TEST(SerialTest, RefSerializationPreservesIdentity) {
+  RefBase ref(nullptr, Oid{3, 17}, 5);
+  std::string bytes = Ser(ref);
+  RefBase out;
+  ASSERT_TRUE(Deser(bytes, &out));
+  EXPECT_EQ(out.oid(), (Oid{3, 17}));
+  EXPECT_EQ(out.vnum(), 5u);
+  EXPECT_EQ(out.db(), nullptr);  // bound to the archive's database
+}
+
+TEST(SerialTest, RefRebindsToDatabase) {
+  testing::TestDb db;
+  RefBase ref(nullptr, Oid{1, 2});
+  std::string bytes = Ser(ref);
+  RefBase out;
+  ASSERT_TRUE(Deser(bytes, &out, db.db.get()));
+  EXPECT_EQ(out.db(), db.db.get());
+}
+
+TEST(SerialTest, DeterministicEncoding) {
+  odetest::Faculty a("carol", 50, 9000.0, "cs");
+  odetest::Faculty b("carol", 50, 9000.0, "cs");
+  EXPECT_EQ(Ser(a), Ser(b));
+}
+
+TEST(SerialTest, GarbageAfterValueIsVisible) {
+  int x = 5;
+  std::string bytes = Ser(x) + "trailing";
+  ReadArchive ar(Slice(bytes), nullptr);
+  int out;
+  ar(out);
+  EXPECT_TRUE(ar.ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(ar.remaining().ToString(), "trailing");
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,164 @@
+#ifndef ODE_TESTS_TEST_MODELS_H_
+#define ODE_TESTS_TEST_MODELS_H_
+
+// Shared model classes for tests: the paper's university schema (person /
+// student / faculty, §3.1.1) and the stockroom item (§2), plus a part type
+// for bill-of-materials fixpoint queries (§3.2).
+
+#include <string>
+#include <vector>
+
+#include "core/ode.h"
+
+namespace odetest {
+
+class Person {
+ public:
+  Person() = default;
+  Person(std::string name, int age, double income)
+      : name_(std::move(name)), age_(age), income_(income) {}
+
+  const std::string& name() const { return name_; }
+  int age() const { return age_; }
+  double income() const { return income_; }
+  void set_age(int age) { age_ = age; }
+  void set_income(double income) { income_ = income; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(name_, age_, income_);
+  }
+
+ private:
+  std::string name_;
+  int age_ = 0;
+  double income_ = 0;
+};
+
+class Student : public Person {
+ public:
+  Student() = default;
+  Student(std::string name, int age, double income, double gpa)
+      : Person(std::move(name), age, income), gpa_(gpa) {}
+
+  double gpa() const { return gpa_; }
+  void set_gpa(double gpa) { gpa_ = gpa; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    Person::OdeFields(ar);
+    ar(gpa_);
+  }
+
+ private:
+  double gpa_ = 0;
+};
+
+class Faculty : public Person {
+ public:
+  Faculty() = default;
+  Faculty(std::string name, int age, double income, std::string dept)
+      : Person(std::move(name), age, income), dept_(std::move(dept)) {}
+
+  const std::string& dept() const { return dept_; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    Person::OdeFields(ar);
+    ar(dept_);
+  }
+
+ private:
+  std::string dept_;
+};
+
+/// A teaching assistant: multiple inheritance (student and employee roles),
+/// exercising MI upcast thunks.
+class Employee {
+ public:
+  Employee() = default;
+  explicit Employee(double salary) : salary_(salary) {}
+  double salary() const { return salary_; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(salary_);
+  }
+
+ private:
+  double salary_ = 0;
+};
+
+class TA : public Student, public Employee {
+ public:
+  TA() = default;
+  TA(std::string name, int age, double income, double gpa, double salary)
+      : Student(std::move(name), age, income, gpa), Employee(salary) {}
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    Student::OdeFields(ar);
+    Employee::OdeFields(ar);
+  }
+};
+
+class StockItem {
+ public:
+  StockItem() = default;
+  StockItem(std::string name, double price, int quantity, int reorder_level)
+      : name_(std::move(name)),
+        price_(price),
+        quantity_(quantity),
+        reorder_level_(reorder_level) {}
+
+  const std::string& name() const { return name_; }
+  double price() const { return price_; }
+  int quantity() const { return quantity_; }
+  int reorder_level() const { return reorder_level_; }
+  void set_quantity(int q) { quantity_ = q; }
+  void set_price(double p) { price_ = p; }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(name_, price_, quantity_, reorder_level_);
+  }
+
+ private:
+  std::string name_;
+  double price_ = 0;
+  int quantity_ = 0;
+  int reorder_level_ = 0;
+};
+
+/// A part in a bill-of-materials graph: subparts are persistent references.
+class Part {
+ public:
+  Part() = default;
+  explicit Part(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ode::Ref<Part>>& subparts() const { return subparts_; }
+  void add_subpart(const ode::Ref<Part>& p) { subparts_.push_back(p); }
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(name_, subparts_);
+  }
+
+ private:
+  std::string name_;
+  std::vector<ode::Ref<Part>> subparts_;
+};
+
+}  // namespace odetest
+
+ODE_REGISTER_CLASS(odetest::Person);
+ODE_REGISTER_CLASS(odetest::Student, odetest::Person);
+ODE_REGISTER_CLASS(odetest::Faculty, odetest::Person);
+ODE_REGISTER_CLASS(odetest::Employee);
+ODE_REGISTER_CLASS(odetest::TA, odetest::Student, odetest::Employee);
+ODE_REGISTER_CLASS(odetest::StockItem);
+ODE_REGISTER_CLASS(odetest::Part);
+
+#endif  // ODE_TESTS_TEST_MODELS_H_

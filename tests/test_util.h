@@ -1,0 +1,109 @@
+#ifndef ODE_TESTS_TEST_UTIL_H_
+#define ODE_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "core/ode.h"
+#include "util/env.h"
+
+namespace ode {
+namespace testing {
+
+#define ASSERT_OK(expr)                                         \
+  do {                                                          \
+    ::ode::Status _s = (expr);                                  \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();        \
+  } while (0)
+
+#define EXPECT_OK(expr)                                         \
+  do {                                                          \
+    ::ode::Status _s = (expr);                                  \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();        \
+  } while (0)
+
+/// Unwraps a Result<T> in a test, failing the test on error. Usage:
+///   auto v = ASSERT_OK_AND_UNWRAP(SomeResultCall());
+#define ASSERT_OK_AND_UNWRAP(expr)                              \
+  ({                                                            \
+    auto _result = (expr);                                      \
+    EXPECT_TRUE(_result.ok())                                   \
+        << "status: " << _result.status().ToString();           \
+    if (!_result.ok()) throw std::runtime_error("unwrap");      \
+    _result.TakeValue();                                        \
+  })
+
+/// A per-test scratch directory, removed on teardown.
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path_ = ::testing::UnitTest::GetInstance() != nullptr
+                ? std::string("/tmp/ode_test_") +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name()
+                : std::string("/tmp/ode_test");
+    for (size_t i = 5; i < path_.size(); i++) {  // keep the "/tmp/" prefix
+      if (path_[i] == '/') path_[i] = '_';
+    }
+    path_ += "_" + std::to_string(counter.fetch_add(1)) + "_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this) & 0xFFFF);
+    (void)env::RemoveDirRecursively(path_);
+    (void)env::CreateDir(path_);
+  }
+  ~TempDir() { (void)env::RemoveDirRecursively(path_); }
+
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Opens a Database in a temp dir with fast (no-fsync) settings.
+struct TestDb {
+  TempDir dir;
+  std::unique_ptr<Database> db;
+
+  explicit TestDb(DatabaseOptions options = FastOptions()) {
+    Status s = Database::Open(dir.file("test.db"), options, &db);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  static DatabaseOptions FastOptions() {
+    DatabaseOptions options;
+    options.engine.wal_sync = Wal::SyncMode::kNoSync;
+    return options;
+  }
+
+  /// Closes and reopens the database (persistence checks).
+  void Reopen(DatabaseOptions options = FastOptions()) {
+    if (db != nullptr) {
+      Status s = db->Close();
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      db.reset();
+    }
+    Status s = Database::Open(dir.file("test.db"), options, &db);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  /// Crashes (no checkpoint) and reopens through WAL recovery.
+  void CrashAndReopen(DatabaseOptions options = FastOptions()) {
+    db->SimulateCrash();
+    db.reset();
+    Status s = Database::Open(dir.file("test.db"), options, &db);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  Database* operator->() { return db.get(); }
+  Database& operator*() { return *db; }
+};
+
+}  // namespace testing
+}  // namespace ode
+
+#endif  // ODE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,431 @@
+// Tests for linear versioning at the core API level (paper §4).
+
+#include <gtest/gtest.h>
+
+#include "test_models.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using odetest::Person;
+using testing::TestDb;
+
+class VersionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_OK(db_->CreateCluster<Person>()); }
+
+  Ref<Person> NewPerson(const std::string& name, int age) {
+    Ref<Person> ref;
+    Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+      ODE_ASSIGN_OR_RETURN(ref, txn.New<Person>(name, age, 0.0));
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return ref;
+  }
+
+  TestDb db_;
+};
+
+TEST_F(VersionTest, NewVersionSnapshotsCurrentState) {
+  Ref<Person> p = NewPerson("ann", 30);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(uint32_t v, txn.NewVersion(p));
+    EXPECT_EQ(v, 1u);
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(31);
+    return Status::OK();
+  }));
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    // Generic ref reads the current version.
+    ODE_ASSIGN_OR_RETURN(const Person* current, txn.Read(p));
+    EXPECT_EQ(current->age(), 31);
+    // Specific ref to version 0 reads the snapshot.
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v0, VersionRef(txn, p, 0));
+    ODE_ASSIGN_OR_RETURN(const Person* old, txn.Read(v0));
+    EXPECT_EQ(old->age(), 30);
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, PendingWritesIncludedInSnapshot) {
+  // newversion freezes the state *as of the call*, including uncommitted
+  // in-transaction modifications.
+  Ref<Person> p = NewPerson("bob", 10);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(20);
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w2, txn.Write(p));
+    w2->set_age(30);
+    return Status::OK();
+  }));
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v0, VersionRef(txn, p, 0));
+    ODE_ASSIGN_OR_RETURN(const Person* old, txn.Read(v0));
+    EXPECT_EQ(old->age(), 20);
+    ODE_ASSIGN_OR_RETURN(const Person* cur, txn.Read(p));
+    EXPECT_EQ(cur->age(), 30);
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, OldVersionsAreReadOnly) {
+  Ref<Person> p = NewPerson("carol", 1);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v0, VersionRef(txn, p, 0));
+    EXPECT_TRUE(txn.Write(v0).status().IsInvalidArgument());
+    EXPECT_TRUE(txn.NewVersion(v0).status().IsInvalidArgument());
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, NavigationHelpers) {
+  Ref<Person> p = NewPerson("dave", 0);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 1; i <= 3; i++) {
+      ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+      ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+      w->set_age(i * 10);
+    }
+    return Status::OK();
+  }));
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    // VNum of a generic ref: the current version number.
+    ODE_ASSIGN_OR_RETURN(uint32_t current, VNum(txn, p));
+    EXPECT_EQ(current, 3u);
+
+    ODE_ASSIGN_OR_RETURN(Ref<Person> first, VFirst(txn, p));
+    EXPECT_EQ(first.vnum(), 0u);
+
+    ODE_ASSIGN_OR_RETURN(Ref<Person> prev, VPrev(txn, p));
+    EXPECT_EQ(prev.vnum(), 2u);
+    ODE_ASSIGN_OR_RETURN(Ref<Person> prev2, VPrev(txn, prev));
+    EXPECT_EQ(prev2.vnum(), 1u);
+
+    ODE_ASSIGN_OR_RETURN(Ref<Person> next, VNext(txn, prev2));
+    EXPECT_EQ(next.vnum(), 2u);
+    EXPECT_TRUE(VNext(txn, p).status().IsNotFound());  // generic = newest
+    EXPECT_TRUE(VPrev(txn, first).status().IsNotFound());
+
+    Ref<Person> latest = VLatest(prev2);
+    EXPECT_FALSE(latest.is_specific());
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, DeleteVersionUnlinksAndPromotes) {
+  Ref<Person> p = NewPerson("eve", 0);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 1; i <= 2; i++) {
+      ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+      ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+      w->set_age(i);
+    }
+    return Status::OK();
+  }));
+  // Delete middle version 1.
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v1, VersionRef(txn, p, 1));
+    ODE_RETURN_IF_ERROR(txn.DeleteVersion(v1));
+    std::vector<uint32_t> vnums;
+    ODE_RETURN_IF_ERROR(ListVersions(txn, p, &vnums));
+    EXPECT_EQ(vnums, (std::vector<uint32_t>{0, 2}));
+    EXPECT_TRUE(VersionRef(txn, p, 1).status().IsNotFound());
+    return Status::OK();
+  }));
+  // Delete the current version 2: version 0 becomes current again.
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v2, VersionRef(txn, p, 2));
+    ODE_RETURN_IF_ERROR(txn.DeleteVersion(v2));
+    ODE_ASSIGN_OR_RETURN(const Person* cur, txn.Read(p));
+    EXPECT_EQ(cur->age(), 0);
+    ODE_ASSIGN_OR_RETURN(uint32_t vnum, VNum(txn, p));
+    EXPECT_EQ(vnum, 0u);
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, DeleteVersionRequiresSpecificRef) {
+  Ref<Person> p = NewPerson("f", 1);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    EXPECT_TRUE(txn.DeleteVersion(p).IsInvalidArgument());
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, PdeleteOnVersionRefDeletesThatVersion) {
+  // §4: "Given a version pointer, pdelete deletes the specified version."
+  Ref<Person> p = NewPerson("g", 10);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(20);
+    return Status::OK();
+  }));
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v0, VersionRef(txn, p, 0));
+    ODE_RETURN_IF_ERROR(txn.Delete(v0));  // pdelete on a version pointer
+    std::vector<uint32_t> vnums;
+    ODE_RETURN_IF_ERROR(ListVersions(txn, p, &vnums));
+    EXPECT_EQ(vnums, (std::vector<uint32_t>{1}));
+    // The object itself survives.
+    ODE_ASSIGN_OR_RETURN(const Person* cur, txn.Read(p));
+    EXPECT_EQ(cur->age(), 20);
+    return Status::OK();
+  }));
+  // Deleting the only remaining version is refused (use pdelete on the
+  // object, i.e. a generic reference).
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v1, VersionRef(txn, p, 1));
+    EXPECT_TRUE(txn.Delete(v1).IsInvalidArgument());
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, VersionsPersistAcrossReopen) {
+  Ref<Person> p = NewPerson("gina", 100);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(200);
+    return Status::OK();
+  }));
+  db_.Reopen();
+  Ref<Person> again(db_.db.get(), p.oid());
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(const Person* cur, txn.Read(again));
+    EXPECT_EQ(cur->age(), 200);
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v0, VersionRef(txn, again, 0));
+    ODE_ASSIGN_OR_RETURN(const Person* old, txn.Read(v0));
+    EXPECT_EQ(old->age(), 100);
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, PdeleteRemovesAllVersions) {
+  Ref<Person> p = NewPerson("henry", 1);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    return txn.Delete(p);
+  }));
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    EXPECT_TRUE(txn.Read(p).status().IsNotFound());
+    Ref<Person> v0(db_.db.get(), p.oid(), 0);
+    EXPECT_TRUE(txn.Read(v0).status().IsNotFound());
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, CachedSpecificVersionsInvalidatedOnPromotion) {
+  Ref<Person> p = NewPerson("iris", 10);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(20);
+    // Read current (caches head), then delete the current version in the
+    // same txn: the promoted state must be observed, not the stale cache.
+    ODE_ASSIGN_OR_RETURN(const Person* cur, txn.Read(p));
+    EXPECT_EQ(cur->age(), 20);
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v1, VersionRef(txn, p, 1));
+    ODE_RETURN_IF_ERROR(txn.DeleteVersion(v1));
+    ODE_ASSIGN_OR_RETURN(const Person* promoted, txn.Read(p));
+    EXPECT_EQ(promoted->age(), 10);
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, RevertToVersionRestoresState) {
+  Ref<Person> p = NewPerson("kim", 10);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());  // v0 frozen at age 10
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(50);  // experiment
+    return Status::OK();
+  }));
+  // Revert the experiment: current state becomes v0's again; history keeps
+  // both versions.
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.RevertToVersion(p, 0));
+    ODE_ASSIGN_OR_RETURN(const Person* cur, txn.Read(p));
+    EXPECT_EQ(cur->age(), 10);
+    return Status::OK();
+  }));
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(const Person* cur, txn.Read(p));
+    EXPECT_EQ(cur->age(), 10);
+    ODE_ASSIGN_OR_RETURN(uint32_t vnum, VNum(txn, p));
+    EXPECT_EQ(vnum, 1u);  // still version 1; only its content reverted
+    std::vector<uint32_t> versions;
+    ODE_RETURN_IF_ERROR(ListVersions(txn, p, &versions));
+    EXPECT_EQ(versions, (std::vector<uint32_t>{0, 1}));
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, RevertRejectsSpecificRefAndMissingVersion) {
+  Ref<Person> p = NewPerson("lee", 1);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    Ref<Person> v0(db_.db.get(), p.oid(), 0);
+    EXPECT_TRUE(txn.RevertToVersion(v0, 0).IsInvalidArgument());
+    EXPECT_TRUE(txn.RevertToVersion(p, 7).IsNotFound());
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, RevertIsTransactional) {
+  Ref<Person> p = NewPerson("mia", 10);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(99);
+    return Status::OK();
+  }));
+  Status s = db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.RevertToVersion(p, 0));
+    return Status::IOError("abort the revert");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(const Person* cur, txn.Read(p));
+    EXPECT_EQ(cur->age(), 99);  // revert rolled back
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, DerivationTreeRecordsBranches) {
+  // The paper's footnote 15 defers tree versioning to [4]; this extension
+  // records the derivation graph: checkpoint, experiment, revert, branch.
+  Ref<Person> p = NewPerson("tess", 0);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    // v0 frozen, current v1 derives from v0.
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(1);
+    // v1 frozen, current v2 derives from v1.
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w2, txn.Write(p));
+    w2->set_age(2);
+    return Status::OK();
+  }));
+  // Branch: revert to v0, then checkpoint that branch point.
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.RevertToVersion(p, 0));
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());  // v2 frozen, v3 current
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(30);
+    return Status::OK();
+  }));
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    ODE_RETURN_IF_ERROR(ListVersionTree(txn, p, &edges));
+    // v0 is the root; v1 derives from v0; v2 (the frozen post-revert state)
+    // derives from v0 — the branch; v3 (current) from v2.
+    EXPECT_EQ(edges.size(), 4u);
+    if (edges.size() != 4u) return Status::InvalidArgument("edge count");
+    EXPECT_EQ(edges[0], (std::pair<uint32_t, uint32_t>{
+                            0, ObjectTable::kNoParentVersion}));
+    EXPECT_EQ(edges[1], (std::pair<uint32_t, uint32_t>{1, 0}));
+    EXPECT_EQ(edges[2], (std::pair<uint32_t, uint32_t>{2, 0}));
+    EXPECT_EQ(edges[3], (std::pair<uint32_t, uint32_t>{3, 2}));
+
+    // VParent navigation walks the derivation edges.
+    ODE_ASSIGN_OR_RETURN(Ref<Person> parent, VParent(txn, p));  // of current
+    EXPECT_EQ(parent.vnum(), 2u);
+    ODE_ASSIGN_OR_RETURN(Ref<Person> gp, VParent(txn, parent));
+    EXPECT_EQ(gp.vnum(), 0u);
+    EXPECT_TRUE(VParent(txn, gp).status().IsNotFound());  // root
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, LinearHistoryDerivationIsAPath) {
+  Ref<Person> p = NewPerson("uma", 0);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i < 3; i++) {
+      ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    ODE_RETURN_IF_ERROR(ListVersionTree(txn, p, &edges));
+    EXPECT_EQ(edges.size(), 4u);
+    if (edges.size() != 4u) return Status::InvalidArgument("edge count");
+    for (size_t i = 1; i < edges.size(); i++) {
+      EXPECT_EQ(edges[i].second, edges[i - 1].first);  // straight path
+    }
+    return Status::OK();
+  }));
+}
+
+TEST_F(VersionTest, DeleteCurrentVersionUpdatesIndexes) {
+  // Promotion changes the current content; secondary indexes must follow.
+  ASSERT_OK(db_->CreateIndex<Person>("age", [](const Person& p) {
+    return index_key::FromInt64(p.age());
+  }));
+  Ref<Person> p = NewPerson("nia", 10);  // v0: age 10, indexed at 10
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(20);  // v1: age 20, index moves 10 -> 20 at commit
+    return Status::OK();
+  }));
+  std::vector<Oid> oids;
+  ASSERT_OK(db_->indexes().ScanExact("age", index_key::FromInt64(20), &oids));
+  ASSERT_EQ(oids.size(), 1u);
+
+  // Deleting v1 promotes v0 (age 10): the index entry must move back.
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v1, VersionRef(txn, p, 1));
+    return txn.DeleteVersion(v1);
+  }));
+  ASSERT_OK(db_->indexes().ScanExact("age", index_key::FromInt64(20), &oids));
+  EXPECT_TRUE(oids.empty());
+  ASSERT_OK(db_->indexes().ScanExact("age", index_key::FromInt64(10), &oids));
+  ASSERT_EQ(oids.size(), 1u);
+  EXPECT_EQ(oids[0], p.oid());
+}
+
+TEST_F(VersionTest, DeleteOldVersionLeavesIndexesAlone) {
+  ASSERT_OK(db_->CreateIndex<Person>("age", [](const Person& p) {
+    return index_key::FromInt64(p.age());
+  }));
+  Ref<Person> p = NewPerson("oli", 10);
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+    ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+    w->set_age(20);
+    return Status::OK();
+  }));
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(Ref<Person> v0, VersionRef(txn, p, 0));
+    return txn.DeleteVersion(v0);  // not the current version
+  }));
+  std::vector<Oid> oids;
+  ASSERT_OK(db_->indexes().ScanExact("age", index_key::FromInt64(20), &oids));
+  EXPECT_EQ(oids.size(), 1u);
+}
+
+TEST_F(VersionTest, LongChainAcrossManyTransactions) {
+  Ref<Person> p = NewPerson("jan", 0);
+  for (int i = 1; i <= 30; i++) {
+    ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+      ODE_RETURN_IF_ERROR(txn.NewVersion(p).status());
+      ODE_ASSIGN_OR_RETURN(Person * w, txn.Write(p));
+      w->set_age(i);
+      return Status::OK();
+    }));
+  }
+  ASSERT_OK(db_->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i <= 30; i += 5) {
+      ODE_ASSIGN_OR_RETURN(Ref<Person> v, VersionRef(txn, p, i));
+      ODE_ASSIGN_OR_RETURN(const Person* obj, txn.Read(v));
+      EXPECT_EQ(obj->age(), i);
+    }
+    return Status::OK();
+  }));
+}
+
+}  // namespace
+}  // namespace ode

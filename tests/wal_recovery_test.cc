@@ -1,0 +1,251 @@
+// Tests for the redo-only WAL record format and crash recovery.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/engine.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+#include "test_util.h"
+#include "util/coding.h"
+
+namespace ode {
+namespace {
+
+using testing::TempDir;
+
+std::string MakeImage(char fill) { return std::string(kPageSize, fill); }
+
+TEST(WalTest, AppendAndReadBack) {
+  TempDir dir;
+  std::unique_ptr<Wal> wal;
+  ASSERT_OK(Wal::Open(dir.file("wal"), Wal::SyncMode::kNoSync, &wal));
+  const std::string img_a = MakeImage('a');
+  const std::string img_b = MakeImage('b');
+  ASSERT_OK(wal->AppendPageImage(1, 10, img_a.data()));
+  ASSERT_OK(wal->AppendPageImage(1, 11, img_b.data()));
+  ASSERT_OK(wal->AppendCommit(1));
+
+  Wal::Reader reader(wal->file());
+  Wal::Record record;
+  std::string scratch;
+  bool eof = false;
+
+  ASSERT_OK(reader.Next(&record, &scratch, &eof));
+  ASSERT_FALSE(eof);
+  EXPECT_EQ(record.type, Wal::RecordType::kPageImage);
+  EXPECT_EQ(record.txn_id, 1u);
+  EXPECT_EQ(record.page_id, 10u);
+  EXPECT_EQ(record.image.ToString(), img_a);
+
+  ASSERT_OK(reader.Next(&record, &scratch, &eof));
+  ASSERT_FALSE(eof);
+  EXPECT_EQ(record.page_id, 11u);
+
+  ASSERT_OK(reader.Next(&record, &scratch, &eof));
+  ASSERT_FALSE(eof);
+  EXPECT_EQ(record.type, Wal::RecordType::kCommit);
+
+  ASSERT_OK(reader.Next(&record, &scratch, &eof));
+  EXPECT_TRUE(eof);
+}
+
+TEST(WalTest, TornTailStopsScan) {
+  TempDir dir;
+  std::unique_ptr<Wal> wal;
+  ASSERT_OK(Wal::Open(dir.file("wal"), Wal::SyncMode::kNoSync, &wal));
+  const std::string img = MakeImage('x');
+  ASSERT_OK(wal->AppendPageImage(1, 5, img.data()));
+  ASSERT_OK(wal->AppendCommit(1));
+  ASSERT_OK(wal->AppendPageImage(2, 6, img.data()));
+  // Tear the last record.
+  ASSERT_OK(wal->file()->Truncate(wal->size_bytes() - 100));
+
+  Wal::Reader reader(wal->file());
+  Wal::Record record;
+  std::string scratch;
+  bool eof = false;
+  int records = 0;
+  while (true) {
+    ASSERT_OK(reader.Next(&record, &scratch, &eof));
+    if (eof) break;
+    records++;
+  }
+  EXPECT_EQ(records, 2);  // the torn third record is not surfaced
+}
+
+TEST(WalTest, CorruptCrcStopsScan) {
+  TempDir dir;
+  std::unique_ptr<Wal> wal;
+  ASSERT_OK(Wal::Open(dir.file("wal"), Wal::SyncMode::kNoSync, &wal));
+  const std::string img = MakeImage('y');
+  ASSERT_OK(wal->AppendPageImage(1, 5, img.data()));
+  ASSERT_OK(wal->AppendCommit(1));
+  // Flip one byte inside the first record's body.
+  ASSERT_OK(wal->file()->Write(100, Slice("Z", 1)));
+
+  Wal::Reader reader(wal->file());
+  Wal::Record record;
+  std::string scratch;
+  bool eof = false;
+  ASSERT_OK(reader.Next(&record, &scratch, &eof));
+  EXPECT_TRUE(eof);
+}
+
+TEST(WalTest, ResetEmptiesLog) {
+  TempDir dir;
+  std::unique_ptr<Wal> wal;
+  ASSERT_OK(Wal::Open(dir.file("wal"), Wal::SyncMode::kNoSync, &wal));
+  const std::string img = MakeImage('z');
+  ASSERT_OK(wal->AppendPageImage(1, 2, img.data()));
+  EXPECT_GT(wal->size_bytes(), 0u);
+  ASSERT_OK(wal->Reset());
+  EXPECT_EQ(wal->size_bytes(), 0u);
+}
+
+// --- Recovery -----------------------------------------------------------------
+
+TEST(RecoveryTest, ReplaysOnlyCommittedTransactions) {
+  TempDir dir;
+  std::unique_ptr<Pager> pager;
+  bool created;
+  ASSERT_OK(Pager::Open(dir.file("db"), &pager, &created));
+  std::unique_ptr<Wal> wal;
+  ASSERT_OK(Wal::Open(dir.file("db.wal"), Wal::SyncMode::kNoSync, &wal));
+
+  const std::string committed = MakeImage('C');
+  const std::string uncommitted = MakeImage('U');
+  ASSERT_OK(wal->AppendPageImage(1, 3, committed.data()));
+  ASSERT_OK(wal->AppendCommit(1));
+  ASSERT_OK(wal->AppendPageImage(2, 4, uncommitted.data()));
+  // txn 2 never commits.
+
+  RecoveryStats stats;
+  ASSERT_OK(RunRecovery(pager.get(), wal.get(), &stats));
+  EXPECT_EQ(stats.committed_txns, 1u);
+  EXPECT_EQ(stats.pages_replayed, 1u);
+  EXPECT_EQ(wal->size_bytes(), 0u);
+
+  char page[kPageSize];
+  ASSERT_OK(pager->ReadPage(3, page));
+  EXPECT_EQ(page[0], 'C');
+  ASSERT_OK(pager->ReadPage(4, page));
+  EXPECT_EQ(page[0], 0);  // untouched
+}
+
+TEST(RecoveryTest, LastImageWins) {
+  TempDir dir;
+  std::unique_ptr<Pager> pager;
+  bool created;
+  ASSERT_OK(Pager::Open(dir.file("db"), &pager, &created));
+  std::unique_ptr<Wal> wal;
+  ASSERT_OK(Wal::Open(dir.file("db.wal"), Wal::SyncMode::kNoSync, &wal));
+
+  ASSERT_OK(wal->AppendPageImage(1, 7, MakeImage('1').data()));
+  ASSERT_OK(wal->AppendCommit(1));
+  ASSERT_OK(wal->AppendPageImage(2, 7, MakeImage('2').data()));
+  ASSERT_OK(wal->AppendCommit(2));
+
+  RecoveryStats stats;
+  ASSERT_OK(RunRecovery(pager.get(), wal.get(), &stats));
+  char page[kPageSize];
+  ASSERT_OK(pager->ReadPage(7, page));
+  EXPECT_EQ(page[0], '2');
+}
+
+// --- End-to-end crash recovery through the engine -------------------------------
+
+TEST(RecoveryTest, EngineCrashRecoversCommittedData) {
+  TempDir dir;
+  EngineOptions options;
+  options.wal_sync = Wal::SyncMode::kNoSync;
+  PageId page;
+  {
+    std::unique_ptr<StorageEngine> engine;
+    ASSERT_OK(StorageEngine::Open(dir.file("db"), options, &engine));
+    auto txn = engine->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageHandle handle;
+    ASSERT_OK(engine->AllocPage(&page, &handle));
+    memcpy(handle.mutable_data(), "survives crash", 14);
+    handle.Release();
+    ASSERT_OK(engine->CommitTxn(txn.value()));
+    engine->SimulateCrash();  // no checkpoint, no flush
+  }
+  std::unique_ptr<StorageEngine> engine;
+  ASSERT_OK(StorageEngine::Open(dir.file("db"), options, &engine));
+  PageHandle handle;
+  ASSERT_OK(engine->GetPageRead(page, &handle));
+  EXPECT_EQ(memcmp(handle.data(), "survives crash", 14), 0);
+}
+
+TEST(RecoveryTest, EngineCrashDropsUncommittedData) {
+  TempDir dir;
+  EngineOptions options;
+  options.wal_sync = Wal::SyncMode::kNoSync;
+  PageId committed_page, uncommitted_page;
+  {
+    std::unique_ptr<StorageEngine> engine;
+    ASSERT_OK(StorageEngine::Open(dir.file("db"), options, &engine));
+    {
+      auto txn = engine->BeginTxn();
+      ASSERT_TRUE(txn.ok());
+      PageHandle handle;
+      ASSERT_OK(engine->AllocPage(&committed_page, &handle));
+      memcpy(handle.mutable_data(), "yes", 3);
+      handle.Release();
+      ASSERT_OK(engine->CommitTxn(txn.value()));
+    }
+    {
+      auto txn = engine->BeginTxn();
+      ASSERT_TRUE(txn.ok());
+      PageHandle handle;
+      ASSERT_OK(engine->AllocPage(&uncommitted_page, &handle));
+      memcpy(handle.mutable_data(), "no!", 3);
+      handle.Release();
+      // Crash mid-transaction.
+    }
+    engine->SimulateCrash();
+  }
+  std::unique_ptr<StorageEngine> engine;
+  ASSERT_OK(StorageEngine::Open(dir.file("db"), options, &engine));
+  PageHandle handle;
+  ASSERT_OK(engine->GetPageRead(committed_page, &handle));
+  EXPECT_EQ(memcmp(handle.data(), "yes", 3), 0);
+  handle.Release();
+  ASSERT_OK(engine->GetPageRead(uncommitted_page, &handle));
+  EXPECT_NE(memcmp(handle.data(), "no!", 3), 0);
+}
+
+TEST(RecoveryTest, RepeatedCrashesAreIdempotent) {
+  TempDir dir;
+  EngineOptions options;
+  options.wal_sync = Wal::SyncMode::kNoSync;
+  PageId page = kInvalidPageId;
+  for (int round = 0; round < 4; round++) {
+    std::unique_ptr<StorageEngine> engine;
+    ASSERT_OK(StorageEngine::Open(dir.file("db"), options, &engine));
+    auto txn = engine->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageHandle handle;
+    if (page == kInvalidPageId) {
+      ASSERT_OK(engine->AllocPage(&page, &handle));
+    } else {
+      ASSERT_OK(engine->GetPageWrite(page, &handle));
+      EXPECT_EQ(DecodeFixed32(handle.data()), static_cast<uint32_t>(round - 1));
+    }
+    EncodeFixed32(handle.mutable_data(), round);
+    handle.Release();
+    ASSERT_OK(engine->CommitTxn(txn.value()));
+    engine->SimulateCrash();
+  }
+  std::unique_ptr<StorageEngine> engine;
+  ASSERT_OK(StorageEngine::Open(dir.file("db"), options, &engine));
+  PageHandle handle;
+  ASSERT_OK(engine->GetPageRead(page, &handle));
+  EXPECT_EQ(DecodeFixed32(handle.data()), 3u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,339 @@
+// ode_shell: a small interactive/scripted inspection shell for ODE
+// databases. Works without any registered application classes — it operates
+// on the catalog and raw records, so any database can be examined.
+//
+// Usage: ode_shell <path/to/db> [-c "cmd; cmd; ..."]
+//
+// Commands:
+//   help                      list commands
+//   clusters                  list clusters with object counts
+//   types                     list registered type codes
+//   indexes                   list indexes with entry counts
+//   triggers                  list persistent trigger activations
+//   scan <cluster> [limit]    list head objects of a cluster
+//   object <cluster> <oid>    show one object: versions + record preview
+//   stats                     storage engine + buffer pool statistics
+//   checkpoint                flush pages and truncate the WAL
+//   quit / exit               leave the shell
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ode.h"
+#include "core/verify.h"
+
+namespace {
+
+using ode::CatalogData;
+using ode::ClusterId;
+using ode::Database;
+using ode::LocalOid;
+using ode::ObjectTable;
+using ode::Oid;
+using ode::PageId;
+using ode::Status;
+using ode::Transaction;
+
+void PrintHelp() {
+  printf(
+      "commands:\n"
+      "  clusters                  list clusters with object counts\n"
+      "  types                     list registered type codes\n"
+      "  indexes                   list indexes with entry counts\n"
+      "  triggers                  list persistent trigger activations\n"
+      "  scan <cluster> [limit]    list head objects of a cluster\n"
+      "  object <cluster> <oid>    show one object (versions + preview)\n"
+      "  stats                     storage statistics\n"
+      "  verify                    run the structural integrity checker\n"
+      "  checkpoint                flush pages, truncate the WAL\n"
+      "  vacuum                    reclaim trailing free pages\n"
+      "  quit                      exit\n");
+}
+
+/// Printable preview of a record's bytes.
+std::string Preview(const std::string& bytes, size_t max_len = 48) {
+  std::string out;
+  for (size_t i = 0; i < bytes.size() && out.size() < max_len; i++) {
+    const unsigned char c = static_cast<unsigned char>(bytes[i]);
+    if (isprint(c)) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char hex[8];
+      snprintf(hex, sizeof(hex), "\\x%02x", c);
+      out += hex;
+    }
+  }
+  if (out.size() >= max_len) out += "...";
+  return out;
+}
+
+Status CountObjects(Database& db, ClusterId cluster, uint32_t* count) {
+  *count = 0;
+  ODE_ASSIGN_OR_RETURN(PageId root, db.TableRootOf(cluster));
+  LocalOid at = 0;
+  while (true) {
+    LocalOid local;
+    bool found = false;
+    ODE_RETURN_IF_ERROR(db.store().NextHead(root, at, &local, &found));
+    if (!found) break;
+    (*count)++;
+    at = local + 1;
+  }
+  return Status::OK();
+}
+
+Status CmdClusters(Database& db) {
+  printf("%-6s %-32s %-12s %s\n", "id", "type", "table-root", "objects");
+  for (const auto& c : db.catalog().clusters) {
+    uint32_t count = 0;
+    ODE_RETURN_IF_ERROR(CountObjects(db, c.id, &count));
+    printf("%-6u %-32s %-12u %u\n", c.id, c.type_name.c_str(), c.table_root,
+           count);
+  }
+  return Status::OK();
+}
+
+Status CmdTypes(Database& db) {
+  printf("%-6s %s\n", "code", "name");
+  for (const auto& t : db.catalog().types) {
+    printf("%-6u %s\n", t.code, t.name.c_str());
+  }
+  return Status::OK();
+}
+
+Status CmdIndexes(Database& db) {
+  printf("%-24s %-8s %-12s %s\n", "name", "cluster", "btree-root", "entries");
+  for (const auto& i : db.catalog().indexes) {
+    auto count = db.indexes().CountEntries(i.name);
+    printf("%-24s %-8u %-12u %s\n", i.name.c_str(), i.cluster, i.btree_root,
+           count.ok() ? std::to_string(count.value()).c_str() : "?");
+  }
+  return Status::OK();
+}
+
+Status CmdTriggers(Database& db) {
+  printf("%-8s %-20s %-12s %-10s %s\n", "id", "trigger", "object", "kind",
+         "params");
+  for (const auto& t : db.catalog().triggers) {
+    std::string params;
+    for (double p : t.params) {
+      if (!params.empty()) params += ",";
+      params += std::to_string(p);
+    }
+    printf("%-8llu %-20s (%u:%u)%*s %-10s %s\n",
+           static_cast<unsigned long long>(t.trigger_id),
+           t.trigger_name.c_str(), t.cluster, t.local, 4, "",
+           t.perpetual ? "perpetual" : "once-only", params.c_str());
+  }
+  return Status::OK();
+}
+
+Status CmdScan(Database& db, ClusterId cluster, int limit) {
+  ODE_ASSIGN_OR_RETURN(PageId root, db.TableRootOf(cluster));
+  printf("%-8s %-6s %-6s %s\n", "oid", "vnum", "bytes", "preview");
+  LocalOid at = 0;
+  int shown = 0;
+  while (shown < limit) {
+    LocalOid local;
+    bool found = false;
+    ODE_RETURN_IF_ERROR(db.store().NextHead(root, at, &local, &found));
+    if (!found) break;
+    std::string bytes;
+    uint32_t type_code = 0, vnum = 0;
+    ODE_RETURN_IF_ERROR(db.store().Read(root, local, ode::kGenericVersion,
+                                        &bytes, &type_code, &vnum));
+    printf("%-8u %-6u %-6zu %s\n", local, vnum, bytes.size(),
+           Preview(bytes).c_str());
+    shown++;
+    at = local + 1;
+  }
+  printf("(%d object%s shown)\n", shown, shown == 1 ? "" : "s");
+  return Status::OK();
+}
+
+Status CmdObject(Database& db, ClusterId cluster, LocalOid local) {
+  ODE_ASSIGN_OR_RETURN(PageId root, db.TableRootOf(cluster));
+  ObjectTable::Entry entry;
+  ODE_RETURN_IF_ERROR(db.store().GetInfo(root, local, &entry));
+  ODE_ASSIGN_OR_RETURN(std::string type_name,
+                       db.TypeNameByCode(entry.type_code));
+  printf("object (%u:%u)\n", cluster, local);
+  printf("  type       : %s (code %u)\n", type_name.c_str(), entry.type_code);
+  printf("  location   : page %u slot %u%s\n", entry.page, entry.slot,
+         entry.overflow() ? " (overflow chain)" : "");
+  std::vector<uint32_t> versions;
+  ODE_RETURN_IF_ERROR(db.store().ListVersions(root, local, &versions));
+  std::vector<std::pair<uint32_t, uint32_t>> tree;
+  ODE_RETURN_IF_ERROR(db.store().ListVersionTree(root, local, &tree));
+  printf("  versions   : %zu\n", versions.size());
+  for (size_t i = 0; i < versions.size(); i++) {
+    const uint32_t v = versions[i];
+    std::string bytes;
+    uint32_t type_code = 0, resolved = 0;
+    ODE_RETURN_IF_ERROR(
+        db.store().Read(root, local, v, &bytes, &type_code, &resolved));
+    std::string parent = "root";
+    for (const auto& [vn, pv] : tree) {
+      if (vn == v && pv != ode::ObjectTable::kNoParentVersion) {
+        parent = "from v" + std::to_string(pv);
+      }
+    }
+    printf("    v%-4u %5zu bytes  (%s)  %s\n", v, bytes.size(),
+           parent.c_str(), Preview(bytes).c_str());
+  }
+  size_t activations = 0;
+  for (const auto& t : db.catalog().triggers) {
+    if (t.cluster == cluster && t.local == local) activations++;
+  }
+  printf("  triggers   : %zu activation(s)\n", activations);
+  return Status::OK();
+}
+
+Status CmdStats(Database& db) {
+  const auto& engine_stats = db.engine().stats();
+  const auto& pool = db.engine().buffer_pool();
+  auto page_count =
+      db.engine().ReadSuperU32(ode::SuperblockLayout::kPageCountOffset);
+  printf("file pages        : %u (%u KiB)\n",
+         page_count.ok() ? page_count.value() : 0,
+         page_count.ok() ? page_count.value() * 4 : 0);
+  printf("wal bytes         : %llu\n",
+         static_cast<unsigned long long>(db.engine().wal().size_bytes()));
+  printf("txns committed    : %llu\n",
+         static_cast<unsigned long long>(engine_stats.txns_committed));
+  printf("txns aborted      : %llu\n",
+         static_cast<unsigned long long>(engine_stats.txns_aborted));
+  printf("pages alloc/freed : %llu / %llu\n",
+         static_cast<unsigned long long>(engine_stats.pages_allocated),
+         static_cast<unsigned long long>(engine_stats.pages_freed));
+  printf("pool size/cap     : %zu / %zu frames\n", pool.size(),
+         pool.capacity());
+  printf("pool hits/misses  : %llu / %llu\n",
+         static_cast<unsigned long long>(pool.stats().hits),
+         static_cast<unsigned long long>(pool.stats().misses));
+  return Status::OK();
+}
+
+Status Dispatch(Database& db, const std::string& line, bool* quit) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) return Status::OK();
+  if (cmd == "quit" || cmd == "exit") {
+    *quit = true;
+    return Status::OK();
+  }
+  if (cmd == "help") {
+    PrintHelp();
+    return Status::OK();
+  }
+  if (cmd == "clusters") return CmdClusters(db);
+  if (cmd == "types") return CmdTypes(db);
+  if (cmd == "indexes") return CmdIndexes(db);
+  if (cmd == "triggers") return CmdTriggers(db);
+  if (cmd == "stats") return CmdStats(db);
+  if (cmd == "verify") {
+    ode::VerifyReport report;
+    ODE_RETURN_IF_ERROR(ode::VerifyDatabase(db, &report));
+    printf("%s\n", report.ToString().c_str());
+    return Status::OK();
+  }
+  if (cmd == "vacuum") {
+    auto released = db.Vacuum();
+    ODE_RETURN_IF_ERROR(released.status());
+    printf("released %u page(s) (%u KiB)\n", released.value(),
+           released.value() * 4);
+    return Status::OK();
+  }
+  if (cmd == "checkpoint") {
+    ODE_RETURN_IF_ERROR(db.engine().Checkpoint());
+    printf("checkpointed.\n");
+    return Status::OK();
+  }
+  if (cmd == "scan") {
+    ClusterId cluster;
+    int limit = 20;
+    if (!(in >> cluster)) {
+      return Status::InvalidArgument("usage: scan <cluster> [limit]");
+    }
+    in >> limit;
+    return CmdScan(db, cluster, limit);
+  }
+  if (cmd == "object") {
+    ClusterId cluster;
+    LocalOid local;
+    if (!(in >> cluster >> local)) {
+      return Status::InvalidArgument("usage: object <cluster> <oid>");
+    }
+    return CmdObject(db, cluster, local);
+  }
+  return Status::InvalidArgument("unknown command '" + cmd +
+                                 "' (try 'help')");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string script;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "-c" && i + 1 < argc) {
+      script = argv[++i];
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      fprintf(stderr, "usage: ode_shell <db> [-c \"cmd; cmd\"]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    fprintf(stderr, "usage: ode_shell <db> [-c \"cmd; cmd\"]\n");
+    return 2;
+  }
+
+  ode::DatabaseOptions options;
+  options.engine.wal_sync = ode::Wal::SyncMode::kNoSync;
+  std::unique_ptr<Database> db;
+  Status s = Database::Open(path, options, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "ode_shell: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  bool quit = false;
+  if (!script.empty()) {
+    std::istringstream commands(script);
+    std::string line;
+    while (!quit && std::getline(commands, line, ';')) {
+      Status status = Dispatch(*db, line, &quit);
+      if (!status.ok()) {
+        fprintf(stderr, "error: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  } else {
+    std::string line;
+    printf("ode shell — type 'help' for commands\n");
+    while (!quit) {
+      printf("ode> ");
+      fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      Status status = Dispatch(*db, line, &quit);
+      if (!status.ok()) {
+        fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      }
+    }
+  }
+  s = db->Close();
+  if (!s.ok()) {
+    fprintf(stderr, "ode_shell: close: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// oppc: the O++-to-C++ translator driver.
+//
+// Usage: oppc [-o out.cc] [--no-prelude] [--no-registration] in.opp
+//        oppc -            (read stdin, write stdout)
+//
+// Translates the O++ database programming language (Agrawal & Gehani,
+// SIGMOD 1989) into C++ against the ode runtime (see src/opp/translator.h
+// for the construct list).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "opp/translator.h"
+
+namespace {
+
+int Usage() {
+  fprintf(stderr,
+          "usage: oppc [-o out.cc] [--no-prelude] [--no-registration] "
+          "in.opp\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string output_path;
+  ode::opp::Translator::Options options;
+
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "--no-prelude") {
+      options.emit_prelude = false;
+    } else if (arg == "--no-registration") {
+      options.emit_registration = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      fprintf(stderr, "oppc: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (input_path.empty()) return Usage();
+
+  std::string source;
+  if (input_path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  } else {
+    std::ifstream in(input_path);
+    if (!in) {
+      fprintf(stderr, "oppc: cannot open %s\n", input_path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  }
+
+  ode::Result<std::string> result =
+      ode::opp::Translator::Translate(source, options);
+  if (!result.ok()) {
+    fprintf(stderr, "oppc: %s: %s\n", input_path.c_str(),
+            result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (output_path.empty()) {
+    fputs(result.value().c_str(), stdout);
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      fprintf(stderr, "oppc: cannot write %s\n", output_path.c_str());
+      return 1;
+    }
+    out << result.value();
+  }
+  return 0;
+}
