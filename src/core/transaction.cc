@@ -538,7 +538,19 @@ Status Transaction::Commit() {
   std::vector<Database::Firing> fired;
   ODE_RETURN_IF_ERROR(EvaluateTriggers(&fired));
 
-  ODE_RETURN_IF_ERROR(db_->engine().CommitTxn(txn_id_));
+  Status committed = db_->engine().CommitTxn(txn_id_);
+  if (!committed.ok()) {
+    // The engine degraded the commit to a rollback (or refused it); the
+    // in-memory catalog still reflects this transaction's writes, so abort
+    // at this layer too to reload it. The commit error is what the caller
+    // needs to see, not any secondary abort failure.
+    Status aborted = Abort();
+    if (!aborted.ok()) {
+      ODE_LOG(kError) << "abort after failed commit also failed: "
+                      << aborted.ToString();
+    }
+    return committed;
+  }
   ODE_RETURN_IF_ERROR(CloseOut(/*aborted=*/false));
 
   if (!fired.empty()) {
@@ -553,7 +565,11 @@ Status Transaction::Commit() {
 
 Status Transaction::Abort() {
   if (!open_) return Status::TransactionAborted("transaction is closed");
-  ODE_RETURN_IF_ERROR(db_->engine().AbortTxn(txn_id_));
+  // A failed CommitTxn already rolled the engine back; only abort the
+  // engine-level transaction if it is still ours.
+  if (db_->engine().in_txn() && db_->engine().active_txn() == txn_id_) {
+    ODE_RETURN_IF_ERROR(db_->engine().AbortTxn(txn_id_));
+  }
   ODE_RETURN_IF_ERROR(db_->ReloadCatalog());
   return CloseOut(/*aborted=*/true);
 }

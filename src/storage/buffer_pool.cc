@@ -24,7 +24,13 @@ Status BufferPool::Fetch(PageId id, Frame** frame) {
   auto f = std::make_unique<Frame>();
   f->id = id;
   f->data = std::make_unique<char[]>(kPageSize);
-  ODE_RETURN_IF_ERROR(pager_->ReadPage(id, f->data.get()));
+  // Read before the frame is linked into frames_/lru_: a failed read must
+  // not leave a half-initialized frame behind.
+  Status read = pager_->ReadPage(id, f->data.get());
+  if (!read.ok()) {
+    stats_.read_errors++;
+    return read;
+  }
   f->pins = 1;
   lru_.push_front(id);
   f->lru_pos = lru_.begin();

@@ -37,6 +37,8 @@ class BufferPool {
     uint64_t evictions = 0;
     uint64_t flushes = 0;
     uint64_t grows = 0;  ///< Times the pool exceeded capacity under pressure.
+    uint64_t read_errors = 0;  ///< Misses whose page read failed (no frame
+                               ///< is cached; the pool stays consistent).
   };
 
   BufferPool(Pager* pager, size_t capacity_pages);

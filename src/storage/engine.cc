@@ -32,20 +32,24 @@ StorageEngine::~StorageEngine() {
 Status StorageEngine::Open(const std::string& path,
                            const EngineOptions& options,
                            std::unique_ptr<StorageEngine>* out) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
   std::unique_ptr<Pager> pager;
   bool created = false;
-  ODE_RETURN_IF_ERROR(Pager::Open(path, &pager, &created));
+  ODE_RETURN_IF_ERROR(Pager::Open(env, path, &pager, &created));
 
   const std::string wal_path = path + ".wal";
   std::unique_ptr<Wal> wal;
-  ODE_RETURN_IF_ERROR(Wal::Open(wal_path, options.wal_sync, &wal));
+  ODE_RETURN_IF_ERROR(Wal::Open(env, wal_path, options.wal_sync, &wal));
 
   if (wal->size_bytes() > 0) {
     RecoveryStats recovery_stats;
     ODE_RETURN_IF_ERROR(RunRecovery(pager.get(), wal.get(), &recovery_stats));
     ODE_LOG(kInfo) << "recovered " << path << ": "
                    << recovery_stats.committed_txns << " txns, "
-                   << recovery_stats.pages_replayed << " page images";
+                   << recovery_stats.pages_replayed << " page images"
+                   << (recovery_stats.torn_tail_records > 0
+                           ? " (torn tail discarded)"
+                           : "");
   }
 
   std::unique_ptr<StorageEngine> engine(
@@ -72,6 +76,11 @@ Result<TxnId> StorageEngine::BeginTxn() {
   if (active_txn_ != 0) {
     return Status::Busy("a transaction is already active");
   }
+  if (wedged_) {
+    return Status::IOError(
+        "engine wedged: a failed commit could not scrub the log; "
+        "checkpoint (or reopen) before starting new transactions");
+  }
   active_txn_ = next_txn_id_++;
   txn_dirty_.clear();
   undo_.clear();
@@ -86,19 +95,52 @@ Status StorageEngine::CommitTxn(TxnId txn) {
   if (txn == 0 || txn != active_txn_) {
     return Status::InvalidArgument("CommitTxn: not the active transaction");
   }
-  // Log after-images in page order, then the commit record.
-  for (PageId id : txn_dirty_) {
-    BufferPool::Frame* frame = nullptr;
-    ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
-    Status s = wal_->AppendPageImage(txn, id, frame->data.get());
-    pool_->Unpin(frame);
-    ODE_RETURN_IF_ERROR(s);
+  // Log after-images in page order, then the commit record. If any append or
+  // the commit sync fails, the commit degrades to an abort: scrub the partial
+  // records off the log, restore the undo images, and report the error, but
+  // leave the engine usable.
+  const uint64_t log_start = wal_->size_bytes();
+  Status logged = [&]() -> Status {
+    for (PageId id : txn_dirty_) {
+      BufferPool::Frame* frame = nullptr;
+      ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
+      Status s = wal_->AppendPageImage(txn, id, frame->data.get());
+      pool_->Unpin(frame);
+      ODE_RETURN_IF_ERROR(s);
+    }
+    return wal_->AppendCommit(txn);
+  }();
+  if (!logged.ok()) {
+    stats_.commit_failures++;
+    // Scrub first: if the commit record reached the file but (say) the sync
+    // failed, leaving it there would let a later recovery resurrect the
+    // transaction we are about to roll back.
+    Status scrub = wal_->TruncateTo(log_start);
+    if (!scrub.ok()) {
+      wedged_ = true;
+      ODE_LOG(kError) << "commit " << txn << " failed (" << logged.ToString()
+                      << ") and the log scrub also failed ("
+                      << scrub.ToString() << "); engine wedged";
+    } else {
+      ODE_LOG(kWarn) << "commit " << txn << " failed, rolled back: "
+                        << logged.ToString();
+    }
+    Status rollback = RollbackActiveTxn();
+    if (!rollback.ok()) {
+      ODE_LOG(kError) << "rollback after failed commit " << txn
+                      << " failed: " << rollback.ToString();
+    }
+    return logged;
   }
-  ODE_RETURN_IF_ERROR(wal_->AppendCommit(txn));
-  // Pages are now durable in the log: allow write-back.
+  // The commit record is durable: the transaction has committed, and from
+  // here on nothing may turn that into an error (the caller would wrongly
+  // conclude it aborted). Pages become write-back eligible; maintenance
+  // failures (shrink, checkpoint) are logged — recovery can always redo the
+  // work from the log.
   for (PageId id : txn_dirty_) {
     BufferPool::Frame* frame = nullptr;
-    ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
+    Status s = pool_->Fetch(id, &frame);
+    if (!s.ok()) continue;  // Unreachable: txn pages are cache-resident.
     frame->flushable = true;
     pool_->Unpin(frame);
   }
@@ -106,9 +148,13 @@ Status StorageEngine::CommitTxn(TxnId txn) {
   undo_.clear();
   active_txn_ = 0;
   stats_.txns_committed++;
-  ODE_RETURN_IF_ERROR(pool_->ShrinkToCapacity());
-  if (wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
-    ODE_RETURN_IF_ERROR(Checkpoint());
+  Status maintenance = pool_->ShrinkToCapacity();
+  if (maintenance.ok() && wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
+    maintenance = Checkpoint();
+  }
+  if (!maintenance.ok()) {
+    ODE_LOG(kWarn) << "post-commit maintenance failed (txn " << txn
+                   << " is committed): " << maintenance.ToString();
   }
   return Status::OK();
 }
@@ -117,11 +163,21 @@ Status StorageEngine::AbortTxn(TxnId txn) {
   if (txn == 0 || txn != active_txn_) {
     return Status::InvalidArgument("AbortTxn: not the active transaction");
   }
+  return RollbackActiveTxn();
+}
+
+Status StorageEngine::RollbackActiveTxn() {
+  Status first_error;
   for (PageId id : txn_dirty_) {
     auto it = undo_.find(id);
     assert(it != undo_.end());
     BufferPool::Frame* frame = nullptr;
-    ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
+    Status s = pool_->Fetch(id, &frame);
+    if (!s.ok()) {
+      // Keep rolling back the remaining pages; report the first failure.
+      if (first_error.ok()) first_error = s;
+      continue;
+    }
     memcpy(frame->data.get(), it->second.image.get(), kPageSize);
     frame->dirty = it->second.was_dirty;
     frame->flushable = true;
@@ -131,7 +187,8 @@ Status StorageEngine::AbortTxn(TxnId txn) {
   undo_.clear();
   active_txn_ = 0;
   stats_.txns_aborted++;
-  return pool_->ShrinkToCapacity();
+  Status shrink = pool_->ShrinkToCapacity();
+  return first_error.ok() ? shrink : first_error;
 }
 
 Status StorageEngine::GetPageRead(PageId id, PageHandle* handle) {
@@ -312,6 +369,9 @@ Status StorageEngine::Checkpoint() {
   ODE_RETURN_IF_ERROR(pager_->Sync());
   ODE_RETURN_IF_ERROR(wal_->Reset());
   stats_.checkpoints++;
+  // An empty log can no longer resurrect anything: a wedge (failed commit
+  // whose partial records could not be scrubbed) is resolved.
+  wedged_ = false;
   return Status::OK();
 }
 

@@ -21,6 +21,9 @@ struct EngineOptions {
   Wal::SyncMode wal_sync = Wal::SyncMode::kSyncEveryCommit;
   /// Checkpoint (flush pages + truncate log) once the WAL exceeds this size.
   uint64_t checkpoint_wal_bytes = 8ull << 20;
+  /// I/O environment for the database file and WAL; nullptr means
+  /// Env::Default(). Tests inject a FaultInjectionEnv here.
+  Env* env = nullptr;
 };
 
 /// The transactional page store: pager + buffer pool + redo WAL + recovery.
@@ -41,6 +44,7 @@ class StorageEngine {
     uint64_t pages_allocated = 0;
     uint64_t pages_freed = 0;
     uint64_t checkpoints = 0;
+    uint64_t commit_failures = 0;  ///< Commits degraded to aborts by I/O errors.
   };
 
   StorageEngine(const StorageEngine&) = delete;
@@ -58,10 +62,17 @@ class StorageEngine {
 
   // --- Transactions -------------------------------------------------------
 
-  /// Starts a transaction. Fails with Busy if one is already active.
+  /// Starts a transaction. Fails with Busy if one is already active, with
+  /// IOError if a previous commit failure wedged the engine (see CommitTxn).
   Result<TxnId> BeginTxn();
 
-  /// Durably commits the active transaction.
+  /// Durably commits the active transaction. If appending the page images or
+  /// the commit record fails, the commit degrades to an abort: the partial
+  /// log records are scrubbed, every touched page is restored from its undo
+  /// image, and the engine stays usable (the error is still returned). Only
+  /// if the scrub itself also fails — the log may then still hold the dead
+  /// transaction's records — does the engine wedge itself: further
+  /// transactions are refused until a Checkpoint manages to truncate the log.
   Status CommitTxn(TxnId txn);
 
   /// Rolls back every page the active transaction touched.
@@ -123,6 +134,10 @@ class StorageEngine {
     bool was_dirty;  ///< Frame was committed-dirty before this txn touched it.
   };
 
+  /// Restores undo images of every page the active transaction touched and
+  /// clears the transaction state (shared by AbortTxn and failed commits).
+  Status RollbackActiveTxn();
+
   std::string path_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<Wal> wal_;
@@ -135,6 +150,10 @@ class StorageEngine {
   std::unordered_map<PageId, UndoEntry> undo_;
   Stats stats_;
   bool closed_ = false;
+  /// A failed commit could not scrub its partial WAL records; replaying them
+  /// after more commits could resurrect a rolled-back transaction, so the
+  /// engine refuses new transactions until a checkpoint empties the log.
+  bool wedged_ = false;
 };
 
 }  // namespace ode

@@ -6,10 +6,10 @@
 
 namespace ode {
 
-Status Pager::Open(const std::string& path, std::unique_ptr<Pager>* out,
-                   bool* created) {
+Status Pager::Open(Env* env, const std::string& path,
+                   std::unique_ptr<Pager>* out, bool* created) {
   std::unique_ptr<File> file;
-  ODE_RETURN_IF_ERROR(File::Open(path, &file));
+  ODE_RETURN_IF_ERROR(env->NewFile(path, &file));
   ODE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
   std::unique_ptr<Pager> pager(new Pager(std::move(file), path));
   *created = (size == 0);

@@ -18,10 +18,17 @@ class Pager {
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
-  /// Opens (or creates) the database file. A new file is formatted with a
-  /// fresh superblock. `created` reports whether formatting happened.
+  /// Opens (or creates) the database file through `env`. A new file is
+  /// formatted with a fresh superblock. `created` reports whether formatting
+  /// happened.
+  static Status Open(Env* env, const std::string& path,
+                     std::unique_ptr<Pager>* out, bool* created);
+
+  /// Opens via Env::Default().
   static Status Open(const std::string& path, std::unique_ptr<Pager>* out,
-                     bool* created);
+                     bool* created) {
+    return Open(Env::Default(), path, out, created);
+  }
 
   /// Reads page `id` into `buf` (kPageSize bytes). Pages past the current
   /// high-water mark read as zeroes (they exist logically but were never

@@ -5,6 +5,39 @@
 
 namespace ode {
 
+namespace {
+
+// The reader stopped at a damaged record during pass 1. Decide whether it is
+// a legitimate torn tail (nothing decodable follows) or mid-log corruption
+// (valid records follow the damage). Counts discarded records into `stats`.
+Status ClassifyDamagedTail(Wal* wal, const Wal::Reader& reader,
+                           RecoveryStats* stats) {
+  stats->torn_tail_records++;
+  // When the damaged record's framing was destroyed (short header/body or a
+  // nonsense length) there is no way to locate a following record; treat it
+  // as the tail.
+  uint64_t probe_offset = reader.torn_resync_offset();
+  Wal::Record record;
+  std::string scratch;
+  while (probe_offset != 0) {
+    Wal::Reader probe(wal->file(), probe_offset);
+    bool eof = false;
+    ODE_RETURN_IF_ERROR(probe.Next(&record, &scratch, &eof));
+    if (!eof) {
+      return Status::Corruption(
+          "WAL record at offset " + std::to_string(reader.offset()) +
+          " is corrupt but valid records follow at offset " +
+          std::to_string(probe_offset) + "; refusing to recover");
+    }
+    if (probe.tail() == Wal::Reader::TailState::kCleanEof) break;
+    stats->torn_tail_records++;  // Another damaged record; keep probing.
+    probe_offset = probe.torn_resync_offset();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status RunRecovery(Pager* pager, Wal* wal, RecoveryStats* stats) {
   *stats = RecoveryStats();
 
@@ -23,10 +56,14 @@ Status RunRecovery(Pager* pager, Wal* wal, RecoveryStats* stats) {
         committed.insert(record.txn_id);
       }
     }
+    if (reader.tail() == Wal::Reader::TailState::kTorn) {
+      ODE_RETURN_IF_ERROR(ClassifyDamagedTail(wal, reader, stats));
+    }
   }
   stats->committed_txns = committed.size();
 
-  // Pass 2: replay committed page images in log order.
+  // Pass 2: replay committed page images in log order. (The reader stops at
+  // the same damaged record as pass 1, so a discarded tail is never replayed.)
   if (!committed.empty()) {
     Wal::Reader reader(wal->file());
     Wal::Record record;

@@ -13,6 +13,10 @@ struct RecoveryStats {
   uint64_t committed_txns = 0;
   uint64_t pages_replayed = 0;
   uint64_t records_scanned = 0;
+  /// Damaged records discarded from the tail of the log (a crash mid-append
+  /// tears at most the last commit's records, so this is expected; damage
+  /// *followed by* valid records is corruption and fails recovery instead).
+  uint64_t torn_tail_records = 0;
 };
 
 /// Crash recovery for the redo-only WAL.
@@ -22,6 +26,14 @@ struct RecoveryStats {
 /// transactions, in log order, straight to the database file. Finally the
 /// file is synced and the log truncated. Page images are full after-images,
 /// so replay is idempotent and the last write of each page wins.
+///
+/// A short or checksum-failing record ends the scan. If nothing decodable
+/// follows it, it is the torn tail of the commit that was in flight when the
+/// crash hit: recovery discards it (counted in torn_tail_records) and
+/// succeeds. If a valid record *does* follow the damage, the log is corrupt
+/// in the middle — silently skipping records there could replay a later
+/// transaction without an earlier one it depends on — so recovery returns
+/// Corruption and leaves both files untouched.
 Status RunRecovery(Pager* pager, Wal* wal, RecoveryStats* stats);
 
 }  // namespace ode

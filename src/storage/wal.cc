@@ -11,10 +11,10 @@ namespace {
 constexpr size_t kHeaderSize = 8;  // len u32 + crc u32
 }  // namespace
 
-Status Wal::Open(const std::string& path, SyncMode mode,
+Status Wal::Open(Env* env, const std::string& path, SyncMode mode,
                  std::unique_ptr<Wal>* out) {
   std::unique_ptr<File> file;
-  ODE_RETURN_IF_ERROR(File::Open(path, &file));
+  ODE_RETURN_IF_ERROR(env->NewFile(path, &file));
   ODE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
   out->reset(new Wal(std::move(file), mode, size));
   return Status::OK();
@@ -64,30 +64,45 @@ Status Wal::Reset() {
   return Status::OK();
 }
 
+Status Wal::TruncateTo(uint64_t offset) {
+  ODE_RETURN_IF_ERROR(file_->Truncate(offset));
+  write_offset_ = offset;
+  return Status::OK();
+}
+
 Status Wal::Reader::Next(Record* record, std::string* scratch, bool* eof) {
   *eof = false;
+  tail_ = TailState::kNone;
+  torn_resync_offset_ = 0;
   char header[kHeaderSize];
   size_t n = 0;
   ODE_RETURN_IF_ERROR(file_->ReadAtMost(offset_, kHeaderSize, header, &n));
   if (n < kHeaderSize) {
     *eof = true;
+    tail_ = n == 0 ? TailState::kCleanEof : TailState::kTorn;
     return Status::OK();
   }
   const uint32_t len = DecodeFixed32(header);
   const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header + 4));
   if (len < 9 || len > 16u * 1024 * 1024) {
-    *eof = true;  // Corrupt length: treat as torn tail.
+    *eof = true;  // Corrupt length: cannot even locate the next record.
+    tail_ = TailState::kTorn;
     return Status::OK();
   }
   scratch->resize(len);
   ODE_RETURN_IF_ERROR(
       file_->ReadAtMost(offset_ + kHeaderSize, len, scratch->data(), &n));
   if (n < len) {
-    *eof = true;  // Torn record.
+    *eof = true;  // Torn record: body runs past end of file.
+    tail_ = TailState::kTorn;
     return Status::OK();
   }
+  // The body is fully present from here on, so any damage is skippable:
+  // whatever follows this record starts at a known offset.
   if (crc32c::Value(scratch->data(), len) != expected_crc) {
-    *eof = true;  // Corrupt body: stop scanning.
+    *eof = true;
+    tail_ = TailState::kTorn;
+    torn_resync_offset_ = offset_ + kHeaderSize + len;
     return Status::OK();
   }
   Slice body(*scratch);
@@ -96,6 +111,8 @@ Status Wal::Reader::Next(Record* record, std::string* scratch, bool* eof) {
   uint64_t txn;
   if (!GetFixed64(&body, &txn)) {
     *eof = true;
+    tail_ = TailState::kTorn;
+    torn_resync_offset_ = offset_ + kHeaderSize + len;
     return Status::OK();
   }
   record->txn_id = txn;
@@ -104,6 +121,8 @@ Status Wal::Reader::Next(Record* record, std::string* scratch, bool* eof) {
       uint32_t page;
       if (!GetFixed32(&body, &page) || body.size() != kPageSize) {
         *eof = true;
+        tail_ = TailState::kTorn;
+        torn_resync_offset_ = offset_ + kHeaderSize + len;
         return Status::OK();
       }
       record->page_id = page;
@@ -116,6 +135,8 @@ Status Wal::Reader::Next(Record* record, std::string* scratch, bool* eof) {
       break;
     default:
       *eof = true;  // Unknown record type: stop.
+      tail_ = TailState::kTorn;
+      torn_resync_offset_ = offset_ + kHeaderSize + len;
       return Status::OK();
   }
   offset_ += kHeaderSize + len;

@@ -48,9 +48,16 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Opens (creating if needed) the log file at `path` for appending.
-  static Status Open(const std::string& path, SyncMode mode,
+  /// Opens (creating if needed) the log file at `path` for appending,
+  /// through `env`.
+  static Status Open(Env* env, const std::string& path, SyncMode mode,
                      std::unique_ptr<Wal>* out);
+
+  /// Opens via Env::Default().
+  static Status Open(const std::string& path, SyncMode mode,
+                     std::unique_ptr<Wal>* out) {
+    return Open(Env::Default(), path, mode, out);
+  }
 
   Status AppendPageImage(TxnId txn, PageId page, const char* image);
 
@@ -62,6 +69,11 @@ class Wal {
   /// Truncates the log to empty (after a checkpoint).
   Status Reset();
 
+  /// Truncates the log back to `offset` bytes — used to scrub the partial
+  /// records of a commit that failed mid-append, so a log that stays in use
+  /// can never expose that transaction's records to a later recovery.
+  Status TruncateTo(uint64_t offset);
+
   /// Current log size in bytes.
   uint64_t size_bytes() const { return write_offset_; }
 
@@ -71,15 +83,38 @@ class Wal {
   /// Sequential scanner over a closed or live log file, used by recovery.
   class Reader {
    public:
-    explicit Reader(File* file) : file_(file) {}
+    /// How the scan ended (meaningful once *eof was set).
+    enum class TailState {
+      kNone,      ///< Still mid-scan.
+      kCleanEof,  ///< The log ended exactly at a record boundary.
+      kTorn,      ///< The last record was short or failed its checksum.
+    };
+
+    explicit Reader(File* file, uint64_t start_offset = 0)
+        : file_(file), offset_(start_offset) {}
 
     /// Reads the next record. Sets *eof=true (and returns OK) at clean end
-    /// of log or at the first torn/corrupt record.
+    /// of log or at the first torn/corrupt record; tail() distinguishes the
+    /// two. Returns a real error only for I/O failures.
     Status Next(Record* record, std::string* scratch, bool* eof);
+
+    TailState tail() const { return tail_; }
+
+    /// Byte offset of the next unread record (= where a torn tail starts).
+    uint64_t offset() const { return offset_; }
+
+    /// When tail() is kTorn and the damaged record's framing was intact
+    /// (its full body is present but the checksum or content is bad), the
+    /// offset just past it — recovery probes there to tell a torn tail from
+    /// corruption in the middle of the log. 0 when the record cannot be
+    /// skipped (short header or body: nothing can follow it).
+    uint64_t torn_resync_offset() const { return torn_resync_offset_; }
 
    private:
     File* file_;
     uint64_t offset_ = 0;
+    TailState tail_ = TailState::kNone;
+    uint64_t torn_resync_offset_ = 0;
   };
 
   File* file() { return file_.get(); }

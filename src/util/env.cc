@@ -8,35 +8,111 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 namespace ode {
 
 namespace {
+
 Status ErrnoStatus(const std::string& context) {
   return Status::IOError(context + ": " + strerror(errno));
 }
+
+/// The plain POSIX implementation behind Env::Default().
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, std::string path) : File(std::move(path)), fd_(fd) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status ReadAtMost(uint64_t offset, size_t n, char* scratch,
+                    size_t* bytes_read) const override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, scratch + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread " + path_);
+      }
+      if (r == 0) break;  // EOF
+      done += static_cast<size_t>(r);
+    }
+    *bytes_read = done;
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t w = ::pwrite(fd_, data.data() + done, data.size() - done,
+                           static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pwrite " + path_);
+      }
+      done += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("ftruncate " + path_);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat " + path_);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewFile(const std::string& path,
+                 std::unique_ptr<File>* out) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) return ErrnoStatus("open " + path);
+    out->reset(new PosixFile(fd, path));
+    return Status::OK();
+  }
+
+  Status NewReadOnlyFile(const std::string& path,
+                         std::unique_ptr<File>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return ErrnoStatus("open " + path);
+    }
+    out->reset(new PosixFile(fd, path));
+    return Status::OK();
+  }
+};
+
 }  // namespace
 
-File::~File() {
-  if (fd_ >= 0) ::close(fd_);
-}
+File::~File() = default;
 
 Status File::Open(const std::string& path, std::unique_ptr<File>* out) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd < 0) return ErrnoStatus("open " + path);
-  out->reset(new File(fd, path));
-  return Status::OK();
+  return Env::Default()->NewFile(path, out);
 }
 
 Status File::OpenReadOnly(const std::string& path,
                           std::unique_ptr<File>* out) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    if (errno == ENOENT) return Status::NotFound(path);
-    return ErrnoStatus("open " + path);
-  }
-  out->reset(new File(fd, path));
-  return Status::OK();
+  return Env::Default()->NewReadOnlyFile(path, out);
 }
 
 Status File::Read(uint64_t offset, size_t n, char* scratch) const {
@@ -48,59 +124,117 @@ Status File::Read(uint64_t offset, size_t n, char* scratch) const {
   return Status::OK();
 }
 
-Status File::ReadAtMost(uint64_t offset, size_t n, char* scratch,
-                        size_t* bytes_read) const {
-  size_t done = 0;
-  while (done < n) {
-    ssize_t r = ::pread(fd_, scratch + done, n - done,
-                        static_cast<off_t>(offset + done));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("pread " + path_);
-    }
-    if (r == 0) break;  // EOF
-    done += static_cast<size_t>(r);
-  }
-  *bytes_read = done;
-  return Status::OK();
-}
-
-Status File::Write(uint64_t offset, const Slice& data) {
-  size_t done = 0;
-  while (done < data.size()) {
-    ssize_t w = ::pwrite(fd_, data.data() + done, data.size() - done,
-                         static_cast<off_t>(offset + done));
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("pwrite " + path_);
-    }
-    done += static_cast<size_t>(w);
-  }
-  return Status::OK();
-}
-
 Status File::Append(const Slice& data) {
   ODE_ASSIGN_OR_RETURN(uint64_t size, Size());
   return Write(size, data);
 }
 
-Status File::Sync() {
-  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// --- Fault injection --------------------------------------------------------
+
+Status FaultInjectionEnv::NewFile(const std::string& path,
+                                  std::unique_ptr<File>* out) {
+  std::unique_ptr<File> base;
+  ODE_RETURN_IF_ERROR(base_->NewFile(path, &base));
+  out->reset(new FaultInjectionFile(std::move(base), this));
   return Status::OK();
 }
 
-Status File::Truncate(uint64_t size) {
-  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
-    return ErrnoStatus("ftruncate " + path_);
+Status FaultInjectionEnv::NewReadOnlyFile(const std::string& path,
+                                          std::unique_ptr<File>* out) {
+  std::unique_ptr<File> base;
+  ODE_RETURN_IF_ERROR(base_->NewReadOnlyFile(path, &base));
+  out->reset(new FaultInjectionFile(std::move(base), this));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::OnOp(OpKind kind, const std::string& path,
+                               size_t write_size, size_t* torn_prefix) {
+  *torn_prefix = 0;
+  switch (kind) {
+    case OpKind::kRead:
+      counters_.reads++;
+      break;
+    case OpKind::kWrite:
+      counters_.writes++;
+      break;
+    case OpKind::kSync:
+      counters_.syncs++;
+      break;
+    case OpKind::kTruncate:
+      counters_.truncates++;
+      break;
   }
-  return Status::OK();
+  const bool mutating = kind != OpKind::kRead;
+  if (down_ && mutating) {
+    return Status::IOError("injected fault: device offline (" + path + ")");
+  }
+  if (spec_.nth == 0) return Status::OK();
+  const bool kind_matches =
+      spec_.any_mutating ? mutating : kind == spec_.kind;
+  if (!kind_matches) return Status::OK();
+  if (!spec_.path_substring.empty() &&
+      path.find(spec_.path_substring) == std::string::npos) {
+    return Status::OK();
+  }
+  if (++matched_ != spec_.nth) return Status::OK();
+  fault_fired_ = true;
+  down_ = !spec_.transient;
+  if (spec_.torn && kind == OpKind::kWrite && write_size > 1) {
+    *torn_prefix = write_size / 2;
+    return Status::IOError("injected fault: torn write to " + path);
+  }
+  const char* what = kind == OpKind::kRead      ? "read"
+                     : kind == OpKind::kWrite   ? "write"
+                     : kind == OpKind::kSync    ? "sync"
+                                                : "truncate";
+  return Status::IOError(std::string("injected fault: ") + what + " on " +
+                         path);
 }
 
-Result<uint64_t> File::Size() const {
-  struct stat st;
-  if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat " + path_);
-  return static_cast<uint64_t>(st.st_size);
+Status FaultInjectionFile::ReadAtMost(uint64_t offset, size_t n, char* scratch,
+                                      size_t* bytes_read) const {
+  size_t torn = 0;
+  ODE_RETURN_IF_ERROR(
+      env_->OnOp(FaultInjectionEnv::OpKind::kRead, path_, 0, &torn));
+  return base_->ReadAtMost(offset, n, scratch, bytes_read);
 }
+
+Status FaultInjectionFile::Write(uint64_t offset, const Slice& data) {
+  size_t torn = 0;
+  Status s = env_->OnOp(FaultInjectionEnv::OpKind::kWrite, path_, data.size(),
+                        &torn);
+  if (!s.ok()) {
+    if (torn > 0) {
+      // A crash mid-pwrite: a prefix reaches the file, the error surfaces.
+      (void)base_->Write(offset, Slice(data.data(), torn));
+    }
+    return s;
+  }
+  return base_->Write(offset, data);
+}
+
+Status FaultInjectionFile::Sync() {
+  size_t torn = 0;
+  ODE_RETURN_IF_ERROR(
+      env_->OnOp(FaultInjectionEnv::OpKind::kSync, path_, 0, &torn));
+  return base_->Sync();
+}
+
+Status FaultInjectionFile::Truncate(uint64_t size) {
+  size_t torn = 0;
+  ODE_RETURN_IF_ERROR(
+      env_->OnOp(FaultInjectionEnv::OpKind::kTruncate, path_, 0, &torn));
+  return base_->Truncate(size);
+}
+
+Result<uint64_t> FaultInjectionFile::Size() const { return base_->Size(); }
+
+// --- Filesystem helpers -----------------------------------------------------
 
 namespace env {
 
@@ -155,6 +289,24 @@ Status RemoveDirRecursively(const std::string& path) {
     return ErrnoStatus("rmdir " + path);
   }
   return status;
+}
+
+Status CopyFile(const std::string& from, const std::string& to) {
+  std::unique_ptr<File> src;
+  ODE_RETURN_IF_ERROR(File::OpenReadOnly(from, &src));
+  ODE_RETURN_IF_ERROR(RemoveFile(to));
+  std::unique_ptr<File> dst;
+  ODE_RETURN_IF_ERROR(File::Open(to, &dst));
+  std::vector<char> buf(1 << 16);
+  uint64_t offset = 0;
+  while (true) {
+    size_t n = 0;
+    ODE_RETURN_IF_ERROR(src->ReadAtMost(offset, buf.size(), buf.data(), &n));
+    if (n == 0) break;
+    ODE_RETURN_IF_ERROR(dst->Write(offset, Slice(buf.data(), n)));
+    offset += n;
+  }
+  return dst->Sync();
 }
 
 }  // namespace env

@@ -12,17 +12,19 @@ namespace ode {
 
 /// A random-access file handle (POSIX pread/pwrite). All storage-layer I/O
 /// (database file, WAL) goes through this so tests can keep files small and
-/// the engine has a single seam for I/O errors.
+/// the engine has a single seam for I/O errors. The class is abstract so an
+/// Env can interpose wrappers (fault injection, counting) on every syscall.
 class File {
  public:
-  ~File();
+  explicit File(std::string path) : path_(std::move(path)) {}
+  virtual ~File();
 
   File(const File&) = delete;
   File& operator=(const File&) = delete;
 
-  /// Opens (creating if necessary) `path` for read/write.
+  /// Opens (creating if necessary) `path` for read/write via Env::Default().
   static Status Open(const std::string& path, std::unique_ptr<File>* out);
-  /// Opens `path` read-only; NotFound if missing.
+  /// Opens `path` read-only via Env::Default(); NotFound if missing.
   static Status OpenReadOnly(const std::string& path,
                              std::unique_ptr<File>* out);
 
@@ -31,30 +33,159 @@ class File {
   Status Read(uint64_t offset, size_t n, char* scratch) const;
 
   /// Reads up to `n` bytes; sets *bytes_read (can be < n at EOF).
-  Status ReadAtMost(uint64_t offset, size_t n, char* scratch,
-                    size_t* bytes_read) const;
+  virtual Status ReadAtMost(uint64_t offset, size_t n, char* scratch,
+                            size_t* bytes_read) const = 0;
 
   /// Writes all of `data` at `offset`.
-  Status Write(uint64_t offset, const Slice& data);
+  virtual Status Write(uint64_t offset, const Slice& data) = 0;
 
   /// Appends `data` at end of file.
   Status Append(const Slice& data);
 
   /// Flushes file contents (and metadata) to stable storage.
-  Status Sync();
+  virtual Status Sync() = 0;
 
   /// Truncates to `size` bytes.
-  Status Truncate(uint64_t size);
+  virtual Status Truncate(uint64_t size) = 0;
 
-  Result<uint64_t> Size() const;
+  virtual Result<uint64_t> Size() const = 0;
 
   const std::string& path() const { return path_; }
 
- private:
-  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
-
-  int fd_;
+ protected:
   std::string path_;
+};
+
+/// The I/O environment: how the storage stack opens files. The default is
+/// plain POSIX; tests substitute a FaultInjectionEnv to provoke failures at
+/// exact syscall sites. Pager::Open, Wal::Open and StorageEngine::Open all
+/// accept an Env*.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens (creating if necessary) `path` for read/write.
+  virtual Status NewFile(const std::string& path,
+                         std::unique_ptr<File>* out) = 0;
+  /// Opens `path` read-only; NotFound if missing.
+  virtual Status NewReadOnlyFile(const std::string& path,
+                                 std::unique_ptr<File>* out) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// An Env that deterministically injects I/O failures, for crash-consistency
+/// tests. Every syscall made through files opened via this env is counted by
+/// kind; a fault is armed to fire on the Nth matching operation (1-based,
+/// counted since the last Reset), optionally restricted to files whose path
+/// contains a substring (the "syscall site"), and optionally *tearing* a
+/// write — persisting only a prefix of the data before reporting the error,
+/// as a crash mid-`pwrite` would.
+///
+/// After the fault fires the env models a dead device: every subsequent
+/// mutating operation (write/sync/truncate) fails until Disarm() or Reset().
+/// Reads keep working so in-memory rollback paths can be exercised.
+class FaultInjectionEnv : public Env {
+ public:
+  enum class OpKind : uint8_t { kRead, kWrite, kSync, kTruncate };
+
+  struct FaultSpec {
+    OpKind kind = OpKind::kWrite;
+    /// Count writes, syncs and truncates on one shared counter — the
+    /// "durability ops" a crash sweep steps through. Ignores `kind`.
+    bool any_mutating = false;
+    uint64_t nth = 0;  ///< Fire on the nth matching op (1-based); 0 = off.
+    bool torn = false;  ///< Writes persist half the data before failing.
+    /// Fail only the nth op itself; the device stays up afterwards (a
+    /// transient error, not a crash). Default models a dead device.
+    bool transient = false;
+    std::string path_substring;  ///< Only ops on matching files count.
+  };
+
+  struct Counters {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t syncs = 0;
+    uint64_t truncates = 0;
+    uint64_t mutating() const { return writes + syncs + truncates; }
+  };
+
+  explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
+
+  Status NewFile(const std::string& path,
+                 std::unique_ptr<File>* out) override;
+  Status NewReadOnlyFile(const std::string& path,
+                         std::unique_ptr<File>* out) override;
+
+  /// Arms `spec`; an already-armed fault is replaced. `nth` counts matching
+  /// ops from this call on. Global counters keep running.
+  void ArmFault(const FaultSpec& spec) {
+    spec_ = spec;
+    fault_fired_ = false;
+    down_ = false;
+    matched_ = 0;
+  }
+
+  /// Convenience: fail the nth mutating op (write/sync/truncate) anywhere.
+  void FailNthMutatingOp(uint64_t nth, bool torn = false) {
+    FaultSpec spec;
+    spec.any_mutating = true;
+    spec.nth = nth;
+    spec.torn = torn;
+    ArmFault(spec);
+  }
+
+  /// Disarms the fault and brings the "device" back up. Counters keep their
+  /// values; fault_fired() is preserved for inspection.
+  void Disarm() {
+    spec_ = FaultSpec();
+    down_ = false;
+  }
+
+  /// Disarms and zeroes all counters (fresh deterministic run).
+  void Reset() {
+    Disarm();
+    fault_fired_ = false;
+    counters_ = Counters();
+    matched_ = 0;
+  }
+
+  bool fault_fired() const { return fault_fired_; }
+  const Counters& counters() const { return counters_; }
+
+  /// Called by FaultInjectionFile before each syscall. Returns OK to let the
+  /// op through; an IOError to inject a failure. For a torn write, sets
+  /// *torn_prefix to the number of bytes to persist before failing
+  /// (`write_size` is the op's full payload size).
+  Status OnOp(OpKind kind, const std::string& path, size_t write_size,
+              size_t* torn_prefix);
+
+ private:
+  Env* base_;
+  FaultSpec spec_;
+  Counters counters_;
+  uint64_t matched_ = 0;   ///< Ops matching the armed spec so far.
+  bool fault_fired_ = false;
+  bool down_ = false;      ///< Device dead: all mutating ops fail.
+};
+
+/// File wrapper that routes every syscall through FaultInjectionEnv::OnOp.
+class FaultInjectionFile : public File {
+ public:
+  FaultInjectionFile(std::unique_ptr<File> base, FaultInjectionEnv* env)
+      : File(base->path()), base_(std::move(base)), env_(env) {}
+
+  Status ReadAtMost(uint64_t offset, size_t n, char* scratch,
+                    size_t* bytes_read) const override;
+  Status Write(uint64_t offset, const Slice& data) override;
+  Status Sync() override;
+  Status Truncate(uint64_t size) override;
+  Result<uint64_t> Size() const override;
+
+ private:
+  std::unique_ptr<File> base_;
+  FaultInjectionEnv* env_;
 };
 
 /// Filesystem helpers.
@@ -65,6 +196,8 @@ Status RemoveFile(const std::string& path);
 Status RenameFile(const std::string& from, const std::string& to);
 Status CreateDir(const std::string& path);           ///< OK if already exists.
 Status RemoveDirRecursively(const std::string& path);
+/// Byte-for-byte copy of `from` into `to` (created/overwritten), synced.
+Status CopyFile(const std::string& from, const std::string& to);
 
 }  // namespace env
 }  // namespace ode

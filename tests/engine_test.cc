@@ -10,6 +10,7 @@
 #include "storage/pager.h"
 #include "test_util.h"
 #include "util/coding.h"
+#include "util/env.h"
 
 namespace ode {
 namespace {
@@ -285,7 +286,127 @@ TEST_F(EngineTest, AutoCheckpointAtWalThreshold) {
   EXPECT_LT(engine_->wal().size_bytes(), 64u * 1024);
 }
 
+// --- Commit failure handling ----------------------------------------------------
+
+TEST_F(EngineTest, TransientCommitFailureDegradesToAbort) {
+  FaultInjectionEnv fenv;
+  EngineOptions options = FastEngine();
+  options.env = &fenv;
+  Open(options);
+
+  PageId page;
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&page, &handle));
+    memcpy(handle.mutable_data(), "doomed", 6);
+    handle.Release();
+    // The first WAL append fails, but the device stays up: the scrub
+    // succeeds, so the commit degrades to a plain abort.
+    FaultInjectionEnv::FaultSpec spec;
+    spec.kind = FaultInjectionEnv::OpKind::kWrite;
+    spec.nth = 1;
+    spec.transient = true;
+    spec.path_substring = ".wal";
+    fenv.ArmFault(spec);
+    Status s = engine_->CommitTxn(txn.value());
+    EXPECT_FALSE(s.ok());
+    EXPECT_TRUE(fenv.fault_fired());
+  }
+  EXPECT_FALSE(engine_->in_txn());
+  EXPECT_EQ(engine_->stats().commit_failures, 1u);
+  EXPECT_EQ(engine_->stats().txns_aborted, 1u);
+  EXPECT_EQ(engine_->wal().size_bytes(), 0u);  // partial records scrubbed
+
+  // The engine is immediately usable: the next transaction sees the
+  // rolled-back state and commits normally.
+  auto txn = engine_->BeginTxn();
+  ASSERT_TRUE(txn.ok());
+  PageHandle handle;
+  PageId page2;
+  ASSERT_OK(engine_->AllocPage(&page2, &handle));
+  EXPECT_EQ(page2, page);  // the aborted allocation was rolled back
+  memcpy(handle.mutable_data(), "alive", 5);
+  handle.Release();
+  ASSERT_OK(engine_->CommitTxn(txn.value()));
+  ASSERT_OK(engine_->GetPageRead(page2, &handle));
+  EXPECT_EQ(memcmp(handle.data(), "alive", 5), 0);
+  handle.Release();
+  engine_.reset();  // close while fenv (stack-local) is still alive
+}
+
+TEST_F(EngineTest, FailedScrubWedgesEngineUntilCheckpoint) {
+  FaultInjectionEnv fenv;
+  EngineOptions options;  // kSyncEveryCommit: the commit ends with a sync.
+  options.env = &fenv;
+  Open(options);
+
+  {
+    auto txn = engine_->BeginTxn();
+    ASSERT_TRUE(txn.ok());
+    PageId page;
+    PageHandle handle;
+    ASSERT_OK(engine_->AllocPage(&page, &handle));
+    handle.Release();
+    // The commit sync fails and the device goes down, so the scrub cannot
+    // remove the already-written commit record: the engine must wedge.
+    FaultInjectionEnv::FaultSpec spec;
+    spec.kind = FaultInjectionEnv::OpKind::kSync;
+    spec.nth = 1;
+    spec.path_substring = ".wal";
+    fenv.ArmFault(spec);
+    EXPECT_FALSE(engine_->CommitTxn(txn.value()).ok());
+  }
+  EXPECT_FALSE(engine_->in_txn());
+  Status begin = engine_->BeginTxn().status();
+  EXPECT_TRUE(begin.IsIOError()) << begin.ToString();
+
+  // Device back up: a successful checkpoint empties the log and unwedges.
+  fenv.Disarm();
+  ASSERT_OK(engine_->Checkpoint());
+  auto txn = engine_->BeginTxn();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_OK(engine_->AbortTxn(txn.value()));
+  engine_.reset();  // close while fenv (stack-local) is still alive
+}
+
 // --- BufferPool ----------------------------------------------------------------
+
+TEST(BufferPoolTest, FailedFetchLeavesPoolConsistent) {
+  TempDir dir;
+  FaultInjectionEnv fenv;
+  std::unique_ptr<Pager> pager;
+  bool created;
+  ASSERT_OK(Pager::Open(&fenv, dir.file("db"), &pager, &created));
+  BufferPool pool(pager.get(), 4);
+
+  BufferPool::Frame* frame = nullptr;
+  ASSERT_OK(pool.Fetch(kSuperblockPageId, &frame));
+  pool.Unpin(frame);
+  EXPECT_EQ(pool.size(), 1u);
+
+  FaultInjectionEnv::FaultSpec spec;
+  spec.kind = FaultInjectionEnv::OpKind::kRead;
+  spec.nth = 1;
+  spec.transient = true;
+  fenv.ArmFault(spec);
+  Status s = pool.Fetch(9, &frame);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(pool.stats().read_errors, 1u);
+  // No half-initialized frame was left behind.
+  EXPECT_EQ(pool.size(), 1u);
+
+  // The pool keeps working: the failed page fetches fine once the device
+  // recovers, and the resident frame is still addressable as a hit.
+  ASSERT_OK(pool.Fetch(9, &frame));
+  pool.Unpin(frame);
+  EXPECT_EQ(pool.size(), 2u);
+  pool.ResetStats();
+  ASSERT_OK(pool.Fetch(kSuperblockPageId, &frame));
+  pool.Unpin(frame);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
 
 TEST_F(EngineTest, BufferPoolHitsAndMisses) {
   Open();
