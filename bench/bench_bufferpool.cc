@@ -60,6 +60,7 @@ void RunForPool(size_t pool_pages) {
 }  // namespace
 
 int main() {
+  JsonReport report("bench_bufferpool");
   Header("E2", "buffer pool: warm scan cost vs pool size");
   Note("4000 objects x 1 KiB (~1000 data pages); 3 warm scans averaged");
   Row("%13s | %9s | %7s | %9s", "pool pages", "scan ms", "hits", "evictions");
@@ -68,5 +69,6 @@ int main() {
   }
   Note("expected shape: once the pool covers the working set (~100%),");
   Note("evictions vanish and the scan settles at in-memory speed.");
+  report.Emit();
   return 0;
 }

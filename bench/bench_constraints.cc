@@ -38,6 +38,7 @@ double RunUpdates(Database& db, std::vector<Ref<Person>>& refs,
 }  // namespace
 
 int main() {
+  JsonReport report("bench_constraints");
   Header("E9", "constraints: commit overhead vs constraints per class");
   Row("%12s | %12s | %14s", "constraints", "txn/s", "us/checked-obj");
   double baseline_ms = 0;
@@ -130,5 +131,6 @@ int main() {
   Note("expected shape: throughput degrades roughly linearly in the number");
   Note("of constraints (each checked per written object at commit, §5);");
   Note("aborting costs about as much as committing (page-image undo).");
+  report.Emit();
   return 0;
 }

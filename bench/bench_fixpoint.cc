@@ -52,6 +52,7 @@ Result<Ref<Node>> BuildGraph(Database& db, int layers, int width,
 }  // namespace
 
 int main() {
+  JsonReport report("bench_fixpoint");
   Header("E7", "fixpoint queries: transitive closure strategies");
   Row("%7s | %7s | %7s | %13s | %13s | %10s | %7s", "layers", "nodes",
       "edges", "oset-work ms", "vset-work ms", "naive ms", "closure");
@@ -131,5 +132,6 @@ int main() {
   Note("the paper's insertion-during-iteration semantics); the naive");
   Note("strategy rescans the whole closure once per graph level, so its");
   Note("cost grows with depth x closure while the worklists stay linear.");
+  report.Emit();
   return 0;
 }

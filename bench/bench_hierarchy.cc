@@ -20,6 +20,7 @@ using namespace ode::bench;
 }  // namespace
 
 int main() {
+  JsonReport report("bench_hierarchy");
   Header("E5", "cluster hierarchy iteration: person vs person*");
   Row("%8s | %8s | %8s | %10s | %11s | %11s", "persons", "students",
       "faculty", "base ms", "hier ms", "us/object");
@@ -84,5 +85,6 @@ int main() {
   Note("extents (clusters mirror the class hierarchy, §3.1.1) — per-object");
   Note("cost stays flat, so the paper's person* loop costs no more than");
   Note("scanning each extent by hand.");
+  report.Emit();
   return 0;
 }

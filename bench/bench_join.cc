@@ -22,6 +22,7 @@ using namespace ode::bench;
 }  // namespace
 
 int main() {
+  JsonReport report("bench_join");
   Header("E4", "join: nested-loop vs indexed vs pointer navigation");
   auto db = OpenFresh("join");
   Check(db->CreateCluster<Item>());
@@ -119,10 +120,15 @@ int main() {
     }
     Row("%8d | %8d | %12.1f | %10.2f | %12.2f", kOrders, kItems, nested_ms,
         index_ms, nav_ms);
+    const std::string suffix = "_ms_" + std::to_string(kOrders);
+    report.Record("nested" + suffix, nested_ms);
+    report.Record("index" + suffix, index_ms);
+    report.Record("navigate" + suffix, nav_ms);
   }
   Note("expected shape: nested-loop grows O(orders*items); the index join");
   Note("grows O(orders*log items); navigation is fastest but only answers");
   Note("the pre-wired access path — which is exactly the paper's point:");
   Note("declarative joins free queries from stored pointer topology.");
+  report.Emit();
   return 0;
 }

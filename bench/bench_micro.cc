@@ -14,6 +14,7 @@
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/env.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace {
@@ -147,4 +148,15 @@ BENCHMARK(BM_ObjectStoreInsert)->Arg(64)->Arg(512)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the binary can append the machine-readable
+// registry block after the benchmark tables (see bench_util.h JsonReport —
+// not used directly here because this binary is google-benchmark driven).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  printf(
+      "BENCH_JSON {\"bench\":\"bench_micro\",\"metrics\":{},\"registry\":%s}\n",
+      MetricsRegistry::Global().TakeSnapshot().RenderJson().c_str());
+  return 0;
+}

@@ -53,6 +53,7 @@ void RunCase(const char* label, const std::string& source) {
 }  // namespace
 
 int main() {
+  JsonReport report("bench_opp");
   Header("T1", "oppc translator throughput");
   Row("%-22s | %8s | %10s | %9s", "construct mix", "lines", "lines/s",
       "ms/pass");
@@ -108,5 +109,6 @@ static void ops_@N(ode::Transaction& txn) {
   Note("shape: translation is single-pass over the token stream, so");
   Note("throughput is roughly constant per line regardless of construct");
   Note("density — fast enough to run on every build.");
+  report.Emit();
   return 0;
 }

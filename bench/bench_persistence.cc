@@ -81,6 +81,7 @@ void RunForSize(size_t payload_size) {
 }  // namespace
 
 int main() {
+  JsonReport report("bench_persistence");
   Header("E1", "persistent vs volatile object operations");
   Note("rows: payload size; columns: ops/sec (5000 objects per run)");
   Row("%8s | %8s | %8s | %8s | %10s", "size", "pnew/s", "read/s", "update/s",
@@ -91,5 +92,6 @@ int main() {
   Note("expected shape: persistent ops are orders of magnitude slower than");
   Note("heap allocation but uniform across sizes until records overflow");
   Note("(inline limit 2048 B), where page-chain I/O appears.");
+  report.Emit();
   return 0;
 }

@@ -23,6 +23,7 @@ constexpr int kAges = 10000;  // distinct age values for fine selectivity
 }  // namespace
 
 int main() {
+  JsonReport report("bench_query_select");
   Header("E3", "suchthat selection: full scan vs index access path");
   auto db = OpenFresh("select");
   Check(db->CreateCluster<Person>());
@@ -80,5 +81,6 @@ int main() {
   Note("expected shape: the index wins at low selectivity; the full scan");
   Note("catches up as selectivity approaches 100% (it reads every object");
   Note("either way, and the index adds per-row indirection).");
+  report.Emit();
   return 0;
 }

@@ -21,6 +21,7 @@ constexpr int kTxns = 100;
 }  // namespace
 
 int main() {
+  JsonReport report("bench_triggers");
   Header("E10", "triggers: commit cost vs active activations");
   Row("%12s | %10s | %10s | %12s", "activations", "txn/s", "commit us",
       "fired");
@@ -120,5 +121,6 @@ int main() {
   Note("expected shape: with condition-false activations, commit cost grows");
   Note("with the activation count (the commit scans activations against the");
   Note("write set); once-only fires exactly once (auto-deactivation, §6).");
+  report.Emit();
   return 0;
 }

@@ -12,8 +12,11 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/ode.h"
+#include "util/metrics.h"
 
 namespace ode {
 namespace bench {
@@ -90,6 +93,41 @@ inline void Header(const std::string& experiment, const std::string& title) {
 }
 
 inline void Note(const std::string& text) { printf("  # %s\n", text.c_str()); }
+
+/// Machine-readable result block. Benches Record() their headline numbers
+/// and Emit() once at exit; the output is a single line
+///
+///   BENCH_JSON {"bench":..., "metrics":{...}, "registry":{...}}
+///
+/// where `registry` is a full snapshot of the global metrics registry
+/// (every database a bench opens reports into it unless it overrides
+/// EngineOptions::metrics). CI greps the prefix and archives the line.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void Record(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  void Emit() const {
+    std::string out = "BENCH_JSON {\"bench\":\"" + bench_ + "\",\"metrics\":{";
+    for (size_t i = 0; i < metrics_.size(); i++) {
+      if (i > 0) out += ",";
+      char buf[64];
+      snprintf(buf, sizeof(buf), "%.6g", metrics_[i].second);
+      out += "\"" + metrics_[i].first + "\":" + buf;
+    }
+    out += "},\"registry\":";
+    out += MetricsRegistry::Global().TakeSnapshot().RenderJson();
+    out += "}";
+    printf("%s\n", out.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace bench
 }  // namespace ode

@@ -18,6 +18,7 @@ constexpr int kObjects = 200;
 }  // namespace
 
 int main() {
+  JsonReport report("bench_versioning");
   Header("E8", "versioning: chain length vs access cost");
   Row("%8s | %12s | %11s | %11s | %12s", "versions", "newver us",
       "latest us", "oldest us", "pdelete us");
@@ -86,5 +87,6 @@ int main() {
   Note("expected shape: generic (current) access is O(1) regardless of");
   Note("history; reading version 0 walks the chain and grows linearly with");
   Note("chain length; pdelete is linear too (frees every version, §4).");
+  report.Emit();
   return 0;
 }

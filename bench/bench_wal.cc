@@ -37,6 +37,7 @@ double CommitThroughput(Wal::SyncMode mode, int txns, Histogram* lat) {
 }  // namespace
 
 int main() {
+  JsonReport report("bench_wal");
   Header("E11", "WAL: commit throughput and recovery time");
   Row("%22s | %10s | %s", "sync mode", "commit/s", "latency us");
   {
@@ -100,5 +101,6 @@ int main() {
   Note("expected shape: fsync-per-commit is bounded by device sync latency");
   Note("(orders of magnitude under no-sync); recovery time grows linearly");
   Note("with log volume (redo-only replay of committed page images).");
+  report.Emit();
   return 0;
 }

@@ -14,6 +14,24 @@ Database::Database(const DatabaseOptions& options,
   store_ = std::make_unique<ObjectStore>(engine_.get());
   indexes_ = std::make_unique<IndexManager>(engine_.get(), &catalog_,
                                             [this] { return SaveCatalog(); });
+  // Resolve (and thereby pre-register, so `.stats` shows them at zero) the
+  // core and query instruments.
+  MetricsRegistry& m = engine_->metrics();
+  core_metrics_.commit_us = m.GetHistogram("txn.commit_us");
+  core_metrics_.constraint_checks = m.GetCounter("txn.constraint_checks");
+  core_metrics_.constraint_violations =
+      m.GetCounter("txn.constraint_violations");
+  core_metrics_.trigger_firings = m.GetCounter("txn.trigger_firings");
+  core_metrics_.cache_evictions = m.GetCounter("txn.cache_evictions");
+  core_metrics_.scans = m.GetCounter("query.scans");
+  core_metrics_.index_scans = m.GetCounter("query.index_scans");
+  core_metrics_.oid_list_scans = m.GetCounter("query.oid_list_scans");
+  core_metrics_.rows_scanned = m.GetCounter("query.rows_scanned");
+  core_metrics_.rows_returned = m.GetCounter("query.rows_returned");
+  core_metrics_.join_nested_loop = m.GetCounter("query.join.nested_loop");
+  core_metrics_.join_index = m.GetCounter("query.join.index");
+  core_metrics_.join_hash = m.GetCounter("query.join.hash");
+  core_metrics_.join_pairs = m.GetCounter("query.join.pairs");
 }
 
 Database::~Database() {

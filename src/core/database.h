@@ -15,6 +15,7 @@
 #include "schema/catalog.h"
 #include "schema/type_registry.h"
 #include "storage/engine.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace ode {
@@ -139,6 +140,31 @@ class Database {
   // --- Internal plumbing (used by Transaction/ForAll; stable but not part
   // --- of the end-user surface) ----------------------------------------------
 
+  /// Registry instruments for the core/query hot paths, resolved once at
+  /// Open so per-row increments are a pointer deref + relaxed add (metric
+  /// catalog: docs/OBSERVABILITY.md).
+  struct CoreMetrics {
+    Histogram* commit_us;            ///< txn.commit_us — full Commit() latency
+    Counter* constraint_checks;      ///< txn.constraint_checks
+    Counter* constraint_violations;  ///< txn.constraint_violations
+    Counter* trigger_firings;        ///< txn.trigger_firings
+    Counter* cache_evictions;        ///< txn.cache_evictions
+    Counter* scans;                  ///< query.scans — full-cluster ForAll runs
+    Counter* index_scans;            ///< query.index_scans — indexed ForAll runs
+    Counter* oid_list_scans;         ///< query.oid_list_scans — OverOids runs
+    Counter* rows_scanned;           ///< query.rows_scanned
+    Counter* rows_returned;          ///< query.rows_returned
+    Counter* join_nested_loop;       ///< query.join.nested_loop — runs
+    Counter* join_index;             ///< query.join.index — runs
+    Counter* join_hash;              ///< query.join.hash — runs
+    Counter* join_pairs;             ///< query.join.pairs — pairs emitted
+  };
+
+  /// The registry this database reports into (EngineOptions::metrics, or
+  /// the process-global one).
+  MetricsRegistry& metrics() { return engine_->metrics(); }
+  const CoreMetrics& core_metrics() const { return core_metrics_; }
+
   StorageEngine& engine() { return *engine_; }
   ObjectStore& store() { return *store_; }
   CatalogData& catalog() { return catalog_; }
@@ -193,6 +219,7 @@ class Database {
 
   DatabaseOptions options_;
   std::unique_ptr<StorageEngine> engine_;
+  CoreMetrics core_metrics_;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<IndexManager> indexes_;
   CatalogData catalog_;

@@ -34,6 +34,31 @@ namespace ode {
 template <typename T>
 class ForAll {
  public:
+  /// Post-execution counters: what the last Do/Each/Collect/Count actually
+  /// did, as opposed to Describe()/Explain() which predicts the plan.
+  /// Also mirrored into the engine registry (query.* — see
+  /// docs/OBSERVABILITY.md).
+  struct ExecStats {
+    std::string access_path;      ///< scan | index-exact | index-range | oid-list
+    size_t clusters = 0;          ///< clusters visited (scan path)
+    size_t rounds = 0;            ///< worklist passes (scan path, §3.2)
+    size_t index_candidates = 0;  ///< oids yielded by the index / oid list
+    size_t rows_scanned = 0;      ///< objects deserialized and tested
+    size_t rows_returned = 0;     ///< objects passing every predicate
+
+    std::string ToString() const {
+      std::string out = access_path;
+      if (clusters > 0) out += " clusters=" + std::to_string(clusters);
+      if (rounds > 0) out += " rounds=" + std::to_string(rounds);
+      if (access_path != "scan") {
+        out += " candidates=" + std::to_string(index_candidates);
+      }
+      out += " rows_scanned=" + std::to_string(rows_scanned);
+      out += " rows_returned=" + std::to_string(rows_returned);
+      return out;
+    }
+  };
+
   explicit ForAll(Transaction& txn) : txn_(&txn) {}
 
   /// Also iterate every cluster whose type derives from T (§3.1.1).
@@ -138,6 +163,12 @@ class ForAll {
     return out;
   }
 
+  /// EXPLAIN spelling of Describe().
+  std::string Explain() const { return Describe(); }
+
+  /// Counters from the most recent execution (Do/Each/Collect/Count).
+  const ExecStats& exec_stats() const { return stats_; }
+
   Result<size_t> Count() {
     size_t n = 0;
     ODE_RETURN_IF_ERROR(Stream([&](Ref<T>) {
@@ -183,23 +214,34 @@ class ForAll {
   /// their previous high-water marks until a full round adds nothing, so
   /// objects created by `body` are visited too (§3.2).
   Status Stream(const std::function<Status(Ref<T>)>& body) {
+    stats_ = ExecStats{};
     if (use_explicit_ || index_mode_ != IndexMode::kNone) {
+      stats_.access_path = use_explicit_               ? "oid-list"
+                           : index_mode_ == IndexMode::kExact ? "index-exact"
+                                                              : "index-range";
       std::vector<Oid> oids;
       ODE_RETURN_IF_ERROR(ResolveOidList(&oids));
+      stats_.index_candidates = oids.size();
       for (const Oid& oid : oids) {
         Ref<T> ref(&txn_->db(), oid);
         ODE_ASSIGN_OR_RETURN(const T* obj, txn_->Read(ref));
+        stats_.rows_scanned++;
         if (!Matches(*obj)) continue;
+        stats_.rows_returned++;
         ODE_RETURN_IF_ERROR(body(ref));
       }
+      FlushStats();
       return Status::OK();
     }
+    stats_.access_path = "scan";
     std::vector<ClusterId> clusters;
     ODE_RETURN_IF_ERROR(ResolveClusters(&clusters));
+    stats_.clusters = clusters.size();
     std::vector<LocalOid> high_water(clusters.size(), 0);
     bool progressed = true;
     while (progressed) {
       progressed = false;
+      stats_.rounds++;
       for (size_t i = 0; i < clusters.size(); i++) {
         while (true) {
           LocalOid local;
@@ -211,12 +253,29 @@ class ForAll {
           progressed = true;
           Ref<T> ref(&txn_->db(), Oid{clusters[i], local});
           ODE_ASSIGN_OR_RETURN(const T* obj, txn_->Read(ref));
+          stats_.rows_scanned++;
           if (!Matches(*obj)) continue;
+          stats_.rows_returned++;
           ODE_RETURN_IF_ERROR(body(ref));
         }
       }
     }
+    FlushStats();
     return Status::OK();
+  }
+
+  /// Mirrors the finished execution's counters into the engine registry.
+  void FlushStats() {
+    const Database::CoreMetrics& m = txn_->db().core_metrics();
+    if (stats_.access_path == "scan") {
+      m.scans->Add();
+    } else if (stats_.access_path == "oid-list") {
+      m.oid_list_scans->Add();
+    } else {
+      m.index_scans->Add();
+    }
+    m.rows_scanned->Add(stats_.rows_scanned);
+    m.rows_returned->Add(stats_.rows_returned);
   }
 
   Status ResolveOidList(std::vector<Oid>* oids) const {
@@ -238,6 +297,9 @@ class ForAll {
     }));
     if (sorted && less_) {
       // Objects are in the transaction cache; load pointers for comparison.
+      // Pin the cache: with max_cached_objects set, an eviction mid-loop
+      // would invalidate earlier pointers in `keyed`.
+      Transaction::CachePin pin(*txn_);
       std::vector<std::pair<Ref<T>, const T*>> keyed;
       keyed.reserve(refs->size());
       for (const auto& ref : *refs) {
@@ -264,6 +326,7 @@ class ForAll {
   std::string index_, index_lo_, index_hi_;
   bool use_explicit_ = false;
   std::vector<Oid> explicit_oids_;
+  ExecStats stats_;
 };
 
 }  // namespace ode

@@ -21,6 +21,18 @@ struct DatabaseOptions {
   /// Bound on trigger cascades (action transactions firing more triggers).
   /// Beyond this depth further firings are dropped with a warning.
   int max_trigger_cascade_depth = 16;
+
+  /// Bound on the per-transaction deserialized-object cache. 0 (the
+  /// default) keeps every object a transaction touches, matching historical
+  /// behavior. A positive value (clamped up to a small floor so in-flight
+  /// reads stay valid) evicts the least-recently-read *clean* objects once
+  /// the cache outgrows it — dirty, new and deleted entries are never
+  /// evicted, so commit/abort semantics are unchanged. With a bound set,
+  /// `const T*` pointers from Transaction::Read stay valid only until the
+  /// next Read/Write call; query helpers (ForAll, joins) honor that
+  /// contract. Ordered (`By`) materialization pins its working set for the
+  /// duration of the sort regardless of the bound.
+  size_t max_cached_objects = 0;
 };
 
 }  // namespace ode

@@ -20,14 +20,56 @@ struct OSetData {
   template <typename AR>
   void OdeFields(AR& ar) {
     ar(members);
+    if constexpr (AR::kIsLoading) {
+      // Deserialization replaced `members` wholesale; the mirror is stale.
+      hash_valid_ = false;
+      hash_.clear();
+    }
   }
 
+  /// O(1) expected via a lazily built hash mirror of `members` (the on-disk
+  /// encoding stays the insertion-ordered vector; the mirror is volatile).
+  /// The old linear scan made OSet::Insert/Erase O(n²) on bulk loads.
   bool Contains(uint64_t packed) const {
-    for (uint64_t m : members) {
-      if (m == packed) return true;
+    if (!hash_valid_) RebuildHash();
+    return hash_.count(packed) > 0;
+  }
+
+  /// Appends without a membership check (callers check Contains first).
+  void Add(uint64_t packed) {
+    members.push_back(packed);
+    if (hash_valid_) hash_.insert(packed);
+  }
+
+  /// Removes one occurrence; returns whether anything was removed.
+  bool Remove(uint64_t packed) {
+    for (auto it = members.begin(); it != members.end(); ++it) {
+      if (*it == packed) {
+        members.erase(it);
+        if (hash_valid_) hash_.erase(packed);
+        return true;
+      }
     }
     return false;
   }
+
+  /// Wholesale replacement (union/intersection/difference rebuilds).
+  void ReplaceMembers(std::vector<uint64_t> new_members) {
+    members = std::move(new_members);
+    hash_valid_ = false;
+    hash_.clear();
+  }
+
+ private:
+  void RebuildHash() const {
+    hash_.clear();
+    hash_.reserve(members.size());
+    hash_.insert(members.begin(), members.end());
+    hash_valid_ = true;
+  }
+
+  mutable std::unordered_set<uint64_t> hash_;
+  mutable bool hash_valid_ = false;
 };
 
 /// Registers OSetData with the type registry (idempotent); called by
@@ -63,7 +105,7 @@ class OSet {
     ODE_ASSIGN_OR_RETURN(const OSetData* data, txn.Read(data_));
     if (data->Contains(elem.oid().Pack())) return Status::OK();
     ODE_ASSIGN_OR_RETURN(OSetData * mut, txn.Write(data_));
-    mut->members.push_back(elem.oid().Pack());
+    mut->Add(elem.oid().Pack());
     return Status::OK();
   }
 
@@ -72,13 +114,7 @@ class OSet {
     ODE_ASSIGN_OR_RETURN(const OSetData* data, txn.Read(data_));
     if (!data->Contains(elem.oid().Pack())) return Status::OK();
     ODE_ASSIGN_OR_RETURN(OSetData * mut, txn.Write(data_));
-    const uint64_t packed = elem.oid().Pack();
-    for (auto it = mut->members.begin(); it != mut->members.end(); ++it) {
-      if (*it == packed) {
-        mut->members.erase(it);
-        break;
-      }
-    }
+    mut->Remove(elem.oid().Pack());
     return Status::OK();
   }
 
@@ -140,7 +176,7 @@ class OSet {
     }
     if (to_add.empty()) return Status::OK();
     ODE_ASSIGN_OR_RETURN(OSetData * mut, txn.Write(data_));
-    mut->members.insert(mut->members.end(), to_add.begin(), to_add.end());
+    for (uint64_t m : to_add) mut->Add(m);
     return Status::OK();
   }
 
@@ -154,7 +190,7 @@ class OSet {
     for (uint64_t m : mut->members) {
       if (keep.count(m)) kept.push_back(m);
     }
-    mut->members = std::move(kept);
+    mut->ReplaceMembers(std::move(kept));
     return Status::OK();
   }
 
@@ -168,7 +204,7 @@ class OSet {
     for (uint64_t m : mut->members) {
       if (!drop.count(m)) kept.push_back(m);
     }
-    mut->members = std::move(kept);
+    mut->ReplaceMembers(std::move(kept));
     return Status::OK();
   }
 

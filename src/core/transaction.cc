@@ -1,12 +1,18 @@
 #include "core/transaction.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/logging.h"
 
 namespace ode {
 
-Transaction::Transaction(Database* db) : db_(db) {}
+Transaction::Transaction(Database* db) : db_(db) {
+  cache_limit_ = db->options().max_cached_objects;
+  if (cache_limit_ > 0 && cache_limit_ < kMinCacheLimit) {
+    cache_limit_ = kMinCacheLimit;
+  }
+}
 
 Transaction::~Transaction() {
   if (open_) {
@@ -28,12 +34,59 @@ Status Transaction::Start() {
 Status Transaction::CloseOut(bool aborted) {
   (void)aborted;
   cache_.clear();
+  lru_.clear();
   open_ = false;
   if (db_->active_txn_ == this) db_->active_txn_ = nullptr;
   return Status::OK();
 }
 
 // --- Object cache -----------------------------------------------------------
+
+void Transaction::TouchLru(Cached* cached) {
+  if (cache_limit_ == 0 || !cached->in_lru) return;
+  lru_.splice(lru_.end(), lru_, cached->lru_pos);
+}
+
+void Transaction::ForgetLru(Cached* cached) {
+  if (!cached->in_lru) return;
+  lru_.erase(cached->lru_pos);
+  cached->in_lru = false;
+}
+
+void Transaction::EraseCacheKey(const CacheKey& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  ForgetLru(it->second.get());
+  cache_.erase(it);
+}
+
+void Transaction::MaybeEvictCache() {
+  if (cache_limit_ == 0 || evict_pause_ > 0) return;
+  if (cache_.size() <= cache_limit_) return;
+  // Walk from the cold end, but keep the last kProtectedRecentReads loads
+  // untouched: callers (joins, Each) may still hold Read pointers to them.
+  size_t examinable = lru_.size() > kProtectedRecentReads
+                          ? lru_.size() - kProtectedRecentReads
+                          : 0;
+  auto it = lru_.begin();
+  while (examinable-- > 0 && it != lru_.end() &&
+         cache_.size() > cache_limit_) {
+    auto found = cache_.find(*it);
+    if (found == cache_.end()) {  // defensive: stale list entry
+      it = lru_.erase(it);
+      continue;
+    }
+    Cached& c = *found->second;
+    if (c.dirty || c.is_new || c.deleted || c.old_keys_captured) {
+      ++it;  // carries transaction state: not evictable
+      continue;
+    }
+    c.in_lru = false;
+    it = lru_.erase(it);
+    cache_.erase(found);
+    db_->core_metrics().cache_evictions->Add();
+  }
+}
 
 Status Transaction::LoadObject(Oid oid, uint32_t vnum, Cached** out) {
   const CacheKey key{oid.Pack(), vnum};
@@ -42,6 +95,7 @@ Status Transaction::LoadObject(Oid oid, uint32_t vnum, Cached** out) {
     if (it->second->deleted) {
       return Status::NotFound("object " + oid.ToString() + " was deleted");
     }
+    TouchLru(it->second.get());
     *out = it->second.get();
     return Status::OK();
   }
@@ -71,8 +125,16 @@ Status Transaction::LoadObject(Oid oid, uint32_t vnum, Cached** out) {
   cached->resolved_vnum = resolved;
   Status s = info->deserialize(Slice(bytes), db_, cached->obj);
   if (!s.ok()) return s;
-  *out = cached.get();
+  Cached* raw = cached.get();
   cache_[key] = std::move(cached);
+  if (cache_limit_ > 0) {
+    raw->lru_pos = lru_.insert(lru_.end(), key);
+    raw->in_lru = true;
+    // The entry just inserted sits in the protected MRU window, so this
+    // never invalidates the pointer we are about to return.
+    MaybeEvictCache();
+  }
+  *out = raw;
   return Status::OK();
 }
 
@@ -92,6 +154,7 @@ Status Transaction::MarkWrite(Oid oid, Cached** out) {
 void Transaction::DropFromCache(Oid oid) {
   auto it = cache_.lower_bound({oid.Pack(), 0});
   while (it != cache_.end() && it->first.first == oid.Pack()) {
+    ForgetLru(it->second.get());
     it = cache_.erase(it);
   }
 }
@@ -212,12 +275,12 @@ Status Transaction::DeleteVersion(const RefBase& ref) {
   }
 
   ODE_RETURN_IF_ERROR(db_->store().DeleteVersion(root, oid.local, ref.vnum()));
-  cache_.erase({oid.Pack(), ref.vnum()});
+  EraseCacheKey({oid.Pack(), ref.vnum()});
 
   if (deletes_current) {
     // Reload the promoted state and mark it dirty carrying the pre-delete
     // index keys, so commit re-points the indexes at the promoted content.
-    cache_.erase({oid.Pack(), kGenericVersion});
+    EraseCacheKey({oid.Pack(), kGenericVersion});
     Cached* promoted = nullptr;
     ODE_RETURN_IF_ERROR(LoadObject(oid, kGenericVersion, &promoted));
     promoted->dirty = true;
@@ -451,8 +514,13 @@ Status Transaction::CheckConstraints() {
   for (auto& [key, cached] : cache_) {
     if (key.second != kGenericVersion) continue;
     if (cached->deleted || !(cached->dirty || cached->is_new)) continue;
-    ODE_RETURN_IF_ERROR(db_->constraints().Check(registry, cached->type->name,
-                                                 cached->obj));
+    db_->core_metrics().constraint_checks->Add();
+    Status s =
+        db_->constraints().Check(registry, cached->type->name, cached->obj);
+    if (!s.ok()) {
+      db_->core_metrics().constraint_violations->Add();
+      return s;
+    }
   }
   return Status::OK();
 }
@@ -520,6 +588,7 @@ Status Transaction::EvaluateTriggers(std::vector<Database::Firing>* fired) {
 
 Status Transaction::Commit() {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  const auto commit_start = std::chrono::steady_clock::now();
   if (db_->options().check_constraints) {
     Status s = CheckConstraints();
     if (!s.ok()) {
@@ -552,8 +621,13 @@ Status Transaction::Commit() {
     return committed;
   }
   ODE_RETURN_IF_ERROR(CloseOut(/*aborted=*/false));
+  db_->core_metrics().commit_us->Add(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - commit_start)
+          .count()));
 
   if (!fired.empty()) {
+    db_->core_metrics().trigger_firings->Add(fired.size());
     if (db_->options().run_triggers_on_commit) {
       db_->ExecuteFirings(std::move(fired));
     } else {

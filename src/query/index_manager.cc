@@ -79,6 +79,7 @@ Status IndexManager::WithTree(const std::string& name,
 
 Status IndexManager::AddEntry(const std::string& name,
                                const std::string& user_key, Oid oid) {
+  m_entries_added_->Add();
   return WithTree(name, [&](BTree& tree) {
     return tree.Insert(Slice(index_key::Compose(user_key, oid)), oid.Pack());
   });
@@ -86,6 +87,7 @@ Status IndexManager::AddEntry(const std::string& name,
 
 Status IndexManager::RemoveEntry(const std::string& name,
                               const std::string& user_key, Oid oid) {
+  m_entries_removed_->Add();
   return WithTree(name, [&](BTree& tree) {
     bool deleted = false;
     return tree.Delete(Slice(index_key::Compose(user_key, oid)), &deleted);
@@ -159,6 +161,7 @@ Status IndexManager::ScanExact(const std::string& name,
 Status IndexManager::ScanRange(const std::string& name, const std::string& lo,
                                const std::string& hi,
                                std::vector<Oid>* out) const {
+  m_probes_->Add();
   out->clear();
   const CatalogData::IndexEntry* entry = catalog_->FindIndex(name);
   if (entry == nullptr) return Status::NotFound("index " + name);

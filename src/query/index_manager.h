@@ -34,7 +34,12 @@ class IndexManager {
                std::function<Status()> save_catalog)
       : engine_(engine),
         catalog_(catalog),
-        save_catalog_(std::move(save_catalog)) {}
+        save_catalog_(std::move(save_catalog)),
+        m_probes_(engine->metrics().GetCounter("query.index.probes")),
+        m_entries_added_(
+            engine->metrics().GetCounter("query.index.entries_added")),
+        m_entries_removed_(
+            engine->metrics().GetCounter("query.index.entries_removed")) {}
 
   /// Creates the index structure + catalog entry (inside the active
   /// transaction) and registers its extractor. Backfilling existing objects
@@ -105,6 +110,10 @@ class IndexManager {
   CatalogData* catalog_;
   std::function<Status()> save_catalog_;
   std::map<std::string, Extractor> extractors_;
+  // Registry instruments (query.index.*, see docs/OBSERVABILITY.md).
+  Counter* m_probes_;           ///< ScanExact/ScanRange calls
+  Counter* m_entries_added_;    ///< AddEntry calls (insert/update/backfill)
+  Counter* m_entries_removed_;  ///< RemoveEntry calls
 };
 
 }  // namespace ode

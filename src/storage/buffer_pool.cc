@@ -6,13 +6,25 @@
 
 namespace ode {
 
-BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
-    : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
+                       MetricsRegistry* metrics)
+    : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {
+  MetricsRegistry& m =
+      metrics != nullptr ? *metrics : MetricsRegistry::Global();
+  m_hits_ = m.GetCounter("storage.pool.hits");
+  m_misses_ = m.GetCounter("storage.pool.misses");
+  m_evictions_ = m.GetCounter("storage.pool.evictions");
+  m_flushes_ = m.GetCounter("storage.pool.flushes");
+  m_grows_ = m.GetCounter("storage.pool.grows");
+  m_read_errors_ = m.GetCounter("storage.pool.read_errors");
+  m_frames_ = m.GetGauge("storage.pool.frames");
+}
 
 Status BufferPool::Fetch(PageId id, Frame** frame) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     stats_.hits++;
+    m_hits_->Add();
     Frame* f = it->second.get();
     f->pins++;
     lru_.splice(lru_.begin(), lru_, f->lru_pos);  // move to MRU position
@@ -20,6 +32,7 @@ Status BufferPool::Fetch(PageId id, Frame** frame) {
     return Status::OK();
   }
   stats_.misses++;
+  m_misses_->Add();
   ODE_RETURN_IF_ERROR(EnsureRoom());
   auto f = std::make_unique<Frame>();
   f->id = id;
@@ -29,6 +42,7 @@ Status BufferPool::Fetch(PageId id, Frame** frame) {
   Status read = pager_->ReadPage(id, f->data.get());
   if (!read.ok()) {
     stats_.read_errors++;
+    m_read_errors_->Add();
     return read;
   }
   f->pins = 1;
@@ -36,6 +50,7 @@ Status BufferPool::Fetch(PageId id, Frame** frame) {
   f->lru_pos = lru_.begin();
   Frame* raw = f.get();
   frames_.emplace(id, std::move(f));
+  m_frames_->Set(static_cast<int64_t>(frames_.size()));
   *frame = raw;
   return Status::OK();
 }
@@ -58,6 +73,7 @@ Status BufferPool::EvictOne(bool* evicted) {
       ODE_RETURN_IF_ERROR(FlushFrame(f));
     }
     stats_.evictions++;
+    m_evictions_->Add();
     RemoveFrame(f);
     *evicted = true;
     return Status::OK();
@@ -68,6 +84,7 @@ Status BufferPool::EvictOne(bool* evicted) {
 void BufferPool::RemoveFrame(Frame* frame) {
   lru_.erase(frame->lru_pos);
   frames_.erase(frame->id);
+  m_frames_->Set(static_cast<int64_t>(frames_.size()));
 }
 
 Status BufferPool::EnsureRoom() {
@@ -77,6 +94,7 @@ Status BufferPool::EnsureRoom() {
   if (!evicted) {
     // Everything pinned or unflushable: grow rather than fail.
     stats_.grows++;
+    m_grows_->Add();
   }
   return Status::OK();
 }
@@ -96,6 +114,7 @@ Status BufferPool::FlushFrame(Frame* frame) {
   ODE_RETURN_IF_ERROR(pager_->WritePage(frame->id, frame->data.get()));
   frame->dirty = false;
   stats_.flushes++;
+  m_flushes_->Add();
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 
 #include "storage/page.h"
 #include "storage/pager.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace ode {
@@ -41,7 +42,10 @@ class BufferPool {
                                ///< is cached; the pool stays consistent).
   };
 
-  BufferPool(Pager* pager, size_t capacity_pages);
+  /// `metrics` mirrors the Stats struct into `storage.pool.*` registry
+  /// counters; nullptr means the global registry.
+  BufferPool(Pager* pager, size_t capacity_pages,
+             MetricsRegistry* metrics = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -88,6 +92,14 @@ class BufferPool {
   /// Recency order: front = most recently used, back = LRU victim side.
   std::list<PageId> lru_;
   Stats stats_;
+  // Registry mirrors of Stats (storage.pool.*, see docs/OBSERVABILITY.md).
+  Counter* m_hits_;
+  Counter* m_misses_;
+  Counter* m_evictions_;
+  Counter* m_flushes_;
+  Counter* m_grows_;
+  Counter* m_read_errors_;
+  Gauge* m_frames_;  ///< storage.pool.frames: current resident frame count
 };
 
 /// RAII pin on a buffer-pool frame.

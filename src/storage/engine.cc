@@ -17,8 +17,19 @@ StorageEngine::StorageEngine(std::string path, std::unique_ptr<Pager> pager,
     : path_(std::move(path)),
       pager_(std::move(pager)),
       wal_(std::move(wal)),
-      pool_(new BufferPool(pager_.get(), options.buffer_pool_pages)),
-      options_(options) {}
+      pool_(new BufferPool(pager_.get(), options.buffer_pool_pages,
+                           options.metrics)),
+      options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &MetricsRegistry::Global()) {
+  m_txn_begins_ = metrics_->GetCounter("storage.engine.txn_begins");
+  m_txn_commits_ = metrics_->GetCounter("storage.engine.txn_commits");
+  m_txn_aborts_ = metrics_->GetCounter("storage.engine.txn_aborts");
+  m_commit_failures_ = metrics_->GetCounter("storage.engine.commit_failures");
+  m_checkpoints_ = metrics_->GetCounter("storage.engine.checkpoints");
+  m_pages_allocated_ = metrics_->GetCounter("storage.engine.pages_allocated");
+  m_pages_freed_ = metrics_->GetCounter("storage.engine.pages_freed");
+}
 
 StorageEngine::~StorageEngine() {
   if (!closed_) {
@@ -35,11 +46,13 @@ Status StorageEngine::Open(const std::string& path,
   Env* env = options.env != nullptr ? options.env : Env::Default();
   std::unique_ptr<Pager> pager;
   bool created = false;
-  ODE_RETURN_IF_ERROR(Pager::Open(env, path, &pager, &created));
+  ODE_RETURN_IF_ERROR(
+      Pager::Open(env, path, &pager, &created, options.metrics));
 
   const std::string wal_path = path + ".wal";
   std::unique_ptr<Wal> wal;
-  ODE_RETURN_IF_ERROR(Wal::Open(env, wal_path, options.wal_sync, &wal));
+  ODE_RETURN_IF_ERROR(
+      Wal::Open(env, wal_path, options.wal_sync, &wal, options.metrics));
 
   if (wal->size_bytes() > 0) {
     RecoveryStats recovery_stats;
@@ -82,6 +95,7 @@ Result<TxnId> StorageEngine::BeginTxn() {
         "checkpoint (or reopen) before starting new transactions");
   }
   active_txn_ = next_txn_id_++;
+  m_txn_begins_->Add();
   txn_dirty_.clear();
   undo_.clear();
   // Persist the advanced counter so a crash cannot reuse a txn id. This is
@@ -112,6 +126,7 @@ Status StorageEngine::CommitTxn(TxnId txn) {
   }();
   if (!logged.ok()) {
     stats_.commit_failures++;
+    m_commit_failures_->Add();
     // Scrub first: if the commit record reached the file but (say) the sync
     // failed, leaving it there would let a later recovery resurrect the
     // transaction we are about to roll back.
@@ -148,6 +163,7 @@ Status StorageEngine::CommitTxn(TxnId txn) {
   undo_.clear();
   active_txn_ = 0;
   stats_.txns_committed++;
+  m_txn_commits_->Add();
   Status maintenance = pool_->ShrinkToCapacity();
   if (maintenance.ok() && wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
     maintenance = Checkpoint();
@@ -187,6 +203,7 @@ Status StorageEngine::RollbackActiveTxn() {
   undo_.clear();
   active_txn_ = 0;
   stats_.txns_aborted++;
+  m_txn_aborts_->Add();
   Status shrink = pool_->ShrinkToCapacity();
   return first_error.ok() ? shrink : first_error;
 }
@@ -235,6 +252,7 @@ Status StorageEngine::AllocPage(PageId* id, PageHandle* handle) {
     *id = page;
     *handle = std::move(freed);
     stats_.pages_allocated++;
+    m_pages_allocated_->Add();
     return Status::OK();
   }
   // Extend the file.
@@ -249,6 +267,7 @@ Status StorageEngine::AllocPage(PageId* id, PageHandle* handle) {
   *id = page;
   *handle = std::move(fresh);
   stats_.pages_allocated++;
+  m_pages_allocated_->Add();
   return Status::OK();
 }
 
@@ -267,6 +286,7 @@ Status StorageEngine::FreePage(PageId id) {
   EncodeFixed32(handle.mutable_data(), free_head);
   ODE_RETURN_IF_ERROR(WriteSuperU32(SuperblockLayout::kFreeListOffset, id));
   stats_.pages_freed++;
+  m_pages_freed_->Add();
   return Status::OK();
 }
 
@@ -369,6 +389,7 @@ Status StorageEngine::Checkpoint() {
   ODE_RETURN_IF_ERROR(pager_->Sync());
   ODE_RETURN_IF_ERROR(wal_->Reset());
   stats_.checkpoints++;
+  m_checkpoints_->Add();
   // An empty log can no longer resurrect anything: a wedge (failed commit
   // whose partial records could not be scrubbed) is resolved.
   wedged_ = false;

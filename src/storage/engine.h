@@ -24,6 +24,11 @@ struct EngineOptions {
   /// I/O environment for the database file and WAL; nullptr means
   /// Env::Default(). Tests inject a FaultInjectionEnv here.
   Env* env = nullptr;
+  /// Metrics registry receiving the engine's `storage.*` instrument updates
+  /// (and, through Database, the `txn.*` / `query.*` ones); nullptr means
+  /// MetricsRegistry::Global(). Tests that assert exact counts pass their
+  /// own registry here.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// The transactional page store: pager + buffer pool + redo WAL + recovery.
@@ -124,6 +129,9 @@ class StorageEngine {
   Wal& wal() { return *wal_; }
   const Stats& stats() const { return stats_; }
   const std::string& path() const { return path_; }
+  /// The registry this engine reports into (resolved from
+  /// EngineOptions::metrics; never null).
+  MetricsRegistry& metrics() { return *metrics_; }
 
  private:
   StorageEngine(std::string path, std::unique_ptr<Pager> pager,
@@ -149,6 +157,15 @@ class StorageEngine {
   std::set<PageId> txn_dirty_;  // Sorted so commit logging is deterministic.
   std::unordered_map<PageId, UndoEntry> undo_;
   Stats stats_;
+  MetricsRegistry* metrics_;  // resolved, never null
+  // Registry mirrors of Stats (storage.engine.*).
+  Counter* m_txn_begins_;
+  Counter* m_txn_commits_;
+  Counter* m_txn_aborts_;
+  Counter* m_commit_failures_;
+  Counter* m_checkpoints_;
+  Counter* m_pages_allocated_;
+  Counter* m_pages_freed_;
   bool closed_ = false;
   /// A failed commit could not scrub its partial WAL records; replaying them
   /// after more commits could resurrect a rolled-back transaction, so the

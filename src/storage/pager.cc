@@ -6,12 +6,22 @@
 
 namespace ode {
 
+Pager::Pager(std::unique_ptr<File> file, std::string path,
+             MetricsRegistry* metrics)
+    : file_(std::move(file)), path_(std::move(path)) {
+  MetricsRegistry& m = metrics != nullptr ? *metrics : MetricsRegistry::Global();
+  reads_ = m.GetCounter("storage.pager.reads");
+  writes_ = m.GetCounter("storage.pager.writes");
+  syncs_ = m.GetCounter("storage.pager.syncs");
+}
+
 Status Pager::Open(Env* env, const std::string& path,
-                   std::unique_ptr<Pager>* out, bool* created) {
+                   std::unique_ptr<Pager>* out, bool* created,
+                   MetricsRegistry* metrics) {
   std::unique_ptr<File> file;
   ODE_RETURN_IF_ERROR(env->NewFile(path, &file));
   ODE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
-  std::unique_ptr<Pager> pager(new Pager(std::move(file), path));
+  std::unique_ptr<Pager> pager(new Pager(std::move(file), path, metrics));
   *created = (size == 0);
   if (*created) {
     // Format a fresh superblock: 1 page in the file, empty free list, no
@@ -47,6 +57,7 @@ Status Pager::Open(Env* env, const std::string& path,
 }
 
 Status Pager::ReadPage(PageId id, char* buf) const {
+  reads_->Add();
   const uint64_t offset = static_cast<uint64_t>(id) * kPageSize;
   size_t bytes_read = 0;
   ODE_RETURN_IF_ERROR(file_->ReadAtMost(offset, kPageSize, buf, &bytes_read));
@@ -58,11 +69,15 @@ Status Pager::ReadPage(PageId id, char* buf) const {
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
+  writes_->Add();
   const uint64_t offset = static_cast<uint64_t>(id) * kPageSize;
   return file_->Write(offset, Slice(buf, kPageSize));
 }
 
-Status Pager::Sync() { return file_->Sync(); }
+Status Pager::Sync() {
+  syncs_->Add();
+  return file_->Sync();
+}
 
 Status Pager::TruncateToPages(uint32_t page_count) {
   return file_->Truncate(static_cast<uint64_t>(page_count) * kPageSize);

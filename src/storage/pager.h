@@ -6,6 +6,7 @@
 
 #include "storage/page.h"
 #include "util/env.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace ode {
@@ -13,6 +14,9 @@ namespace ode {
 /// Raw page I/O on the database file. The pager knows nothing about caching,
 /// transactions or logging — that is the StorageEngine's job. It only
 /// guarantees page-granular reads/writes and file growth.
+///
+/// Observability: every page read/write/sync bumps the `storage.pager.*`
+/// counters of the metrics registry it was opened with (docs/OBSERVABILITY.md).
 class Pager {
  public:
   Pager(const Pager&) = delete;
@@ -20,9 +24,10 @@ class Pager {
 
   /// Opens (or creates) the database file through `env`. A new file is
   /// formatted with a fresh superblock. `created` reports whether formatting
-  /// happened.
+  /// happened. `metrics` counts page I/O; nullptr means the global registry.
   static Status Open(Env* env, const std::string& path,
-                     std::unique_ptr<Pager>* out, bool* created);
+                     std::unique_ptr<Pager>* out, bool* created,
+                     MetricsRegistry* metrics = nullptr);
 
   /// Opens via Env::Default().
   static Status Open(const std::string& path, std::unique_ptr<Pager>* out,
@@ -49,11 +54,14 @@ class Pager {
   const std::string& path() const { return path_; }
 
  private:
-  Pager(std::unique_ptr<File> file, std::string path)
-      : file_(std::move(file)), path_(std::move(path)) {}
+  Pager(std::unique_ptr<File> file, std::string path,
+        MetricsRegistry* metrics);
 
   std::unique_ptr<File> file_;
   std::string path_;
+  Counter* reads_;   ///< storage.pager.reads
+  Counter* writes_;  ///< storage.pager.writes
+  Counter* syncs_;   ///< storage.pager.syncs
 };
 
 }  // namespace ode

@@ -11,12 +11,23 @@ namespace {
 constexpr size_t kHeaderSize = 8;  // len u32 + crc u32
 }  // namespace
 
+Wal::Wal(std::unique_ptr<File> file, SyncMode mode, uint64_t write_offset,
+         MetricsRegistry* metrics)
+    : file_(std::move(file)), sync_mode_(mode), write_offset_(write_offset) {
+  MetricsRegistry& m = metrics != nullptr ? *metrics : MetricsRegistry::Global();
+  appends_ = m.GetCounter("storage.wal.appends");
+  appended_bytes_ = m.GetCounter("storage.wal.appended_bytes");
+  fsyncs_ = m.GetCounter("storage.wal.fsyncs");
+  size_gauge_ = m.GetGauge("storage.wal.bytes");
+  size_gauge_->Set(static_cast<int64_t>(write_offset_));
+}
+
 Status Wal::Open(Env* env, const std::string& path, SyncMode mode,
-                 std::unique_ptr<Wal>* out) {
+                 std::unique_ptr<Wal>* out, MetricsRegistry* metrics) {
   std::unique_ptr<File> file;
   ODE_RETURN_IF_ERROR(env->NewFile(path, &file));
   ODE_ASSIGN_OR_RETURN(uint64_t size, file->Size());
-  out->reset(new Wal(std::move(file), mode, size));
+  out->reset(new Wal(std::move(file), mode, size, metrics));
   return Status::OK();
 }
 
@@ -36,6 +47,9 @@ Status Wal::AppendRecord(RecordType type, TxnId txn, const Slice& payload) {
 
   ODE_RETURN_IF_ERROR(file_->Write(write_offset_, buffer_));
   write_offset_ += buffer_.size();
+  appends_->Add();
+  appended_bytes_->Add(buffer_.size());
+  size_gauge_->Set(static_cast<int64_t>(write_offset_));
   return Status::OK();
 }
 
@@ -55,18 +69,24 @@ Status Wal::AppendCommit(TxnId txn) {
   return Status::OK();
 }
 
-Status Wal::Sync() { return file_->Sync(); }
+Status Wal::Sync() {
+  fsyncs_->Add();
+  return file_->Sync();
+}
 
 Status Wal::Reset() {
   ODE_RETURN_IF_ERROR(file_->Truncate(0));
   ODE_RETURN_IF_ERROR(file_->Sync());
+  fsyncs_->Add();
   write_offset_ = 0;
+  size_gauge_->Set(0);
   return Status::OK();
 }
 
 Status Wal::TruncateTo(uint64_t offset) {
   ODE_RETURN_IF_ERROR(file_->Truncate(offset));
   write_offset_ = offset;
+  size_gauge_->Set(static_cast<int64_t>(offset));
   return Status::OK();
 }
 

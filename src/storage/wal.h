@@ -7,6 +7,7 @@
 
 #include "storage/page.h"
 #include "util/env.h"
+#include "util/metrics.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -49,9 +50,11 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Opens (creating if needed) the log file at `path` for appending,
-  /// through `env`.
+  /// through `env`. `metrics` counts appends/fsyncs/bytes under
+  /// `storage.wal.*`; nullptr means the global registry.
   static Status Open(Env* env, const std::string& path, SyncMode mode,
-                     std::unique_ptr<Wal>* out);
+                     std::unique_ptr<Wal>* out,
+                     MetricsRegistry* metrics = nullptr);
 
   /// Opens via Env::Default().
   static Status Open(const std::string& path, SyncMode mode,
@@ -120,10 +123,8 @@ class Wal {
   File* file() { return file_.get(); }
 
  private:
-  Wal(std::unique_ptr<File> file, SyncMode mode, uint64_t write_offset)
-      : file_(std::move(file)),
-        sync_mode_(mode),
-        write_offset_(write_offset) {}
+  Wal(std::unique_ptr<File> file, SyncMode mode, uint64_t write_offset,
+      MetricsRegistry* metrics);
 
   Status AppendRecord(RecordType type, TxnId txn, const Slice& payload);
 
@@ -131,6 +132,10 @@ class Wal {
   SyncMode sync_mode_;
   uint64_t write_offset_;
   std::string buffer_;  // reused encode buffer
+  Counter* appends_;        ///< storage.wal.appends (records written)
+  Counter* appended_bytes_; ///< storage.wal.appended_bytes
+  Counter* fsyncs_;         ///< storage.wal.fsyncs
+  Gauge* size_gauge_;       ///< storage.wal.bytes (current log size)
 };
 
 }  // namespace ode

@@ -3,66 +3,111 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 namespace ode {
 
-/// A small latency recorder for benches and diagnostics: collects samples
-/// (microseconds by convention) and reports count/mean/percentiles. Exact —
-/// keeps all samples — which is fine at bench scale.
+/// A small latency recorder for metrics, benches and diagnostics: collects
+/// samples (microseconds by convention) and reports count/mean/percentiles.
+///
+/// Memory is bounded: at most `max_samples` samples are retained, kept
+/// representative by reservoir sampling once the cap is exceeded (so a
+/// perpetual-trigger soak or a long-lived server cannot grow it without
+/// bound). count/mean/min/max stay exact over every sample ever added;
+/// percentiles are computed over the reservoir — exact until the cap is hit,
+/// a uniform sample of the stream after.
 class Histogram {
  public:
+  /// Default reservoir bound: 4096 doubles = 32 KiB per histogram.
+  static constexpr size_t kDefaultMaxSamples = 4096;
+
+  explicit Histogram(size_t max_samples = kDefaultMaxSamples)
+      : max_samples_(max_samples == 0 ? 1 : max_samples) {}
+
   void Add(double sample) {
-    samples_.push_back(sample);
-    sorted_ = false;
+    total_count_++;
+    total_sum_ += sample;
+    if (total_count_ == 1) {
+      min_ = max_ = sample;
+    } else {
+      if (sample < min_) min_ = sample;
+      if (sample > max_) max_ = sample;
+    }
+    if (samples_.size() < max_samples_) {
+      samples_.push_back(sample);
+      sorted_ = false;
+      return;
+    }
+    // Reservoir replacement: keep each of the n samples seen so far with
+    // probability max_samples/n. Deterministic xorshift so runs reproduce.
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    const uint64_t slot = rng_state_ % total_count_;
+    if (slot < max_samples_) {
+      samples_[slot] = sample;
+      sorted_ = false;
+    }
   }
 
-  size_t count() const { return samples_.size(); }
+  /// Total samples ever added (not the retained reservoir size).
+  uint64_t count() const { return total_count_; }
+
+  size_t max_samples() const { return max_samples_; }
+
+  /// Samples currently retained in the reservoir (<= max_samples()).
+  size_t sample_count() const { return samples_.size(); }
 
   double mean() const {
-    if (samples_.empty()) return 0;
-    double sum = 0;
-    for (double s : samples_) sum += s;
-    return sum / static_cast<double>(samples_.size());
+    if (total_count_ == 0) return 0;
+    return total_sum_ / static_cast<double>(total_count_);
   }
 
-  double min() const {
-    Sort();
-    return samples_.empty() ? 0 : samples_.front();
-  }
+  double min() const { return total_count_ == 0 ? 0 : min_; }
+  double max() const { return total_count_ == 0 ? 0 : max_; }
 
-  double max() const {
-    Sort();
-    return samples_.empty() ? 0 : samples_.back();
-  }
-
-  /// p in [0, 100]. Nearest-rank percentile.
+  /// p in [0, 100]. Nearest-rank percentile over the retained samples: the
+  /// smallest retained value such that at least p% of them are <= it (no
+  /// interpolation — the result is always a value that was actually added).
   double Percentile(double p) const {
     if (samples_.empty()) return 0;
     Sort();
-    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, samples_.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+    if (p <= 0) return samples_.front();
+    const size_t n = samples_.size();
+    // Nearest rank: ceil(p/100 * n), clamped to [1, n].
+    size_t rank = static_cast<size_t>(p / 100.0 * static_cast<double>(n));
+    if (static_cast<double>(rank) * 100.0 < p * static_cast<double>(n)) {
+      rank++;  // ceil
+    }
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    return samples_[rank - 1];
   }
 
-  /// "n=100 mean=12.3 p50=11.0 p99=40.2 max=55.1" (values as given).
+  /// "n=100 mean=12.3 p50=11.0 p95=31.0 p99=40.2 max=55.1" (values as given).
   std::string Summary() const {
     char buf[160];
-    snprintf(buf, sizeof(buf), "n=%zu mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
-             count(), mean(), Percentile(50), Percentile(95), Percentile(99),
-             max());
+    snprintf(buf, sizeof(buf),
+             "n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+             static_cast<unsigned long long>(count()), mean(), Percentile(50),
+             Percentile(95), Percentile(99), max());
     return buf;
   }
 
   void Clear() {
     samples_.clear();
     sorted_ = false;
+    total_count_ = 0;
+    total_sum_ = 0;
+    min_ = max_ = 0;
+    rng_state_ = kRngSeed;
   }
 
  private:
+  static constexpr uint64_t kRngSeed = 0x9E3779B97F4A7C15ull;
+
   void Sort() const {
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
@@ -70,8 +115,14 @@ class Histogram {
     }
   }
 
-  mutable std::vector<double> samples_;
+  size_t max_samples_;
+  mutable std::vector<double> samples_;  // the bounded reservoir
   mutable bool sorted_ = false;
+  uint64_t total_count_ = 0;
+  double total_sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  uint64_t rng_state_ = kRngSeed;
 };
 
 }  // namespace ode

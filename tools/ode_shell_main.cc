@@ -20,6 +20,7 @@
 //   scan <cluster> [limit]    list head objects of a cluster
 //   object <cluster> <oid>    show one object: versions + record preview
 //   stats                     storage engine + buffer pool statistics
+//   .stats                    metrics registry dump (storage/txn/query)
 //   checkpoint                flush pages and truncate the WAL
 //   quit / exit               leave the shell
 
@@ -58,6 +59,8 @@ void PrintHelp() {
       "  scan <cluster> [limit]    list head objects of a cluster\n"
       "  object <cluster> <oid>    show one object (versions + preview)\n"
       "  stats                     storage statistics\n"
+      "  .stats                    full metrics registry dump "
+      "(storage/txn/query)\n"
       "  verify                    run the structural integrity checker\n"
       "  checkpoint                flush pages, truncate the WAL\n"
       "  vacuum                    reclaim trailing free pages\n"
@@ -228,6 +231,13 @@ Status CmdStats(Database& db) {
   return Status::OK();
 }
 
+/// `.stats`: every counter/gauge/histogram in the engine's metrics registry
+/// (see docs/OBSERVABILITY.md for the metric catalog).
+Status CmdRegistryStats(Database& db) {
+  printf("%s", db.engine().metrics().TakeSnapshot().RenderText().c_str());
+  return Status::OK();
+}
+
 Status Dispatch(Database& db, const std::string& line, bool* quit) {
   std::istringstream in(line);
   std::string cmd;
@@ -246,6 +256,7 @@ Status Dispatch(Database& db, const std::string& line, bool* quit) {
   if (cmd == "indexes") return CmdIndexes(db);
   if (cmd == "triggers") return CmdTriggers(db);
   if (cmd == "stats") return CmdStats(db);
+  if (cmd == ".stats") return CmdRegistryStats(db);
   if (cmd == "verify") {
     ode::VerifyReport report;
     ODE_RETURN_IF_ERROR(ode::VerifyDatabase(db, &report));
