@@ -1,0 +1,146 @@
+// E12 — Concurrency: multi-session transaction throughput as the session
+// count grows (docs/CONCURRENCY.md). Two workloads over a shared Blob
+// cluster:
+//
+//   read-heavy  — each transaction S-locks and reads 8 random objects;
+//                 readers share locks, so throughput should scale with
+//                 hardware threads;
+//   mixed 90/10 — 90% read transactions, 10% transfer-style writers
+//                 (X-lock two objects, rewrite payloads); commits
+//                 serialize at the WAL append, bounding write scaling.
+//
+// Deadlocks/busy waits are absorbed by Database::RunTransaction's retry
+// loop; the BENCH_JSON line records the retry counter so a pathological
+// run is visible in CI artifacts.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_models.h"
+#include "bench_util.h"
+#include "util/random.h"
+
+namespace {
+
+using odebench::Blob;
+using namespace ode;
+using namespace ode::bench;
+
+constexpr int kObjects = 1024;
+constexpr int kReadsPerTxn = 8;
+constexpr int kTxnsPerThread = 400;
+
+struct Fixture {
+  std::unique_ptr<Database> db;
+  std::vector<Ref<Blob>> refs;
+};
+
+Fixture Populate() {
+  Fixture f;
+  f.db = OpenFresh("concurrent");
+  Check(f.db->CreateCluster<Blob>());
+  Random rng(7);
+  const std::string payload = rng.NextString(64);
+  Check(f.db->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i < kObjects; i++) {
+      ODE_ASSIGN_OR_RETURN(Ref<Blob> ref, txn.New<Blob>(i, payload));
+      f.refs.push_back(ref);
+    }
+    return Status::OK();
+  }));
+  return f;
+}
+
+/// Runs `threads` sessions, each committing kTxnsPerThread transactions of
+/// `write_pct`% writers, and returns committed transactions per second.
+double RunWorkload(Fixture& f, int threads, int write_pct) {
+  std::atomic<int> committed{0};
+  std::vector<std::thread> workers;
+  Timer timer;
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      unsigned rng = 0x9E3779B9u * static_cast<unsigned>(t + 1);
+      auto next = [&rng] {
+        rng = rng * 1664525u + 1013904223u;
+        return rng >> 8;
+      };
+      for (int i = 0; i < kTxnsPerThread; i++) {
+        const bool writer = static_cast<int>(next() % 100) < write_pct;
+        Status s = f.db->RunTransaction([&](Transaction& txn) -> Status {
+          if (writer) {
+            // Transfer-style: rewrite two random objects. Distinct ids and
+            // a fixed lock order keep self-deadlocks out of the measurement.
+            unsigned a = next() % kObjects;
+            unsigned b = next() % kObjects;
+            if (a == b) b = (b + 1) % kObjects;
+            if (a > b) std::swap(a, b);
+            ODE_ASSIGN_OR_RETURN(Blob * first, txn.Write(f.refs[a]));
+            ODE_ASSIGN_OR_RETURN(Blob * second, txn.Write(f.refs[b]));
+            first->set_payload(second->payload());
+            return Status::OK();
+          }
+          uint64_t sink = 0;
+          for (int r = 0; r < kReadsPerTxn; r++) {
+            ODE_ASSIGN_OR_RETURN(const Blob* obj,
+                                 txn.Read(f.refs[next() % kObjects]));
+            sink += obj->id();
+          }
+          return sink == ~0ull ? Status::Corruption("impossible")
+                               : Status::OK();
+        });
+        if (s.ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double ms = timer.ElapsedMs();
+  if (committed.load() != threads * kTxnsPerThread) {
+    fprintf(stderr, "bench error: %d of %d transactions committed\n",
+            committed.load(), threads * kTxnsPerThread);
+    exit(1);
+  }
+  return committed.load() / ms * 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  JsonReport report("bench_concurrent");
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  Header("E12", "Concurrent sessions: txn/s vs thread count");
+  Note("hardware threads: " + std::to_string(hw));
+  Row("%10s | %8s | %12s | %12s", "workload", "threads", "txn/s", "speedup");
+
+  Fixture f = Populate();
+  double read_base = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    const double tps = RunWorkload(f, threads, /*write_pct=*/0);
+    if (threads == 1) read_base = tps;
+    Row("%10s | %8d | %12.0f | %11.2fx", "read", threads, tps,
+        tps / read_base);
+    report.Record("tps_read_" + std::to_string(threads) + "t", tps);
+  }
+  report.Record("speedup_read_4t",
+                read_base > 0 ? RunWorkload(f, 4, 0) / read_base : 0);
+
+  double mixed_base = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    const double tps = RunWorkload(f, threads, /*write_pct=*/10);
+    if (threads == 1) mixed_base = tps;
+    Row("%10s | %8d | %12.0f | %11.2fx", "mixed90/10", threads, tps,
+        tps / mixed_base);
+    report.Record("tps_mixed_" + std::to_string(threads) + "t", tps);
+  }
+
+  report.Record("hardware_threads", static_cast<double>(hw));
+  report.Record(
+      "deadlock_retries",
+      static_cast<double>(
+          MetricsRegistry::Global().GetCounter("txn.deadlock_retries")
+              ->value()));
+  report.Emit();
+  return 0;
+}

@@ -1,0 +1,323 @@
+#include "concur/lock_manager.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace ode {
+namespace concur {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+LockManager::LockManager(MetricsRegistry* metrics, uint64_t wait_timeout_ms)
+    : wait_timeout_ms_(wait_timeout_ms) {
+  if (metrics != nullptr) {
+    m_acquires_ = metrics->GetCounter("concur.lock.acquires");
+    m_waits_ = metrics->GetCounter("concur.lock.waits");
+    m_deadlocks_ = metrics->GetCounter("concur.lock.deadlocks");
+    m_timeouts_ = metrics->GetCounter("concur.lock.timeouts");
+    m_upgrades_ = metrics->GetCounter("concur.lock.upgrades");
+    m_wait_us_ = metrics->GetHistogram("concur.lock.wait_us");
+    m_resources_ = metrics->GetGauge("concur.lock.resources");
+  }
+}
+
+LockManager::~LockManager() = default;
+
+bool LockManager::Conflicts(TxnId txn, LockMode mode, const Request& other) {
+  if (other.txn == txn) return false;
+  // An upgrading holder is about to be exclusive; treat it as X so no new
+  // shared grant slips in and so waiters point their wait edges at it.
+  const LockMode other_mode =
+      other.upgrading ? LockMode::kExclusive : other.mode;
+  return mode == LockMode::kExclusive || other_mode == LockMode::kExclusive;
+}
+
+bool LockManager::TryGrant(LockState& state) {
+  bool changed = false;
+
+  // Pass 1: upgrades. An upgrader already holds S and may go exclusive once
+  // it is the only granted holder left.
+  bool upgrade_pending = false;
+  for (auto& req : state.queue) {
+    if (!req.upgrading) continue;
+    bool sole_holder = true;
+    for (const auto& other : state.queue) {
+      if (other.granted && other.txn != req.txn) {
+        sole_holder = false;
+        break;
+      }
+    }
+    if (sole_holder) {
+      req.mode = LockMode::kExclusive;
+      req.upgrading = false;
+      changed = true;
+    } else {
+      upgrade_pending = true;
+    }
+  }
+  // While an upgrade is pending, grant nothing new: a stream of shared
+  // acquirers must not starve the upgrader.
+  if (upgrade_pending) return changed;
+
+  // Pass 2: plain waiters, strictly FIFO — stop at the first one that
+  // cannot be granted.
+  for (auto& req : state.queue) {
+    if (req.granted) continue;
+    bool blocked = false;
+    for (const auto& other : state.queue) {
+      if (&other == &req || !other.granted) continue;
+      if (Conflicts(req.txn, req.mode, other)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) break;
+    req.granted = true;
+    changed = true;
+  }
+  return changed;
+}
+
+bool LockManager::UpdateEdgesAndCheckCycle(TxnId txn, const LockState& state,
+                                           LockMode mode) {
+  // Blockers: granted conflicting holders anywhere in the queue, plus
+  // conflicting waiters queued ahead of us (FIFO means we wait behind them
+  // too). An upgrader jumps the waiter queue, so it only waits on granted
+  // holders.
+  std::unordered_set<TxnId> blockers;
+  bool upgrading = false;
+  for (const auto& req : state.queue) {
+    if (req.txn == txn) upgrading = req.upgrading;
+  }
+  bool before_self = true;
+  for (const auto& req : state.queue) {
+    if (req.txn == txn) {
+      before_self = false;
+      continue;
+    }
+    if (req.granted) {
+      if (Conflicts(txn, mode, req)) blockers.insert(req.txn);
+    } else if (before_self && !upgrading) {
+      if (Conflicts(txn, mode, req)) blockers.insert(req.txn);
+    }
+  }
+
+  std::lock_guard<std::mutex> g(graph_mu_);
+  if (blockers.empty()) {
+    waits_for_.erase(txn);
+    return false;
+  }
+  waits_for_[txn] = blockers;
+
+  // DFS from our blockers back to us. Edges of departed transactions are
+  // erased on release, so stale in-edges cannot fabricate a path.
+  std::unordered_set<TxnId> visited;
+  std::vector<TxnId> stack(blockers.begin(), blockers.end());
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == txn) return true;
+    if (!visited.insert(cur).second) continue;
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) continue;
+    for (TxnId next : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+void LockManager::ClearEdges(TxnId txn) {
+  std::lock_guard<std::mutex> g(graph_mu_);
+  waits_for_.erase(txn);
+}
+
+void LockManager::NoteHeld(Shard& shard, TxnId txn, ResourceId res) {
+  shard.held[txn].push_back(res);
+}
+
+void LockManager::DropHeld(Shard& shard, TxnId txn, ResourceId res) {
+  auto it = shard.held.find(txn);
+  if (it == shard.held.end()) return;
+  auto& v = it->second;
+  for (size_t i = 0; i < v.size(); i++) {
+    if (v[i] == res) {
+      v[i] = v.back();
+      v.pop_back();
+      break;
+    }
+  }
+  if (v.empty()) shard.held.erase(it);
+}
+
+Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode) {
+  Shard& shard = ShardFor(res);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  if (m_acquires_ != nullptr) m_acquires_->Add();
+
+  auto table_it = shard.table.find(res);
+  if (table_it == shard.table.end()) {
+    table_it = shard.table.emplace(res, LockState{}).first;
+    if (m_resources_ != nullptr) m_resources_->Add();
+  }
+  LockState& state = table_it->second;
+
+  // Locate our existing request, if any. Transactions are thread-affine, so
+  // at most one request per (txn, resource) exists and nobody else mutates
+  // our entry's identity while we hold the shard mutex.
+  auto find_self = [&]() -> Request* {
+    for (auto& req : state.queue) {
+      if (req.txn == txn) return &req;
+    }
+    return nullptr;
+  };
+
+  Request* self = find_self();
+  bool is_upgrade = false;
+  if (self != nullptr) {
+    assert(self->granted);
+    if (mode == LockMode::kShared || self->mode == LockMode::kExclusive) {
+      return Status::OK();  // already strong enough
+    }
+    // S -> X upgrade: keep the shared grant, queue for exclusivity.
+    self->upgrading = true;
+    is_upgrade = true;
+    if (m_upgrades_ != nullptr) m_upgrades_->Add();
+  } else {
+    state.queue.push_back(Request{txn, mode, false, false});
+    NoteHeld(shard, txn, res);
+  }
+
+  TryGrant(state);
+
+  auto satisfied = [&]() {
+    Request* r = find_self();
+    assert(r != nullptr);
+    if (is_upgrade) return r->mode == LockMode::kExclusive && !r->upgrading;
+    return r->granted;
+  };
+
+  if (satisfied()) return Status::OK();
+
+  // We must wait. Withdraw helper for the failure exits: a plain request is
+  // removed outright; an upgrade reverts to its granted shared lock.
+  auto withdraw = [&]() {
+    if (is_upgrade) {
+      Request* r = find_self();
+      if (r != nullptr) r->upgrading = false;
+      // Our departed upgrade may unblock the plain waiters it was starving.
+      if (TryGrant(state)) shard.cv.notify_all();
+    } else {
+      for (auto it = state.queue.begin(); it != state.queue.end(); ++it) {
+        if (it->txn == txn) {
+          state.queue.erase(it);
+          break;
+        }
+      }
+      DropHeld(shard, txn, res);
+      if (state.queue.empty()) {
+        // Careful: this destroys `state`; nothing may touch it afterwards.
+        shard.table.erase(res);
+        if (m_resources_ != nullptr) m_resources_->Sub();
+      } else if (TryGrant(state)) {
+        // Our departure may unblock someone queued behind us.
+        shard.cv.notify_all();
+      }
+    }
+    ClearEdges(txn);
+  };
+
+  if (m_waits_ != nullptr) m_waits_->Add();
+  const auto wait_start = Clock::now();
+  const bool bounded = wait_timeout_ms_ > 0;
+  const auto deadline = wait_start + std::chrono::milliseconds(wait_timeout_ms_);
+  const LockMode eff_mode = is_upgrade ? LockMode::kExclusive : mode;
+
+  while (true) {
+    // (Re)compute who blocks us and check for a cycle. Edges are refreshed
+    // on every wake: every holder-set change notifies the shard condvar, so
+    // cycles that form after we first block are still detected.
+    if (UpdateEdgesAndCheckCycle(txn, state, eff_mode)) {
+      if (m_deadlocks_ != nullptr) m_deadlocks_->Add();
+      withdraw();
+      return Status::Deadlock("lock wait cycle detected; transaction chosen "
+                              "as deadlock victim");
+    }
+    if (bounded) {
+      if (shard.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !satisfied()) {
+        if (m_timeouts_ != nullptr) m_timeouts_->Add();
+        withdraw();
+        return Status::Busy("lock wait timeout");
+      }
+    } else {
+      shard.cv.wait(lock);
+    }
+    if (satisfied()) {
+      ClearEdges(txn);
+      if (m_wait_us_ != nullptr) {
+        m_wait_us_->Add(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - wait_start)
+                .count()));
+      }
+      return Status::OK();
+    }
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto held_it = shard.held.find(txn);
+    if (held_it == shard.held.end()) continue;
+    bool wake = false;
+    for (ResourceId res : held_it->second) {
+      auto it = shard.table.find(res);
+      if (it == shard.table.end()) continue;
+      auto& queue = it->second.queue;
+      for (auto q = queue.begin(); q != queue.end(); ++q) {
+        if (q->txn == txn) {
+          queue.erase(q);
+          wake = true;
+          break;
+        }
+      }
+      if (queue.empty()) {
+        shard.table.erase(it);
+        if (m_resources_ != nullptr) m_resources_->Sub();
+      } else if (TryGrant(it->second)) {
+        wake = true;
+      }
+    }
+    shard.held.erase(held_it);
+    if (wake) shard.cv.notify_all();
+  }
+  ClearEdges(txn);
+}
+
+bool LockManager::Holds(TxnId txn, ResourceId res, LockMode mode) const {
+  const Shard& shard = ShardFor(res);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(res);
+  if (it == shard.table.end()) return false;
+  for (const auto& req : it->second.queue) {
+    if (req.txn != txn || !req.granted) continue;
+    return mode == LockMode::kShared || req.mode == LockMode::kExclusive;
+  }
+  return false;
+}
+
+size_t LockManager::ResourceCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.table.size();
+  }
+  return n;
+}
+
+}  // namespace concur
+}  // namespace ode

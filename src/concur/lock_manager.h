@@ -1,0 +1,177 @@
+#ifndef ODE_CONCUR_LOCK_MANAGER_H_
+#define ODE_CONCUR_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace ode {
+namespace concur {
+
+using TxnId = uint64_t;
+
+/// A lockable resource. The engine hashes its lock targets into this flat
+/// 64-bit namespace (see the encoders below); the lock manager itself is
+/// agnostic about what a ResourceId means.
+using ResourceId = uint64_t;
+
+/// Lock modes for strict two-phase locking. Shared locks are compatible with
+/// each other; exclusive conflicts with everything.
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+/// The single global write token (see docs/CONCURRENCY.md): a transaction
+/// must hold this exclusively from its first page write until commit/abort.
+/// Modeled as an ordinary lock-manager resource so that token waits show up
+/// in the waits-for graph and participate in deadlock detection.
+inline constexpr ResourceId kWriterResource = 0;
+
+/// Schema/catalog lock: every transaction holds it shared for its lifetime;
+/// DDL and trigger (de)activation upgrade it to exclusive.
+inline constexpr ResourceId kSchemaResource = 1;
+
+/// Cluster-granularity resource (extent scans, inserts/deletes, index
+/// structure changes). Tag bit 62 keeps the namespace disjoint from the
+/// reserved singletons above and from object resources (bit 63).
+inline ResourceId ClusterResource(uint32_t cluster) {
+  return (1ull << 62) | static_cast<ResourceId>(cluster);
+}
+
+/// Object-granularity resource, from Oid::Pack() (cluster<<32 | slot). Tag
+/// bit 63; assumes cluster ids stay below 2^30 (they are small sequential
+/// ints in practice), so the tag bits never collide with payload bits.
+inline ResourceId ObjectResource(uint64_t packed_oid) {
+  return (1ull << 63) | packed_oid;
+}
+
+/// A strict-2PL lock table with shared/exclusive modes, S->X upgrades, FIFO
+/// granting, and deadlock detection over an explicit waits-for graph.
+///
+/// Layout: 16 shards, each a mutex + condvar + resource table, so unrelated
+/// resources never contend on one lock. A global waits-for graph (its own
+/// mutex, always acquired AFTER a shard mutex, never while holding the graph
+/// mutex acquire a shard one) records "txn A waits behind txn B"; before a
+/// requester blocks — and again on every wake — it refreshes its out-edges
+/// and runs a DFS cycle check. The requester that closes a cycle is the
+/// victim and gets Status::Deadlock immediately (cheap, no separate detector
+/// thread; the victim is by construction the youngest waiter in the cycle's
+/// formation order).
+///
+/// Grant policy per resource: pending upgrades first (grantable when the
+/// upgrader is the sole remaining holder), then plain waiters strictly FIFO;
+/// while any upgrade is pending no new plain request is granted, so upgrades
+/// cannot starve behind a stream of shared acquirers.
+///
+/// Waits time out after `wait_timeout_ms` with Status::Busy — a safety net
+/// for waits the cycle detector cannot see (e.g. a stuck holder), not the
+/// primary deadlock resolution.
+class LockManager {
+ public:
+  explicit LockManager(MetricsRegistry* metrics = nullptr,
+                       uint64_t wait_timeout_ms = 10000);
+  ~LockManager();
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires `res` in `mode` for `txn`, blocking if it conflicts.
+  /// Re-acquiring an already-held lock is a no-op (holding X satisfies a
+  /// kShared request); requesting X while holding S performs an upgrade.
+  /// Returns Status::Deadlock if blocking would close a wait cycle (the
+  /// caller's transaction is the victim and must abort), Status::Busy on
+  /// timeout. On any error the request is withdrawn — no partial state.
+  Status Acquire(TxnId txn, ResourceId res, LockMode mode);
+
+  /// Releases every lock held by `txn` (commit/abort — strict 2PL releases
+  /// only at transaction end) and wakes any waiters that become grantable.
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` currently holds `res` in `mode` or stronger.
+  bool Holds(TxnId txn, ResourceId res, LockMode mode) const;
+
+  /// Locked resources across all shards (diagnostics; also exported as the
+  /// concur.lock.resources gauge).
+  size_t ResourceCount() const;
+
+ private:
+  struct Request {
+    TxnId txn = 0;
+    LockMode mode = LockMode::kShared;
+    bool granted = false;
+    /// Granted kShared holder waiting to become kExclusive. Keeps its S
+    /// grant while queued; treated as X for conflict/edge purposes.
+    bool upgrading = false;
+  };
+
+  struct LockState {
+    /// Granted holders first (in grant order), then waiters FIFO.
+    std::deque<Request> queue;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<ResourceId, LockState> table;
+    /// Resources in this shard where txn has a granted or queued request.
+    std::unordered_map<TxnId, std::vector<ResourceId>> held;
+  };
+
+  static constexpr size_t kShards = 16;
+
+  Shard& ShardFor(ResourceId res) {
+    return shards_[(res * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+  const Shard& ShardFor(ResourceId res) const {
+    return shards_[(res * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+
+  /// Scans the queue and grants whatever the policy allows; returns true if
+  /// any request changed state (caller should notify the shard condvar).
+  /// Requires shard.mu held.
+  static bool TryGrant(LockState& state);
+
+  /// True if a request by `txn` in `mode` conflicts with `other`.
+  static bool Conflicts(TxnId txn, LockMode mode, const Request& other);
+
+  /// Replaces txn's out-edges in the waits-for graph with the granted
+  /// holders/queued-ahead set currently blocking it, then DFS-checks whether
+  /// txn can reach itself. Returns true on cycle. Requires shard.mu held
+  /// (takes graph_mu_ internally).
+  bool UpdateEdgesAndCheckCycle(TxnId txn, const LockState& state,
+                                LockMode mode);
+
+  /// Drops txn's out-edges (stopped waiting). Takes graph_mu_.
+  void ClearEdges(TxnId txn);
+
+  void NoteHeld(Shard& shard, TxnId txn, ResourceId res);
+  void DropHeld(Shard& shard, TxnId txn, ResourceId res);
+
+  Shard shards_[kShards];
+
+  /// txn -> set of txns it waits behind. Guarded by graph_mu_; lock order is
+  /// shard.mu before graph_mu_.
+  mutable std::mutex graph_mu_;
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_;
+
+  const uint64_t wait_timeout_ms_;
+
+  Counter* m_acquires_ = nullptr;
+  Counter* m_waits_ = nullptr;
+  Counter* m_deadlocks_ = nullptr;
+  Counter* m_timeouts_ = nullptr;
+  Counter* m_upgrades_ = nullptr;
+  Histogram* m_wait_us_ = nullptr;
+  Gauge* m_resources_ = nullptr;
+};
+
+}  // namespace concur
+}  // namespace ode
+
+#endif  // ODE_CONCUR_LOCK_MANAGER_H_

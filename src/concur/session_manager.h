@@ -1,0 +1,126 @@
+#ifndef ODE_CONCUR_SESSION_MANAGER_H_
+#define ODE_CONCUR_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace ode {
+namespace concur {
+
+/// Maps threads to their active session object (in ODE core, a Transaction):
+/// `Database::Begin()` binds the new transaction to the calling thread,
+/// `Current()` answers "what is *my* transaction" from Ref dereferences and
+/// nested API calls, and commit/abort unbinds. Transactions are thread-
+/// affine — the thread that began one is the thread that must use and end it
+/// (see docs/CONCURRENCY.md).
+///
+/// Header-only template so the concur library needs no dependency on core.
+///
+/// Current() is the hot path (every Ref<T> dereference): a thread-local
+/// single-slot cache makes the common repeat lookup lock-free. The cache is
+/// validated by a process-wide monotone generation stamped on every Bind:
+/// a stale (manager, generation) pair can never match a newer binding epoch,
+/// so manager address reuse (close + reopen landing at the same heap
+/// address) cannot resurrect a dead cache entry.
+template <typename Session>
+class SessionManager {
+ public:
+  SessionManager() = default;
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Binds `session` to the calling thread. Returns false if this thread
+  /// already has a binding (one active transaction per thread).
+  bool Bind(Session* session) {
+    const auto tid = std::this_thread::get_id();
+    uint64_t gen;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = map_.emplace(tid, session);
+      if (!inserted) return false;
+      gen = NextGeneration();
+      gen_.store(gen, std::memory_order_release);
+    }
+    TlsSlot& slot = Tls();
+    slot.mgr = this;
+    slot.gen = gen;
+    slot.session = session;
+    return true;
+  }
+
+  /// Removes the binding for `session`, whichever thread owns it. Normally
+  /// called from the owning thread (commit/abort); a foreign-thread unbind
+  /// (e.g. Database::Close aborting a leaked transaction) is allowed — the
+  /// owner's cached slot is invalidated by the generation bump.
+  void Unbind(Session* session) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second == session) {
+        map_.erase(it);
+        break;
+      }
+    }
+    gen_.store(NextGeneration(), std::memory_order_release);
+  }
+
+  /// The calling thread's bound session, or nullptr.
+  Session* Current() const {
+    TlsSlot& slot = Tls();
+    if (slot.mgr == this &&
+        slot.gen == gen_.load(std::memory_order_acquire)) {
+      return slot.session;
+    }
+    Session* s = nullptr;
+    uint64_t gen;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(std::this_thread::get_id());
+      if (it != map_.end()) s = it->second;
+      gen = gen_.load(std::memory_order_relaxed);
+    }
+    slot.mgr = this;
+    slot.gen = gen;
+    slot.session = s;
+    return s;
+  }
+
+  /// Number of bound sessions (diagnostics).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct TlsSlot {
+    const void* mgr = nullptr;
+    uint64_t gen = 0;
+    Session* session = nullptr;
+  };
+
+  static TlsSlot& Tls() {
+    static thread_local TlsSlot slot;
+    return slot;
+  }
+
+  /// Process-wide, shared across all SessionManager instantiations of this
+  /// Session type: generations are globally unique and monotone, so a cached
+  /// (mgr, gen) from manager A can never validate against manager B even if
+  /// B is allocated at A's old address.
+  static uint64_t NextGeneration() {
+    static std::atomic<uint64_t> g{1};
+    return g.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::thread::id, Session*> map_;
+  /// Binding epoch of this manager; bumped on every Bind/Unbind.
+  std::atomic<uint64_t> gen_{0};
+};
+
+}  // namespace concur
+}  // namespace ode
+
+#endif  // ODE_CONCUR_SESSION_MANAGER_H_

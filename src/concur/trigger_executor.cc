@@ -1,0 +1,147 @@
+#include "concur/trigger_executor.h"
+
+#include <chrono>
+#include <random>
+
+namespace ode {
+namespace concur {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Jittered exponential backoff: base 1ms doubling per attempt, capped at
+/// 32ms, with the actual sleep drawn uniformly from [base/2, base] so
+/// retrying victims of the same deadlock don't collide again in lockstep.
+std::chrono::microseconds BackoffDelay(int attempt) {
+  static thread_local std::mt19937 rng(std::random_device{}());
+  int shift = attempt < 5 ? attempt : 5;
+  const uint64_t base_us = 1000ull << shift;
+  std::uniform_int_distribution<uint64_t> dist(base_us / 2, base_us);
+  return std::chrono::microseconds(dist(rng));
+}
+
+}  // namespace
+
+TriggerExecutor::TriggerExecutor(Options options, MetricsRegistry* metrics)
+    : options_(options) {
+  if (metrics != nullptr) {
+    m_submitted_ = metrics->GetCounter("trigger.submitted");
+    m_executed_ = metrics->GetCounter("trigger.executed");
+    m_retries_ = metrics->GetCounter("trigger.retries");
+    m_failures_ = metrics->GetCounter("trigger.failures");
+    m_queue_depth_ = metrics->GetGauge("trigger.queue_depth");
+    m_exec_latency_ = metrics->GetHistogram("trigger.exec_latency");
+  }
+  workers_.reserve(options_.threads > 0 ? options_.threads : 0);
+  for (int i = 0; i < options_.threads; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    worker_ids_.push_back(workers_.back().get_id());
+  }
+}
+
+TriggerExecutor::~TriggerExecutor() { Shutdown(); }
+
+bool TriggerExecutor::OnExecutorThread() const {
+  const auto self = std::this_thread::get_id();
+  for (const auto& id : worker_ids_) {
+    if (id == self) return true;
+  }
+  return false;
+}
+
+bool TriggerExecutor::Submit(Task task) {
+  // A worker firing cascaded triggers must not block on the bound of the
+  // queue it is itself responsible for draining.
+  const bool bypass_bound = OnExecutorThread();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!bypass_bound) {
+    not_full_.wait(lock, [&] {
+      return shutdown_ || queue_.size() < options_.queue_capacity;
+    });
+  }
+  if (shutdown_) return false;
+  queue_.push_back(std::move(task));
+  if (m_submitted_ != nullptr) m_submitted_->Add();
+  if (m_queue_depth_ != nullptr) m_queue_depth_->Set(
+      static_cast<int64_t>(queue_.size()));
+  not_empty_.notify_one();
+  return true;
+}
+
+void TriggerExecutor::RunTask(Task& task) {
+  const auto start = Clock::now();
+  Status s = task();
+  for (int attempt = 0; !s.ok() && (s.IsDeadlock() || s.IsBusy()) &&
+                        attempt < options_.max_retries;
+       attempt++) {
+    if (m_retries_ != nullptr) m_retries_->Add();
+    std::this_thread::sleep_for(BackoffDelay(attempt));
+    s = task();
+  }
+  if (m_executed_ != nullptr) m_executed_->Add();
+  if (!s.ok() && m_failures_ != nullptr) m_failures_->Add();
+  if (m_exec_latency_ != nullptr) {
+    m_exec_latency_->Add(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count()));
+  }
+}
+
+void TriggerExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    not_empty_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    in_flight_++;
+    if (m_queue_depth_ != nullptr) m_queue_depth_->Set(
+        static_cast<int64_t>(queue_.size()));
+    not_full_.notify_one();
+    lock.unlock();
+
+    RunTask(task);
+    task = nullptr;  // release captured state outside the idle check
+
+    lock.lock();
+    in_flight_--;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+void TriggerExecutor::Drain() {
+  if (OnExecutorThread()) return;  // a worker cannot wait for itself
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void TriggerExecutor::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      // Drain first: every accepted task runs before the workers exit.
+      idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+      shutdown_ = true;
+      not_empty_.notify_all();
+      not_full_.notify_all();
+    }
+    to_join.swap(workers_);
+  }
+  for (auto& w : to_join) {
+    if (w.joinable()) w.join();
+  }
+}
+
+size_t TriggerExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace concur
+}  // namespace ode

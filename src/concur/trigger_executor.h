@@ -1,0 +1,108 @@
+#ifndef ODE_CONCUR_TRIGGER_EXECUTOR_H_
+#define ODE_CONCUR_TRIGGER_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace ode {
+namespace concur {
+
+/// A bounded worker pool running fired trigger actions as independent
+/// transactions — the paper's §6 weak coupling made literal: the triggering
+/// transaction commits, its firings are enqueued, and executor threads run
+/// each action in a fresh transaction of its own, concurrently with new user
+/// work.
+///
+/// Semantics:
+///  - The queue is bounded (Options::queue_capacity). Producers block when
+///    it is full — backpressure, not loss — EXCEPT executor worker threads
+///    themselves: a running action that fires further triggers (a cascade)
+///    bypasses the bound, because blocking a worker on the queue it drains
+///    is a self-deadlock.
+///  - A task returning Deadlock or Busy is retried up to Options::max_retries
+///    times with jittered exponential backoff (the paper's abort-and-rerun,
+///    applied to trigger actions). Other errors count as failures and are
+///    dropped after logging to the failure counter.
+///  - Drain() blocks until the queue is empty AND no task is in flight — the
+///    test/shutdown barrier for "every fired action has executed".
+///  - Shutdown() drains remaining work, then joins the workers. Submissions
+///    after shutdown are rejected (returns false).
+///
+/// Metrics: trigger.queue_depth (gauge), trigger.exec_latency (histogram,
+/// microseconds), trigger.submitted / trigger.executed / trigger.retries /
+/// trigger.failures (counters).
+class TriggerExecutor {
+ public:
+  using Task = std::function<Status()>;
+
+  struct Options {
+    /// Worker threads. 0 is allowed but pointless; Database only constructs
+    /// an executor when trigger_executor_threads > 0.
+    int threads = 2;
+    /// Queue bound; producers (except workers) block when full.
+    size_t queue_capacity = 256;
+    /// Retries for Deadlock/Busy outcomes before counting a failure.
+    int max_retries = 5;
+  };
+
+  explicit TriggerExecutor(Options options,
+                           MetricsRegistry* metrics = nullptr);
+  ~TriggerExecutor();
+
+  TriggerExecutor(const TriggerExecutor&) = delete;
+  TriggerExecutor& operator=(const TriggerExecutor&) = delete;
+
+  /// Enqueues a task. Blocks while the queue is full (unless called from an
+  /// executor thread). Returns false after Shutdown().
+  bool Submit(Task task);
+
+  /// Blocks until every submitted task (including cascades submitted while
+  /// draining) has finished executing.
+  void Drain();
+
+  /// Drains, then stops and joins the workers. Idempotent.
+  void Shutdown();
+
+  /// Tasks waiting in the queue (excludes in-flight).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+  void RunTask(Task& task);
+  bool OnExecutorThread() const;
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::deque<Task> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+  /// Immutable after construction; safe to read without mu_ (OnExecutorThread
+  /// runs on arbitrary producer threads concurrently with Shutdown()).
+  std::vector<std::thread::id> worker_ids_;
+
+  Counter* m_submitted_ = nullptr;
+  Counter* m_executed_ = nullptr;
+  Counter* m_retries_ = nullptr;
+  Counter* m_failures_ = nullptr;
+  Gauge* m_queue_depth_ = nullptr;
+  Histogram* m_exec_latency_ = nullptr;
+};
+
+}  // namespace concur
+}  // namespace ode
+
+#endif  // ODE_CONCUR_TRIGGER_EXECUTOR_H_

@@ -1,12 +1,45 @@
 #include "core/database.h"
 
+#include <chrono>
 #include <cstring>
+#include <random>
+#include <thread>
 #include <vector>
 
 #include "core/transaction.h"
 #include "util/logging.h"
 
 namespace ode {
+
+namespace {
+
+/// Jittered exponential backoff before retrying a deadlock/timeout victim:
+/// uniformly random in [base/2, base] where base doubles per attempt,
+/// starting at 1 ms and capped at 32 ms. Jitter desynchronizes rivals that
+/// deadlocked against each other so the retry does not re-create the cycle.
+void BackoffBeforeRetry(int attempt) {
+  static thread_local std::mt19937 rng{std::random_device{}()};
+  const int shift = attempt < 5 ? attempt : 5;
+  const int64_t base_us = 1000ll << shift;
+  std::uniform_int_distribution<int64_t> dist(base_us / 2, base_us);
+  std::this_thread::sleep_for(std::chrono::microseconds(dist(rng)));
+}
+
+/// Cascade depth of the firing currently executing on this thread (0 when
+/// no trigger action is running here). Thread-local because the async
+/// executor runs actions on its own threads concurrently with user commits.
+thread_local int t_trigger_depth = 0;
+
+/// Scopes t_trigger_depth to a firing's execution.
+struct TriggerDepthScope {
+  explicit TriggerDepthScope(int depth) : saved(t_trigger_depth) {
+    t_trigger_depth = depth;
+  }
+  ~TriggerDepthScope() { t_trigger_depth = saved; }
+  int saved;
+};
+
+}  // namespace
 
 Database::Database(const DatabaseOptions& options,
                    std::unique_ptr<StorageEngine> engine)
@@ -23,6 +56,7 @@ Database::Database(const DatabaseOptions& options,
       m.GetCounter("txn.constraint_violations");
   core_metrics_.trigger_firings = m.GetCounter("txn.trigger_firings");
   core_metrics_.cache_evictions = m.GetCounter("txn.cache_evictions");
+  core_metrics_.deadlock_retries = m.GetCounter("txn.deadlock_retries");
   core_metrics_.scans = m.GetCounter("query.scans");
   core_metrics_.index_scans = m.GetCounter("query.index_scans");
   core_metrics_.oid_list_scans = m.GetCounter("query.oid_list_scans");
@@ -32,6 +66,15 @@ Database::Database(const DatabaseOptions& options,
   core_metrics_.join_index = m.GetCounter("query.join.index");
   core_metrics_.join_hash = m.GetCounter("query.join.hash");
   core_metrics_.join_pairs = m.GetCounter("query.join.pairs");
+
+  if (options_.trigger_executor_threads > 0) {
+    concur::TriggerExecutor::Options exec_options;
+    exec_options.threads = options_.trigger_executor_threads;
+    exec_options.queue_capacity = options_.trigger_queue_capacity;
+    exec_options.max_retries = options_.trigger_max_retries;
+    trigger_exec_ =
+        std::make_unique<concur::TriggerExecutor>(exec_options, &m);
+  }
 }
 
 Database::~Database() {
@@ -55,13 +98,25 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options,
 
 Status Database::Close() {
   if (closed_) return Status::OK();
-  if (!pending_firings_.empty()) {
-    ODE_LOG(kWarn) << "closing with " << pending_firings_.size()
-                   << " unexecuted trigger firing(s) (RunPendingTriggers "
-                      "was not called)";
+  // Stop the async trigger daemon first: its workers run transactions
+  // against this database and must be parked before the engine goes away.
+  if (trigger_exec_ != nullptr) {
+    trigger_exec_->Shutdown();
   }
-  if (active_txn_ != nullptr) {
-    Status s = active_txn_->Abort();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (!pending_firings_.empty()) {
+      ODE_LOG(kWarn) << "closing with " << pending_firings_.size()
+                     << " unexecuted trigger firing(s) (RunPendingTriggers "
+                        "was not called)";
+    }
+  }
+  // Abort the calling thread's transaction at this layer (so the catalog is
+  // reloaded etc.); transactions leaked by other threads are rolled back by
+  // the engine's Close below.
+  Transaction* mine = sessions_.Current();
+  if (mine != nullptr) {
+    Status s = mine->Abort();
     if (!s.ok()) {
       ODE_LOG(kError) << "aborting open transaction on close: "
                       << s.ToString();
@@ -75,8 +130,8 @@ Status Database::Close() {
 
 Result<std::unique_ptr<Transaction>> Database::Begin() {
   if (closed_) return Status::InvalidArgument("database is closed");
-  if (active_txn_ != nullptr) {
-    return Status::Busy("a transaction is already active");
+  if (sessions_.Current() != nullptr) {
+    return Status::Busy("a transaction is already active on this thread");
   }
   std::unique_ptr<Transaction> txn(new Transaction(this));
   ODE_RETURN_IF_ERROR(txn->Start());
@@ -85,21 +140,39 @@ Result<std::unique_ptr<Transaction>> Database::Begin() {
 
 Status Database::RunTransaction(
     const std::function<Status(Transaction&)>& body) {
-  ODE_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn, Begin());
-  Status s = body(*txn);
-  if (!s.ok()) {
-    Status abort_status = txn->Abort();
-    if (!abort_status.ok()) {
-      ODE_LOG(kError) << "abort failed: " << abort_status.ToString();
+  for (int attempt = 0;; attempt++) {
+    Status s;
+    {
+      Result<std::unique_ptr<Transaction>> begun = Begin();
+      if (!begun.ok()) {
+        s = begun.status();
+        // This thread already has a transaction (nested RunTransaction):
+        // retrying can never succeed, so surface the Busy immediately.
+        if (s.IsBusy() && sessions_.Current() != nullptr) return s;
+      } else {
+        std::unique_ptr<Transaction> txn = std::move(begun.value());
+        s = body(*txn);
+        if (s.ok()) {
+          s = txn->Commit();
+        } else {
+          Status abort_status = txn->Abort();
+          if (!abort_status.ok()) {
+            ODE_LOG(kError) << "abort failed: " << abort_status.ToString();
+          }
+        }
+      }
     }
-    return s;
+    if (!s.IsDeadlock() && !s.IsBusy()) return s;
+    if (attempt >= options_.max_txn_retries) return s;
+    core_metrics_.deadlock_retries->Add();
+    BackoffBeforeRetry(attempt);
   }
-  return txn->Commit();
 }
 
 Status Database::InTransaction(
     const std::function<Status(Transaction&)>& fn) {
-  if (active_txn_ != nullptr) return fn(*active_txn_);
+  Transaction* mine = sessions_.Current();
+  if (mine != nullptr) return fn(*mine);
   return RunTransaction(fn);
 }
 
@@ -167,7 +240,7 @@ Status Database::DropIndex(const std::string& name) {
 }
 
 Status Database::BackupTo(const std::string& path) {
-  if (active_txn_ != nullptr) {
+  if (sessions_.Current() != nullptr) {
     return Status::Busy("cannot back up inside a transaction");
   }
   // After a checkpoint the WAL is empty and the page file holds every
@@ -202,41 +275,78 @@ Status Database::BackupTo(const std::string& path) {
 
 // --- Triggers -----------------------------------------------------------------------
 
+Status Database::RunOneFiring(const Firing& firing) {
+  // The action transaction sees this thread's depth = the firing's depth, so
+  // firings it fires in turn carry depth + 1 (cascade accounting that works
+  // on both the committing thread and the async workers).
+  TriggerDepthScope scope(firing.depth);
+  Status s = RunTransaction([&](Transaction& txn) {
+    return firing.def->action(txn, firing.oid, firing.params);
+  });
+  if (!s.ok() && !s.IsDeadlock() && !s.IsBusy()) {
+    ODE_LOG(kWarn) << "trigger action (id " << firing.trigger_id
+                   << ") failed: " << s.ToString();
+  }
+  return s;
+}
+
 void Database::ExecuteFirings(std::vector<Firing> firings) {
   if (firings.empty()) return;
-  if (trigger_depth_ >= options_.max_trigger_cascade_depth) {
+  const int depth = t_trigger_depth;
+  if (depth >= options_.max_trigger_cascade_depth) {
     ODE_LOG(kWarn) << "trigger cascade depth limit ("
                    << options_.max_trigger_cascade_depth << ") reached; "
                    << firings.size() << " firing(s) dropped";
     return;
   }
-  trigger_depth_++;
-  for (const Firing& firing : firings) {
-    Status s = RunTransaction([&](Transaction& txn) {
-      return firing.def->action(txn, firing.oid, firing.params);
-    });
-    if (!s.ok()) {
+  if (trigger_exec_ != nullptr) {
+    // Weak coupling, asynchronously: enqueue each firing; executor workers
+    // run it as an independent transaction (retrying Deadlock/Busy).
+    for (Firing& firing : firings) {
+      firing.depth = depth + 1;
+      auto task = std::make_shared<Firing>(std::move(firing));
+      bool accepted = trigger_exec_->Submit(
+          [this, task]() { return RunOneFiring(*task); });
+      if (!accepted) {
+        ODE_LOG(kWarn) << "trigger action (id " << task->trigger_id
+                       << ") dropped: executor is shut down";
+      }
+    }
+    return;
+  }
+  for (Firing& firing : firings) {
+    firing.depth = depth + 1;
+    Status s = RunOneFiring(firing);
+    if (!s.ok() && (s.IsDeadlock() || s.IsBusy())) {
       ODE_LOG(kWarn) << "trigger action (id " << firing.trigger_id
                      << ") failed: " << s.ToString();
     }
   }
-  trigger_depth_--;
 }
 
 Status Database::RunPendingTriggers() {
   int rounds = 0;
-  while (!pending_firings_.empty()) {
-    if (++rounds > options_.max_trigger_cascade_depth) {
-      ODE_LOG(kWarn) << "trigger cascade depth limit reached; "
-                     << pending_firings_.size() << " firing(s) dropped";
-      pending_firings_.clear();
-      break;
-    }
+  while (true) {
     std::vector<Firing> batch;
-    batch.swap(pending_firings_);
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      if (pending_firings_.empty()) break;
+      if (++rounds > options_.max_trigger_cascade_depth) {
+        ODE_LOG(kWarn) << "trigger cascade depth limit reached; "
+                       << pending_firings_.size() << " firing(s) dropped";
+        pending_firings_.clear();
+        break;
+      }
+      batch.swap(pending_firings_);
+    }
     ExecuteFirings(std::move(batch));
+    DrainTriggers();  // cascades re-enter pending_ only in deferred mode
   }
   return Status::OK();
+}
+
+void Database::DrainTriggers() {
+  if (trigger_exec_ != nullptr) trigger_exec_->Drain();
 }
 
 }  // namespace ode

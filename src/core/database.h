@@ -3,9 +3,12 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "concur/session_manager.h"
+#include "concur/trigger_executor.h"
 #include "core/constraint.h"
 #include "core/options.h"
 #include "core/ref.h"
@@ -27,9 +30,15 @@ class Transaction;
 /// C++ embedding of what O++ source compiles down to; the `oppc` translator
 /// (src/opp) emits calls against this API.
 ///
-/// Thread model: single-threaded, one active transaction at a time — the
-/// paper explicitly defers concurrency ("any O++ program ... will be
-/// considered to be a single transaction").
+/// Thread model (docs/CONCURRENCY.md): any number of threads may call
+/// Begin()/RunTransaction() concurrently; each transaction is bound to the
+/// thread that began it and has a private object cache. Isolation is strict
+/// two-phase locking through the engine's lock manager (shared/exclusive
+/// locks at object, cluster and schema granularity), with deadlock detection
+/// — the victim's transaction fails with Status::Deadlock and
+/// RunTransaction retries it. The paper itself defers concurrency ("any O++
+/// program ... will be considered to be a single transaction"); this is the
+/// natural multi-session extension.
 class Database {
  public:
   Database(const Database&) = delete;
@@ -46,15 +55,20 @@ class Database {
 
   // --- Transactions --------------------------------------------------------
 
-  /// Starts a transaction. At most one can be open.
+  /// Starts a transaction bound to the calling thread. At most one can be
+  /// open per thread; any number of threads may each have one.
   Result<std::unique_ptr<Transaction>> Begin();
 
   /// Runs `body` in a transaction: commit on OK, abort on error. The commit
-  /// itself can fail (e.g. ConstraintViolation), which also aborts.
+  /// itself can fail (e.g. ConstraintViolation), which also aborts. If the
+  /// transaction loses a deadlock or times out on a lock, the whole body is
+  /// retried up to DatabaseOptions::max_txn_retries times with jittered
+  /// backoff (counted in txn.deadlock_retries).
   Status RunTransaction(const std::function<Status(Transaction&)>& body);
 
-  /// The open transaction, if any (used by Ref<T>::operator->).
-  Transaction* active_txn() const { return active_txn_; }
+  /// The calling thread's open transaction, if any (used by
+  /// Ref<T>::operator->).
+  Transaction* active_txn() const { return sessions_.Current(); }
 
   // --- Clusters (paper §2.5) -----------------------------------------------
 
@@ -104,7 +118,14 @@ class Database {
   /// Executes firings deferred by run_triggers_on_commit=false.
   Status RunPendingTriggers();
 
-  size_t pending_trigger_count() const { return pending_firings_.size(); }
+  size_t pending_trigger_count() const {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    return pending_firings_.size();
+  }
+
+  /// Blocks until every trigger action queued to the async executor has
+  /// finished (no-op when trigger_executor_threads == 0).
+  void DrainTriggers();
 
   // --- Indexes ---------------------------------------------------------------
 
@@ -149,6 +170,8 @@ class Database {
     Counter* constraint_violations;  ///< txn.constraint_violations
     Counter* trigger_firings;        ///< txn.trigger_firings
     Counter* cache_evictions;        ///< txn.cache_evictions
+    Counter* deadlock_retries;       ///< txn.deadlock_retries — RunTransaction
+                                     ///< re-runs after Deadlock/Busy
     Counter* scans;                  ///< query.scans — full-cluster ForAll runs
     Counter* index_scans;            ///< query.index_scans — indexed ForAll runs
     Counter* oid_list_scans;         ///< query.oid_list_scans — OverOids runs
@@ -195,9 +218,12 @@ class Database {
     uint64_t trigger_id;
     Oid oid;
     std::vector<double> params;
+    int depth = 0;  ///< Cascade depth (firings fired by firings).
   };
 
-  /// Runs each firing as an independent transaction (weak coupling, §6).
+  /// Runs each firing as an independent transaction (weak coupling, §6) —
+  /// synchronously, or through the async executor when
+  /// trigger_executor_threads > 0.
   void ExecuteFirings(std::vector<Firing> firings);
 
   /// Test hook: abandons the database as a crash would (no checkpoint; the
@@ -213,9 +239,13 @@ class Database {
   Database(const DatabaseOptions& options,
            std::unique_ptr<StorageEngine> engine);
 
-  /// Runs `fn` inside the active transaction if one is open, else inside a
-  /// fresh one (used by schema conveniences).
+  /// Runs `fn` inside the calling thread's transaction if one is open, else
+  /// inside a fresh one (used by schema conveniences).
   Status InTransaction(const std::function<Status(Transaction&)>& fn);
+
+  /// Runs one firing as its own transaction, retrying Deadlock/Busy up to
+  /// `max_retries` (the async executor path passes trigger_max_retries).
+  Status RunOneFiring(const Firing& firing);
 
   DatabaseOptions options_;
   std::unique_ptr<StorageEngine> engine_;
@@ -225,9 +255,12 @@ class Database {
   CatalogData catalog_;
   ConstraintRegistry constraints_;
   TriggerRegistry triggers_;
-  Transaction* active_txn_ = nullptr;
+  /// Thread → its open transaction (thread-affine sessions).
+  mutable concur::SessionManager<Transaction> sessions_;
+  /// Async trigger daemon; null when trigger_executor_threads == 0.
+  std::unique_ptr<concur::TriggerExecutor> trigger_exec_;
+  mutable std::mutex pending_mu_;  ///< Guards pending_firings_.
   std::vector<Firing> pending_firings_;
-  int trigger_depth_ = 0;
   bool closed_ = false;
 };
 

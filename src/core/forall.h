@@ -283,6 +283,10 @@ class ForAll {
       *oids = explicit_oids_;
       return Status::OK();
     }
+    // Shared-lock the indexed cluster before reading the B-tree, so a
+    // concurrent writer (which would take it exclusive) cannot mutate the
+    // tree under the scan.
+    ODE_RETURN_IF_ERROR(txn_->LockIndexShared(index_));
     IndexManager& indexes = txn_->db().indexes();
     if (index_mode_ == IndexMode::kExact) {
       return indexes.ScanExact(index_, index_lo_, oids);

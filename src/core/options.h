@@ -33,6 +33,28 @@ struct DatabaseOptions {
   /// contract. Ordered (`By`) materialization pins its working set for the
   /// duration of the sort regardless of the bound.
   size_t max_cached_objects = 0;
+
+  /// RunTransaction retries the body this many times when the transaction
+  /// loses a deadlock (Status::Deadlock) or times out waiting for a lock
+  /// (Status::Busy), with jittered exponential backoff between attempts.
+  /// 0 disables retrying.
+  int max_txn_retries = 8;
+
+  /// Worker threads for the asynchronous trigger executor. 0 (the default)
+  /// runs fired trigger actions synchronously on the committing thread —
+  /// the historical behavior. A positive value enqueues each firing to a
+  /// bounded daemon pool that runs it as an independent transaction (the
+  /// paper's weak coupling, §6, without blocking the committer). Call
+  /// Database::DrainTriggers() to wait for queued actions.
+  int trigger_executor_threads = 0;
+
+  /// Bound on the async trigger queue; committers block (briefly) when it
+  /// is full rather than queueing unbounded work.
+  size_t trigger_queue_capacity = 256;
+
+  /// Async trigger actions that lose a deadlock or time out retry this many
+  /// times before the firing is dropped with a warning.
+  int trigger_max_retries = 5;
 };
 
 }  // namespace ode

@@ -27,7 +27,21 @@ Status Transaction::Start() {
   ODE_ASSIGN_OR_RETURN(TxnId id, db_->engine().BeginTxn());
   txn_id_ = id;
   open_ = true;
-  db_->active_txn_ = this;
+  db_->sessions_.Bind(this);
+  // Every transaction reads the shared in-memory catalog, so it holds the
+  // schema lock (shared) for its whole life; DDL upgrades it to exclusive.
+  Status locked = db_->engine().lock_manager().Acquire(
+      txn_id_, concur::kSchemaResource, concur::LockMode::kShared);
+  if (!locked.ok()) {
+    open_ = false;
+    db_->sessions_.Unbind(this);
+    Status aborted = db_->engine().AbortTxn(txn_id_);
+    if (!aborted.ok()) {
+      ODE_LOG(kError) << "abort after failed schema lock also failed: "
+                      << aborted.ToString();
+    }
+    return locked;
+  }
   return Status::OK();
 }
 
@@ -36,8 +50,42 @@ Status Transaction::CloseOut(bool aborted) {
   cache_.clear();
   lru_.clear();
   open_ = false;
-  if (db_->active_txn_ == this) db_->active_txn_ = nullptr;
+  catalog_dirty_ = false;
+  db_->sessions_.Unbind(this);
+  db_->engine().ReleaseTxnLocks(txn_id_);
   return Status::OK();
+}
+
+// --- Lock acquisition --------------------------------------------------------
+
+Status Transaction::LockObject(Oid oid, concur::LockMode mode) {
+  return db_->engine().lock_manager().Acquire(
+      txn_id_, concur::ObjectResource(oid.Pack()), mode);
+}
+
+Status Transaction::LockCluster(ClusterId cluster, concur::LockMode mode) {
+  return db_->engine().lock_manager().Acquire(
+      txn_id_, concur::ClusterResource(cluster), mode);
+}
+
+Status Transaction::LockSchemaExclusive() {
+  ODE_RETURN_IF_ERROR(db_->engine().lock_manager().Acquire(
+      txn_id_, concur::kSchemaResource, concur::LockMode::kExclusive));
+  catalog_dirty_ = true;
+  return Status::OK();
+}
+
+Status Transaction::LockSchemaIfIndexed(ClusterId cluster) {
+  for (const auto& index : db_->catalog().indexes) {
+    if (index.cluster == cluster) return LockSchemaExclusive();
+  }
+  return Status::OK();
+}
+
+Status Transaction::LockIndexShared(const std::string& index_name) {
+  const CatalogData::IndexEntry* entry = db_->catalog().FindIndex(index_name);
+  if (entry == nullptr) return Status::OK();
+  return LockCluster(entry->cluster, concur::LockMode::kShared);
 }
 
 // --- Object cache -----------------------------------------------------------
@@ -105,6 +153,9 @@ Status Transaction::LoadObject(Oid oid, uint32_t vnum, Cached** out) {
     return Status::NotFound("object " + oid.ToString() + " was deleted");
   }
 
+  // First touch of this object: shared lock before reading storage (2PL —
+  // a cache hit above means the lock is already held).
+  ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kShared));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
   std::string bytes;
   uint32_t type_code = 0;
@@ -139,6 +190,9 @@ Status Transaction::LoadObject(Oid oid, uint32_t vnum, Cached** out) {
 }
 
 Status Transaction::MarkWrite(Oid oid, Cached** out) {
+  // Exclusive object lock BEFORE the (possibly shared-locking) load, so a
+  // write-after-read upgrades and a blind write never takes S first.
+  ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
   Cached* cached = nullptr;
   ODE_RETURN_IF_ERROR(LoadObject(oid, kGenericVersion, &cached));
   if (!cached->dirty && !cached->is_new && !cached->old_keys_captured) {
@@ -170,21 +224,33 @@ Status Transaction::Delete(const RefBase& ref) {
     return DeleteVersion(ref);
   }
   const Oid oid = ref.oid();
+  // Deletion shrinks the cluster extent: exclusive object AND cluster locks.
+  ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
+  ODE_RETURN_IF_ERROR(LockCluster(oid.cluster, concur::LockMode::kExclusive));
+  ODE_RETURN_IF_ERROR(LockSchemaIfIndexed(oid.cluster));
   // Load for index-entry removal (pre-delete state).
   Cached* cached = nullptr;
   ODE_RETURN_IF_ERROR(LoadObject(oid, kGenericVersion, &cached));
   ODE_RETURN_IF_ERROR(db_->indexes().OnErase(oid.cluster, oid, cached->obj));
 
-  // Remove persistent trigger activations on this object.
+  // Remove persistent trigger activations on this object. Probe under our
+  // shared schema lock; mutate only under the exclusive upgrade (re-running
+  // the removal there, in case the list changed while we waited).
   auto& activations = db_->catalog().triggers;
-  const size_t before = activations.size();
-  activations.erase(
-      std::remove_if(activations.begin(), activations.end(),
-                     [&](const CatalogData::TriggerActivation& a) {
-                       return a.cluster == oid.cluster && a.local == oid.local;
-                     }),
-      activations.end());
-  if (activations.size() != before) {
+  const bool any_activations = std::any_of(
+      activations.begin(), activations.end(),
+      [&](const CatalogData::TriggerActivation& a) {
+        return a.cluster == oid.cluster && a.local == oid.local;
+      });
+  if (any_activations) {
+    ODE_RETURN_IF_ERROR(LockSchemaExclusive());
+    activations.erase(
+        std::remove_if(activations.begin(), activations.end(),
+                       [&](const CatalogData::TriggerActivation& a) {
+                         return a.cluster == oid.cluster &&
+                                a.local == oid.local;
+                       }),
+        activations.end());
     ODE_RETURN_IF_ERROR(db_->SaveCatalog());
   }
 
@@ -206,6 +272,7 @@ Result<bool> Transaction::Exists(const RefBase& ref) {
   if (ref.null()) return false;
   auto head_it = cache_.find({ref.oid().Pack(), kGenericVersion});
   if (head_it != cache_.end()) return !head_it->second->deleted;
+  ODE_RETURN_IF_ERROR(LockObject(ref.oid(), concur::LockMode::kShared));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
   ObjectTable::Entry entry;
   Status s = db_->store().GetInfo(root, ref.oid().local, &entry);
@@ -222,6 +289,7 @@ Result<uint32_t> Transaction::NewVersion(const RefBase& ref) {
     return Status::InvalidArgument("newversion takes a generic reference");
   }
   const Oid oid = ref.oid();
+  ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
   // Pending in-memory changes must reach the store before the snapshot.
   auto it = cache_.find({oid.Pack(), kGenericVersion});
   if (it != cache_.end()) {
@@ -243,6 +311,7 @@ Status Transaction::DeleteVersion(const RefBase& ref) {
     return Status::InvalidArgument("delversion takes a version reference");
   }
   const Oid oid = ref.oid();
+  ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
 
   ObjectTable::Entry head;
@@ -316,6 +385,7 @@ Result<uint32_t> Transaction::CurrentVnum(const RefBase& ref) {
   if (it != cache_.end() && !it->second->deleted) {
     return it->second->resolved_vnum;
   }
+  ODE_RETURN_IF_ERROR(LockObject(ref.oid(), concur::LockMode::kShared));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
   ObjectTable::Entry entry;
   ODE_RETURN_IF_ERROR(db_->store().GetInfo(root, ref.oid().local, &entry));
@@ -327,6 +397,7 @@ Result<std::string> Transaction::DynamicTypeOf(const RefBase& ref) {
   if (it != cache_.end() && !it->second->deleted) {
     return it->second->type->name;
   }
+  ODE_RETURN_IF_ERROR(LockObject(ref.oid(), concur::LockMode::kShared));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
   ObjectTable::Entry entry;
   ODE_RETURN_IF_ERROR(db_->store().GetInfo(root, ref.oid().local, &entry));
@@ -343,6 +414,10 @@ Status Transaction::CreateClusterByName(const std::string& type_name) {
   if (db_->catalog().FindClusterByType(type_name) != nullptr) {
     return Status::AlreadyExists("cluster for " + type_name);
   }
+  ODE_RETURN_IF_ERROR(LockSchemaExclusive());
+  if (db_->catalog().FindClusterByType(type_name) != nullptr) {
+    return Status::AlreadyExists("cluster for " + type_name);  // lost a race
+  }
   ODE_ASSIGN_OR_RETURN(uint32_t code, db_->EnsureTypeCode(type_name));
   (void)code;
   PageId root;
@@ -357,7 +432,9 @@ Status Transaction::CreateClusterByName(const std::string& type_name) {
 
 Status Transaction::DropClusterByName(const std::string& type_name) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   ODE_ASSIGN_OR_RETURN(ClusterId cluster, db_->ClusterIdForName(type_name));
+  ODE_RETURN_IF_ERROR(LockCluster(cluster, concur::LockMode::kExclusive));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(cluster));
 
   // Indexes on the cluster go wholesale (no per-object maintenance needed).
@@ -404,7 +481,9 @@ Status Transaction::CreateIndexByName(const std::string& index_name,
                                       const std::string& type_name,
                                       IndexManager::Extractor extractor) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   ODE_ASSIGN_OR_RETURN(ClusterId cluster, db_->ClusterIdForName(type_name));
+  ODE_RETURN_IF_ERROR(LockCluster(cluster, concur::LockMode::kExclusive));
   ODE_RETURN_IF_ERROR(
       db_->indexes().CreateIndex(index_name, cluster, extractor));
   // Backfill existing objects.
@@ -439,6 +518,7 @@ Result<uint64_t> Transaction::ActivateTriggerOn(const RefBase& ref,
     return Status::NotFound("trigger definition '" + trigger_name +
                             "' for class " + dynamic_type);
   }
+  ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   ODE_ASSIGN_OR_RETURN(uint64_t id, db_->NextTriggerId());
   CatalogData::TriggerActivation activation;
   activation.trigger_id = id;
@@ -454,6 +534,7 @@ Result<uint64_t> Transaction::ActivateTriggerOn(const RefBase& ref,
 
 Status Transaction::DeactivateTrigger(uint64_t trigger_id) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   auto& activations = db_->catalog().triggers;
   for (auto it = activations.begin(); it != activations.end(); ++it) {
     if (it->trigger_id == trigger_id) {
@@ -467,6 +548,7 @@ Status Transaction::DeactivateTrigger(uint64_t trigger_id) {
 Result<size_t> Transaction::DeactivateTriggersOn(
     const RefBase& ref, const std::string& trigger_name) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   auto& activations = db_->catalog().triggers;
   const size_t before = activations.size();
   activations.erase(
@@ -496,8 +578,17 @@ size_t Transaction::ActiveTriggerCount(const RefBase& ref) const {
 
 Status Transaction::NextInCluster(ClusterId cluster, LocalOid start,
                                   LocalOid* local, bool* found) {
+  // Scan stability: block concurrent insert/delete into the cluster (which
+  // take it exclusive) for the rest of this transaction.
+  ODE_RETURN_IF_ERROR(LockCluster(cluster, concur::LockMode::kShared));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(cluster));
   return db_->store().NextHead(root, start, local, found);
+}
+
+Status Transaction::DropIndex(const std::string& name) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(LockSchemaExclusive());
+  return db_->indexes().DropIndex(name);
 }
 
 // --- Commit path -------------------------------------------------------------------------
@@ -526,6 +617,12 @@ Status Transaction::CheckConstraints() {
 }
 
 Status Transaction::MaintainIndexes() {
+  for (auto& [key, cached] : cache_) {
+    if (key.second != kGenericVersion || cached->deleted) continue;
+    if (!cached->is_new && !cached->dirty) continue;
+    ODE_RETURN_IF_ERROR(
+        LockSchemaIfIndexed(Oid::Unpack(key.first).cluster));
+  }
   for (auto& [key, cached] : cache_) {
     if (key.second != kGenericVersion || cached->deleted) continue;
     const Oid oid = Oid::Unpack(key.first);
@@ -573,6 +670,9 @@ Status Transaction::EvaluateTriggers(std::vector<Database::Firing>* fired) {
     }
   }
   if (!deactivated.empty()) {
+    // Once-only activations burn at fire time: a catalog mutation, so the
+    // schema lock upgrades to exclusive first.
+    ODE_RETURN_IF_ERROR(LockSchemaExclusive());
     activations.erase(
         std::remove_if(activations.begin(), activations.end(),
                        [&](const CatalogData::TriggerActivation& a) {
@@ -607,7 +707,9 @@ Status Transaction::Commit() {
   std::vector<Database::Firing> fired;
   ODE_RETURN_IF_ERROR(EvaluateTriggers(&fired));
 
-  Status committed = db_->engine().CommitTxn(txn_id_);
+  // Keep our locks across the engine commit; CloseOut releases them after
+  // the core layer is fully done (2PL release point).
+  Status committed = db_->engine().CommitTxn(txn_id_, /*release_locks=*/false);
   if (!committed.ok()) {
     // The engine degraded the commit to a rollback (or refused it); the
     // in-memory catalog still reflects this transaction's writes, so abort
@@ -631,6 +733,7 @@ Status Transaction::Commit() {
     if (db_->options().run_triggers_on_commit) {
       db_->ExecuteFirings(std::move(fired));
     } else {
+      std::lock_guard<std::mutex> lock(db_->pending_mu_);
       for (auto& f : fired) db_->pending_firings_.push_back(std::move(f));
     }
   }
@@ -639,12 +742,19 @@ Status Transaction::Commit() {
 
 Status Transaction::Abort() {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  const bool reload_catalog = catalog_dirty_;
   // A failed CommitTxn already rolled the engine back; only abort the
-  // engine-level transaction if it is still ours.
+  // engine-level transaction if it is still ours. Locks stay held until
+  // CloseOut — the catalog reload below must happen under them.
   if (db_->engine().in_txn() && db_->engine().active_txn() == txn_id_) {
-    ODE_RETURN_IF_ERROR(db_->engine().AbortTxn(txn_id_));
+    ODE_RETURN_IF_ERROR(db_->engine().AbortTxn(txn_id_,
+                                               /*release_locks=*/false));
   }
-  ODE_RETURN_IF_ERROR(db_->ReloadCatalog());
+  if (reload_catalog) {
+    // We mutated the shared in-memory catalog (under the exclusive schema
+    // lock, which we still hold — no one can observe the reload mid-way).
+    ODE_RETURN_IF_ERROR(db_->ReloadCatalog());
+  }
   return CloseOut(/*aborted=*/true);
 }
 

@@ -1,10 +1,19 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "util/logging.h"
 
 namespace ode {
+
+namespace {
+
+std::shared_ptr<char[]> NewPageBuffer() {
+  return std::shared_ptr<char[]>(new char[kPageSize]());
+}
+
+}  // namespace
 
 BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
                        MetricsRegistry* metrics)
@@ -20,32 +29,30 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
   m_frames_ = m.GetGauge("storage.pool.frames");
 }
 
-Status BufferPool::Fetch(PageId id, Frame** frame) {
+Status BufferPool::FetchLocked(PageId id, Frame** frame) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
-    stats_.hits++;
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
     m_hits_->Add();
     Frame* f = it->second.get();
-    f->pins++;
     lru_.splice(lru_.begin(), lru_, f->lru_pos);  // move to MRU position
     *frame = f;
     return Status::OK();
   }
-  stats_.misses++;
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
   m_misses_->Add();
   ODE_RETURN_IF_ERROR(EnsureRoom());
   auto f = std::make_unique<Frame>();
   f->id = id;
-  f->data = std::make_unique<char[]>(kPageSize);
+  f->data = NewPageBuffer();
   // Read before the frame is linked into frames_/lru_: a failed read must
   // not leave a half-initialized frame behind.
   Status read = pager_->ReadPage(id, f->data.get());
   if (!read.ok()) {
-    stats_.read_errors++;
+    stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
     m_read_errors_->Add();
     return read;
   }
-  f->pins = 1;
   lru_.push_front(id);
   f->lru_pos = lru_.begin();
   Frame* raw = f.get();
@@ -55,7 +62,68 @@ Status BufferPool::Fetch(PageId id, Frame** frame) {
   return Status::OK();
 }
 
+Status BufferPool::FetchHandle(PageId id, PageHandle* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* f = nullptr;
+  ODE_RETURN_IF_ERROR(FetchLocked(id, &f));
+  PageHandle h;
+  h.owner_ = f->data;  // shared: survives Install()'s buffer swap / eviction
+  h.data_ = h.owner_.get();
+  h.id_ = id;
+  *handle = std::move(h);
+  return Status::OK();
+}
+
+void BufferPool::Install(PageId id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  Frame* f;
+  if (it != frames_.end()) {
+    f = it->second.get();
+    lru_.splice(lru_.begin(), lru_, f->lru_pos);
+  } else {
+    // The commit behind this Install is already durable in the WAL; a full
+    // pool grows (EnsureRoom never errors hard for an unpinnable pool, and a
+    // flush error during eviction merely grows too — the WAL protects us).
+    bool evicted = false;
+    if (frames_.size() >= capacity_) {
+      Status s = EvictOne(&evicted);
+      if (!s.ok()) {
+        ODE_LOG(kWarn) << "pool: eviction flush failed during Install ("
+                       << s.ToString() << "); growing instead";
+      }
+      if (!evicted) {
+        stats_.grows.fetch_add(1, std::memory_order_relaxed);
+        m_grows_->Add();
+      }
+    }
+    auto owned = std::make_unique<Frame>();
+    owned->id = id;
+    f = owned.get();
+    lru_.push_front(id);
+    f->lru_pos = lru_.begin();
+    frames_.emplace(id, std::move(owned));
+    m_frames_->Set(static_cast<int64_t>(frames_.size()));
+  }
+  // Fresh buffer rather than memcpy into the old one: outstanding
+  // PageHandles keep the old image alive and never see a torn write.
+  auto buf = NewPageBuffer();
+  std::memcpy(buf.get(), data, kPageSize);
+  f->data = std::move(buf);
+  f->dirty = true;
+}
+
+Status BufferPool::Fetch(PageId id, Frame** frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* f = nullptr;
+  ODE_RETURN_IF_ERROR(FetchLocked(id, &f));
+  f->pins++;
+  *frame = f;
+  return Status::OK();
+}
+
 void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(frame->pins > 0);
   frame->pins--;
 }
@@ -68,11 +136,10 @@ Status BufferPool::EvictOne(bool* evicted) {
     assert(found != frames_.end());
     Frame* f = found->second.get();
     if (f->pins > 0) continue;
-    if (f->dirty && !f->flushable) continue;  // No-steal: keep txn pages.
     if (f->dirty) {
-      ODE_RETURN_IF_ERROR(FlushFrame(f));
+      ODE_RETURN_IF_ERROR(FlushFrameLocked(f));
     }
-    stats_.evictions++;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     m_evictions_->Add();
     RemoveFrame(f);
     *evicted = true;
@@ -92,14 +159,15 @@ Status BufferPool::EnsureRoom() {
   bool evicted = false;
   ODE_RETURN_IF_ERROR(EvictOne(&evicted));
   if (!evicted) {
-    // Everything pinned or unflushable: grow rather than fail.
-    stats_.grows++;
+    // Everything pinned: grow rather than fail.
+    stats_.grows.fetch_add(1, std::memory_order_relaxed);
     m_grows_->Add();
   }
   return Status::OK();
 }
 
 Status BufferPool::ShrinkToCapacity() {
+  std::lock_guard<std::mutex> lock(mu_);
   while (frames_.size() > capacity_) {
     bool evicted = false;
     ODE_RETURN_IF_ERROR(EvictOne(&evicted));
@@ -108,30 +176,40 @@ Status BufferPool::ShrinkToCapacity() {
   return Status::OK();
 }
 
-Status BufferPool::FlushFrame(Frame* frame) {
+Status BufferPool::FlushFrameLocked(Frame* frame) {
   if (!frame->dirty) return Status::OK();
-  assert(frame->flushable);
   ODE_RETURN_IF_ERROR(pager_->WritePage(frame->id, frame->data.get()));
   frame->dirty = false;
-  stats_.flushes++;
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
   m_flushes_->Add();
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, f] : frames_) {
-    if (f->dirty && f->flushable) {
-      ODE_RETURN_IF_ERROR(FlushFrame(f.get()));
+    if (f->dirty) {
+      ODE_RETURN_IF_ERROR(FlushFrameLocked(f.get()));
     }
   }
   return Status::OK();
 }
 
 void BufferPool::Evict(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) return;
   if (it->second->pins > 0 || it->second->dirty) return;
   RemoveFrame(it->second.get());
+}
+
+void BufferPool::ResetStats() {
+  stats_.hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.flushes.store(0, std::memory_order_relaxed);
+  stats_.grows.store(0, std::memory_order_relaxed);
+  stats_.read_errors.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ode

@@ -1,9 +1,11 @@
 #ifndef ODE_STORAGE_BUFFER_POOL_H_
 #define ODE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/page.h"
@@ -14,32 +16,39 @@
 namespace ode {
 
 /// A fixed-capacity (growable under pressure) page cache over the Pager with
-/// pin counts and true LRU eviction (recency list maintained on every
-/// fetch; victims found from the cold end in O(evictable distance)).
+/// true LRU eviction (recency list maintained on every fetch; victims found
+/// from the cold end).
 ///
-/// Flushing discipline: a frame whose `dirty` flag is set differs from the
-/// database file. A dirty frame may only be written back when `flushable` is
-/// also set — the StorageEngine clears `flushable` while the page belongs to
-/// an uncommitted transaction (no-steal policy) and sets it at commit.
+/// Concurrency contract (see docs/CONCURRENCY.md): the pool caches ONLY
+/// committed page images. Transactions never mutate pool frames in place —
+/// they write private shadow copies owned by the StorageEngine's per-txn
+/// state, and at commit the engine publishes each shadow atomically with
+/// Install(). All structural state (maps, LRU list, frame flags) is guarded
+/// by an internal mutex; readers obtained through FetchHandle() keep the
+/// frame's buffer alive via shared ownership, so a concurrent Install() of a
+/// newer image can swap the frame's buffer without pulling bytes out from
+/// under anyone.
 class BufferPool {
  public:
   struct Frame {
     PageId id = kInvalidPageId;
-    int pins = 0;
+    int pins = 0;            ///< Legacy Fetch/Unpin pins (tests, tools).
     bool dirty = false;      ///< Frame content differs from the db file.
-    bool flushable = true;   ///< May be written back (committed content).
     std::list<PageId>::iterator lru_pos;  ///< Position in the recency list.
-    std::unique_ptr<char[]> data;
+    /// Shared so outstanding PageHandles keep a swapped-out image alive.
+    std::shared_ptr<char[]> data;
   };
 
+  /// All fields are atomics: stats are bumped from concurrent sessions.
+  /// Loads convert implicitly, so `stats().hits == 3u` reads naturally.
   struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t flushes = 0;
-    uint64_t grows = 0;  ///< Times the pool exceeded capacity under pressure.
-    uint64_t read_errors = 0;  ///< Misses whose page read failed (no frame
-                               ///< is cached; the pool stays consistent).
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> grows{0};  ///< Times the pool exceeded capacity.
+    std::atomic<uint64_t> read_errors{0};  ///< Misses whose page read failed
+                                           ///< (no frame is cached).
   };
 
   /// `metrics` mirrors the Stats struct into `storage.pool.*` registry
@@ -50,44 +59,62 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins the frame holding `id`, loading it from the pager on a miss.
-  /// The caller must Unpin() exactly once per successful Fetch.
+  /// Fetches the committed image of `id` into `*handle` (loading from the
+  /// pager on a miss). The handle shares ownership of the buffer: it stays
+  /// readable even if a later Install() replaces the frame's image or the
+  /// frame is evicted. No pin is taken — eviction is safe.
+  Status FetchHandle(PageId id, class PageHandle* handle);
+
+  /// Publishes a committed page image: the frame (created on demand) gets a
+  /// fresh buffer holding `data`, marked dirty, swapped in atomically under
+  /// the pool mutex. Never fails: if the pool is full and nothing is
+  /// evictable it grows instead (the commit this image belongs to is already
+  /// durable in the WAL — failure is not an option here).
+  void Install(PageId id, const char* data);
+
+  /// Legacy pinning fetch (single-threaded tests and tools). The caller must
+  /// Unpin() exactly once per successful Fetch; the Frame* stays resident
+  /// until unpinned. Concurrent Install() to the same page still swaps the
+  /// buffer — do not hold raw data pointers across engine commits.
   Status Fetch(PageId id, Frame** frame);
 
   void Unpin(Frame* frame);
 
-  /// Writes back every dirty+flushable frame; clears their dirty flags.
+  /// Writes back every dirty frame; clears their dirty flags.
   Status FlushAll();
-
-  /// Writes back one frame if dirty (must be flushable).
-  Status FlushFrame(Frame* frame);
 
   /// Drops an unpinned clean frame from the pool if cached (test helper).
   void Evict(PageId id);
 
   /// Evicts LRU frames (flushing dirty ones) until the pool is back within
-  /// capacity. Called after commit/abort releases the no-steal pins that
-  /// forced the pool to grow.
+  /// capacity. Called after commit when Install() had to grow.
   Status ShrinkToCapacity();
 
   size_t capacity() const { return capacity_; }
-  size_t size() const { return frames_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  void ResetStats();
 
  private:
   /// Makes room for one more frame if at capacity. Grows the pool when every
-  /// frame is pinned or unflushable.
+  /// frame is pinned. Requires mu_ held.
   Status EnsureRoom();
 
   /// Evicts the least-recently-used evictable frame; sets *evicted=false if
-  /// every frame is pinned or unflushable.
+  /// every frame is pinned. Requires mu_ held.
   Status EvictOne(bool* evicted);
 
+  /// Requires mu_ held.
+  Status FlushFrameLocked(Frame* frame);
   void RemoveFrame(Frame* frame);
+  Status FetchLocked(PageId id, Frame** frame);
 
   Pager* pager_;
   size_t capacity_;
+  mutable std::mutex mu_;  ///< Guards frames_, lru_, and frame fields.
   std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
   /// Recency order: front = most recently used, back = LRU victim side.
   std::list<PageId> lru_;
@@ -102,49 +129,81 @@ class BufferPool {
   Gauge* m_frames_;  ///< storage.pool.frames: current resident frame count
 };
 
-/// RAII pin on a buffer-pool frame.
+/// A readable (and for transaction shadow pages, writable) view of one page.
+///
+/// Three flavors share this one type so callers are agnostic:
+///  - FetchHandle(): shares ownership of a committed pool buffer (owner_
+///    set, frame_ null) — safe across concurrent Install/eviction.
+///  - Borrowed(): a non-owning view of a transaction's private shadow page
+///    (only data_/id_ set) — lifetime bounded by the transaction.
+///  - legacy pinned mode (pool_ + frame_): RAII Unpin on release.
 class PageHandle {
  public:
-  PageHandle() : pool_(nullptr), frame_(nullptr) {}
+  PageHandle() = default;
   PageHandle(BufferPool* pool, BufferPool::Frame* frame)
-      : pool_(pool), frame_(frame) {}
+      : pool_(pool),
+        frame_(frame),
+        data_(frame != nullptr ? frame->data.get() : nullptr),
+        id_(frame != nullptr ? frame->id : kInvalidPageId) {}
   ~PageHandle() { Release(); }
+
+  /// A non-owning view (transaction shadow pages). The caller guarantees
+  /// `data` outlives the handle.
+  static PageHandle Borrowed(PageId id, char* data) {
+    PageHandle h;
+    h.id_ = id;
+    h.data_ = data;
+    return h;
+  }
 
   PageHandle(const PageHandle&) = delete;
   PageHandle& operator=(const PageHandle&) = delete;
-  PageHandle(PageHandle&& other) noexcept
-      : pool_(other.pool_), frame_(other.frame_) {
-    other.pool_ = nullptr;
-    other.frame_ = nullptr;
-  }
+  PageHandle(PageHandle&& other) noexcept { MoveFrom(other); }
   PageHandle& operator=(PageHandle&& other) noexcept {
     if (this != &other) {
       Release();
-      pool_ = other.pool_;
-      frame_ = other.frame_;
-      other.pool_ = nullptr;
-      other.frame_ = nullptr;
+      MoveFrom(other);
     }
     return *this;
   }
 
-  bool valid() const { return frame_ != nullptr; }
-  PageId id() const { return frame_->id; }
-  const char* data() const { return frame_->data.get(); }
-  char* mutable_data() { return frame_->data.get(); }
+  bool valid() const { return data_ != nullptr; }
+  PageId id() const { return id_; }
+  const char* data() const { return data_; }
+  char* mutable_data() { return data_; }
   BufferPool::Frame* frame() { return frame_; }
 
   void Release() {
-    if (frame_ != nullptr) {
+    if (frame_ != nullptr && pool_ != nullptr) {
       pool_->Unpin(frame_);
-      frame_ = nullptr;
-      pool_ = nullptr;
     }
+    pool_ = nullptr;
+    frame_ = nullptr;
+    owner_.reset();
+    data_ = nullptr;
+    id_ = kInvalidPageId;
   }
 
  private:
-  BufferPool* pool_;
-  BufferPool::Frame* frame_;
+  friend class BufferPool;
+
+  void MoveFrom(PageHandle& other) {
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    owner_ = std::move(other.owner_);
+    data_ = other.data_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+    other.data_ = nullptr;
+    other.id_ = kInvalidPageId;
+  }
+
+  BufferPool* pool_ = nullptr;
+  BufferPool::Frame* frame_ = nullptr;   ///< Legacy pinned mode only.
+  std::shared_ptr<char[]> owner_;        ///< FetchHandle shared-buffer mode.
+  char* data_ = nullptr;
+  PageId id_ = kInvalidPageId;
 };
 
 }  // namespace ode

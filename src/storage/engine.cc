@@ -1,15 +1,53 @@
 #include "storage/engine.h"
 
 #include <cassert>
+#include <cstring>
 #include <set>
 #include <vector>
-#include <cstring>
 
 #include "storage/recovery.h"
 #include "util/coding.h"
 #include "util/logging.h"
 
 namespace ode {
+
+namespace {
+
+/// Engine-instance generations. Globally unique and monotone so a reopened
+/// engine landing at a recycled heap address can never match a thread-local
+/// binding left behind by its predecessor.
+std::atomic<uint64_t> g_engine_gen{1};
+
+}  // namespace
+
+// --- Thread-local transaction binding --------------------------------------
+//
+// Each thread keeps a tiny map: engine generation -> its TxnState on that
+// engine. A map (rather than a single slot) so one thread can interleave
+// transactions on several engines (e.g. backup copying between databases).
+// Entries are erased on transaction end; an engine that dies with a live
+// entry (SimulateCrash) leaves a stale pair whose generation is never issued
+// again, so it can never be looked up.
+
+using TlsTxnMap = std::unordered_map<uint64_t, void*>;
+
+static TlsTxnMap& TlsTxns() {
+  static thread_local TlsTxnMap map;
+  return map;
+}
+
+StorageEngine::TxnState* StorageEngine::CurrentTxn() const {
+  TlsTxnMap& map = TlsTxns();
+  auto it = map.find(gen_);
+  if (it == map.end()) return nullptr;
+  return static_cast<TxnState*>(it->second);
+}
+
+void StorageEngine::BindTls(TxnState* txn) const { TlsTxns()[gen_] = txn; }
+
+void StorageEngine::UnbindTls() const { TlsTxns().erase(gen_); }
+
+// ---------------------------------------------------------------------------
 
 StorageEngine::StorageEngine(std::string path, std::unique_ptr<Pager> pager,
                              std::unique_ptr<Wal> wal,
@@ -19,7 +57,12 @@ StorageEngine::StorageEngine(std::string path, std::unique_ptr<Pager> pager,
       wal_(std::move(wal)),
       pool_(new BufferPool(pager_.get(), options.buffer_pool_pages,
                            options.metrics)),
+      locks_(new concur::LockManager(
+          options.metrics != nullptr ? options.metrics
+                                     : &MetricsRegistry::Global(),
+          options.lock_wait_timeout_ms)),
       options_(options),
+      gen_(g_engine_gen.fetch_add(1, std::memory_order_relaxed)),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : &MetricsRegistry::Global()) {
   m_txn_begins_ = metrics_->GetCounter("storage.engine.txn_begins");
@@ -29,6 +72,7 @@ StorageEngine::StorageEngine(std::string path, std::unique_ptr<Pager> pager,
   m_checkpoints_ = metrics_->GetCounter("storage.engine.checkpoints");
   m_pages_allocated_ = metrics_->GetCounter("storage.engine.pages_allocated");
   m_pages_freed_ = metrics_->GetCounter("storage.engine.pages_freed");
+  m_active_txns_ = metrics_->GetGauge("storage.engine.active_txns");
 }
 
 StorageEngine::~StorageEngine() {
@@ -67,175 +111,236 @@ Status StorageEngine::Open(const std::string& path,
 
   std::unique_ptr<StorageEngine> engine(
       new StorageEngine(path, std::move(pager), std::move(wal), options));
-  // Seed the transaction-id counter from the superblock.
+  // Seed the transaction-id counter from the superblock. (The counter is
+  // persisted at checkpoints and rides along in any committed superblock
+  // image; after a crash, ids issued by transactions since the last
+  // checkpointed value may be reissued — benign for redo correctness, ids
+  // only group log records and replay is in log order.)
   ODE_ASSIGN_OR_RETURN(uint64_t next_txn, engine->ReadSuperU64(
                                               SuperblockLayout::kNextTxnIdOffset));
-  engine->next_txn_id_ = next_txn;
+  engine->next_txn_id_.store(next_txn < 1 ? 1 : next_txn,
+                             std::memory_order_relaxed);
   *out = std::move(engine);
   return Status::OK();
 }
 
 Status StorageEngine::Close() {
   if (closed_) return Status::OK();
-  if (in_txn()) {
-    ODE_RETURN_IF_ERROR(AbortTxn(active_txn_));
+  // Abort every still-active transaction, including ones leaked by other
+  // threads (their thread-local bindings go stale; the generation check
+  // keeps them from ever resolving again).
+  std::vector<std::unique_ptr<TxnState>> leaked;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    for (auto& [id, txn] : txns_) leaked.push_back(std::move(txn));
+    txns_.clear();
+    m_active_txns_->Set(0);
   }
+  for (auto& txn : leaked) {
+    locks_->ReleaseAll(txn->id);
+    stats_.txns_aborted.fetch_add(1, std::memory_order_relaxed);
+    m_txn_aborts_->Add();
+  }
+  UnbindTls();
   Status s = Checkpoint();
   closed_ = true;
   return s;
 }
 
 Result<TxnId> StorageEngine::BeginTxn() {
-  if (active_txn_ != 0) {
+  if (CurrentTxn() != nullptr) {
     return Status::Busy("a transaction is already active");
   }
-  if (wedged_) {
+  if (wedged_.load(std::memory_order_acquire)) {
     return Status::IOError(
         "engine wedged: a failed commit could not scrub the log; "
         "checkpoint (or reopen) before starting new transactions");
   }
-  active_txn_ = next_txn_id_++;
+  auto txn = std::make_unique<TxnState>();
+  TxnState* raw = txn.get();
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    if (vacuum_active_ && vacuum_owner_ != std::this_thread::get_id()) {
+      return Status::Busy("vacuum in progress");
+    }
+    txn->id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+    txn->owner = std::this_thread::get_id();
+    txns_.emplace(txn->id, std::move(txn));
+    m_active_txns_->Set(static_cast<int64_t>(txns_.size()));
+  }
+  BindTls(raw);
   m_txn_begins_->Add();
-  txn_dirty_.clear();
-  undo_.clear();
-  // Persist the advanced counter so a crash cannot reuse a txn id. This is
-  // itself a superblock write within the transaction.
-  ODE_RETURN_IF_ERROR(
-      WriteSuperU64(SuperblockLayout::kNextTxnIdOffset, next_txn_id_));
-  return active_txn_;
+  return raw->id;
 }
 
-Status StorageEngine::CommitTxn(TxnId txn) {
-  if (txn == 0 || txn != active_txn_) {
+Status StorageEngine::EnsureWriterToken(TxnState* txn) {
+  if (txn->has_writer_token) return Status::OK();
+  ODE_RETURN_IF_ERROR(locks_->Acquire(txn->id, concur::kWriterResource,
+                                      concur::LockMode::kExclusive));
+  txn->has_writer_token = true;
+  return Status::OK();
+}
+
+void StorageEngine::FinishTxn(TxnState* txn, bool committed) {
+  const TxnId id = txn->id;
+  UnbindTls();
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    txns_.erase(id);  // destroys *txn
+    m_active_txns_->Set(static_cast<int64_t>(txns_.size()));
+  }
+  if (committed) {
+    stats_.txns_committed.fetch_add(1, std::memory_order_relaxed);
+    m_txn_commits_->Add();
+  } else {
+    stats_.txns_aborted.fetch_add(1, std::memory_order_relaxed);
+    m_txn_aborts_->Add();
+  }
+}
+
+Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
+  TxnState* state = CurrentTxn();
+  if (txn == 0 || state == nullptr || state->id != txn) {
     return Status::InvalidArgument("CommitTxn: not the active transaction");
   }
+  if (state->shadows.empty()) {
+    // Read-only: nothing to log or publish.
+    FinishTxn(state, /*committed=*/true);
+    if (release_locks) locks_->ReleaseAll(txn);
+    return Status::OK();
+  }
+  assert(state->has_writer_token);
+
+  // Ride the advanced id counter along in the superblock image if this
+  // transaction touched it anyway (free persistence across crashes).
+  auto super_it = state->shadows.find(kSuperblockPageId);
+  if (super_it != state->shadows.end()) {
+    EncodeFixed64(super_it->second.get() + SuperblockLayout::kNextTxnIdOffset,
+                  next_txn_id_.load(std::memory_order_relaxed));
+  }
+
   // Log after-images in page order, then the commit record. If any append or
   // the commit sync fails, the commit degrades to an abort: scrub the partial
-  // records off the log, restore the undo images, and report the error, but
-  // leave the engine usable.
+  // records off the log, drop the shadows, and report the error, but leave
+  // the engine usable.
   const uint64_t log_start = wal_->size_bytes();
   Status logged = [&]() -> Status {
-    for (PageId id : txn_dirty_) {
-      BufferPool::Frame* frame = nullptr;
-      ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
-      Status s = wal_->AppendPageImage(txn, id, frame->data.get());
-      pool_->Unpin(frame);
-      ODE_RETURN_IF_ERROR(s);
+    for (const auto& [id, image] : state->shadows) {
+      ODE_RETURN_IF_ERROR(wal_->AppendPageImage(txn, id, image.get()));
     }
     return wal_->AppendCommit(txn);
   }();
   if (!logged.ok()) {
-    stats_.commit_failures++;
+    stats_.commit_failures.fetch_add(1, std::memory_order_relaxed);
     m_commit_failures_->Add();
     // Scrub first: if the commit record reached the file but (say) the sync
     // failed, leaving it there would let a later recovery resurrect the
     // transaction we are about to roll back.
     Status scrub = wal_->TruncateTo(log_start);
     if (!scrub.ok()) {
-      wedged_ = true;
+      wedged_.store(true, std::memory_order_release);
       ODE_LOG(kError) << "commit " << txn << " failed (" << logged.ToString()
                       << ") and the log scrub also failed ("
                       << scrub.ToString() << "); engine wedged";
     } else {
       ODE_LOG(kWarn) << "commit " << txn << " failed, rolled back: "
-                        << logged.ToString();
+                     << logged.ToString();
     }
-    Status rollback = RollbackActiveTxn();
-    if (!rollback.ok()) {
-      ODE_LOG(kError) << "rollback after failed commit " << txn
-                      << " failed: " << rollback.ToString();
-    }
+    FinishTxn(state, /*committed=*/false);
+    if (release_locks) locks_->ReleaseAll(txn);
     return logged;
   }
+
   // The commit record is durable: the transaction has committed, and from
   // here on nothing may turn that into an error (the caller would wrongly
-  // conclude it aborted). Pages become write-back eligible; maintenance
-  // failures (shrink, checkpoint) are logged — recovery can always redo the
-  // work from the log.
-  for (PageId id : txn_dirty_) {
-    BufferPool::Frame* frame = nullptr;
-    Status s = pool_->Fetch(id, &frame);
-    if (!s.ok()) continue;  // Unreachable: txn pages are cache-resident.
-    frame->flushable = true;
-    pool_->Unpin(frame);
+  // conclude it aborted). Publish the shadows as the new committed images;
+  // maintenance failures (shrink, checkpoint) are logged — recovery can
+  // always redo the work from the log.
+  for (const auto& [id, image] : state->shadows) {
+    pool_->Install(id, image.get());
   }
-  txn_dirty_.clear();
-  undo_.clear();
-  active_txn_ = 0;
-  stats_.txns_committed++;
-  m_txn_commits_->Add();
+  FinishTxn(state, /*committed=*/true);
+
   Status maintenance = pool_->ShrinkToCapacity();
-  if (maintenance.ok() && wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
-    maintenance = Checkpoint();
+  if (maintenance.ok()) {
+    // Auto-checkpoint while we still hold the writer token (no concurrent
+    // WAL appends possible) and, briefly, txn_mu_ (no new transactions).
+    // Only when the engine is otherwise quiet — a concurrent reader is
+    // harmless for correctness but we keep the historical "no transactions
+    // during checkpoint" discipline.
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    if (txns_.empty() &&
+        wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
+      maintenance = CheckpointLocked();
+    }
   }
   if (!maintenance.ok()) {
     ODE_LOG(kWarn) << "post-commit maintenance failed (txn " << txn
                    << " is committed): " << maintenance.ToString();
   }
+  if (release_locks) locks_->ReleaseAll(txn);
   return Status::OK();
 }
 
-Status StorageEngine::AbortTxn(TxnId txn) {
-  if (txn == 0 || txn != active_txn_) {
+Status StorageEngine::AbortTxn(TxnId txn, bool release_locks) {
+  TxnState* state = CurrentTxn();
+  if (txn == 0 || state == nullptr || state->id != txn) {
     return Status::InvalidArgument("AbortTxn: not the active transaction");
   }
-  return RollbackActiveTxn();
+  // Shadow paging makes abort trivial: the pool never saw this
+  // transaction's writes, so dropping the shadows is the whole rollback.
+  FinishTxn(state, /*committed=*/false);
+  if (release_locks) locks_->ReleaseAll(txn);
+  return Status::OK();
 }
 
-Status StorageEngine::RollbackActiveTxn() {
-  Status first_error;
-  for (PageId id : txn_dirty_) {
-    auto it = undo_.find(id);
-    assert(it != undo_.end());
-    BufferPool::Frame* frame = nullptr;
-    Status s = pool_->Fetch(id, &frame);
-    if (!s.ok()) {
-      // Keep rolling back the remaining pages; report the first failure.
-      if (first_error.ok()) first_error = s;
-      continue;
-    }
-    memcpy(frame->data.get(), it->second.image.get(), kPageSize);
-    frame->dirty = it->second.was_dirty;
-    frame->flushable = true;
-    pool_->Unpin(frame);
-  }
-  txn_dirty_.clear();
-  undo_.clear();
-  active_txn_ = 0;
-  stats_.txns_aborted++;
-  m_txn_aborts_->Add();
-  Status shrink = pool_->ShrinkToCapacity();
-  return first_error.ok() ? shrink : first_error;
+void StorageEngine::ReleaseTxnLocks(TxnId txn) { locks_->ReleaseAll(txn); }
+
+bool StorageEngine::in_txn() const { return CurrentTxn() != nullptr; }
+
+TxnId StorageEngine::active_txn() const {
+  TxnState* state = CurrentTxn();
+  return state != nullptr ? state->id : 0;
+}
+
+size_t StorageEngine::active_txn_count() const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  return txns_.size();
 }
 
 Status StorageEngine::GetPageRead(PageId id, PageHandle* handle) {
-  BufferPool::Frame* frame = nullptr;
-  ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
-  *handle = PageHandle(pool_.get(), frame);
-  return Status::OK();
+  TxnState* state = CurrentTxn();
+  if (state != nullptr) {
+    auto it = state->shadows.find(id);
+    if (it != state->shadows.end()) {
+      *handle = PageHandle::Borrowed(id, it->second.get());
+      return Status::OK();
+    }
+  }
+  return pool_->FetchHandle(id, handle);
 }
 
 Status StorageEngine::GetPageWrite(PageId id, PageHandle* handle) {
-  if (active_txn_ == 0) {
+  TxnState* state = CurrentTxn();
+  if (state == nullptr) {
     return Status::InvalidArgument("page write outside a transaction");
   }
-  BufferPool::Frame* frame = nullptr;
-  ODE_RETURN_IF_ERROR(pool_->Fetch(id, &frame));
-  if (txn_dirty_.insert(id).second) {
-    UndoEntry entry;
-    entry.image = std::make_unique<char[]>(kPageSize);
-    memcpy(entry.image.get(), frame->data.get(), kPageSize);
-    entry.was_dirty = frame->dirty;
-    undo_.emplace(id, std::move(entry));
+  ODE_RETURN_IF_ERROR(EnsureWriterToken(state));
+  auto it = state->shadows.find(id);
+  if (it == state->shadows.end()) {
+    // First touch: seed a private shadow from the committed image.
+    auto image = std::make_unique<char[]>(kPageSize);
+    PageHandle committed;
+    ODE_RETURN_IF_ERROR(pool_->FetchHandle(id, &committed));
+    memcpy(image.get(), committed.data(), kPageSize);
+    it = state->shadows.emplace(id, std::move(image)).first;
   }
-  frame->dirty = true;
-  frame->flushable = false;  // No-steal until commit.
-  *handle = PageHandle(pool_.get(), frame);
+  *handle = PageHandle::Borrowed(id, it->second.get());
   return Status::OK();
 }
 
 Status StorageEngine::AllocPage(PageId* id, PageHandle* handle) {
-  if (active_txn_ == 0) {
+  if (CurrentTxn() == nullptr) {
     return Status::InvalidArgument("page allocation outside a transaction");
   }
   ODE_ASSIGN_OR_RETURN(uint32_t free_head,
@@ -251,7 +356,7 @@ Status StorageEngine::AllocPage(PageId* id, PageHandle* handle) {
     memset(freed.mutable_data(), 0, kPageSize);
     *id = page;
     *handle = std::move(freed);
-    stats_.pages_allocated++;
+    stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
     m_pages_allocated_->Add();
     return Status::OK();
   }
@@ -266,13 +371,13 @@ Status StorageEngine::AllocPage(PageId* id, PageHandle* handle) {
   memset(fresh.mutable_data(), 0, kPageSize);
   *id = page;
   *handle = std::move(fresh);
-  stats_.pages_allocated++;
+  stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
   m_pages_allocated_->Add();
   return Status::OK();
 }
 
 Status StorageEngine::FreePage(PageId id) {
-  if (active_txn_ == 0) {
+  if (CurrentTxn() == nullptr) {
     return Status::InvalidArgument("page free outside a transaction");
   }
   if (id == kSuperblockPageId || id == kInvalidPageId) {
@@ -285,7 +390,7 @@ Status StorageEngine::FreePage(PageId id) {
   memset(handle.mutable_data(), 0, kPageSize);
   EncodeFixed32(handle.mutable_data(), free_head);
   ODE_RETURN_IF_ERROR(WriteSuperU32(SuperblockLayout::kFreeListOffset, id));
-  stats_.pages_freed++;
+  stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
   m_pages_freed_->Add();
   return Status::OK();
 }
@@ -317,9 +422,27 @@ Status StorageEngine::WriteSuperU64(uint32_t offset, uint64_t value) {
 }
 
 Result<uint32_t> StorageEngine::Vacuum() {
-  if (active_txn_ != 0) {
-    return Status::Busy("cannot vacuum inside a transaction");
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    if (!txns_.empty()) {
+      return Status::Busy("cannot vacuum inside a transaction");
+    }
+    if (vacuum_active_) {
+      return Status::Busy("vacuum in progress");
+    }
+    vacuum_active_ = true;
+    vacuum_owner_ = std::this_thread::get_id();
   }
+  // From here on, only this thread can begin transactions (BeginTxn's
+  // vacuum gate); clear the gate on every exit.
+  struct Ungate {
+    StorageEngine* e;
+    ~Ungate() {
+      std::lock_guard<std::mutex> lock(e->txn_mu_);
+      e->vacuum_active_ = false;
+    }
+  } ungate{this};
+
   // Collect the free list.
   std::vector<PageId> free_pages;
   {
@@ -382,17 +505,36 @@ Result<uint32_t> StorageEngine::Vacuum() {
 }
 
 Status StorageEngine::Checkpoint() {
-  if (active_txn_ != 0) {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  if (!txns_.empty()) {
     return Status::Busy("cannot checkpoint inside a transaction");
+  }
+  return CheckpointLocked();
+}
+
+Status StorageEngine::CheckpointLocked() {
+  // Persist the id counter: stamp it into the committed superblock image so
+  // ids keep advancing across a clean close/reopen.
+  {
+    PageHandle super;
+    ODE_RETURN_IF_ERROR(pool_->FetchHandle(kSuperblockPageId, &super));
+    const uint64_t next = next_txn_id_.load(std::memory_order_relaxed);
+    if (DecodeFixed64(super.data() + SuperblockLayout::kNextTxnIdOffset) !=
+        next) {
+      char image[kPageSize];
+      memcpy(image, super.data(), kPageSize);
+      EncodeFixed64(image + SuperblockLayout::kNextTxnIdOffset, next);
+      pool_->Install(kSuperblockPageId, image);
+    }
   }
   ODE_RETURN_IF_ERROR(pool_->FlushAll());
   ODE_RETURN_IF_ERROR(pager_->Sync());
   ODE_RETURN_IF_ERROR(wal_->Reset());
-  stats_.checkpoints++;
+  stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
   m_checkpoints_->Add();
   // An empty log can no longer resurrect anything: a wedge (failed commit
   // whose partial records could not be scrubbed) is resolved.
-  wedged_ = false;
+  wedged_.store(false, std::memory_order_release);
   return Status::OK();
 }
 

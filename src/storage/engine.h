@@ -1,12 +1,16 @@
 #ifndef ODE_STORAGE_ENGINE_H_
 #define ODE_STORAGE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <set>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
+#include "concur/lock_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 #include "storage/pager.h"
@@ -21,6 +25,10 @@ struct EngineOptions {
   Wal::SyncMode wal_sync = Wal::SyncMode::kSyncEveryCommit;
   /// Checkpoint (flush pages + truncate log) once the WAL exceeds this size.
   uint64_t checkpoint_wal_bytes = 8ull << 20;
+  /// Lock-manager wait bound before a blocked acquisition gives up with
+  /// Status::Busy (deadlocks are detected and reported much sooner; this is
+  /// the safety net). 0 means wait forever.
+  uint64_t lock_wait_timeout_ms = 10000;
   /// I/O environment for the database file and WAL; nullptr means
   /// Env::Default(). Tests inject a FaultInjectionEnv here.
   Env* env = nullptr;
@@ -31,25 +39,32 @@ struct EngineOptions {
   MetricsRegistry* metrics = nullptr;
 };
 
-/// The transactional page store: pager + buffer pool + redo WAL + recovery.
+/// The transactional page store: pager + buffer pool + redo WAL + recovery,
+/// shared by concurrent sessions.
 ///
-/// Transaction model (matches the paper's "an O++ program is a single
-/// transaction"): exactly one transaction may be active at a time. Page
-/// writes within a transaction are buffered (no-steal); the first write to a
-/// page snapshots an undo image so Abort can restore it in memory. Commit
-/// logs the after-image of every dirtied page plus a commit record; the pages
-/// then become flushable and reach the database file via eviction or
-/// checkpoints. Opening a database replays committed transactions from the
-/// log (crash recovery).
+/// Transaction model (docs/CONCURRENCY.md): any number of transactions may
+/// be active at once, each bound to the thread that began it (thread-affine).
+/// The buffer pool holds ONLY committed page images; a transaction's page
+/// writes go to private shadow copies invisible to everyone else. The first
+/// page write acquires the single global writer token (exclusively, through
+/// the lock manager, so token waits participate in deadlock detection) and
+/// holds it to transaction end — writers serialize, readers run concurrently
+/// against committed state. Commit appends the shadow after-images plus a
+/// commit record to the WAL (the serialization point), then publishes the
+/// shadows into the pool; abort just drops them. Opening a database replays
+/// committed transactions from the log (crash recovery).
 class StorageEngine {
  public:
+  /// All fields are atomics: sessions commit/abort concurrently. Loads
+  /// convert implicitly, so `stats().txns_committed == 3u` reads naturally.
   struct Stats {
-    uint64_t txns_committed = 0;
-    uint64_t txns_aborted = 0;
-    uint64_t pages_allocated = 0;
-    uint64_t pages_freed = 0;
-    uint64_t checkpoints = 0;
-    uint64_t commit_failures = 0;  ///< Commits degraded to aborts by I/O errors.
+    std::atomic<uint64_t> txns_committed{0};
+    std::atomic<uint64_t> txns_aborted{0};
+    std::atomic<uint64_t> pages_allocated{0};
+    std::atomic<uint64_t> pages_freed{0};
+    std::atomic<uint64_t> checkpoints{0};
+    std::atomic<uint64_t> commit_failures{0};  ///< Commits degraded to aborts
+                                               ///< by I/O errors.
   };
 
   StorageEngine(const StorageEngine&) = delete;
@@ -60,46 +75,65 @@ class StorageEngine {
   static Status Open(const std::string& path, const EngineOptions& options,
                      std::unique_ptr<StorageEngine>* out);
 
-  /// Checkpoints and closes. The destructor also checkpoints best-effort.
+  /// Aborts any still-active transactions, checkpoints and closes. The
+  /// destructor also checkpoints best-effort.
   Status Close();
 
   ~StorageEngine();
 
   // --- Transactions -------------------------------------------------------
 
-  /// Starts a transaction. Fails with Busy if one is already active, with
+  /// Starts a transaction bound to the calling thread. Fails with Busy if
+  /// this thread already has one (or a vacuum is running elsewhere), with
   /// IOError if a previous commit failure wedged the engine (see CommitTxn).
   Result<TxnId> BeginTxn();
 
-  /// Durably commits the active transaction. If appending the page images or
-  /// the commit record fails, the commit degrades to an abort: the partial
-  /// log records are scrubbed, every touched page is restored from its undo
-  /// image, and the engine stays usable (the error is still returned). Only
-  /// if the scrub itself also fails — the log may then still hold the dead
-  /// transaction's records — does the engine wedge itself: further
-  /// transactions are refused until a Checkpoint manages to truncate the log.
-  Status CommitTxn(TxnId txn);
+  /// Durably commits the calling thread's transaction. If appending the page
+  /// images or the commit record fails, the commit degrades to an abort: the
+  /// partial log records are scrubbed, the shadow pages are dropped, and the
+  /// engine stays usable (the error is still returned). Only if the scrub
+  /// itself also fails — the log may then still hold the dead transaction's
+  /// records — does the engine wedge itself: further transactions are
+  /// refused until a Checkpoint manages to truncate the log.
+  ///
+  /// `release_locks=false` keeps the transaction's locks held after the
+  /// engine-level commit: the core layer finishes its own post-commit work
+  /// (catalog handling) under them and then calls ReleaseTxnLocks().
+  Status CommitTxn(TxnId txn, bool release_locks = true);
 
-  /// Rolls back every page the active transaction touched.
-  Status AbortTxn(TxnId txn);
+  /// Drops the calling thread's transaction's shadow pages. Same
+  /// `release_locks` contract as CommitTxn.
+  Status AbortTxn(TxnId txn, bool release_locks = true);
 
-  bool in_txn() const { return active_txn_ != 0; }
-  TxnId active_txn() const { return active_txn_; }
+  /// Releases every lock `txn` holds (for callers that committed/aborted
+  /// with release_locks=false).
+  void ReleaseTxnLocks(TxnId txn);
+
+  /// True if the CALLING THREAD has an active transaction on this engine.
+  bool in_txn() const;
+  /// The calling thread's transaction id, or 0.
+  TxnId active_txn() const;
+  /// Transactions active across all threads.
+  size_t active_txn_count() const;
 
   // --- Page access ---------------------------------------------------------
 
-  /// Pins `id` for reading.
+  /// A readable view of `id`: the calling transaction's shadow copy if it
+  /// has one, else the committed image (shared-ownership handle — stays
+  /// valid across concurrent commits).
   Status GetPageRead(PageId id, PageHandle* handle);
 
-  /// Pins `id` for writing within the active transaction; snapshots an undo
-  /// image the first time the transaction touches the page.
+  /// A writable view of `id` in the calling thread's transaction: a private
+  /// shadow copy seeded from the committed image on first touch. Acquires
+  /// the global writer token first (may return Deadlock/Busy).
   Status GetPageWrite(PageId id, PageHandle* handle);
 
   /// Allocates a page (free list first, then file extension) within the
-  /// active transaction and returns it pinned for writing, zero-filled.
+  /// calling thread's transaction and returns it as a writable shadow,
+  /// zero-filled.
   Status AllocPage(PageId* id, PageHandle* handle);
 
-  /// Returns `id` to the free list within the active transaction.
+  /// Returns `id` to the free list within the calling thread's transaction.
   Status FreePage(PageId id);
 
   // --- Superblock fields ---------------------------------------------------
@@ -112,13 +146,16 @@ class StorageEngine {
   // --- Maintenance ---------------------------------------------------------
 
   /// Flushes all committed dirty pages, syncs the db file, truncates the WAL.
-  /// Must be called outside a transaction.
+  /// Fails with Busy while any transaction is active (also runs
+  /// automatically after a commit that crossed checkpoint_wal_bytes, while
+  /// the committer still holds the writer token).
   Status Checkpoint();
 
   /// Reclaims trailing free pages: unlinks every free page at the end of
   /// the file from the free list, commits the shrunken metadata, checkpoints
-  /// and truncates the file. Returns the number of pages released. Must be
-  /// called outside a transaction.
+  /// and truncates the file. Returns the number of pages released. Fails
+  /// with Busy while any transaction is active; other threads cannot begin
+  /// one until it finishes.
   Result<uint32_t> Vacuum();
 
   /// Test hook: drops the engine as a crash would — no checkpoint, no page
@@ -127,6 +164,7 @@ class StorageEngine {
 
   BufferPool& buffer_pool() { return *pool_; }
   Wal& wal() { return *wal_; }
+  concur::LockManager& lock_manager() { return *locks_; }
   const Stats& stats() const { return stats_; }
   const std::string& path() const { return path_; }
   /// The registry this engine reports into (resolved from
@@ -137,25 +175,51 @@ class StorageEngine {
   StorageEngine(std::string path, std::unique_ptr<Pager> pager,
                 std::unique_ptr<Wal> wal, const EngineOptions& options);
 
-  struct UndoEntry {
-    std::unique_ptr<char[]> image;
-    bool was_dirty;  ///< Frame was committed-dirty before this txn touched it.
+  /// Per-transaction private state. Owned by txns_; the owning thread also
+  /// reaches it lock-free through a thread-local binding keyed by this
+  /// engine's globally-unique generation (so a reopened engine landing at a
+  /// recycled heap address can never match a stale binding).
+  struct TxnState {
+    TxnId id = 0;
+    std::thread::id owner;
+    /// Private copies of every page this transaction wrote. std::map so
+    /// commit logs images in page order (deterministic WAL layout).
+    std::map<PageId, std::unique_ptr<char[]>> shadows;
+    bool has_writer_token = false;
   };
 
-  /// Restores undo images of every page the active transaction touched and
-  /// clears the transaction state (shared by AbortTxn and failed commits).
-  Status RollbackActiveTxn();
+  /// The calling thread's transaction on THIS engine, or nullptr.
+  TxnState* CurrentTxn() const;
+  void BindTls(TxnState* txn) const;
+  void UnbindTls() const;
+
+  /// Acquires the global writer token for `txn` if not yet held.
+  Status EnsureWriterToken(TxnState* txn);
+
+  /// Removes `txn` from txns_ (txn_mu_ taken internally), updates stats, and
+  /// unbinds the calling thread's binding. Does NOT release locks.
+  void FinishTxn(TxnState* txn, bool committed);
+
+  /// Flush + sync + WAL reset + next_txn_id stamp. Caller must guarantee no
+  /// concurrent WAL appends (holds txn_mu_ with txns_ empty, or holds the
+  /// writer token with txns_ empty after FinishTxn).
+  Status CheckpointLocked();
 
   std::string path_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<concur::LockManager> locks_;
   EngineOptions options_;
+  /// Globally unique per engine instance (see TxnState).
+  const uint64_t gen_;
 
-  TxnId active_txn_ = 0;
-  TxnId next_txn_id_ = 1;
-  std::set<PageId> txn_dirty_;  // Sorted so commit logging is deterministic.
-  std::unordered_map<PageId, UndoEntry> undo_;
+  mutable std::mutex txn_mu_;  ///< Guards txns_, vacuum gate, checkpoint gate.
+  std::unordered_map<TxnId, std::unique_ptr<TxnState>> txns_;
+  std::atomic<TxnId> next_txn_id_{1};
+  bool vacuum_active_ = false;
+  std::thread::id vacuum_owner_;
+
   Stats stats_;
   MetricsRegistry* metrics_;  // resolved, never null
   // Registry mirrors of Stats (storage.engine.*).
@@ -166,11 +230,12 @@ class StorageEngine {
   Counter* m_checkpoints_;
   Counter* m_pages_allocated_;
   Counter* m_pages_freed_;
+  Gauge* m_active_txns_;
   bool closed_ = false;
   /// A failed commit could not scrub its partial WAL records; replaying them
   /// after more commits could resurrect a rolled-back transaction, so the
   /// engine refuses new transactions until a checkpoint empties the log.
-  bool wedged_ = false;
+  std::atomic<bool> wedged_{false};
 };
 
 }  // namespace ode

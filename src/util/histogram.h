@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@ namespace ode {
 /// bound). count/mean/min/max stay exact over every sample ever added;
 /// percentiles are computed over the reservoir — exact until the cap is hit,
 /// a uniform sample of the stream after.
+///
+/// Thread-safe: concurrent Add() and reader calls serialize on an internal
+/// mutex (histograms sit on commit/trigger paths shared by many sessions;
+/// unlike Counter/Gauge the reservoir cannot be maintained lock-free).
 class Histogram {
  public:
   /// Default reservoir bound: 4096 doubles = 32 KiB per histogram.
@@ -27,6 +32,7 @@ class Histogram {
       : max_samples_(max_samples == 0 ? 1 : max_samples) {}
 
   void Add(double sample) {
+    std::lock_guard<std::mutex> lock(mu_);
     total_count_++;
     total_sum_ += sample;
     if (total_count_ == 1) {
@@ -53,27 +59,76 @@ class Histogram {
   }
 
   /// Total samples ever added (not the retained reservoir size).
-  uint64_t count() const { return total_count_; }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_count_;
+  }
 
   size_t max_samples() const { return max_samples_; }
 
   /// Samples currently retained in the reservoir (<= max_samples()).
-  size_t sample_count() const { return samples_.size(); }
+  size_t sample_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
 
   double mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (total_count_ == 0) return 0;
     return total_sum_ / static_cast<double>(total_count_);
   }
 
-  double min() const { return total_count_ == 0 ? 0 : min_; }
-  double max() const { return total_count_ == 0 ? 0 : max_; }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_count_ == 0 ? 0 : min_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_count_ == 0 ? 0 : max_;
+  }
 
   /// p in [0, 100]. Nearest-rank percentile over the retained samples: the
   /// smallest retained value such that at least p% of them are <= it (no
   /// interpolation — the result is always a value that was actually added).
   double Percentile(double p) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return PercentileLocked(p);
+  }
+
+  /// "n=100 mean=12.3 p50=11.0 p95=31.0 p99=40.2 max=55.1" (values as given).
+  std::string Summary() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    char buf[160];
+    snprintf(buf, sizeof(buf),
+             "n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+             static_cast<unsigned long long>(total_count_),
+             total_count_ == 0
+                 ? 0
+                 : total_sum_ / static_cast<double>(total_count_),
+             PercentileLocked(50), PercentileLocked(95), PercentileLocked(99),
+             total_count_ == 0 ? 0 : max_);
+    return buf;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+    sorted_ = false;
+    total_count_ = 0;
+    total_sum_ = 0;
+    min_ = max_ = 0;
+    rng_state_ = kRngSeed;
+  }
+
+ private:
+  static constexpr uint64_t kRngSeed = 0x9E3779B97F4A7C15ull;
+
+  double PercentileLocked(double p) const {
     if (samples_.empty()) return 0;
-    Sort();
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
     if (p <= 0) return samples_.front();
     const size_t n = samples_.size();
     // Nearest rank: ceil(p/100 * n), clamped to [1, n].
@@ -86,35 +141,7 @@ class Histogram {
     return samples_[rank - 1];
   }
 
-  /// "n=100 mean=12.3 p50=11.0 p95=31.0 p99=40.2 max=55.1" (values as given).
-  std::string Summary() const {
-    char buf[160];
-    snprintf(buf, sizeof(buf),
-             "n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
-             static_cast<unsigned long long>(count()), mean(), Percentile(50),
-             Percentile(95), Percentile(99), max());
-    return buf;
-  }
-
-  void Clear() {
-    samples_.clear();
-    sorted_ = false;
-    total_count_ = 0;
-    total_sum_ = 0;
-    min_ = max_ = 0;
-    rng_state_ = kRngSeed;
-  }
-
- private:
-  static constexpr uint64_t kRngSeed = 0x9E3779B97F4A7C15ull;
-
-  void Sort() const {
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
-    }
-  }
-
+  mutable std::mutex mu_;
   size_t max_samples_;
   mutable std::vector<double> samples_;  // the bounded reservoir
   mutable bool sorted_ = false;

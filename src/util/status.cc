@@ -26,6 +26,8 @@ const char* CodeName(Status::Code code) {
       return "TransactionAborted";
     case Status::Code::kBusy:
       return "Busy";
+    case Status::Code::kDeadlock:
+      return "Deadlock";
   }
   return "Unknown";
 }

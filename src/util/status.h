@@ -23,6 +23,7 @@ class Status {
     kConstraintViolation = 7,  ///< A class constraint failed (paper §5).
     kTransactionAborted = 8,
     kBusy = 9,
+    kDeadlock = 10,  ///< Lock-wait cycle; this transaction was the victim.
   };
 
   /// Creates an OK status.
@@ -59,6 +60,9 @@ class Status {
     return Status(Code::kTransactionAborted, std::move(msg));
   }
   static Status Busy(std::string msg) { return Status(Code::kBusy, std::move(msg)); }
+  static Status Deadlock(std::string msg) {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -73,6 +77,8 @@ class Status {
   bool IsTransactionAborted() const {
     return code_ == Code::kTransactionAborted;
   }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -77,7 +77,10 @@ TEST(ScaleTest, TinyBufferPoolStillCorrect) {
       return Status::OK();
     }));
   }
-  EXPECT_GT(db->engine().buffer_pool().stats().evictions, 100u);
+  // The 8-page pool must be thrashing. (Per-transaction shadow pages keep
+  // uncommitted writes out of the pool, so the count is lower than it was
+  // under write-through, but eviction pressure must still be real.)
+  EXPECT_GT(db->engine().buffer_pool().stats().evictions, 50u);
   ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
     for (const auto& [id, income] : model) {
       ODE_ASSIGN_OR_RETURN(const Person* p, txn.Read(refs[id]));
