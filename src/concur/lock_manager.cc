@@ -82,6 +82,40 @@ bool LockManager::TryGrant(LockState& state) {
   return changed;
 }
 
+LockManager::Request* LockManager::FindRequest(LockState& state, TxnId txn) {
+  for (auto& req : state.queue) {
+    if (req.txn == txn) return &req;
+  }
+  return nullptr;
+}
+
+void LockManager::Withdraw(Shard& shard, LockState& state, TxnId txn,
+                           ResourceId res, bool is_upgrade) {
+  if (is_upgrade) {
+    Request* r = FindRequest(state, txn);
+    if (r != nullptr) r->upgrading = false;
+    // Our departed upgrade may unblock the plain waiters it was starving.
+    if (TryGrant(state)) shard.cv.NotifyAll();
+  } else {
+    for (auto it = state.queue.begin(); it != state.queue.end(); ++it) {
+      if (it->txn == txn) {
+        state.queue.erase(it);
+        break;
+      }
+    }
+    DropHeld(shard, txn, res);
+    if (state.queue.empty()) {
+      // Careful: this destroys `state`; nothing may touch it afterwards.
+      shard.table.erase(res);
+      if (m_resources_ != nullptr) m_resources_->Sub();
+    } else if (TryGrant(state)) {
+      // Our departure may unblock someone queued behind us.
+      shard.cv.NotifyAll();
+    }
+  }
+  ClearEdges(txn);
+}
+
 bool LockManager::UpdateEdgesAndCheckCycle(TxnId txn, const LockState& state,
                                            LockMode mode) {
   // Blockers: granted conflicting holders anywhere in the queue, plus
@@ -106,7 +140,7 @@ bool LockManager::UpdateEdgesAndCheckCycle(TxnId txn, const LockState& state,
     }
   }
 
-  std::lock_guard<std::mutex> g(graph_mu_);
+  MutexLock g(graph_mu_);
   if (blockers.empty()) {
     waits_for_.erase(txn);
     return false;
@@ -130,7 +164,7 @@ bool LockManager::UpdateEdgesAndCheckCycle(TxnId txn, const LockState& state,
 }
 
 void LockManager::ClearEdges(TxnId txn) {
-  std::lock_guard<std::mutex> g(graph_mu_);
+  MutexLock g(graph_mu_);
   waits_for_.erase(txn);
 }
 
@@ -154,7 +188,7 @@ void LockManager::DropHeld(Shard& shard, TxnId txn, ResourceId res) {
 
 Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode) {
   Shard& shard = ShardFor(res);
-  std::unique_lock<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (m_acquires_ != nullptr) m_acquires_->Add();
 
   auto table_it = shard.table.find(res);
@@ -167,14 +201,7 @@ Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode) {
   // Locate our existing request, if any. Transactions are thread-affine, so
   // at most one request per (txn, resource) exists and nobody else mutates
   // our entry's identity while we hold the shard mutex.
-  auto find_self = [&]() -> Request* {
-    for (auto& req : state.queue) {
-      if (req.txn == txn) return &req;
-    }
-    return nullptr;
-  };
-
-  Request* self = find_self();
+  Request* self = FindRequest(state, txn);
   bool is_upgrade = false;
   if (self != nullptr) {
     assert(self->granted);
@@ -192,42 +219,16 @@ Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode) {
 
   TryGrant(state);
 
+  // Only reads the queue through the `state` reference — safe in a lambda
+  // (the analysis checks annotated members, which Withdraw handles).
   auto satisfied = [&]() {
-    Request* r = find_self();
+    Request* r = FindRequest(state, txn);
     assert(r != nullptr);
     if (is_upgrade) return r->mode == LockMode::kExclusive && !r->upgrading;
     return r->granted;
   };
 
   if (satisfied()) return Status::OK();
-
-  // We must wait. Withdraw helper for the failure exits: a plain request is
-  // removed outright; an upgrade reverts to its granted shared lock.
-  auto withdraw = [&]() {
-    if (is_upgrade) {
-      Request* r = find_self();
-      if (r != nullptr) r->upgrading = false;
-      // Our departed upgrade may unblock the plain waiters it was starving.
-      if (TryGrant(state)) shard.cv.notify_all();
-    } else {
-      for (auto it = state.queue.begin(); it != state.queue.end(); ++it) {
-        if (it->txn == txn) {
-          state.queue.erase(it);
-          break;
-        }
-      }
-      DropHeld(shard, txn, res);
-      if (state.queue.empty()) {
-        // Careful: this destroys `state`; nothing may touch it afterwards.
-        shard.table.erase(res);
-        if (m_resources_ != nullptr) m_resources_->Sub();
-      } else if (TryGrant(state)) {
-        // Our departure may unblock someone queued behind us.
-        shard.cv.notify_all();
-      }
-    }
-    ClearEdges(txn);
-  };
 
   if (m_waits_ != nullptr) m_waits_->Add();
   const auto wait_start = Clock::now();
@@ -241,19 +242,18 @@ Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode) {
     // cycles that form after we first block are still detected.
     if (UpdateEdgesAndCheckCycle(txn, state, eff_mode)) {
       if (m_deadlocks_ != nullptr) m_deadlocks_->Add();
-      withdraw();
+      Withdraw(shard, state, txn, res, is_upgrade);
       return Status::Deadlock("lock wait cycle detected; transaction chosen "
                               "as deadlock victim");
     }
     if (bounded) {
-      if (shard.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
-          !satisfied()) {
+      if (!shard.cv.WaitUntil(shard.mu, deadline) && !satisfied()) {
         if (m_timeouts_ != nullptr) m_timeouts_->Add();
-        withdraw();
+        Withdraw(shard, state, txn, res, is_upgrade);
         return Status::Busy("lock wait timeout");
       }
     } else {
-      shard.cv.wait(lock);
+      shard.cv.Wait(shard.mu);
     }
     if (satisfied()) {
       ClearEdges(txn);
@@ -270,7 +270,7 @@ Status LockManager::Acquire(TxnId txn, ResourceId res, LockMode mode) {
 
 void LockManager::ReleaseAll(TxnId txn) {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto held_it = shard.held.find(txn);
     if (held_it == shard.held.end()) continue;
     bool wake = false;
@@ -293,14 +293,14 @@ void LockManager::ReleaseAll(TxnId txn) {
       }
     }
     shard.held.erase(held_it);
-    if (wake) shard.cv.notify_all();
+    if (wake) shard.cv.NotifyAll();
   }
   ClearEdges(txn);
 }
 
 bool LockManager::Holds(TxnId txn, ResourceId res, LockMode mode) const {
   const Shard& shard = ShardFor(res);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.table.find(res);
   if (it == shard.table.end()) return false;
   for (const auto& req : it->second.queue) {
@@ -313,7 +313,7 @@ bool LockManager::Holds(TxnId txn, ResourceId res, LockMode mode) const {
 size_t LockManager::ResourceCount() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     n += shard.table.size();
   }
   return n;

@@ -1,16 +1,15 @@
 #ifndef ODE_CONCUR_LOCK_MANAGER_H_
 #define ODE_CONCUR_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ode {
@@ -116,11 +115,11 @@ class LockManager {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<ResourceId, LockState> table;
+    mutable Mutex mu;
+    CondVar cv;
+    std::unordered_map<ResourceId, LockState> table GUARDED_BY(mu);
     /// Resources in this shard where txn has a granted or queued request.
-    std::unordered_map<TxnId, std::vector<ResourceId>> held;
+    std::unordered_map<TxnId, std::vector<ResourceId>> held GUARDED_BY(mu);
   };
 
   static constexpr size_t kShards = 16;
@@ -134,31 +133,43 @@ class LockManager {
 
   /// Scans the queue and grants whatever the policy allows; returns true if
   /// any request changed state (caller should notify the shard condvar).
-  /// Requires shard.mu held.
+  /// The caller holds the shard mutex of the shard owning `state`.
   static bool TryGrant(LockState& state);
 
   /// True if a request by `txn` in `mode` conflicts with `other`.
   static bool Conflicts(TxnId txn, LockMode mode, const Request& other);
 
+  /// txn's request in `state`'s queue, or nullptr.
+  static Request* FindRequest(LockState& state, TxnId txn);
+
+  /// Takes back a request that will not be granted (deadlock victim or
+  /// timeout): a plain request is removed outright, an upgrade reverts to
+  /// its granted shared lock; either way waiters we were blocking are
+  /// re-examined and txn's wait edges are dropped. `state` must be
+  /// shard.table[res] — it is destroyed if the queue empties.
+  void Withdraw(Shard& shard, LockState& state, TxnId txn, ResourceId res,
+                bool is_upgrade) REQUIRES(shard.mu);
+
   /// Replaces txn's out-edges in the waits-for graph with the granted
   /// holders/queued-ahead set currently blocking it, then DFS-checks whether
-  /// txn can reach itself. Returns true on cycle. Requires shard.mu held
-  /// (takes graph_mu_ internally).
+  /// txn can reach itself. Returns true on cycle. The caller holds the
+  /// owning shard's mutex (lock order: shard.mu, then graph_mu_).
   bool UpdateEdgesAndCheckCycle(TxnId txn, const LockState& state,
-                                LockMode mode);
+                                LockMode mode) EXCLUDES(graph_mu_);
 
   /// Drops txn's out-edges (stopped waiting). Takes graph_mu_.
-  void ClearEdges(TxnId txn);
+  void ClearEdges(TxnId txn) EXCLUDES(graph_mu_);
 
-  void NoteHeld(Shard& shard, TxnId txn, ResourceId res);
-  void DropHeld(Shard& shard, TxnId txn, ResourceId res);
+  void NoteHeld(Shard& shard, TxnId txn, ResourceId res) REQUIRES(shard.mu);
+  void DropHeld(Shard& shard, TxnId txn, ResourceId res) REQUIRES(shard.mu);
 
   Shard shards_[kShards];
 
-  /// txn -> set of txns it waits behind. Guarded by graph_mu_; lock order is
-  /// shard.mu before graph_mu_.
-  mutable std::mutex graph_mu_;
-  std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_;
+  /// txn -> set of txns it waits behind. Lock order is shard.mu before
+  /// graph_mu_, never the reverse.
+  mutable Mutex graph_mu_;
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_
+      GUARDED_BY(graph_mu_);
 
   const uint64_t wait_timeout_ms_;
 

@@ -3,9 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
+
+#include "util/mutex.h"
 
 namespace ode {
 namespace concur {
@@ -38,7 +39,7 @@ class SessionManager {
     const auto tid = std::this_thread::get_id();
     uint64_t gen;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto [it, inserted] = map_.emplace(tid, session);
       if (!inserted) return false;
       gen = NextGeneration();
@@ -56,7 +57,7 @@ class SessionManager {
   /// (e.g. Database::Close aborting a leaked transaction) is allowed — the
   /// owner's cached slot is invalidated by the generation bump.
   void Unbind(Session* session) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = map_.begin(); it != map_.end(); ++it) {
       if (it->second == session) {
         map_.erase(it);
@@ -76,7 +77,7 @@ class SessionManager {
     Session* s = nullptr;
     uint64_t gen;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = map_.find(std::this_thread::get_id());
       if (it != map_.end()) s = it->second;
       gen = gen_.load(std::memory_order_relaxed);
@@ -89,7 +90,7 @@ class SessionManager {
 
   /// Number of bound sessions (diagnostics).
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return map_.size();
   }
 
@@ -114,8 +115,8 @@ class SessionManager {
     return g.fetch_add(1, std::memory_order_relaxed);
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::thread::id, Session*> map_;
+  mutable Mutex mu_;
+  std::unordered_map<std::thread::id, Session*> map_ GUARDED_BY(mu_);
   /// Binding epoch of this manager; bumped on every Bind/Unbind.
   std::atomic<uint64_t> gen_{0};
 };

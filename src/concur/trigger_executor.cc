@@ -54,18 +54,18 @@ bool TriggerExecutor::Submit(Task task) {
   // A worker firing cascaded triggers must not block on the bound of the
   // queue it is itself responsible for draining.
   const bool bypass_bound = OnExecutorThread();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!bypass_bound) {
-    not_full_.wait(lock, [&] {
-      return shutdown_ || queue_.size() < options_.queue_capacity;
-    });
+    while (!shutdown_ && queue_.size() >= options_.queue_capacity) {
+      not_full_.Wait(mu_);
+    }
   }
   if (shutdown_) return false;
   queue_.push_back(std::move(task));
   if (m_submitted_ != nullptr) m_submitted_->Add();
   if (m_queue_depth_ != nullptr) m_queue_depth_->Set(
       static_cast<int64_t>(queue_.size()));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
@@ -90,11 +90,14 @@ void TriggerExecutor::RunTask(Task& task) {
 }
 
 void TriggerExecutor::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    not_empty_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    while (!shutdown_ && queue_.empty()) not_empty_.Wait(mu_);
     if (queue_.empty()) {
-      if (shutdown_) return;
+      if (shutdown_) {
+        mu_.Unlock();
+        return;
+      }
       continue;
     }
     Task task = std::move(queue_.front());
@@ -102,34 +105,34 @@ void TriggerExecutor::WorkerLoop() {
     in_flight_++;
     if (m_queue_depth_ != nullptr) m_queue_depth_->Set(
         static_cast<int64_t>(queue_.size()));
-    not_full_.notify_one();
-    lock.unlock();
+    not_full_.NotifyOne();
+    mu_.Unlock();
 
     RunTask(task);
     task = nullptr;  // release captured state outside the idle check
 
-    lock.lock();
+    mu_.Lock();
     in_flight_--;
-    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    if (queue_.empty() && in_flight_ == 0) idle_.NotifyAll();
   }
 }
 
 void TriggerExecutor::Drain() {
   if (OnExecutorThread()) return;  // a worker cannot wait for itself
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ > 0) idle_.Wait(mu_);
 }
 
 void TriggerExecutor::Shutdown() {
   std::vector<std::thread> to_join;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!shutdown_) {
       // Drain first: every accepted task runs before the workers exit.
-      idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+      while (!queue_.empty() || in_flight_ > 0) idle_.Wait(mu_);
       shutdown_ = true;
-      not_empty_.notify_all();
-      not_full_.notify_all();
+      not_empty_.NotifyAll();
+      not_full_.NotifyAll();
     }
     to_join.swap(workers_);
   }
@@ -139,7 +142,7 @@ void TriggerExecutor::Shutdown() {
 }
 
 size_t TriggerExecutor::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

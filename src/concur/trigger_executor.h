@@ -1,15 +1,14 @@
 #ifndef ODE_CONCUR_TRIGGER_EXECUTOR_H_
 #define ODE_CONCUR_TRIGGER_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ode {
@@ -75,21 +74,22 @@ class TriggerExecutor {
   size_t queue_depth() const;
 
  private:
-  void WorkerLoop();
-  void RunTask(Task& task);
+  void WorkerLoop() EXCLUDES(mu_);
+  void RunTask(Task& task) EXCLUDES(mu_);
   bool OnExecutorThread() const;
 
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::condition_variable idle_;
-  std::deque<Task> queue_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  CondVar idle_;
+  std::deque<Task> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 
-  std::vector<std::thread> workers_;
+  /// Spawned in the constructor, swapped out and joined by Shutdown().
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
   /// Immutable after construction; safe to read without mu_ (OnExecutorThread
   /// runs on arbitrary producer threads concurrently with Shutdown()).
   std::vector<std::thread::id> worker_ids_;

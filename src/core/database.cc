@@ -55,6 +55,9 @@ Database::Database(const DatabaseOptions& options,
   core_metrics_.constraint_violations =
       m.GetCounter("txn.constraint_violations");
   core_metrics_.trigger_firings = m.GetCounter("txn.trigger_firings");
+  // Same instrument the async executor reports into, so `trigger.failures`
+  // covers both execution modes.
+  core_metrics_.trigger_failures = m.GetCounter("trigger.failures");
   core_metrics_.cache_evictions = m.GetCounter("txn.cache_evictions");
   core_metrics_.deadlock_retries = m.GetCounter("txn.deadlock_retries");
   core_metrics_.scans = m.GetCounter("query.scans");
@@ -104,7 +107,7 @@ Status Database::Close() {
     trigger_exec_->Shutdown();
   }
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     if (!pending_firings_.empty()) {
       ODE_LOG(kWarn) << "closing with " << pending_firings_.size()
                      << " unexecuted trigger firing(s) (RunPendingTriggers "
@@ -308,6 +311,7 @@ void Database::ExecuteFirings(std::vector<Firing> firings) {
       bool accepted = trigger_exec_->Submit(
           [this, task]() { return RunOneFiring(*task); });
       if (!accepted) {
+        core_metrics_.trigger_failures->Add();
         ODE_LOG(kWarn) << "trigger action (id " << task->trigger_id
                        << ") dropped: executor is shut down";
       }
@@ -316,10 +320,20 @@ void Database::ExecuteFirings(std::vector<Firing> firings) {
   }
   for (Firing& firing : firings) {
     firing.depth = depth + 1;
+    // Weak coupling (§6): the firing ran as its own transaction and its
+    // failure must not affect the already-committed triggering transaction
+    // — but it must be *observable*. The async path counts failures in
+    // TriggerExecutor::RunTask; this synchronous path used to drop them
+    // with no metric at all.
     Status s = RunOneFiring(firing);
-    if (!s.ok() && (s.IsDeadlock() || s.IsBusy())) {
-      ODE_LOG(kWarn) << "trigger action (id " << firing.trigger_id
-                     << ") failed: " << s.ToString();
+    if (!s.ok()) {
+      core_metrics_.trigger_failures->Add();
+      if (s.IsDeadlock() || s.IsBusy()) {
+        // RunOneFiring logged non-retryable failures; exhausted-retry
+        // Deadlock/Busy outcomes are logged here.
+        ODE_LOG(kWarn) << "trigger action (id " << firing.trigger_id
+                       << ") failed: " << s.ToString();
+      }
     }
   }
 }
@@ -329,7 +343,7 @@ Status Database::RunPendingTriggers() {
   while (true) {
     std::vector<Firing> batch;
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      MutexLock lock(pending_mu_);
       if (pending_firings_.empty()) break;
       if (++rounds > options_.max_trigger_cascade_depth) {
         ODE_LOG(kWarn) << "trigger cascade depth limit reached; "

@@ -3,7 +3,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "schema/type_registry.h"
 #include "storage/engine.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ode {
@@ -119,7 +119,7 @@ class Database {
   Status RunPendingTriggers();
 
   size_t pending_trigger_count() const {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     return pending_firings_.size();
   }
 
@@ -169,6 +169,9 @@ class Database {
     Counter* constraint_checks;      ///< txn.constraint_checks
     Counter* constraint_violations;  ///< txn.constraint_violations
     Counter* trigger_firings;        ///< txn.trigger_firings
+    Counter* trigger_failures;       ///< trigger.failures — firings whose
+                                     ///< action transaction ultimately failed
+                                     ///< (shared with the async executor)
     Counter* cache_evictions;        ///< txn.cache_evictions
     Counter* deadlock_retries;       ///< txn.deadlock_retries — RunTransaction
                                      ///< re-runs after Deadlock/Busy
@@ -259,8 +262,8 @@ class Database {
   mutable concur::SessionManager<Transaction> sessions_;
   /// Async trigger daemon; null when trigger_executor_threads == 0.
   std::unique_ptr<concur::TriggerExecutor> trigger_exec_;
-  mutable std::mutex pending_mu_;  ///< Guards pending_firings_.
-  std::vector<Firing> pending_firings_;
+  mutable Mutex pending_mu_;
+  std::vector<Firing> pending_firings_ GUARDED_BY(pending_mu_);
   bool closed_ = false;
 };
 

@@ -321,7 +321,9 @@ class ForAll {
     return Status::OK();
   }
 
-  Transaction* txn_;
+  // A ForAll is a stack-lived builder created and consumed inside one
+  // transaction body; the pointer never crosses Commit().
+  Transaction* txn_;  // ode-lint: allow(txn-ptr-member)
   bool with_derived_ = false;
   bool descending_ = false;
   std::vector<std::function<bool(const T&)>> preds_;

@@ -692,7 +692,15 @@ Status Transaction::Commit() {
   if (db_->options().check_constraints) {
     Status s = CheckConstraints();
     if (!s.ok()) {
-      ODE_RETURN_IF_ERROR(Abort());
+      // §5: the violation aborts the transaction, and the *violation* is
+      // what the caller must see — a secondary failure while rolling back
+      // (e.g. an I/O error reloading a dirty catalog) must not mask it.
+      // Propagating the abort status here used to do exactly that.
+      Status aborted = Abort();
+      if (!aborted.ok()) {
+        ODE_LOG(kError) << "abort after constraint violation also failed: "
+                        << aborted.ToString();
+      }
       return s;
     }
   }
@@ -733,7 +741,7 @@ Status Transaction::Commit() {
     if (db_->options().run_triggers_on_commit) {
       db_->ExecuteFirings(std::move(fired));
     } else {
-      std::lock_guard<std::mutex> lock(db_->pending_mu_);
+      MutexLock lock(db_->pending_mu_);
       for (auto& f : fired) db_->pending_firings_.push_back(std::move(f));
     }
   }

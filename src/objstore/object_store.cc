@@ -119,7 +119,9 @@ Status ObjectStore::Insert(PageId table_root, uint32_t type_code,
   entry.vnum = 0;
   Status s = WriteRecord(&table, data, &entry);
   if (!s.ok()) {
-    (void)table.FreeEntry(*local);
+    // Best-effort cleanup of the just-allocated slot; the write error is the
+    // one the caller must see, and the abort path reclaims the page anyway.
+    IgnoreStatus(table.FreeEntry(*local), "insert-cleanup-free-entry");
     return s;
   }
   return table.SetEntry(*local, entry);

@@ -63,7 +63,7 @@ Status BufferPool::FetchLocked(PageId id, Frame** frame) {
 }
 
 Status BufferPool::FetchHandle(PageId id, PageHandle* handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Frame* f = nullptr;
   ODE_RETURN_IF_ERROR(FetchLocked(id, &f));
   PageHandle h;
@@ -75,7 +75,7 @@ Status BufferPool::FetchHandle(PageId id, PageHandle* handle) {
 }
 
 void BufferPool::Install(PageId id, const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = frames_.find(id);
   Frame* f;
   if (it != frames_.end()) {
@@ -114,7 +114,7 @@ void BufferPool::Install(PageId id, const char* data) {
 }
 
 Status BufferPool::Fetch(PageId id, Frame** frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Frame* f = nullptr;
   ODE_RETURN_IF_ERROR(FetchLocked(id, &f));
   f->pins++;
@@ -123,7 +123,7 @@ Status BufferPool::Fetch(PageId id, Frame** frame) {
 }
 
 void BufferPool::Unpin(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(frame->pins > 0);
   frame->pins--;
 }
@@ -167,7 +167,7 @@ Status BufferPool::EnsureRoom() {
 }
 
 Status BufferPool::ShrinkToCapacity() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (frames_.size() > capacity_) {
     bool evicted = false;
     ODE_RETURN_IF_ERROR(EvictOne(&evicted));
@@ -186,7 +186,7 @@ Status BufferPool::FlushFrameLocked(Frame* frame) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, f] : frames_) {
     if (f->dirty) {
       ODE_RETURN_IF_ERROR(FlushFrameLocked(f.get()));
@@ -196,7 +196,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::Evict(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) return;
   if (it->second->pins > 0 || it->second->dirty) return;

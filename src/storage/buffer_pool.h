@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "storage/page.h"
 #include "storage/pager.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ode {
@@ -92,7 +92,7 @@ class BufferPool {
 
   size_t capacity() const { return capacity_; }
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return frames_.size();
   }
   const Stats& stats() const { return stats_; }
@@ -100,24 +100,23 @@ class BufferPool {
 
  private:
   /// Makes room for one more frame if at capacity. Grows the pool when every
-  /// frame is pinned. Requires mu_ held.
-  Status EnsureRoom();
+  /// frame is pinned.
+  Status EnsureRoom() REQUIRES(mu_);
 
   /// Evicts the least-recently-used evictable frame; sets *evicted=false if
-  /// every frame is pinned. Requires mu_ held.
-  Status EvictOne(bool* evicted);
+  /// every frame is pinned.
+  Status EvictOne(bool* evicted) REQUIRES(mu_);
 
-  /// Requires mu_ held.
-  Status FlushFrameLocked(Frame* frame);
-  void RemoveFrame(Frame* frame);
-  Status FetchLocked(PageId id, Frame** frame);
+  Status FlushFrameLocked(Frame* frame) REQUIRES(mu_);
+  void RemoveFrame(Frame* frame) REQUIRES(mu_);
+  Status FetchLocked(PageId id, Frame** frame) REQUIRES(mu_);
 
   Pager* pager_;
   size_t capacity_;
-  mutable std::mutex mu_;  ///< Guards frames_, lru_, and frame fields.
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  mutable Mutex mu_;  ///< Guards frames_, lru_, and frame fields.
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_ GUARDED_BY(mu_);
   /// Recency order: front = most recently used, back = LRU victim side.
-  std::list<PageId> lru_;
+  std::list<PageId> lru_ GUARDED_BY(mu_);
   Stats stats_;
   // Registry mirrors of Stats (storage.pool.*, see docs/OBSERVABILITY.md).
   Counter* m_hits_;

@@ -131,7 +131,7 @@ Status StorageEngine::Close() {
   // keeps them from ever resolving again).
   std::vector<std::unique_ptr<TxnState>> leaked;
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    MutexLock lock(txn_mu_);
     for (auto& [id, txn] : txns_) leaked.push_back(std::move(txn));
     txns_.clear();
     m_active_txns_->Set(0);
@@ -159,7 +159,7 @@ Result<TxnId> StorageEngine::BeginTxn() {
   auto txn = std::make_unique<TxnState>();
   TxnState* raw = txn.get();
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    MutexLock lock(txn_mu_);
     if (vacuum_active_ && vacuum_owner_ != std::this_thread::get_id()) {
       return Status::Busy("vacuum in progress");
     }
@@ -185,7 +185,7 @@ void StorageEngine::FinishTxn(TxnState* txn, bool committed) {
   const TxnId id = txn->id;
   UnbindTls();
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    MutexLock lock(txn_mu_);
     txns_.erase(id);  // destroys *txn
     m_active_txns_->Set(static_cast<int64_t>(txns_.size()));
   }
@@ -268,7 +268,7 @@ Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
     // Only when the engine is otherwise quiet — a concurrent reader is
     // harmless for correctness but we keep the historical "no transactions
     // during checkpoint" discipline.
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    MutexLock lock(txn_mu_);
     if (txns_.empty() &&
         wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
       maintenance = CheckpointLocked();
@@ -304,7 +304,7 @@ TxnId StorageEngine::active_txn() const {
 }
 
 size_t StorageEngine::active_txn_count() const {
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  MutexLock lock(txn_mu_);
   return txns_.size();
 }
 
@@ -423,7 +423,7 @@ Status StorageEngine::WriteSuperU64(uint32_t offset, uint64_t value) {
 
 Result<uint32_t> StorageEngine::Vacuum() {
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    MutexLock lock(txn_mu_);
     if (!txns_.empty()) {
       return Status::Busy("cannot vacuum inside a transaction");
     }
@@ -438,7 +438,7 @@ Result<uint32_t> StorageEngine::Vacuum() {
   struct Ungate {
     StorageEngine* e;
     ~Ungate() {
-      std::lock_guard<std::mutex> lock(e->txn_mu_);
+      MutexLock lock(e->txn_mu_);
       e->vacuum_active_ = false;
     }
   } ungate{this};
@@ -505,7 +505,7 @@ Result<uint32_t> StorageEngine::Vacuum() {
 }
 
 Status StorageEngine::Checkpoint() {
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  MutexLock lock(txn_mu_);
   if (!txns_.empty()) {
     return Status::Busy("cannot checkpoint inside a transaction");
   }

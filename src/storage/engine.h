@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -15,6 +14,7 @@
 #include "storage/page.h"
 #include "storage/pager.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ode {
@@ -203,7 +203,7 @@ class StorageEngine {
   /// Flush + sync + WAL reset + next_txn_id stamp. Caller must guarantee no
   /// concurrent WAL appends (holds txn_mu_ with txns_ empty, or holds the
   /// writer token with txns_ empty after FinishTxn).
-  Status CheckpointLocked();
+  Status CheckpointLocked() REQUIRES(txn_mu_);
 
   std::string path_;
   std::unique_ptr<Pager> pager_;
@@ -214,11 +214,12 @@ class StorageEngine {
   /// Globally unique per engine instance (see TxnState).
   const uint64_t gen_;
 
-  mutable std::mutex txn_mu_;  ///< Guards txns_, vacuum gate, checkpoint gate.
-  std::unordered_map<TxnId, std::unique_ptr<TxnState>> txns_;
+  mutable Mutex txn_mu_;  ///< Guards txns_, vacuum gate, checkpoint gate.
+  std::unordered_map<TxnId, std::unique_ptr<TxnState>> txns_
+      GUARDED_BY(txn_mu_);
   std::atomic<TxnId> next_txn_id_{1};
-  bool vacuum_active_ = false;
-  std::thread::id vacuum_owner_;
+  bool vacuum_active_ GUARDED_BY(txn_mu_) = false;
+  std::thread::id vacuum_owner_ GUARDED_BY(txn_mu_);
 
   Stats stats_;
   MetricsRegistry* metrics_;  // resolved, never null

@@ -211,7 +211,8 @@ Status FaultInjectionFile::Write(uint64_t offset, const Slice& data) {
   if (!s.ok()) {
     if (torn > 0) {
       // A crash mid-pwrite: a prefix reaches the file, the error surfaces.
-      (void)base_->Write(offset, Slice(data.data(), torn));
+      IgnoreStatus(base_->Write(offset, Slice(data.data(), torn)),
+                   "fault-injection-torn-write");
     }
     return s;
   }

@@ -4,9 +4,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace ode {
 
@@ -32,7 +33,7 @@ class Histogram {
       : max_samples_(max_samples == 0 ? 1 : max_samples) {}
 
   void Add(double sample) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     total_count_++;
     total_sum_ += sample;
     if (total_count_ == 1) {
@@ -60,7 +61,7 @@ class Histogram {
 
   /// Total samples ever added (not the retained reservoir size).
   uint64_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return total_count_;
   }
 
@@ -68,22 +69,22 @@ class Histogram {
 
   /// Samples currently retained in the reservoir (<= max_samples()).
   size_t sample_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return samples_.size();
   }
 
   double mean() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (total_count_ == 0) return 0;
     return total_sum_ / static_cast<double>(total_count_);
   }
 
   double min() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return total_count_ == 0 ? 0 : min_;
   }
   double max() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return total_count_ == 0 ? 0 : max_;
   }
 
@@ -91,13 +92,13 @@ class Histogram {
   /// smallest retained value such that at least p% of them are <= it (no
   /// interpolation — the result is always a value that was actually added).
   double Percentile(double p) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return PercentileLocked(p);
   }
 
   /// "n=100 mean=12.3 p50=11.0 p95=31.0 p99=40.2 max=55.1" (values as given).
   std::string Summary() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     char buf[160];
     snprintf(buf, sizeof(buf),
              "n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
@@ -111,7 +112,7 @@ class Histogram {
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     samples_.clear();
     sorted_ = false;
     total_count_ = 0;
@@ -123,7 +124,7 @@ class Histogram {
  private:
   static constexpr uint64_t kRngSeed = 0x9E3779B97F4A7C15ull;
 
-  double PercentileLocked(double p) const {
+  double PercentileLocked(double p) const REQUIRES(mu_) {
     if (samples_.empty()) return 0;
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
@@ -141,15 +142,16 @@ class Histogram {
     return samples_[rank - 1];
   }
 
-  mutable std::mutex mu_;
-  size_t max_samples_;
-  mutable std::vector<double> samples_;  // the bounded reservoir
-  mutable bool sorted_ = false;
-  uint64_t total_count_ = 0;
-  double total_sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  uint64_t rng_state_ = kRngSeed;
+  mutable Mutex mu_;
+  size_t max_samples_;  ///< Immutable after construction.
+  /// The bounded reservoir.
+  mutable std::vector<double> samples_ GUARDED_BY(mu_);
+  mutable bool sorted_ GUARDED_BY(mu_) = false;
+  uint64_t total_count_ GUARDED_BY(mu_) = 0;
+  double total_sum_ GUARDED_BY(mu_) = 0;
+  double min_ GUARDED_BY(mu_) = 0;
+  double max_ GUARDED_BY(mu_) = 0;
+  uint64_t rng_state_ GUARDED_BY(mu_) = kRngSeed;
 };
 
 }  // namespace ode

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/mutex.h"
 
 namespace ode {
 
@@ -100,10 +100,13 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;  // guards the maps, not the instrument values
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // mu_ guards the maps, not the instrument values (those are atomic or
+  // internally locked; handed-out pointers are read without the mutex).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace ode

@@ -1,5 +1,7 @@
 #include "util/status.h"
 
+#include "util/metrics.h"
+
 namespace ode {
 
 namespace {
@@ -42,6 +44,13 @@ std::string Status::ToString() const {
     out += msg_;
   }
   return out;
+}
+
+void IgnoreStatus(const Status& s, const char* reason) {
+  if (s.ok()) return;  // dropping an OK status costs nothing and means nothing
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetCounter("status.ignored")->Add();
+  metrics.GetCounter(std::string("status.ignored.") + reason)->Add();
 }
 
 }  // namespace ode

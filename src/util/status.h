@@ -10,7 +10,13 @@ namespace ode {
 /// Status idiom: cheap to copy when OK, carries a code and message otherwise.
 /// ODE core paths do not throw exceptions; every fallible operation returns a
 /// Status (or a Result<T>, see below).
-class Status {
+///
+/// The class is [[nodiscard]]: any call that returns a Status by value and
+/// ignores it is a compile error under -Werror=unused-result (the default CI
+/// configuration). A deliberately dropped status must go through
+/// IgnoreStatus(s, "why"), which records the decision in the `status.ignored`
+/// metric instead of losing it silently. See docs/STATIC_ANALYSIS.md.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -93,9 +99,10 @@ class Status {
   std::string msg_;
 };
 
-/// A Status or a value. `ok()` implies the value is present.
+/// A Status or a value. `ok()` implies the value is present. [[nodiscard]]
+/// for the same reason as Status: dropping one drops an error path.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return 42;`.
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
@@ -115,6 +122,13 @@ class Result {
   Status status_;
   T value_{};
 };
+
+/// Declares that dropping this status is intentional. The only sanctioned way
+/// to discard a Status: the reason string documents the decision at the call
+/// site, and every non-OK drop bumps the `status.ignored` counter (and the
+/// per-reason `status.ignored.<reason>` counter) in the global metrics
+/// registry so operators can see how often "can't happen" happens.
+void IgnoreStatus(const Status& s, const char* reason);
 
 }  // namespace ode
 

@@ -1,0 +1,86 @@
+#ifndef ODE_UTIL_THREAD_ANNOTATIONS_H_
+#define ODE_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety annotations (LevelDB/Abseil style), compiled away on
+/// toolchains without the `capability` attribute family. Annotating a member
+/// `GUARDED_BY(mu_)` or a function `REQUIRES(mu_)` turns the engine's lock
+/// protocol into compiler-checked fact under `clang -Wthread-safety`
+/// (the CI static-analysis job builds with -Werror=thread-safety).
+///
+/// The annotations only work on lock types that are themselves annotated as
+/// capabilities — use ode::Mutex / ode::MutexLock / ode::CondVar from
+/// util/mutex.h, not raw std::mutex (libstdc++'s primitives carry no
+/// annotations, so the analysis cannot see through them).
+///
+/// Conventions and a reading guide live in docs/STATIC_ANALYSIS.md.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ODE_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define ODE_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Declares a class to be a lockable capability (e.g. a mutex).
+#define CAPABILITY(x) ODE_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY ODE_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// The annotated member may only be accessed while holding `x`.
+#define GUARDED_BY(x) ODE_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// The data pointed to by the annotated pointer member may only be accessed
+/// while holding `x` (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) ODE_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// The annotated function may only be called while holding the listed
+/// capabilities exclusively; it does not change what is held.
+#define REQUIRES(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Shared-hold variant of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the listed capabilities and holds them on
+/// return (e.g. Mutex::Lock).
+#define ACQUIRE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the listed capabilities (e.g.
+/// Mutex::Unlock); callers must hold them on entry.
+#define RELEASE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function may not be called while holding the listed
+/// capabilities (it acquires them itself; prevents self-deadlock).
+#define EXCLUDES(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Try-lock: acquires the capability only when returning `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability; tells the
+/// analysis to assume it from here on.
+#define ASSERT_CAPABILITY(x) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// The annotated function returns a reference to the listed capability
+/// (lets the analysis resolve accessor-returned locks).
+#define RETURN_CAPABILITY(x) ODE_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: the function's locking is beyond the analysis (see the
+/// suppression policy in docs/STATIC_ANALYSIS.md — every use needs a comment
+/// saying why).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // ODE_UTIL_THREAD_ANNOTATIONS_H_

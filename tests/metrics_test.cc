@@ -95,6 +95,24 @@ TEST(MetricsRegistryTest, HistogramReservoirStaysBounded) {
   EXPECT_LT(p50, 100000 * 0.8);
 }
 
+// IgnoreStatus (util/status.h) is the sanctioned way to drop a Status under
+// the [[nodiscard]] discipline; its whole value is that the drop is
+// *observable*. The counter lives in the Global registry (IgnoreStatus has
+// no registry parameter by design — call sites must stay one-liners), so
+// assertions are deltas, and the instrument must surface through the normal
+// snapshot/render pipeline like any other counter.
+TEST(MetricsRegistryTest, StatusIgnoredSurfacesInSnapshotAndRenders) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  const uint64_t before = m.TakeSnapshot().counter("status.ignored");
+  IgnoreStatus(Status::Corruption("deliberately dropped"), "metrics-test");
+  const MetricsRegistry::Snapshot snap = m.TakeSnapshot();
+  EXPECT_EQ(snap.counter("status.ignored"), before + 1);
+  EXPECT_GE(snap.counter("status.ignored.metrics-test"), 1u);
+  // Renders like any other instrument (ode_shell `.stats`, BENCH_JSON).
+  EXPECT_NE(snap.RenderText().find("status.ignored"), std::string::npos);
+  EXPECT_NE(snap.RenderJson().find("\"status.ignored\""), std::string::npos);
+}
+
 // --- Storage / transaction counters ----------------------------------------
 
 TEST(MetricsDbTest, TxnCountersMonotoneAcrossCommitAndAbort) {

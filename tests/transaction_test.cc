@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "core/forall.h"
 #include "test_models.h"
 #include "test_util.h"
+#include "util/env.h"
 
 namespace ode {
 namespace {
@@ -299,6 +303,63 @@ TEST_F(TransactionTest, BulkObjectsAcrossCommits) {
     EXPECT_EQ(count.value(), 1000u);
     return Status::OK();
   }));
+}
+
+// Regression (static-analysis PR): a constraint violation at commit aborts
+// the transaction, and the *violation* is what the caller must see (§5) —
+// even when the rollback itself fails halfway. Commit used to propagate a
+// failed Abort's status instead, so an I/O error reloading the dirty catalog
+// masked the ConstraintViolation and RunTransaction callers never learned a
+// constraint had failed.
+TEST(TransactionFaultTest, ConstraintViolationSurvivesFailedRollback) {
+  FaultInjectionEnv fenv;
+  DatabaseOptions options = TestDb::FastOptions();
+  options.engine.env = &fenv;
+  // A tiny pool, so the cluster scan below evicts the catalog pages and the
+  // abort-path catalog reload must really read the (faulted) disk.
+  options.engine.buffer_pool_pages = 8;
+  TestDb db(options);
+  ASSERT_OK(db.db->CreateCluster<Person>());
+  db.db->RegisterConstraint<Person>(
+      "age-nonneg", [](const Person& p) { return p.age() >= 0; });
+
+  // Seed enough pages of objects that a full scan churns the 8-frame pool.
+  const std::string padding(300, 'x');
+  ASSERT_OK(db.db->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i < 400; i++) {
+      ODE_ASSIGN_OR_RETURN(
+          Ref<Person> p,
+          txn.New<Person>(padding + std::to_string(i), i % 90, 1.0));
+      (void)p;
+    }
+    return Status::OK();
+  }));
+
+  Status s = db.db->RunTransaction([&](Transaction& txn) -> Status {
+    // Catalog mutation: the abort path must reload the catalog from disk.
+    ODE_RETURN_IF_ERROR(txn.CreateCluster<Student>());
+    // Churn the pool so the catalog pages are no longer resident.
+    size_t seen = 0;
+    ODE_RETURN_IF_ERROR(ForAll<Person>(txn).Each(
+        [&](Ref<Person>, const Person&) { seen++; }));
+    EXPECT_EQ(seen, 400u);
+    // The violation the caller must end up seeing.
+    ODE_ASSIGN_OR_RETURN(Ref<Person> bad, txn.New<Person>("bad", -5, 0.0));
+    (void)bad;
+    // From here on, the first read of the database file fails: commit's
+    // constraint check is in-memory, so that read is the rollback's
+    // catalog reload.
+    FaultInjectionEnv::FaultSpec spec;
+    spec.kind = FaultInjectionEnv::OpKind::kRead;
+    spec.nth = 1;
+    spec.transient = true;
+    fenv.ArmFault(spec);
+    return Status::OK();
+  });
+  EXPECT_TRUE(fenv.fault_fired())
+      << "test vacuous: the rollback never hit the injected read fault";
+  EXPECT_TRUE(s.IsConstraintViolation())
+      << "rollback failure masked the constraint violation: " << s.ToString();
 }
 
 }  // namespace

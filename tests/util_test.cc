@@ -13,6 +13,7 @@
 #include "util/env.h"
 #include "util/histogram.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -66,6 +67,37 @@ TEST(StatusTest, ReturnIfErrorMacro) {
   reached = 0;
   EXPECT_TRUE(PropagationDemo(true, &reached).IsIOError());
   EXPECT_EQ(reached, 0);
+}
+
+// Status and Result<T> are [[nodiscard]] with -Werror=unused-result, so a
+// dropped return does not build; IgnoreStatus is the one sanctioned discard.
+// These tests pin down its contract: OK drops are free and uncounted,
+// non-OK drops bump status.ignored plus a per-reason counter in the Global
+// registry (deltas, not absolutes — the registry accumulates across tests).
+TEST(StatusTest, IgnoreStatusCountsOnlyFailures) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  const uint64_t before = m.TakeSnapshot().counter("status.ignored");
+  IgnoreStatus(Status::OK(), "util-test-ok");
+  EXPECT_EQ(m.TakeSnapshot().counter("status.ignored"), before);
+  EXPECT_EQ(m.TakeSnapshot().counter("status.ignored.util-test-ok"), 0u);
+
+  IgnoreStatus(Status::IOError("dropped on purpose"), "util-test");
+  IgnoreStatus(Status::NotFound("also dropped"), "util-test");
+  const MetricsRegistry::Snapshot snap = m.TakeSnapshot();
+  EXPECT_EQ(snap.counter("status.ignored"), before + 2);
+  EXPECT_EQ(snap.counter("status.ignored.util-test"), 2u);
+}
+
+TEST(StatusTest, IgnoreStatusKeepsReasonsSeparate) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  const uint64_t a = m.TakeSnapshot().counter("status.ignored.util-reason-a");
+  const uint64_t b = m.TakeSnapshot().counter("status.ignored.util-reason-b");
+  IgnoreStatus(Status::Busy("x"), "util-reason-a");
+  IgnoreStatus(Status::Busy("y"), "util-reason-b");
+  IgnoreStatus(Status::Busy("z"), "util-reason-b");
+  const MetricsRegistry::Snapshot snap = m.TakeSnapshot();
+  EXPECT_EQ(snap.counter("status.ignored.util-reason-a"), a + 1);
+  EXPECT_EQ(snap.counter("status.ignored.util-reason-b"), b + 2);
 }
 
 Result<int> MakeValue(bool ok) {
