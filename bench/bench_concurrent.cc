@@ -37,9 +37,10 @@ struct Fixture {
   std::vector<Ref<Blob>> refs;
 };
 
-Fixture Populate() {
+Fixture Populate(const std::string& name = "concurrent",
+                 Wal::SyncMode sync = Wal::SyncMode::kNoSync) {
   Fixture f;
-  f.db = OpenFresh("concurrent");
+  f.db = OpenFresh(name, sync);
   Check(f.db->CreateCluster<Blob>());
   Random rng(7);
   const std::string payload = rng.NextString(64);
@@ -53,9 +54,14 @@ Fixture Populate() {
   return f;
 }
 
-/// Runs `threads` sessions, each committing kTxnsPerThread transactions of
-/// `write_pct`% writers, and returns committed transactions per second.
-double RunWorkload(Fixture& f, int threads, int write_pct) {
+/// Runs `threads` sessions, each committing `txns_per_thread` transactions
+/// of `write_pct`% writers, and returns committed transactions per second.
+/// `disjoint_writes` pins each session's writers to its own object pair so
+/// the run measures commit-path scaling (group-commit fsync sharing) with
+/// no cross-session lock conflicts mixed in.
+double RunWorkload(Fixture& f, int threads, int write_pct,
+                   int txns_per_thread = kTxnsPerThread,
+                   bool disjoint_writes = false) {
   std::atomic<int> committed{0};
   std::vector<std::thread> workers;
   Timer timer;
@@ -66,16 +72,22 @@ double RunWorkload(Fixture& f, int threads, int write_pct) {
         rng = rng * 1664525u + 1013904223u;
         return rng >> 8;
       };
-      for (int i = 0; i < kTxnsPerThread; i++) {
+      for (int i = 0; i < txns_per_thread; i++) {
         const bool writer = static_cast<int>(next() % 100) < write_pct;
         Status s = f.db->RunTransaction([&](Transaction& txn) -> Status {
           if (writer) {
             // Transfer-style: rewrite two random objects. Distinct ids and
             // a fixed lock order keep self-deadlocks out of the measurement.
-            unsigned a = next() % kObjects;
-            unsigned b = next() % kObjects;
-            if (a == b) b = (b + 1) % kObjects;
-            if (a > b) std::swap(a, b);
+            unsigned a, b;
+            if (disjoint_writes) {
+              a = static_cast<unsigned>(t);
+              b = static_cast<unsigned>(t + threads);
+            } else {
+              a = next() % kObjects;
+              b = next() % kObjects;
+              if (a == b) b = (b + 1) % kObjects;
+              if (a > b) std::swap(a, b);
+            }
             ODE_ASSIGN_OR_RETURN(Blob * first, txn.Write(f.refs[a]));
             ODE_ASSIGN_OR_RETURN(Blob * second, txn.Write(f.refs[b]));
             first->set_payload(second->payload());
@@ -96,9 +108,9 @@ double RunWorkload(Fixture& f, int threads, int write_pct) {
   }
   for (auto& w : workers) w.join();
   const double ms = timer.ElapsedMs();
-  if (committed.load() != threads * kTxnsPerThread) {
+  if (committed.load() != threads * txns_per_thread) {
     fprintf(stderr, "bench error: %d of %d transactions committed\n",
-            committed.load(), threads * kTxnsPerThread);
+            committed.load(), threads * txns_per_thread);
     exit(1);
   }
   return committed.load() / ms * 1000.0;
@@ -133,6 +145,44 @@ int main() {
     Row("%10s | %8d | %12.0f | %11.2fx", "mixed90/10", threads, tps,
         tps / mixed_base);
     report.Record("tps_mixed_" + std::to_string(threads) + "t", tps);
+  }
+
+  // Durable writers (kSyncEveryCommit): every commit must reach the disk,
+  // so throughput is fsync-bound — exactly what group commit amortizes.
+  // One session is the fsync-per-commit baseline (nobody to batch with);
+  // with more sessions the batch leader's single fsync covers everyone who
+  // published while it was in flight (docs/STORAGE.md "Group commit").
+  Header("E12b", "Durable commits: group-commit batching vs thread count");
+  Row("%10s | %8s | %12s | %12s | %14s", "workload", "threads", "txn/s",
+      "speedup", "commits/fsync");
+  {
+    Fixture d = Populate("concurrent_durable", Wal::SyncMode::kSyncEveryCommit);
+    auto& registry = MetricsRegistry::Global();
+    Counter* gc_fsyncs =
+        registry.GetCounter("storage.wal.group_commit.fsyncs");
+    Counter* gc_commits =
+        registry.GetCounter("storage.wal.group_commit.commits");
+    double durable_base = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      const uint64_t fsyncs0 = gc_fsyncs->value();
+      const uint64_t commits0 = gc_commits->value();
+      const double tps = RunWorkload(d, threads, /*write_pct=*/100,
+                                     /*txns_per_thread=*/200,
+                                     /*disjoint_writes=*/true);
+      const uint64_t fsyncs = gc_fsyncs->value() - fsyncs0;
+      const uint64_t commits = gc_commits->value() - commits0;
+      const double cpf =
+          fsyncs > 0 ? static_cast<double>(commits) / fsyncs : 0;
+      if (threads == 1) durable_base = tps;
+      Row("%10s | %8d | %12.0f | %11.2fx | %14.2f", "durable", threads, tps,
+          tps / durable_base, cpf);
+      report.Record("tps_durable_" + std::to_string(threads) + "t", tps);
+      report.Record("cpf_durable_" + std::to_string(threads) + "t", cpf);
+      if (threads == 8) {
+        report.Record("durable_speedup_8t",
+                      durable_base > 0 ? tps / durable_base : 0);
+      }
+    }
   }
 
   report.Record("hardware_threads", static_cast<double>(hw));

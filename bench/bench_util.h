@@ -64,13 +64,15 @@ inline double TimeMs(const std::function<void()>& fn) {
 inline std::unique_ptr<Database> OpenFresh(
     const std::string& name,
     Wal::SyncMode sync = Wal::SyncMode::kNoSync,
-    size_t pool_pages = 4096) {
+    size_t pool_pages = 4096,
+    uint64_t group_commit_window_us = 0) {
   const std::string dir = "/tmp/ode_bench_" + name;
   (void)env::RemoveDirRecursively(dir);
   Check(env::CreateDir(dir));
   DatabaseOptions options;
   options.engine.wal_sync = sync;
   options.engine.buffer_pool_pages = pool_pages;
+  options.engine.group_commit_window_us = group_commit_window_us;
   // Benches measure steady-state work, not checkpoint policy.
   options.engine.checkpoint_wal_bytes = 1ull << 40;
   std::unique_ptr<Database> db;

@@ -2,7 +2,10 @@
 // crash-recovery time vs log size. (The paper presumes transactional
 // persistence; this measures what it costs here.)
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_models.h"
 #include "bench_util.h"
@@ -34,6 +37,63 @@ double CommitThroughput(Wal::SyncMode mode, int txns, Histogram* lat) {
   return txns / ms * 1000;
 }
 
+/// `threads` sessions committing durable single-object UPDATE transactions
+/// against one database; returns commit/s and reports the commits-per-fsync
+/// ratio the group-commit batcher achieved (docs/STORAGE.md "Group
+/// commit"). Updates rather than creations: object creation X-locks the
+/// whole cluster (extent change), which 2PL holds across the durability
+/// wait — creations serialize and can never share an fsync. Each session
+/// updates its own object, so the only shared resources are the writer
+/// token (handed over at publish) and the batched fsync itself.
+double GroupCommitThroughput(int threads, int txns_per_thread, double* cpf) {
+  auto db = OpenFresh("wal_group_commit", Wal::SyncMode::kSyncEveryCommit);
+  Check(db->CreateCluster<Blob>());
+  Random rng(1);
+  const std::string payload = rng.NextString(200);
+  std::vector<Ref<Blob>> refs;
+  Check(db->RunTransaction([&](Transaction& txn) -> Status {
+    for (int t = 0; t < threads; t++) {
+      ODE_ASSIGN_OR_RETURN(Ref<Blob> ref, txn.New<Blob>(t, payload));
+      refs.push_back(ref);
+    }
+    return Status::OK();
+  }));
+  auto& registry = MetricsRegistry::Global();
+  Counter* gc_fsyncs = registry.GetCounter("storage.wal.group_commit.fsyncs");
+  Counter* gc_commits =
+      registry.GetCounter("storage.wal.group_commit.commits");
+  const uint64_t fsyncs0 = gc_fsyncs->value();
+  const uint64_t commits0 = gc_commits->value();
+  std::atomic<int> failures{0};
+  const double ms = TimeMs([&] {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; t++) {
+      workers.emplace_back([&, t] {
+        Random payload_rng(t + 1);
+        for (int i = 0; i < txns_per_thread; i++) {
+          const std::string update = payload_rng.NextString(200);
+          Status s = db->RunTransaction([&](Transaction& txn) -> Status {
+            ODE_ASSIGN_OR_RETURN(Blob * blob, txn.Write(refs[t]));
+            blob->set_payload(update);
+            return Status::OK();
+          });
+          if (!s.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  });
+  if (failures.load() > 0) {
+    fprintf(stderr, "bench error: %d durable commits failed\n",
+            failures.load());
+    exit(1);
+  }
+  const uint64_t fsyncs = gc_fsyncs->value() - fsyncs0;
+  const uint64_t commits = gc_commits->value() - commits0;
+  *cpf = fsyncs > 0 ? static_cast<double>(commits) / fsyncs : 0;
+  return threads * txns_per_thread / ms * 1000;
+}
+
 }  // namespace
 
 int main() {
@@ -52,6 +112,22 @@ int main() {
     const double rate = CommitThroughput(Wal::SyncMode::kNoSync, 2000, &lat);
     Row("%22s | %10.0f | %s", "no fsync (OS cache)", rate,
         lat.Summary().c_str());
+  }
+
+  Note("");
+  Note("group commit: N sessions share batch fsyncs (one leader syncs for");
+  Note("everyone who published since the last fsync)");
+  Row("%8s | %10s | %12s | %14s", "threads", "commit/s", "speedup",
+      "commits/fsync");
+  double gc_base = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    double cpf = 0;
+    const double rate = GroupCommitThroughput(threads, 100, &cpf);
+    if (threads == 1) gc_base = rate;
+    Row("%8d | %10.0f | %11.2fx | %14.2f", threads, rate, rate / gc_base,
+        cpf);
+    report.Record("group_commit_tps_" + std::to_string(threads) + "t", rate);
+    report.Record("group_commit_cpf_" + std::to_string(threads) + "t", cpf);
   }
 
   Note("");

@@ -298,6 +298,30 @@ void LockManager::ReleaseAll(TxnId txn) {
   ClearEdges(txn);
 }
 
+void LockManager::Release(TxnId txn, ResourceId res) {
+  Shard& shard = ShardFor(res);
+  MutexLock lock(shard.mu);
+  auto it = shard.table.find(res);
+  if (it == shard.table.end()) return;
+  bool wake = false;
+  auto& queue = it->second.queue;
+  for (auto q = queue.begin(); q != queue.end(); ++q) {
+    if (q->txn == txn) {
+      queue.erase(q);
+      wake = true;
+      break;
+    }
+  }
+  if (queue.empty()) {
+    shard.table.erase(it);
+    if (m_resources_ != nullptr) m_resources_->Sub();
+  } else if (TryGrant(it->second)) {
+    wake = true;
+  }
+  DropHeld(shard, txn, res);
+  if (wake) shard.cv.NotifyAll();
+}
+
 bool LockManager::Holds(TxnId txn, ResourceId res, LockMode mode) const {
   const Shard& shard = ShardFor(res);
   MutexLock lock(shard.mu);

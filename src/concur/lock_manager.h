@@ -92,6 +92,13 @@ class LockManager {
   /// only at transaction end) and wakes any waiters that become grantable.
   void ReleaseAll(TxnId txn);
 
+  /// Releases just `res` for `txn` and wakes any waiters that become
+  /// grantable. A no-op if `txn` does not hold `res`. Used by the commit
+  /// path to hand the global writer token to the next writer before the
+  /// committing session blocks on group-commit durability; every other lock
+  /// stays strictly two-phase (released only via ReleaseAll at txn end).
+  void Release(TxnId txn, ResourceId res);
+
   /// True if `txn` currently holds `res` in `mode` or stronger.
   bool Holds(TxnId txn, ResourceId res, LockMode mode) const;
 

@@ -16,7 +16,12 @@ namespace concur {
 /// `Current()` answers "what is *my* transaction" from Ref dereferences and
 /// nested API calls, and commit/abort unbinds. Transactions are thread-
 /// affine — the thread that began one is the thread that must use and end it
-/// (see docs/CONCURRENCY.md).
+/// (see docs/CONCURRENCY.md). Committing no longer serializes sessions for
+/// the duration of an fsync: the engine's commit path hands the global
+/// writer token to the next session before blocking on group-commit
+/// durability (docs/STORAGE.md "Group commit"), so N sessions can have
+/// commits in flight behind one shared fsync while their thread bindings
+/// here stay live until each commit resolves.
 ///
 /// Header-only template so the concur library needs no dependency on core.
 ///

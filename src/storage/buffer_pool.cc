@@ -13,11 +13,37 @@ std::shared_ptr<char[]> NewPageBuffer() {
   return std::shared_ptr<char[]>(new char[kPageSize]());
 }
 
+/// Largest power of two <= max(1, n).
+size_t FloorPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
 }  // namespace
 
 BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
-                       MetricsRegistry* metrics)
+                       MetricsRegistry* metrics, size_t shards)
     : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {
+  // Shard count: a power of two, never more than the capacity (a shard that
+  // could cache nothing would turn every access to it into a miss+grow).
+  size_t n = FloorPow2(shards == 0 ? 1 : shards);
+  if (n > capacity_) n = FloorPow2(capacity_);
+  if (n > 64) n = 64;
+  unsigned log2 = 0;
+  for (size_t p = n; p > 1; p /= 2) log2++;
+  shard_shift_ = 64 - log2;  // n==1 => shift 64; ShardOf special-cases it.
+  shards_.reserve(n);
+  // Distribute capacity exactly: base slice per shard plus one extra for the
+  // first (capacity mod n) shards, so the sum equals capacity_ and tests
+  // that bound total residency keep holding for small pools.
+  const size_t base = capacity_ / n;
+  const size_t extra = capacity_ % n;
+  for (size_t i = 0; i < n; i++) {
+    auto s = std::make_unique<Shard>();
+    s->capacity = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(s));
+  }
   MetricsRegistry& m =
       metrics != nullptr ? *metrics : MetricsRegistry::Global();
   m_hits_ = m.GetCounter("storage.pool.hits");
@@ -29,23 +55,30 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
   m_frames_ = m.GetGauge("storage.pool.frames");
 }
 
-Status BufferPool::FetchLocked(PageId id, Frame** frame) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
+BufferPool::~BufferPool() {
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    m_frames_->Sub(static_cast<int64_t>(shard->frames.size()));
+  }
+}
+
+Status BufferPool::FetchLocked(Shard& shard, PageId id, Frame** frame) {
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
     m_hits_->Add();
     Frame* f = it->second.get();
-    lru_.splice(lru_.begin(), lru_, f->lru_pos);  // move to MRU position
+    shard.lru.splice(shard.lru.begin(), shard.lru, f->lru_pos);  // to MRU
     *frame = f;
     return Status::OK();
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
   m_misses_->Add();
-  ODE_RETURN_IF_ERROR(EnsureRoom());
+  ODE_RETURN_IF_ERROR(EnsureRoom(shard));
   auto f = std::make_unique<Frame>();
   f->id = id;
   f->data = NewPageBuffer();
-  // Read before the frame is linked into frames_/lru_: a failed read must
+  // Read before the frame is linked into frames/lru: a failed read must
   // not leave a half-initialized frame behind.
   Status read = pager_->ReadPage(id, f->data.get());
   if (!read.ok()) {
@@ -53,19 +86,20 @@ Status BufferPool::FetchLocked(PageId id, Frame** frame) {
     m_read_errors_->Add();
     return read;
   }
-  lru_.push_front(id);
-  f->lru_pos = lru_.begin();
+  shard.lru.push_front(id);
+  f->lru_pos = shard.lru.begin();
   Frame* raw = f.get();
-  frames_.emplace(id, std::move(f));
-  m_frames_->Set(static_cast<int64_t>(frames_.size()));
+  shard.frames.emplace(id, std::move(f));
+  m_frames_->Add();
   *frame = raw;
   return Status::OK();
 }
 
 Status BufferPool::FetchHandle(PageId id, PageHandle* handle) {
-  MutexLock lock(mu_);
+  Shard& shard = ShardOf(id);
+  MutexLock lock(shard.mu);
   Frame* f = nullptr;
-  ODE_RETURN_IF_ERROR(FetchLocked(id, &f));
+  ODE_RETURN_IF_ERROR(FetchLocked(shard, id, &f));
   PageHandle h;
   h.owner_ = f->data;  // shared: survives Install()'s buffer swap / eviction
   h.data_ = h.owner_.get();
@@ -75,19 +109,21 @@ Status BufferPool::FetchHandle(PageId id, PageHandle* handle) {
 }
 
 void BufferPool::Install(PageId id, const char* data) {
-  MutexLock lock(mu_);
-  auto it = frames_.find(id);
+  Shard& shard = ShardOf(id);
+  MutexLock lock(shard.mu);
+  auto it = shard.frames.find(id);
   Frame* f;
-  if (it != frames_.end()) {
+  if (it != shard.frames.end()) {
     f = it->second.get();
-    lru_.splice(lru_.begin(), lru_, f->lru_pos);
+    shard.lru.splice(shard.lru.begin(), shard.lru, f->lru_pos);
   } else {
     // The commit behind this Install is already durable in the WAL; a full
-    // pool grows (EnsureRoom never errors hard for an unpinnable pool, and a
-    // flush error during eviction merely grows too — the WAL protects us).
+    // shard grows (EnsureRoom never errors hard for an unpinnable shard,
+    // and a flush error during eviction merely grows too — the WAL protects
+    // us).
     bool evicted = false;
-    if (frames_.size() >= capacity_) {
-      Status s = EvictOne(&evicted);
+    if (shard.frames.size() >= shard.capacity) {
+      Status s = EvictOne(shard, &evicted);
       if (!s.ok()) {
         ODE_LOG(kWarn) << "pool: eviction flush failed during Install ("
                        << s.ToString() << "); growing instead";
@@ -100,10 +136,10 @@ void BufferPool::Install(PageId id, const char* data) {
     auto owned = std::make_unique<Frame>();
     owned->id = id;
     f = owned.get();
-    lru_.push_front(id);
-    f->lru_pos = lru_.begin();
-    frames_.emplace(id, std::move(owned));
-    m_frames_->Set(static_cast<int64_t>(frames_.size()));
+    shard.lru.push_front(id);
+    f->lru_pos = shard.lru.begin();
+    shard.frames.emplace(id, std::move(owned));
+    m_frames_->Add();
   }
   // Fresh buffer rather than memcpy into the old one: outstanding
   // PageHandles keep the old image alive and never see a torn write.
@@ -114,50 +150,52 @@ void BufferPool::Install(PageId id, const char* data) {
 }
 
 Status BufferPool::Fetch(PageId id, Frame** frame) {
-  MutexLock lock(mu_);
+  Shard& shard = ShardOf(id);
+  MutexLock lock(shard.mu);
   Frame* f = nullptr;
-  ODE_RETURN_IF_ERROR(FetchLocked(id, &f));
+  ODE_RETURN_IF_ERROR(FetchLocked(shard, id, &f));
   f->pins++;
   *frame = f;
   return Status::OK();
 }
 
 void BufferPool::Unpin(Frame* frame) {
-  MutexLock lock(mu_);
+  Shard& shard = ShardOf(frame->id);
+  MutexLock lock(shard.mu);
   assert(frame->pins > 0);
   frame->pins--;
 }
 
-Status BufferPool::EvictOne(bool* evicted) {
+Status BufferPool::EvictOne(Shard& shard, bool* evicted) {
   *evicted = false;
   // Walk from the cold end; the first evictable frame is the victim.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    auto found = frames_.find(*it);
-    assert(found != frames_.end());
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+    auto found = shard.frames.find(*it);
+    assert(found != shard.frames.end());
     Frame* f = found->second.get();
     if (f->pins > 0) continue;
     if (f->dirty) {
-      ODE_RETURN_IF_ERROR(FlushFrameLocked(f));
+      ODE_RETURN_IF_ERROR(FlushFrameLocked(shard, f));
     }
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     m_evictions_->Add();
-    RemoveFrame(f);
+    RemoveFrame(shard, f);
     *evicted = true;
     return Status::OK();
   }
   return Status::OK();
 }
 
-void BufferPool::RemoveFrame(Frame* frame) {
-  lru_.erase(frame->lru_pos);
-  frames_.erase(frame->id);
-  m_frames_->Set(static_cast<int64_t>(frames_.size()));
+void BufferPool::RemoveFrame(Shard& shard, Frame* frame) {
+  shard.lru.erase(frame->lru_pos);
+  shard.frames.erase(frame->id);
+  m_frames_->Sub();
 }
 
-Status BufferPool::EnsureRoom() {
-  if (frames_.size() < capacity_) return Status::OK();
+Status BufferPool::EnsureRoom(Shard& shard) {
+  if (shard.frames.size() < shard.capacity) return Status::OK();
   bool evicted = false;
-  ODE_RETURN_IF_ERROR(EvictOne(&evicted));
+  ODE_RETURN_IF_ERROR(EvictOne(shard, &evicted));
   if (!evicted) {
     // Everything pinned: grow rather than fail.
     stats_.grows.fetch_add(1, std::memory_order_relaxed);
@@ -167,16 +205,19 @@ Status BufferPool::EnsureRoom() {
 }
 
 Status BufferPool::ShrinkToCapacity() {
-  MutexLock lock(mu_);
-  while (frames_.size() > capacity_) {
-    bool evicted = false;
-    ODE_RETURN_IF_ERROR(EvictOne(&evicted));
-    if (!evicted) break;  // Everything pinned: give up for now.
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    while (shard->frames.size() > shard->capacity) {
+      bool evicted = false;
+      ODE_RETURN_IF_ERROR(EvictOne(*shard, &evicted));
+      if (!evicted) break;  // Everything pinned: give up for now.
+    }
   }
   return Status::OK();
 }
 
-Status BufferPool::FlushFrameLocked(Frame* frame) {
+Status BufferPool::FlushFrameLocked(Shard& shard, Frame* frame) {
+  (void)shard;
   if (!frame->dirty) return Status::OK();
   ODE_RETURN_IF_ERROR(pager_->WritePage(frame->id, frame->data.get()));
   frame->dirty = false;
@@ -186,21 +227,33 @@ Status BufferPool::FlushFrameLocked(Frame* frame) {
 }
 
 Status BufferPool::FlushAll() {
-  MutexLock lock(mu_);
-  for (auto& [id, f] : frames_) {
-    if (f->dirty) {
-      ODE_RETURN_IF_ERROR(FlushFrameLocked(f.get()));
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (auto& [id, f] : shard->frames) {
+      if (f->dirty) {
+        ODE_RETURN_IF_ERROR(FlushFrameLocked(*shard, f.get()));
+      }
     }
   }
   return Status::OK();
 }
 
 void BufferPool::Evict(PageId id) {
-  MutexLock lock(mu_);
-  auto it = frames_.find(id);
-  if (it == frames_.end()) return;
+  Shard& shard = ShardOf(id);
+  MutexLock lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) return;
   if (it->second->pins > 0 || it->second->dirty) return;
-  RemoveFrame(it->second.get());
+  RemoveFrame(shard, it->second.get());
+}
+
+size_t BufferPool::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    n += shard->frames.size();
+  }
+  return n;
 }
 
 void BufferPool::ResetStats() {

@@ -6,6 +6,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/page.h"
 #include "storage/pager.h"
@@ -23,11 +24,17 @@ namespace ode {
 /// committed page images. Transactions never mutate pool frames in place —
 /// they write private shadow copies owned by the StorageEngine's per-txn
 /// state, and at commit the engine publishes each shadow atomically with
-/// Install(). All structural state (maps, LRU list, frame flags) is guarded
-/// by an internal mutex; readers obtained through FetchHandle() keep the
-/// frame's buffer alive via shared ownership, so a concurrent Install() of a
-/// newer image can swap the frame's buffer without pulling bytes out from
-/// under anyone.
+/// Install(). Readers obtained through FetchHandle() keep the frame's buffer
+/// alive via shared ownership, so a concurrent Install() of a newer image
+/// can swap the frame's buffer without pulling bytes out from under anyone.
+///
+/// Sharding (docs/CONCURRENCY.md "Buffer-pool sharding"): the pool is
+/// partitioned into 2^k shards keyed by a Fibonacci hash of the page id.
+/// Each shard owns its own mutex, frame map, LRU list and slice of the
+/// capacity, so concurrent readers of unrelated pages never contend on one
+/// lock. LRU is therefore per-shard (approximate globally — the standard
+/// trade, same as the lock manager's 16-way shard split); capacity and the
+/// `storage.pool.*` stats aggregate across shards.
 class BufferPool {
  public:
   struct Frame {
@@ -52,12 +59,21 @@ class BufferPool {
   };
 
   /// `metrics` mirrors the Stats struct into `storage.pool.*` registry
-  /// counters; nullptr means the global registry.
+  /// counters; nullptr means the global registry. `shards` is rounded down
+  /// to a power of two and clamped to [1, capacity] (a shard with zero
+  /// capacity could never cache anything); the default keeps the historic
+  /// single-mutex behavior for direct constructions — the engine passes
+  /// EngineOptions::buffer_pool_shards.
   BufferPool(Pager* pager, size_t capacity_pages,
-             MetricsRegistry* metrics = nullptr);
+             MetricsRegistry* metrics = nullptr, size_t shards = 1);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Drops this pool's resident frames from the shared storage.pool.frames
+  /// gauge (the gauge is kept by +/- deltas now that shards update it
+  /// concurrently).
+  ~BufferPool();
 
   /// Fetches the committed image of `id` into `*handle` (loading from the
   /// pager on a miss). The handle shares ownership of the buffer: it stays
@@ -67,7 +83,7 @@ class BufferPool {
 
   /// Publishes a committed page image: the frame (created on demand) gets a
   /// fresh buffer holding `data`, marked dirty, swapped in atomically under
-  /// the pool mutex. Never fails: if the pool is full and nothing is
+  /// the shard mutex. Never fails: if the shard is full and nothing is
   /// evictable it grows instead (the commit this image belongs to is already
   /// durable in the WAL — failure is not an option here).
   void Install(PageId id, const char* data);
@@ -86,37 +102,51 @@ class BufferPool {
   /// Drops an unpinned clean frame from the pool if cached (test helper).
   void Evict(PageId id);
 
-  /// Evicts LRU frames (flushing dirty ones) until the pool is back within
-  /// capacity. Called after commit when Install() had to grow.
+  /// Evicts LRU frames (flushing dirty ones) until every shard is back
+  /// within its capacity. Called after commit when Install() had to grow.
   Status ShrinkToCapacity();
 
   size_t capacity() const { return capacity_; }
-  size_t size() const {
-    MutexLock lock(mu_);
-    return frames_.size();
-  }
+  size_t size() const;
+  /// Number of shards actually in use (after rounding/clamping).
+  size_t shard_count() const { return shards_.size(); }
   const Stats& stats() const { return stats_; }
   void ResetStats();
 
  private:
-  /// Makes room for one more frame if at capacity. Grows the pool when every
-  /// frame is pinned.
-  Status EnsureRoom() REQUIRES(mu_);
+  struct Shard {
+    mutable Mutex mu;  ///< Guards frames, lru, and frame fields.
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames GUARDED_BY(mu);
+    /// Recency order: front = most recently used, back = LRU victim side.
+    std::list<PageId> lru GUARDED_BY(mu);
+    size_t capacity = 0;  ///< This shard's slice of the total (immutable).
+  };
 
-  /// Evicts the least-recently-used evictable frame; sets *evicted=false if
+  Shard& ShardOf(PageId id) {
+    // Fibonacci hash: page ids are small sequential ints, so multiply by
+    // the 64-bit golden ratio and keep the top bits for an even spread.
+    // (shift >= 64 means one shard; shifting by 64 would be UB.)
+    if (shard_shift_ >= 64) return *shards_[0];
+    return *shards_[(id * 0x9E3779B97F4A7C15ull) >> shard_shift_];
+  }
+
+  /// Makes room for one more frame if the shard is at capacity. Grows when
   /// every frame is pinned.
-  Status EvictOne(bool* evicted) REQUIRES(mu_);
+  Status EnsureRoom(Shard& shard) REQUIRES(shard.mu);
 
-  Status FlushFrameLocked(Frame* frame) REQUIRES(mu_);
-  void RemoveFrame(Frame* frame) REQUIRES(mu_);
-  Status FetchLocked(PageId id, Frame** frame) REQUIRES(mu_);
+  /// Evicts the shard's least-recently-used evictable frame; sets
+  /// *evicted=false if every frame is pinned.
+  Status EvictOne(Shard& shard, bool* evicted) REQUIRES(shard.mu);
+
+  Status FlushFrameLocked(Shard& shard, Frame* frame) REQUIRES(shard.mu);
+  void RemoveFrame(Shard& shard, Frame* frame) REQUIRES(shard.mu);
+  Status FetchLocked(Shard& shard, PageId id, Frame** frame)
+      REQUIRES(shard.mu);
 
   Pager* pager_;
   size_t capacity_;
-  mutable Mutex mu_;  ///< Guards frames_, lru_, and frame fields.
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_ GUARDED_BY(mu_);
-  /// Recency order: front = most recently used, back = LRU victim side.
-  std::list<PageId> lru_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< Power-of-two count.
+  unsigned shard_shift_;  ///< 64 - log2(shards_.size()); selector shift.
   Stats stats_;
   // Registry mirrors of Stats (storage.pool.*, see docs/OBSERVABILITY.md).
   Counter* m_hits_;
@@ -130,11 +160,13 @@ class BufferPool {
 
 /// A readable (and for transaction shadow pages, writable) view of one page.
 ///
-/// Three flavors share this one type so callers are agnostic:
+/// Four flavors share this one type so callers are agnostic:
 ///  - FetchHandle(): shares ownership of a committed pool buffer (owner_
 ///    set, frame_ null) — safe across concurrent Install/eviction.
 ///  - Borrowed(): a non-owning view of a transaction's private shadow page
 ///    (only data_/id_ set) — lifetime bounded by the transaction.
+///  - Shared(): shares ownership of an engine-provided buffer (pending
+///    group-commit images) — same lifetime guarantees as FetchHandle().
 ///  - legacy pinned mode (pool_ + frame_): RAII Unpin on release.
 class PageHandle {
  public:
@@ -152,6 +184,17 @@ class PageHandle {
     PageHandle h;
     h.id_ = id;
     h.data_ = data;
+    return h;
+  }
+
+  /// A shared-ownership view of a buffer that is not (or not yet) a pool
+  /// frame — e.g. a committed-but-unsynced group-commit image. The handle
+  /// keeps the buffer alive on its own.
+  static PageHandle Shared(PageId id, std::shared_ptr<char[]> data) {
+    PageHandle h;
+    h.id_ = id;
+    h.owner_ = std::move(data);
+    h.data_ = h.owner_.get();
     return h;
   }
 
@@ -200,7 +243,7 @@ class PageHandle {
 
   BufferPool* pool_ = nullptr;
   BufferPool::Frame* frame_ = nullptr;   ///< Legacy pinned mode only.
-  std::shared_ptr<char[]> owner_;        ///< FetchHandle shared-buffer mode.
+  std::shared_ptr<char[]> owner_;        ///< Shared-buffer modes.
   char* data_ = nullptr;
   PageId id_ = kInvalidPageId;
 };

@@ -1,6 +1,8 @@
 #include "storage/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <set>
 #include <vector>
@@ -56,7 +58,7 @@ StorageEngine::StorageEngine(std::string path, std::unique_ptr<Pager> pager,
       pager_(std::move(pager)),
       wal_(std::move(wal)),
       pool_(new BufferPool(pager_.get(), options.buffer_pool_pages,
-                           options.metrics)),
+                           options.metrics, options.buffer_pool_shards)),
       locks_(new concur::LockManager(
           options.metrics != nullptr ? options.metrics
                                      : &MetricsRegistry::Global(),
@@ -73,6 +75,18 @@ StorageEngine::StorageEngine(std::string path, std::unique_ptr<Pager> pager,
   m_pages_allocated_ = metrics_->GetCounter("storage.engine.pages_allocated");
   m_pages_freed_ = metrics_->GetCounter("storage.engine.pages_freed");
   m_active_txns_ = metrics_->GetGauge("storage.engine.active_txns");
+  m_gc_batch_size_ =
+      metrics_->GetHistogram("storage.wal.group_commit.batch_size");
+  m_gc_wait_us_ = metrics_->GetHistogram("storage.wal.group_commit.wait_us");
+  m_gc_fsyncs_ = metrics_->GetCounter("storage.wal.group_commit.fsyncs");
+  m_gc_commits_ = metrics_->GetCounter("storage.wal.group_commit.commits");
+  m_commits_per_fsync_ = metrics_->GetGauge("txn.commits_per_fsync");
+  {
+    // Everything in the log at open time survived recovery's own fsync-free
+    // scan of a closed file; treat it as the durable prefix.
+    MutexLock lock(commit_mu_);
+    synced_wal_offset_ = wal_->size_bytes();
+  }
 }
 
 StorageEngine::~StorageEngine() {
@@ -204,7 +218,21 @@ Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
     return Status::InvalidArgument("CommitTxn: not the active transaction");
   }
   if (state->shadows.empty()) {
-    // Read-only: nothing to log or publish.
+    // Read-only: nothing to log or publish. But if the reads went through
+    // the pending overlay (writer token held at some point), the values
+    // handed to the caller are only as durable as the batches they came
+    // from — wait for those before reporting success.
+    Status durable = Status::OK();
+    uint64_t dep_hi = 0;
+    for (uint64_t dep : state->dep_seqs) dep_hi = std::max(dep_hi, dep);
+    if (dep_hi != 0) durable = WaitForDurableSeq(dep_hi);
+    if (!durable.ok()) {
+      stats_.commit_failures.fetch_add(1, std::memory_order_relaxed);
+      m_commit_failures_->Add();
+      FinishTxn(state, /*committed=*/false);
+      if (release_locks) locks_->ReleaseAll(txn);
+      return durable;
+    }
     FinishTxn(state, /*committed=*/true);
     if (release_locks) locks_->ReleaseAll(txn);
     return Status::OK();
@@ -219,55 +247,105 @@ Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
                   next_txn_id_.load(std::memory_order_relaxed));
   }
 
-  // Log after-images in page order, then the commit record. If any append or
-  // the commit sync fails, the commit degrades to an abort: scrub the partial
-  // records off the log, drop the shadows, and report the error, but leave
-  // the engine usable.
-  const uint64_t log_start = wal_->size_bytes();
-  Status logged = [&]() -> Status {
-    for (const auto& [id, image] : state->shadows) {
-      ODE_RETURN_IF_ERROR(wal_->AppendPageImage(txn, id, image.get()));
-    }
-    return wal_->AppendCommit(txn);
-  }();
+  const bool durable_mode =
+      wal_->sync_mode() == Wal::SyncMode::kSyncEveryCommit;
+
+  // Publish phase, under the log latch: append after-images in page order
+  // plus the commit record (no fsync), assign the publish sequence, and move
+  // the shadows into the pending overlay where the next writer token holder
+  // can see them. If an append fails the commit degrades to an abort: scrub
+  // the partial records off the log, drop the shadows, report the error, but
+  // leave the engine usable.
+  SyncWaiter me;
+  Status logged;
+  {
+    MutexLock lock(commit_mu_);
+    logged = [&]() -> Status {
+      if (AnyDepDeadLocked(*state)) {
+        return Status::IOError(
+            "commit depends on a transaction whose group-commit fsync "
+            "failed; rolled back");
+      }
+      const uint64_t log_start = wal_->size_bytes();
+      for (const auto& [id, image] : state->shadows) {
+        ODE_RETURN_IF_ERROR(wal_->AppendPageImage(txn, id, image.get()));
+      }
+      Status appended = durable_mode ? wal_->AppendCommitRecord(txn)
+                                     : wal_->AppendCommit(txn);
+      if (!appended.ok()) {
+        // Scrub: if some records reached the file, leaving them there would
+        // let a later recovery resurrect the transaction we are about to
+        // roll back.
+        Status scrub = wal_->TruncateTo(log_start);
+        if (!scrub.ok()) {
+          wedged_.store(true, std::memory_order_release);
+          ODE_LOG(kError) << "commit " << txn << " failed ("
+                          << appended.ToString()
+                          << ") and the log scrub also failed ("
+                          << scrub.ToString() << "); engine wedged";
+        }
+        return appended;
+      }
+      if (durable_mode) {
+        me.seq = ++commit_seq_;
+        for (auto& [id, image] : state->shadows) {
+          pending_[id].push_back(
+              PendingImage{me.seq, std::shared_ptr<char[]>(std::move(image))});
+        }
+        state->shadows.clear();
+        sync_queue_.push_back(&me);
+      }
+      return Status::OK();
+    }();
+  }
   if (!logged.ok()) {
     stats_.commit_failures.fetch_add(1, std::memory_order_relaxed);
     m_commit_failures_->Add();
-    // Scrub first: if the commit record reached the file but (say) the sync
-    // failed, leaving it there would let a later recovery resurrect the
-    // transaction we are about to roll back.
-    Status scrub = wal_->TruncateTo(log_start);
-    if (!scrub.ok()) {
-      wedged_.store(true, std::memory_order_release);
-      ODE_LOG(kError) << "commit " << txn << " failed (" << logged.ToString()
-                      << ") and the log scrub also failed ("
-                      << scrub.ToString() << "); engine wedged";
-    } else {
-      ODE_LOG(kWarn) << "commit " << txn << " failed, rolled back: "
-                     << logged.ToString();
+    if (!wedged_.load(std::memory_order_acquire)) {
+      ODE_LOG(kWarn) << "commit " << txn
+                     << " failed, rolled back: " << logged.ToString();
     }
     FinishTxn(state, /*committed=*/false);
     if (release_locks) locks_->ReleaseAll(txn);
     return logged;
   }
 
-  // The commit record is durable: the transaction has committed, and from
-  // here on nothing may turn that into an error (the caller would wrongly
-  // conclude it aborted). Publish the shadows as the new committed images;
-  // maintenance failures (shrink, checkpoint) are logged — recovery can
-  // always redo the work from the log.
-  for (const auto& [id, image] : state->shadows) {
-    pool_->Install(id, image.get());
+  if (durable_mode) {
+    // Durability phase. The records are published; the next writer can
+    // already append behind us — hand over the writer token before blocking
+    // on the shared fsync so commits overlap instead of serializing on it.
+    locks_->Release(txn, concur::kWriterResource);
+    state->has_writer_token = false;
+    Status durable = WaitForDurable(&me);
+    if (!durable.ok()) {
+      // The whole batch failed; the leader already scrubbed the log and
+      // dropped the pending images. Degrade to an abort.
+      stats_.commit_failures.fetch_add(1, std::memory_order_relaxed);
+      m_commit_failures_->Add();
+      ODE_LOG(kWarn) << "commit " << txn
+                     << " failed, rolled back: " << durable.ToString();
+      FinishTxn(state, /*committed=*/false);
+      if (release_locks) locks_->ReleaseAll(txn);
+      return durable;
+    }
+  } else {
+    // kNoSync: durability is the OS's problem; publish straight to the pool.
+    for (const auto& [id, image] : state->shadows) {
+      pool_->Install(id, image.get());
+    }
   }
   FinishTxn(state, /*committed=*/true);
 
+  // The transaction is committed; from here on nothing may turn that into
+  // an error (the caller would wrongly conclude it aborted). Maintenance
+  // failures (shrink, checkpoint) are logged — recovery can always redo the
+  // work from the log.
   Status maintenance = pool_->ShrinkToCapacity();
   if (maintenance.ok()) {
-    // Auto-checkpoint while we still hold the writer token (no concurrent
-    // WAL appends possible) and, briefly, txn_mu_ (no new transactions).
-    // Only when the engine is otherwise quiet — a concurrent reader is
-    // harmless for correctness but we keep the historical "no transactions
-    // during checkpoint" discipline.
+    // Auto-checkpoint under txn_mu_ with txns_ empty: committing sessions
+    // stay registered until their batch is durable, so an empty table means
+    // no one can be appending (BeginTxn also needs txn_mu_, so no one can
+    // start while we hold it).
     MutexLock lock(txn_mu_);
     if (txns_.empty() &&
         wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
@@ -280,6 +358,151 @@ Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
   }
   if (release_locks) locks_->ReleaseAll(txn);
   return Status::OK();
+}
+
+Status StorageEngine::WaitForDurableSeq(uint64_t seq) {
+  SyncWaiter me;
+  me.seq = seq;
+  {
+    MutexLock lock(commit_mu_);
+    if (SeqDeadLocked(seq)) {
+      return Status::IOError(
+          "read data from a transaction whose group-commit fsync failed; "
+          "rolled back");
+    }
+    if (seq <= synced_seq_) return Status::OK();
+    sync_queue_.push_back(&me);
+  }
+  return WaitForDurable(&me);
+}
+
+Status StorageEngine::WaitForDurable(SyncWaiter* me) {
+  const auto wait_start = std::chrono::steady_clock::now();
+  commit_mu_.Lock();
+  while (!me->done) {
+    if (sync_active_) {
+      // A leader's fsync is in flight; it (or a successor) will resolve us.
+      commit_cv_.Wait(commit_mu_);
+      continue;
+    }
+    // Become the batch leader.
+    sync_active_ = true;
+    if (options_.group_commit_window_us > 0) {
+      // Let more committers publish and join the batch before paying for
+      // the fsync. Nobody can resolve us meanwhile (we hold leadership), so
+      // only the deadline ends the nap.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.group_commit_window_us);
+      while (commit_cv_.WaitUntil(commit_mu_, deadline)) {
+      }
+    }
+    const uint64_t target_seq = commit_seq_;
+    const uint64_t target_off = wal_->size_bytes();
+    commit_mu_.Unlock();
+    Status synced = wal_->Sync();  // the one step outside the latch
+    commit_mu_.Lock();
+    CompleteBatchLocked(target_seq, target_off, synced);
+    sync_active_ = false;
+    commit_cv_.NotifyAll();
+  }
+  Status result = me->status;
+  commit_mu_.Unlock();
+  m_gc_wait_us_->Add(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wait_start)
+          .count()));
+  return result;
+}
+
+void StorageEngine::CompleteBatchLocked(uint64_t target_seq,
+                                        uint64_t target_off,
+                                        const Status& synced) {
+  Status verdict = Status::OK();
+  if (synced.ok()) {
+    PublishPendingLocked(target_seq);
+    synced_seq_ = std::max(synced_seq_, target_seq);
+    synced_wal_offset_ = std::max(synced_wal_offset_, target_off);
+  } else {
+    // The fsync failed: nothing appended since the durable prefix can be
+    // trusted, including records published AFTER this leader captured its
+    // target (they sit behind the same unsynced tail). Scrub the log back
+    // to the durable prefix, drop every pending image, and remember the
+    // dead sequence interval so transactions that read those images abort.
+    Status scrub = wal_->TruncateTo(synced_wal_offset_);
+    pending_.clear();
+    if (commit_seq_ > synced_seq_) {
+      dead_seqs_.emplace_back(synced_seq_ + 1, commit_seq_);
+    }
+    std::string msg = "group commit fsync failed: " + synced.ToString();
+    if (!scrub.ok()) {
+      wedged_.store(true, std::memory_order_release);
+      msg += "; log scrub also failed (" + scrub.ToString() +
+             "), engine wedged";
+      ODE_LOG(kError) << msg;
+    } else {
+      ODE_LOG(kWarn) << msg << "; unsynced records scrubbed";
+    }
+    verdict = Status::IOError(msg);
+  }
+  // Resolve the covered waiters: on success everyone the fsync reached; on
+  // failure everyone queued (all their records were just scrubbed).
+  size_t batch = 0;
+  for (auto it = sync_queue_.begin(); it != sync_queue_.end();) {
+    SyncWaiter* w = *it;
+    if (synced.ok() && w->seq > target_seq) {
+      ++it;
+      continue;
+    }
+    w->status = verdict;
+    w->done = true;
+    it = sync_queue_.erase(it);
+    batch++;
+  }
+  if (synced.ok()) {
+    m_gc_fsyncs_->Add();
+    m_gc_commits_->Add(batch);
+    m_gc_batch_size_->Add(static_cast<double>(batch));
+    const uint64_t fsyncs = m_gc_fsyncs_->value();
+    if (fsyncs > 0) {
+      m_commits_per_fsync_->Set(
+          static_cast<int64_t>(m_gc_commits_->value() / fsyncs));
+    }
+  }
+}
+
+void StorageEngine::PublishPendingLocked(uint64_t target_seq) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    auto& chain = it->second;
+    size_t covered = 0;
+    while (covered < chain.size() && chain[covered].seq <= target_seq) {
+      covered++;
+    }
+    if (covered > 0) {
+      // The newest covered image wins; older ones were already superseded.
+      pool_->Install(it->first, chain[covered - 1].image.get());
+      chain.erase(chain.begin(), chain.begin() + covered);
+    }
+    if (chain.empty()) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool StorageEngine::SeqDeadLocked(uint64_t seq) const {
+  for (const auto& [lo, hi] : dead_seqs_) {
+    if (seq >= lo && seq <= hi) return true;
+  }
+  return false;
+}
+
+bool StorageEngine::AnyDepDeadLocked(const TxnState& txn) const {
+  for (uint64_t dep : txn.dep_seqs) {
+    if (SeqDeadLocked(dep)) return true;
+  }
+  return false;
 }
 
 Status StorageEngine::AbortTxn(TxnId txn, bool release_locks) {
@@ -316,6 +539,19 @@ Status StorageEngine::GetPageRead(PageId id, PageHandle* handle) {
       *handle = PageHandle::Borrowed(id, it->second.get());
       return Status::OK();
     }
+    if (state->has_writer_token) {
+      // The writer token holder must see the newest COMMITTED image even if
+      // its batch has not fsynced yet — the pool only gets images after
+      // durability. Everyone else reads the pool (durable state only).
+      MutexLock lock(commit_mu_);
+      auto p = pending_.find(id);
+      if (p != pending_.end() && !p->second.empty()) {
+        const PendingImage& newest = p->second.back();
+        state->dep_seqs.push_back(newest.seq);
+        *handle = PageHandle::Shared(id, newest.image);
+        return Status::OK();
+      }
+    }
   }
   return pool_->FetchHandle(id, handle);
 }
@@ -328,11 +564,26 @@ Status StorageEngine::GetPageWrite(PageId id, PageHandle* handle) {
   ODE_RETURN_IF_ERROR(EnsureWriterToken(state));
   auto it = state->shadows.find(id);
   if (it == state->shadows.end()) {
-    // First touch: seed a private shadow from the committed image.
+    // First touch: seed a private shadow from the newest committed image —
+    // the pending group-commit overlay first (a predecessor's commit may
+    // not have fsynced yet), then the pool.
     auto image = std::make_unique<char[]>(kPageSize);
-    PageHandle committed;
-    ODE_RETURN_IF_ERROR(pool_->FetchHandle(id, &committed));
-    memcpy(image.get(), committed.data(), kPageSize);
+    bool seeded = false;
+    {
+      MutexLock lock(commit_mu_);
+      auto p = pending_.find(id);
+      if (p != pending_.end() && !p->second.empty()) {
+        const PendingImage& newest = p->second.back();
+        memcpy(image.get(), newest.image.get(), kPageSize);
+        state->dep_seqs.push_back(newest.seq);
+        seeded = true;
+      }
+    }
+    if (!seeded) {
+      PageHandle committed;
+      ODE_RETURN_IF_ERROR(pool_->FetchHandle(id, &committed));
+      memcpy(image.get(), committed.data(), kPageSize);
+    }
     it = state->shadows.emplace(id, std::move(image)).first;
   }
   *handle = PageHandle::Borrowed(id, it->second.get());
@@ -340,9 +591,15 @@ Status StorageEngine::GetPageWrite(PageId id, PageHandle* handle) {
 }
 
 Status StorageEngine::AllocPage(PageId* id, PageHandle* handle) {
-  if (CurrentTxn() == nullptr) {
+  TxnState* state = CurrentTxn();
+  if (state == nullptr) {
     return Status::InvalidArgument("page allocation outside a transaction");
   }
+  // Take the writer token BEFORE reading the allocation metadata: with
+  // commits batched, a predecessor's free-list update may still sit in the
+  // pending overlay, which only the token holder reads through. Reading the
+  // pool first could hand out a page the predecessor already allocated.
+  ODE_RETURN_IF_ERROR(EnsureWriterToken(state));
   ODE_ASSIGN_OR_RETURN(uint32_t free_head,
                        ReadSuperU32(SuperblockLayout::kFreeListOffset));
   PageId page;
@@ -377,12 +634,16 @@ Status StorageEngine::AllocPage(PageId* id, PageHandle* handle) {
 }
 
 Status StorageEngine::FreePage(PageId id) {
-  if (CurrentTxn() == nullptr) {
+  TxnState* state = CurrentTxn();
+  if (state == nullptr) {
     return Status::InvalidArgument("page free outside a transaction");
   }
   if (id == kSuperblockPageId || id == kInvalidPageId) {
     return Status::InvalidArgument("cannot free page " + std::to_string(id));
   }
+  // Same ordering as AllocPage: token first, then read the free-list head
+  // through the pending overlay.
+  ODE_RETURN_IF_ERROR(EnsureWriterToken(state));
   ODE_ASSIGN_OR_RETURN(uint32_t free_head,
                        ReadSuperU32(SuperblockLayout::kFreeListOffset));
   PageHandle handle;
@@ -529,7 +790,20 @@ Status StorageEngine::CheckpointLocked() {
   }
   ODE_RETURN_IF_ERROR(pool_->FlushAll());
   ODE_RETURN_IF_ERROR(pager_->Sync());
-  ODE_RETURN_IF_ERROR(wal_->Reset());
+  {
+    // Reset the group-commit horizon together with the log. txns_ is empty
+    // (caller holds txn_mu_), and committing sessions stay registered until
+    // their batch resolves, so pending_ and sync_queue_ are empty too —
+    // there is nothing in flight to lose. dead_seqs_ can go as well: no
+    // live transaction means no dependencies on failed batches.
+    MutexLock lock(commit_mu_);
+    ODE_RETURN_IF_ERROR(wal_->Reset());
+    synced_wal_offset_ = 0;
+    synced_seq_ = commit_seq_;
+    assert(pending_.empty());
+    assert(sync_queue_.empty());
+    dead_seqs_.clear();
+  }
   stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
   m_checkpoints_->Add();
   // An empty log can no longer resurrect anything: a wedge (failed commit

@@ -3,11 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "concur/lock_manager.h"
 #include "storage/buffer_pool.h"
@@ -22,7 +25,20 @@ namespace ode {
 /// Tuning knobs for the storage engine.
 struct EngineOptions {
   size_t buffer_pool_pages = 1024;  ///< 4 MiB of cache by default.
+  /// Buffer-pool shard count (docs/CONCURRENCY.md "Buffer-pool sharding"):
+  /// rounded down to a power of two and clamped to [1, min(64, pool pages)].
+  /// Each shard has its own mutex + LRU slice, so concurrent readers of
+  /// unrelated pages do not contend. 8 covers typical core counts; raise it
+  /// only if storage.pool contention shows up in profiles.
+  size_t buffer_pool_shards = 8;
   Wal::SyncMode wal_sync = Wal::SyncMode::kSyncEveryCommit;
+  /// Group-commit batching window (docs/STORAGE.md "Group commit"), in
+  /// microseconds. After a committing session publishes its log records it
+  /// may become the batch leader; a non-zero window makes the leader wait
+  /// this long for more sessions to publish before issuing the one shared
+  /// fsync. 0 never delays — the leader fsyncs immediately, still covering
+  /// whatever queued while a previous fsync was in flight.
+  uint64_t group_commit_window_us = 0;
   /// Checkpoint (flush pages + truncate log) once the WAL exceeds this size.
   uint64_t checkpoint_wal_bytes = 8ull << 20;
   /// Lock-manager wait bound before a blocked acquisition gives up with
@@ -48,11 +64,15 @@ struct EngineOptions {
 /// writes go to private shadow copies invisible to everyone else. The first
 /// page write acquires the single global writer token (exclusively, through
 /// the lock manager, so token waits participate in deadlock detection) and
-/// holds it to transaction end — writers serialize, readers run concurrently
-/// against committed state. Commit appends the shadow after-images plus a
-/// commit record to the WAL (the serialization point), then publishes the
-/// shadows into the pool; abort just drops them. Opening a database replays
-/// committed transactions from the log (crash recovery).
+/// holds it until the commit is published — writers serialize, readers run
+/// concurrently against committed state. Commit appends the shadow
+/// after-images plus a commit record to the WAL under a short log latch (the
+/// serialization point), hands the writer token to the next writer, and then
+/// waits for durability: a batch leader issues one Wal::Sync() on behalf of
+/// every session that published since the last fsync (group commit — see
+/// docs/STORAGE.md). Only after the shared fsync succeeds are the images
+/// published into the pool; abort just drops the shadows. Opening a database
+/// replays committed transactions from the log (crash recovery).
 class StorageEngine {
  public:
   /// All fields are atomics: sessions commit/abort concurrently. Loads
@@ -88,13 +108,19 @@ class StorageEngine {
   /// IOError if a previous commit failure wedged the engine (see CommitTxn).
   Result<TxnId> BeginTxn();
 
-  /// Durably commits the calling thread's transaction. If appending the page
-  /// images or the commit record fails, the commit degrades to an abort: the
-  /// partial log records are scrubbed, the shadow pages are dropped, and the
-  /// engine stays usable (the error is still returned). Only if the scrub
-  /// itself also fails — the log may then still hold the dead transaction's
-  /// records — does the engine wedge itself: further transactions are
-  /// refused until a Checkpoint manages to truncate the log.
+  /// Durably commits the calling thread's transaction. Under
+  /// SyncMode::kSyncEveryCommit the commit is group-batched: the log records
+  /// are appended under the log latch, the writer token is handed to the
+  /// next writer, and the session blocks until a batch leader's shared
+  /// fsync covers it (docs/STORAGE.md "Group commit"). If appending the page
+  /// images or the commit record fails — or the batch fsync fails — the
+  /// commit degrades to an abort: the unsynced log records are scrubbed, the
+  /// page images are dropped, and the engine stays usable (the error is
+  /// still returned; every session in a failed batch gets it). Only if the
+  /// scrub itself also fails — the log may then still hold the dead
+  /// transactions' records — does the engine wedge itself: further
+  /// transactions are refused until a Checkpoint manages to truncate the
+  /// log.
   ///
   /// `release_locks=false` keeps the transaction's locks held after the
   /// engine-level commit: the core layer finishes its own post-commit work
@@ -186,6 +212,11 @@ class StorageEngine {
     /// commit logs images in page order (deterministic WAL layout).
     std::map<PageId, std::unique_ptr<char[]>> shadows;
     bool has_writer_token = false;
+    /// Commit sequence numbers of every appended-but-not-yet-synced image
+    /// this transaction read or seeded a shadow from (see pending_). If any
+    /// of them lands in a failed batch, this transaction read data that
+    /// never became durable and its own commit must degrade to an abort.
+    std::vector<uint64_t> dep_seqs;
   };
 
   /// The calling thread's transaction on THIS engine, or nullptr.
@@ -201,9 +232,50 @@ class StorageEngine {
   void FinishTxn(TxnState* txn, bool committed);
 
   /// Flush + sync + WAL reset + next_txn_id stamp. Caller must guarantee no
-  /// concurrent WAL appends (holds txn_mu_ with txns_ empty, or holds the
-  /// writer token with txns_ empty after FinishTxn).
+  /// concurrent WAL appends (holds txn_mu_ with txns_ empty — committing
+  /// sessions stay in txns_ until their batch is durable, so empty txns_
+  /// implies an idle log and empty pending_).
   Status CheckpointLocked() REQUIRES(txn_mu_);
+
+  // --- Group commit (docs/STORAGE.md "Group commit") -----------------------
+
+  /// A committed-but-unsynced page image, tagged with the publish sequence
+  /// of the commit it belongs to. Chains per page live in pending_ in
+  /// ascending seq order; the newest covered entry wins at publish time.
+  struct PendingImage {
+    uint64_t seq = 0;
+    std::shared_ptr<char[]> image;
+  };
+
+  /// A committing session's slot in the durability queue. Stack-allocated in
+  /// CommitTxn; the leader fills status/done for every waiter its fsync
+  /// covered (or killed) and notifies commit_cv_.
+  struct SyncWaiter {
+    uint64_t seq = 0;
+    bool done = false;
+    Status status;
+  };
+
+  /// Blocks until `me` (already registered in sync_queue_) is resolved,
+  /// electing this thread batch leader whenever no fsync is in flight.
+  Status WaitForDurable(SyncWaiter* me);
+
+  /// Read-only-with-dependencies commits: waits until publish sequence `seq`
+  /// is durable (or its batch failed). Registers its own waiter.
+  Status WaitForDurableSeq(uint64_t seq);
+
+  /// Leader epilogue: on success installs pending images up to `target_seq`
+  /// into the pool and advances the synced horizon; on failure scrubs every
+  /// unsynced record off the log, clears pending_, and records the dead
+  /// sequence interval. Resolves and dequeues the covered waiters either way.
+  void CompleteBatchLocked(uint64_t target_seq, uint64_t target_off,
+                           const Status& synced) REQUIRES(commit_mu_);
+
+  void PublishPendingLocked(uint64_t target_seq) REQUIRES(commit_mu_);
+
+  /// True if `seq` belongs to a batch whose fsync failed (data scrubbed).
+  bool SeqDeadLocked(uint64_t seq) const REQUIRES(commit_mu_);
+  bool AnyDepDeadLocked(const TxnState& txn) const REQUIRES(commit_mu_);
 
   std::string path_;
   std::unique_ptr<Pager> pager_;
@@ -213,6 +285,34 @@ class StorageEngine {
   EngineOptions options_;
   /// Globally unique per engine instance (see TxnState).
   const uint64_t gen_;
+
+  /// The log latch: serializes WAL appends/truncation and guards the
+  /// group-commit state below. Held only for short critical sections — the
+  /// leader's fsync itself runs with the latch dropped. Lock order:
+  /// txn_mu_ before commit_mu_ before pool shard mutexes; never the reverse.
+  mutable Mutex commit_mu_;
+  CondVar commit_cv_;
+  /// True while a batch leader's fsync is in flight (leadership token).
+  bool sync_active_ GUARDED_BY(commit_mu_) = false;
+  /// Publish sequence of the most recent durable-mode commit appended to the
+  /// log; 0 before any. Monotone, never reset (survives checkpoints).
+  uint64_t commit_seq_ GUARDED_BY(commit_mu_) = 0;
+  /// Highest publish sequence known durable.
+  uint64_t synced_seq_ GUARDED_BY(commit_mu_) = 0;
+  /// Log length in bytes known durable; a failed batch truncates back here.
+  uint64_t synced_wal_offset_ GUARDED_BY(commit_mu_) = 0;
+  /// Committed-but-unsynced page images, per page in ascending seq order.
+  /// The writer token holder reads through this overlay (it must see the
+  /// newest committed image even before the fsync lands); everyone else
+  /// sees only the pool, i.e. only durable state.
+  std::unordered_map<PageId, std::vector<PendingImage>> pending_
+      GUARDED_BY(commit_mu_);
+  /// Sessions between publish and durability, in publish order.
+  std::deque<SyncWaiter*> sync_queue_ GUARDED_BY(commit_mu_);
+  /// Closed [lo, hi] publish-sequence intervals of failed batches. Commits
+  /// whose dep_seqs intersect these read never-durable data and must abort.
+  /// Cleared at checkpoint (no transactions alive, so no deps either).
+  std::vector<std::pair<uint64_t, uint64_t>> dead_seqs_ GUARDED_BY(commit_mu_);
 
   mutable Mutex txn_mu_;  ///< Guards txns_, vacuum gate, checkpoint gate.
   std::unordered_map<TxnId, std::unique_ptr<TxnState>> txns_
@@ -232,6 +332,12 @@ class StorageEngine {
   Counter* m_pages_allocated_;
   Counter* m_pages_freed_;
   Gauge* m_active_txns_;
+  // Group-commit instruments (storage.wal.group_commit.*, txn.*).
+  Histogram* m_gc_batch_size_;   ///< commits resolved per successful fsync
+  Histogram* m_gc_wait_us_;      ///< per-session durability wait
+  Counter* m_gc_fsyncs_;         ///< successful batch fsyncs
+  Counter* m_gc_commits_;        ///< commits made durable by batch fsyncs
+  Gauge* m_commits_per_fsync_;   ///< txn.commits_per_fsync (derived ratio)
   bool closed_ = false;
   /// A failed commit could not scrub its partial WAL records; replaying them
   /// after more commits could resurrect a rolled-back transaction, so the

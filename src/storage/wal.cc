@@ -18,6 +18,7 @@ Wal::Wal(std::unique_ptr<File> file, SyncMode mode, uint64_t write_offset,
   appends_ = m.GetCounter("storage.wal.appends");
   appended_bytes_ = m.GetCounter("storage.wal.appended_bytes");
   fsyncs_ = m.GetCounter("storage.wal.fsyncs");
+  fsync_errors_ = m.GetCounter("storage.wal.fsync_errors");
   size_gauge_ = m.GetGauge("storage.wal.bytes");
   size_gauge_->Set(static_cast<int64_t>(write_offset_));
 }
@@ -69,14 +70,29 @@ Status Wal::AppendCommit(TxnId txn) {
   return Status::OK();
 }
 
+Status Wal::AppendCommitRecord(TxnId txn) {
+  return AppendRecord(RecordType::kCommit, txn, Slice());
+}
+
 Status Wal::Sync() {
-  fsyncs_->Add();
-  return file_->Sync();
+  // Count only successful syncs: a failed fdatasync made nothing durable,
+  // and inflating the counter would skew commits-per-fsync arithmetic.
+  Status s = file_->Sync();
+  if (s.ok()) {
+    fsyncs_->Add();
+  } else {
+    fsync_errors_->Add();
+  }
+  return s;
 }
 
 Status Wal::Reset() {
   ODE_RETURN_IF_ERROR(file_->Truncate(0));
-  ODE_RETURN_IF_ERROR(file_->Sync());
+  Status synced = file_->Sync();
+  if (!synced.ok()) {
+    fsync_errors_->Add();
+    return synced;
+  }
   fsyncs_->Add();
   write_offset_ = 0;
   size_gauge_->Set(0);

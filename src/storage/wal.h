@@ -67,6 +67,14 @@ class Wal {
   /// Appends a commit record; syncs per the SyncMode.
   Status AppendCommit(TxnId txn);
 
+  /// Appends a commit record WITHOUT syncing, regardless of SyncMode. The
+  /// engine's group-commit path uses this: records are published under the
+  /// log latch and a batch leader issues one Sync() for every commit queued
+  /// since the last fsync (docs/STORAGE.md "Group commit").
+  Status AppendCommitRecord(TxnId txn);
+
+  /// Forces the log to stable storage. `storage.wal.fsyncs` counts only
+  /// successful syncs; failures bump `storage.wal.fsync_errors` instead.
   Status Sync();
 
   /// Truncates the log to empty (after a checkpoint).
@@ -134,7 +142,8 @@ class Wal {
   std::string buffer_;  // reused encode buffer
   Counter* appends_;        ///< storage.wal.appends (records written)
   Counter* appended_bytes_; ///< storage.wal.appended_bytes
-  Counter* fsyncs_;         ///< storage.wal.fsyncs
+  Counter* fsyncs_;         ///< storage.wal.fsyncs (successful only)
+  Counter* fsync_errors_;   ///< storage.wal.fsync_errors
   Gauge* size_gauge_;       ///< storage.wal.bytes (current log size)
 };
 

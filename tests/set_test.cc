@@ -424,15 +424,23 @@ TEST_F(SetTest, BulkInsertScalesNearLinearly) {
     EXPECT_TRUE(s.ok()) << s.ToString();
     return ms;
   };
-  // Warm-up small run to populate caches, then the measured pair.
+  // Warm-up small run to populate caches, then the measured pair. Wall
+  // clock on a loaded machine (ctest -j runs suites in parallel) can
+  // inflate any single measurement severalfold, so take the best of a few
+  // attempts: scheduler noise only ever adds time, while the O(n^2) bug
+  // inflates every attempt.
   (void)time_inserts(500);
-  const double t_small = time_inserts(2000);
-  const double t_large = time_inserts(8000);
   // Guard against division noise on very fast machines.
   const double floor_ms = 0.05;
-  const double ratio = t_large / std::max(t_small, floor_ms);
-  EXPECT_LT(ratio, 10.0) << "bulk insert looks superlinear: " << t_small
-                         << "ms -> " << t_large << "ms";
+  double best_ratio = 1e9;
+  double t_small = 0, t_large = 0;
+  for (int attempt = 0; attempt < 3 && best_ratio >= 10.0; attempt++) {
+    t_small = time_inserts(2000);
+    t_large = time_inserts(8000);
+    best_ratio = std::min(best_ratio, t_large / std::max(t_small, floor_ms));
+  }
+  EXPECT_LT(best_ratio, 10.0) << "bulk insert looks superlinear: " << t_small
+                              << "ms -> " << t_large << "ms";
 }
 
 }  // namespace

@@ -33,6 +33,14 @@ docs/STATIC_ANALYSIS.md):
                      (-L crash / metrics / concurrency / unit) cover every
                      test; an unlabeled test silently escapes every gated run.
 
+  storage-mutex      The storage layer's mutex set is curated: its lock order
+                     (txn_mu_ -> commit_mu_ -> pool shard mu, documented in
+                     docs/STORAGE.md) is what keeps commit, checkpoint and
+                     the buffer pool deadlock-free. A new ode::Mutex member
+                     under src/storage/ must be slotted into that order and
+                     added to STORAGE_MUTEX_ALLOWLIST here; an unreviewed
+                     mutex is a lock-order inversion waiting to happen.
+
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
 
@@ -175,6 +183,45 @@ def check_mutexes(path, raw_lines, stripped_lines, findings):
                         "checked against it",
                     )
                 )
+
+
+# --- Rule: storage-mutex -----------------------------------------------------
+
+# The reviewed mutex set of src/storage/, keyed by file suffix. Adding a
+# mutex to the storage layer means slotting it into the documented lock order
+# (docs/STORAGE.md "Lock order") and extending this list in the same change.
+STORAGE_MUTEX_ALLOWLIST = {
+    "src/storage/engine.h": {"txn_mu_", "commit_mu_"},
+    "src/storage/buffer_pool.h": {"mu"},  # per-shard mutex
+}
+
+
+def check_storage_mutexes(path, raw_lines, stripped_lines, findings):
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    if "src/storage/" not in norm:
+        return
+    allowed = set()
+    for suffix, names in STORAGE_MUTEX_ALLOWLIST.items():
+        if norm.endswith(suffix):
+            allowed = names
+            break
+    for idx, line in enumerate(stripped_lines, start=1):
+        for m in MUTEX_DECL_RE.finditer(line):
+            name = m.group(1)
+            if name in allowed:
+                continue
+            if "storage-mutex" in allowed_rules(raw_lines[idx - 1]):
+                continue
+            findings.append(
+                Finding(
+                    "storage-mutex",
+                    path,
+                    idx,
+                    f"new mutex member '{name}' in the storage layer — slot "
+                    "it into the documented lock order (docs/STORAGE.md) and "
+                    "add it to STORAGE_MUTEX_ALLOWLIST in tools/ode_lint.py",
+                )
+            )
 
 
 # --- Rule: naked-new-in-txn -------------------------------------------------
@@ -361,6 +408,7 @@ def main():
             "naked-new-in-txn",
             "txn-ptr-member",
             "test-labels",
+            "storage-mutex",
         ],
         help="run only the named rule(s); default: all",
     )
@@ -385,6 +433,8 @@ def main():
         rel = os.path.relpath(path, args.root)
         if on("mutex-guarded") or on("raw-mutex"):
             check_mutexes(rel, raw_lines, stripped_lines, findings)
+        if on("storage-mutex"):
+            check_storage_mutexes(rel, raw_lines, stripped_lines, findings)
         if on("naked-new-in-txn"):
             check_naked_new(rel, raw_lines, stripped, findings)
         if on("txn-ptr-member"):
