@@ -20,6 +20,7 @@
 
 #include "bench_models.h"
 #include "bench_util.h"
+#include "core/forall.h"
 #include "util/random.h"
 
 namespace {
@@ -116,6 +117,88 @@ double RunWorkload(Fixture& f, int threads, int write_pct,
   return committed.load() / ms * 1000.0;
 }
 
+/// Scan-heavy MVCC mix: 90% snapshot transactions, each a full ForAll scan
+/// (lock-free versioned reads), 10% transfer-style writers under 2PL. The
+/// point of comparison with the locked mixed workload above: snapshot
+/// readers take no object/cluster locks, so `concur.lock.waits` stays flat
+/// as threads grow while `concur.snapshot.reads` counts the versioned reads.
+double RunSnapshotMix(Fixture& f, int threads, int txns_per_thread) {
+  std::atomic<int> committed{0};
+  std::vector<std::thread> workers;
+  Timer timer;
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      unsigned rng = 0x9E3779B9u * static_cast<unsigned>(t + 1);
+      auto next = [&rng] {
+        rng = rng * 1664525u + 1013904223u;
+        return rng >> 8;
+      };
+      for (int i = 0; i < txns_per_thread; i++) {
+        const bool writer = static_cast<int>(next() % 100) < 10;
+        Status s;
+        if (writer) {
+          s = f.db->RunTransaction([&](Transaction& txn) -> Status {
+            unsigned a = next() % kObjects;
+            unsigned b = next() % kObjects;
+            if (a == b) b = (b + 1) % kObjects;
+            if (a > b) std::swap(a, b);
+            ODE_ASSIGN_OR_RETURN(Blob * first, txn.Write(f.refs[a]));
+            ODE_ASSIGN_OR_RETURN(Blob * second, txn.Write(f.refs[b]));
+            first->set_payload(second->payload());
+            return Status::OK();
+          });
+        } else {
+          s = f.db->RunReadTransaction([&](Transaction& txn) -> Status {
+            ODE_ASSIGN_OR_RETURN(size_t n, ForAll<Blob>(txn).Count());
+            return n == 0 ? Status::Corruption("empty scan") : Status::OK();
+          });
+        }
+        if (s.ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double ms = timer.ElapsedMs();
+  if (committed.load() != threads * txns_per_thread) {
+    fprintf(stderr, "bench error: %d of %d transactions committed\n",
+            committed.load(), threads * txns_per_thread);
+    exit(1);
+  }
+  return committed.load() / ms * 1000.0;
+}
+
+/// Insert-heavy durable workload: every transaction creates one object in
+/// the shared cluster under kSyncEveryCommit. The creation X(cluster) lock
+/// is released at the publish point (before the fsync wait), so concurrent
+/// inserters can still share a batch leader's fsync — commits/fsync > 1.
+double RunInsertWorkload(Fixture& f, int threads, int txns_per_thread) {
+  std::atomic<int> committed{0};
+  std::vector<std::thread> workers;
+  Timer timer;
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < txns_per_thread; i++) {
+        Status s = f.db->RunTransaction([&](Transaction& txn) -> Status {
+          ODE_ASSIGN_OR_RETURN(
+              Ref<Blob> ref,
+              txn.New<Blob>(kObjects + t * txns_per_thread + i, "ins"));
+          (void)ref;
+          return Status::OK();
+        });
+        if (s.ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double ms = timer.ElapsedMs();
+  if (committed.load() != threads * txns_per_thread) {
+    fprintf(stderr, "bench error: %d of %d insert txns committed\n",
+            committed.load(), threads * txns_per_thread);
+    exit(1);
+  }
+  return committed.load() / ms * 1000.0;
+}
+
 }  // namespace
 
 int main() {
@@ -145,6 +228,46 @@ int main() {
     Row("%10s | %8d | %12.0f | %11.2fx", "mixed90/10", threads, tps,
         tps / mixed_base);
     report.Record("tps_mixed_" + std::to_string(threads) + "t", tps);
+  }
+
+  // Scan-heavy snapshot mix: readers are MVCC snapshot transactions doing
+  // full-cluster scans with no locks; writers keep 2PL. Read-side lock
+  // waits must stay flat as threads grow (the readers-block-writers fix).
+  {
+    auto& registry = MetricsRegistry::Global();
+    Counter* lock_waits = registry.GetCounter("concur.lock.waits");
+    Counter* snap_reads = registry.GetCounter("concur.snapshot.reads");
+    Row("%10s | %8s | %12s | %12s | %11s | %13s", "workload", "threads",
+        "txn/s", "speedup", "lock waits", "snap reads");
+    double snap_base = 0;
+    uint64_t waits_1t = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      const uint64_t waits0 = lock_waits->value();
+      const uint64_t snaps0 = snap_reads->value();
+      const double tps = RunSnapshotMix(f, threads, /*txns_per_thread=*/50);
+      const uint64_t waits = lock_waits->value() - waits0;
+      const uint64_t snaps = snap_reads->value() - snaps0;
+      if (threads == 1) {
+        snap_base = tps;
+        waits_1t = waits;
+      }
+      Row("%10s | %8d | %12.0f | %11.2fx | %11llu | %13llu", "snapscan",
+          threads, tps, tps / snap_base,
+          static_cast<unsigned long long>(waits),
+          static_cast<unsigned long long>(snaps));
+      report.Record("tps_snapscan_" + std::to_string(threads) + "t", tps);
+      report.Record("lock_waits_snapscan_" + std::to_string(threads) + "t",
+                    static_cast<double>(waits));
+      report.Record("snapshot_reads_" + std::to_string(threads) + "t",
+                    static_cast<double>(snaps));
+      if (threads == 8) {
+        report.Record("snapscan_speedup_8t",
+                      snap_base > 0 ? tps / snap_base : 0);
+        report.Record("lock_waits_delta_8t_vs_1t",
+                      static_cast<double>(waits) -
+                          static_cast<double>(waits_1t));
+      }
+    }
   }
 
   // Durable writers (kSyncEveryCommit): every commit must reach the disk,
@@ -182,6 +305,27 @@ int main() {
         report.Record("durable_speedup_8t",
                       durable_base > 0 ? tps / durable_base : 0);
       }
+    }
+
+    // Insert-heavy variant: object creation takes X(cluster), but the lock
+    // is released at the publish point rather than after the fsync wait, so
+    // concurrent inserters into the same cluster still batch under one
+    // leader fsync (commits/fsync > 1 beyond one thread).
+    double insert_base = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      const uint64_t fsyncs0 = gc_fsyncs->value();
+      const uint64_t commits0 = gc_commits->value();
+      const double tps = RunInsertWorkload(d, threads,
+                                           /*txns_per_thread=*/200);
+      const uint64_t fsyncs = gc_fsyncs->value() - fsyncs0;
+      const uint64_t commits = gc_commits->value() - commits0;
+      const double cpf =
+          fsyncs > 0 ? static_cast<double>(commits) / fsyncs : 0;
+      if (threads == 1) insert_base = tps;
+      Row("%10s | %8d | %12.0f | %11.2fx | %14.2f", "insert", threads, tps,
+          tps / insert_base, cpf);
+      report.Record("tps_insert_" + std::to_string(threads) + "t", tps);
+      report.Record("cpf_insert_" + std::to_string(threads) + "t", cpf);
     }
   }
 

@@ -69,6 +69,11 @@ Database::Database(const DatabaseOptions& options,
   core_metrics_.join_index = m.GetCounter("query.join.index");
   core_metrics_.join_hash = m.GetCounter("query.join.hash");
   core_metrics_.join_pairs = m.GetCounter("query.join.pairs");
+  core_metrics_.snapshot_reads = m.GetCounter("concur.snapshot.reads");
+  core_metrics_.lock_escalations = m.GetCounter("concur.lock.escalations");
+  core_metrics_.gc_objects_reclaimed = m.GetCounter("mvcc.gc.objects_reclaimed");
+  core_metrics_.gc_versions_reclaimed =
+      m.GetCounter("mvcc.gc.versions_reclaimed");
 
   if (options_.trigger_executor_threads > 0) {
     concur::TriggerExecutor::Options exec_options;
@@ -139,6 +144,47 @@ Result<std::unique_ptr<Transaction>> Database::Begin() {
   std::unique_ptr<Transaction> txn(new Transaction(this));
   ODE_RETURN_IF_ERROR(txn->Start());
   return txn;
+}
+
+Result<std::unique_ptr<Transaction>> Database::BeginSnapshot() {
+  if (closed_) return Status::InvalidArgument("database is closed");
+  if (sessions_.Current() != nullptr) {
+    return Status::Busy("a transaction is already active on this thread");
+  }
+  std::unique_ptr<Transaction> txn(new Transaction(this));
+  ODE_RETURN_IF_ERROR(txn->StartSnapshot());
+  return txn;
+}
+
+Status Database::RunReadTransaction(
+    const std::function<Status(Transaction&)>& body) {
+  for (int attempt = 0;; attempt++) {
+    Status s;
+    {
+      Result<std::unique_ptr<Transaction>> begun = BeginSnapshot();
+      if (!begun.ok()) {
+        s = begun.status();
+        if (s.IsBusy() && sessions_.Current() != nullptr) return s;
+      } else {
+        std::unique_ptr<Transaction> txn = std::move(begun.value());
+        s = body(*txn);
+        if (s.ok()) {
+          s = txn->Commit();
+        } else {
+          Status abort_status = txn->Abort();
+          if (!abort_status.ok()) {
+            ODE_LOG(kError) << "abort failed: " << abort_status.ToString();
+          }
+        }
+      }
+    }
+    // Snapshot bodies never deadlock (no locks) but can race version GC
+    // freeing a chain entry mid-walk; the store reports that as Busy.
+    if (!s.IsBusy()) return s;
+    if (attempt >= options_.max_txn_retries) return s;
+    core_metrics_.deadlock_retries->Add();
+    BackoffBeforeRetry(attempt);
+  }
 }
 
 Status Database::RunTransaction(
@@ -240,6 +286,47 @@ Result<uint64_t> Database::NextTriggerId() {
 Status Database::DropIndex(const std::string& name) {
   return InTransaction(
       [&](Transaction& txn) { return txn.DropIndex(name); });
+}
+
+Status Database::CollectVersionGarbage(GcTotals* totals) {
+  if (sessions_.Current() != nullptr) {
+    return Status::Busy("cannot collect version garbage inside a transaction");
+  }
+  // Snapshot the cluster list up front; concurrent DDL on a cluster we then
+  // sweep just makes that sweep a NotFound/conflict no-op.
+  std::vector<ClusterId> clusters;
+  for (const CatalogData::ClusterEntry& entry : catalog_.clusters) {
+    clusters.push_back(entry.id);
+  }
+  GcTotals sum;
+  for (ClusterId cluster : clusters) {
+    ObjectStore::GcStats stats;
+    bool swept = false;
+    Status s = RunTransaction([&](Transaction& txn) -> Status {
+      stats = ObjectStore::GcStats();  // Reset: RunTransaction may retry us.
+      swept = false;
+      // X(cluster) keeps writers out of the chains being unlinked; snapshot
+      // readers take no locks and instead retry the Busy they see when a
+      // walk lands on a freed entry.
+      ODE_RETURN_IF_ERROR(
+          txn.LockCluster(cluster, concur::LockMode::kExclusive));
+      const CatalogData::ClusterEntry* entry = catalog_.FindCluster(cluster);
+      if (entry == nullptr) return Status::OK();  // Dropped since the snapshot.
+      const uint64_t watermark = engine_->SnapshotWatermark();
+      ODE_RETURN_IF_ERROR(
+          store_->CollectGarbage(entry->table_root, watermark, &stats));
+      swept = true;
+      return Status::OK();
+    });
+    if (!s.ok()) return s;
+    sum.objects_reclaimed += stats.objects_reclaimed;
+    sum.versions_reclaimed += stats.versions_reclaimed;
+    if (swept) sum.clusters++;
+  }
+  core_metrics_.gc_objects_reclaimed->Add(sum.objects_reclaimed);
+  core_metrics_.gc_versions_reclaimed->Add(sum.versions_reclaimed);
+  if (totals != nullptr) *totals = sum;
+  return Status::OK();
 }
 
 Status Database::BackupTo(const std::string& path) {

@@ -59,6 +59,18 @@ class Database {
   /// open per thread; any number of threads may each have one.
   Result<std::unique_ptr<Transaction>> Begin();
 
+  /// Starts a read-only MVCC snapshot transaction: reads resolve against
+  /// the commit sequence current at this call, take no object/cluster/index
+  /// locks, and never block or abort on concurrent writers. All mutating
+  /// operations fail with InvalidArgument (docs/CONCURRENCY.md "MVCC
+  /// snapshot reads").
+  Result<std::unique_ptr<Transaction>> BeginSnapshot();
+
+  /// RunTransaction's read-only sibling: runs `body` in a snapshot
+  /// transaction, retrying Busy (e.g. a scan that raced a version-GC
+  /// publish) like RunTransaction retries deadlock victims.
+  Status RunReadTransaction(const std::function<Status(Transaction&)>& body);
+
   /// Runs `body` in a transaction: commit on OK, abort on error. The commit
   /// itself can fail (e.g. ConstraintViolation), which also aborts. If the
   /// transaction loses a deadlock or times out on a lock, the whole body is
@@ -158,6 +170,21 @@ class Database {
   /// Must be called outside a transaction.
   Status BackupTo(const std::string& path);
 
+  /// Totals from one CollectVersionGarbage pass.
+  struct GcTotals {
+    uint64_t objects_reclaimed = 0;
+    uint64_t versions_reclaimed = 0;
+    uint64_t clusters = 0;  ///< Clusters swept.
+  };
+
+  /// Reclaims MVCC debris — tombstoned objects and retained pre-update
+  /// images no active or future snapshot can see (watermark = oldest active
+  /// snapshot sequence, else the durable commit sequence). Sweeps each
+  /// cluster in its own write transaction under an exclusive cluster lock.
+  /// Must be called outside a transaction; explicit newversion history is
+  /// never touched.
+  Status CollectVersionGarbage(GcTotals* totals = nullptr);
+
   // --- Internal plumbing (used by Transaction/ForAll; stable but not part
   // --- of the end-user surface) ----------------------------------------------
 
@@ -184,6 +211,12 @@ class Database {
     Counter* join_index;             ///< query.join.index — runs
     Counter* join_hash;              ///< query.join.hash — runs
     Counter* join_pairs;             ///< query.join.pairs — pairs emitted
+    Counter* snapshot_reads;         ///< concur.snapshot.reads — lock-free
+                                     ///< MVCC object reads by snapshot txns
+    Counter* lock_escalations;       ///< concur.lock.escalations — object→
+                                     ///< cluster lock escalations
+    Counter* gc_objects_reclaimed;   ///< mvcc.gc.objects_reclaimed
+    Counter* gc_versions_reclaimed;  ///< mvcc.gc.versions_reclaimed
   };
 
   /// The registry this database reports into (EngineOptions::metrics, or

@@ -181,6 +181,9 @@ class ForAll {
  private:
   enum class IndexMode { kNone, kExact, kRange };
 
+  /// Optimistic-validation attempts for lock-free snapshot index scans.
+  static constexpr int kSnapshotScanRetries = 8;
+
   bool Matches(const T& obj) const {
     for (const auto& pred : preds_) {
       if (!pred(obj)) return false;
@@ -224,7 +227,15 @@ class ForAll {
       stats_.index_candidates = oids.size();
       for (const Oid& oid : oids) {
         Ref<T> ref(&txn_->db(), oid);
-        ODE_ASSIGN_OR_RETURN(const T* obj, txn_->Read(ref));
+        Result<const T*> read = txn_->Read(ref);
+        if (!read.ok()) {
+          // A snapshot scan reads the index's current key set; an entry can
+          // point at an object invisible at the snapshot (inserted after it,
+          // or tombstoned at/before it). Skip those rows.
+          if (txn_->snapshot() && read.status().IsNotFound()) continue;
+          return read.status();
+        }
+        const T* obj = read.value();
         stats_.rows_scanned++;
         if (!Matches(*obj)) continue;
         stats_.rows_returned++;
@@ -252,7 +263,16 @@ class ForAll {
           high_water[i] = local + 1;
           progressed = true;
           Ref<T> ref(&txn_->db(), Oid{clusters[i], local});
-          ODE_ASSIGN_OR_RETURN(const T* obj, txn_->Read(ref));
+          Result<const T*> read = txn_->Read(ref);
+          if (!read.ok()) {
+            // Snapshot scans enumerate heads including tombstones (so the
+            // walk can reach versions still visible at the snapshot); a head
+            // whose newest visible state is "not yet created" or "deleted"
+            // resolves NotFound — not a match, keep scanning.
+            if (txn_->snapshot() && read.status().IsNotFound()) continue;
+            return read.status();
+          }
+          const T* obj = read.value();
           stats_.rows_scanned++;
           if (!Matches(*obj)) continue;
           stats_.rows_returned++;
@@ -283,11 +303,31 @@ class ForAll {
       *oids = explicit_oids_;
       return Status::OK();
     }
+    IndexManager& indexes = txn_->db().indexes();
+    if (txn_->snapshot()) {
+      // Lock-free optimistic scan: committed B-tree pages only change at a
+      // group-commit publish, which advances the durable sequence in the
+      // same critical section. Equal sequence before and after the scan
+      // proves no publish interleaved, i.e. the oid list came from one
+      // consistent tree. On movement, retry; exhaustion surfaces Busy for
+      // RunReadTransaction to retry from scratch. Never falls back to locks.
+      for (int attempt = 0; attempt < kSnapshotScanRetries; ++attempt) {
+        const uint64_t before = txn_->db().engine().SyncedSeq();
+        oids->clear();
+        Status s = index_mode_ == IndexMode::kExact
+                       ? indexes.ScanExact(index_, index_lo_, oids)
+                       : indexes.ScanRange(index_, index_lo_, index_hi_, oids);
+        if (s.ok() && txn_->db().engine().SyncedSeq() == before) {
+          return Status::OK();
+        }
+      }
+      return Status::Busy("snapshot index scan kept racing commits on " +
+                          index_);
+    }
     // Shared-lock the indexed cluster before reading the B-tree, so a
     // concurrent writer (which would take it exclusive) cannot mutate the
     // tree under the scan.
     ODE_RETURN_IF_ERROR(txn_->LockIndexShared(index_));
-    IndexManager& indexes = txn_->db().indexes();
     if (index_mode_ == IndexMode::kExact) {
       return indexes.ScanExact(index_, index_lo_, oids);
     }

@@ -40,6 +40,13 @@ struct DatabaseOptions {
   /// 0 disables retrying.
   int max_txn_retries = 8;
 
+  /// Object→cluster lock escalation: once a transaction has taken this many
+  /// object locks in one cluster, it trades them for a single cluster lock
+  /// (same mode) and stops tracking individual objects there — shrinking
+  /// lock tables for bulk scans/updates at the cost of coarser conflicts.
+  /// 0 disables escalation.
+  size_t lock_escalation_threshold = 0;
+
   /// Worker threads for the asynchronous trigger executor. 0 (the default)
   /// runs fired trigger actions synchronously on the committing thread —
   /// the historical behavior. A positive value enqueues each firing to a

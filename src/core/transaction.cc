@@ -30,7 +30,9 @@ Status Transaction::Start() {
   db_->sessions_.Bind(this);
   // Every transaction reads the shared in-memory catalog, so it holds the
   // schema lock (shared) for its whole life; DDL upgrades it to exclusive.
-  Status locked = db_->engine().lock_manager().Acquire(
+  // Snapshot transactions keep this one lock too (docs/CONCURRENCY.md
+  // "MVCC snapshot reads") — S(schema) never conflicts with data writers.
+  Status locked = db_->engine().lock_manager().Acquire(  // ode-lint: allow(snapshot-lock-free)
       txn_id_, concur::kSchemaResource, concur::LockMode::kShared);
   if (!locked.ok()) {
     open_ = false;
@@ -45,10 +47,36 @@ Status Transaction::Start() {
   return Status::OK();
 }
 
+Status Transaction::StartSnapshot() {
+  ODE_RETURN_IF_ERROR(Start());
+  // Mint the snapshot sequence at the group-commit serialization point.
+  // The schema lock from Start() stays shared for catalog safety; object,
+  // cluster and index locks are bypassed from here on.
+  Result<uint64_t> seq = db_->engine().MarkSnapshot();
+  if (!seq.ok()) {
+    Status aborted = Abort();
+    if (!aborted.ok()) {
+      ODE_LOG(kError) << "abort after failed snapshot mint also failed: "
+                      << aborted.ToString();
+    }
+    return seq.status();
+  }
+  snapshot_ = true;
+  snapshot_seq_ = seq.value();
+  return Status::OK();
+}
+
+Status Transaction::RejectIfSnapshot(const char* op) const {
+  if (!snapshot_) return Status::OK();
+  return Status::InvalidArgument(
+      std::string(op) + " is not allowed in a read-only snapshot transaction");
+}
+
 Status Transaction::CloseOut(bool aborted) {
   (void)aborted;
   cache_.clear();
   lru_.clear();
+  version_cache_.clear();
   open_ = false;
   catalog_dirty_ = false;
   db_->sessions_.Unbind(this);
@@ -59,16 +87,61 @@ Status Transaction::CloseOut(bool aborted) {
 // --- Lock acquisition --------------------------------------------------------
 
 Status Transaction::LockObject(Oid oid, concur::LockMode mode) {
+  if (snapshot_) return Status::OK();  // snapshot reads take no locks
+  // Escalated cluster lock already covers the object?
+  auto esc = escalated_.find(oid.cluster);
+  if (esc != escalated_.end() &&
+      (esc->second == concur::LockMode::kExclusive ||
+       mode == concur::LockMode::kShared)) {
+    return Status::OK();
+  }
+  const size_t threshold = db_->options().lock_escalation_threshold;
+  if (threshold > 0 && ++object_lock_counts_[oid.cluster] >= threshold) {
+    // Trade per-object locks for one cluster lock (covering mode). The
+    // object locks already held stay until release as usual; new requests
+    // in this cluster are absorbed by the cluster lock.
+    ODE_RETURN_IF_ERROR(LockCluster(oid.cluster, mode));
+    escalated_[oid.cluster] = mode;
+    db_->core_metrics().lock_escalations->Add();
+    return Status::OK();
+  }
   return db_->engine().lock_manager().Acquire(
       txn_id_, concur::ObjectResource(oid.Pack()), mode);
 }
 
 Status Transaction::LockCluster(ClusterId cluster, concur::LockMode mode) {
-  return db_->engine().lock_manager().Acquire(
-      txn_id_, concur::ClusterResource(cluster), mode);
+  // Only reachable from mutating or locked-scan paths, all of which are
+  // rejected or bypassed in snapshot mode before getting here; fail loudly
+  // if a new call path forgets that invariant.
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("cluster locking"));
+  ODE_RETURN_IF_ERROR(db_->engine().lock_manager().Acquire(
+      txn_id_, concur::ClusterResource(cluster), mode));
+  // Any cluster-lock use beyond pure object creation pins the lock to the
+  // normal 2PL release point (scans and deletes rely on it for the rest of
+  // the transaction).
+  sticky_clusters_.insert(cluster);
+  creation_clusters_.erase(cluster);
+  // An escalated-mode upgrade (S cluster lock escalated, then X requested)
+  // must be remembered as exclusive.
+  auto esc = escalated_.find(cluster);
+  if (esc != escalated_.end() && mode == concur::LockMode::kExclusive) {
+    esc->second = concur::LockMode::kExclusive;
+  }
+  return Status::OK();
+}
+
+Status Transaction::LockClusterForCreation(ClusterId cluster) {
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("object creation"));
+  ODE_RETURN_IF_ERROR(db_->engine().lock_manager().Acquire(
+      txn_id_, concur::ClusterResource(cluster), concur::LockMode::kExclusive));
+  if (sticky_clusters_.find(cluster) == sticky_clusters_.end()) {
+    creation_clusters_.insert(cluster);
+  }
+  return Status::OK();
 }
 
 Status Transaction::LockSchemaExclusive() {
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("schema mutation"));
   ODE_RETURN_IF_ERROR(db_->engine().lock_manager().Acquire(
       txn_id_, concur::kSchemaResource, concur::LockMode::kExclusive));
   catalog_dirty_ = true;
@@ -83,6 +156,7 @@ Status Transaction::LockSchemaIfIndexed(ClusterId cluster) {
 }
 
 Status Transaction::LockIndexShared(const std::string& index_name) {
+  if (snapshot_) return Status::OK();  // snapshot scans validate optimistically
   const CatalogData::IndexEntry* entry = db_->catalog().FindIndex(index_name);
   if (entry == nullptr) return Status::OK();
   return LockCluster(entry->cluster, concur::LockMode::kShared);
@@ -153,15 +227,23 @@ Status Transaction::LoadObject(Oid oid, uint32_t vnum, Cached** out) {
     return Status::NotFound("object " + oid.ToString() + " was deleted");
   }
 
-  // First touch of this object: shared lock before reading storage (2PL —
-  // a cache hit above means the lock is already held).
-  ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kShared));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
   std::string bytes;
   uint32_t type_code = 0;
   uint32_t resolved = 0;
-  ODE_RETURN_IF_ERROR(
-      db_->store().Read(root, oid.local, vnum, &bytes, &type_code, &resolved));
+  if (snapshot_) {
+    // Snapshot read: resolve through the version chain to the newest
+    // version with commit_seq <= snapshot_seq — no locks taken.
+    ODE_RETURN_IF_ERROR(db_->store().ReadSnapshot(
+        root, oid.local, vnum, snapshot_seq_, &bytes, &type_code, &resolved));
+    db_->core_metrics().snapshot_reads->Add();
+  } else {
+    // First touch of this object: shared lock before reading storage (2PL —
+    // a cache hit above means the lock is already held).
+    ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kShared));
+    ODE_RETURN_IF_ERROR(db_->store().Read(root, oid.local, vnum, &bytes,
+                                          &type_code, &resolved));
+  }
 
   ODE_ASSIGN_OR_RETURN(std::string type_name, db_->TypeNameByCode(type_code));
   const TypeInfo* info = TypeRegistry::Global().Find(type_name);
@@ -190,6 +272,7 @@ Status Transaction::LoadObject(Oid oid, uint32_t vnum, Cached** out) {
 }
 
 Status Transaction::MarkWrite(Oid oid, Cached** out) {
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("write"));
   // Exclusive object lock BEFORE the (possibly shared-locking) load, so a
   // write-after-read upgrades and a blind write never takes S first.
   ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
@@ -217,6 +300,7 @@ void Transaction::DropFromCache(Oid oid) {
 
 Status Transaction::Delete(const RefBase& ref) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("pdelete"));
   if (ref.null()) return Status::InvalidArgument("null reference");
   if (ref.is_specific()) {
     // Paper §4: "Given a version pointer, pdelete deletes the specified
@@ -256,6 +340,7 @@ Status Transaction::Delete(const RefBase& ref) {
 
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
   ODE_RETURN_IF_ERROR(db_->store().Delete(root, oid.local));
+  InvalidateVersionCache(oid);
 
   // Invalidate every cached version of the object.
   auto it = cache_.lower_bound({oid.Pack(), 0});
@@ -272,9 +357,17 @@ Result<bool> Transaction::Exists(const RefBase& ref) {
   if (ref.null()) return false;
   auto head_it = cache_.find({ref.oid().Pack(), kGenericVersion});
   if (head_it != cache_.end()) return !head_it->second->deleted;
-  ODE_RETURN_IF_ERROR(LockObject(ref.oid(), concur::LockMode::kShared));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
   ObjectTable::Entry entry;
+  if (snapshot_) {
+    Status s = db_->store().ResolveSnapshot(root, ref.oid().local,
+                                            kGenericVersion, snapshot_seq_,
+                                            &entry);
+    if (s.IsNotFound()) return false;
+    ODE_RETURN_IF_ERROR(s);
+    return true;
+  }
+  ODE_RETURN_IF_ERROR(LockObject(ref.oid(), concur::LockMode::kShared));
   Status s = db_->store().GetInfo(root, ref.oid().local, &entry);
   if (s.IsNotFound()) return false;
   ODE_RETURN_IF_ERROR(s);
@@ -285,6 +378,7 @@ Result<bool> Transaction::Exists(const RefBase& ref) {
 
 Result<uint32_t> Transaction::NewVersion(const RefBase& ref) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("newversion"));
   if (ref.is_specific()) {
     return Status::InvalidArgument("newversion takes a generic reference");
   }
@@ -301,14 +395,22 @@ Result<uint32_t> Transaction::NewVersion(const RefBase& ref) {
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
   uint32_t new_vnum = 0;
   ODE_RETURN_IF_ERROR(db_->store().NewVersion(root, oid.local, &new_vnum));
+  InvalidateVersionCache(oid);
   if (it != cache_.end()) it->second->resolved_vnum = new_vnum;
   return new_vnum;
 }
 
 Status Transaction::DeleteVersion(const RefBase& ref) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("delversion"));
   if (!ref.is_specific()) {
     return Status::InvalidArgument("delversion takes a version reference");
+  }
+  // delversion frees the version's storage physically (unlike pdelete's
+  // tombstone): it cannot run while any snapshot might still resolve the
+  // doomed version. Busy lets RunTransaction retry once readers drain.
+  if (db_->engine().active_snapshot_count() > 0) {
+    return Status::Busy("delversion must wait for active snapshot readers");
   }
   const Oid oid = ref.oid();
   ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
@@ -344,6 +446,7 @@ Status Transaction::DeleteVersion(const RefBase& ref) {
   }
 
   ODE_RETURN_IF_ERROR(db_->store().DeleteVersion(root, oid.local, ref.vnum()));
+  InvalidateVersionCache(oid);
   EraseCacheKey({oid.Pack(), ref.vnum()});
 
   if (deletes_current) {
@@ -361,9 +464,11 @@ Status Transaction::DeleteVersion(const RefBase& ref) {
 
 Status Transaction::RevertToVersion(const RefBase& ref, uint32_t vnum) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("revert"));
   if (ref.is_specific()) {
     return Status::InvalidArgument("revert takes a generic reference");
   }
+  InvalidateVersionCache(ref.oid());
   // Write path: captures index pre-images and marks the object dirty, so
   // commit flushes the reverted state and fixes index entries.
   Cached* cached = nullptr;
@@ -385,9 +490,14 @@ Result<uint32_t> Transaction::CurrentVnum(const RefBase& ref) {
   if (it != cache_.end() && !it->second->deleted) {
     return it->second->resolved_vnum;
   }
-  ODE_RETURN_IF_ERROR(LockObject(ref.oid(), concur::LockMode::kShared));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
   ObjectTable::Entry entry;
+  if (snapshot_) {
+    ODE_RETURN_IF_ERROR(db_->store().ResolveSnapshot(
+        root, ref.oid().local, kGenericVersion, snapshot_seq_, &entry));
+    return entry.vnum;
+  }
+  ODE_RETURN_IF_ERROR(LockObject(ref.oid(), concur::LockMode::kShared));
   ODE_RETURN_IF_ERROR(db_->store().GetInfo(root, ref.oid().local, &entry));
   return entry.vnum;
 }
@@ -397,17 +507,58 @@ Result<std::string> Transaction::DynamicTypeOf(const RefBase& ref) {
   if (it != cache_.end() && !it->second->deleted) {
     return it->second->type->name;
   }
-  ODE_RETURN_IF_ERROR(LockObject(ref.oid(), concur::LockMode::kShared));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
   ObjectTable::Entry entry;
-  ODE_RETURN_IF_ERROR(db_->store().GetInfo(root, ref.oid().local, &entry));
+  if (snapshot_) {
+    ODE_RETURN_IF_ERROR(db_->store().ResolveSnapshot(
+        root, ref.oid().local, kGenericVersion, snapshot_seq_, &entry));
+  } else {
+    ODE_RETURN_IF_ERROR(LockObject(ref.oid(), concur::LockMode::kShared));
+    ODE_RETURN_IF_ERROR(db_->store().GetInfo(root, ref.oid().local, &entry));
+  }
   return db_->TypeNameByCode(entry.type_code);
+}
+
+// --- Versioning navigation cache ---------------------------------------------
+
+Status Transaction::CachedVersions(const RefBase& ref,
+                                   const std::vector<uint32_t>** vnums) {
+  const uint64_t key = ref.oid().Pack();
+  auto it = version_cache_.find(key);
+  if (it == version_cache_.end()) {
+    ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(ref.oid().cluster));
+    std::vector<uint32_t> listed;
+    ODE_RETURN_IF_ERROR(
+        db_->store().ListVersions(root, ref.oid().local, &listed));
+    it = version_cache_.emplace(key, std::move(listed)).first;
+  }
+  *vnums = &it->second;
+  return Status::OK();
+}
+
+Result<uint32_t> Transaction::PrevVersionOf(const RefBase& ref, uint32_t vnum) {
+  const std::vector<uint32_t>* vnums = nullptr;
+  ODE_RETURN_IF_ERROR(CachedVersions(ref, &vnums));
+  // The list is ascending: the predecessor is the element before the first
+  // one >= vnum.
+  auto it = std::lower_bound(vnums->begin(), vnums->end(), vnum);
+  if (it == vnums->begin()) return Status::NotFound("no previous version");
+  return *(it - 1);
+}
+
+Result<uint32_t> Transaction::NextVersionOf(const RefBase& ref, uint32_t vnum) {
+  const std::vector<uint32_t>* vnums = nullptr;
+  ODE_RETURN_IF_ERROR(CachedVersions(ref, &vnums));
+  auto it = std::upper_bound(vnums->begin(), vnums->end(), vnum);
+  if (it == vnums->end()) return Status::NotFound("no next version");
+  return *it;
 }
 
 // --- Schema ------------------------------------------------------------------------
 
 Status Transaction::CreateClusterByName(const std::string& type_name) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("create cluster"));
   if (TypeRegistry::Global().Find(type_name) == nullptr) {
     return Status::NotSupported("type not registered: " + type_name);
   }
@@ -432,6 +583,12 @@ Status Transaction::CreateClusterByName(const std::string& type_name) {
 
 Status Transaction::DropClusterByName(const std::string& type_name) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("drop cluster"));
+  // Dropping frees every object's storage physically, bypassing the
+  // tombstone/GC protocol — it cannot run under active snapshot readers.
+  if (db_->engine().active_snapshot_count() > 0) {
+    return Status::Busy("drop cluster must wait for active snapshot readers");
+  }
   ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   ODE_ASSIGN_OR_RETURN(ClusterId cluster, db_->ClusterIdForName(type_name));
   ODE_RETURN_IF_ERROR(LockCluster(cluster, concur::LockMode::kExclusive));
@@ -466,6 +623,7 @@ Status Transaction::DropClusterByName(const std::string& type_name) {
   }
   ODE_RETURN_IF_ERROR(db_->SaveCatalog());
 
+  version_cache_.clear();
   // Invalidate cached objects of the dropped cluster.
   for (auto& [key, cached] : cache_) {
     if (Oid::Unpack(key.first).cluster == cluster) {
@@ -481,6 +639,7 @@ Status Transaction::CreateIndexByName(const std::string& index_name,
                                       const std::string& type_name,
                                       IndexManager::Extractor extractor) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("create index"));
   ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   ODE_ASSIGN_OR_RETURN(ClusterId cluster, db_->ClusterIdForName(type_name));
   ODE_RETURN_IF_ERROR(LockCluster(cluster, concur::LockMode::kExclusive));
@@ -510,6 +669,7 @@ Result<uint64_t> Transaction::ActivateTriggerOn(const RefBase& ref,
                                                 std::vector<double> params,
                                                 bool perpetual) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("trigger activation"));
   ODE_ASSIGN_OR_RETURN(bool exists, Exists(ref));
   if (!exists) return Status::NotFound("object " + ref.oid().ToString());
   ODE_ASSIGN_OR_RETURN(std::string dynamic_type, DynamicTypeOf(ref));
@@ -534,6 +694,7 @@ Result<uint64_t> Transaction::ActivateTriggerOn(const RefBase& ref,
 
 Status Transaction::DeactivateTrigger(uint64_t trigger_id) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("trigger deactivation"));
   ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   auto& activations = db_->catalog().triggers;
   for (auto it = activations.begin(); it != activations.end(); ++it) {
@@ -548,6 +709,7 @@ Status Transaction::DeactivateTrigger(uint64_t trigger_id) {
 Result<size_t> Transaction::DeactivateTriggersOn(
     const RefBase& ref, const std::string& trigger_name) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("trigger deactivation"));
   ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   auto& activations = db_->catalog().triggers;
   const size_t before = activations.size();
@@ -578,15 +740,23 @@ size_t Transaction::ActiveTriggerCount(const RefBase& ref) const {
 
 Status Transaction::NextInCluster(ClusterId cluster, LocalOid start,
                                   LocalOid* local, bool* found) {
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(cluster));
+  if (snapshot_) {
+    // No cluster lock: the scan enumerates tombstones too and each object's
+    // visibility is resolved against the snapshot by the read that follows
+    // (an older snapshot may still see content behind a tombstone).
+    return db_->store().NextHead(root, start, local, found,
+                                 /*include_tombstones=*/true);
+  }
   // Scan stability: block concurrent insert/delete into the cluster (which
   // take it exclusive) for the rest of this transaction.
   ODE_RETURN_IF_ERROR(LockCluster(cluster, concur::LockMode::kShared));
-  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(cluster));
   return db_->store().NextHead(root, start, local, found);
 }
 
 Status Transaction::DropIndex(const std::string& name) {
   if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("drop index"));
   ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   return db_->indexes().DropIndex(name);
 }
@@ -689,6 +859,21 @@ Status Transaction::EvaluateTriggers(std::vector<Database::Firing>* fired) {
 Status Transaction::Commit() {
   if (!open_) return Status::TransactionAborted("transaction is closed");
   const auto commit_start = std::chrono::steady_clock::now();
+  if (snapshot_) {
+    // Nothing written, nothing to flush or check; the engine commit is a
+    // cheap no-shadow close and CloseOut drops the snapshot registration.
+    Status committed = db_->engine().CommitTxn(txn_id_,
+                                               /*release_locks=*/false);
+    if (!committed.ok()) {
+      Status aborted = Abort();
+      if (!aborted.ok()) {
+        ODE_LOG(kError) << "abort after failed snapshot commit also failed: "
+                        << aborted.ToString();
+      }
+      return committed;
+    }
+    return CloseOut(/*aborted=*/false);
+  }
   if (db_->options().check_constraints) {
     Status s = CheckConstraints();
     if (!s.ok()) {
@@ -716,8 +901,17 @@ Status Transaction::Commit() {
   ODE_RETURN_IF_ERROR(EvaluateTriggers(&fired));
 
   // Keep our locks across the engine commit; CloseOut releases them after
-  // the core layer is fully done (2PL release point).
-  Status committed = db_->engine().CommitTxn(txn_id_, /*release_locks=*/false);
+  // the core layer is fully done (2PL release point). Cluster locks held
+  // only for object creation are handed to the engine for release at the
+  // publish point — before the group-commit durability wait — so
+  // concurrent inserters into the same cluster can share one fsync.
+  std::vector<concur::ResourceId> publish_release;
+  for (ClusterId cluster : creation_clusters_) {
+    publish_release.push_back(concur::ClusterResource(cluster));
+  }
+  Status committed = db_->engine().CommitTxn(
+      txn_id_, /*release_locks=*/false,
+      publish_release.empty() ? nullptr : &publish_release);
   if (!committed.ok()) {
     // The engine degraded the commit to a rollback (or refused it); the
     // in-memory catalog still reflects this transaction's writes, so abort

@@ -134,6 +134,7 @@ Status VerifyCluster(Database& db, const CatalogData::ClusterEntry& cluster,
   ODE_ASSIGN_OR_RETURN(uint32_t num_entries, table.NumEntries());
   std::unordered_set<PageId> data_pages;
   std::unordered_set<LocalOid> version_entries;
+  std::vector<LocalOid> tombstone_heads;
 
   // First pass: every allocated entry's record location, plus chains.
   for (LocalOid i = 0; i < num_entries; i++) {
@@ -143,6 +144,20 @@ Status VerifyCluster(Database& db, const CatalogData::ClusterEntry& cluster,
     if (entry.is_version()) {
       version_entries.insert(i);
       report->versions++;
+    } else if (entry.tombstone()) {
+      // Deleted head awaiting version GC: no record location by design
+      // (page is intentionally invalid), and index entries were removed at
+      // delete time, so it stays out of the live-head census. Its version
+      // chain is still walked below so retained pre-delete images are not
+      // reported as orphans.
+      tombstone_heads.push_back(i);
+      report->tombstones++;
+      if (!CatalogHasCode(db, entry.type_code)) {
+        Problem(report, tag + " tombstone " + std::to_string(i) +
+                            " has unknown type code " +
+                            std::to_string(entry.type_code));
+      }
+      continue;
     } else {
       census->heads.insert(i);
       report->objects++;
@@ -173,10 +188,14 @@ Status VerifyCluster(Database& db, const CatalogData::ClusterEntry& cluster,
     claims->Claim(current, tag + " current data page");
   }
 
-  // Second pass: version chains from each head.
-  for (LocalOid head : census->heads) {
+  // Second pass: version chains from each head (live and tombstoned).
+  std::vector<LocalOid> chain_heads(census->heads.begin(), census->heads.end());
+  chain_heads.insert(chain_heads.end(), tombstone_heads.begin(),
+                     tombstone_heads.end());
+  for (LocalOid head : chain_heads) {
     ObjectTable::Entry entry;
     ODE_RETURN_IF_ERROR(table.GetEntry(head, &entry));
+    const bool head_tombstoned = entry.tombstone();
     uint32_t prev_vnum = entry.vnum + 1;  // sentinel: head vnum must be less
     LocalOid at = head;
     std::unordered_set<LocalOid> seen;
@@ -187,21 +206,32 @@ Status VerifyCluster(Database& db, const CatalogData::ClusterEntry& cluster,
                             std::to_string(at));
         break;
       }
-      if (entry.vnum >= prev_vnum) {
+      // Version numbers decrease down the chain. MVCC retained images are
+      // the one sanctioned repeat: a pre-update copy keeps the vnum of the
+      // entry that superseded it, so successive retained entries (and the
+      // retained entry directly below its successor) may share a vnum.
+      if (entry.vnum > prev_vnum ||
+          (entry.vnum == prev_vnum && !entry.retained())) {
         Problem(report, tag + " object " + std::to_string(head) +
-                            ": version numbers not strictly decreasing");
+                            ": version numbers not non-increasing");
         break;
       }
       prev_vnum = entry.vnum;
-      // The record itself must be readable.
-      std::string bytes;
-      uint32_t type_code = 0, resolved = 0;
-      Status s = db.store().Read(cluster.table_root, head, entry.vnum, &bytes,
-                                 &type_code, &resolved);
-      if (!s.ok()) {
-        Problem(report, tag + " object " + std::to_string(head) + " v" +
-                            std::to_string(entry.vnum) +
-                            ": unreadable record: " + s.ToString());
+      // The record itself must be readable. Tombstoned chains refuse store
+      // Reads wholesale (only snapshots may see behind a tombstone), and
+      // retained images are not addressable by (oid, vnum) — a store Read
+      // resolves that vnum to the newest duplicate — so both are skipped
+      // here; their pages were accounted for in the first pass.
+      if (!head_tombstoned && !entry.retained()) {
+        std::string bytes;
+        uint32_t type_code = 0, resolved = 0;
+        Status s = db.store().Read(cluster.table_root, head, entry.vnum,
+                                   &bytes, &type_code, &resolved);
+        if (!s.ok()) {
+          Problem(report, tag + " object " + std::to_string(head) + " v" +
+                              std::to_string(entry.vnum) +
+                              ": unreadable record: " + s.ToString());
+        }
       }
       if (entry.prev_version == kInvalidLocalOid) break;
       at = entry.prev_version;
@@ -294,6 +324,7 @@ std::string VerifyReport::ToString() const {
                     " clusters=" + std::to_string(clusters) +
                     " objects=" + std::to_string(objects) +
                     " versions=" + std::to_string(versions) +
+                    " tombstones=" + std::to_string(tombstones) +
                     " indexes=" + std::to_string(indexes) +
                     " index_entries=" + std::to_string(index_entries) +
                     " activations=" + std::to_string(trigger_activations);

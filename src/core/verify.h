@@ -16,7 +16,8 @@ struct VerifyReport {
   uint64_t free_pages = 0;
   uint64_t clusters = 0;
   uint64_t objects = 0;
-  uint64_t versions = 0;  ///< Old (non-head) versions.
+  uint64_t versions = 0;    ///< Old (non-head) versions, incl. retained images.
+  uint64_t tombstones = 0;  ///< Deleted heads awaiting version GC.
   uint64_t indexes = 0;
   uint64_t index_entries = 0;
   uint64_t trigger_activations = 0;
@@ -31,9 +32,11 @@ struct VerifyReport {
 ///  1. catalog sanity: unique type codes / cluster ids, every cluster's type
 ///     has a code, table roots distinct;
 ///  2. free-page list: acyclic, in-range, no page claimed elsewhere;
-///  3. object tables: allocated heads have readable records; version chains
-///     have strictly decreasing version numbers and end cleanly; free-entry
-///     lists are acyclic and point at unallocated entries;
+///  3. object tables: allocated live heads have readable records; version
+///     chains have non-increasing version numbers (equal only for MVCC
+///     retained images) and end cleanly; tombstoned heads carry no record
+///     location; free-entry lists are acyclic and point at unallocated
+///     entries;
 ///  4. B+trees: keys strictly increasing along the leaf chain; every entry's
 ///     oid refers to a live head object of the indexed cluster;
 ///  5. trigger activations reference live objects;

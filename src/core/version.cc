@@ -4,9 +4,12 @@ namespace ode {
 
 Status ListVersions(Transaction& txn, const RefBase& ref,
                     std::vector<uint32_t>* vnums) {
-  Database& db = txn.db();
-  ODE_ASSIGN_OR_RETURN(PageId root, db.TableRootOf(ref.oid().cluster));
-  return db.store().ListVersions(root, ref.oid().local, vnums);
+  // Served from the transaction's per-object version cache: one chain read
+  // per object per transaction, invalidated by version-mutating operations.
+  const std::vector<uint32_t>* cached = nullptr;
+  ODE_RETURN_IF_ERROR(txn.CachedVersions(ref, &cached));
+  *vnums = *cached;
+  return Status::OK();
 }
 
 Status ListVersionTree(Transaction& txn, const RefBase& ref,

@@ -1,6 +1,7 @@
 #ifndef ODE_CORE_VERSION_H_
 #define ODE_CORE_VERSION_H_
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -23,10 +24,10 @@ Status ListVersions(Transaction& txn, const RefBase& ref,
 /// Specific reference to version `vnum` (validated to exist).
 template <typename T>
 Result<Ref<T>> VersionRef(Transaction& txn, const Ref<T>& ref, uint32_t vnum) {
-  std::vector<uint32_t> vnums;
-  ODE_RETURN_IF_ERROR(ListVersions(txn, ref, &vnums));
-  for (uint32_t v : vnums) {
-    if (v == vnum) return Ref<T>(ref.db(), ref.oid(), vnum);
+  const std::vector<uint32_t>* vnums = nullptr;
+  ODE_RETURN_IF_ERROR(txn.CachedVersions(ref, &vnums));
+  if (std::binary_search(vnums->begin(), vnums->end(), vnum)) {
+    return Ref<T>(ref.db(), ref.oid(), vnum);
   }
   return Status::NotFound("version " + std::to_string(vnum));
 }
@@ -40,41 +41,34 @@ Ref<T> VLatest(const Ref<T>& ref) {
 /// Specific reference to the oldest existing version — `vfirst`.
 template <typename T>
 Result<Ref<T>> VFirst(Transaction& txn, const Ref<T>& ref) {
-  std::vector<uint32_t> vnums;
-  ODE_RETURN_IF_ERROR(ListVersions(txn, ref, &vnums));
-  return Ref<T>(ref.db(), ref.oid(), vnums.front());
+  const std::vector<uint32_t>* vnums = nullptr;
+  ODE_RETURN_IF_ERROR(txn.CachedVersions(ref, &vnums));
+  return Ref<T>(ref.db(), ref.oid(), vnums->front());
 }
 
 /// The version preceding `ref`'s (resolving a generic ref to the current
 /// version first) — `vprev`. NotFound at the oldest version.
+///
+/// O(log n) per hop against the transaction's sorted version cache (one
+/// chain read per object per transaction), so walking a whole n-version
+/// history is O(n log n), not the O(n²) of rescanning the chain every hop.
 template <typename T>
 Result<Ref<T>> VPrev(Transaction& txn, const Ref<T>& ref) {
   uint32_t at = ref.vnum();
   if (at == kGenericVersion) {
     ODE_ASSIGN_OR_RETURN(at, txn.CurrentVnum(ref));
   }
-  std::vector<uint32_t> vnums;
-  ODE_RETURN_IF_ERROR(ListVersions(txn, ref, &vnums));
-  const uint32_t* best = nullptr;
-  for (const uint32_t& v : vnums) {
-    if (v < at && (best == nullptr || v > *best)) best = &v;
-  }
-  if (best == nullptr) return Status::NotFound("no previous version");
-  return Ref<T>(ref.db(), ref.oid(), *best);
+  ODE_ASSIGN_OR_RETURN(const uint32_t prev, txn.PrevVersionOf(ref, at));
+  return Ref<T>(ref.db(), ref.oid(), prev);
 }
 
 /// The version following `ref`'s — `vnext`. NotFound at the current version.
 template <typename T>
 Result<Ref<T>> VNext(Transaction& txn, const Ref<T>& ref) {
   if (!ref.is_specific()) return Status::NotFound("no next version");
-  std::vector<uint32_t> vnums;
-  ODE_RETURN_IF_ERROR(ListVersions(txn, ref, &vnums));
-  const uint32_t* best = nullptr;
-  for (const uint32_t& v : vnums) {
-    if (v > ref.vnum() && (best == nullptr || v < *best)) best = &v;
-  }
-  if (best == nullptr) return Status::NotFound("no next version");
-  return Ref<T>(ref.db(), ref.oid(), *best);
+  ODE_ASSIGN_OR_RETURN(const uint32_t next,
+                       txn.NextVersionOf(ref, ref.vnum()));
+  return Ref<T>(ref.db(), ref.oid(), next);
 }
 
 /// The version number a reference denotes (`vnum`): the pinned version for

@@ -51,12 +51,45 @@ class ObjectStore {
               std::string* data, uint32_t* type_code,
               uint32_t* resolved_vnum) const;
 
+  /// Snapshot-visible read (docs/CONCURRENCY.md "MVCC snapshot reads"):
+  /// resolves through the version chain to the newest version with
+  /// commit_seq <= snapshot_seq and reads its record. NotFound when the
+  /// object was created after the snapshot or deleted at/before it. Takes
+  /// no locks — safe against concurrent strict-2PL writers.
+  Status ReadSnapshot(PageId table_root, LocalOid local, uint32_t vnum,
+                      uint64_t snapshot_seq, std::string* data,
+                      uint32_t* type_code, uint32_t* resolved_vnum) const;
+
+  /// Visibility resolution only: the chain entry a snapshot at
+  /// `snapshot_seq` sees for (`local`, `vnum`), without reading the record.
+  Status ResolveSnapshot(PageId table_root, LocalOid local, uint32_t vnum,
+                         uint64_t snapshot_seq,
+                         ObjectTable::Entry* entry) const;
+
   /// Replaces the current version's record bytes. Old versions are
-  /// read-only (paper §4).
+  /// read-only (paper §4). The previously committed record is retained on
+  /// the version chain (kFlagRetained) so active snapshots keep resolving
+  /// it; the version GC reclaims it once the watermark passes.
   Status Update(PageId table_root, LocalOid local, const Slice& data);
 
   /// Deletes the object and all of its versions (pdelete on a head, §4).
+  /// The head becomes a tombstone and the chain is kept for older
+  /// snapshots; physical reclamation happens in CollectGarbage once the
+  /// watermark passes the deletion stamp.
   Status Delete(PageId table_root, LocalOid local);
+
+  /// Version-GC tallies for one CollectGarbage pass.
+  struct GcStats {
+    uint64_t objects_reclaimed = 0;   ///< Tombstoned objects fully purged.
+    uint64_t versions_reclaimed = 0;  ///< Retained pre-update images freed.
+  };
+
+  /// Reclaims MVCC debris invisible to every active and future snapshot:
+  /// tombstoned objects whose deletion stamp is <= `watermark`, and
+  /// retained pre-update images whose successor committed at or before it.
+  /// Explicit newversion snapshots are permanent and never reclaimed. Runs
+  /// inside the caller's transaction (the caller holds the cluster lock).
+  Status CollectGarbage(PageId table_root, uint64_t watermark, GcStats* stats);
 
   /// Snapshots the current state as a frozen version and bumps the current
   /// version number (the paper's `newversion`, §4). Returns the new current
@@ -95,8 +128,10 @@ class ObjectStore {
                        uint32_t parent_vnum);
 
   /// First allocated head with index >= `start`; *found=false past the end.
+  /// Snapshot scans pass `include_tombstones` and resolve per-object
+  /// visibility via ResolveSnapshot/ReadSnapshot.
   Status NextHead(PageId table_root, LocalOid start, LocalOid* local,
-                  bool* found) const;
+                  bool* found, bool include_tombstones = false) const;
 
   /// High-water mark of entry indexes for the cluster.
   Result<uint32_t> NumEntries(PageId table_root) const;
@@ -110,10 +145,16 @@ class ObjectStore {
                      ObjectTable::Entry* entry);
 
   /// Frees the record referenced by `entry` (inline slot or overflow chain).
+  /// No-op for record-less entries (tombstones).
   Status FreeRecord(ObjectTable* table, const ObjectTable::Entry& entry);
 
   /// Reads the raw record bytes referenced by `entry`.
   Status ReadRecord(const ObjectTable::Entry& entry, std::string* data) const;
+
+  /// Physically frees the whole chain of head `local` — records and entries,
+  /// including retained images and explicit versions. Used by DropTable and
+  /// by the GC once a tombstone passes the watermark.
+  Status PurgeObject(ObjectTable* table, LocalOid local);
 
   StorageEngine* engine_;
 };

@@ -29,7 +29,7 @@ constexpr uint32_t kDirCap = (kPageSize - kDirStartOff) / 4;  // ids per root
 
 // Entry page layout: [0] type, [1..7] pad, entries from byte 8.
 constexpr uint32_t kEntryStart = 8;
-constexpr uint32_t kEntrySize = 24;
+constexpr uint32_t kEntrySize = 32;
 constexpr uint32_t kEntriesPerPage = (kPageSize - kEntryStart) / kEntrySize;
 
 void EncodeEntry(char* dst, const ObjectTable::Entry& e) {
@@ -40,6 +40,7 @@ void EncodeEntry(char* dst, const ObjectTable::Entry& e) {
   EncodeFixed32(dst + 12, e.prev_version);
   EncodeFixed32(dst + 16, e.vnum);
   EncodeFixed32(dst + 20, e.parent_vnum);
+  EncodeFixed64(dst + 24, e.commit_seq);
 }
 
 void DecodeEntry(const char* src, ObjectTable::Entry* e) {
@@ -50,6 +51,7 @@ void DecodeEntry(const char* src, ObjectTable::Entry* e) {
   e->prev_version = DecodeFixed32(src + 12);
   e->vnum = DecodeFixed32(src + 16);
   e->parent_vnum = DecodeFixed32(src + 20);
+  e->commit_seq = DecodeFixed64(src + 24);
 }
 
 void InitRootPage(char* buf) {
@@ -241,8 +243,8 @@ Result<uint32_t> ObjectTable::NumEntries() const {
   return DecodeFixed32(handle.data() + kNumEntriesOff);
 }
 
-Status ObjectTable::NextHead(LocalOid start, LocalOid* local,
-                             bool* found) const {
+Status ObjectTable::NextHead(LocalOid start, LocalOid* local, bool* found,
+                             bool include_tombstones) const {
   ODE_ASSIGN_OR_RETURN(uint32_t num, NumEntries());
   for (LocalOid i = start; i < num; i++) {
     // Scan one entry page at a time to amortize the directory walk.
@@ -257,7 +259,8 @@ Status ObjectTable::NextHead(LocalOid start, LocalOid* local,
       const uint32_t offset =
           kEntryStart + (j % kEntriesPerPage) * kEntrySize;
       const uint16_t flags = DecodeFixed16(handle.data() + offset + 6);
-      if ((flags & kFlagAllocated) && !(flags & kFlagVersion)) {
+      if ((flags & kFlagAllocated) && !(flags & kFlagVersion) &&
+          (include_tombstones || !(flags & kFlagTombstone))) {
         *local = j;
         *found = true;
         return Status::OK();

@@ -18,13 +18,23 @@ namespace ode {
 /// Structure on disk:
 ///  * root/directory pages (PageType::kTableRoot), chained, listing entry
 ///    pages; the first root also carries allocation state;
-///  * entry pages (PageType::kObjectTable) holding fixed 24-byte entries.
+///  * entry pages (PageType::kObjectTable) holding fixed 32-byte entries.
 class ObjectTable {
  public:
   /// Entry flag bits.
   static constexpr uint16_t kFlagAllocated = 1 << 0;
   static constexpr uint16_t kFlagVersion = 1 << 1;   ///< Old version, not head.
   static constexpr uint16_t kFlagOverflow = 1 << 2;  ///< Record is a chain ref.
+  /// Head of a deleted object: no record of its own, but the version chain
+  /// behind it is kept until the GC watermark passes the deletion stamp so
+  /// older snapshots still resolve the pre-delete content
+  /// (docs/CONCURRENCY.md "MVCC snapshot reads").
+  static constexpr uint16_t kFlagTombstone = 1 << 3;
+  /// MVCC-retained pre-update image (always together with kFlagVersion).
+  /// Invisible to the user-level version operations (vnum duplicates its
+  /// successor's); reclaimed by the version GC, unlike the paper's explicit
+  /// newversion snapshots which are permanent.
+  static constexpr uint16_t kFlagRetained = 1 << 4;
 
   /// Sentinel parent version for "root of the derivation tree".
   static constexpr uint32_t kNoParentVersion = 0xFFFFFFFFu;
@@ -40,10 +50,16 @@ class ObjectTable {
     /// Version this one's content derives from (the version-*tree* edge of
     /// the paper's footnote 15 / reference [4]); kNoParentVersion for v0.
     uint32_t parent_vnum = kNoParentVersion;
+    /// Publish sequence of the commit that wrote this version (0 = pre-MVCC
+    /// writer). A snapshot minted at S sees the newest chain entry with
+    /// commit_seq <= S.
+    uint64_t commit_seq = 0;
 
     bool allocated() const { return flags & kFlagAllocated; }
     bool is_version() const { return flags & kFlagVersion; }
     bool overflow() const { return flags & kFlagOverflow; }
+    bool tombstone() const { return flags & kFlagTombstone; }
+    bool retained() const { return flags & kFlagRetained; }
   };
 
   ObjectTable(StorageEngine* engine, PageId root) : engine_(engine), root_(root) {}
@@ -68,7 +84,11 @@ class ObjectTable {
 
   /// Finds the first entry index >= `start` that is an allocated head
   /// (allocated, not an old version). Sets *found=false past the end.
-  Status NextHead(LocalOid start, LocalOid* local, bool* found) const;
+  /// Tombstoned heads are skipped unless `include_tombstones` — snapshot
+  /// scans pass true and resolve per-object visibility themselves (an older
+  /// snapshot may still see the pre-delete content behind a tombstone).
+  Status NextHead(LocalOid start, LocalOid* local, bool* found,
+                  bool include_tombstones = false) const;
 
   /// The page currently targeted for record inserts (kInvalidPageId if none
   /// yet); maintained by the ObjectStore.

@@ -99,11 +99,36 @@ Status IndexJoin(Transaction& txn, const std::string& right_index,
       key = left_key(*l);
     }
     std::vector<Oid> matches;
-    ODE_RETURN_IF_ERROR(indexes.ScanExact(right_index, key, &matches));
+    if (txn.snapshot()) {
+      // Lock-free probe: validate against the durable commit sequence like
+      // ForAll's snapshot index scan — equal before/after proves the probe
+      // read one consistent committed tree.
+      constexpr int kRetries = 8;
+      int attempt = 0;
+      for (;; ++attempt) {
+        const uint64_t before = txn.db().engine().SyncedSeq();
+        matches.clear();
+        Status probe = indexes.ScanExact(right_index, key, &matches);
+        if (probe.ok() && txn.db().engine().SyncedSeq() == before) break;
+        if (attempt + 1 >= kRetries) {
+          return Status::Busy("snapshot index probe kept racing commits on " +
+                              right_index);
+        }
+      }
+    } else {
+      ODE_RETURN_IF_ERROR(indexes.ScanExact(right_index, key, &matches));
+    }
     local.right_rows += matches.size();
     for (const Oid& oid : matches) {
+      Ref<R> right(&txn.db(), oid);
+      if (txn.snapshot()) {
+        // The index's current key set can point at rows invisible at the
+        // snapshot (inserted after it, or since deleted); skip those.
+        ODE_ASSIGN_OR_RETURN(const bool visible, txn.Exists(right));
+        if (!visible) continue;
+      }
       local.pairs++;
-      ODE_RETURN_IF_ERROR(body(left, Ref<R>(&txn.db(), oid)));
+      ODE_RETURN_IF_ERROR(body(left, right));
     }
     return Status::OK();
   });

@@ -134,6 +134,18 @@ Status StorageEngine::Open(const std::string& path,
                                               SuperblockLayout::kNextTxnIdOffset));
   engine->next_txn_id_.store(next_txn < 1 ? 1 : next_txn,
                              std::memory_order_relaxed);
+  // Seed the publish-sequence counter. Every commit that stamps MVCC version
+  // headers also stamps its sequence into the superblock image it logs, so
+  // the recovered value is >= every version stamp on any recovered page —
+  // the invariant snapshot visibility depends on (a fresh snapshot must see
+  // all pre-crash commits).
+  ODE_ASSIGN_OR_RETURN(uint64_t seq, engine->ReadSuperU64(
+                                         SuperblockLayout::kCommitSeqOffset));
+  {
+    MutexLock lock(engine->commit_mu_);
+    engine->commit_seq_ = seq;
+    engine->synced_seq_ = seq;
+  }
   *out = std::move(engine);
   return Status::OK();
 }
@@ -197,6 +209,13 @@ Status StorageEngine::EnsureWriterToken(TxnState* txn) {
 
 void StorageEngine::FinishTxn(TxnState* txn, bool committed) {
   const TxnId id = txn->id;
+  if (txn->is_snapshot) {
+    // Retire this reader from the active-snapshot set; the GC watermark may
+    // advance past versions only this snapshot could still see.
+    MutexLock lock(commit_mu_);
+    auto it = active_snapshots_.find(txn->snapshot_seq);
+    if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+  }
   UnbindTls();
   {
     MutexLock lock(txn_mu_);
@@ -212,7 +231,9 @@ void StorageEngine::FinishTxn(TxnState* txn, bool committed) {
   }
 }
 
-Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
+Status StorageEngine::CommitTxn(
+    TxnId txn, bool release_locks,
+    const std::vector<concur::ResourceId>* publish_release) {
   TxnState* state = CurrentTxn();
   if (txn == 0 || state == nullptr || state->id != txn) {
     return Status::InvalidArgument("CommitTxn: not the active transaction");
@@ -239,12 +260,20 @@ Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
   }
   assert(state->has_writer_token);
 
-  // Ride the advanced id counter along in the superblock image if this
-  // transaction touched it anyway (free persistence across crashes).
-  auto super_it = state->shadows.find(kSuperblockPageId);
-  if (super_it != state->shadows.end()) {
-    EncodeFixed64(super_it->second.get() + SuperblockLayout::kNextTxnIdOffset,
-                  next_txn_id_.load(std::memory_order_relaxed));
+  // A transaction that stamped MVCC version headers must persist its publish
+  // sequence: force the superblock into its write set so the in-latch stamp
+  // below rides along. Without this, a crash after the commit would reopen
+  // the engine with commit_seq_ below stamps already on disk, making durably
+  // committed objects invisible to post-crash snapshots.
+  if (state->stamp_seq != 0 &&
+      state->shadows.find(kSuperblockPageId) == state->shadows.end()) {
+    PageHandle super;
+    Status seeded = GetPageWrite(kSuperblockPageId, &super);
+    if (!seeded.ok()) {
+      FinishTxn(state, /*committed=*/false);
+      if (release_locks) locks_->ReleaseAll(txn);
+      return seeded;
+    }
   }
 
   const bool durable_mode =
@@ -265,6 +294,23 @@ Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
         return Status::IOError(
             "commit depends on a transaction whose group-commit fsync "
             "failed; rolled back");
+      }
+      // This commit's publish sequence. A reserved write stamp is exact:
+      // the writer token (held since WriteStampSeq) serialized every
+      // publish in between.
+      const uint64_t seq = commit_seq_ + 1;
+      assert(state->stamp_seq == 0 || state->stamp_seq == seq);
+      // Ride the advanced id counter and the publish sequence along in the
+      // superblock image if this transaction carries one (free persistence
+      // across crashes; the sequence stamp keeps commit_seq_ monotone across
+      // reopen — see Open()).
+      auto super_it = state->shadows.find(kSuperblockPageId);
+      if (super_it != state->shadows.end()) {
+        EncodeFixed64(
+            super_it->second.get() + SuperblockLayout::kNextTxnIdOffset,
+            next_txn_id_.load(std::memory_order_relaxed));
+        EncodeFixed64(
+            super_it->second.get() + SuperblockLayout::kCommitSeqOffset, seq);
       }
       const uint64_t log_start = wal_->size_bytes();
       for (const auto& [id, image] : state->shadows) {
@@ -294,6 +340,17 @@ Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
         }
         state->shadows.clear();
         sync_queue_.push_back(&me);
+      } else {
+        // kNoSync: durability is the OS's problem; publish straight to the
+        // pool. Installing under the latch keeps the snapshot invariant —
+        // a snapshot minted at synced_seq_ S sees either all or none of a
+        // commit's pages, never a torn subset.
+        ++commit_seq_;
+        for (const auto& [id, image] : state->shadows) {
+          pool_->Install(id, image.get());
+        }
+        state->shadows.clear();
+        synced_seq_ = commit_seq_;
       }
       return Status::OK();
     }();
@@ -308,6 +365,16 @@ Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
     FinishTxn(state, /*committed=*/false);
     if (release_locks) locks_->ReleaseAll(txn);
     return logged;
+  }
+
+  // The commit is published: release the resources the caller asked to drop
+  // at the publish point (cluster-extent locks taken for object creation).
+  // Like the writer-token handoff below, this trades a sliver of pre-
+  // durability exposure for insert batching; see docs/CONCURRENCY.md.
+  if (publish_release != nullptr) {
+    for (concur::ResourceId res : *publish_release) {
+      locks_->Release(txn, res);
+    }
   }
 
   if (durable_mode) {
@@ -327,11 +394,6 @@ Status StorageEngine::CommitTxn(TxnId txn, bool release_locks) {
       FinishTxn(state, /*committed=*/false);
       if (release_locks) locks_->ReleaseAll(txn);
       return durable;
-    }
-  } else {
-    // kNoSync: durability is the OS's problem; publish straight to the pool.
-    for (const auto& [id, image] : state->shadows) {
-      pool_->Install(id, image.get());
     }
   }
   FinishTxn(state, /*committed=*/true);
@@ -529,6 +591,66 @@ TxnId StorageEngine::active_txn() const {
 size_t StorageEngine::active_txn_count() const {
   MutexLock lock(txn_mu_);
   return txns_.size();
+}
+
+Result<uint64_t> StorageEngine::MarkSnapshot() {
+  TxnState* state = CurrentTxn();
+  if (state == nullptr) {
+    return Status::InvalidArgument("MarkSnapshot: no active transaction");
+  }
+  if (!state->shadows.empty() || state->has_writer_token) {
+    return Status::InvalidArgument(
+        "MarkSnapshot: transaction already wrote pages");
+  }
+  if (state->is_snapshot) return state->snapshot_seq;
+  MutexLock lock(commit_mu_);
+  // Mint from the durable horizon: every image with seq <= synced_seq_ is
+  // installed in the pool (installs and the horizon advance under this
+  // latch), so the snapshot reads a consistent committed cut. Images
+  // installed later carry larger stamps and are filtered by visibility.
+  state->is_snapshot = true;
+  state->snapshot_seq = synced_seq_;
+  active_snapshots_.insert(state->snapshot_seq);
+  return state->snapshot_seq;
+}
+
+uint64_t StorageEngine::SnapshotSeq() const {
+  TxnState* state = CurrentTxn();
+  return (state != nullptr && state->is_snapshot) ? state->snapshot_seq : 0;
+}
+
+Result<uint64_t> StorageEngine::WriteStampSeq() {
+  TxnState* state = CurrentTxn();
+  if (state == nullptr) {
+    return Status::InvalidArgument("WriteStampSeq: no active transaction");
+  }
+  if (state->is_snapshot) {
+    return Status::InvalidArgument(
+        "WriteStampSeq: snapshot transactions are read-only");
+  }
+  if (state->stamp_seq != 0) return state->stamp_seq;
+  // Token first: publishes are token-serialized, so commit_seq_ cannot
+  // advance between the reservation and this transaction's own publish.
+  ODE_RETURN_IF_ERROR(EnsureWriterToken(state));
+  MutexLock lock(commit_mu_);
+  state->stamp_seq = commit_seq_ + 1;
+  return state->stamp_seq;
+}
+
+uint64_t StorageEngine::SnapshotWatermark() const {
+  MutexLock lock(commit_mu_);
+  if (!active_snapshots_.empty()) return *active_snapshots_.begin();
+  return synced_seq_;
+}
+
+size_t StorageEngine::active_snapshot_count() const {
+  MutexLock lock(commit_mu_);
+  return active_snapshots_.size();
+}
+
+uint64_t StorageEngine::SyncedSeq() const {
+  MutexLock lock(commit_mu_);
+  return synced_seq_;
 }
 
 Status StorageEngine::GetPageRead(PageId id, PageHandle* handle) {
@@ -774,17 +896,27 @@ Status StorageEngine::Checkpoint() {
 }
 
 Status StorageEngine::CheckpointLocked() {
-  // Persist the id counter: stamp it into the committed superblock image so
-  // ids keep advancing across a clean close/reopen.
+  // Persist the id and publish-sequence counters: stamp them into the
+  // committed superblock image so both keep advancing across a clean
+  // close/reopen (MVCC version stamps on disk must never exceed a reopened
+  // engine's starting commit_seq_).
   {
     PageHandle super;
     ODE_RETURN_IF_ERROR(pool_->FetchHandle(kSuperblockPageId, &super));
     const uint64_t next = next_txn_id_.load(std::memory_order_relaxed);
+    uint64_t seq;
+    {
+      MutexLock lock(commit_mu_);
+      seq = commit_seq_;
+    }
     if (DecodeFixed64(super.data() + SuperblockLayout::kNextTxnIdOffset) !=
-        next) {
+            next ||
+        DecodeFixed64(super.data() + SuperblockLayout::kCommitSeqOffset) !=
+            seq) {
       char image[kPageSize];
       memcpy(image, super.data(), kPageSize);
       EncodeFixed64(image + SuperblockLayout::kNextTxnIdOffset, next);
+      EncodeFixed64(image + SuperblockLayout::kCommitSeqOffset, seq);
       pool_->Install(kSuperblockPageId, image);
     }
   }

@@ -6,6 +6,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -125,7 +126,16 @@ class StorageEngine {
   /// `release_locks=false` keeps the transaction's locks held after the
   /// engine-level commit: the core layer finishes its own post-commit work
   /// (catalog handling) under them and then calls ReleaseTxnLocks().
-  Status CommitTxn(TxnId txn, bool release_locks = true);
+  ///
+  /// `publish_release` (optional) names lock-manager resources to release at
+  /// the PUBLISH point — right after the writer-token handoff, before the
+  /// durability wait — the same early-release discipline as the writer token
+  /// itself. The core layer passes cluster-extent locks taken only for
+  /// object creation here so insert-heavy workloads batch their fsyncs
+  /// instead of serializing on X(cluster) across the durability wait.
+  Status CommitTxn(TxnId txn, bool release_locks = true,
+                   const std::vector<concur::ResourceId>* publish_release =
+                       nullptr);
 
   /// Drops the calling thread's transaction's shadow pages. Same
   /// `release_locks` contract as CommitTxn.
@@ -141,6 +151,40 @@ class StorageEngine {
   TxnId active_txn() const;
   /// Transactions active across all threads.
   size_t active_txn_count() const;
+
+  // --- MVCC snapshots (docs/CONCURRENCY.md "MVCC snapshot reads") ----------
+
+  /// Turns the calling thread's transaction into a snapshot reader: mints a
+  /// snapshot sequence from the durable publish horizon (everything with
+  /// commit_seq <= the minted value is installed in the pool) and registers
+  /// it in the active-snapshot set that gates version GC. The transaction
+  /// must not have written anything. Returns the snapshot sequence.
+  Result<uint64_t> MarkSnapshot();
+
+  /// The calling thread's transaction's snapshot sequence, or 0 if it is not
+  /// a snapshot reader.
+  uint64_t SnapshotSeq() const;
+
+  /// The write stamp for the calling thread's transaction: the publish
+  /// sequence its commit WILL get. Acquires the writer token first (may
+  /// return Deadlock/Busy); the token serializes publishes, so the reserved
+  /// value is exact. The objstore stamps this into object-table entries so
+  /// snapshot readers can resolve visibility.
+  Result<uint64_t> WriteStampSeq();
+
+  /// Oldest snapshot sequence still in use by an active snapshot reader, or
+  /// the current durable horizon when none are active. Versions whose
+  /// successor committed at or before this watermark are invisible to every
+  /// present and future snapshot and may be garbage-collected.
+  uint64_t SnapshotWatermark() const;
+
+  /// Active snapshot readers across all threads (DDL-style operations that
+  /// physically free pages check this before proceeding).
+  size_t active_snapshot_count() const;
+
+  /// Highest publish sequence whose page images are installed in the pool
+  /// (the durable horizon snapshot sequences are minted from).
+  uint64_t SyncedSeq() const;
 
   // --- Page access ---------------------------------------------------------
 
@@ -212,6 +256,14 @@ class StorageEngine {
     /// commit logs images in page order (deterministic WAL layout).
     std::map<PageId, std::unique_ptr<char[]>> shadows;
     bool has_writer_token = false;
+    /// Reserved publish sequence (WriteStampSeq), 0 if never asked for. The
+    /// writer token pins it: no other publish can intervene, so the commit's
+    /// me.seq is guaranteed to equal it.
+    uint64_t stamp_seq = 0;
+    /// Snapshot-reader state (MarkSnapshot): the minted sequence. Only
+    /// meaningful when is_snapshot is set (a fresh database mints seq 0).
+    bool is_snapshot = false;
+    uint64_t snapshot_seq = 0;
     /// Commit sequence numbers of every appended-but-not-yet-synced image
     /// this transaction read or seeded a shadow from (see pending_). If any
     /// of them lands in a failed batch, this transaction read data that
@@ -313,6 +365,9 @@ class StorageEngine {
   /// whose dep_seqs intersect these read never-durable data and must abort.
   /// Cleared at checkpoint (no transactions alive, so no deps either).
   std::vector<std::pair<uint64_t, uint64_t>> dead_seqs_ GUARDED_BY(commit_mu_);
+  /// Snapshot sequences of active snapshot readers (multiset: several
+  /// snapshots can mint the same horizon). Min = the GC watermark.
+  std::multiset<uint64_t> active_snapshots_ GUARDED_BY(commit_mu_);
 
   mutable Mutex txn_mu_;  ///< Guards txns_, vacuum gate, checkpoint gate.
   std::unordered_map<TxnId, std::unique_ptr<TxnState>> txns_

@@ -41,6 +41,9 @@ enum class PageType : uint8_t {
 ///   [20..23]  catalog_root (u32)    -- first page of the catalog blob chain
 ///   [24..31]  next_txn_id (u64)
 ///   [32..39]  next_trigger_id (u64)
+///   [40..47]  commit_seq (u64)      -- publish sequence high-water mark;
+///                                      MVCC version stamps must never exceed
+///                                      a reopened engine's starting seq
 struct SuperblockLayout {
   static constexpr uint32_t kMagicOffset = 0;
   static constexpr uint32_t kVersionOffset = 8;
@@ -49,6 +52,7 @@ struct SuperblockLayout {
   static constexpr uint32_t kCatalogRootOffset = 20;
   static constexpr uint32_t kNextTxnIdOffset = 24;
   static constexpr uint32_t kNextTriggerIdOffset = 32;
+  static constexpr uint32_t kCommitSeqOffset = 40;
 };
 
 inline constexpr char kSuperblockMagic[8] = {'O', 'D', 'E', 'D',

@@ -181,6 +181,12 @@ TEST(ScaleTest, SpaceReclaimedAfterMassDelete) {
     }
     return Status::OK();
   }));
+  // Deletes tombstone the heads and retain pre-delete images for snapshot
+  // readers; the space comes back once version GC runs (no snapshots are
+  // active, so the watermark covers every tombstone).
+  Database::GcTotals gc;
+  ASSERT_OK(db->CollectVersionGarbage(&gc));
+  EXPECT_EQ(gc.objects_reclaimed, 2000u);
   // Re-inserting the same volume must reuse freed pages, not extend much.
   ASSERT_OK(db->RunTransaction([&](Transaction& txn) -> Status {
     for (int i = 0; i < 2000; i++) {
@@ -192,7 +198,11 @@ TEST(ScaleTest, SpaceReclaimedAfterMassDelete) {
   auto pages_after =
       db->engine().ReadSuperU32(SuperblockLayout::kPageCountOffset);
   ASSERT_TRUE(pages_after.ok());
-  EXPECT_LE(pages_after.value(), pages_full.value() + 10);
+  // Slack covers the entry-table growth from the delete pass: each delete
+  // retains a pre-delete image, transiently doubling the entry count, and
+  // entry pages are reused slot-by-slot rather than shrunk (2000 extra
+  // entries at 127 per page = 16 pages). Data pages must be fully reused.
+  EXPECT_LE(pages_after.value(), pages_full.value() + 20);
 }
 
 TEST(ScaleTest, VacuumShrinksFileAfterDrop) {

@@ -41,6 +41,17 @@ docs/STATIC_ANALYSIS.md):
                      added to STORAGE_MUTEX_ALLOWLIST here; an unreviewed
                      mutex is a lock-order inversion waiting to happen.
 
+  snapshot-lock-free Read-only snapshot transactions must never acquire from
+                     the LockManager (docs/CONCURRENCY.md "MVCC snapshot
+                     reads" — zero read-side lock waits is the contract).
+                     Every direct lock_manager().Acquire( call site in
+                     src/core/transaction.cc must be preceded, in the same
+                     function, by a snapshot guard (`if (snapshot_) ...` or
+                     RejectIfSnapshot) so no lock acquisition is reachable on
+                     a snapshot code path. The one sanctioned exception is
+                     the S(schema) lock every transaction holds (allow it
+                     explicitly).
+
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
 
@@ -290,6 +301,42 @@ def _offset_to_line_table(text):
     return line_of
 
 
+# --- Rule: snapshot-lock-free -------------------------------------------------
+
+LOCK_ACQUIRE_RE = re.compile(r"lock_manager\(\)\s*\.\s*Acquire\s*\(")
+SNAPSHOT_GUARD_RE = re.compile(r"\bsnapshot_\b|\bRejectIfSnapshot\s*\(")
+FUNC_START_RE = re.compile(r"^\S.*\bTransaction::\w+\s*\(")
+
+
+def check_snapshot_lock_free(path, raw_lines, stripped_lines, findings):
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    if not norm.endswith("src/core/transaction.cc"):
+        return
+    guard_seen = False
+    for idx, line in enumerate(stripped_lines, start=1):
+        if FUNC_START_RE.match(line) or line.startswith("}"):
+            guard_seen = False  # new function scope (or left the previous one)
+        if SNAPSHOT_GUARD_RE.search(line):
+            guard_seen = True
+        if LOCK_ACQUIRE_RE.search(line):
+            if guard_seen:
+                continue
+            if "snapshot-lock-free" in allowed_rules(raw_lines[idx - 1]):
+                continue
+            findings.append(
+                Finding(
+                    "snapshot-lock-free",
+                    path,
+                    idx,
+                    "lock_manager().Acquire with no preceding snapshot guard "
+                    "in this function — a read-only snapshot transaction "
+                    "could reach this lock; guard with `if (snapshot_)` / "
+                    "RejectIfSnapshot, or allow the site explicitly if every "
+                    "transaction (snapshots included) must hold the lock",
+                )
+            )
+
+
 # --- Rule: txn-ptr-member -----------------------------------------------------
 
 TXN_MEMBER_RE = re.compile(r"\bTransaction\s*\*\s*\w+_\s*(=\s*[^;]+)?;")
@@ -409,6 +456,7 @@ def main():
             "txn-ptr-member",
             "test-labels",
             "storage-mutex",
+            "snapshot-lock-free",
         ],
         help="run only the named rule(s); default: all",
     )
@@ -435,6 +483,8 @@ def main():
             check_mutexes(rel, raw_lines, stripped_lines, findings)
         if on("storage-mutex"):
             check_storage_mutexes(rel, raw_lines, stripped_lines, findings)
+        if on("snapshot-lock-free"):
+            check_snapshot_lock_free(rel, raw_lines, stripped_lines, findings)
         if on("naked-new-in-txn"):
             check_naked_new(rel, raw_lines, stripped, findings)
         if on("txn-ptr-member"):
