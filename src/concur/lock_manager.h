@@ -50,6 +50,15 @@ inline ResourceId ObjectResource(uint64_t packed_oid) {
   return (1ull << 63) | packed_oid;
 }
 
+/// Per-index resource (keyed by the catalog's stable index id): the
+/// granularity between cluster and schema. Writers mutating an indexed
+/// cluster take X on each affected index instead of escalating to
+/// X(schema); index range scans take S. Tag bit 61 keeps the namespace
+/// disjoint from clusters (bit 62) and objects (bit 63).
+inline ResourceId IndexResource(uint64_t index_id) {
+  return (1ull << 61) | index_id;
+}
+
 /// A strict-2PL lock table with shared/exclusive modes, S->X upgrades, FIFO
 /// granting, and deadlock detection over an explicit waits-for graph.
 ///

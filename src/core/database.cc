@@ -74,6 +74,9 @@ Database::Database(const DatabaseOptions& options,
   core_metrics_.gc_objects_reclaimed = m.GetCounter("mvcc.gc.objects_reclaimed");
   core_metrics_.gc_versions_reclaimed =
       m.GetCounter("mvcc.gc.versions_reclaimed");
+  core_metrics_.gc_index_entries_reclaimed =
+      m.GetCounter("mvcc.gc.index_entries_reclaimed");
+  core_metrics_.gc_pages_reclaimed = m.GetCounter("mvcc.gc.pages_reclaimed");
 
   if (options_.trigger_executor_threads > 0) {
     concur::TriggerExecutor::Options exec_options;
@@ -100,14 +103,16 @@ Status Database::Open(const std::string& path, const DatabaseOptions& options,
   ODE_RETURN_IF_ERROR(StorageEngine::Open(path, options.engine, &engine));
   std::unique_ptr<Database> db(new Database(options, std::move(engine)));
   ODE_RETURN_IF_ERROR(db->ReloadCatalog());
+  db->StartGcThread();
   *out = std::move(db);
   return Status::OK();
 }
 
 Status Database::Close() {
   if (closed_) return Status::OK();
-  // Stop the async trigger daemon first: its workers run transactions
-  // against this database and must be parked before the engine goes away.
+  // Park the daemons first: their threads run transactions against this
+  // database and must be gone before the engine goes away.
+  StopGcThread();
   if (trigger_exec_ != nullptr) {
     trigger_exec_->Shutdown();
   }
@@ -292,12 +297,24 @@ Status Database::CollectVersionGarbage(GcTotals* totals) {
   if (sessions_.Current() != nullptr) {
     return Status::Busy("cannot collect version garbage inside a transaction");
   }
-  // Snapshot the cluster list up front; concurrent DDL on a cluster we then
-  // sweep just makes that sweep a NotFound/conflict no-op.
+  // Snapshot the cluster and index lists under S(schema) — every transaction
+  // holds it for life, so a DDL writer's catalog mutation (under X(schema))
+  // cannot race this read even when the GC daemon calls in from its own
+  // thread. DDL that lands after the snapshot just turns the affected sweep
+  // into a NotFound no-op.
   std::vector<ClusterId> clusters;
-  for (const CatalogData::ClusterEntry& entry : catalog_.clusters) {
-    clusters.push_back(entry.id);
-  }
+  std::vector<std::string> index_names;
+  ODE_RETURN_IF_ERROR(RunTransaction([&](Transaction&) -> Status {
+    clusters.clear();
+    index_names.clear();
+    for (const CatalogData::ClusterEntry& entry : catalog_.clusters) {
+      clusters.push_back(entry.id);
+    }
+    for (const CatalogData::IndexEntry& entry : catalog_.indexes) {
+      index_names.push_back(entry.name);
+    }
+    return Status::OK();
+  }));
   GcTotals sum;
   for (ClusterId cluster : clusters) {
     ObjectStore::GcStats stats;
@@ -321,12 +338,73 @@ Status Database::CollectVersionGarbage(GcTotals* totals) {
     if (!s.ok()) return s;
     sum.objects_reclaimed += stats.objects_reclaimed;
     sum.versions_reclaimed += stats.versions_reclaimed;
+    sum.pages_reclaimed += stats.pages_reclaimed;
     if (swept) sum.clusters++;
+  }
+  // Index sweep: X(index) keeps writers and lock-based probes out while dead
+  // entry versions are unlinked. Snapshot scans take no locks, which stays
+  // safe because the sweep only removes versions behind the min-active-
+  // snapshot watermark — no live snapshot can see them.
+  for (const std::string& name : index_names) {
+    uint64_t reclaimed = 0;
+    bool swept = false;
+    Status s = RunTransaction([&](Transaction& txn) -> Status {
+      reclaimed = 0;
+      swept = false;
+      Status lock = txn.LockIndexExclusive(name);
+      if (lock.IsNotFound()) return Status::OK();  // Dropped since snapshot.
+      ODE_RETURN_IF_ERROR(lock);
+      const uint64_t watermark = engine_->SnapshotWatermark();
+      ODE_RETURN_IF_ERROR(indexes_->SweepIndex(name, watermark, &reclaimed));
+      swept = true;
+      return Status::OK();
+    });
+    if (!s.ok()) return s;
+    sum.index_entries_reclaimed += reclaimed;
+    if (swept) sum.indexes++;
   }
   core_metrics_.gc_objects_reclaimed->Add(sum.objects_reclaimed);
   core_metrics_.gc_versions_reclaimed->Add(sum.versions_reclaimed);
+  core_metrics_.gc_index_entries_reclaimed->Add(sum.index_entries_reclaimed);
+  core_metrics_.gc_pages_reclaimed->Add(sum.pages_reclaimed);
   if (totals != nullptr) *totals = sum;
   return Status::OK();
+}
+
+void Database::StartGcThread() {
+  if (options_.gc_interval_ms <= 0) return;
+  gc_thread_ = std::thread([this] { GcThreadMain(); });
+}
+
+void Database::StopGcThread() {
+  if (!gc_thread_.joinable()) return;
+  {
+    MutexLock lock(gc_mu_);
+    gc_stop_ = true;
+  }
+  gc_cv_.NotifyAll();
+  gc_thread_.join();
+}
+
+void Database::GcThreadMain() {
+  const auto interval = std::chrono::milliseconds(options_.gc_interval_ms);
+  for (;;) {
+    {
+      MutexLock lock(gc_mu_);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      // WaitUntil returning true is a wakeup before the deadline — either
+      // Stop (checked by the loop condition) or spurious (wait again).
+      while (!gc_stop_ && gc_cv_.WaitUntil(gc_mu_, deadline)) {
+      }
+      if (gc_stop_) return;
+    }
+    // Best effort, off the commit path: a pass that loses a lock race or
+    // collides with a structure op just skips this tick.
+    Status s = CollectVersionGarbage(nullptr);
+    if (!s.ok() && !s.IsBusy() && !s.IsDeadlock()) {
+      ODE_LOG(kWarn) << "background version GC failed: " << s.ToString();
+    }
+  }
 }
 
 Status Database::BackupTo(const std::string& path) {

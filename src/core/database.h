@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "concur/session_manager.h"
@@ -174,15 +175,21 @@ class Database {
   struct GcTotals {
     uint64_t objects_reclaimed = 0;
     uint64_t versions_reclaimed = 0;
-    uint64_t clusters = 0;  ///< Clusters swept.
+    uint64_t index_entries_reclaimed = 0;  ///< Dead versioned index entries.
+    uint64_t pages_reclaimed = 0;  ///< Entry pages freed (mass-delete slack).
+    uint64_t clusters = 0;         ///< Clusters swept.
+    uint64_t indexes = 0;          ///< Indexes swept.
   };
 
-  /// Reclaims MVCC debris — tombstoned objects and retained pre-update
-  /// images no active or future snapshot can see (watermark = oldest active
-  /// snapshot sequence, else the durable commit sequence). Sweeps each
-  /// cluster in its own write transaction under an exclusive cluster lock.
-  /// Must be called outside a transaction; explicit newversion history is
-  /// never touched.
+  /// Reclaims MVCC debris — tombstoned objects, retained pre-update images
+  /// and superseded versioned index entries no active or future snapshot
+  /// can see (watermark = oldest active snapshot sequence, else the durable
+  /// commit sequence). Sweeps each cluster in its own write transaction
+  /// under an exclusive cluster lock (freeing fully-vacated trailing entry
+  /// pages), then each index under an exclusive index lock. Must be called
+  /// outside a transaction; explicit newversion history is never touched.
+  /// Runs off the commit path — on demand here, or periodically on the
+  /// background GC thread when DatabaseOptions::gc_interval_ms > 0.
   Status CollectVersionGarbage(GcTotals* totals = nullptr);
 
   // --- Internal plumbing (used by Transaction/ForAll; stable but not part
@@ -217,6 +224,9 @@ class Database {
                                      ///< cluster lock escalations
     Counter* gc_objects_reclaimed;   ///< mvcc.gc.objects_reclaimed
     Counter* gc_versions_reclaimed;  ///< mvcc.gc.versions_reclaimed
+    Counter* gc_index_entries_reclaimed;  ///< mvcc.gc.index_entries_reclaimed
+    Counter* gc_pages_reclaimed;     ///< mvcc.gc.pages_reclaimed — entry
+                                     ///< pages freed by the GC slack sweep
   };
 
   /// The registry this database reports into (EngineOptions::metrics, or
@@ -283,6 +293,13 @@ class Database {
   /// `max_retries` (the async executor path passes trigger_max_retries).
   Status RunOneFiring(const Firing& firing);
 
+  /// Background GC loop (gc_interval_ms > 0): sleeps the interval, runs
+  /// CollectVersionGarbage, repeats until StopGcThread. Busy results (a
+  /// session was active) are expected and ignored — the next tick retries.
+  void GcThreadMain();
+  void StartGcThread();
+  void StopGcThread();
+
   DatabaseOptions options_;
   std::unique_ptr<StorageEngine> engine_;
   CoreMetrics core_metrics_;
@@ -297,6 +314,11 @@ class Database {
   std::unique_ptr<concur::TriggerExecutor> trigger_exec_;
   mutable Mutex pending_mu_;
   std::vector<Firing> pending_firings_ GUARDED_BY(pending_mu_);
+  /// Background version-GC thread (DatabaseOptions::gc_interval_ms).
+  std::thread gc_thread_;
+  Mutex gc_mu_;
+  CondVar gc_cv_;
+  bool gc_stop_ GUARDED_BY(gc_mu_) = false;
   bool closed_ = false;
 };
 

@@ -229,9 +229,10 @@ class ForAll {
         Ref<T> ref(&txn_->db(), oid);
         Result<const T*> read = txn_->Read(ref);
         if (!read.ok()) {
-          // A snapshot scan reads the index's current key set; an entry can
-          // point at an object invisible at the snapshot (inserted after it,
-          // or tombstoned at/before it). Skip those rows.
+          // Versioned index entries resolve at the snapshot's cut, so every
+          // oid the scan emits should also resolve as an object read at the
+          // same cut. Keep the lenient skip as defense in depth (e.g. an
+          // index caught mid-backfill by a crash).
           if (txn_->snapshot() && read.status().IsNotFound()) continue;
           return read.status();
         }
@@ -305,18 +306,28 @@ class ForAll {
     }
     IndexManager& indexes = txn_->db().indexes();
     if (txn_->snapshot()) {
-      // Lock-free optimistic scan: committed B-tree pages only change at a
-      // group-commit publish, which advances the durable sequence in the
-      // same critical section. Equal sequence before and after the scan
-      // proves no publish interleaved, i.e. the oid list came from one
-      // consistent tree. On movement, retry; exhaustion surfaces Busy for
-      // RunReadTransaction to retry from scratch. Never falls back to locks.
+      // Lock-free snapshot scan over VERSIONED index entries: the scan
+      // filters each (key, oid) group through "newest entry with
+      // commit_seq <= snapshot_seq", so the emitted oid set is the key set
+      // as of the snapshot's cut regardless of concurrent key mutations —
+      // the old current-key-set anomaly is gone, and GC cannot remove an
+      // entry this snapshot resolves (the watermark is <= our sequence).
+      //
+      // The SyncedSeq validation loop remains purely STRUCTURAL: a publish
+      // that splits pages mid-traversal can mix old and new page images
+      // (pinned leaves vs freshly-read siblings) and tear the walk itself.
+      // Equal sequence before/after proves the tree did not move; a retry
+      // re-reads the same versioned entries and converges to the identical
+      // snapshot-consistent answer. Exhaustion surfaces Busy for
+      // RunReadTransaction under sustained commit pressure; never locks.
+      const uint64_t as_of = txn_->snapshot_seq();
       for (int attempt = 0; attempt < kSnapshotScanRetries; ++attempt) {
         const uint64_t before = txn_->db().engine().SyncedSeq();
         oids->clear();
-        Status s = index_mode_ == IndexMode::kExact
-                       ? indexes.ScanExact(index_, index_lo_, oids)
-                       : indexes.ScanRange(index_, index_lo_, index_hi_, oids);
+        Status s =
+            index_mode_ == IndexMode::kExact
+                ? indexes.ScanExact(index_, index_lo_, oids, as_of)
+                : indexes.ScanRange(index_, index_lo_, index_hi_, oids, as_of);
         if (s.ok() && txn_->db().engine().SyncedSeq() == before) {
           return Status::OK();
         }
@@ -324,9 +335,9 @@ class ForAll {
       return Status::Busy("snapshot index scan kept racing commits on " +
                           index_);
     }
-    // Shared-lock the indexed cluster before reading the B-tree, so a
-    // concurrent writer (which would take it exclusive) cannot mutate the
-    // tree under the scan.
+    // Shared-lock the index before reading its B-tree, so concurrent
+    // maintenance (which takes X per index) cannot mutate the tree under
+    // the scan.
     ODE_RETURN_IF_ERROR(txn_->LockIndexShared(index_));
     if (index_mode_ == IndexMode::kExact) {
       return indexes.ScanExact(index_, index_lo_, oids);

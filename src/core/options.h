@@ -62,6 +62,14 @@ struct DatabaseOptions {
   /// Async trigger actions that lose a deadlock or time out retry this many
   /// times before the firing is dropped with a warning.
   int trigger_max_retries = 5;
+
+  /// Background version-GC cadence: when positive, a daemon thread runs
+  /// CollectVersionGarbage every this-many milliseconds, keeping MVCC
+  /// debris (dead object versions, superseded index entries, vacated entry
+  /// pages) off the commit path. 0 (the default) disables the thread;
+  /// CollectVersionGarbage can still be called manually. Passes that find a
+  /// session active on this thread or lose lock races simply skip a tick.
+  int gc_interval_ms = 0;
 };
 
 }  // namespace ode

@@ -148,18 +148,33 @@ Status Transaction::LockSchemaExclusive() {
   return Status::OK();
 }
 
-Status Transaction::LockSchemaIfIndexed(ClusterId cluster) {
+Status Transaction::LockIndex(const CatalogData::IndexEntry& entry,
+                              concur::LockMode mode) {
+  if (snapshot_) return Status::OK();  // snapshot reads are lock-free
+  return db_->engine().lock_manager().Acquire(
+      txn_id_, concur::IndexResource(entry.id), mode);
+}
+
+Status Transaction::LockIndexesForWrite(ClusterId cluster) {
   for (const auto& index : db_->catalog().indexes) {
-    if (index.cluster == cluster) return LockSchemaExclusive();
+    if (index.cluster != cluster) continue;
+    ODE_RETURN_IF_ERROR(LockIndex(index, concur::LockMode::kExclusive));
   }
   return Status::OK();
 }
 
 Status Transaction::LockIndexShared(const std::string& index_name) {
-  if (snapshot_) return Status::OK();  // snapshot scans validate optimistically
+  if (snapshot_) return Status::OK();  // snapshot scans read versioned entries
   const CatalogData::IndexEntry* entry = db_->catalog().FindIndex(index_name);
   if (entry == nullptr) return Status::OK();
-  return LockCluster(entry->cluster, concur::LockMode::kShared);
+  return LockIndex(*entry, concur::LockMode::kShared);
+}
+
+Status Transaction::LockIndexExclusive(const std::string& index_name) {
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("index maintenance"));
+  const CatalogData::IndexEntry* entry = db_->catalog().FindIndex(index_name);
+  if (entry == nullptr) return Status::NotFound("index " + index_name);
+  return LockIndex(*entry, concur::LockMode::kExclusive);
 }
 
 // --- Object cache -----------------------------------------------------------
@@ -308,14 +323,26 @@ Status Transaction::Delete(const RefBase& ref) {
     return DeleteVersion(ref);
   }
   const Oid oid = ref.oid();
-  // Deletion shrinks the cluster extent: exclusive object AND cluster locks.
+  // Deletion shrinks the cluster extent: exclusive object AND cluster locks,
+  // plus X on each of the cluster's indexes (tombstone entries are written).
   ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
   ODE_RETURN_IF_ERROR(LockCluster(oid.cluster, concur::LockMode::kExclusive));
-  ODE_RETURN_IF_ERROR(LockSchemaIfIndexed(oid.cluster));
-  // Load for index-entry removal (pre-delete state).
+  ODE_RETURN_IF_ERROR(LockIndexesForWrite(oid.cluster));
+  // Load for index-entry removal. The index holds entries for the COMMITTED
+  // key state: if this transaction already mutated the object's keys (the
+  // add entries for the new keys are only written at commit, which a delete
+  // now skips), remove by the captured pre-mutation keys, not the cached
+  // object's current state.
   Cached* cached = nullptr;
   ODE_RETURN_IF_ERROR(LoadObject(oid, kGenericVersion, &cached));
-  ODE_RETURN_IF_ERROR(db_->indexes().OnErase(oid.cluster, oid, cached->obj));
+  if (cached->old_keys_captured) {
+    for (const auto& [name, key] : cached->old_index_keys) {
+      ODE_RETURN_IF_ERROR(db_->indexes().RemoveEntry(name, key, oid));
+    }
+  } else {
+    ODE_RETURN_IF_ERROR(
+        db_->indexes().OnErase(oid.cluster, oid, cached->obj));
+  }
 
   // Remove persistent trigger activations on this object. Probe under our
   // shared schema lock; mutate only under the exclusive upgrade (re-running
@@ -408,10 +435,11 @@ Status Transaction::DeleteVersion(const RefBase& ref) {
   }
   // delversion frees the version's storage physically (unlike pdelete's
   // tombstone): it cannot run while any snapshot might still resolve the
-  // doomed version. Busy lets RunTransaction retry once readers drain.
-  if (db_->engine().active_snapshot_count() > 0) {
-    return Status::Busy("delversion must wait for active snapshot readers");
-  }
+  // doomed version. BeginStructureOp checks the active-snapshot set and
+  // registers the barrier under one critical section — a racing snapshot
+  // begin gets a clean Busy instead of observing a mid-flight structure.
+  // Busy here lets RunTransaction retry once readers drain.
+  ODE_RETURN_IF_ERROR(db_->engine().BeginStructureOp());
   const Oid oid = ref.oid();
   ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
   ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
@@ -586,9 +614,10 @@ Status Transaction::DropClusterByName(const std::string& type_name) {
   ODE_RETURN_IF_ERROR(RejectIfSnapshot("drop cluster"));
   // Dropping frees every object's storage physically, bypassing the
   // tombstone/GC protocol — it cannot run under active snapshot readers.
-  if (db_->engine().active_snapshot_count() > 0) {
-    return Status::Busy("drop cluster must wait for active snapshot readers");
-  }
+  // BeginStructureOp couples the snapshot-count check with registering the
+  // barrier in one critical section, so a concurrently-beginning snapshot
+  // either blocks this drop or gets Busy itself — never a torn structure.
+  ODE_RETURN_IF_ERROR(db_->engine().BeginStructureOp());
   ODE_RETURN_IF_ERROR(LockSchemaExclusive());
   ODE_ASSIGN_OR_RETURN(ClusterId cluster, db_->ClusterIdForName(type_name));
   ODE_RETURN_IF_ERROR(LockCluster(cluster, concur::LockMode::kExclusive));
@@ -787,11 +816,13 @@ Status Transaction::CheckConstraints() {
 }
 
 Status Transaction::MaintainIndexes() {
+  // Acquire all per-index X locks up front (deterministic acquisition
+  // order before any tree mutation), then write the entries.
   for (auto& [key, cached] : cache_) {
     if (key.second != kGenericVersion || cached->deleted) continue;
     if (!cached->is_new && !cached->dirty) continue;
     ODE_RETURN_IF_ERROR(
-        LockSchemaIfIndexed(Oid::Unpack(key.first).cluster));
+        LockIndexesForWrite(Oid::Unpack(key.first).cluster));
   }
   for (auto& [key, cached] : cache_) {
     if (key.second != kGenericVersion || cached->deleted) continue;

@@ -278,7 +278,27 @@ Status VerifyCluster(Database& db, const CatalogData::ClusterEntry& cluster,
 Status VerifyIndex(Database& db, const CatalogData::IndexEntry& index,
                    const std::unordered_map<ClusterId, ClusterCensus>& census,
                    PageClaims* claims, VerifyReport* report) {
-  BTree tree(&db.engine(), index.btree_root);
+  StorageEngine& engine = db.engine();
+  // Resolve the B-tree through the root-pointer page (the catalog only
+  // records the immutable indirection; the live root sits behind it).
+  claims->Claim(index.root_page, "index " + index.name + " root pointer");
+  PageId btree_root = kInvalidPageId;
+  {
+    PageHandle handle;
+    Status s = engine.GetPageRead(index.root_page, &handle);
+    if (!s.ok()) {
+      Problem(report, "index " + index.name +
+                          ": unreadable root pointer: " + s.ToString());
+      return Status::OK();
+    }
+    if (handle.data()[0] != static_cast<char>(PageType::kIndexRoot)) {
+      Problem(report,
+              "index " + index.name + ": root-pointer page has wrong type");
+      return Status::OK();
+    }
+    btree_root = DecodeFixed32(handle.data() + 4);  // IndexManager layout
+  }
+  BTree tree(&engine, btree_root);
   std::vector<PageId> pages;
   Status s = tree.ListPages(&pages);
   if (!s.ok()) {
@@ -287,11 +307,30 @@ Status VerifyIndex(Database& db, const CatalogData::IndexEntry& index,
   }
   for (PageId p : pages) claims->Claim(p, "index " + index.name);
 
+  // Versioned-entry invariants, walked in composite order (groups are
+  // contiguous, newest version first within a group):
+  //  * composite keys strictly increasing, hence commit seqs strictly
+  //    decreasing within a group;
+  //  * no consecutive tombstones, and the oldest entry of a group is an add
+  //    (every tombstone shadows an older add);
+  //  * the value's oid matches the composite's oid suffix;
+  //  * a group whose newest entry is an add references a live head.
+  // index_entries counts VISIBLE entries (newest-per-group adds), matching
+  // what an unbounded-cut scan would return.
   auto cluster_census = census.find(index.cluster);
   BTree::Iterator it;
   ODE_RETURN_IF_ERROR(tree.SeekFirst(&it));
   std::string prev_key;
+  std::string prev_group;
+  uint64_t prev_seq = 0;
+  bool prev_tombstone = false;
   bool first = true;
+  auto close_group = [&]() {
+    if (!first && prev_tombstone) {
+      Problem(report, "index " + index.name +
+                          ": tombstone with no older add in its group");
+    }
+  };
   while (it.Valid()) {
     const std::string key = it.key().ToString();
     if (!first && !(prev_key < key)) {
@@ -299,20 +338,55 @@ Status VerifyIndex(Database& db, const CatalogData::IndexEntry& index,
               "index " + index.name + ": keys not strictly increasing");
       break;
     }
-    first = false;
-    prev_key = key;
-    const Oid oid = index_key::OidSuffix(Slice(key));
+    if (key.size() < 17) {  // >= 1 user-key byte + 8B oid + 8B seq
+      Problem(report, "index " + index.name + ": malformed composite key");
+      break;
+    }
+    const Slice composite(key);
+    const std::string group = index_key::GroupPrefix(composite).ToString();
+    const uint64_t seq = index_key::SeqOf(composite);
+    const Oid oid = index_key::OidSuffix(composite);
+    const uint64_t value = it.value();
+    const bool tombstone = index_key::IsTombstoneValue(value);
+    if ((value & ~index_key::kTombstoneValueBit) != oid.Pack()) {
+      Problem(report, "index " + index.name +
+                          ": value oid disagrees with composite oid");
+    }
     if (oid.cluster != index.cluster) {
       Problem(report, "index " + index.name + ": entry for foreign cluster " +
                           std::to_string(oid.cluster));
-    } else if (cluster_census == census.end() ||
-               cluster_census->second.heads.count(oid.local) == 0) {
-      Problem(report, "index " + index.name + ": dangling entry for object " +
-                          std::to_string(oid.local));
     }
-    report->index_entries++;
+    if (first || group != prev_group) {
+      close_group();
+      // Newest entry of a new group: a visible add must point at a live head.
+      if (!tombstone) {
+        if (oid.cluster == index.cluster &&
+            (cluster_census == census.end() ||
+             cluster_census->second.heads.count(oid.local) == 0)) {
+          Problem(report, "index " + index.name +
+                              ": dangling entry for object " +
+                              std::to_string(oid.local));
+        }
+        report->index_entries++;
+      }
+    } else {
+      if (seq >= prev_seq) {
+        Problem(report, "index " + index.name +
+                            ": commit seqs not strictly decreasing in group");
+      }
+      if (tombstone && prev_tombstone) {
+        Problem(report,
+                "index " + index.name + ": consecutive tombstones in group");
+      }
+    }
+    prev_key = key;
+    prev_group = group;
+    prev_seq = seq;
+    prev_tombstone = tombstone;
+    first = false;
     ODE_RETURN_IF_ERROR(it.Next());
   }
+  close_group();
   return Status::OK();
 }
 

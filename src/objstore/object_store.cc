@@ -631,6 +631,11 @@ Status ObjectStore::CollectGarbage(PageId table_root, uint64_t watermark,
       }
     }
   }
+  // A mass delete can leave whole trailing entry pages holding nothing but
+  // freed slots; hand them back instead of carrying the slack forever.
+  uint32_t released = 0;
+  ODE_RETURN_IF_ERROR(table.ReleaseTrailingFreePages(&released));
+  if (stats != nullptr) stats->pages_reclaimed += released;
   return Status::OK();
 }
 

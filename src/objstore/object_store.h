@@ -82,6 +82,7 @@ class ObjectStore {
   struct GcStats {
     uint64_t objects_reclaimed = 0;   ///< Tombstoned objects fully purged.
     uint64_t versions_reclaimed = 0;  ///< Retained pre-update images freed.
+    uint64_t pages_reclaimed = 0;     ///< Vacated trailing entry/dir pages.
   };
 
   /// Reclaims MVCC debris invisible to every active and future snapshot:

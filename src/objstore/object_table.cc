@@ -294,6 +294,127 @@ Status ObjectTable::ListStructurePages(std::vector<PageId>* root_pages,
   return Status::OK();
 }
 
+Status ObjectTable::ReleaseTrailingFreePages(uint32_t* released) {
+  if (released != nullptr) *released = 0;
+  uint32_t num;
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+    num = DecodeFixed32(handle.data() + kNumEntriesOff);
+  }
+  if (num == 0) return Status::OK();
+  // New high-water mark: one past the last allocated entry.
+  uint32_t new_num = 0;
+  for (uint32_t i = num; i > 0; i--) {
+    Entry entry;
+    ODE_RETURN_IF_ERROR(GetEntry(i - 1, &entry));
+    if (entry.allocated()) {
+      new_num = i;
+      break;
+    }
+  }
+  const uint32_t old_pages = (num + kEntriesPerPage - 1) / kEntriesPerPage;
+  const uint32_t new_pages = (new_num + kEntriesPerPage - 1) / kEntriesPerPage;
+  if (new_pages == old_pages) {
+    // No whole trailing page vacated; the free list keeps recycling the
+    // interior slack in place.
+    return Status::OK();
+  }
+  // 1. Filter the free list down to indices below the new mark BEFORE any
+  //    page goes away — nodes on doomed pages would otherwise dangle.
+  //    Indices in [new_num, num) need no list at all: they sit past the
+  //    high-water mark and come back through plain extension.
+  std::vector<LocalOid> kept;
+  {
+    LocalOid cur;
+    {
+      PageHandle handle;
+      ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));
+      cur = DecodeFixed32(handle.data() + kFreeHeadOff);
+    }
+    uint32_t walked = 0;
+    while (cur != kInvalidLocalOid) {
+      if (++walked > num) {
+        return Status::Corruption("object-table free-list cycle suspected");
+      }
+      Entry entry;
+      ODE_RETURN_IF_ERROR(GetEntry(cur, &entry));
+      if (cur < new_num) kept.push_back(cur);
+      cur = entry.page;  // For freed entries, `page` is the next free index.
+    }
+  }
+  for (size_t i = 0; i < kept.size(); i++) {
+    Entry entry;
+    ODE_RETURN_IF_ERROR(GetEntry(kept[i], &entry));
+    entry.page = (i + 1 < kept.size()) ? kept[i + 1] : kInvalidLocalOid;
+    ODE_RETURN_IF_ERROR(SetEntry(kept[i], entry));
+  }
+  {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageWrite(root_, &handle));
+    EncodeFixed32(handle.mutable_data() + kFreeHeadOff,
+                  kept.empty() ? kInvalidLocalOid : kept.front());
+    EncodeFixed32(handle.mutable_data() + kNumEntriesOff, new_num);
+  }
+  // 2. Free the trailing entry pages, shrinking each root's directory.
+  std::vector<PageId> roots;
+  {
+    PageId root = root_;
+    while (root != kInvalidPageId) {
+      roots.push_back(root);
+      if (roots.size() > 1u << 20) {
+        return Status::Corruption("object-table root chain cycle suspected");
+      }
+      PageHandle handle;
+      ODE_RETURN_IF_ERROR(engine_->GetPageRead(root, &handle));
+      root = DecodeFixed32(handle.data() + kNextRootOff);
+    }
+  }
+  uint32_t freed = 0;
+  for (size_t k = 0; k < roots.size(); k++) {
+    const uint64_t first_page = static_cast<uint64_t>(k) * kDirCap;
+    const uint32_t keep =
+        first_page >= new_pages
+            ? 0
+            : std::min<uint32_t>(kDirCap,
+                                 static_cast<uint32_t>(new_pages - first_page));
+    uint32_t dir_count;
+    std::vector<PageId> doomed;
+    {
+      PageHandle handle;
+      ODE_RETURN_IF_ERROR(engine_->GetPageRead(roots[k], &handle));
+      dir_count = DecodeFixed32(handle.data() + kDirCountOff);
+      for (uint32_t i = keep; i < dir_count && i < kDirCap; i++) {
+        doomed.push_back(DecodeFixed32(handle.data() + kDirStartOff + 4 * i));
+      }
+    }
+    if (doomed.empty() && dir_count <= keep) continue;
+    for (PageId p : doomed) {
+      ODE_RETURN_IF_ERROR(engine_->FreePage(p));
+      freed++;
+    }
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageWrite(roots[k], &handle));
+    EncodeFixed32(handle.mutable_data() + kDirCountOff, keep);
+  }
+  // 3. Unchain and free directory roots that went fully empty (the first
+  //    root always stays — it carries the allocation state).
+  const size_t last_keep =
+      new_pages == 0 ? 0 : (new_pages - 1) / kDirCap;
+  if (last_keep + 1 < roots.size()) {
+    PageHandle handle;
+    ODE_RETURN_IF_ERROR(engine_->GetPageWrite(roots[last_keep], &handle));
+    EncodeFixed32(handle.mutable_data() + kNextRootOff, kInvalidPageId);
+    handle.Release();
+    for (size_t k = last_keep + 1; k < roots.size(); k++) {
+      ODE_RETURN_IF_ERROR(engine_->FreePage(roots[k]));
+      freed++;
+    }
+  }
+  if (released != nullptr) *released = freed;
+  return Status::OK();
+}
+
 Result<LocalOid> ObjectTable::GetFreeEntryHead() const {
   PageHandle handle;
   ODE_RETURN_IF_ERROR(engine_->GetPageRead(root_, &handle));

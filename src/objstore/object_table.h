@@ -105,6 +105,15 @@ class ObjectTable {
   /// Head of the freed-entry-index list (kInvalidLocalOid when empty).
   Result<LocalOid> GetFreeEntryHead() const;
 
+  /// Returns fully-vacated trailing entry pages (and emptied directory
+  /// roots) to the storage allocator after a mass delete: lowers the
+  /// high-water mark to the last allocated entry, drops free-list nodes
+  /// that lived beyond it, then frees every entry page past the new mark.
+  /// Only the contiguous tail can go — the directory is strictly dense, so
+  /// interior pages with holes stay and serve reuse through the free list.
+  /// `released` (optional) receives the number of pages handed back.
+  Status ReleaseTrailingFreePages(uint32_t* released);
+
  private:
   /// Locates (creating on demand when `create` is set) the entry page that
   /// holds entry index `local`.

@@ -21,6 +21,18 @@ namespace ode {
 ///
 /// Secondary indexes allow duplicate user keys by appending the 8-byte
 /// big-endian packed Oid, which also makes precise deletion possible.
+///
+/// Versioned entries (docs/STORAGE.md "Versioned index entries") extend the
+/// composite with the bitwise-complemented commit sequence, big-endian:
+///
+///   encoded_user_key | BE64(oid.Pack()) | BE64(~commit_seq)
+///
+/// All entries for one (user key, oid) pair — its version GROUP — are
+/// adjacent, newest first (~seq inverts the sort). The mapped value carries
+/// the oid plus a tombstone flag in bit 63, so a key removal is itself an
+/// entry stamped at the remover's publish sequence rather than a physical
+/// delete; snapshot scans resolve each group through the same
+/// "newest entry with commit_seq <= snapshot_seq" rule as object reads.
 namespace index_key {
 
 inline void AppendBigEndian64(std::string* out, uint64_t v) {
@@ -63,22 +75,53 @@ inline void AppendString(std::string* out, const Slice& s) {
   out->push_back('\0');
 }
 
-/// Builds a composite key for one index entry: encoded user key + packed oid.
-inline std::string Compose(const std::string& encoded_user_key,
-                           const Oid& oid) {
+/// Scan bound meaning "see every committed entry" (non-snapshot readers,
+/// whose 2PL locks already stabilize the key set).
+inline constexpr uint64_t kSeeAllSeq = ~0ull;
+
+/// Builds the versioned composite key for one index entry:
+/// encoded user key + packed oid + ~commit_seq (all big-endian).
+inline std::string Compose(const std::string& encoded_user_key, const Oid& oid,
+                           uint64_t commit_seq) {
   std::string key = encoded_user_key;
   AppendBigEndian64(&key, oid.Pack());
+  AppendBigEndian64(&key, ~commit_seq);
   return key;
 }
 
-/// Extracts the oid suffix from a composite key.
+/// The (user key, oid) group prefix of a composite key — everything but the
+/// trailing sequence stamp. Entries sharing it are versions of one logical
+/// index entry, adjacent and newest-first.
+inline Slice GroupPrefix(const Slice& composite) {
+  return Slice(composite.data(), composite.size() - 8);
+}
+
+/// Extracts the commit sequence stamp from a composite key.
+inline uint64_t SeqOf(const Slice& composite) {
+  return ~ReadBigEndian64(composite.data() + composite.size() - 8);
+}
+
+/// Extracts the oid from a composite key.
 inline Oid OidSuffix(const Slice& composite) {
-  return Oid::Unpack(ReadBigEndian64(composite.data() + composite.size() - 8));
+  return Oid::Unpack(
+      ReadBigEndian64(composite.data() + composite.size() - 16));
 }
 
 /// The encoded-user-key prefix of a composite key.
 inline Slice UserKeyPrefix(const Slice& composite) {
-  return Slice(composite.data(), composite.size() - 8);
+  return Slice(composite.data(), composite.size() - 16);
+}
+
+// The B-tree value for an entry: the packed oid, with bit 63 marking a key
+// tombstone (cluster ids stay below 2^30, so the bit is free — the same
+// assumption concur::ObjectResource makes).
+inline constexpr uint64_t kTombstoneValueBit = 1ull << 63;
+
+inline uint64_t MakeValue(const Oid& oid, bool tombstone) {
+  return oid.Pack() | (tombstone ? kTombstoneValueBit : 0);
+}
+inline bool IsTombstoneValue(uint64_t value) {
+  return (value & kTombstoneValueBit) != 0;
 }
 
 // Typed one-call encoders (each returns the encoded *user* key).

@@ -9,6 +9,7 @@
 
 #include "objstore/object_id.h"
 #include "query/btree.h"
+#include "query/index_key.h"
 #include "schema/catalog.h"
 #include "storage/engine.h"
 #include "util/status.h"
@@ -20,10 +21,21 @@ namespace ode {
 /// anticipates: "iteration subsets and order ... can be used to advantage in
 /// query optimization").
 ///
-/// Index *structures* (B+trees) are persistent and recorded in the catalog;
-/// key *extractors* are code, re-registered by the application on re-open
-/// (RegisterExtractor). Composite keys are encoded-user-key + packed oid, so
-/// duplicate user keys coexist and deletions are exact (see index_key.h).
+/// Index *structures* (B+trees) are persistent; key *extractors* are code,
+/// re-registered by the application on re-open (RegisterExtractor). Entries
+/// are VERSIONED, mirroring the v2 object-table format: a key insert writes
+/// an entry stamped with the writer's publish sequence, a key removal writes
+/// a tombstone entry at the remover's stamp, and scans resolve each
+/// (user key, oid) group through "newest entry with commit_seq <= as_of" —
+/// so a snapshot scan returns the key set as of its cut (see index_key.h and
+/// docs/CONCURRENCY.md "MVCC snapshot reads"). Dead versions behind the
+/// min-active-snapshot watermark are reclaimed by SweepIndex.
+///
+/// The catalog records only an index's immutable root-POINTER page; the
+/// B-tree root id lives on that page and root splits rewrite it as an
+/// ordinary shadowed page write. Index maintenance therefore never saves the
+/// catalog, which is what lets writers hold per-index locks instead of
+/// X(schema).
 class IndexManager {
  public:
   /// Returns the encoded user key (index_key::From*) for an object. The
@@ -41,13 +53,14 @@ class IndexManager {
         m_entries_removed_(
             engine->metrics().GetCounter("query.index.entries_removed")) {}
 
-  /// Creates the index structure + catalog entry (inside the active
-  /// transaction) and registers its extractor. Backfilling existing objects
-  /// is the caller's job (it requires object deserialization).
+  /// Creates the index structure (B-tree + root-pointer page) + catalog
+  /// entry (inside the active transaction) and registers its extractor.
+  /// Backfilling existing objects is the caller's job (it requires object
+  /// deserialization).
   Status CreateIndex(const std::string& name, ClusterId cluster,
                      Extractor extractor);
 
-  /// Removes the index structure and catalog entry.
+  /// Removes the index structure, its root-pointer page and catalog entry.
   Status DropIndex(const std::string& name);
 
   /// Re-attaches code to a persisted index after re-opening a database.
@@ -79,31 +92,66 @@ class IndexManager {
 
   // --- Queries -------------------------------------------------------------
 
-  /// All oids whose encoded user key equals `user_key`, in oid order.
+  /// All oids whose encoded user key equals `user_key` as of publish
+  /// sequence `as_of`, in oid order. The default bound sees every committed
+  /// entry (locking readers); snapshot readers pass their snapshot sequence.
   Status ScanExact(const std::string& name, const std::string& user_key,
-                   std::vector<Oid>* out) const;
+                   std::vector<Oid>* out,
+                   uint64_t as_of = index_key::kSeeAllSeq) const;
 
   /// All oids with user key in [lo, hi) — hi empty means "to the end" —
-  /// in key order.
+  /// in key order, as of `as_of`.
   Status ScanRange(const std::string& name, const std::string& lo,
-                   const std::string& hi, std::vector<Oid>* out) const;
+                   const std::string& hi, std::vector<Oid>* out,
+                   uint64_t as_of = index_key::kSeeAllSeq) const;
 
   const CatalogData::IndexEntry* FindEntry(const std::string& name) const {
     return catalog_->FindIndex(name);
   }
 
-  /// Index entry count (diagnostics/tests).
-  Result<uint64_t> CountEntries(const std::string& name) const;
+  /// Count of VISIBLE entries as of `as_of` (diagnostics/tests): one per
+  /// (user key, oid) group whose resolved version is a live add.
+  Result<uint64_t> CountEntries(const std::string& name,
+                                uint64_t as_of = index_key::kSeeAllSeq) const;
 
-  /// Low-level entry maintenance (used for backfill).
+  /// Physical entry count including superseded versions and tombstones
+  /// (GC diagnostics).
+  Result<uint64_t> CountAllVersions(const std::string& name) const;
+
+  /// Low-level entry maintenance (used for backfill). AddEntry writes a new
+  /// version stamped at the caller's publish sequence; RemoveEntry writes a
+  /// tombstone version (or physically drops this transaction's own
+  /// uncommitted add — a same-txn insert+delete nets to nothing). Both
+  /// acquire the writer token via WriteStampSeq.
   Status AddEntry(const std::string& name, const std::string& user_key,
                   Oid oid);
   Status RemoveEntry(const std::string& name, const std::string& user_key,
                      Oid oid);
 
+  // --- Garbage collection ---------------------------------------------------
+
+  /// Reclaims dead entry versions: in every (user key, oid) group, versions
+  /// older than the newest one with commit_seq <= `watermark` are invisible
+  /// to all present and future snapshots and are deleted — as is that
+  /// resolved version itself when it is a tombstone (the group is then
+  /// gone, matching object-tombstone purge). Caller must hold X on the
+  /// index (Database::CollectVersionGarbage does). `reclaimed` (may be
+  /// null) receives the number of deleted entries.
+  Status SweepIndex(const std::string& name, uint64_t watermark,
+                    uint64_t* reclaimed);
+
  private:
-  /// Runs `fn` on the index's B+tree and persists a root change.
-  Status WithTree(const std::string& name,
+  /// Reads the current B-tree root id from the index's root-pointer page
+  /// (the calling transaction's shadow if it has one, else the committed
+  /// image — snapshot readers thus see the root as of their cut).
+  Status ReadRoot(const CatalogData::IndexEntry& entry, PageId* root) const;
+
+  /// Records a new B-tree root on the pointer page (shadowed page write).
+  Status SetRoot(const CatalogData::IndexEntry& entry, PageId root);
+
+  /// Runs `fn` on the index's B+tree and persists a root change to the
+  /// pointer page. Never touches the catalog.
+  Status WithTree(const CatalogData::IndexEntry& entry,
                   const std::function<Status(BTree&)>& fn);
 
   StorageEngine* engine_;

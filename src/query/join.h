@@ -100,15 +100,18 @@ Status IndexJoin(Transaction& txn, const std::string& right_index,
     }
     std::vector<Oid> matches;
     if (txn.snapshot()) {
-      // Lock-free probe: validate against the durable commit sequence like
-      // ForAll's snapshot index scan — equal before/after proves the probe
-      // read one consistent committed tree.
+      // Lock-free probe over versioned entries, resolved at the snapshot's
+      // cut (same visibility rule as the object reads). The SyncedSeq
+      // validation guards only against a STRUCTURALLY torn traversal while
+      // a publish splits pages — a clean retry re-reads the identical
+      // snapshot-consistent key set (see ForAll::ResolveOidList).
       constexpr int kRetries = 8;
       int attempt = 0;
       for (;; ++attempt) {
         const uint64_t before = txn.db().engine().SyncedSeq();
         matches.clear();
-        Status probe = indexes.ScanExact(right_index, key, &matches);
+        Status probe = indexes.ScanExact(right_index, key, &matches,
+                                         txn.snapshot_seq());
         if (probe.ok() && txn.db().engine().SyncedSeq() == before) break;
         if (attempt + 1 >= kRetries) {
           return Status::Busy("snapshot index probe kept racing commits on " +
@@ -116,14 +119,15 @@ Status IndexJoin(Transaction& txn, const std::string& right_index,
         }
       }
     } else {
+      ODE_RETURN_IF_ERROR(txn.LockIndexShared(right_index));
       ODE_RETURN_IF_ERROR(indexes.ScanExact(right_index, key, &matches));
     }
     local.right_rows += matches.size();
     for (const Oid& oid : matches) {
       Ref<R> right(&txn.db(), oid);
       if (txn.snapshot()) {
-        // The index's current key set can point at rows invisible at the
-        // snapshot (inserted after it, or since deleted); skip those.
+        // Entry visibility and object visibility resolve at the same cut;
+        // this re-check is defense in depth, not a correctness crutch.
         ODE_ASSIGN_OR_RETURN(const bool visible, txn.Exists(right));
         if (!visible) continue;
       }

@@ -43,11 +43,18 @@ struct CatalogData {
   struct IndexEntry {
     std::string name;
     ClusterId cluster = kInvalidClusterId;
-    PageId btree_root = kInvalidPageId;
+    /// The index's root-POINTER page (PageType::kIndexRoot): a one-level
+    /// indirection holding the current B-tree root id. Root splits rewrite
+    /// the pointer page as an ordinary shadowed page write, so index
+    /// maintenance never touches the catalog blob and needs no schema lock.
+    PageId root_page = kInvalidPageId;
+    /// Stable id, allocated from next_index_id; keys the per-index lock
+    /// resource (concur::IndexResource).
+    uint64_t id = 0;
 
     template <typename AR>
     void OdeFields(AR& ar) {
-      ar(name, cluster, btree_root);
+      ar(name, cluster, root_page, id);
     }
   };
 
@@ -69,6 +76,7 @@ struct CatalogData {
 
   uint32_t next_cluster_id = 1;
   uint32_t next_type_code = 1;
+  uint64_t next_index_id = 1;
   std::vector<TypeEntry> types;
   std::vector<ClusterEntry> clusters;
   std::vector<IndexEntry> indexes;
@@ -76,7 +84,8 @@ struct CatalogData {
 
   template <typename AR>
   void OdeFields(AR& ar) {
-    ar(next_cluster_id, next_type_code, types, clusters, indexes, triggers);
+    ar(next_cluster_id, next_type_code, next_index_id, types, clusters,
+       indexes, triggers);
   }
 
   // Convenience lookups (linear; catalogs are small).

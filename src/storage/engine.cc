@@ -209,12 +209,18 @@ Status StorageEngine::EnsureWriterToken(TxnState* txn) {
 
 void StorageEngine::FinishTxn(TxnState* txn, bool committed) {
   const TxnId id = txn->id;
-  if (txn->is_snapshot) {
-    // Retire this reader from the active-snapshot set; the GC watermark may
-    // advance past versions only this snapshot could still see.
+  if (txn->is_snapshot || txn->structure_op) {
     MutexLock lock(commit_mu_);
-    auto it = active_snapshots_.find(txn->snapshot_seq);
-    if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+    if (txn->is_snapshot) {
+      // Retire this reader from the active-snapshot set; the GC watermark
+      // may advance past versions only this snapshot could still see.
+      auto it = active_snapshots_.find(txn->snapshot_seq);
+      if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+    }
+    if (txn->structure_op && structure_ops_ > 0) {
+      // Lift the structure-op barrier; snapshots may begin again.
+      structure_ops_--;
+    }
   }
   UnbindTls();
   {
@@ -604,6 +610,12 @@ Result<uint64_t> StorageEngine::MarkSnapshot() {
   }
   if (state->is_snapshot) return state->snapshot_seq;
   MutexLock lock(commit_mu_);
+  if (structure_ops_ > 0) {
+    // A structure operation (delversion/drop cluster) is physically freeing
+    // storage; a snapshot minted now could resolve into it mid-flight.
+    // Busy — RunReadTransaction retries once the operation finishes.
+    return Status::Busy("snapshot must wait for an active structure op");
+  }
   // Mint from the durable horizon: every image with seq <= synced_seq_ is
   // installed in the pool (installs and the horizon advance under this
   // latch), so the snapshot reads a consistent committed cut. Images
@@ -646,6 +658,28 @@ uint64_t StorageEngine::SnapshotWatermark() const {
 size_t StorageEngine::active_snapshot_count() const {
   MutexLock lock(commit_mu_);
   return active_snapshots_.size();
+}
+
+Status StorageEngine::BeginStructureOp() {
+  TxnState* state = CurrentTxn();
+  if (state == nullptr) {
+    return Status::InvalidArgument("BeginStructureOp: no active transaction");
+  }
+  if (state->is_snapshot) {
+    return Status::InvalidArgument(
+        "BeginStructureOp: snapshot transactions are read-only");
+  }
+  if (state->structure_op) return Status::OK();
+  MutexLock lock(commit_mu_);
+  // Check and register under ONE critical section: either a snapshot exists
+  // (we back off) or the barrier is up before any snapshot can mint — there
+  // is no window where both proceed.
+  if (!active_snapshots_.empty()) {
+    return Status::Busy("structure op must wait for active snapshot readers");
+  }
+  state->structure_op = true;
+  structure_ops_++;
+  return Status::OK();
 }
 
 uint64_t StorageEngine::SyncedSeq() const {

@@ -182,6 +182,16 @@ class StorageEngine {
   /// physically free pages check this before proceeding).
   size_t active_snapshot_count() const;
 
+  /// Registers the calling thread's transaction as a STRUCTURE OPERATION —
+  /// one that physically frees storage other readers might still resolve
+  /// (delversion, drop cluster). Fails with Busy if any snapshot reader is
+  /// active; on success, MarkSnapshot returns Busy until this transaction
+  /// finishes. The check and the barrier registration happen under one
+  /// critical section, so a racing snapshot begin can never observe the
+  /// operation mid-flight (the delversion TOCTOU fix — see
+  /// docs/CONCURRENCY.md). Idempotent within a transaction.
+  Status BeginStructureOp();
+
   /// Highest publish sequence whose page images are installed in the pool
   /// (the durable horizon snapshot sequences are minted from).
   uint64_t SyncedSeq() const;
@@ -264,6 +274,9 @@ class StorageEngine {
     /// meaningful when is_snapshot is set (a fresh database mints seq 0).
     bool is_snapshot = false;
     uint64_t snapshot_seq = 0;
+    /// Set by BeginStructureOp: this transaction blocks new snapshots until
+    /// it finishes (structure_ops_ is decremented in FinishTxn).
+    bool structure_op = false;
     /// Commit sequence numbers of every appended-but-not-yet-synced image
     /// this transaction read or seeded a shadow from (see pending_). If any
     /// of them lands in a failed batch, this transaction read data that
@@ -368,6 +381,10 @@ class StorageEngine {
   /// Snapshot sequences of active snapshot readers (multiset: several
   /// snapshots can mint the same horizon). Min = the GC watermark.
   std::multiset<uint64_t> active_snapshots_ GUARDED_BY(commit_mu_);
+  /// Active structure operations (BeginStructureOp): while nonzero, new
+  /// snapshots are refused with Busy. Shares commit_mu_ with
+  /// active_snapshots_ so check-and-register is one critical section.
+  size_t structure_ops_ GUARDED_BY(commit_mu_) = 0;
 
   mutable Mutex txn_mu_;  ///< Guards txns_, vacuum gate, checkpoint gate.
   std::unordered_map<TxnId, std::unique_ptr<TxnState>> txns_

@@ -30,6 +30,7 @@ enum class PageType : uint8_t {
   kBTreeLeaf = 6,
   kBTreeInternal = 7,
   kBlob = 8,          ///< Catalog blob chain page.
+  kIndexRoot = 9,     ///< Index root-pointer page (holds the B-tree root id).
 };
 
 /// Superblock layout (offsets within page 0).

@@ -53,7 +53,7 @@ TEST_F(CatalogTest, SaveLoadRoundTrip) {
   data.types.push_back({"Person", 1});
   data.types.push_back({"Student", 2});
   data.clusters.push_back({1, "Person", 42});
-  data.indexes.push_back({"person_age", 1, 77});
+  data.indexes.push_back({"person_age", 1, 77, 3});
   CatalogData::TriggerActivation activation;
   activation.trigger_id = 9;
   activation.cluster = 1;
@@ -73,7 +73,8 @@ TEST_F(CatalogTest, SaveLoadRoundTrip) {
   ASSERT_EQ(loaded.clusters.size(), 1u);
   EXPECT_EQ(loaded.clusters[0].table_root, 42u);
   ASSERT_EQ(loaded.indexes.size(), 1u);
-  EXPECT_EQ(loaded.indexes[0].btree_root, 77u);
+  EXPECT_EQ(loaded.indexes[0].root_page, 77u);
+  EXPECT_EQ(loaded.indexes[0].id, 3u);
   ASSERT_EQ(loaded.triggers.size(), 1u);
   EXPECT_TRUE(loaded.triggers[0].perpetual);
   EXPECT_EQ(loaded.triggers[0].params, (std::vector<double>{1.5, 2.5}));

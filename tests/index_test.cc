@@ -91,16 +91,40 @@ TEST(IndexKeyTest, StringOrderPreservedWithTrickyCases) {
 TEST(IndexKeyTest, CompositeRoundTrip) {
   const Oid oid{7, 123};
   const std::string composite =
-      index_key::Compose(index_key::FromString("alpha"), oid);
+      index_key::Compose(index_key::FromString("alpha"), oid, 42);
   EXPECT_EQ(index_key::OidSuffix(Slice(composite)), oid);
+  EXPECT_EQ(index_key::SeqOf(Slice(composite)), 42u);
   EXPECT_EQ(index_key::UserKeyPrefix(Slice(composite)).ToString(),
             index_key::FromString("alpha"));
+  EXPECT_EQ(index_key::GroupPrefix(Slice(composite)).ToString(),
+            index_key::Compose(index_key::FromString("alpha"), oid, 9)
+                .substr(0, composite.size() - 8));
 }
 
 TEST(IndexKeyTest, CompositeTieBreaksByOid) {
   const std::string k = index_key::FromInt64(5);
-  EXPECT_LT(index_key::Compose(k, Oid{1, 1}), index_key::Compose(k, Oid{1, 2}));
-  EXPECT_LT(index_key::Compose(k, Oid{1, 9}), index_key::Compose(k, Oid{2, 0}));
+  EXPECT_LT(index_key::Compose(k, Oid{1, 1}, 1),
+            index_key::Compose(k, Oid{1, 2}, 1));
+  EXPECT_LT(index_key::Compose(k, Oid{1, 9}, 1),
+            index_key::Compose(k, Oid{2, 0}, 1));
+}
+
+TEST(IndexKeyTest, CompositeOrdersNewestFirstWithinGroup) {
+  // Within a (user key, oid) group the composite for the HIGHER commit seq
+  // sorts first, so a visibility scan meets the newest version first.
+  const std::string k = index_key::FromInt64(5);
+  EXPECT_LT(index_key::Compose(k, Oid{1, 1}, 9),
+            index_key::Compose(k, Oid{1, 1}, 3));
+  EXPECT_LT(index_key::Compose(k, Oid{1, 1}, index_key::kSeeAllSeq),
+            index_key::Compose(k, Oid{1, 1}, 0));
+}
+
+TEST(IndexKeyTest, TombstoneValueBit) {
+  const Oid oid{7, 123};
+  EXPECT_FALSE(index_key::IsTombstoneValue(index_key::MakeValue(oid, false)));
+  EXPECT_TRUE(index_key::IsTombstoneValue(index_key::MakeValue(oid, true)));
+  EXPECT_EQ(index_key::MakeValue(oid, true) & ~index_key::kTombstoneValueBit,
+            oid.Pack());
 }
 
 // --- IndexManager through the Database API -----------------------------------------

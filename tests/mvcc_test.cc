@@ -18,10 +18,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "query/join.h"
 #include "test_models.h"
 #include "test_util.h"
 
@@ -201,9 +203,8 @@ TEST_F(MvccTest, ConsistentCutUnderConcurrentTransfers) {
   std::vector<Ref<StockItem>> items;
   ASSERT_OK((*db_)->RunTransaction([&](Transaction& txn) -> Status {
     for (int i = 0; i < kItems; i++) {
-      // Index keys are stable: snapshot index scans read the index's
-      // current key set, so consistent-cut assertions must not depend on
-      // keys that churn (docs/CONCURRENCY.md, unversioned-index caveat).
+      // Quantities churn but keys stay put here; the versioned-entry suite
+      // below (SnapshotIndexScansUnderKeyChurn) hammers the key-churn case.
       ODE_ASSIGN_OR_RETURN(
           Ref<StockItem> ref,
           txn.New<StockItem>("item" + std::to_string(i), 1.0, 100, 0));
@@ -447,6 +448,267 @@ TEST_F(MvccTest, ConcurrentSameClusterInsertsUnderDurableCommits) {
     EXPECT_EQ(n, static_cast<size_t>(kThreads * kPerThread));
     return Status::OK();
   }));
+}
+
+// --- Versioned index entries (docs/STORAGE.md) --------------------------------------
+//
+// Index entries are commit-seq-stamped like object versions: a key update
+// publishes a tombstone for the old key and an add for the new one, and a
+// snapshot scan/probe filters entries at its cut. The suite below pins the
+// anomaly the versioning fixed: a snapshot probing a key that was mutated
+// AFTER the snapshot began must see the old key set, not the current one.
+
+// A snapshot probe finds the item under its old key and nothing under the
+// new key; a locked transaction sees the reverse. The snapshot path takes
+// no locks at all (concur.lock.acquires stays flat).
+TEST_F(MvccTest, SnapshotIndexProbeSeesCutKeySet) {
+  Open();
+  ASSERT_OK((*db_)->CreateIndex<StockItem>(
+      "mvcc_probe_idx",
+      [](const StockItem& s) { return index_key::FromString(s.name()); }));
+  Ref<StockItem> item = MakeItem("before", 1);
+
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+
+  CommitElsewhere([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(StockItem * w, txn.Write(item));
+    w->set_name("after");
+    return Status::OK();
+  });
+
+  Counter* acquires =
+      (*db_)->engine().metrics().GetCounter("concur.lock.acquires");
+  const uint64_t acquires_before = acquires->value();
+  size_t via_old = 0, via_new = 0;
+  ASSERT_OK(ForAll<StockItem>(*snap)
+                .ViaIndexExact("mvcc_probe_idx", index_key::FromString("before"))
+                .Do([&](Ref<StockItem> ref) -> Status {
+                  via_old++;
+                  EXPECT_EQ(ref.oid(), item.oid());
+                  ODE_ASSIGN_OR_RETURN(const StockItem* s, snap->Read(ref));
+                  EXPECT_EQ(s->name(), "before");  // Object read at same cut.
+                  return Status::OK();
+                }));
+  ASSERT_OK(ForAll<StockItem>(*snap)
+                .ViaIndexExact("mvcc_probe_idx", index_key::FromString("after"))
+                .Do([&](Ref<StockItem>) -> Status {
+                  via_new++;
+                  return Status::OK();
+                }));
+  EXPECT_EQ(via_old, 1u);
+  EXPECT_EQ(via_new, 0u);
+  EXPECT_EQ(acquires->value(), acquires_before)
+      << "snapshot index probe took a lock";
+  ASSERT_OK(snap->Commit());
+
+  // A locked transaction probes the current key set.
+  ASSERT_OK((*db_)->RunTransaction([&](Transaction& txn) -> Status {
+    size_t old_now = 0, new_now = 0;
+    ODE_RETURN_IF_ERROR(
+        ForAll<StockItem>(txn)
+            .ViaIndexExact("mvcc_probe_idx", index_key::FromString("before"))
+            .Do([&](Ref<StockItem>) -> Status {
+              old_now++;
+              return Status::OK();
+            }));
+    ODE_RETURN_IF_ERROR(
+        ForAll<StockItem>(txn)
+            .ViaIndexExact("mvcc_probe_idx", index_key::FromString("after"))
+            .Do([&](Ref<StockItem>) -> Status {
+              new_now++;
+              return Status::OK();
+            }));
+    EXPECT_EQ(old_now, 0u);
+    EXPECT_EQ(new_now, 1u);
+    return Status::OK();
+  }));
+}
+
+// An index join probing through a snapshot pairs rows as of the cut: a key
+// mutation plus a decoy insert under the old key, both after the snapshot
+// began, change nothing for the snapshot and everything for a locked join.
+TEST_F(MvccTest, SnapshotIndexJoinYieldsCutPairs) {
+  Open();
+  ASSERT_OK((*db_)->CreateCluster<Person>());
+  ASSERT_OK((*db_)->CreateIndex<StockItem>(
+      "mvcc_join_idx",
+      [](const StockItem& s) { return index_key::FromString(s.name()); }));
+  Ref<StockItem> original = MakeItem("alpha", 7);
+  Ref<Person> buyer;
+  ASSERT_OK((*db_)->RunTransaction([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(buyer, txn.New<Person>("alpha", 30, 1.0));
+    return Status::OK();
+  }));
+
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+
+  Ref<StockItem> decoy;
+  CommitElsewhere([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(StockItem * w, txn.Write(original));
+    w->set_name("beta");  // The buyer's key no longer matches this item...
+    ODE_ASSIGN_OR_RETURN(decoy,
+                         txn.New<StockItem>("alpha", 1.0, 1, 0));
+    return Status::OK();  // ...and a different item took the key over.
+  });
+
+  std::vector<Oid> snap_matches;
+  ASSERT_OK((IndexJoin<Person, StockItem>(
+      *snap, "mvcc_join_idx",
+      [](const Person& p) { return index_key::FromString(p.name()); },
+      [&](Ref<Person>, Ref<StockItem> right) -> Status {
+        snap_matches.push_back(right.oid());
+        return Status::OK();
+      })));
+  ASSERT_EQ(snap_matches.size(), 1u);
+  EXPECT_EQ(snap_matches[0], original.oid());
+  ASSERT_OK(snap->Commit());
+
+  ASSERT_OK((*db_)->RunTransaction([&](Transaction& txn) -> Status {
+    std::vector<Oid> now_matches;
+    ODE_RETURN_IF_ERROR((IndexJoin<Person, StockItem>(
+        txn, "mvcc_join_idx",
+        [](const Person& p) { return index_key::FromString(p.name()); },
+        [&](Ref<Person>, Ref<StockItem> right) -> Status {
+          now_matches.push_back(right.oid());
+          return Status::OK();
+        })));
+    EXPECT_EQ(now_matches, std::vector<Oid>{decoy.oid()});
+    return Status::OK();
+  }));
+}
+
+// The index sweep honors the snapshot watermark exactly like the object
+// sweep: superseded entries survive while a snapshot that can see them is
+// open, and are reclaimed the moment it closes.
+TEST_F(MvccTest, GcSparesSnapshotVisibleIndexVersions) {
+  Open();
+  ASSERT_OK((*db_)->CreateIndex<StockItem>(
+      "mvcc_gc_idx",
+      [](const StockItem& s) { return index_key::FromString(s.name()); }));
+  Ref<StockItem> item = MakeItem("a", 1);
+
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+
+  CommitElsewhere([&](Transaction& txn) -> Status {
+    ODE_ASSIGN_OR_RETURN(StockItem * w, txn.Write(item));
+    w->set_name("b");
+    return Status::OK();
+  });
+  // Physically: add("a"), tombstone("a"), add("b").
+  EXPECT_EQ(ASSERT_OK_AND_UNWRAP((*db_)->indexes().CountAllVersions("mvcc_gc_idx")),
+            3u);
+
+  {
+    Database::GcTotals totals;
+    std::thread gc([&] {
+      Status s = (*db_)->CollectVersionGarbage(&totals);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    });
+    gc.join();
+    EXPECT_EQ(totals.index_entries_reclaimed, 0u);
+  }
+  {
+    size_t hits = 0;
+    ASSERT_OK(ForAll<StockItem>(*snap)
+                  .ViaIndexExact("mvcc_gc_idx", index_key::FromString("a"))
+                  .Do([&](Ref<StockItem>) -> Status {
+                    hits++;
+                    return Status::OK();
+                  }));
+    EXPECT_EQ(hits, 1u);  // Old key still visible to the pinned snapshot.
+  }
+  ASSERT_OK(snap->Commit());
+
+  {
+    Database::GcTotals totals;
+    ASSERT_OK((*db_)->CollectVersionGarbage(&totals));
+    EXPECT_EQ(totals.index_entries_reclaimed, 2u);  // add("a") + its tombstone.
+    EXPECT_GE(totals.indexes, 1u);
+  }
+  EXPECT_EQ(ASSERT_OK_AND_UNWRAP((*db_)->indexes().CountAllVersions("mvcc_gc_idx")),
+            1u);  // Only add("b") remains.
+  ASSERT_OK((*db_)->RunTransaction([&](Transaction& txn) -> Status {
+    size_t a_hits = 0, b_hits = 0;
+    ODE_RETURN_IF_ERROR(ForAll<StockItem>(txn)
+                            .ViaIndexExact("mvcc_gc_idx",
+                                           index_key::FromString("a"))
+                            .Do([&](Ref<StockItem>) -> Status {
+                              a_hits++;
+                              return Status::OK();
+                            }));
+    ODE_RETURN_IF_ERROR(ForAll<StockItem>(txn)
+                            .ViaIndexExact("mvcc_gc_idx",
+                                           index_key::FromString("b"))
+                            .Do([&](Ref<StockItem>) -> Status {
+                              b_hits++;
+                              return Status::OK();
+                            }));
+    EXPECT_EQ(a_hits, 0u);
+    EXPECT_EQ(b_hits, 1u);
+    return Status::OK();
+  }));
+}
+
+// The key-churn hammer (run under TSan in CI): writers flip item names back
+// and forth while snapshot index scans run. Every cut must show exactly one
+// key per item — never both sides of a rename, never neither. The
+// background GC daemon sweeps concurrently to stress scan-vs-sweep.
+TEST_F(MvccTest, SnapshotIndexScansUnderKeyChurn) {
+  DatabaseOptions options = TestDb::FastOptions();
+  options.gc_interval_ms = 5;  // Daemon sweeps while scans run.
+  OpenWith(options);
+  constexpr int kItems = 8;
+  std::vector<Ref<StockItem>> items;
+  ASSERT_OK((*db_)->RunTransaction([&](Transaction& txn) -> Status {
+    for (int i = 0; i < kItems; i++) {
+      ODE_ASSIGN_OR_RETURN(
+          Ref<StockItem> ref,
+          txn.New<StockItem>("churn" + std::to_string(i) + "_x", 1.0, 1, 0));
+      items.push_back(ref);
+    }
+    return Status::OK();
+  }));
+  ASSERT_OK((*db_)->CreateIndex<StockItem>(
+      "mvcc_churn_idx",
+      [](const StockItem& s) { return index_key::FromString(s.name()); }));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; t++) {
+    writers.emplace_back([&, t] {
+      unsigned rng = 0xB5297A4Du * static_cast<unsigned>(t + 1);
+      while (!stop.load()) {
+        rng = rng * 1664525u + 1013904223u;
+        const int i = static_cast<int>((rng >> 8) % kItems);
+        (void)(*db_)->RunTransaction([&](Transaction& txn) -> Status {
+          ODE_ASSIGN_OR_RETURN(StockItem * w, txn.Write(items[i]));
+          const std::string base = "churn" + std::to_string(i);
+          w->set_name(w->name() == base + "_x" ? base + "_y" : base + "_x");
+          return Status::OK();
+        });
+      }
+    });
+  }
+
+  for (int round = 0; round < 50; round++) {
+    ASSERT_OK((*db_)->RunReadTransaction([&](Transaction& txn) -> Status {
+      std::set<uint64_t> seen;
+      ODE_RETURN_IF_ERROR(
+          ForAll<StockItem>(txn)
+              .ViaIndexRange("mvcc_churn_idx", std::string(), std::string())
+              .Do([&](Ref<StockItem> ref) -> Status {
+                EXPECT_TRUE(seen.insert(ref.oid().Pack()).second)
+                    << "item under both sides of a rename in one cut";
+                return Status::OK();
+              }));
+      EXPECT_EQ(seen.size(), static_cast<size_t>(kItems))
+          << "cut lost or duplicated an item";
+      return Status::OK();
+    }));
+  }
+
+  stop.store(true);
+  for (auto& w : writers) w.join();
 }
 
 }  // namespace

@@ -118,6 +118,7 @@ class StockItem {
   int reorder_level() const { return reorder_level_; }
   void set_quantity(int q) { quantity_ = q; }
   void set_price(double p) { price_ = p; }
+  void set_name(std::string n) { name_ = std::move(n); }
 
   template <typename AR>
   void OdeFields(AR& ar) {

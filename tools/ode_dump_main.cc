@@ -49,8 +49,9 @@ int main(int argc, char** argv) {
 
   printf("\nindexes (%zu):\n", cat.indexes.size());
   for (const auto& i : cat.indexes) {
-    printf("  %-24s cluster %-4u btree-root page %u\n", i.name.c_str(),
-           i.cluster, i.btree_root);
+    printf("  %-24s cluster %-4u root-pointer page %u id %llu\n", i.name.c_str(),
+           i.cluster, i.root_page,
+           static_cast<unsigned long long>(i.id));
   }
 
   printf("\ntrigger activations (%zu):\n", cat.triggers.size());

@@ -45,12 +45,14 @@ docs/STATIC_ANALYSIS.md):
                      the LockManager (docs/CONCURRENCY.md "MVCC snapshot
                      reads" — zero read-side lock waits is the contract).
                      Every direct lock_manager().Acquire( call site in
-                     src/core/transaction.cc must be preceded, in the same
-                     function, by a snapshot guard (`if (snapshot_) ...` or
-                     RejectIfSnapshot) so no lock acquisition is reachable on
-                     a snapshot code path. The one sanctioned exception is
-                     the S(schema) lock every transaction holds (allow it
-                     explicitly).
+                     src/core/transaction.cc — and every Lock*() helper call
+                     on the index read paths (src/core/forall.h,
+                     src/query/join.h, src/query/index_manager.cc) — must be
+                     preceded, in the same function, by a snapshot guard
+                     (`if (snapshot_)`, `txn.snapshot()` or RejectIfSnapshot)
+                     so no lock acquisition is reachable on a snapshot code
+                     path. The one sanctioned exception is the S(schema) lock
+                     every transaction holds (allow it explicitly).
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -304,13 +306,30 @@ def _offset_to_line_table(text):
 # --- Rule: snapshot-lock-free -------------------------------------------------
 
 LOCK_ACQUIRE_RE = re.compile(r"lock_manager\(\)\s*\.\s*Acquire\s*\(")
-SNAPSHOT_GUARD_RE = re.compile(r"\bsnapshot_\b|\bRejectIfSnapshot\s*\(")
+SNAPSHOT_GUARD_RE = re.compile(
+    r"\bsnapshot_\b|\bsnapshot\s*\(\)|\bRejectIfSnapshot\s*\("
+)
 FUNC_START_RE = re.compile(r"^\S.*\bTransaction::\w+\s*\(")
+# Index read paths lock through Transaction helpers, not Acquire directly;
+# a helper call with no snapshot guard earlier in the function would put a
+# lock on a snapshot scan/probe path.
+LOCK_HELPER_RE = re.compile(
+    r"\bLock(?:Cluster|Schema\w*|Index\w*|Object\w*)\s*\("
+)
+SNAPSHOT_LOCK_HELPER_FILES = (
+    "src/core/forall.h",
+    "src/query/join.h",
+    "src/query/index_manager.cc",
+)
 
 
 def check_snapshot_lock_free(path, raw_lines, stripped_lines, findings):
     norm = os.path.normpath(path).replace(os.sep, "/")
-    if not norm.endswith("src/core/transaction.cc"):
+    if norm.endswith("src/core/transaction.cc"):
+        lock_re = LOCK_ACQUIRE_RE
+    elif any(norm.endswith(f) for f in SNAPSHOT_LOCK_HELPER_FILES):
+        lock_re = LOCK_HELPER_RE
+    else:
         return
     guard_seen = False
     for idx, line in enumerate(stripped_lines, start=1):
@@ -318,7 +337,7 @@ def check_snapshot_lock_free(path, raw_lines, stripped_lines, findings):
             guard_seen = False  # new function scope (or left the previous one)
         if SNAPSHOT_GUARD_RE.search(line):
             guard_seen = True
-        if LOCK_ACQUIRE_RE.search(line):
+        if lock_re.search(line):
             if guard_seen:
                 continue
             if "snapshot-lock-free" in allowed_rules(raw_lines[idx - 1]):

@@ -119,10 +119,10 @@ Status CmdTypes(Database& db) {
 }
 
 Status CmdIndexes(Database& db) {
-  printf("%-24s %-8s %-12s %s\n", "name", "cluster", "btree-root", "entries");
+  printf("%-24s %-8s %-12s %s\n", "name", "cluster", "root-ptr", "entries");
   for (const auto& i : db.catalog().indexes) {
     auto count = db.indexes().CountEntries(i.name);
-    printf("%-24s %-8u %-12u %s\n", i.name.c_str(), i.cluster, i.btree_root,
+    printf("%-24s %-8u %-12u %s\n", i.name.c_str(), i.cluster, i.root_page,
            count.ok() ? std::to_string(count.value()).c_str() : "?");
   }
   return Status::OK();
