@@ -16,7 +16,12 @@ namespace concur {
 /// `Current()` answers "what is *my* transaction" from Ref dereferences and
 /// nested API calls, and commit/abort unbinds. Transactions are thread-
 /// affine — the thread that began one is the thread that must use and end it
-/// (see docs/CONCURRENCY.md). Committing no longer serializes sessions for
+/// (see docs/CONCURRENCY.md) — but the affinity can be MOVED: Unbind works
+/// from any thread, so Database::DetachSession/AttachSession migrate a
+/// session between threads (Unbind here + engine DetachTxn, then Bind from
+/// the adopting thread). The network server uses exactly that to let any
+/// pool worker service any connection's transaction, one request at a time
+/// (docs/SERVER.md). Committing no longer serializes sessions for
 /// the duration of an fsync: the engine's commit path hands the global
 /// writer token to the next session before blocking on group-commit
 /// durability (docs/STORAGE.md "Group commit"), so N sessions can have

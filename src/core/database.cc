@@ -161,6 +161,38 @@ Result<std::unique_ptr<Transaction>> Database::BeginSnapshot() {
   return txn;
 }
 
+Status Database::DetachSession(Transaction* txn) {
+  if (txn == nullptr || !txn->open()) {
+    return Status::InvalidArgument("DetachSession: transaction is not open");
+  }
+  if (sessions_.Current() != txn) {
+    return Status::InvalidArgument(
+        "DetachSession: not the calling thread's transaction");
+  }
+  ODE_RETURN_IF_ERROR(engine_->DetachTxn());
+  sessions_.Unbind(txn);
+  return Status::OK();
+}
+
+Status Database::AttachSession(Transaction* txn) {
+  if (txn == nullptr || !txn->open()) {
+    return Status::InvalidArgument("AttachSession: transaction is not open");
+  }
+  if (sessions_.Current() != nullptr) {
+    return Status::Busy(
+        "AttachSession: a transaction is already active on this thread");
+  }
+  ODE_RETURN_IF_ERROR(engine_->AttachTxn(txn->id()));
+  if (!sessions_.Bind(txn)) {
+    // Can't happen (the engine attach would have failed first), but keep the
+    // two layers consistent if it ever does.
+    Status detached = engine_->DetachTxn();
+    IgnoreStatus(detached, "attach_session_rollback");
+    return Status::Busy("AttachSession: session bind raced");
+  }
+  return Status::OK();
+}
+
 Status Database::RunReadTransaction(
     const std::function<Status(Transaction&)>& body) {
   for (int attempt = 0;; attempt++) {

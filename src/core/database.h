@@ -83,6 +83,21 @@ class Database {
   /// Ref<T>::operator->).
   Transaction* active_txn() const { return sessions_.Current(); }
 
+  // --- Session migration (the network server, docs/SERVER.md) --------------
+
+  /// Unbinds the calling thread's open transaction WITHOUT ending it: the
+  /// engine TLS binding and the session-map entry are released while the
+  /// transaction keeps its locks, caches and id. Until AttachSession adopts
+  /// it on some thread, no thread may operate on it. InvalidArgument if
+  /// `txn` is not the calling thread's open transaction.
+  Status DetachSession(Transaction* txn);
+
+  /// Adopts a transaction detached by DetachSession on the calling thread;
+  /// the pair lets a server worker pool service one connection's transaction
+  /// across many requests, one worker at a time. Busy if the calling thread
+  /// already has a transaction or `txn` is attached elsewhere.
+  Status AttachSession(Transaction* txn);
+
   // --- Clusters (paper §2.5) -----------------------------------------------
 
   /// The paper's `create(T)`: creates the cluster (type extent) for T.

@@ -401,6 +401,112 @@ Result<bool> Transaction::Exists(const RefBase& ref) {
   return !entry.is_version();
 }
 
+// --- Raw (untyped) record operations ----------------------------------------
+
+Status Transaction::RejectIfClusterIndexed(ClusterId cluster,
+                                           const char* op) const {
+  for (const CatalogData::IndexEntry& index : db_->catalog().indexes) {
+    if (index.cluster == cluster) {
+      return Status::NotSupported(
+          std::string(op) + ": cluster " + std::to_string(cluster) +
+          " has index '" + index.name +
+          "' and raw mutations cannot maintain it (no key extractor in "
+          "this process); use the typed API");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Transaction::RawRecord> Transaction::ReadRaw(Oid oid, uint32_t vnum) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  if (!oid.valid()) return Status::InvalidArgument("invalid object id");
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
+  RawRecord rec;
+  if (snapshot_) {
+    ODE_RETURN_IF_ERROR(db_->store().ReadSnapshot(root, oid.local, vnum,
+                                                  snapshot_seq_, &rec.bytes,
+                                                  &rec.type_code, &rec.vnum));
+    db_->core_metrics().snapshot_reads->Add();
+  } else {
+    ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kShared));
+    ODE_RETURN_IF_ERROR(db_->store().Read(root, oid.local, vnum, &rec.bytes,
+                                          &rec.type_code, &rec.vnum));
+  }
+  return rec;
+}
+
+Status Transaction::WriteRaw(Oid oid, const Slice& bytes) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("raw write"));
+  if (!oid.valid()) return Status::InvalidArgument("invalid object id");
+  ODE_RETURN_IF_ERROR(RejectIfClusterIndexed(oid.cluster, "raw write"));
+  ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
+  ODE_RETURN_IF_ERROR(db_->store().Update(root, oid.local, bytes));
+  // A typed cache copy (same transaction mixing APIs) must not flush over
+  // the raw bytes at commit, and vprev/vnext caches are stale now.
+  DropFromCache(oid);
+  InvalidateVersionCache(oid);
+  return Status::OK();
+}
+
+Result<Oid> Transaction::InsertRaw(ClusterId cluster, const Slice& bytes) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("raw insert"));
+  const CatalogData::ClusterEntry* entry = db_->catalog().FindCluster(cluster);
+  if (entry == nullptr) {
+    return Status::NotFound("no cluster " + std::to_string(cluster));
+  }
+  ODE_RETURN_IF_ERROR(RejectIfClusterIndexed(cluster, "raw insert"));
+  ODE_RETURN_IF_ERROR(LockClusterForCreation(cluster));
+  const CatalogData::TypeEntry* type_entry =
+      db_->catalog().FindType(entry->type_name);
+  if (type_entry == nullptr) {
+    return Status::Corruption("cluster " + std::to_string(cluster) +
+                              " type '" + entry->type_name + "' has no code");
+  }
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(cluster));
+  LocalOid local;
+  ODE_RETURN_IF_ERROR(
+      db_->store().Insert(root, type_entry->code, bytes, &local));
+  const Oid oid{cluster, local};
+  ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
+  return oid;
+}
+
+Status Transaction::DeleteRaw(Oid oid) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("raw delete"));
+  if (!oid.valid()) return Status::InvalidArgument("invalid object id");
+  ODE_RETURN_IF_ERROR(RejectIfClusterIndexed(oid.cluster, "raw delete"));
+  ODE_RETURN_IF_ERROR(LockObject(oid, concur::LockMode::kExclusive));
+  ODE_RETURN_IF_ERROR(LockCluster(oid.cluster, concur::LockMode::kExclusive));
+  // Persistent trigger activations die with the object, exactly as in the
+  // typed Delete path.
+  auto& activations = db_->catalog().triggers;
+  const bool any_activations = std::any_of(
+      activations.begin(), activations.end(),
+      [&](const CatalogData::TriggerActivation& a) {
+        return a.cluster == oid.cluster && a.local == oid.local;
+      });
+  if (any_activations) {
+    ODE_RETURN_IF_ERROR(LockSchemaExclusive());
+    activations.erase(
+        std::remove_if(activations.begin(), activations.end(),
+                       [&](const CatalogData::TriggerActivation& a) {
+                         return a.cluster == oid.cluster &&
+                                a.local == oid.local;
+                       }),
+        activations.end());
+    ODE_RETURN_IF_ERROR(db_->SaveCatalog());
+  }
+  ODE_ASSIGN_OR_RETURN(PageId root, db_->TableRootOf(oid.cluster));
+  ODE_RETURN_IF_ERROR(db_->store().Delete(root, oid.local));
+  InvalidateVersionCache(oid);
+  DropFromCache(oid);
+  return Status::OK();
+}
+
 // --- Versioning ------------------------------------------------------------------
 
 Result<uint32_t> Transaction::NewVersion(const RefBase& ref) {
@@ -585,11 +691,15 @@ Result<uint32_t> Transaction::NextVersionOf(const RefBase& ref, uint32_t vnum) {
 // --- Schema ------------------------------------------------------------------------
 
 Status Transaction::CreateClusterByName(const std::string& type_name) {
-  if (!open_) return Status::TransactionAborted("transaction is closed");
-  ODE_RETURN_IF_ERROR(RejectIfSnapshot("create cluster"));
   if (TypeRegistry::Global().Find(type_name) == nullptr) {
     return Status::NotSupported("type not registered: " + type_name);
   }
+  return CreateClusterRaw(type_name);
+}
+
+Status Transaction::CreateClusterRaw(const std::string& type_name) {
+  if (!open_) return Status::TransactionAborted("transaction is closed");
+  ODE_RETURN_IF_ERROR(RejectIfSnapshot("create cluster"));
   if (db_->catalog().FindClusterByType(type_name) != nullptr) {
     return Status::AlreadyExists("cluster for " + type_name);
   }

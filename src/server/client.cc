@@ -1,0 +1,242 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ode {
+namespace server {
+
+namespace {
+
+// A client should never need to buffer more than the server would send; keep
+// in lockstep with the server-side bound.
+constexpr size_t kMaxFrameBytes = 64u << 20;
+
+Status Errno(const char* op) {
+  return Status::IOError(std::string(op) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status Client::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) return Status::InvalidArgument("Client: already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("Client: bad host " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("connect");
+    Close();
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  HelloReq hello;
+  Status s = RoundtripNoPayload(MsgType::kHello, EncodeBody(hello));
+  if (!s.ok()) Close();
+  return s;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+}
+
+Status Client::SendFrame(MsgType type, const std::string& body) {
+  if (fd_ < 0) return Status::IOError("Client: not connected");
+  std::string wire;
+  AppendFrame(&wire, type, body);
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status Client::RecvFrame(Frame* frame) {
+  if (fd_ < 0) return Status::IOError("Client: not connected");
+  char buf[16384];
+  for (;;) {
+    size_t consumed = 0;
+    switch (TryParseFrame(in_, kMaxFrameBytes, frame, &consumed)) {
+      case ParseResult::kFrame:
+        in_.erase(0, consumed);
+        return Status::OK();
+      case ParseResult::kMalformed:
+        return Status::Corruption("malformed frame from server");
+      case ParseResult::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status Client::Call(MsgType type, const std::string& body, Reply* reply,
+                    const std::function<Status(const Frame&)>& on_chunk) {
+  ODE_RETURN_IF_ERROR(SendFrame(type, body));
+  for (;;) {
+    Frame frame;
+    ODE_RETURN_IF_ERROR(RecvFrame(&frame));
+    if (frame.type == MsgType::kReply) {
+      if (!DecodeBody(Slice(frame.body), reply)) {
+        return Status::Corruption("malformed reply from server");
+      }
+      return Status::OK();
+    }
+    if (frame.type == MsgType::kScanChunk && on_chunk != nullptr) {
+      ODE_RETURN_IF_ERROR(on_chunk(frame));
+      continue;
+    }
+    return Status::Corruption("unexpected frame type from server");
+  }
+}
+
+template <typename T>
+Status Client::Roundtrip(MsgType type, const std::string& body, T* out) {
+  Reply reply;
+  ODE_RETURN_IF_ERROR(Call(type, body, &reply));
+  ODE_RETURN_IF_ERROR(StatusFromWire(reply.code, std::move(reply.message)));
+  if (out != nullptr && !DecodeBody(Slice(reply.payload), out)) {
+    return Status::Corruption("malformed reply payload from server");
+  }
+  return Status::OK();
+}
+
+Status Client::RoundtripNoPayload(MsgType type, const std::string& body) {
+  Reply reply;
+  ODE_RETURN_IF_ERROR(Call(type, body, &reply));
+  return StatusFromWire(reply.code, std::move(reply.message));
+}
+
+Status Client::Ping(uint32_t delay_ms) {
+  PingReq req;
+  req.delay_ms = delay_ms;
+  return RoundtripNoPayload(MsgType::kPing, EncodeBody(req));
+}
+
+Status Client::Begin() {
+  return RoundtripNoPayload(MsgType::kBegin, std::string());
+}
+
+Status Client::BeginSnapshot() {
+  return RoundtripNoPayload(MsgType::kBeginSnapshot, std::string());
+}
+
+Status Client::Commit() {
+  return RoundtripNoPayload(MsgType::kCommit, std::string());
+}
+
+Status Client::Abort() {
+  return RoundtripNoPayload(MsgType::kAbort, std::string());
+}
+
+Result<ReadResp> Client::Read(uint32_t cluster, uint32_t local,
+                              uint32_t vnum) {
+  ReadReq req;
+  req.cluster = cluster;
+  req.local = local;
+  req.vnum = vnum;
+  ReadResp out;
+  ODE_RETURN_IF_ERROR(Roundtrip(MsgType::kRead, EncodeBody(req), &out));
+  return out;
+}
+
+Status Client::Write(uint32_t cluster, uint32_t local,
+                     const std::string& bytes) {
+  WriteReq req;
+  req.cluster = cluster;
+  req.local = local;
+  req.bytes = bytes;
+  return RoundtripNoPayload(MsgType::kWrite, EncodeBody(req));
+}
+
+Result<OidResp> Client::Insert(uint32_t cluster, const std::string& bytes) {
+  InsertReq req;
+  req.cluster = cluster;
+  req.bytes = bytes;
+  OidResp out;
+  ODE_RETURN_IF_ERROR(Roundtrip(MsgType::kInsert, EncodeBody(req), &out));
+  return out;
+}
+
+Status Client::Delete(uint32_t cluster, uint32_t local) {
+  DeleteReq req;
+  req.cluster = cluster;
+  req.local = local;
+  return RoundtripNoPayload(MsgType::kDelete, EncodeBody(req));
+}
+
+Result<uint32_t> Client::EnsureCluster(const std::string& type_name) {
+  EnsureClusterReq req;
+  req.type_name = type_name;
+  ClusterResp out;
+  ODE_RETURN_IF_ERROR(
+      Roundtrip(MsgType::kEnsureCluster, EncodeBody(req), &out));
+  return out.cluster;
+}
+
+Result<ListClustersResp> Client::ListClusters() {
+  ListClustersResp out;
+  ODE_RETURN_IF_ERROR(
+      Roundtrip(MsgType::kListClusters, std::string(), &out));
+  return out;
+}
+
+Result<uint64_t> Client::Scan(const ScanReq& req,
+                              const std::function<void(const ScanRecord&)>& fn) {
+  Reply reply;
+  auto on_chunk = [&](const Frame& frame) -> Status {
+    ScanChunk chunk;
+    if (!DecodeBody(Slice(frame.body), &chunk)) {
+      return Status::Corruption("malformed scan chunk from server");
+    }
+    if (fn != nullptr) {
+      for (const ScanRecord& rec : chunk.records) fn(rec);
+    }
+    return Status::OK();
+  };
+  ODE_RETURN_IF_ERROR(Call(MsgType::kScan, EncodeBody(req), &reply, on_chunk));
+  ODE_RETURN_IF_ERROR(StatusFromWire(reply.code, std::move(reply.message)));
+  ScanDone done;
+  if (!DecodeBody(Slice(reply.payload), &done)) {
+    return Status::Corruption("malformed scan summary from server");
+  }
+  return done.count;
+}
+
+Result<std::string> Client::Statsz() {
+  StatszResp out;
+  ODE_RETURN_IF_ERROR(Roundtrip(MsgType::kStatsz, std::string(), &out));
+  return std::move(out.text);
+}
+
+}  // namespace server
+}  // namespace ode

@@ -1,0 +1,100 @@
+#ifndef ODE_SERVER_CLIENT_H_
+#define ODE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace ode {
+namespace server {
+
+/// A blocking ode_serverd client: one TCP connection, one request in flight.
+/// Used by `ode_shell --connect`, tests/server_test.cc and bench_server.
+/// Not thread-safe; give each thread its own Client.
+///
+/// Error model: transport failures (connect/send/recv) surface as IOError;
+/// everything else is the server-side Status reconstructed from the kReply
+/// frame — in particular Status::Busy means the request was shed by
+/// admission control and is safe to retry after backoff (docs/SERVER.md).
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and performs the Hello handshake.
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  Status Ping(uint32_t delay_ms = 0);
+
+  // --- Transactions (at most one open per connection) ----------------------
+  Status Begin();
+  Status BeginSnapshot();
+  Status Commit();
+  Status Abort();
+
+  // --- Raw records -----------------------------------------------------------
+  Result<ReadResp> Read(uint32_t cluster, uint32_t local,
+                        uint32_t vnum = kGenericVersion);
+  Status Write(uint32_t cluster, uint32_t local, const std::string& bytes);
+  Result<OidResp> Insert(uint32_t cluster, const std::string& bytes);
+  Status Delete(uint32_t cluster, uint32_t local);
+
+  // --- Schema / scan / introspection ----------------------------------------
+  Result<uint32_t> EnsureCluster(const std::string& type_name);
+  Result<ListClustersResp> ListClusters();
+  /// Streams the cluster; `fn` sees each record in local-oid order. Returns
+  /// the server-side record count.
+  Result<uint64_t> Scan(const ScanReq& req,
+                        const std::function<void(const ScanRecord&)>& fn);
+  /// The server's metrics registry rendered as text (the /statsz dump).
+  Result<std::string> Statsz();
+
+  // --- Typed conveniences (Archive-encodable T) ------------------------------
+  template <typename T>
+  Result<OidResp> InsertAs(uint32_t cluster, T obj) {
+    return Insert(cluster, EncodeBody(std::move(obj)));
+  }
+  template <typename T>
+  Status WriteAs(uint32_t cluster, uint32_t local, T obj) {
+    return Write(cluster, local, EncodeBody(std::move(obj)));
+  }
+  template <typename T>
+  Result<T> ReadAs(uint32_t cluster, uint32_t local) {
+    Result<ReadResp> r = Read(cluster, local);
+    if (!r.ok()) return r.status();
+    T obj{};
+    if (!DecodeBody(Slice(r.value().bytes), &obj)) {
+      return Status::Corruption("record bytes do not decode as the requested "
+                                "type");
+    }
+    return obj;
+  }
+
+ private:
+  /// Sends one request frame and reads frames until the kReply, invoking
+  /// `on_chunk` for any kScanChunk in between.
+  Status Call(MsgType type, const std::string& body, Reply* reply,
+              const std::function<Status(const Frame&)>& on_chunk = nullptr);
+  Status SendFrame(MsgType type, const std::string& body);
+  Status RecvFrame(Frame* frame);
+  /// Runs Call and converts the wire status; on OK decodes `out` (when
+  /// non-null) from the reply payload.
+  template <typename T>
+  Status Roundtrip(MsgType type, const std::string& body, T* out);
+  Status RoundtripNoPayload(MsgType type, const std::string& body);
+
+  int fd_ = -1;
+  std::string in_;  ///< Unparsed inbound bytes.
+};
+
+}  // namespace server
+}  // namespace ode
+
+#endif  // ODE_SERVER_CLIENT_H_

@@ -1,0 +1,68 @@
+#include "server/protocol.h"
+
+#include "util/coding.h"
+
+namespace ode {
+namespace server {
+
+void AppendFrame(std::string* out, MsgType type, const std::string& body) {
+  const uint32_t len = static_cast<uint32_t>(body.size() + 1);
+  char header[kFrameHeaderBytes];
+  EncodeFixed32(header, len);
+  out->append(header, sizeof(header));
+  out->push_back(static_cast<char>(type));
+  out->append(body);
+}
+
+void AppendReply(std::string* out, const Status& status,
+                 const std::string& payload) {
+  Reply reply;
+  reply.code = static_cast<uint8_t>(status.code());
+  reply.message = status.message();
+  if (status.ok()) reply.payload = payload;
+  AppendFrame(out, MsgType::kReply, EncodeBody(reply));
+}
+
+Status StatusFromWire(uint8_t code, std::string message) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(message));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(message));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(message));
+    case Status::Code::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(std::move(message));
+    case Status::Code::kConstraintViolation:
+      return Status::ConstraintViolation(std::move(message));
+    case Status::Code::kTransactionAborted:
+      return Status::TransactionAborted(std::move(message));
+    case Status::Code::kBusy:
+      return Status::Busy(std::move(message));
+    case Status::Code::kDeadlock:
+      return Status::Deadlock(std::move(message));
+  }
+  return Status::Corruption("unknown wire status code " +
+                            std::to_string(code));
+}
+
+ParseResult TryParseFrame(const std::string& buf, size_t max_frame_bytes,
+                          Frame* frame, size_t* consumed) {
+  if (buf.size() < kFrameHeaderBytes) return ParseResult::kNeedMore;
+  const uint32_t len = DecodeFixed32(buf.data());
+  if (len < 1 || len > max_frame_bytes) return ParseResult::kMalformed;
+  if (buf.size() < kFrameHeaderBytes + len) return ParseResult::kNeedMore;
+  frame->type = static_cast<MsgType>(buf[kFrameHeaderBytes]);
+  frame->body.assign(buf, kFrameHeaderBytes + 1, len - 1);
+  *consumed = kFrameHeaderBytes + len;
+  return ParseResult::kFrame;
+}
+
+}  // namespace server
+}  // namespace ode

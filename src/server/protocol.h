@@ -1,0 +1,285 @@
+#ifndef ODE_SERVER_PROTOCOL_H_
+#define ODE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "objstore/object_id.h"
+#include "serial/archive.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+namespace server {
+
+/// The ODE wire protocol (docs/SERVER.md): length-prefixed binary frames
+/// whose bodies reuse the serial/ Archive encoding — the same byte format
+/// objects are stored in, so a raw record read off disk is shipped to the
+/// client verbatim.
+///
+/// Frame layout (all integers little-endian, matching Archive):
+///
+///   +----------------+------+-------------------------------+
+///   | u32 len        | u8   | body: len-1 bytes,            |
+///   | (type + body)  | type | WriteArchive-encoded struct   |
+///   +----------------+------+-------------------------------+
+///
+/// A connection starts with a kHello request (magic + version); every
+/// request then gets exactly one terminal kReply frame, except kScan which
+/// streams zero or more kScanChunk frames first. Truncated or malformed
+/// bodies flip ReadArchive::ok() and are answered with InvalidArgument (and
+/// count in server.protocol_errors); an oversized or garbage length prefix
+/// closes the connection.
+
+inline constexpr uint32_t kMagic = 0x4F444557;  // "ODEW"
+inline constexpr uint32_t kVersion = 1;
+
+/// Frame header: u32 length covering the type byte + body.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kHello = 1,
+  kPing = 2,
+  kBegin = 3,          ///< Start a write transaction on this connection.
+  kBeginSnapshot = 4,  ///< Start a read-only MVCC snapshot transaction.
+  kCommit = 5,
+  kAbort = 6,
+  kRead = 7,
+  kWrite = 8,
+  kInsert = 9,
+  kDelete = 10,
+  kEnsureCluster = 11,
+  kListClusters = 12,
+  kScan = 13,    ///< ForAll over a cluster, streamed in kScanChunk frames.
+  kStatsz = 14,  ///< Plain-text metrics-registry dump (/statsz).
+
+  // Responses.
+  kReply = 64,      ///< Terminal status (+ op-specific payload) per request.
+  kScanChunk = 65,  ///< One batch of scan records; kReply follows the last.
+};
+
+// --- Request/response bodies (Archive-encoded) ------------------------------
+
+struct HelloReq {
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(magic, version);
+  }
+};
+
+struct PingReq {
+  /// Honored only when ServerOptions::enable_test_sleep is set (tests use it
+  /// to park a worker deterministically and saturate the request queue).
+  uint32_t delay_ms = 0;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(delay_ms);
+  }
+};
+
+struct ReadReq {
+  uint32_t cluster = kInvalidClusterId;
+  uint32_t local = kInvalidLocalOid;
+  uint32_t vnum = kGenericVersion;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(cluster, local, vnum);
+  }
+};
+
+struct ReadResp {
+  std::string bytes;
+  uint32_t type_code = 0;
+  uint32_t vnum = 0;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(bytes, type_code, vnum);
+  }
+};
+
+struct WriteReq {
+  uint32_t cluster = kInvalidClusterId;
+  uint32_t local = kInvalidLocalOid;
+  std::string bytes;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(cluster, local, bytes);
+  }
+};
+
+struct InsertReq {
+  uint32_t cluster = kInvalidClusterId;
+  std::string bytes;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(cluster, bytes);
+  }
+};
+
+struct OidResp {
+  uint32_t cluster = kInvalidClusterId;
+  uint32_t local = kInvalidLocalOid;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(cluster, local);
+  }
+};
+
+struct DeleteReq {
+  uint32_t cluster = kInvalidClusterId;
+  uint32_t local = kInvalidLocalOid;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(cluster, local);
+  }
+};
+
+struct EnsureClusterReq {
+  std::string type_name;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(type_name);
+  }
+};
+
+struct ClusterResp {
+  uint32_t cluster = kInvalidClusterId;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(cluster);
+  }
+};
+
+struct ClusterInfo {
+  uint32_t id = kInvalidClusterId;
+  std::string type_name;
+  /// Object-table entries (heads + explicit versions; cheap catalog-side
+  /// census, not a snapshot-exact count).
+  uint32_t entries = 0;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(id, type_name, entries);
+  }
+};
+
+struct ListClustersResp {
+  std::vector<ClusterInfo> clusters;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(clusters);
+  }
+};
+
+struct ScanReq {
+  uint32_t cluster = kInvalidClusterId;
+  uint32_t start = 0;  ///< First local oid to consider.
+  uint32_t limit = 0;  ///< 0 = no limit.
+  uint8_t with_bytes = 1;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(cluster, start, limit, with_bytes);
+  }
+};
+
+struct ScanRecord {
+  uint32_t local = kInvalidLocalOid;
+  uint32_t type_code = 0;
+  uint32_t vnum = 0;
+  std::string bytes;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(local, type_code, vnum, bytes);
+  }
+};
+
+struct ScanChunk {
+  std::vector<ScanRecord> records;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(records);
+  }
+};
+
+struct ScanDone {
+  uint64_t count = 0;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(count);
+  }
+};
+
+struct StatszResp {
+  std::string text;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(text);
+  }
+};
+
+/// The terminal frame of every request: the operation's Status plus, on OK,
+/// the op-specific response struct (Archive-encoded into `payload`).
+struct Reply {
+  uint8_t code = 0;  ///< static_cast<uint8_t>(Status::Code).
+  std::string message;
+  std::string payload;
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(code, message, payload);
+  }
+};
+
+// --- Encoding helpers --------------------------------------------------------
+
+template <typename T>
+std::string EncodeBody(T msg) {
+  std::string out;
+  WriteArchive ar(&out);
+  ar(msg);
+  return out;
+}
+
+/// Decodes a frame body, requiring every byte to be consumed (trailing
+/// garbage is as malformed as a truncated body).
+template <typename T>
+bool DecodeBody(Slice body, T* msg) {
+  ReadArchive ar(body, /*db=*/nullptr);
+  ar(*msg);
+  return ar.ok() && ar.remaining().empty();
+}
+
+/// Appends one `len | type | body` frame to `out`.
+void AppendFrame(std::string* out, MsgType type, const std::string& body);
+
+/// Appends a kReply carrying `status` (and an optional payload on OK).
+void AppendReply(std::string* out, const Status& status,
+                 const std::string& payload = std::string());
+
+/// Reconstructs a Status from its wire code + message.
+Status StatusFromWire(uint8_t code, std::string message);
+
+/// One parsed inbound frame.
+struct Frame {
+  MsgType type;
+  std::string body;
+};
+
+/// Result of TryParseFrame on a byte buffer.
+enum class ParseResult {
+  kNeedMore,   ///< Incomplete header or body; read more bytes.
+  kFrame,      ///< *frame holds the next frame; *consumed bytes were used.
+  kMalformed,  ///< Hopeless (oversized/garbage length); close the connection.
+};
+
+/// Attempts to parse one frame from the front of `buf`. `max_frame_bytes`
+/// bounds the declared length (admission control against hostile prefixes).
+ParseResult TryParseFrame(const std::string& buf, size_t max_frame_bytes,
+                          Frame* frame, size_t* consumed);
+
+}  // namespace server
+}  // namespace ode
+
+#endif  // ODE_SERVER_PROTOCOL_H_

@@ -1,0 +1,229 @@
+#ifndef ODE_SERVER_SERVER_H_
+#define ODE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/database.h"
+#include "core/transaction.h"
+#include "server/protocol.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace ode {
+namespace server {
+
+/// Tuning for ode_serverd (docs/SERVER.md "Lifecycle").
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (tests/benches); read it back via port().
+  int port = 0;
+  /// Pool workers executing requests (the event loop itself never runs
+  /// transaction bodies).
+  int worker_threads = 4;
+  /// High-water bound for dynamic pool growth. A worker blocks for the
+  /// duration of a lock wait, and an interactive transaction holds its locks
+  /// across client roundtrips — so when every worker is blocked on a lock
+  /// whose holder's next request is still queued, the pool wedges and only
+  /// lock-wait timeouts make progress. Dispatching into a pool with no idle
+  /// worker therefore spawns a new one up to this bound (the pool never
+  /// shrinks; idle threads are cheap). Tests pin it to worker_threads to get
+  /// a deterministically saturable pool.
+  int max_worker_threads = 128;
+  /// Bounded request queue (admission control, mirroring TriggerExecutor):
+  /// a request arriving while the queue is full is answered Busy instead of
+  /// being buffered without bound.
+  size_t queue_capacity = 64;
+  /// A connection idle this long (no bytes, no request in flight) is closed;
+  /// an open transaction it holds is aborted — a dead client must not pin
+  /// locks or the writer token forever.
+  int idle_timeout_ms = 60000;
+  /// Bound on blocking for one response write to a slow client (per-request
+  /// output timeout); exceeded = connection closed, transaction aborted.
+  int write_timeout_ms = 10000;
+  /// Graceful drain: after stopping the listener, connections with an open
+  /// transaction get this long to finish before being aborted.
+  int drain_timeout_ms = 5000;
+  /// Largest accepted frame (length prefix bound).
+  size_t max_frame_bytes = 4u << 20;
+  /// Honor PingReq::delay_ms (tests park a worker to saturate the queue).
+  bool enable_test_sleep = false;
+};
+
+/// A multi-client network front-end over one open Database: an epoll event
+/// loop reads length-prefixed Archive frames off TCP connections and a
+/// worker pool executes them as transactions. Each connection owns at most
+/// one open transaction; between requests it is detached from any thread
+/// (Database::DetachSession), and whichever worker picks up the next request
+/// adopts it (AttachSession) — SessionManager affinity made migratory.
+/// Admission control is a bounded request queue: overflow is answered
+/// Status::Busy, never buffered unboundedly (docs/SERVER.md).
+class Server {
+ public:
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the loop + worker threads. `db` must outlive
+  /// the server and stay open until after Shutdown().
+  static Status Start(Database* db, const ServerOptions& options,
+                      std::unique_ptr<Server>* out);
+
+  /// The bound port (resolves ServerOptions::port == 0).
+  int port() const { return port_; }
+
+  /// Graceful drain: stop accepting, let connections with open transactions
+  /// finish for up to drain_timeout_ms, abort the stragglers, stop the
+  /// threads, then run one CollectVersionGarbage pass so a shut-down server
+  /// leaves a compacted store. Idempotent; also called by the destructor.
+  Status Shutdown();
+
+ private:
+  /// Per-connection state. The event loop owns the fd registration and the
+  /// conns_ map; workers own a connection's request processing while
+  /// `busy` — the mutex guards every handoff between the two.
+  struct Conn {
+    uint64_t id = 0;
+    Mutex mu;
+    /// -1 once closed (guards workers racing epoll_ctl against close()).
+    int fd GUARDED_BY(mu) = -1;
+    std::string in GUARDED_BY(mu);            ///< Unparsed inbound bytes.
+    std::deque<Frame> pending GUARDED_BY(mu); ///< Parsed, undispatched.
+    std::string out GUARDED_BY(mu);           ///< Unsent response bytes.
+    bool busy GUARDED_BY(mu) = false;     ///< A worker owns this connection.
+    bool closing GUARDED_BY(mu) = false;  ///< Tear down at next loop visit.
+    bool want_write GUARDED_BY(mu) = false;  ///< EPOLLOUT armed.
+    bool hello_done GUARDED_BY(mu) = false;
+    /// Plain-text /statsz mode: flush `out`, then close.
+    bool text_mode GUARDED_BY(mu) = false;
+    /// The connection's open cross-request transaction (detached from all
+    /// threads except while a worker processes a request for it).
+    std::unique_ptr<Transaction> txn GUARDED_BY(mu);
+    std::atomic<int64_t> last_active_ms{0};
+  };
+
+  struct Work {
+    std::shared_ptr<Conn> conn;
+    Frame frame;
+    int64_t enqueued_us = 0;
+  };
+
+  Server(Database* db, const ServerOptions& options);
+
+  Status Init();
+  void LoopMain();
+  void WorkerMain();
+  /// Adds one pool thread (REQUIRES(mu_) so a concurrent Shutdown can never
+  /// miss a just-spawned worker when it swaps `workers_` out for joining).
+  void SpawnWorkerLocked() REQUIRES(mu_);
+
+  // --- Event-loop side ------------------------------------------------------
+  void AcceptNew();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void ParseFrames(const std::shared_ptr<Conn>& conn, Conn& c)
+      REQUIRES(c.mu);
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  void HandleWakeups();
+  void ScanIdleAndDrain(int64_t now_ms);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void WakeLoop();
+
+  // --- Shared (loop or worker) ---------------------------------------------
+  /// Dispatches the next pending frame to the worker queue; a full queue
+  /// sheds the request with an immediate Busy reply. (`c` is `*conn`; the
+  /// split lets the thread-safety annotation name the locked member.)
+  void TryDispatch(const std::shared_ptr<Conn>& conn, Conn& c)
+      REQUIRES(c.mu);
+  /// Non-blocking send of `out`; arms EPOLLOUT on partial writes.
+  void Flush(Conn& c) REQUIRES(c.mu);
+  void UpdateInterest(Conn& c) REQUIRES(c.mu);
+  /// Queues `conn` for the loop thread to revisit (close/re-arm).
+  void RequestLoopAttention(const std::shared_ptr<Conn>& conn);
+
+  // --- Worker side ----------------------------------------------------------
+  void Process(const std::shared_ptr<Conn>& conn, Frame frame,
+               int64_t enqueued_us);
+  void HandleRequest(const std::shared_ptr<Conn>& conn, const Frame& frame,
+                     std::string* resp, bool* fatal);
+  Status StreamScan(const std::shared_ptr<Conn>& conn, Transaction& txn,
+                    const ScanReq& req, uint64_t* count);
+  /// Appends pre-encoded frames to the connection's output and blocks (with
+  /// write_timeout_ms) until the buffer drains below the high-water mark.
+  Status EmitFrames(const std::shared_ptr<Conn>& conn, const std::string& bytes);
+
+  std::string RenderStatsText() const;
+
+  Database* db_;
+  const ServerOptions options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  std::thread loop_thread_;
+
+  /// Server-wide state: the bounded request queue, the loop-attention list
+  /// and lifecycle flags.
+  ///
+  /// The queue is two-tier: requests that advance a connection's already-open
+  /// transaction (`txn_queue_`) dispatch before requests admitting new work
+  /// (`queue_`). Open transactions hold locks, and the Commit that would
+  /// release a lock must never starve behind fresh admissions — with a small
+  /// pool and many interactive connections, FIFO alone livelocks: every
+  /// worker blocks on a lock whose holder's next request is queued behind it,
+  /// and only lock-wait timeouts make progress (docs/SERVER.md "Scheduling").
+  mutable Mutex mu_;
+  std::deque<Work> queue_ GUARDED_BY(mu_);      ///< New-work requests.
+  std::deque<Work> txn_queue_ GUARDED_BY(mu_);  ///< Open-transaction requests.
+  CondVar queue_cv_;  ///< Signaled on queue push and on stopping_.
+  /// The worker pool, dynamically grown (never shrunk) up to
+  /// max_worker_threads: admitting work with no idle worker spawns one, so
+  /// workers blocked in lock waits cannot starve the queued requests that
+  /// would release those locks (docs/SERVER.md "Scheduling").
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
+  int idle_workers_ GUARDED_BY(mu_) = 0;   ///< Workers parked in queue_cv_.
+  int total_workers_ GUARDED_BY(mu_) = 0;  ///< Pool size (high-water).
+  std::vector<std::shared_ptr<Conn>> attention_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;  ///< Workers must exit.
+  bool drained_ GUARDED_BY(mu_) = false;   ///< Loop finished closing conns.
+  CondVar drained_cv_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_loop_{false};
+  std::atomic<bool> shut_down_{false};
+
+  /// Loop-thread-only connection table (workers reach conns via the
+  /// shared_ptr in their Work item, never through this map).
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+  bool threads_started_ = false;  ///< Init reached thread spawn.
+  bool drain_started_ = false;    ///< Loop-local drain bookkeeping.
+  int64_t drain_deadline_ms_ = 0;
+
+  // server.* metrics (docs/OBSERVABILITY.md), resolved once at Start.
+  Counter* m_accepted_;
+  Gauge* m_active_;
+  Counter* m_requests_;
+  Histogram* m_request_us_;
+  Counter* m_busy_rejections_;
+  Counter* m_protocol_errors_;
+  Gauge* m_queue_depth_;
+  Counter* m_bytes_in_;
+  Counter* m_bytes_out_;
+  Counter* m_drain_aborted_;
+  Counter* m_idle_closed_;
+  Counter* m_drain_gc_runs_;
+  Gauge* m_workers_;
+};
+
+}  // namespace server
+}  // namespace ode
+
+#endif  // ODE_SERVER_SERVER_H_

@@ -199,6 +199,48 @@ Result<TxnId> StorageEngine::BeginTxn() {
   return raw->id;
 }
 
+Status StorageEngine::DetachTxn() {
+  TxnState* state = CurrentTxn();
+  if (state == nullptr) {
+    return Status::InvalidArgument(
+        "DetachTxn: no active transaction on this thread");
+  }
+  {
+    // txn_mu_ publishes every shadow-page write this thread made to whichever
+    // thread attaches next (its AttachTxn acquires the same mutex).
+    MutexLock lock(txn_mu_);
+    state->detached = true;
+    state->owner = std::thread::id();
+  }
+  UnbindTls();
+  return Status::OK();
+}
+
+Status StorageEngine::AttachTxn(TxnId txn) {
+  if (CurrentTxn() != nullptr) {
+    return Status::Busy("AttachTxn: a transaction is already active on this "
+                        "thread");
+  }
+  TxnState* state = nullptr;
+  {
+    MutexLock lock(txn_mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) {
+      return Status::NotFound("AttachTxn: no active transaction " +
+                              std::to_string(txn));
+    }
+    if (!it->second->detached) {
+      return Status::Busy("AttachTxn: transaction " + std::to_string(txn) +
+                          " is attached to another thread");
+    }
+    it->second->detached = false;
+    it->second->owner = std::this_thread::get_id();
+    state = it->second.get();
+  }
+  BindTls(state);
+  return Status::OK();
+}
+
 Status StorageEngine::EnsureWriterToken(TxnState* txn) {
   if (txn->has_writer_token) return Status::OK();
   ODE_RETURN_IF_ERROR(locks_->Acquire(txn->id, concur::kWriterResource,

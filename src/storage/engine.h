@@ -141,6 +141,22 @@ class StorageEngine {
   /// `release_locks` contract as CommitTxn.
   Status AbortTxn(TxnId txn, bool release_locks = true);
 
+  /// Releases the calling thread's transaction binding WITHOUT ending the
+  /// transaction, so another thread can adopt it with AttachTxn. The
+  /// transaction keeps its locks, shadow pages and id; until someone
+  /// attaches it, no thread can operate on it. This is the session-migration
+  /// primitive behind the network server: a connection's transaction hops
+  /// between pool workers, one request at a time (docs/SERVER.md).
+  /// InvalidArgument if the calling thread has no transaction here.
+  Status DetachTxn();
+
+  /// Adopts a previously detached transaction on the calling thread. Busy if
+  /// this thread already has a transaction or if `txn` is currently attached
+  /// elsewhere; NotFound if the id is not an active transaction. The
+  /// detaching thread's writes happen-before the attaching thread's reads
+  /// (both sides synchronize on the transaction table mutex).
+  Status AttachTxn(TxnId txn);
+
   /// Releases every lock `txn` holds (for callers that committed/aborted
   /// with release_locks=false).
   void ReleaseTxnLocks(TxnId txn);
@@ -262,6 +278,9 @@ class StorageEngine {
   struct TxnState {
     TxnId id = 0;
     std::thread::id owner;
+    /// True between DetachTxn and AttachTxn: no thread is bound to this
+    /// transaction and any thread may adopt it.
+    bool detached = false;
     /// Private copies of every page this transaction wrote. std::map so
     /// commit logs images in page order (deterministic WAL layout).
     std::map<PageId, std::unique_ptr<char[]>> shadows;

@@ -41,6 +41,13 @@ docs/STATIC_ANALYSIS.md):
                      added to STORAGE_MUTEX_ALLOWLIST here; an unreviewed
                      mutex is a lock-order inversion waiting to happen.
 
+  server-mutex       The network server's mutex set is curated the same way:
+                     its lock order (Conn::mu -> Server::mu_, documented in
+                     docs/SERVER.md "Scheduling") is what keeps the epoll
+                     loop, the workers and Shutdown deadlock-free. A new
+                     ode::Mutex member under src/server/ must be slotted into
+                     that order and added to SERVER_MUTEX_ALLOWLIST here.
+
   snapshot-lock-free Read-only snapshot transactions must never acquire from
                      the LockManager (docs/CONCURRENCY.md "MVCC snapshot
                      reads" — zero read-side lock waits is the contract).
@@ -233,6 +240,45 @@ def check_storage_mutexes(path, raw_lines, stripped_lines, findings):
                     f"new mutex member '{name}' in the storage layer — slot "
                     "it into the documented lock order (docs/STORAGE.md) and "
                     "add it to STORAGE_MUTEX_ALLOWLIST in tools/ode_lint.py",
+                )
+            )
+
+
+# --- Rule: server-mutex -------------------------------------------------------
+
+# The reviewed mutex set of src/server/. The lock order is strict: a thread
+# holding Conn::mu may take Server::mu_, never the reverse
+# (docs/SERVER.md "Scheduling"). Extending the server with a new mutex means
+# slotting it into that order and extending this list in the same change.
+SERVER_MUTEX_ALLOWLIST = {
+    "src/server/server.h": {"mu_", "mu"},  # Server::mu_, Conn::mu
+}
+
+
+def check_server_mutexes(path, raw_lines, stripped_lines, findings):
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    if "src/server/" not in norm:
+        return
+    allowed = set()
+    for suffix, names in SERVER_MUTEX_ALLOWLIST.items():
+        if norm.endswith(suffix):
+            allowed = names
+            break
+    for idx, line in enumerate(stripped_lines, start=1):
+        for m in MUTEX_DECL_RE.finditer(line):
+            name = m.group(1)
+            if name in allowed:
+                continue
+            if "server-mutex" in allowed_rules(raw_lines[idx - 1]):
+                continue
+            findings.append(
+                Finding(
+                    "server-mutex",
+                    path,
+                    idx,
+                    f"new mutex member '{name}' in the server layer — slot "
+                    "it into the documented lock order (docs/SERVER.md) and "
+                    "add it to SERVER_MUTEX_ALLOWLIST in tools/ode_lint.py",
                 )
             )
 
@@ -475,6 +521,7 @@ def main():
             "txn-ptr-member",
             "test-labels",
             "storage-mutex",
+            "server-mutex",
             "snapshot-lock-free",
         ],
         help="run only the named rule(s); default: all",
@@ -502,6 +549,8 @@ def main():
             check_mutexes(rel, raw_lines, stripped_lines, findings)
         if on("storage-mutex"):
             check_storage_mutexes(rel, raw_lines, stripped_lines, findings)
+        if on("server-mutex"):
+            check_server_mutexes(rel, raw_lines, stripped_lines, findings)
         if on("snapshot-lock-free"):
             check_snapshot_lock_free(rel, raw_lines, stripped_lines, findings)
         if on("naked-new-in-txn"):

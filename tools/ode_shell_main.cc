@@ -3,7 +3,15 @@
 // on the catalog and raw records, so any database can be examined.
 //
 // Usage: ode_shell <path/to/db> [-c "cmd; cmd; ..."]
+//        ode_shell --connect <host:port> [-c "cmd; cmd; ..."]
 //        ode_shell <path/to/db> --faults [rounds]
+//
+// The --connect form speaks the ode_serverd wire protocol (docs/SERVER.md)
+// instead of opening a database file; `help` lists the remote command set.
+//
+// Exit status: 0 on success, 1 on hard errors, 3 when the server shed the
+// request with Status::Busy (admission control) — retryable, so scripts can
+// back off and rerun instead of treating it as a failure.
 //
 // The second form is a crash-fault soak: each round opens the database's
 // storage engine with a fault injected at a random syscall site, runs a
@@ -34,6 +42,7 @@
 
 #include "core/ode.h"
 #include "core/verify.h"
+#include "server/client.h"
 #include "util/coding.h"
 #include "util/random.h"
 
@@ -314,6 +323,199 @@ Status Dispatch(Database& db, const std::string& line, bool* quit) {
                                  "' (try 'help')");
 }
 
+// --- Remote mode (--connect, docs/SERVER.md) --------------------------------
+
+/// Busy means the server's admission control shed the request — a retryable
+/// condition scripts should distinguish from hard failures.
+int ExitCodeFor(const Status& s) {
+  if (s.ok()) return 0;
+  return s.IsBusy() ? 3 : 1;
+}
+
+void PrintError(const Status& s) {
+  if (s.IsBusy()) {
+    fprintf(stderr, "busy (retryable): %s\n", s.message().c_str());
+  } else {
+    fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  }
+}
+
+void PrintRemoteHelp() {
+  printf(
+      "remote commands (ode_serverd wire protocol):\n"
+      "  clusters                  list clusters with entry counts\n"
+      "  mkcluster <type>          create the cluster for a type name\n"
+      "  scan <cluster> [limit]    stream a cluster's records\n"
+      "  get <cluster> <oid>       read one record\n"
+      "  insert <cluster> <text>   insert raw bytes, print the new oid\n"
+      "  set <cluster> <oid> <text>  overwrite a record's bytes\n"
+      "  del <cluster> <oid>       delete an object\n"
+      "  begin / snapshot          open a (snapshot) transaction\n"
+      "  commit / abort            end the open transaction\n"
+      "  ping [delay_ms]           round-trip the server\n"
+      "  stats                     server metrics registry (/statsz)\n"
+      "  quit                      exit\n");
+}
+
+Status RemoteDispatch(ode::server::Client& client, const std::string& line,
+                      bool* quit) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) return Status::OK();
+  if (cmd == "quit" || cmd == "exit") {
+    *quit = true;
+    return Status::OK();
+  }
+  if (cmd == "help") {
+    PrintRemoteHelp();
+    return Status::OK();
+  }
+  if (cmd == "ping") {
+    uint32_t delay_ms = 0;
+    in >> delay_ms;
+    return client.Ping(delay_ms);
+  }
+  if (cmd == "begin") return client.Begin();
+  if (cmd == "snapshot") return client.BeginSnapshot();
+  if (cmd == "commit") return client.Commit();
+  if (cmd == "abort") return client.Abort();
+  if (cmd == "clusters") {
+    ODE_ASSIGN_OR_RETURN(ode::server::ListClustersResp resp,
+                         client.ListClusters());
+    printf("%-6s %-32s %s\n", "id", "type", "entries");
+    for (const auto& c : resp.clusters) {
+      printf("%-6u %-32s %u\n", c.id, c.type_name.c_str(), c.entries);
+    }
+    return Status::OK();
+  }
+  if (cmd == "mkcluster") {
+    std::string type_name;
+    if (!(in >> type_name)) {
+      return Status::InvalidArgument("usage: mkcluster <type>");
+    }
+    ODE_ASSIGN_OR_RETURN(uint32_t cluster, client.EnsureCluster(type_name));
+    printf("cluster %u\n", cluster);
+    return Status::OK();
+  }
+  if (cmd == "scan") {
+    ode::server::ScanReq req;
+    if (!(in >> req.cluster)) {
+      return Status::InvalidArgument("usage: scan <cluster> [limit]");
+    }
+    req.limit = 20;
+    in >> req.limit;
+    printf("%-8s %-6s %-6s %s\n", "oid", "vnum", "bytes", "preview");
+    ODE_ASSIGN_OR_RETURN(
+        uint64_t count,
+        client.Scan(req, [](const ode::server::ScanRecord& rec) {
+          printf("%-8u %-6u %-6zu %s\n", rec.local, rec.vnum,
+                 rec.bytes.size(), Preview(rec.bytes).c_str());
+        }));
+    printf("(%llu record%s)\n", static_cast<unsigned long long>(count),
+           count == 1 ? "" : "s");
+    return Status::OK();
+  }
+  if (cmd == "get") {
+    ClusterId cluster;
+    LocalOid local;
+    if (!(in >> cluster >> local)) {
+      return Status::InvalidArgument("usage: get <cluster> <oid>");
+    }
+    ODE_ASSIGN_OR_RETURN(ode::server::ReadResp resp,
+                         client.Read(cluster, local));
+    printf("(%u:%u) type-code %u v%u, %zu bytes: %s\n", cluster, local,
+           resp.type_code, resp.vnum, resp.bytes.size(),
+           Preview(resp.bytes).c_str());
+    return Status::OK();
+  }
+  if (cmd == "insert") {
+    ClusterId cluster;
+    if (!(in >> cluster)) {
+      return Status::InvalidArgument("usage: insert <cluster> <text>");
+    }
+    std::string text;
+    std::getline(in, text);
+    while (!text.empty() && text.front() == ' ') text.erase(0, 1);
+    ODE_ASSIGN_OR_RETURN(ode::server::OidResp oid,
+                         client.Insert(cluster, text));
+    printf("inserted (%u:%u)\n", oid.cluster, oid.local);
+    return Status::OK();
+  }
+  if (cmd == "set") {
+    ClusterId cluster;
+    LocalOid local;
+    if (!(in >> cluster >> local)) {
+      return Status::InvalidArgument("usage: set <cluster> <oid> <text>");
+    }
+    std::string text;
+    std::getline(in, text);
+    while (!text.empty() && text.front() == ' ') text.erase(0, 1);
+    ODE_RETURN_IF_ERROR(client.Write(cluster, local, text));
+    printf("ok\n");
+    return Status::OK();
+  }
+  if (cmd == "del") {
+    ClusterId cluster;
+    LocalOid local;
+    if (!(in >> cluster >> local)) {
+      return Status::InvalidArgument("usage: del <cluster> <oid>");
+    }
+    ODE_RETURN_IF_ERROR(client.Delete(cluster, local));
+    printf("deleted (%u:%u)\n", cluster, local);
+    return Status::OK();
+  }
+  if (cmd == "stats") {
+    ODE_ASSIGN_OR_RETURN(std::string text, client.Statsz());
+    printf("%s", text.c_str());
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown remote command '" + cmd +
+                                 "' (try 'help')");
+}
+
+int RunRemote(const std::string& target, const std::string& script) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    fprintf(stderr, "ode_shell: --connect expects host:port\n");
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = atoi(target.c_str() + colon + 1);
+
+  ode::server::Client client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    PrintError(s);
+    return ExitCodeFor(s);
+  }
+
+  bool quit = false;
+  if (!script.empty()) {
+    std::istringstream commands(script);
+    std::string line;
+    while (!quit && std::getline(commands, line, ';')) {
+      Status status = RemoteDispatch(client, line, &quit);
+      if (!status.ok()) {
+        PrintError(status);
+        return ExitCodeFor(status);
+      }
+    }
+    return 0;
+  }
+  std::string line;
+  printf("ode shell (remote %s:%d) — type 'help' for commands\n", host.c_str(),
+         port);
+  while (!quit) {
+    printf("ode> ");
+    fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    Status status = RemoteDispatch(client, line, &quit);
+    if (!status.ok()) PrintError(status);
+  }
+  return 0;
+}
+
 // --- Crash-fault soak (--faults) -------------------------------------------
 
 constexpr int kSoakPages = 32;
@@ -436,12 +638,15 @@ int RunFaultSoak(const std::string& path, int rounds) {
 int main(int argc, char** argv) {
   std::string path;
   std::string script;
+  std::string connect;
   bool faults = false;
   int fault_rounds = 100;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     if (arg == "-c" && i + 1 < argc) {
       script = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
     } else if (arg == "--faults") {
       faults = true;
       if (i + 1 < argc && isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
@@ -451,13 +656,18 @@ int main(int argc, char** argv) {
       path = arg;
     } else {
       fprintf(stderr,
-              "usage: ode_shell <db> [-c \"cmd; cmd\"] | <db> --faults [n]\n");
+              "usage: ode_shell <db> [-c \"cmd; cmd\"] | --connect host:port "
+              "[-c ...] | <db> --faults [n]\n");
       return 2;
     }
   }
+  if (!connect.empty()) {
+    return RunRemote(connect, script);
+  }
   if (path.empty()) {
     fprintf(stderr,
-            "usage: ode_shell <db> [-c \"cmd; cmd\"] | <db> --faults [n]\n");
+            "usage: ode_shell <db> [-c \"cmd; cmd\"] | --connect host:port "
+            "[-c ...] | <db> --faults [n]\n");
     return 2;
   }
   if (faults) {
@@ -480,8 +690,8 @@ int main(int argc, char** argv) {
     while (!quit && std::getline(commands, line, ';')) {
       Status status = Dispatch(*db, line, &quit);
       if (!status.ok()) {
-        fprintf(stderr, "error: %s\n", status.ToString().c_str());
-        return 1;
+        PrintError(status);
+        return ExitCodeFor(status);
       }
     }
   } else {
@@ -493,7 +703,7 @@ int main(int argc, char** argv) {
       if (!std::getline(std::cin, line)) break;
       Status status = Dispatch(*db, line, &quit);
       if (!status.ok()) {
-        fprintf(stderr, "error: %s\n", status.ToString().c_str());
+        PrintError(status);
       }
     }
   }
