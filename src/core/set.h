@@ -68,8 +68,10 @@ struct OSetData {
     hash_valid_ = true;
   }
 
-  mutable std::unordered_set<uint64_t> hash_;
-  mutable bool hash_valid_ = false;
+  // Transient membership cache, rebuilt lazily from members_ after load;
+  // deliberately excluded from OdeFields so the on-disk format is unchanged.
+  mutable std::unordered_set<uint64_t> hash_;       // ode-analyzer: allow(archive-symmetry)
+  mutable bool hash_valid_ = false;                 // ode-analyzer: allow(archive-symmetry)
 };
 
 /// Registers OSetData with the type registry (idempotent); called by

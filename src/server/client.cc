@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 
 namespace ode {
 namespace server {
@@ -19,7 +20,9 @@ namespace {
 constexpr size_t kMaxFrameBytes = 64u << 20;
 
 Status Errno(const char* op) {
-  return Status::IOError(std::string(op) + ": " + std::strerror(errno));
+  // std::generic_category().message() is thread-safe; strerror() is not.
+  return Status::IOError(std::string(op) + ": " +
+                         std::generic_category().message(errno));
 }
 
 }  // namespace

@@ -263,7 +263,7 @@ Status StatusFromWire(uint8_t code, std::string message);
 
 /// One parsed inbound frame.
 struct Frame {
-  MsgType type;
+  MsgType type{};  ///< Zero (no valid message) until TryParseFrame fills it.
   std::string body;
 };
 

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <system_error>
 
 #include "util/logging.h"
 #include "util/slice.h"
@@ -47,7 +48,10 @@ int64_t NowUs() {
 }
 
 Status Errno(const char* op) {
-  return Status::IOError(std::string(op) + ": " + std::strerror(errno));
+  // Not strerror(): workers and the loop thread build these concurrently,
+  // and strerror's static buffer is a data race (concurrency-mt-unsafe).
+  return Status::IOError(std::string(op) + ": " +
+                         std::generic_category().message(errno));
 }
 
 }  // namespace

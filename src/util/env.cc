@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 #include <vector>
 
 namespace ode {
@@ -15,7 +16,8 @@ namespace ode {
 namespace {
 
 Status ErrnoStatus(const std::string& context) {
-  return Status::IOError(context + ": " + strerror(errno));
+  // std::generic_category().message() is thread-safe; strerror() is not.
+  return Status::IOError(context + ": " + std::generic_category().message(errno));
 }
 
 /// The plain POSIX implementation behind Env::Default().

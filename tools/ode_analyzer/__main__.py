@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""ode_analyzer — AST/call-graph static analysis for the ODE engine.
+
+Proves the concurrency and lifetime invariants that tools/ode_lint.py can
+only pattern-match (docs/STATIC_ANALYSIS.md, tier 3):
+
+  lock-order          acquisition-graph cycle + documented-order inversion
+                      detection over every ode::MutexLock site, propagated
+                      through the call graph
+  snapshot-lock-free  call-graph proof that no snapshot read path reaches
+                      LockManager::Acquire without a snapshot guard
+  txn-escape          transaction-scoped Object* escaping into members,
+                      async lambdas, or across Commit()/Abort()
+  dropped-status      Status/Result-returning calls whose result is dropped
+                      (including unsanctioned `(void)` casts)
+  archive-symmetry    OdeFields field coverage + Encode*/Decode* field-op
+                      sequence equality (wire/format-skew class)
+
+Usage:
+  python3 tools/ode_analyzer --root . --build build
+  python3 tools/ode_analyzer --sources f1.cc f2.h        # explicit file set
+  python3 tools/ode_analyzer --update-baseline            # accept findings
+
+Exit status: 0 clean (or fully baselined/suppressed), 1 new findings,
+2 usage/internal error.
+
+Suppress a finding on a specific line with a trailing
+`// ode-analyzer: allow(<check>)` comment; the snapshot check also honors
+the historical `// ode-lint: allow(snapshot-lock-free)` marker so the two
+tiers share one sanctioned-exception list.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cxx_index  # noqa: E402
+import cxx_lexer  # noqa: E402
+from checks import ALL_CHECKS, CHECKS  # noqa: E402
+from program import Program  # noqa: E402
+
+ALLOW_RE = re.compile(r"//\s*ode-analyzer:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+LINT_ALLOW_RE = re.compile(r"//\s*ode-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+DEFAULT_SCOPE = ("src",)
+
+
+def load_config(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def gather_sources(root, build_dir, scope):
+    """TU list = compile_commands.json entries within scope + all headers
+    under scope (headers carry inline bodies the checks must see)."""
+    files = set()
+    cc_path = os.path.join(build_dir, "compile_commands.json")
+    if os.path.exists(cc_path):
+        try:
+            with open(cc_path, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    p = os.path.normpath(
+                        os.path.join(entry.get("directory", ""), entry["file"]))
+                    rel = os.path.relpath(p, root)
+                    if any(rel == s or rel.startswith(s + os.sep)
+                           for s in scope):
+                        files.add(rel)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"ode_analyzer: unreadable {cc_path}: {e}", file=sys.stderr)
+    for s in scope:
+        base = os.path.join(root, s)
+        for dirpath, _, filenames in os.walk(base):
+            for fn in filenames:
+                if fn.endswith((".h", ".cc")):
+                    files.add(os.path.relpath(os.path.join(dirpath, fn), root))
+    return sorted(files)
+
+
+def file_hash(text):
+    h = hashlib.sha1()
+    h.update(f"v{cxx_lexer.LEXER_VERSION}.{cxx_index.INDEX_VERSION}:".encode())
+    h.update(text.encode("utf-8", errors="replace"))
+    return h.hexdigest()
+
+
+def index_with_cache(root, rel, text, cache_dir):
+    h = file_hash(text)
+    cache_file = None
+    if cache_dir:
+        name = hashlib.sha1(rel.encode()).hexdigest() + ".json"
+        cache_file = os.path.join(cache_dir, name)
+        try:
+            with open(cache_file, encoding="utf-8") as f:
+                cached = json.load(f)
+            if cached.get("hash") == h:
+                return cached["index"], True
+        except (OSError, ValueError):
+            pass
+    idx = cxx_index.index_file(rel, text)
+    if cache_file:
+        os.makedirs(cache_dir, exist_ok=True)
+        tmp = cache_file + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump({"hash": h, "index": idx}, f)
+            os.replace(tmp, cache_file)
+        except OSError:
+            pass
+    return idx, False
+
+
+def collect_suppressions(texts):
+    """Maps check -> set of (file, line) allowed sites."""
+    supp = {c: set() for c in CHECKS}
+    for rel, text in texts.items():
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = ALLOW_RE.search(line)
+            if m:
+                for c in (r.strip() for r in m.group(1).split(",")):
+                    if c in supp:
+                        supp[c].add((rel, lineno))
+            m = LINT_ALLOW_RE.search(line)
+            if m and "snapshot-lock-free" in m.group(1):
+                supp["snapshot-lock-free"].add((rel, lineno))
+    return supp
+
+
+def fingerprint(finding):
+    h = hashlib.sha1(
+        f"{finding.check}|{finding.file}|{finding.key}".encode()).hexdigest()
+    return h[:16]
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="ode_analyzer", description=__doc__.splitlines()[0])
+    here = os.path.dirname(os.path.abspath(__file__))
+    default_root = os.path.dirname(os.path.dirname(here))
+    ap.add_argument("--root", default=default_root)
+    ap.add_argument("--build", default=None,
+                    help="build dir holding compile_commands.json "
+                         "(default: <root>/build)")
+    ap.add_argument("--scope", action="append", default=None,
+                    help="top-level dirs to analyze (default: src)")
+    ap.add_argument("--sources", nargs="*", default=None,
+                    help="explicit file list (overrides scope/compile "
+                         "commands; used by the self-test)")
+    ap.add_argument("--check", action="append", choices=list(CHECKS),
+                    default=None, help="run only the named check(s)")
+    ap.add_argument("--config", default=os.path.join(here, "config.json"))
+    ap.add_argument("--baseline", default=os.path.join(here, "baseline.json"))
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline file (report everything)")
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--cache-dir", default=None,
+                    help="parsed-index cache directory (reused across runs "
+                         "keyed by file content hash)")
+    ap.add_argument("--frontend", choices=("tokens", "clang"),
+                    default="tokens",
+                    help="'tokens' = built-in structural frontend (default, "
+                         "deterministic); 'clang' = libclang via "
+                         "clang.cindex when installed, falling back to "
+                         "tokens with a warning")
+    ap.add_argument("--json", dest="json_out", default=None,
+                    help="also write findings as JSON to this path")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    build_dir = args.build or os.path.join(root, "build")
+    scope = tuple(args.scope) if args.scope else DEFAULT_SCOPE
+
+    try:
+        config = load_config(args.config)
+    except (OSError, ValueError) as e:
+        print(f"ode_analyzer: cannot load config {args.config}: {e}",
+              file=sys.stderr)
+        return 2
+
+    if args.sources is not None:
+        rels = [os.path.relpath(os.path.abspath(s), root) for s in args.sources]
+    else:
+        rels = gather_sources(root, build_dir, scope)
+    if not rels:
+        print("ode_analyzer: no sources found", file=sys.stderr)
+        return 2
+
+    frontend = args.frontend
+    clang_fe = None
+    if frontend == "clang":
+        try:
+            import clang_frontend
+            clang_fe = clang_frontend.ClangFrontend(root, build_dir)
+            print(f"ode_analyzer: libclang frontend "
+                  f"({clang_fe.library_desc()})")
+        except Exception as e:  # noqa: BLE001 — any cindex failure degrades
+            print(f"ode_analyzer: libclang unavailable ({e}); "
+                  f"falling back to the token frontend", file=sys.stderr)
+            frontend = "tokens"
+
+    t0 = time.monotonic()
+    texts = {}
+    indexes = {}
+    cache_hits = 0
+    for rel in rels:
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"ode_analyzer: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        texts[rel] = text
+        idx, hit = index_with_cache(root, rel, text, args.cache_dir)
+        cache_hits += 1 if hit else 0
+        if clang_fe is not None:
+            try:
+                clang_fe.refine(rel, path, idx)
+            except Exception as e:  # noqa: BLE001
+                print(f"ode_analyzer: clang refine failed on {rel}: {e}",
+                      file=sys.stderr)
+        indexes[rel] = idx
+    parse_s = time.monotonic() - t0
+
+    prog = Program(indexes)
+    supp = collect_suppressions(texts)
+
+    selected = args.check or list(CHECKS)
+    all_findings = []
+    table = []
+    for name in CHECKS:
+        if name not in selected:
+            continue
+        tc = time.monotonic()
+        findings = ALL_CHECKS[name](prog, config, supp[name])
+        dt = time.monotonic() - tc
+        table.append((name, findings, dt))
+        all_findings.extend(findings)
+
+    # Baseline.
+    baseline = set()
+    if not args.no_baseline and os.path.exists(args.baseline):
+        try:
+            with open(args.baseline, encoding="utf-8") as f:
+                baseline = set(json.load(f).get("findings", []))
+        except (OSError, ValueError) as e:
+            print(f"ode_analyzer: bad baseline {args.baseline}: {e}",
+                  file=sys.stderr)
+            return 2
+
+    new = [fd for fd in all_findings if fingerprint(fd) not in baseline]
+    old = [fd for fd in all_findings if fingerprint(fd) in baseline]
+
+    if args.update_baseline:
+        data = {
+            "comment": "ode_analyzer accepted-findings baseline; regenerate "
+                       "with: python3 tools/ode_analyzer --update-baseline. "
+                       "Prefer fixing or inline-allowing findings; the "
+                       "baseline is for accepted debt only.",
+            "findings": sorted({fingerprint(fd) for fd in all_findings}),
+        }
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(data, f, indent=2)
+            f.write("\n")
+        print(f"ode_analyzer: baseline updated with "
+              f"{len(data['findings'])} fingerprint(s)")
+
+    for fd in new:
+        print(fd)
+
+    # Per-check summary table (CI job log).
+    print(f"\node_analyzer: {len(rels)} files, frontend={frontend}, "
+          f"parse {parse_s:.2f}s ({cache_hits} cache hits)")
+    print(f"{'check':<20} {'findings':>8} {'baselined':>9} {'new':>5} "
+          f"{'time':>8}")
+    for name, findings, dt in table:
+        nb = sum(1 for fd in findings if fingerprint(fd) in baseline)
+        nn = len(findings) - nb
+        print(f"{name:<20} {len(findings):>8} {nb:>9} {nn:>5} {dt:>7.2f}s")
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump([{
+                "check": fd.check, "file": fd.file, "line": fd.line,
+                "msg": fd.msg, "fingerprint": fingerprint(fd),
+                "baselined": fingerprint(fd) in baseline,
+            } for fd in all_findings], f, indent=2)
+
+    if new and not args.update_baseline:
+        print(f"\node_analyzer: {len(new)} new finding(s) "
+              f"({len(old)} baselined)", file=sys.stderr)
+        return 1
+    print(f"ode_analyzer: clean ({len(old)} baselined finding(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,455 @@
+"""The five ODE-specific checks, over a linked Program.
+
+Each check returns a list of Finding objects. Suppression (inline allow
+comments + baseline) is applied by the driver; checks receive the set of
+already-suppressed (file, line) pairs where pruning must happen *before*
+graph propagation (lock-order, snapshot) so a sanctioned site does not
+poison transitive results.
+"""
+
+import collections
+import re
+
+CHECKS = (
+    "lock-order",
+    "snapshot-lock-free",
+    "txn-escape",
+    "dropped-status",
+    "archive-symmetry",
+)
+
+
+class Finding:
+    def __init__(self, check, file, line, msg, key=None):
+        self.check = check
+        self.file = file
+        self.line = line
+        self.msg = msg
+        # Stable fingerprint component for the baseline: defaults to the
+        # message with line numbers stripped so line drift does not churn
+        # the baseline.
+        self.key = key or re.sub(r":\d+", "", msg)
+
+    def __str__(self):
+        return f"{self.file}:{self.line}: [{self.check}] {self.msg}"
+
+
+# --------------------------------------------------------------------------
+# 1. lock-order-cycle
+# --------------------------------------------------------------------------
+
+def check_lock_order(prog, config, suppressed):
+    findings = []
+    _, edges = prog.lock_summaries(suppressed=suppressed)
+
+    # Deduplicate edges (keep one witness per (frm, to)).
+    by_pair = {}
+    for e in edges:
+        if e["frm"].startswith("?::") or e["to"].startswith("?::"):
+            continue  # ambiguous identities are reported separately below
+        by_pair.setdefault((e["frm"], e["to"]), e)
+
+    allowed = {tuple(p) for p in config.get("allowed_lock_edges", [])}
+
+    graph = collections.defaultdict(set)
+    for (frm, to), e in by_pair.items():
+        if frm == to:
+            if [frm] in config.get("instance_mutexes", []) or \
+               frm in config.get("instance_mutexes", []):
+                continue
+            findings.append(Finding(
+                "lock-order", e["file"], e["line"],
+                f"self-acquisition of {frm} while already held — "
+                f"self-deadlock unless instances are ordered ({e['via']})",
+                key=f"self:{frm}"))
+            continue
+        if (frm, to) in allowed:
+            continue
+        graph[frm].add(to)
+
+    # Documented orders: an edge from a later to an earlier slot of the same
+    # documented chain is an inversion even without a full cycle.
+    for order in config.get("documented_lock_orders", []):
+        pos = {m: i for i, m in enumerate(order)}
+        for (frm, to), e in by_pair.items():
+            if frm in pos and to in pos and pos[frm] > pos[to]:
+                findings.append(Finding(
+                    "lock-order", e["file"], e["line"],
+                    f"acquisition edge {frm} -> {to} contradicts the "
+                    f"documented lock order {' -> '.join(order)} "
+                    f"({e['via']})",
+                    key=f"order:{frm}->{to}"))
+
+    # Cycle detection (iterative Tarjan SCC).
+    for scc in _sccs(graph):
+        if len(scc) < 2:
+            continue
+        cyc = sorted(scc)
+        witnesses = [by_pair[(a, b)] for a in cyc for b in cyc
+                     if (a, b) in by_pair][:4]
+        w0 = witnesses[0] if witnesses else {"file": "?", "line": 0}
+        detail = "; ".join(w["via"] for w in witnesses)
+        findings.append(Finding(
+            "lock-order", w0["file"], w0["line"],
+            f"lock-order cycle among {{{', '.join(cyc)}}}: {detail}",
+            key="cycle:" + ",".join(cyc)))
+    return findings
+
+
+def _sccs(graph):
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    out = []
+    counter = [0]
+    nodes = set(graph) | {v for vs in graph.values() for v in vs}
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                pv = work[-1][0]
+                low[pv] = min(low[pv], low[v])
+            if low[v] == index[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                out.append(scc)
+    return out
+
+
+# --------------------------------------------------------------------------
+# 2. snapshot-lock-freedom
+# --------------------------------------------------------------------------
+
+def check_snapshot_lock_free(prog, config, suppressed):
+    findings = []
+    targets = config.get("lock_acquire_functions",
+                         ["LockManager::Acquire"])
+    reach, witness = prog.unguarded_reach(targets, suppressed=suppressed)
+    entries = config.get("snapshot_entry_points", [])
+    for f in prog.functions:
+        if not any(f["qual"].endswith(e) for e in entries):
+            continue
+        if not reach.get(f["qual"]):
+            continue
+        path = prog.witness_path(f["qual"], reach, witness, targets)
+        findings.append(Finding(
+            "snapshot-lock-free", f["file"], f["decl_line"],
+            f"snapshot read path {f['qual']} can reach "
+            f"{'/'.join(targets)} with no snapshot guard on the path: "
+            f"{path.render()}",
+            key=f"reach:{f['qual']}"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# 3. transaction-lifetime escape analysis
+# --------------------------------------------------------------------------
+
+def check_txn_escape(prog, config, suppressed):
+    findings = []
+    providers = set(config.get("txn_pointer_providers", ["Read", "Write"]))
+    receivers = set(config.get("txn_receivers", ["txn", "txn_", "tx", "t"]))
+    invalidators = set(config.get("txn_invalidators", ["Commit", "Abort"]))
+    async_sinks = set(config.get("async_lambda_sinks",
+                                 ["Submit", "Enqueue", "Post", "Defer"]))
+
+    for f in prog.functions:
+        ptrs = {}  # name -> decl line
+
+        def mark_provider(name, line):
+            if name:
+                ptrs[name] = line
+
+        events = f["events"]
+        for i, ev in enumerate(events):
+            if ev["k"] == "ptrdecl":
+                rhs = ev.get("rhs", [])
+                if providers & set(rhs) and (receivers & set(rhs)
+                                             or "value" in rhs):
+                    mark_provider(ev["name"], ev["line"])
+            elif ev["k"] == "call" and ev["name"] == "ODE_ASSIGN_OR_RETURN":
+                args = ev.get("args", [])
+                if providers & set(args) and receivers & set(args):
+                    # declared name = last ident before the receiver token
+                    name = None
+                    for a in args:
+                        if a in receivers:
+                            break
+                        name = a
+                    if name and name not in providers:
+                        mark_provider(name, ev["line"])
+
+        if not ptrs:
+            continue
+
+        # Sinks.
+        lam_stack = []
+        seen_invalidator_line = None
+        for i, ev in enumerate(events):
+            line = ev.get("line", 0)
+            if (f["file"], line) in suppressed:
+                continue
+            if ev["k"] == "store":
+                rhs = set(ev.get("rhs", []))
+                # store events are member-only by construction (`x_ = ...`
+                # or `this->x = ...`), so any hit is an escape.
+                hit = rhs & set(ptrs)
+                if hit:
+                    p = sorted(hit)[0]
+                    findings.append(Finding(
+                        "txn-escape", f["file"], line,
+                        f"transaction-scoped pointer '{p}' (obtained at "
+                        f"{f['file']}:{ptrs[p]}) stored into member "
+                        f"'{ev['lhs']}' in {f['qual']} — the object dies "
+                        f"with the transaction's cache/locks",
+                        key=f"store:{f['qual']}:{ev['lhs']}"))
+            elif ev["k"] == "lambda_open":
+                # Async sink when the immediately preceding call event is a
+                # known executor submission.
+                sink = None
+                for back in range(i - 1, max(-1, i - 4), -1):
+                    bev = events[back]
+                    if bev["k"] == "call":
+                        if bev["name"] in async_sinks:
+                            sink = bev["name"]
+                        break
+                caps = set(ev.get("captures", []))
+                hit = caps & set(ptrs)
+                if sink and hit:
+                    p = sorted(hit)[0]
+                    findings.append(Finding(
+                        "txn-escape", f["file"], line,
+                        f"transaction-scoped pointer '{p}' captured by a "
+                        f"lambda handed to {sink}() in {f['qual']} — the "
+                        f"lambda outlives the transaction",
+                        key=f"lambda:{f['qual']}:{p}"))
+                lam_stack.append(ev)
+            elif ev["k"] == "lambda_close":
+                if lam_stack:
+                    lam_stack.pop()
+            elif ev["k"] == "call":
+                if ev["name"] in invalidators and (
+                    not ev.get("obj") or ev.get("obj") in receivers
+                    or ev.get("obj", "").endswith("_")
+                ):
+                    seen_invalidator_line = (ev["name"], line)
+                elif seen_invalidator_line:
+                    used = set(ev.get("args", [])) & set(ptrs)
+                    if used:
+                        p = sorted(used)[0]
+                        inv, inv_line = seen_invalidator_line
+                        findings.append(Finding(
+                            "txn-escape", f["file"], line,
+                            f"transaction-scoped pointer '{p}' used after "
+                            f"{inv}() at {f['file']}:{inv_line} in "
+                            f"{f['qual']} — {inv} invalidates objects "
+                            f"read under the transaction",
+                            key=f"after:{f['qual']}:{p}"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# 4. dropped-Status detection
+# --------------------------------------------------------------------------
+
+_STATUS_MACROS = {
+    "ODE_RETURN_IF_ERROR", "ODE_ASSIGN_OR_RETURN", "IgnoreStatus",
+    "ASSERT_OK", "EXPECT_OK", "ODE_CHECK_OK", "RETURN_IF_ERROR",
+}
+
+
+def _returns_status(g):
+    ret = g.get("ret", "")
+    return ("Status" in ret.split() or "Status" in ret
+            or ret.startswith("Result")) and "StatusCode" not in ret
+
+
+def check_dropped_status(prog, config, suppressed):
+    findings = []
+    for f in prog.functions:
+        for ev in f["events"]:
+            if ev["k"] != "call":
+                continue
+            name = ev["name"]
+            if name in _STATUS_MACROS or name.isupper():
+                continue
+            line = ev["line"]
+            if (f["file"], line) in suppressed:
+                continue
+            stmtish = ev.get("stmt") and ev.get("term") == ";"
+            voidish = ev.get("void") and ev.get("term") == ";"
+            if not (stmtish or voidish):
+                continue
+            cands = prog.resolve_call(f, ev)
+            if not cands:
+                continue
+            if not all(_returns_status(g) for g in cands):
+                continue
+            callee = cands[0]["qual"]
+            if voidish:
+                findings.append(Finding(
+                    "dropped-status", f["file"], line,
+                    f"(void)-cast discards the Status/Result of "
+                    f"{callee} in {f['qual']} — use "
+                    f"IgnoreStatus(s, \"reason\") so the drop is counted, "
+                    f"or propagate it",
+                    key=f"void:{f['qual']}:{callee}"))
+            else:
+                findings.append(Finding(
+                    "dropped-status", f["file"], line,
+                    f"result of {callee} (returns "
+                    f"{cands[0].get('ret', 'Status')}) dropped in "
+                    f"{f['qual']} — propagate with ODE_RETURN_IF_ERROR "
+                    f"or discard via IgnoreStatus",
+                    key=f"drop:{f['qual']}:{callee}"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# 5. Archive read/write symmetry
+# --------------------------------------------------------------------------
+
+def _norm_field(s):
+    s = s.strip()
+    for sep in ("->", "."):
+        if sep in s:
+            s = s.rsplit(sep, 1)[1]
+    return s
+
+
+def _norm_offset(s):
+    # 'dst+0' / 'src + 0' -> '+0'; bare 'dst' -> ''
+    s = s.replace(" ", "")
+    for base in ("dst", "src", "buf", "p", "out", "in"):
+        if s.startswith(base):
+            s = s[len(base):]
+            break
+    return s
+
+
+def check_archive_symmetry(prog, config, suppressed):
+    findings = []
+
+    # (a) OdeFields coverage: every persistent field serialized exactly once.
+    skip_types = set(config.get("archive_transient_types", []))
+    for qual, rec in sorted(prog.records.items()):
+        if rec.get("ode_args") is None:
+            continue
+        args = [_norm_field(a) for a in rec["ode_args"]]
+        field_names = []
+        for fl in rec["fields"]:
+            if (rec["file"], fl["line"]) in suppressed:
+                continue
+            if fl["type"] in skip_types:
+                continue
+            field_names.append(fl["name"])
+        counts = collections.Counter(args)
+        for name, cnt in sorted(counts.items()):
+            if cnt > 1:
+                findings.append(Finding(
+                    "archive-symmetry", rec["file"], rec["line"],
+                    f"{qual}::OdeFields serializes field '{name}' {cnt} "
+                    f"times — decode applies it twice and skews every "
+                    f"later field",
+                    key=f"dup:{qual}:{name}"))
+        for name in field_names:
+            if name not in counts:
+                findings.append(Finding(
+                    "archive-symmetry", rec["file"], rec["line"],
+                    f"{qual} field '{name}' is missing from OdeFields — "
+                    f"it is silently dropped on write and "
+                    f"default-initialized on read (wire/format skew)",
+                    key=f"miss:{qual}:{name}"))
+        known = set(field_names) | {f["name"] for f in rec["fields"]}
+        for name in counts:
+            if name and name.isidentifier() and name not in known:
+                findings.append(Finding(
+                    "archive-symmetry", rec["file"], rec["line"],
+                    f"{qual}::OdeFields serializes '{name}' which is not a "
+                    f"declared field of {qual} (typo or stale rename?)",
+                    key=f"unknown:{qual}:{name}"))
+
+    # (b) hand-written Encode*/Decode* pairs: identical (width, offset,
+    # field) op sequences.
+    by_stem = collections.defaultdict(dict)
+    for idx in prog.files.values():
+        for e in idx["encdec"]:
+            by_stem[e["stem"]][e["kind"]] = e
+    for stem, pair in sorted(by_stem.items()):
+        enc, dec = pair.get("enc"), pair.get("dec")
+        if not enc or not dec:
+            continue
+        if (enc["file"], enc["line"]) in suppressed or \
+           (dec["file"], dec["line"]) in suppressed:
+            continue
+        eops = enc["ops"]
+        dops = dec["ops"]
+        if len(eops) != len(dops):
+            findings.append(Finding(
+                "archive-symmetry", dec["file"], dec["line"],
+                f"{enc['fn']} writes {len(eops)} fields but {dec['fn']} "
+                f"reads {len(dops)} — the record formats have skewed",
+                key=f"len:{stem}"))
+            continue
+        for i, (eo, do) in enumerate(zip(eops, dops)):
+            ef, df = _norm_field(eo["field"]), _norm_field(do["field"])
+            eoff, doff = _norm_offset(eo["off"]), _norm_offset(do["off"])
+            if eo["w"] != do["w"]:
+                findings.append(Finding(
+                    "archive-symmetry", dec["file"], do["line"],
+                    f"op {i} of {dec['fn']} reads {do['w']} where "
+                    f"{enc['fn']} wrote {eo['w']} (field '{ef}') — "
+                    f"width mismatch corrupts every later field",
+                    key=f"w:{stem}:{i}"))
+            elif eoff != doff:
+                findings.append(Finding(
+                    "archive-symmetry", dec["file"], do["line"],
+                    f"op {i} of {dec['fn']} reads offset '{doff or '0'}' "
+                    f"where {enc['fn']} wrote offset '{eoff or '0'}' "
+                    f"(field '{ef}')",
+                    key=f"off:{stem}:{i}"))
+            elif ef != df:
+                findings.append(Finding(
+                    "archive-symmetry", dec["file"], do["line"],
+                    f"op {i}: {enc['fn']} writes '{ef}' but {dec['fn']} "
+                    f"stores into '{df}' — field sequence skew",
+                    key=f"f:{stem}:{i}"))
+    return findings
+
+
+ALL_CHECKS = {
+    "lock-order": check_lock_order,
+    "snapshot-lock-free": check_snapshot_lock_free,
+    "txn-escape": check_txn_escape,
+    "dropped-status": check_dropped_status,
+    "archive-symmetry": check_archive_symmetry,
+}

@@ -1,0 +1,126 @@
+"""Optional libclang refinement backend for ode_analyzer.
+
+When `clang.cindex` is importable and a libclang shared object can be
+loaded, this backend parses each TU with the real Clang AST and pins down
+the one thing the token frontend must approximate: *call resolution*. For
+every call expression it records the referenced callee's fully qualified
+name against (line, spelling); Program.resolve_call prefers these exact
+resolutions over receiver-type heuristics.
+
+Everything else (events, fields, archive ops) still comes from the token
+index, so findings stay comparable across frontends and the baseline does
+not churn when CI (which installs python3-clang) runs with refinement and
+a dev container (which does not) runs without.
+
+This module must never be imported unconditionally — the dev container has
+no libclang. The driver gates it behind --frontend=clang and degrades to
+the token frontend on any failure.
+"""
+
+import json
+import os
+
+import clang.cindex as ci
+
+
+def _find_library():
+    if ci.Config.loaded:
+        return "preloaded"
+    candidates = []
+    env = os.environ.get("ODE_LIBCLANG")
+    if env:
+        candidates.append(env)
+    for ver in ("", "-18", "-17", "-16", "-15", "-14"):
+        candidates.append(f"libclang{ver}.so")
+        candidates.append(f"libclang.so{ver.replace('-', '.')}")
+        candidates.append(f"/usr/lib/llvm{ver}/lib/libclang.so")
+    last = None
+    for cand in candidates:
+        try:
+            ci.Config.set_library_file(cand)
+            ci.Index.create()
+            return cand
+        except Exception as e:  # noqa: BLE001
+            last = e
+            ci.Config.loaded = False
+    raise RuntimeError(f"no usable libclang ({last})")
+
+
+class ClangFrontend:
+    def __init__(self, root, build_dir):
+        self._desc = _find_library()
+        self.root = root
+        self.index = ci.Index.create()
+        self.args_by_file = {}
+        cc = os.path.join(build_dir, "compile_commands.json")
+        if os.path.exists(cc):
+            with open(cc, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    p = os.path.normpath(
+                        os.path.join(entry.get("directory", ""), entry["file"]))
+                    rel = os.path.relpath(p, root)
+                    args = entry.get("command", "").split()[1:]
+                    # Drop -c/-o pairs and the source file itself.
+                    clean = []
+                    skip = False
+                    for a in args:
+                        if skip:
+                            skip = False
+                            continue
+                        if a in ("-c", "-o"):
+                            skip = a == "-o"
+                            continue
+                        if a.endswith((".cc", ".o")):
+                            continue
+                        clean.append(a)
+                    self.args_by_file[rel] = clean
+
+    def library_desc(self):
+        return self._desc
+
+    def refine(self, rel, path, idx):
+        """Attaches exact callee resolutions to the token index's call
+        events. Headers (no compile command) are skipped — their inline
+        bodies are refined when an including TU is parsed is *not*
+        attempted; the token heuristics stand there."""
+        args = self.args_by_file.get(rel)
+        if args is None:
+            return
+        tu = self.index.parse(path, args=args)
+        resolved = {}  # (line, spelling) -> set of qualified names
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind != ci.CursorKind.CALL_EXPR:
+                continue
+            loc = cur.location
+            if loc.file is None:
+                continue
+            if os.path.relpath(loc.file.name, self.root) != rel:
+                continue
+            ref = cur.referenced
+            if ref is None:
+                continue
+            qual = self._qualified(ref)
+            if qual:
+                resolved.setdefault((loc.line, cur.spelling), set()).add(qual)
+        for func in idx["functions"]:
+            for ev in func["events"]:
+                if ev["k"] != "call":
+                    continue
+                names = resolved.get((ev["line"], ev["name"]))
+                if names:
+                    ev["resolved"] = sorted(names)
+
+    @staticmethod
+    def _qualified(cursor):
+        parts = []
+        c = cursor
+        while c is not None and c.kind != ci.CursorKind.TRANSLATION_UNIT:
+            if c.spelling:
+                parts.append(c.spelling)
+            c = c.semantic_parent
+        parts.reverse()
+        # Drop namespaces 'ode', 'concur', 'server' etc. to match the token
+        # frontend's record-scoped names.
+        while parts and parts[0] in ("ode", "concur", "server", "std"):
+            parts.pop(0)
+        return "::".join(parts)

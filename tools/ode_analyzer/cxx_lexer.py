@@ -1,0 +1,275 @@
+"""Token-accurate C++ lexer shared by ode_analyzer and ode_lint.
+
+This is not a full C++ lexer — it is the subset the ODE static tools need
+to be *token-accurate* where the old regex lint was only line-accurate:
+
+  * comments (line + block) never produce tokens,
+  * string literals (including raw strings R"delim(...)delim" and the
+    encoding prefixes u8/u/U/L) and char literals are single STRING/CHAR
+    tokens — their contents can never be mistaken for code,
+  * digit separators (1'000'000) do not open a bogus char literal,
+  * preprocessor directives are single PP tokens (continuation lines
+    included) so `#define` bodies cannot masquerade as declarations,
+  * everything else becomes IDENT / NUMBER / PUNCT tokens with exact
+    line/column positions.
+
+The lexer version participates in ode_analyzer's parse-cache key; bump it
+whenever token output can change for unchanged input.
+"""
+
+LEXER_VERSION = 3
+
+KIND_IDENT = "ident"
+KIND_NUMBER = "number"
+KIND_STRING = "string"
+KIND_CHAR = "char"
+KIND_PUNCT = "punct"
+KIND_PP = "pp"  # whole preprocessor directive, continuations folded in
+
+# Multi-char operators we must not split (longest first).
+_PUNCT3 = ("<<=", ">>=", "->*", "...", "<=>")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*", "##",
+)
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_ID_CONT = _ID_START | set("0123456789")
+_STRING_PREFIXES = ("u8", "u", "U", "L")
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "col", "offset")
+
+    def __init__(self, kind, text, line, col, offset):
+        self.kind = kind
+        self.text = text
+        self.line = line  # 1-based
+        self.col = col  # 1-based
+        self.offset = offset
+
+    def __repr__(self):
+        return f"Token({self.kind!r}, {self.text!r}, L{self.line})"
+
+
+def tokenize(text):
+    """Returns the list of Tokens for `text`. Never raises on malformed
+    input: unterminated literals run to end of line (strings/chars) or end
+    of file (block comments, raw strings) and lexing continues."""
+    toks = []
+    i, n = 0, len(text)
+    line, col = 1, 1
+
+    def advance_pos(s):
+        nonlocal line, col
+        nl = s.count("\n")
+        if nl:
+            line += nl
+            col = len(s) - s.rfind("\n")
+        else:
+            col += len(s)
+
+    def emit(kind, start, end):
+        toks.append(Token(kind, text[start:end], tok_line, tok_col, start))
+        advance_pos(text[start:end])
+
+    while i < n:
+        c = text[i]
+        tok_line, tok_col = line, col
+
+        # Whitespace.
+        if c in " \t\r\n\f\v":
+            j = i + 1
+            while j < n and text[j] in " \t\r\n\f\v":
+                j += 1
+            advance_pos(text[i:j])
+            i = j
+            continue
+
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                j = text.find("\n", i)
+                j = n if j < 0 else j  # leave the newline for whitespace
+                advance_pos(text[i:j])
+                i = j
+                continue
+            if text[i + 1] == "*":
+                j = text.find("*/", i + 2)
+                j = n if j < 0 else j + 2
+                advance_pos(text[i:j])
+                i = j
+                continue
+
+        # Preprocessor directive: only when '#' is first non-ws on the line.
+        if c == "#" and _at_line_start(text, i):
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k < 0:
+                    j = n
+                    break
+                # Backslash continuation keeps the directive going.
+                m = k - 1
+                while m > i and text[m] in " \t\r":
+                    m -= 1
+                if text[m] == "\\":
+                    j = k + 1
+                    continue
+                j = k
+                break
+            emit(KIND_PP, i, j)
+            i = j
+            continue
+
+        # Raw strings: (prefix)R"delim( ... )delim"
+        if c in "RuUL":
+            m = _match_raw_string(text, i)
+            if m is not None:
+                emit(KIND_STRING, i, m)
+                i = m
+                continue
+
+        # Ordinary strings, with optional encoding prefix.
+        if c == '"' or (c in "uUL" and _prefixed_quote(text, i) == '"'):
+            start = i
+            i = _skip_prefix(text, i)
+            i = _scan_quoted(text, i, '"')
+            emit(KIND_STRING, start, i)
+            continue
+
+        # Char literals — but NOT digit separators (handled in numbers) and
+        # not a prefix followed by a quote handled above.
+        if c == "'" or (c in "uUL" and _prefixed_quote(text, i) == "'"):
+            start = i
+            i = _skip_prefix(text, i)
+            i = _scan_quoted(text, i, "'")
+            emit(KIND_CHAR, start, i)
+            continue
+
+        # Numbers (consume digit separators and exponents so the quote in
+        # 1'000 never opens a char literal).
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n:
+                d = text[j]
+                if d in _ID_CONT or d == ".":
+                    j += 1
+                elif d == "'" and j + 1 < n and text[j + 1] in _ID_CONT:
+                    j += 2
+                elif d in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            emit(KIND_NUMBER, i, j)
+            i = j
+            continue
+
+        # Identifiers / keywords.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            emit(KIND_IDENT, i, j)
+            i = j
+            continue
+
+        # Punctuation.
+        for group, width in ((_PUNCT3, 3), (_PUNCT2, 2)):
+            if text[i : i + width] in group:
+                emit(KIND_PUNCT, i, i + width)
+                i += width
+                break
+        else:
+            emit(KIND_PUNCT, i, i + 1)
+            i += 1
+
+    return toks
+
+
+def _at_line_start(text, i):
+    j = i - 1
+    while j >= 0 and text[j] in " \t":
+        j -= 1
+    return j < 0 or text[j] == "\n"
+
+
+def _skip_prefix(text, i):
+    for p in _STRING_PREFIXES:
+        if text.startswith(p, i) and i + len(p) < len(text) and text[i + len(p)] in "\"'":
+            return i + len(p)
+    return i
+
+
+def _prefixed_quote(text, i):
+    """If position i starts a string/char encoding prefix, returns the quote
+    character that follows it, else None. Requires the char before i not to
+    be part of a longer identifier (callers check via token scanning)."""
+    for p in _STRING_PREFIXES:
+        if text.startswith(p, i) and i + len(p) < len(text):
+            q = text[i + len(p)]
+            if q in "\"'":
+                return q
+    return None
+
+
+def _match_raw_string(text, i):
+    """Matches a raw string literal starting at i (with optional encoding
+    prefix before the R). Returns end offset or None."""
+    j = i
+    for p in _STRING_PREFIXES:
+        if text.startswith(p, j):
+            j += len(p)
+            break
+    if not text.startswith('R"', j):
+        return None
+    k = j + 2
+    # Delimiter: up to 16 chars, no space/paren/backslash.
+    d = k
+    while d < len(text) and d - k <= 16 and text[d] not in '(\\) \t\n':
+        d += 1
+    if d >= len(text) or text[d] != "(":
+        return None
+    delim = text[k:d]
+    closer = ")" + delim + '"'
+    end = text.find(closer, d + 1)
+    if end < 0:
+        return len(text)  # unterminated: swallow the rest, stay safe
+    return end + len(closer)
+
+
+def _scan_quoted(text, i, quote):
+    """Scans a non-raw quoted literal whose opening quote is at i. Returns
+    the offset just past the closing quote. Unterminated literals stop at
+    end of line so one bad literal cannot eat the rest of the file."""
+    j = i + 1
+    n = len(text)
+    while j < n:
+        c = text[j]
+        if c == "\\":
+            j += 2
+            continue
+        if c == quote:
+            return j + 1
+        if c == "\n":
+            return j  # unterminated
+        j += 1
+    return n
+
+
+def strip_to_code(text):
+    """Returns `text` with comments, string/char literal *contents* and
+    preprocessor directives blanked to spaces, preserving every newline so
+    line/column positions survive. This is the tokenize-aware replacement
+    for the old regex-based strip_cxx_noise in ode_lint."""
+    out = list(text)
+    keep = [False] * len(text)
+    for t in tokenize(text):
+        if t.kind in (KIND_STRING, KIND_CHAR, KIND_PP):
+            continue  # blanked below
+        for k in range(t.offset, t.offset + len(t.text)):
+            keep[k] = True
+    for k, ch in enumerate(out):
+        if not keep[k] and ch != "\n":
+            out[k] = " "
+    return "".join(out)

@@ -1,0 +1,48 @@
+// ode_analyzer self-test fixture: archive read/write asymmetry.
+//
+// Seeded findings (OdeFields coverage):
+//   * 'size' serialized twice
+//   * 'live' and 'crc' missing from OdeFields
+//   * 'checksum' serialized but not a declared field
+// Seeded findings (Encode/Decode pair):
+//   * DecodeHeader op 1 reads 16 bits where EncodeHeader wrote 32
+//   * DecodeHeader op 2 reads offset +16 where EncodeHeader wrote +12
+//   * EncodeTrailer writes 2 fields, DecodeTrailer reads 1
+#include <cstdint>
+
+namespace fix {
+
+struct Record {
+  uint64_t id = 0;
+  uint32_t size = 0;
+  bool live = false;
+  uint32_t crc = 0;
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(id, size, size, checksum);  // SEEDED: dup, missing, unknown
+  }
+};
+
+inline void EncodeHeader(char* dst, const Record& r) {
+  EncodeFixed64(dst + 0, r.id);
+  EncodeFixed32(dst + 8, r.size);
+  EncodeFixed32(dst + 12, r.crc);
+}
+
+inline void DecodeHeader(const char* src, Record* r) {
+  r->id = DecodeFixed64(src + 0);
+  r->size = DecodeFixed16(src + 8);  // SEEDED: width mismatch
+  r->crc = DecodeFixed32(src + 16);  // SEEDED: offset skew
+}
+
+inline void EncodeTrailer(char* dst, const Record& r) {
+  EncodeFixed32(dst + 0, r.size);
+  EncodeFixed32(dst + 4, r.crc);
+}
+
+inline void DecodeTrailer(const char* src, Record* r) {
+  r->size = DecodeFixed32(src + 0);  // SEEDED: trailing crc read is missing
+}
+
+}  // namespace fix

@@ -1,0 +1,35 @@
+// ode_analyzer self-test fixture: clean twin of archive_bad.cc.
+//
+// OdeFields covers every field exactly once (including the builtin-typed
+// `bool live` — a regression case for keyword-typed field extraction), and
+// the hand-written Encode/Decode pair agrees on width, offset, and field
+// for every op, using the return-value decode style the real code uses.
+#include <cstdint>
+
+namespace fix {
+
+struct Record {
+  uint64_t id = 0;
+  uint32_t size = 0;
+  bool live = false;
+  uint32_t crc = 0;
+
+  template <typename AR>
+  void OdeFields(AR& ar) {
+    ar(id, size, live, crc);
+  }
+};
+
+inline void EncodeCleanHeader(char* dst, const Record& r) {
+  EncodeFixed64(dst + 0, r.id);
+  EncodeFixed32(dst + 8, r.size);
+  EncodeFixed32(dst + 12, r.crc);
+}
+
+inline void DecodeCleanHeader(const char* src, Record* r) {
+  r->id = DecodeFixed64(src + 0);
+  r->size = DecodeFixed32(src + 8);
+  r->crc = DecodeFixed32(src + 12);
+}
+
+}  // namespace fix

@@ -1,0 +1,41 @@
+// ode_analyzer self-test fixture: dropped Status results.
+//
+// Seeded findings:
+//   * Engine::Tick     — statement-level drop and an unsanctioned
+//                        (void)-cast drop
+//   * Engine::Dispatch — drop immediately after a `case` label (the label
+//                        colon must still count as a statement start)
+#include <cstdint>
+
+namespace fix {
+
+class Status {
+ public:
+  static Status OK() { return Status(); }
+};
+
+class Wal {
+ public:
+  Status Append(int rec) { return Status::OK(); }
+  Status Sync() { return Status::OK(); }
+};
+
+class Engine {
+ public:
+  void Tick(Wal* wal) {
+    wal->Append(1);     // SEEDED: result dropped
+    (void)wal->Sync();  // SEEDED: (void)-cast drop
+  }
+
+  void Dispatch(Wal* wal, int mode) {
+    switch (mode) {
+      case 1:
+        wal->Append(2);  // SEEDED: dropped after a case label
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,44 @@
+// ode_analyzer self-test fixture: clean twin of dropped_status_bad.cc.
+//
+// Every Status is consumed. The ternary assignments are regression cases:
+// the else-branch colon must not be mistaken for a statement start (the
+// call result is assigned, not dropped).
+#include <cstdint>
+
+namespace fix {
+
+class Status {
+ public:
+  static Status OK() { return Status(); }
+};
+
+class Wal {
+ public:
+  Status Append(int rec) { return Status::OK(); }
+  Status Sync() { return Status::OK(); }
+};
+
+class Engine {
+ public:
+  Status Tick(Wal* wal, bool durable) {
+    Status s = durable ? wal->Append(1) : wal->Sync();  // assigned: fine
+    Status t = wal->Append(2);
+    Consume(durable ? wal->Sync() : Status::OK());  // argument: fine
+    return Pick(s, t);
+  }
+
+  Status Dispatch(Wal* wal, int mode) {
+    switch (mode) {
+      case 1:
+        return wal->Sync();  // returned: fine
+      default:
+        return Status::OK();
+    }
+  }
+
+ private:
+  static void Consume(Status s) {}
+  static Status Pick(Status a, Status b) { return a; }
+};
+
+}  // namespace fix

@@ -1,0 +1,55 @@
+// ode_analyzer self-test fixture: clean twin of lock_order_bad.cc.
+//
+// Every acquisition follows the documented order, the helper is called
+// without the lock held, and the lambda handed to an executor re-locks on
+// another thread (the lambda-isolation approximation must not turn that
+// into a self-acquisition edge).
+#include <cstdint>
+
+namespace fix {
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(mu) {}
+  Mutex& mu_;
+};
+
+class Engine {
+ public:
+  void ForwardPath() {
+    MutexLock a(alpha_mu_);
+    MutexLock b(beta_mu_);
+  }
+  void AlsoForward() {
+    MutexLock a(alpha_mu_);
+    Leaf();
+  }
+  void Leaf() {}
+
+ private:
+  Mutex alpha_mu_;
+  Mutex beta_mu_;
+};
+
+class Pool {
+ public:
+  void Outer() {
+    {
+      MutexLock l(mu_);
+    }
+    Inner();  // lock released before the call: no held-at-site edge
+  }
+  void Inner() { MutexLock l(mu_); }
+  void Schedule() {
+    MutexLock l(mu_);
+    Enqueue([this] { Inner(); });  // runs on a worker thread: no edge
+  }
+  template <typename F>
+  void Enqueue(F f);
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace fix

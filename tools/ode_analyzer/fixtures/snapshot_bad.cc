@@ -1,0 +1,31 @@
+// ode_analyzer self-test fixture: snapshot read path reaching the lock
+// manager with no guard.
+//
+// Seeded finding: Database::RunReadTransaction -> LockPath ->
+// LockManager::Acquire with no snapshot guard anywhere on the path.
+#include <cstdint>
+
+namespace fix {
+
+class Status {
+ public:
+  static Status OK() { return Status(); }
+};
+
+class LockManager {
+ public:
+  Status Acquire(int mode, uint64_t oid) { return Status::OK(); }
+};
+
+class Database {
+ public:
+  Status RunReadTransaction(int body) { return LockPath(body); }
+
+ private:
+  Status LockPath(int body) {
+    return locks_.Acquire(0, 1);  // SEEDED: unguarded on a snapshot path
+  }
+  LockManager locks_;
+};
+
+}  // namespace fix

@@ -1,0 +1,33 @@
+// ode_analyzer self-test fixture: clean twin of snapshot_bad.cc.
+//
+// The same call shape, but the helper bails out under a snapshot guard
+// before it can reach LockManager::Acquire — the reachability fixpoint
+// must treat the guarded tail as unreachable.
+#include <cstdint>
+
+namespace fix {
+
+class Status {
+ public:
+  static Status OK() { return Status(); }
+};
+
+class LockManager {
+ public:
+  Status Acquire(int mode, uint64_t oid) { return Status::OK(); }
+};
+
+class Database {
+ public:
+  Status RunReadTransaction(int body) { return LockPath(body); }
+
+ private:
+  Status LockPath(int body) {
+    if (snapshot_) return Status::OK();  // guard cuts the path
+    return locks_.Acquire(0, 1);
+  }
+  LockManager locks_;
+  bool snapshot_ = false;
+};
+
+}  // namespace fix

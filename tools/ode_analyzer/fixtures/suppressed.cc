@@ -1,0 +1,26 @@
+// ode_analyzer self-test fixture: inline suppression.
+//
+// The seeded drop carries an `ode-analyzer: allow(...)` comment and must
+// not be reported; the analyzer must exit 0 on this file.
+#include <cstdint>
+
+namespace fix {
+
+class Status {
+ public:
+  static Status OK() { return Status(); }
+};
+
+class Wal {
+ public:
+  Status Append(int rec) { return Status::OK(); }
+};
+
+class Engine {
+ public:
+  void Tick(Wal* wal) {
+    wal->Append(1);  // ode-analyzer: allow(dropped-status)
+  }
+};
+
+}  // namespace fix

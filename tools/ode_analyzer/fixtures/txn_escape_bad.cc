@@ -1,0 +1,48 @@
+// ode_analyzer self-test fixture: transaction-scoped pointers escaping.
+//
+// Seeded findings:
+//   * Cache::Pin        — Object* from txn->Read stored into a member
+//   * Cache::Background — Object* captured by a lambda handed to Submit()
+//   * Cache::Late       — Object* used after txn->Commit()
+#include <cstdint>
+
+namespace fix {
+
+class Object {
+ public:
+  void Touch() {}
+};
+
+class Transaction {
+ public:
+  Object* Read(uint64_t oid) { return nullptr; }
+  void Commit() {}
+};
+
+class Cache {
+ public:
+  void Pin(Transaction* txn) {
+    Object* o = txn->Read(7);
+    pinned_ = o;  // SEEDED: member store outlives the transaction
+  }
+
+  void Background(Transaction* txn) {
+    Object* o = txn->Read(8);
+    Submit([o] { o->Touch(); });  // SEEDED: async lambda capture
+  }
+
+  void Late(Transaction* txn) {
+    Object* o = txn->Read(9);
+    txn->Commit();
+    Use(o);  // SEEDED: use after Commit invalidates the object
+  }
+
+  template <typename F>
+  void Submit(F f);
+
+ private:
+  static void Use(Object* o) {}
+  Object* pinned_ = nullptr;
+};
+
+}  // namespace fix

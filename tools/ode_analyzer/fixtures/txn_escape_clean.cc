@@ -1,0 +1,38 @@
+// ode_analyzer self-test fixture: clean twin of txn_escape_bad.cc.
+//
+// Transaction-scoped pointers stay local, are used strictly before
+// Commit(), and the member store takes a caller-owned pointer that never
+// came from the transaction.
+#include <cstdint>
+
+namespace fix {
+
+class Object {
+ public:
+  void Touch() {}
+};
+
+class Transaction {
+ public:
+  Object* Read(uint64_t oid) { return nullptr; }
+  void Commit() {}
+};
+
+class Cache {
+ public:
+  void Pin(Transaction* txn) {
+    Object* o = txn->Read(7);
+    Use(o);  // local use before commit: fine
+    txn->Commit();
+  }
+
+  void Install(Object* fresh) {
+    pinned_ = fresh;  // not transaction-scoped: fine
+  }
+
+ private:
+  static void Use(Object* o) {}
+  Object* pinned_ = nullptr;
+};
+
+}  // namespace fix

@@ -1,0 +1,376 @@
+"""Whole-program model for ode_analyzer.
+
+Links per-file indexes (cxx_index) into:
+
+  * a function registry with call resolution (receiver-type aware where the
+    token frontend recovered types; name-unique fallback otherwise),
+  * a mutex registry (Class::member identities for every ode::Mutex member),
+  * per-function lock summaries (may_acquire fixpoint) and held-at-call-site
+    replay used by the lock-order check,
+  * unguarded-reachability summaries used by the snapshot-lock-freedom
+    check.
+
+Approximations (documented in docs/STATIC_ANALYSIS.md):
+  * lambda bodies are isolated lock contexts — locks held at the point a
+    lambda is *created* are not considered held inside its body (they may
+    run on another thread); locks acquired inside a lambda do not leak out.
+  * a call that cannot be resolved to any project function contributes
+    nothing (std::, libc, system calls).
+"""
+
+import collections
+
+
+class CallPath:
+    """A witness chain of (function, file, line) hops for a finding."""
+
+    def __init__(self, hops):
+        self.hops = hops
+
+    def render(self):
+        return " -> ".join(f"{fn} ({file}:{line})" for fn, file, line in self.hops)
+
+
+class Program:
+    def __init__(self, file_indexes):
+        self.files = file_indexes  # path -> index dict
+        self.functions = []  # all function dicts
+        self.by_qual = collections.defaultdict(list)
+        self.by_name = collections.defaultdict(list)
+        self.records = {}  # qual -> record
+        self.mutex_members = collections.defaultdict(list)  # member -> [cls]
+        self.record_fields = {}  # cls -> {field: base type}
+        self._link()
+
+    def _link(self):
+        for idx in self.files.values():
+            for f in idx["functions"]:
+                self.functions.append(f)
+                self.by_qual[f["qual"]].append(f)
+                self.by_name[f["name"]].append(f)
+            for r in idx["records"]:
+                if r["qual"]:
+                    self.records.setdefault(r["qual"], r)
+                    cls = r["qual"]
+                    fields = {}
+                    for fl in r["fields"]:
+                        fields[fl["name"]] = fl["type"]
+                    self.record_fields.setdefault(cls, fields)
+                    for m in r["mutexes"]:
+                        self.mutex_members[m].append(cls)
+
+    # -- type/receiver resolution -------------------------------------------
+
+    def receiver_type(self, func, obj):
+        """Best-effort base type of a call receiver expression."""
+        if not obj:
+            return None
+        if obj == "this":
+            return func.get("cls") or None
+        if obj.endswith("()"):
+            getter = obj[:-2]
+            for g in self.by_name.get(getter, []):
+                base = self._ret_base(g.get("ret", ""))
+                if base:
+                    return base
+            return None
+        loc = func.get("locals", {}).get(obj)
+        if loc:
+            return loc["type"]
+        par = func.get("params", {}).get(obj)
+        if par:
+            return par["type"]
+        cls = func.get("cls")
+        # Walk enclosing classes for a member with this name.
+        while cls:
+            fields = self.record_fields.get(cls)
+            if fields and obj in fields:
+                return fields[obj]
+            cls = cls.rsplit("::", 1)[0] if "::" in cls else ""
+        return None
+
+    @staticmethod
+    def _ret_base(ret):
+        """Last plain identifier of a return type ('concur :: LockManager &'
+        -> 'LockManager'; 'Result<T*>' -> None for templates of interest)."""
+        best = None
+        for part in ret.replace("&", " ").replace("*", " ").split():
+            if part.isidentifier() and part not in ("const", "mutable"):
+                best = part
+        return best
+
+    def class_has_method(self, cls, name):
+        while cls:
+            if any(f.get("cls", "").endswith(cls) or f.get("cls") == cls
+                   for f in self.by_name.get(name, [])
+                   if f.get("cls", "").split("::")[-1] == cls.split("::")[-1]):
+                return True
+            cls = cls.rsplit("::", 1)[0] if "::" in cls else ""
+        return False
+
+    def resolve_call(self, func, ev):
+        """Returns the list of candidate function dicts for a call event."""
+        name = ev["name"]
+        cands = self.by_name.get(name, [])
+        if not cands:
+            return []
+        # Exact resolutions injected by the libclang refinement backend win.
+        resolved = ev.get("resolved")
+        if resolved:
+            out = [f for f in cands
+                   if any(f["qual"].endswith(r) or r.endswith(f["qual"])
+                          for r in resolved)]
+            if out:
+                return out
+        qual = ev.get("qual", "")
+        if qual:
+            out = [f for f in cands if f["qual"].endswith(qual + "::" + name)]
+            return out or []
+        obj = ev.get("obj", "")
+        rtype = self.receiver_type(func, obj) if obj else None
+        if rtype:
+            out = [f for f in cands
+                   if f.get("cls", "").split("::")[-1] == rtype]
+            if out:
+                return out
+            return []  # typed receiver, no project method: external call
+        if not obj:
+            # Unqualified: prefer a method of the enclosing class chain.
+            cls = func.get("cls", "")
+            while cls:
+                short = cls.split("::")[-1]
+                out = [f for f in cands
+                       if f.get("cls", "").split("::")[-1] == short]
+                if out:
+                    return out
+                cls = cls.rsplit("::", 1)[0] if "::" in cls else ""
+            # Free function / unique project symbol.
+            frees = [f for f in cands if not f.get("cls")]
+            if frees:
+                return frees
+        # Unknown receiver: resolve only when the name is project-unique.
+        classes = {f.get("cls", "") for f in cands}
+        if len(classes) == 1:
+            return cands
+        return []
+
+    # -- mutex identity ------------------------------------------------------
+
+    def mutex_id(self, func, expr):
+        """Resolves a MutexLock argument expression to 'Class::member'."""
+        expr = expr.strip()
+        if not expr:
+            return None
+        # Split the receiver chain: a->b.c_  /  mu_  /  *mu
+        expr = expr.lstrip("*&")
+        for sep in ("->", "."):
+            if sep in expr:
+                recv, member = expr.rsplit(sep, 1)
+                recv = recv.split("->")[-1].split(".")[-1].lstrip("*&")
+                rtype = self.receiver_type(func, recv)
+                if rtype:
+                    cls = self._class_with_mutex(rtype, member)
+                    if cls:
+                        return cls + "::" + member
+                return self._unique_mutex(member)
+        member = expr
+        cls = func.get("cls", "")
+        while cls:
+            fields = self.record_fields.get(cls)
+            if fields is not None and member in fields:
+                return cls + "::" + member
+            cls = cls.rsplit("::", 1)[0] if "::" in cls else ""
+        return self._unique_mutex(member)
+
+    def _class_with_mutex(self, short_type, member):
+        for cls in self.mutex_members.get(member, []):
+            if cls.split("::")[-1] == short_type:
+                return cls
+        # receiver type may be an outer class whose nested struct holds it
+        for cls in self.mutex_members.get(member, []):
+            if short_type in cls.split("::"):
+                return cls
+        return None
+
+    def _unique_mutex(self, member):
+        owners = self.mutex_members.get(member, [])
+        if len(owners) == 1:
+            return owners[0] + "::" + member
+        if owners:
+            return "?::" + member  # ambiguous — surfaced by the check
+        return None
+
+    # -- lock summaries ------------------------------------------------------
+
+    def lock_summaries(self, suppressed=None):
+        """Fixpoint of may_acquire per function qual; returns
+        (may_acquire: qual -> set(mutex_id),
+         edges: list of dicts with from/to/file/line/via)."""
+        suppressed = suppressed or set()
+        may = {f["qual"]: set() for f in self.functions}
+        # Direct acquisitions (plus ACQUIRE annotations naming a member).
+        # Events inside lambda bodies are excluded: a lambda created here
+        # typically runs on another thread (worker pool), so its acquisitions
+        # are not part of this function's synchronous lock footprint. Locks
+        # taken *within* a lambda body still get ordering edges from the
+        # replay below, which tracks each lambda as its own context.
+        direct = {}
+        for f in self.functions:
+            acq = set()
+            ld = 0
+            for ev in f["events"]:
+                k = ev["k"]
+                if k == "lambda_open":
+                    ld += 1
+                elif k == "lambda_close":
+                    ld = max(0, ld - 1)
+                elif (k == "acq" and ld == 0
+                      and (f["file"], ev["line"]) not in suppressed):
+                    mid = self.mutex_id(f, ev["mu"])
+                    if mid:
+                        acq.add(mid)
+            for arg in f.get("ann", {}).get("ACQUIRE", []):
+                mid = self.mutex_id(f, arg) if arg else None
+                if mid:
+                    acq.add(mid)
+            direct[f["qual"]] = acq
+            may[f["qual"]] |= acq
+        # Propagate through calls to a fixpoint.
+        changed = True
+        iters = 0
+        while changed and iters < 60:
+            changed = False
+            iters += 1
+            for f in self.functions:
+                cur = may[f["qual"]]
+                before = len(cur)
+                for ev in f["events"]:
+                    if ev["k"] != "call" or ev.get("lambda"):
+                        continue
+                    for g in self.resolve_call(f, ev):
+                        cur |= may[g["qual"]]
+                if len(cur) != before:
+                    changed = True
+        # Held-at-site replay -> acquisition-order edges.
+        edges = []
+        for f in self.functions:
+            self._replay_edges(f, may, edges, suppressed)
+        return may, edges
+
+    def _replay_edges(self, f, may, edges, suppressed):
+        # Context stack: one entry per lambda nesting level (outermost = the
+        # function itself). Each context holds a stack of blocks of held
+        # mutexes.
+        contexts = [[set(self._requires_set(f))]]
+        for ev in f["events"]:
+            k = ev["k"]
+            ctx = contexts[-1]
+            if k == "blk_open":
+                ctx.append(set())
+            elif k == "blk_close":
+                if len(ctx) > 1:
+                    ctx.pop()
+            elif k == "lambda_open":
+                contexts.append([set()])
+            elif k == "lambda_close":
+                if len(contexts) > 1:
+                    contexts.pop()
+            elif k == "acq":
+                if (f["file"], ev["line"]) in suppressed:
+                    continue
+                mid = self.mutex_id(f, ev["mu"])
+                held = set().union(*ctx)
+                if mid:
+                    for h in held:
+                        # h == mid is a self-deadlock candidate; keep it.
+                        edges.append({
+                            "frm": h, "to": mid, "file": f["file"],
+                            "line": ev["line"],
+                            "via": f"{f['qual']} acquires {mid} while holding {h}",
+                        })
+                    ctx[-1].add(mid)
+            elif k == "call":
+                held = set().union(*ctx)
+                if not held:
+                    continue
+                if (f["file"], ev["line"]) in suppressed:
+                    continue
+                for g in self.resolve_call(f, ev):
+                    for m in may.get(g["qual"], ()):
+                        for h in held:
+                            edges.append({
+                                "frm": h, "to": m, "file": f["file"],
+                                "line": ev["line"],
+                                "via": (f"{f['qual']} calls {g['qual']} "
+                                        f"(may acquire {m}) while holding {h}"),
+                            })
+
+    def _requires_set(self, f):
+        out = set()
+        for arg in f.get("ann", {}).get("REQUIRES", []):
+            mid = self.mutex_id(f, arg) if arg else None
+            if mid:
+                out.add(mid)
+        for arg in f.get("ann", {}).get("REQUIRES_SHARED", []):
+            mid = self.mutex_id(f, arg) if arg else None
+            if mid:
+                out.add(mid)
+        return out
+
+    # -- unguarded reachability (snapshot check) -----------------------------
+
+    def unguarded_reach(self, target_quals, suppressed=None):
+        """For every function, whether an unguarded call path from it reaches
+        one of target_quals (e.g. LockManager::Acquire). Returns
+        (reach: qual -> bool, witness: qual -> (callee qual, file, line))."""
+        suppressed = suppressed or set()
+        reach = {}
+        witness = {}
+        targets = set(target_quals)
+
+        def is_target(g):
+            return any(g["qual"].endswith(t) for t in targets)
+
+        changed = True
+        iters = 0
+        while changed and iters < 60:
+            changed = False
+            iters += 1
+            for f in self.functions:
+                if reach.get(f["qual"]):
+                    continue
+                guarded = False
+                for ev in f["events"]:
+                    if ev["k"] == "guard":
+                        guarded = True
+                        continue
+                    if ev["k"] != "call" or guarded:
+                        continue
+                    if (f["file"], ev["line"]) in suppressed:
+                        continue
+                    for g in self.resolve_call(f, ev):
+                        if is_target(g) or reach.get(g["qual"]):
+                            reach[f["qual"]] = True
+                            witness[f["qual"]] = (g["qual"], f["file"],
+                                                  ev["line"])
+                            changed = True
+                            break
+                    if reach.get(f["qual"]):
+                        break
+        return reach, witness
+
+    def witness_path(self, start_qual, reach, witness, target_quals, limit=12):
+        hops = []
+        cur = start_qual
+        seen = set()
+        while cur and cur not in seen and len(hops) < limit:
+            seen.add(cur)
+            w = witness.get(cur)
+            if w is None:
+                break
+            callee, file, line = w
+            hops.append((f"{cur} -> {callee}", file, line))
+            if any(callee.endswith(t) for t in target_quals):
+                break
+            cur = callee
+        return CallPath(hops)

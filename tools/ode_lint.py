@@ -69,6 +69,18 @@ import os
 import re
 import sys
 
+# Tokenize-aware comment/string stripping shared with ode_analyzer. The
+# lexer handles what the old regex state machine could not: raw string
+# literals (R"(...)" spanning lines) and digit separators (1'000, which the
+# old stripper misread as an unterminated char literal, blanking real code
+# until the next quote).
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "ode_analyzer"))
+try:
+    import cxx_lexer
+except ImportError:  # standalone copy of this file: degrade to the legacy strip
+    cxx_lexer = None
+
 CXX_EXTS = (".h", ".cc")
 ALLOW_RE = re.compile(r"//\s*ode-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
 
@@ -94,7 +106,17 @@ def allowed_rules(line):
 def strip_cxx_noise(text):
     """Blanks out comments and string/char literals, preserving line structure
     so reported line numbers stay true. ode-lint: allow(...) markers are
-    honored *before* stripping (they live in comments)."""
+    honored *before* stripping (they live in comments).
+
+    Delegates to the shared tokenize-aware lexer when available (correct on
+    raw strings and digit separators); the legacy state machine below is the
+    standalone fallback."""
+    if cxx_lexer is not None:
+        return cxx_lexer.strip_to_code(text)
+    return _strip_cxx_noise_legacy(text)
+
+
+def _strip_cxx_noise_legacy(text):
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line_comment | block_comment | string | char
@@ -498,7 +520,9 @@ def check_test_labels(tests_cmake, findings):
 def iter_cxx_files(root, subdirs):
     for sub in subdirs:
         base = os.path.join(root, sub)
-        for dirpath, _, filenames in os.walk(base):
+        for dirpath, dirnames, filenames in os.walk(base):
+            # ode_analyzer's fixtures are seeded violations by design.
+            dirnames[:] = [d for d in dirnames if d != "fixtures"]
             for fn in sorted(filenames):
                 if fn.endswith(CXX_EXTS):
                     yield os.path.join(dirpath, fn)

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Runs the full ODE static-analysis stack locally, the same three layers the
+# Runs the full ODE static-analysis stack locally, the same layers the
 # CI static-analysis job gates on (docs/STATIC_ANALYSIS.md):
 #
 #   1. clang-tidy over compile_commands.json (.clang-tidy config)
-#   2. tools/ode_lint.py (project-specific invariants)
-#   3. (advisory here, enforced in CI) a clang build with
+#   2. tools/ode_lint.py (project-specific invariants, pattern tier)
+#   3. tools/ode_analyzer (call-graph tier: lock order, snapshot
+#      lock-freedom, txn-lifetime escapes, dropped Status, archive symmetry)
+#   4. (advisory here, enforced in CI) a clang build with
 #      -Wthread-safety -Werror=thread-safety
 #
 # Usage: tools/run_clang_tidy.sh [build-dir]
@@ -44,8 +46,10 @@ elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   STATUS=1
 else
   # Only first-party translation units; tests and benches are covered by the
-  # header filter when they include engine headers.
-  mapfile -t SOURCES < <(cd "$ROOT" && find src tools -name '*.cc' | sort)
+  # header filter when they include engine headers. Analyzer fixtures are
+  # seeded violations that never enter compile_commands.json — skip them.
+  mapfile -t SOURCES < <(cd "$ROOT" && find src tools -name '*.cc' \
+                           -not -path '*/fixtures/*' | sort)
   echo "run_clang_tidy: $TIDY_BIN over ${#SOURCES[@]} translation units"
   if command -v run-clang-tidy > /dev/null 2>&1; then
     (cd "$ROOT" && run-clang-tidy -clang-tidy-binary "$TIDY_BIN" \
@@ -60,7 +64,13 @@ fi
 # --- Layer 2: ODE project lint ---------------------------------------------
 python3 "$ROOT/tools/ode_lint.py" --root "$ROOT" || STATUS=1
 
-# --- Layer 3: thread-safety (advisory pointer) -----------------------------
+# --- Layer 3: ODE whole-program analyzer -----------------------------------
+# Token frontend by default (no clang needed); reuses the per-file AST index
+# across runs via --cache-dir so only edited files are re-parsed.
+python3 "$ROOT/tools/ode_analyzer" --root "$ROOT" --build "$BUILD_DIR" \
+    --cache-dir "$BUILD_DIR/.ode_analyzer_cache" || STATUS=1
+
+# --- Layer 4: thread-safety (advisory pointer) -----------------------------
 if command -v clang++ > /dev/null 2>&1; then
   echo "run_clang_tidy: for the lock-discipline layer, build with:" \
        "CXX=clang++ cmake -B build-clang -S $ROOT -DODE_THREAD_SAFETY=ON" \
