@@ -65,6 +65,9 @@ Database::Database(const DatabaseOptions& options,
   core_metrics_.oid_list_scans = m.GetCounter("query.oid_list_scans");
   core_metrics_.rows_scanned = m.GetCounter("query.rows_scanned");
   core_metrics_.rows_returned = m.GetCounter("query.rows_returned");
+  core_metrics_.parallel_scans = m.GetCounter("query.parallel.scans");
+  core_metrics_.parallel_morsels = m.GetCounter("query.parallel.morsels");
+  core_metrics_.parallel_fallbacks = m.GetCounter("query.parallel.fallbacks");
   core_metrics_.join_nested_loop = m.GetCounter("query.join.nested_loop");
   core_metrics_.join_index = m.GetCounter("query.join.index");
   core_metrics_.join_hash = m.GetCounter("query.join.hash");
@@ -77,6 +80,11 @@ Database::Database(const DatabaseOptions& options,
   core_metrics_.gc_index_entries_reclaimed =
       m.GetCounter("mvcc.gc.index_entries_reclaimed");
   core_metrics_.gc_pages_reclaimed = m.GetCounter("mvcc.gc.pages_reclaimed");
+
+  if (options_.engine.query_threads > 0) {
+    query_pool_ =
+        std::make_unique<QueryPool>(options_.engine.query_threads, &m);
+  }
 
   if (options_.trigger_executor_threads > 0) {
     concur::TriggerExecutor::Options exec_options;
@@ -113,6 +121,7 @@ Status Database::Close() {
   // Park the daemons first: their threads run transactions against this
   // database and must be gone before the engine goes away.
   StopGcThread();
+  query_pool_.reset();
   if (trigger_exec_ != nullptr) {
     trigger_exec_->Shutdown();
   }
@@ -158,6 +167,16 @@ Result<std::unique_ptr<Transaction>> Database::BeginSnapshot() {
   }
   std::unique_ptr<Transaction> txn(new Transaction(this));
   ODE_RETURN_IF_ERROR(txn->StartSnapshot());
+  return txn;
+}
+
+Result<std::unique_ptr<Transaction>> Database::BeginSnapshotAt(uint64_t seq) {
+  if (closed_) return Status::InvalidArgument("database is closed");
+  if (sessions_.Current() != nullptr) {
+    return Status::Busy("a transaction is already active on this thread");
+  }
+  std::unique_ptr<Transaction> txn(new Transaction(this));
+  ODE_RETURN_IF_ERROR(txn->StartSnapshotAt(seq));
   return txn;
 }
 

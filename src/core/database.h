@@ -15,6 +15,7 @@
 #include "core/trigger.h"
 #include "objstore/object_store.h"
 #include "query/index_manager.h"
+#include "query/parallel.h"
 #include "schema/catalog.h"
 #include "schema/type_registry.h"
 #include "storage/engine.h"
@@ -66,6 +67,18 @@ class Database {
   /// operations fail with InvalidArgument (docs/CONCURRENCY.md "MVCC
   /// snapshot reads").
   Result<std::unique_ptr<Transaction>> BeginSnapshot();
+
+  /// BeginSnapshot at an EXISTING snapshot sequence instead of minting a
+  /// fresh one: the new transaction reads the exact same cut as the
+  /// transaction that minted `seq`. Parallel ForAll workers join their
+  /// coordinator's snapshot this way, so every worker resolves every object
+  /// identically. `seq` must belong to a still-active snapshot (or at least
+  /// lie at or above the GC watermark) — Busy otherwise.
+  ///
+  /// Contract: the minting transaction must stay open for the whole life of
+  /// the joined transaction. Joiners skip the per-transaction schema lock
+  /// and rely on the coordinator's (see Transaction::StartSnapshotAt).
+  Result<std::unique_ptr<Transaction>> BeginSnapshotAt(uint64_t seq);
 
   /// RunTransaction's read-only sibling: runs `body` in a snapshot
   /// transaction, retrying Busy (e.g. a scan that raced a version-GC
@@ -229,6 +242,15 @@ class Database {
     Counter* oid_list_scans;         ///< query.oid_list_scans — OverOids runs
     Counter* rows_scanned;           ///< query.rows_scanned
     Counter* rows_returned;          ///< query.rows_returned
+    Counter* parallel_scans;         ///< query.parallel.scans — ForAll runs
+                                     ///< that executed the morsel-parallel
+                                     ///< scan path
+    Counter* parallel_morsels;       ///< query.parallel.morsels — entry-range
+                                     ///< morsels claimed by pool workers
+    Counter* parallel_fallbacks;     ///< query.parallel.fallbacks — Parallel()
+                                     ///< requests that ran serially (not a
+                                     ///< snapshot txn, indexed path, or no
+                                     ///< pool)
     Counter* join_nested_loop;       ///< query.join.nested_loop — runs
     Counter* join_index;             ///< query.join.index — runs
     Counter* join_hash;              ///< query.join.hash — runs
@@ -251,6 +273,9 @@ class Database {
 
   StorageEngine& engine() { return *engine_; }
   ObjectStore& store() { return *store_; }
+  /// Shared worker pool for parallel ForAll scans; nullptr when
+  /// EngineOptions::query_threads == 0.
+  QueryPool* query_pool() { return query_pool_.get(); }
   CatalogData& catalog() { return catalog_; }
   const CatalogData& catalog() const { return catalog_; }
   IndexManager& indexes() { return *indexes_; }
@@ -320,6 +345,9 @@ class Database {
   CoreMetrics core_metrics_;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<IndexManager> indexes_;
+  /// Parallel-query worker pool (EngineOptions::query_threads); torn down
+  /// in Close() before the engine so no worker outlives the storage layer.
+  std::unique_ptr<QueryPool> query_pool_;
   CatalogData catalog_;
   ConstraintRegistry constraints_;
   TriggerRegistry triggers_;

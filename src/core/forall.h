@@ -2,7 +2,9 @@
 #define ODE_CORE_FORALL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,11 +47,13 @@ class ForAll {
     size_t index_candidates = 0;  ///< oids yielded by the index / oid list
     size_t rows_scanned = 0;      ///< objects deserialized and tested
     size_t rows_returned = 0;     ///< objects passing every predicate
+    size_t workers = 0;           ///< pool workers used (0 = serial)
 
     std::string ToString() const {
       std::string out = access_path;
       if (clusters > 0) out += " clusters=" + std::to_string(clusters);
       if (rounds > 0) out += " rounds=" + std::to_string(rounds);
+      if (workers > 0) out += " workers=" + std::to_string(workers);
       if (access_path != "scan") {
         out += " candidates=" + std::to_string(index_candidates);
       }
@@ -109,6 +113,122 @@ class ForAll {
     explicit_oids_ = std::move(oids);
     use_explicit_ = true;
     return *this;
+  }
+
+  /// Requests the morsel-parallel scan path with `workers` query-pool
+  /// threads (0 = the whole pool). Honored only where parallelism preserves
+  /// the serial semantics exactly: a snapshot transaction on the plain scan
+  /// path (docs/CONCURRENCY.md "Parallel query execution"). Anything else —
+  /// a lock-based transaction, an index/oid-list access path, no pool —
+  /// falls back to the serial scan and counts query.parallel.fallbacks.
+  /// When the pool cannot admit the whole worker set the execution fails
+  /// with Busy (RunReadTransaction retries it) rather than degrading
+  /// silently. SuchThat predicates run concurrently on pool threads and
+  /// must not touch shared mutable state; Do/Each bodies stay serial on
+  /// the coordinator.
+  ForAll& Parallel(size_t workers = 0) {
+    parallel_ = true;
+    parallel_workers_ = workers;
+    return *this;
+  }
+
+  /// True when the next execution will take the morsel-parallel scan path.
+  bool WillRunParallel() const {
+    QueryPool* pool = txn_->db().query_pool();
+    return parallel_ && txn_->snapshot() && !use_explicit_ &&
+           index_mode_ == IndexMode::kNone && pool != nullptr &&
+           pool->thread_count() > 0;
+  }
+
+  /// Morsel-parallel scan core (requires WillRunParallel()): partitions
+  /// every cluster's entry range into page-aligned morsels, claims them
+  /// across pool workers that each join this transaction's snapshot, and
+  /// folds every matching object through `step(acc, ref, obj)` into its
+  /// morsel's accumulator slot. Slots come back in scan order, so merging
+  /// them ascending reproduces the serial scan's visit order exactly —
+  /// Collect() concatenates them, the aggregate helpers fold them. The
+  /// `obj` pointer is only valid during the `step` call (it lives in the
+  /// worker's transaction cache). Busy when the pool cannot admit the job.
+  template <typename A>
+  Result<std::vector<A>> ParallelMorsels(
+      const std::function<Status(A&, Ref<T>, const T&)>& step) {
+    stats_ = ExecStats{};
+    stats_.access_path = "scan";
+    if (!WillRunParallel()) {
+      return Status::InvalidArgument(
+          "ParallelMorsels requires an eligible Parallel() scan");
+    }
+    Database& db = txn_->db();
+    QueryPool* pool = db.query_pool();
+    std::vector<ClusterId> clusters;
+    ODE_RETURN_IF_ERROR(ResolveClusters(&clusters));
+    stats_.clusters = clusters.size();
+    // Snapshot scans see a frozen extent, so one pass suffices (the serial
+    // worklist re-scan exists for bodies that insert — impossible here).
+    stats_.rounds = 1;
+    struct Morsel {
+      ClusterId cluster;
+      LocalOid lo;
+      LocalOid hi;  ///< exclusive
+    };
+    std::vector<Morsel> morsels;
+    for (ClusterId cluster : clusters) {
+      ODE_ASSIGN_OR_RETURN(PageId root, db.TableRootOf(cluster));
+      // Read-ahead the cluster's object-table entry pages in one batched
+      // pass; workers then hit warm frames instead of serializing their
+      // entry walks on demand misses (prefetch is advisory — failures just
+      // leave the demand path to surface real errors).
+      std::vector<PageId> entry_pages;
+      Status listed = db.store().ListEntryPages(root, &entry_pages);
+      if (listed.ok() && !entry_pages.empty()) {
+        IgnoreStatus(
+            db.engine().buffer_pool().Prefetch(entry_pages.data(),
+                                               entry_pages.size()),
+            "parallel_scan_prefetch");
+      }
+      ODE_ASSIGN_OR_RETURN(uint32_t entries, db.store().NumEntries(root));
+      for (uint32_t lo = 0; lo < entries; lo += kMorselEntries) {
+        const uint32_t hi = std::min<uint32_t>(lo + kMorselEntries, entries);
+        morsels.push_back(Morsel{cluster, lo, hi});
+      }
+    }
+    std::vector<A> slots(morsels.size());
+    size_t workers =
+        parallel_workers_ == 0 ? pool->thread_count() : parallel_workers_;
+    workers = std::min(workers, pool->thread_count());
+    if (!morsels.empty()) {
+      workers = std::min(workers, morsels.size());
+      const uint64_t seq = txn_->snapshot_seq();
+      std::atomic<size_t> cursor{0};
+      std::vector<ExecStats> partials(workers);
+      ODE_RETURN_IF_ERROR(pool->Run(workers, [&](size_t w) -> Status {
+        // A fresh snapshot transaction per worker, joined at the
+        // coordinator's cut: pool threads have no transaction bound, and
+        // every read below resolves exactly as the coordinator's would.
+        ODE_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> wt,
+                             db.BeginSnapshotAt(seq));
+        Status ws;
+        for (;;) {
+          const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= morsels.size()) break;
+          ws = ScanMorsel(*wt, morsels[i].cluster, morsels[i].lo,
+                          morsels[i].hi, &slots[i], &partials[w], step);
+          if (!ws.ok()) break;
+        }
+        Status closed = ws.ok() ? wt->Commit() : wt->Abort();
+        return ws.ok() ? closed : ws;
+      }));
+      for (const ExecStats& p : partials) {
+        stats_.rows_scanned += p.rows_scanned;
+        stats_.rows_returned += p.rows_returned;
+      }
+      stats_.workers = workers;
+      const Database::CoreMetrics& m = db.core_metrics();
+      m.parallel_scans->Add();
+      m.parallel_morsels->Add(morsels.size());
+    }
+    FlushStats();
+    return slots;
   }
 
   /// Runs `body` for each matching object. Stops on the first error.
@@ -184,6 +304,69 @@ class ForAll {
   /// Optimistic-validation attempts for lock-free snapshot index scans.
   static constexpr int kSnapshotScanRetries = 8;
 
+  /// Entries per parallel-scan morsel: four 127-entry object-table pages.
+  /// Page-aligned cuts mean no entry page is ever split between workers,
+  /// and four pages is fine-grained enough that the shared cursor balances
+  /// skewed predicates across the pool.
+  static constexpr uint32_t kMorselEntries = 4 * 127;
+
+  /// One worker's pass over entry range [lo, hi) of `cluster`, inside the
+  /// worker's own joined-snapshot transaction `wt`: enumerates the heads,
+  /// prefetches their record pages in one batch, then reads, filters and
+  /// folds the snapshot-visible objects into `acc`.
+  template <typename A>
+  Status ScanMorsel(Transaction& wt, ClusterId cluster, LocalOid lo,
+                    LocalOid hi, A* acc, ExecStats* partial,
+                    const std::function<Status(A&, Ref<T>, const T&)>& step) {
+    Database& db = txn_->db();
+    std::vector<LocalOid> heads;
+    LocalOid at = lo;
+    while (true) {
+      LocalOid local;
+      bool found = false;
+      ODE_RETURN_IF_ERROR(wt.NextInCluster(cluster, at, &local, &found));
+      if (!found || local >= hi) break;
+      heads.push_back(local);
+      at = local + 1;
+    }
+    if (heads.empty()) return Status::OK();
+    // Read-ahead the record pages the head entries point at (a snapshot may
+    // resolve some objects to older versions on other pages; those fall
+    // back to demand reads). Advisory, like the entry-page prefetch.
+    ODE_ASSIGN_OR_RETURN(PageId root, db.TableRootOf(cluster));
+    std::vector<PageId> data_pages;
+    data_pages.reserve(heads.size());
+    for (LocalOid local : heads) {
+      ObjectTable::Entry entry;
+      Status info = db.store().GetInfo(root, local, &entry);
+      if (!info.ok()) continue;  // raced/odd entry: the read below decides
+      if (entry.page != kInvalidPageId && !entry.overflow() &&
+          !entry.tombstone()) {
+        data_pages.push_back(entry.page);
+      }
+    }
+    if (!data_pages.empty()) {
+      IgnoreStatus(db.engine().buffer_pool().Prefetch(data_pages.data(),
+                                                      data_pages.size()),
+                   "parallel_scan_prefetch");
+    }
+    for (LocalOid local : heads) {
+      Ref<T> ref(&db, Oid{cluster, local});
+      Result<const T*> read = wt.Read(ref);
+      if (!read.ok()) {
+        // Same rule as the serial snapshot scan: heads not visible at the
+        // cut (tombstones, post-snapshot creations) are skipped.
+        if (read.status().IsNotFound()) continue;
+        return read.status();
+      }
+      partial->rows_scanned++;
+      if (!Matches(*read.value())) continue;
+      partial->rows_returned++;
+      ODE_RETURN_IF_ERROR(step(*acc, ref, *read.value()));
+    }
+    return Status::OK();
+  }
+
   bool Matches(const T& obj) const {
     for (const auto& pred : preds_) {
       if (!pred(obj)) return false;
@@ -218,6 +401,9 @@ class ForAll {
   /// objects created by `body` are visited too (§3.2).
   Status Stream(const std::function<Status(Ref<T>)>& body) {
     stats_ = ExecStats{};
+    if (parallel_ && !WillRunParallel()) {
+      txn_->db().core_metrics().parallel_fallbacks->Add();
+    }
     if (use_explicit_ || index_mode_ != IndexMode::kNone) {
       stats_.access_path = use_explicit_               ? "oid-list"
                            : index_mode_ == IndexMode::kExact ? "index-exact"
@@ -246,6 +432,25 @@ class ForAll {
       return Status::OK();
     }
     stats_.access_path = "scan";
+    if (WillRunParallel()) {
+      // Parallel-collect the matching refs (morsel slots arrive in scan
+      // order, so concatenation IS the serial visit order), then run the
+      // body serially on the coordinator — bodies stay single-threaded.
+      std::function<Status(std::vector<Ref<T>>&, Ref<T>, const T&)> collect =
+          [](std::vector<Ref<T>>& acc, Ref<T> ref, const T&) -> Status {
+        acc.push_back(ref);
+        return Status::OK();
+      };
+      Result<std::vector<std::vector<Ref<T>>>> slots =
+          ParallelMorsels<std::vector<Ref<T>>>(collect);
+      if (!slots.ok()) return slots.status();
+      for (const auto& slot : slots.value()) {
+        for (const Ref<T>& ref : slot) {
+          ODE_RETURN_IF_ERROR(body(ref));
+        }
+      }
+      return Status::OK();
+    }
     std::vector<ClusterId> clusters;
     ODE_RETURN_IF_ERROR(ResolveClusters(&clusters));
     stats_.clusters = clusters.size();
@@ -377,6 +582,8 @@ class ForAll {
   Transaction* txn_;  // ode-lint: allow(txn-ptr-member)
   bool with_derived_ = false;
   bool descending_ = false;
+  bool parallel_ = false;         ///< Parallel() was requested.
+  size_t parallel_workers_ = 0;   ///< Requested width (0 = whole pool).
   std::vector<std::function<bool(const T&)>> preds_;
   std::function<bool(const T&, const T&)> less_;
   IndexMode index_mode_ = IndexMode::kNone;

@@ -66,6 +66,35 @@ Status Transaction::StartSnapshot() {
   return Status::OK();
 }
 
+Status Transaction::StartSnapshotAt(uint64_t seq) {
+  ODE_ASSIGN_OR_RETURN(TxnId id, db_->engine().BeginTxn());
+  txn_id_ = id;
+  open_ = true;
+  db_->sessions_.Bind(this);
+  // Deliberately NO S(schema) acquire, unlike Start(): a join-at-seq
+  // transaction only ever runs as a parallel-scan worker under a
+  // coordinator snapshot transaction whose own S(schema) outlives it, so
+  // the catalog cannot move. Acquiring here could even deadlock — the FIFO
+  // lock queue would park this worker behind a waiting DDL X(schema) while
+  // that DDL waits on the coordinator, which in turn waits on this worker.
+  //
+  // Join the coordinator's cut: the engine validates that `seq` is still at
+  // or above the GC watermark (the coordinator's active snapshot pins it
+  // there) and registers this transaction in the active-snapshot set too.
+  Result<uint64_t> joined = db_->engine().MarkSnapshotAt(seq);
+  if (!joined.ok()) {
+    Status aborted = Abort();
+    if (!aborted.ok()) {
+      ODE_LOG(kError) << "abort after failed snapshot join also failed: "
+                      << aborted.ToString();
+    }
+    return joined.status();
+  }
+  snapshot_ = true;
+  snapshot_seq_ = joined.value();
+  return Status::OK();
+}
+
 Status Transaction::RejectIfSnapshot(const char* op) const {
   if (!snapshot_) return Status::OK();
   return Status::InvalidArgument(

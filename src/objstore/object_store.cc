@@ -474,6 +474,13 @@ Result<uint32_t> ObjectStore::NumEntries(PageId table_root) const {
   return table.NumEntries();
 }
 
+Status ObjectStore::ListEntryPages(PageId table_root,
+                                   std::vector<PageId>* pages) const {
+  ObjectTable table(engine_, table_root);
+  std::vector<PageId> roots;
+  return table.ListStructurePages(&roots, pages);
+}
+
 namespace {
 
 /// One lock-free visibility walk (docs/CONCURRENCY.md "MVCC snapshot

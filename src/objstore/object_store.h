@@ -137,6 +137,11 @@ class ObjectStore {
   /// High-water mark of entry indexes for the cluster.
   Result<uint32_t> NumEntries(PageId table_root) const;
 
+  /// The cluster's object-table entry pages, in directory order. Parallel
+  /// scans hand these to BufferPool::Prefetch so a cold scan loads the
+  /// table with batched sequential reads instead of per-page demand misses.
+  Status ListEntryPages(PageId table_root, std::vector<PageId>* pages) const;
+
   StorageEngine* engine() { return engine_; }
 
  private:

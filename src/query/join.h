@@ -45,16 +45,25 @@ struct JoinStats {
 
 /// theta-join by nested loops: body(a, b) for every pair that satisfies the
 /// predicate. O(|A| * |B|) object reads.
+///
+/// `parallel_outer` > 0 runs the OUTER scan through the morsel-parallel
+/// ForAll path with that many query-pool workers (0 = serial; honored only
+/// under the usual eligibility — snapshot transaction, plain scan — and
+/// falls back to the serial scan otherwise). The per-pair work stays serial
+/// on the coordinator. Same for IndexJoin and HashJoin below (HashJoin also
+/// parallelizes its build-side scan).
 template <typename L, typename R>
 Status NestedLoopJoin(
     Transaction& txn, const std::function<bool(const L&, const R&)>& theta,
     const std::function<Status(Ref<L>, Ref<R>)>& body,
-    JoinStats* stats = nullptr) {
+    JoinStats* stats = nullptr, size_t parallel_outer = 0) {
   const Database::CoreMetrics& m = txn.db().core_metrics();
   m.join_nested_loop->Add();
   JoinStats local;
   local.strategy = "nested-loop";
-  Status s = ForAll<L>(txn).Do([&](Ref<L> left) -> Status {
+  ForAll<L> outer(txn);
+  if (parallel_outer > 0) outer.Parallel(parallel_outer);
+  Status s = outer.Do([&](Ref<L> left) -> Status {
     local.left_rows++;
     return ForAll<R>(txn).Do([&](Ref<R> right) -> Status {
       local.right_rows++;
@@ -83,13 +92,15 @@ template <typename L, typename R>
 Status IndexJoin(Transaction& txn, const std::string& right_index,
                  const std::function<std::string(const L&)>& left_key,
                  const std::function<Status(Ref<L>, Ref<R>)>& body,
-                 JoinStats* stats = nullptr) {
+                 JoinStats* stats = nullptr, size_t parallel_outer = 0) {
   IndexManager& indexes = txn.db().indexes();
   const Database::CoreMetrics& m = txn.db().core_metrics();
   m.join_index->Add();
   JoinStats local;
   local.strategy = "index";
-  Status s = ForAll<L>(txn).Do([&](Ref<L> left) -> Status {
+  ForAll<L> outer(txn);
+  if (parallel_outer > 0) outer.Parallel(parallel_outer);
+  Status s = outer.Do([&](Ref<L> left) -> Status {
     local.left_rows++;
     // Extract the probe key while the pointer is fresh; `body` may read
     // arbitrarily many objects and evict the left row from the cache.
@@ -149,13 +160,15 @@ Status HashJoin(Transaction& txn,
                 const std::function<std::string(const L&)>& left_key,
                 const std::function<std::string(const R&)>& right_key,
                 const std::function<Status(Ref<L>, Ref<R>)>& body,
-                JoinStats* stats = nullptr) {
+                JoinStats* stats = nullptr, size_t parallel_outer = 0) {
   const Database::CoreMetrics& m = txn.db().core_metrics();
   m.join_hash->Add();
   JoinStats local;
   local.strategy = "hash";
   std::unordered_map<std::string, std::vector<Ref<R>>> table;
-  Status build = ForAll<R>(txn).Do([&](Ref<R> right) -> Status {
+  ForAll<R> builder(txn);
+  if (parallel_outer > 0) builder.Parallel(parallel_outer);
+  Status build = builder.Do([&](Ref<R> right) -> Status {
     local.right_rows++;
     ODE_ASSIGN_OR_RETURN(const R* r, txn.Read(right));
     table[right_key(*r)].push_back(right);
@@ -165,7 +178,9 @@ Status HashJoin(Transaction& txn,
     if (stats != nullptr) *stats = local;
     return build;
   }
-  Status s = ForAll<L>(txn).Do([&](Ref<L> left) -> Status {
+  ForAll<L> prober(txn);
+  if (parallel_outer > 0) prober.Parallel(parallel_outer);
+  Status s = prober.Do([&](Ref<L> left) -> Status {
     local.left_rows++;
     // Key extracted immediately; the matches are Refs (re-read by `body`),
     // never raw pointers, so eviction cannot invalidate them.

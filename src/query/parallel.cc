@@ -1,0 +1,96 @@
+#include "query/parallel.h"
+
+namespace ode {
+
+QueryPool::QueryPool(size_t threads, MetricsRegistry* metrics) {
+  MetricsRegistry& m =
+      metrics != nullptr ? *metrics : MetricsRegistry::Global();
+  m_jobs_ = m.GetCounter("query.parallel.jobs");
+  m_busy_ = m.GetCounter("query.parallel.busy");
+  m_threads_ = m.GetGauge("query.parallel.threads");
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; i++) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+  {
+    MutexLock lock(mu_);
+    idle_ = threads;
+  }
+  m_threads_->Set(static_cast<int64_t>(threads));
+}
+
+QueryPool::~QueryPool() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t QueryPool::idle_count() const {
+  MutexLock lock(mu_);
+  return idle_;
+}
+
+Status QueryPool::Run(size_t workers,
+                      const std::function<Status(size_t)>& body) {
+  if (workers == 0) {
+    return Status::InvalidArgument("QueryPool::Run needs >= 1 worker");
+  }
+  if (workers > threads_.size()) {
+    m_busy_->Add();
+    return Status::Busy("query pool has " + std::to_string(threads_.size()) +
+                        " thread(s), " + std::to_string(workers) +
+                        " requested");
+  }
+  Job job;
+  job.body = &body;
+  job.remaining = workers;
+  {
+    MutexLock lock(mu_);
+    if (stop_) return Status::InvalidArgument("query pool is shut down");
+    if (idle_ < workers) {
+      m_busy_->Add();
+      return Status::Busy("query pool exhausted (" + std::to_string(idle_) +
+                          " idle of " + std::to_string(threads_.size()) + ")");
+    }
+    // All-or-nothing reservation: the whole worker set is claimed before any
+    // task is visible, so a job never starts under-provisioned.
+    idle_ -= workers;
+    for (size_t i = 0; i < workers; i++) {
+      tasks_.push_back(Task{&job, i});
+    }
+    work_cv_.NotifyAll();
+    while (job.remaining > 0) job.done.Wait(mu_);
+  }
+  m_jobs_->Add();
+  return job.first_error;
+}
+
+void QueryPool::WorkerMain() {
+  mu_.Lock();
+  while (true) {
+    while (!stop_ && tasks_.empty()) work_cv_.Wait(mu_);
+    if (stop_ && tasks_.empty()) {
+      mu_.Unlock();
+      return;
+    }
+    Task task = tasks_.front();
+    tasks_.pop_front();
+    mu_.Unlock();
+
+    Status s = (*task.job->body)(task.index);
+
+    mu_.Lock();
+    idle_++;
+    if (!s.ok() && task.job->first_error.ok()) {
+      task.job->first_error = s;
+    }
+    if (--task.job->remaining == 0) task.job->done.NotifyAll();
+  }
+}
+
+}  // namespace ode

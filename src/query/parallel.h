@@ -1,0 +1,83 @@
+#ifndef ODE_QUERY_PARALLEL_H_
+#define ODE_QUERY_PARALLEL_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// A fixed pool of query worker threads shared by every parallel ForAll in
+/// one Database (sized by EngineOptions::query_threads; see
+/// docs/CONCURRENCY.md "Parallel query execution").
+///
+/// Admission is all-or-nothing: Run(workers, body) either reserves `workers`
+/// idle threads immediately or fails with Busy. The pool never queues a
+/// partially-admitted job — a coordinator parked waiting for threads held by
+/// other coordinators would deadlock the pool, and a job running with fewer
+/// workers than its morsel plan assumed would silently lose parallelism.
+/// Callers treat the Busy like any other transient (RunReadTransaction
+/// retries it; direct callers may fall back to a serial scan).
+class QueryPool {
+ public:
+  /// `metrics` mirrors pool activity into query.parallel.* instruments;
+  /// nullptr means the global registry.
+  explicit QueryPool(size_t threads, MetricsRegistry* metrics = nullptr);
+
+  /// Joins the workers. The owner (Database) destroys the pool only after
+  /// every coordinator is gone, so no job can be in flight here.
+  ~QueryPool();
+
+  QueryPool(const QueryPool&) = delete;
+  QueryPool& operator=(const QueryPool&) = delete;
+
+  size_t thread_count() const { return threads_.size(); }
+
+  /// Number of currently idle workers (diagnostics/tests; immediately stale).
+  size_t idle_count() const;
+
+  /// Runs body(worker_index) for every worker_index in [0, workers) on pool
+  /// threads and blocks until all of them return. The first non-OK status
+  /// (in completion order) wins; the remaining workers still run to
+  /// completion — their morsel claims are what keeps the shared cursor
+  /// consistent. Busy when fewer than `workers` threads are idle, or when
+  /// `workers` exceeds the pool size.
+  Status Run(size_t workers, const std::function<Status(size_t)>& body);
+
+ private:
+  /// One Run() invocation; lives on the coordinator's stack.
+  struct Job {
+    const std::function<Status(size_t)>* body;
+    size_t remaining;    ///< Workers still running, guarded by pool mu_.
+    Status first_error;  ///< First non-OK body result, guarded by pool mu_.
+    CondVar done;        ///< Signaled when remaining hits zero.
+  };
+  struct Task {
+    Job* job;
+    size_t index;  ///< The body's worker_index argument.
+  };
+
+  void WorkerMain() EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  std::deque<Task> tasks_ GUARDED_BY(mu_);
+  size_t idle_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Immutable after construction (thread_count reads it without mu_).
+  std::vector<std::thread> threads_;
+
+  Counter* m_jobs_;   ///< query.parallel.jobs — admitted Run() calls
+  Counter* m_busy_;   ///< query.parallel.busy — all-or-nothing rejections
+  Gauge* m_threads_;  ///< query.parallel.threads — pool size
+};
+
+}  // namespace ode
+
+#endif  // ODE_QUERY_PARALLEL_H_

@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -52,6 +53,8 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
   m_flushes_ = m.GetCounter("storage.pool.flushes");
   m_grows_ = m.GetCounter("storage.pool.grows");
   m_read_errors_ = m.GetCounter("storage.pool.read_errors");
+  m_prefetch_loads_ = m.GetCounter("storage.pool.prefetch_loads");
+  m_prefetch_hits_ = m.GetCounter("storage.pool.prefetch_hits");
   m_frames_ = m.GetGauge("storage.pool.frames");
 }
 
@@ -68,6 +71,12 @@ Status BufferPool::FetchLocked(Shard& shard, PageId id, Frame** frame) {
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
     m_hits_->Add();
     Frame* f = it->second.get();
+    if (f->prefetched) {
+      // First demand touch of a read-ahead frame: the prefetch paid off.
+      f->prefetched = false;
+      stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      m_prefetch_hits_->Add();
+    }
     shard.lru.splice(shard.lru.begin(), shard.lru, f->lru_pos);  // to MRU
     *frame = f;
     return Status::OK();
@@ -149,6 +158,62 @@ void BufferPool::Install(PageId id, const char* data) {
   f->dirty = true;
 }
 
+Status BufferPool::Prefetch(const PageId* ids, size_t count) {
+  // Pass 1: drop the ids already resident.
+  std::vector<PageId> missing;
+  missing.reserve(count);
+  for (size_t i = 0; i < count; i++) {
+    Shard& shard = ShardOf(ids[i]);
+    MutexLock lock(shard.mu);
+    if (shard.frames.find(ids[i]) == shard.frames.end()) {
+      missing.push_back(ids[i]);
+    }
+  }
+  if (missing.empty()) return Status::OK();
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  // Pass 2: read each contiguous run with one batched call, outside every
+  // shard mutex; pass 3 installs the clean frames.
+  size_t i = 0;
+  while (i < missing.size()) {
+    size_t j = i + 1;
+    while (j < missing.size() && missing[j] == missing[j - 1] + 1) j++;
+    const uint32_t run = static_cast<uint32_t>(j - i);
+    std::vector<std::shared_ptr<char[]>> bufs(run);
+    std::vector<char*> raw(run);
+    for (uint32_t k = 0; k < run; k++) {
+      bufs[k] = NewPageBuffer();
+      raw[k] = bufs[k].get();
+    }
+    Status read = pager_->ReadPages(missing[i], run, raw.data());
+    if (!read.ok()) {
+      stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
+      m_read_errors_->Add();
+      return read;
+    }
+    for (uint32_t k = 0; k < run; k++) {
+      const PageId id = missing[i + k];
+      Shard& shard = ShardOf(id);
+      MutexLock lock(shard.mu);
+      if (shard.frames.find(id) != shard.frames.end()) continue;
+      Status room = EnsureRoom(shard);
+      if (!room.ok()) continue;  // eviction flush failed; demand path retries
+      auto f = std::make_unique<Frame>();
+      f->id = id;
+      f->data = std::move(bufs[k]);
+      f->prefetched = true;
+      shard.lru.push_front(id);
+      f->lru_pos = shard.lru.begin();
+      shard.frames.emplace(id, std::move(f));
+      m_frames_->Add();
+      stats_.prefetch_loads.fetch_add(1, std::memory_order_relaxed);
+      m_prefetch_loads_->Add();
+    }
+    i = j;
+  }
+  return Status::OK();
+}
+
 Status BufferPool::Fetch(PageId id, Frame** frame) {
   Shard& shard = ShardOf(id);
   MutexLock lock(shard.mu);
@@ -226,15 +291,18 @@ Status BufferPool::FlushFrameLocked(Shard& shard, Frame* frame) {
   return Status::OK();
 }
 
-Status BufferPool::FlushAll() {
+Status BufferPool::FlushAll(size_t* flushed) {
+  size_t n = 0;
   for (auto& shard : shards_) {
     MutexLock lock(shard->mu);
     for (auto& [id, f] : shard->frames) {
       if (f->dirty) {
         ODE_RETURN_IF_ERROR(FlushFrameLocked(*shard, f.get()));
+        n++;
       }
     }
   }
+  if (flushed != nullptr) *flushed = n;
   return Status::OK();
 }
 
@@ -263,6 +331,8 @@ void BufferPool::ResetStats() {
   stats_.flushes.store(0, std::memory_order_relaxed);
   stats_.grows.store(0, std::memory_order_relaxed);
   stats_.read_errors.store(0, std::memory_order_relaxed);
+  stats_.prefetch_loads.store(0, std::memory_order_relaxed);
+  stats_.prefetch_hits.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ode

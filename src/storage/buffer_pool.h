@@ -41,6 +41,10 @@ class BufferPool {
     PageId id = kInvalidPageId;
     int pins = 0;            ///< Legacy Fetch/Unpin pins (tests, tools).
     bool dirty = false;      ///< Frame content differs from the db file.
+    /// Loaded by Prefetch and not yet touched by a demand fetch; the first
+    /// fetch counts as a prefetch hit (storage.pool.prefetch_hits) and
+    /// clears the flag.
+    bool prefetched = false;
     std::list<PageId>::iterator lru_pos;  ///< Position in the recency list.
     /// Shared so outstanding PageHandles keep a swapped-out image alive.
     std::shared_ptr<char[]> data;
@@ -50,12 +54,15 @@ class BufferPool {
   /// Loads convert implicitly, so `stats().hits == 3u` reads naturally.
   struct Stats {
     std::atomic<uint64_t> hits{0};
-    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> misses{0};  ///< Demand reads (not prefetch loads).
     std::atomic<uint64_t> evictions{0};
     std::atomic<uint64_t> flushes{0};
     std::atomic<uint64_t> grows{0};  ///< Times the pool exceeded capacity.
     std::atomic<uint64_t> read_errors{0};  ///< Misses whose page read failed
                                            ///< (no frame is cached).
+    std::atomic<uint64_t> prefetch_loads{0};  ///< Frames loaded by Prefetch.
+    std::atomic<uint64_t> prefetch_hits{0};   ///< First fetch of a
+                                              ///< prefetched frame.
   };
 
   /// `metrics` mirrors the Stats struct into `storage.pool.*` registry
@@ -96,8 +103,21 @@ class BufferPool {
 
   void Unpin(Frame* frame);
 
-  /// Writes back every dirty frame; clears their dirty flags.
-  Status FlushAll();
+  /// Read-ahead for cold scans: loads the not-yet-resident pages among `ids`
+  /// with batched sequential reads (Pager::ReadPages over each contiguous
+  /// run, issued OUTSIDE the shard mutexes — demand misses serialize the
+  /// read under the shard latch, which is exactly what this path avoids)
+  /// and installs them as CLEAN frames. Ids already cached, or cached by a
+  /// racing fetch between the read and the install, keep their frame (it is
+  /// at least as new as what was read). Never overwrites committed state:
+  /// prefetched frames are clean, so they can never be flushed over a newer
+  /// Install()ed image.
+  Status Prefetch(const PageId* ids, size_t count);
+
+  /// Writes back every dirty frame; clears their dirty flags. `flushed`
+  /// (optional) reports how many frames were written — the fuzzy
+  /// checkpointer uses it to size its write-behind metrics.
+  Status FlushAll(size_t* flushed = nullptr);
 
   /// Drops an unpinned clean frame from the pool if cached (test helper).
   void Evict(PageId id);
@@ -155,6 +175,8 @@ class BufferPool {
   Counter* m_flushes_;
   Counter* m_grows_;
   Counter* m_read_errors_;
+  Counter* m_prefetch_loads_;  ///< storage.pool.prefetch_loads
+  Counter* m_prefetch_hits_;   ///< storage.pool.prefetch_hits
   Gauge* m_frames_;  ///< storage.pool.frames: current resident frame count
 };
 

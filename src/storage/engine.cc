@@ -81,11 +81,21 @@ StorageEngine::StorageEngine(std::string path, std::unique_ptr<Pager> pager,
   m_gc_fsyncs_ = metrics_->GetCounter("storage.wal.group_commit.fsyncs");
   m_gc_commits_ = metrics_->GetCounter("storage.wal.group_commit.commits");
   m_commits_per_fsync_ = metrics_->GetGauge("txn.commits_per_fsync");
+  m_ckpt_fuzzy_ = metrics_->GetCounter("storage.checkpoint.fuzzy");
+  m_ckpt_deferred_ = metrics_->GetCounter("storage.checkpoint.deferred");
+  m_ckpt_wb_pages_ =
+      metrics_->GetCounter("storage.checkpoint.write_behind_pages");
+  m_ckpt_critical_us_ =
+      metrics_->GetHistogram("storage.checkpoint.critical_us");
+  m_ckpt_residual_ = metrics_->GetGauge("storage.checkpoint.residual_pages");
   {
     // Everything in the log at open time survived recovery's own fsync-free
     // scan of a closed file; treat it as the durable prefix.
     MutexLock lock(commit_mu_);
     synced_wal_offset_ = wal_->size_bytes();
+  }
+  if (options_.background_checkpoint) {
+    checkpointer_ = std::thread([this] { CheckpointerMain(); });
   }
 }
 
@@ -96,6 +106,7 @@ StorageEngine::~StorageEngine() {
       ODE_LOG(kError) << "close " << path_ << " failed: " << s.ToString();
     }
   }
+  StopCheckpointer();  // no-op after Close()/SimulateCrash() already did it
 }
 
 Status StorageEngine::Open(const std::string& path,
@@ -150,8 +161,41 @@ Status StorageEngine::Open(const std::string& path,
   return Status::OK();
 }
 
+void StorageEngine::StopCheckpointer() {
+  if (!checkpointer_.joinable()) return;
+  {
+    MutexLock lock(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.NotifyAll();
+  checkpointer_.join();
+}
+
+void StorageEngine::CheckpointerMain() {
+  for (;;) {
+    {
+      MutexLock lock(ckpt_mu_);
+      while (!ckpt_stop_ && !ckpt_wake_) ckpt_cv_.Wait(ckpt_mu_);
+      if (ckpt_stop_) return;
+      ckpt_wake_ = false;
+    }
+    Status s = FuzzyCheckpoint();
+    if (!s.ok()) {
+      // Never fatal: the WAL keeps growing and the next commit re-nudges us;
+      // recovery can always redo the work from the log.
+      ODE_LOG(kWarn) << "background checkpoint failed: " << s.ToString();
+    }
+  }
+}
+
+void StorageEngine::SimulateCrash() {
+  StopCheckpointer();
+  closed_ = true;
+}
+
 Status StorageEngine::Close() {
   if (closed_) return Status::OK();
+  StopCheckpointer();
   // Abort every still-active transaction, including ones leaked by other
   // threads (their thread-local bindings go stale; the generation check
   // keeps them from ever resolving again).
@@ -451,15 +495,24 @@ Status StorageEngine::CommitTxn(
   // failures (shrink, checkpoint) are logged — recovery can always redo the
   // work from the log.
   Status maintenance = pool_->ShrinkToCapacity();
-  if (maintenance.ok()) {
-    // Auto-checkpoint under txn_mu_ with txns_ empty: committing sessions
-    // stay registered until their batch is durable, so an empty table means
-    // no one can be appending (BeginTxn also needs txn_mu_, so no one can
-    // start while we hold it).
-    MutexLock lock(txn_mu_);
-    if (txns_.empty() &&
-        wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
-      maintenance = CheckpointLocked();
+  if (maintenance.ok() &&
+      wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
+    if (options_.background_checkpoint) {
+      // Nudge the fuzzy checkpointer and return — the commit path never
+      // pays for the checkpoint, which is what keeps p99 flat under full
+      // write load (docs/STORAGE.md "Fuzzy checkpoints").
+      MutexLock lock(ckpt_mu_);
+      ckpt_wake_ = true;
+      ckpt_cv_.NotifyOne();
+    } else {
+      // Legacy inline path: auto-checkpoint under txn_mu_ with txns_ empty —
+      // committing sessions stay registered until their batch is durable, so
+      // an empty table means no one can be appending (BeginTxn also needs
+      // txn_mu_, so no one can start while we hold it).
+      MutexLock lock(txn_mu_);
+      if (txns_.empty()) {
+        maintenance = CheckpointLocked();
+      }
     }
   }
   if (!maintenance.ok()) {
@@ -666,6 +719,45 @@ Result<uint64_t> StorageEngine::MarkSnapshot() {
   state->snapshot_seq = synced_seq_;
   active_snapshots_.insert(state->snapshot_seq);
   return state->snapshot_seq;
+}
+
+Result<uint64_t> StorageEngine::MarkSnapshotAt(uint64_t seq) {
+  TxnState* state = CurrentTxn();
+  if (state == nullptr) {
+    return Status::InvalidArgument("MarkSnapshotAt: no active transaction");
+  }
+  if (!state->shadows.empty() || state->has_writer_token) {
+    return Status::InvalidArgument(
+        "MarkSnapshotAt: transaction already wrote pages");
+  }
+  if (state->is_snapshot) {
+    if (state->snapshot_seq != seq) {
+      return Status::InvalidArgument(
+          "MarkSnapshotAt: already a snapshot at a different sequence");
+    }
+    return seq;
+  }
+  MutexLock lock(commit_mu_);
+  if (structure_ops_ > 0) {
+    return Status::Busy("snapshot must wait for an active structure op");
+  }
+  if (seq > synced_seq_) {
+    return Status::InvalidArgument(
+        "MarkSnapshotAt: sequence beyond the durable horizon");
+  }
+  // Joining at `seq` must not resurrect versions GC may already have
+  // reclaimed: `seq` has to sit at or above the current watermark. A
+  // parallel-query coordinator guarantees this by keeping its own snapshot
+  // registered at the same sequence — verified here rather than trusted.
+  const uint64_t watermark =
+      active_snapshots_.empty() ? synced_seq_ : *active_snapshots_.begin();
+  if (seq < watermark) {
+    return Status::Busy("MarkSnapshotAt: sequence below the GC watermark");
+  }
+  state->is_snapshot = true;
+  state->snapshot_seq = seq;
+  active_snapshots_.insert(seq);
+  return seq;
 }
 
 uint64_t StorageEngine::SnapshotSeq() const {
@@ -969,6 +1061,85 @@ Status StorageEngine::Checkpoint() {
     return Status::Busy("cannot checkpoint inside a transaction");
   }
   return CheckpointLocked();
+}
+
+Status StorageEngine::FuzzyCheckpoint() {
+  // Phase 1 — write-behind: push the dirty set out and sync without any
+  // engine-wide lock held. Commits keep publishing; whatever they re-dirty
+  // meanwhile is caught by the (small) residual flush in phase 2.
+  size_t behind = 0;
+  ODE_RETURN_IF_ERROR(pool_->FlushAll(&behind));
+  ODE_RETURN_IF_ERROR(pager_->Sync());
+  m_ckpt_wb_pages_->Add(behind);
+
+  // Phase 2 — horizon reset, under the log latch. New publishes are
+  // excluded by the latch for the whole critical section. An in-flight
+  // batch leader (out on its fsync with leadership held) gets a bounded
+  // wait; if it does not resolve in time the reset is deferred — waiting
+  // for the QUEUE to drain instead would never terminate under sustained
+  // load, because every wait releases the latch and lets new publishes in.
+  const auto critical_start = std::chrono::steady_clock::now();
+  MutexLock lock(commit_mu_);
+  const auto batch_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+  while (sync_active_) {
+    if (!commit_cv_.WaitUntil(commit_mu_, batch_deadline)) break;
+  }
+  if (sync_active_) {
+    m_ckpt_deferred_->Add();
+    return Status::OK();
+  }
+  // Quiesce the unsynced tail ourselves, latch held: no leader is in flight
+  // and publishes are excluded, so one covering fsync makes everything
+  // published durable, and resolving that batch empties pending_ and the
+  // queue — deterministically, without releasing the latch.
+  if (!sync_queue_.empty() || !pending_.empty() || synced_seq_ < commit_seq_) {
+    Status synced = wal_->Sync();
+    CompleteBatchLocked(commit_seq_, wal_->size_bytes(), synced);
+    commit_cv_.NotifyAll();  // waiters resolved above wake on their done flag
+    if (!synced.ok()) return synced;  // failure path already scrubbed
+  }
+  // Everything published is durable and installed (synced_seq_ ==
+  // commit_seq_). Stamp the id/sequence counters into the cached superblock
+  // if they moved, flush the residual dirty set, and only then cut the log.
+  // Taking pool shard mutexes here is the documented lock order
+  // (commit_mu_ before shard mutexes).
+  {
+    PageHandle super;
+    ODE_RETURN_IF_ERROR(pool_->FetchHandle(kSuperblockPageId, &super));
+    const uint64_t next = next_txn_id_.load(std::memory_order_relaxed);
+    const uint64_t seq = commit_seq_;
+    if (DecodeFixed64(super.data() + SuperblockLayout::kNextTxnIdOffset) !=
+            next ||
+        DecodeFixed64(super.data() + SuperblockLayout::kCommitSeqOffset) !=
+            seq) {
+      char image[kPageSize];
+      memcpy(image, super.data(), kPageSize);
+      EncodeFixed64(image + SuperblockLayout::kNextTxnIdOffset, next);
+      EncodeFixed64(image + SuperblockLayout::kCommitSeqOffset, seq);
+      pool_->Install(kSuperblockPageId, image);
+    }
+  }
+  size_t residual = 0;
+  ODE_RETURN_IF_ERROR(pool_->FlushAll(&residual));
+  ODE_RETURN_IF_ERROR(pager_->Sync());
+  m_ckpt_residual_->Set(static_cast<int64_t>(residual));
+  ODE_RETURN_IF_ERROR(wal_->Reset());
+  synced_wal_offset_ = 0;
+  synced_seq_ = commit_seq_;
+  // dead_seqs_ stays, unlike the idle-engine checkpoint: live transactions
+  // may still hold dep_seqs into failed batches, and those dependencies
+  // must keep aborting their commits.
+  stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  m_checkpoints_->Add();
+  m_ckpt_fuzzy_->Add();
+  // An empty log can no longer resurrect anything: a wedge is resolved.
+  wedged_.store(false, std::memory_order_release);
+  m_ckpt_critical_us_->Add(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - critical_start)
+          .count()));
+  return Status::OK();
 }
 
 Status StorageEngine::CheckpointLocked() {

@@ -42,6 +42,21 @@ struct EngineOptions {
   uint64_t group_commit_window_us = 0;
   /// Checkpoint (flush pages + truncate log) once the WAL exceeds this size.
   uint64_t checkpoint_wal_bytes = 8ull << 20;
+  /// Run the threshold checkpoint fuzzily on a background thread
+  /// (docs/STORAGE.md "Fuzzy checkpoints"): dirty pages are written behind
+  /// while commits proceed, then a short critical section under the log
+  /// latch resets the horizon and truncates the WAL — commits never pay for
+  /// the checkpoint inline, so p99 commit latency stays flat. Off by
+  /// default: the legacy inline checkpoint (at commit, engine idle) keeps
+  /// fault-injection op counts deterministic for the crash sweeps; servers
+  /// and benches turn this on.
+  bool background_checkpoint = false;
+  /// Shared query worker pool size for parallel ForAll execution
+  /// (docs/CONCURRENCY.md "Parallel query execution"). The engine itself
+  /// does not spawn these threads — Database sizes its QueryPool from this.
+  /// 0 disables intra-query parallelism (ForAll::Parallel() falls back to
+  /// the serial path).
+  size_t query_threads = 4;
   /// Lock-manager wait bound before a blocked acquisition gives up with
   /// Status::Busy (deadlocks are detected and reported much sooner; this is
   /// the safety net). 0 means wait forever.
@@ -177,6 +192,16 @@ class StorageEngine {
   /// must not have written anything. Returns the snapshot sequence.
   Result<uint64_t> MarkSnapshot();
 
+  /// Registers the calling thread's transaction as a snapshot reader at the
+  /// GIVEN sequence instead of minting a fresh horizon — the primitive
+  /// behind parallel query workers, which must all read the exact cut their
+  /// coordinator minted (docs/CONCURRENCY.md "Parallel query execution").
+  /// `seq` must be at or below the durable horizon and at or above the GC
+  /// watermark; the caller guarantees the latter by keeping the coordinator
+  /// snapshot registered (its entry pins the watermark at or below `seq`).
+  /// Busy if a structure op is active or the watermark has moved past `seq`.
+  Result<uint64_t> MarkSnapshotAt(uint64_t seq);
+
   /// The calling thread's transaction's snapshot sequence, or 0 if it is not
   /// a snapshot reader.
   uint64_t SnapshotSeq() const;
@@ -247,6 +272,19 @@ class StorageEngine {
   /// the committer still holds the writer token).
   Status Checkpoint();
 
+  /// Fuzzy (incremental) checkpoint — docs/STORAGE.md "Fuzzy checkpoints".
+  /// Phase 1 writes the dirty set behind and syncs the db file with NO
+  /// engine-wide lock held, so commits keep publishing. Phase 2 takes the
+  /// log latch for a short critical section: a bounded wait for any
+  /// in-flight group-commit batch, a flush of the (small) residual dirty
+  /// set, then the horizon reset and WAL truncation. Unlike Checkpoint(),
+  /// runs with transactions active: their shadow pages are private and
+  /// their publishes are excluded by the latch. If a batch stays in flight
+  /// past the bound the reset is deferred (OK is returned;
+  /// storage.checkpoint.deferred counts it). dead_seqs_ is kept — live
+  /// transactions may still hold dependencies into failed batches.
+  Status FuzzyCheckpoint();
+
   /// Reclaims trailing free pages: unlinks every free page at the end of
   /// the file from the free list, commits the shrunken metadata, checkpoints
   /// and truncates the file. Returns the number of pages released. Fails
@@ -256,7 +294,9 @@ class StorageEngine {
 
   /// Test hook: drops the engine as a crash would — no checkpoint, no page
   /// write-back. Committed state only survives via WAL recovery on reopen.
-  void SimulateCrash() { closed_ = true; }
+  /// (The background checkpointer, if any, is joined first so it cannot
+  /// write pages after the "crash".)
+  void SimulateCrash();
 
   BufferPool& buffer_pool() { return *pool_; }
   Wal& wal() { return *wal_; }
@@ -320,6 +360,14 @@ class StorageEngine {
   /// sessions stay in txns_ until their batch is durable, so empty txns_
   /// implies an idle log and empty pending_).
   Status CheckpointLocked() REQUIRES(txn_mu_);
+
+  /// Background checkpointer (EngineOptions::background_checkpoint): sleeps
+  /// until CommitTxn observes the WAL past checkpoint_wal_bytes and nudges
+  /// it, then runs FuzzyCheckpoint.
+  void CheckpointerMain();
+  /// Signals the checkpointer to exit and joins it. Idempotent; called from
+  /// Close(), SimulateCrash() and the destructor.
+  void StopCheckpointer();
 
   // --- Group commit (docs/STORAGE.md "Group commit") -----------------------
 
@@ -405,6 +453,16 @@ class StorageEngine {
   /// active_snapshots_ so check-and-register is one critical section.
   size_t structure_ops_ GUARDED_BY(commit_mu_) = 0;
 
+  /// Background-checkpointer handshake. ckpt_mu_ is a leaf lock (never held
+  /// while taking txn_mu_/commit_mu_/shard mutexes): CommitTxn only sets the
+  /// wake flag under it, and the checkpointer drops it before running
+  /// FuzzyCheckpoint.
+  Mutex ckpt_mu_;
+  CondVar ckpt_cv_;
+  bool ckpt_stop_ GUARDED_BY(ckpt_mu_) = false;
+  bool ckpt_wake_ GUARDED_BY(ckpt_mu_) = false;
+  std::thread checkpointer_;
+
   mutable Mutex txn_mu_;  ///< Guards txns_, vacuum gate, checkpoint gate.
   std::unordered_map<TxnId, std::unique_ptr<TxnState>> txns_
       GUARDED_BY(txn_mu_);
@@ -429,6 +487,13 @@ class StorageEngine {
   Counter* m_gc_fsyncs_;         ///< successful batch fsyncs
   Counter* m_gc_commits_;        ///< commits made durable by batch fsyncs
   Gauge* m_commits_per_fsync_;   ///< txn.commits_per_fsync (derived ratio)
+  // Fuzzy-checkpoint instruments (storage.checkpoint.*).
+  Counter* m_ckpt_fuzzy_;        ///< fuzzy checkpoints completed
+  Counter* m_ckpt_deferred_;     ///< horizon resets deferred (batch in flight)
+  Counter* m_ckpt_wb_pages_;     ///< pages written behind (phase 1)
+  Histogram* m_ckpt_critical_us_;///< phase-2 critical-section length
+  Gauge* m_ckpt_residual_;       ///< pages flushed inside the last critical
+                                 ///< section (must stay small for flat p99)
   bool closed_ = false;
   /// A failed commit could not scrub its partial WAL records; replaying them
   /// after more commits could resurrect a rolled-back transaction, so the

@@ -1,6 +1,7 @@
 #include "storage/pager.h"
 
 #include <cstring>
+#include <vector>
 
 #include "util/coding.h"
 
@@ -13,6 +14,8 @@ Pager::Pager(std::unique_ptr<File> file, std::string path,
   reads_ = m.GetCounter("storage.pager.reads");
   writes_ = m.GetCounter("storage.pager.writes");
   syncs_ = m.GetCounter("storage.pager.syncs");
+  batch_reads_ = m.GetCounter("storage.readbatch.batches");
+  batch_pages_ = m.GetCounter("storage.readbatch.pages");
 }
 
 Status Pager::Open(Env* env, const std::string& path,
@@ -64,6 +67,29 @@ Status Pager::ReadPage(PageId id, char* buf) const {
   if (bytes_read < kPageSize) {
     // Logically-allocated page that was never flushed: reads as zeroes.
     memset(buf + bytes_read, 0, kPageSize - bytes_read);
+  }
+  return Status::OK();
+}
+
+Status Pager::ReadPages(PageId first, uint32_t count, char* const* bufs) const {
+  if (count == 0) return Status::OK();
+  reads_->Add(count);
+  batch_reads_->Add();
+  batch_pages_->Add(count);
+  std::vector<File::ReadVec> vecs(count);
+  for (uint32_t i = 0; i < count; i++) {
+    vecs[i].scratch = bufs[i];
+    vecs[i].n = kPageSize;
+  }
+  const uint64_t offset = static_cast<uint64_t>(first) * kPageSize;
+  size_t got = 0;
+  ODE_RETURN_IF_ERROR(file_->ReadBatch(offset, vecs.data(), count, &got));
+  // Zero-fill the tail past EOF (logically-allocated pages never flushed).
+  for (uint32_t i = 0; i < count; i++) {
+    const size_t page_start = static_cast<size_t>(i) * kPageSize;
+    if (got >= page_start + kPageSize) continue;
+    const size_t filled = got > page_start ? got - page_start : 0;
+    memset(bufs[i] + filled, 0, kPageSize - filled);
   }
   return Status::OK();
 }

@@ -40,6 +40,13 @@ class Pager {
   /// written).
   Status ReadPage(PageId id, char* buf) const;
 
+  /// Reads `count` consecutive pages starting at `first` into the scattered
+  /// `bufs` (each kPageSize bytes) through the File::ReadBatch readv path —
+  /// one large sequential I/O instead of `count` 4 KiB preads. Pages past
+  /// the high-water mark read as zeroes, like ReadPage. Batch sizes land in
+  /// the `storage.readbatch.*` counters.
+  Status ReadPages(PageId first, uint32_t count, char* const* bufs) const;
+
   /// Writes `buf` (kPageSize bytes) as page `id`, extending the file as
   /// needed.
   Status WritePage(PageId id, const char* buf);
@@ -62,6 +69,8 @@ class Pager {
   Counter* reads_;   ///< storage.pager.reads
   Counter* writes_;  ///< storage.pager.writes
   Counter* syncs_;   ///< storage.pager.syncs
+  Counter* batch_reads_;  ///< storage.readbatch.batches
+  Counter* batch_pages_;  ///< storage.readbatch.pages
 };
 
 }  // namespace ode

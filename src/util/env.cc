@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -43,6 +44,51 @@ class PosixFile : public File {
       done += static_cast<size_t>(r);
     }
     *bytes_read = done;
+    return Status::OK();
+  }
+
+  Status ReadBatch(uint64_t offset, const ReadVec* vecs, size_t count,
+                   size_t* bytes_read) const override {
+    // preadv: one syscall fills many scattered buffers from one contiguous
+    // file range. Chunked (IOV_MAX is typically 1024; 64 covers every pool
+    // prefetch run) and resumed across short reads until EOF.
+    size_t total = 0;
+    size_t vi = 0;   // current vector
+    size_t voff = 0; // bytes already delivered into vecs[vi]
+    while (vi < count) {
+      struct iovec iov[64];
+      int iovcnt = 0;
+      size_t want = 0;
+      for (size_t j = vi; j < count && iovcnt < 64; j++) {
+        const size_t skip = (j == vi) ? voff : 0;
+        iov[iovcnt].iov_base = vecs[j].scratch + skip;
+        iov[iovcnt].iov_len = vecs[j].n - skip;
+        want += iov[iovcnt].iov_len;
+        iovcnt++;
+      }
+      ssize_t r =
+          ::preadv(fd_, iov, iovcnt, static_cast<off_t>(offset + total));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("preadv " + path_);
+      }
+      if (r == 0) break;  // EOF
+      total += static_cast<size_t>(r);
+      size_t consumed = static_cast<size_t>(r);
+      while (consumed > 0 && vi < count) {
+        const size_t room = vecs[vi].n - voff;
+        if (consumed >= room) {
+          consumed -= room;
+          vi++;
+          voff = 0;
+        } else {
+          voff += consumed;
+          consumed = 0;
+        }
+      }
+      (void)want;
+    }
+    *bytes_read = total;
     return Status::OK();
   }
 
@@ -126,6 +172,22 @@ Status File::Read(uint64_t offset, size_t n, char* scratch) const {
   return Status::OK();
 }
 
+Status File::ReadBatch(uint64_t offset, const ReadVec* vecs, size_t count,
+                       size_t* bytes_read) const {
+  // Fallback for Files without a native scatter read: sequential ReadAtMost
+  // per vector, stopping at the first short read (EOF).
+  size_t total = 0;
+  for (size_t i = 0; i < count; i++) {
+    size_t n = 0;
+    ODE_RETURN_IF_ERROR(
+        ReadAtMost(offset + total, vecs[i].n, vecs[i].scratch, &n));
+    total += n;
+    if (n < vecs[i].n) break;
+  }
+  *bytes_read = total;
+  return Status::OK();
+}
+
 Status File::Append(const Slice& data) {
   ODE_ASSIGN_OR_RETURN(uint64_t size, Size());
   return Write(size, data);
@@ -204,6 +266,16 @@ Status FaultInjectionFile::ReadAtMost(uint64_t offset, size_t n, char* scratch,
   ODE_RETURN_IF_ERROR(
       env_->OnOp(FaultInjectionEnv::OpKind::kRead, path_, 0, &torn));
   return base_->ReadAtMost(offset, n, scratch, bytes_read);
+}
+
+Status FaultInjectionFile::ReadBatch(uint64_t offset, const ReadVec* vecs,
+                                     size_t count, size_t* bytes_read) const {
+  // One batched read is one op — that asymmetry (N pages, one syscall) is
+  // exactly what the batch path exists for, and what tests assert on.
+  size_t torn = 0;
+  ODE_RETURN_IF_ERROR(
+      env_->OnOp(FaultInjectionEnv::OpKind::kRead, path_, 0, &torn));
+  return base_->ReadBatch(offset, vecs, count, bytes_read);
 }
 
 Status FaultInjectionFile::Write(uint64_t offset, const Slice& data) {

@@ -36,6 +36,22 @@ class File {
   virtual Status ReadAtMost(uint64_t offset, size_t n, char* scratch,
                             size_t* bytes_read) const = 0;
 
+  /// One scatter destination of a ReadBatch call: `n` bytes into `scratch`.
+  struct ReadVec {
+    char* scratch = nullptr;
+    size_t n = 0;
+  };
+
+  /// Reads one contiguous file range starting at `offset` into the scattered
+  /// buffers of `vecs` — a readv-style batch, so a cold sequential scan
+  /// costs one large I/O instead of one 4 KiB pread per page. Sets
+  /// *bytes_read to the total bytes delivered, which falls short of the
+  /// summed vector sizes at EOF (tail buffers are left untouched). The base
+  /// implementation loops ReadAtMost per vector; PosixFile overrides it
+  /// with preadv.
+  virtual Status ReadBatch(uint64_t offset, const ReadVec* vecs, size_t count,
+                           size_t* bytes_read) const;
+
   /// Writes all of `data` at `offset`.
   virtual Status Write(uint64_t offset, const Slice& data) = 0;
 
@@ -178,6 +194,8 @@ class FaultInjectionFile : public File {
 
   Status ReadAtMost(uint64_t offset, size_t n, char* scratch,
                     size_t* bytes_read) const override;
+  Status ReadBatch(uint64_t offset, const ReadVec* vecs, size_t count,
+                   size_t* bytes_read) const override;
   Status Write(uint64_t offset, const Slice& data) override;
   Status Sync() override;
   Status Truncate(uint64_t size) override;

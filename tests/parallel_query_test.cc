@@ -1,0 +1,329 @@
+// Parallel ForAll execution (docs/CONCURRENCY.md "Parallel query
+// execution"): a snapshot-transaction scan partitions the cluster's
+// object-table entry range into page-aligned morsels and fans them out over
+// the shared QueryPool. The contract under test:
+//
+//   * results are identical to the serial scan — same refs, same order,
+//     same aggregate values (ties in Min/Max resolve to the same object);
+//   * the scan is snapshot-consistent while writers commit concurrently;
+//   * admission is all-or-nothing: a pool with fewer idle threads than the
+//     job asks for fails with Busy instead of degrading silently;
+//   * ineligible loops (locked transactions, explicit oid lists) fall back
+//     to the serial path and count query.parallel.fallbacks;
+//   * per-worker ExecStats merge into the coordinator's counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "query/aggregate.h"
+#include "query/parallel.h"
+#include "test_models.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using odetest::Person;
+using odetest::StockItem;
+using testing::TestDb;
+
+class ParallelQueryTest : public ::testing::Test {
+ protected:
+  void Open(size_t query_threads) {
+    DatabaseOptions options = TestDb::FastOptions();
+    options.engine.query_threads = query_threads;
+    db_ = std::make_unique<TestDb>(options);
+    ASSERT_OK((*db_)->CreateCluster<StockItem>());
+  }
+
+  /// Seeds `n` items, quantity = index (an exact-integer aggregate base).
+  /// Object-table entry pages hold 127 entries and a morsel spans four of
+  /// them, so anything past ~508 items gives the pool several morsels.
+  void Seed(int n) {
+    constexpr int kBatch = 300;
+    for (int start = 0; start < n; start += kBatch) {
+      const int end = std::min(n, start + kBatch);
+      ASSERT_OK((*db_)->RunTransaction([&](Transaction& txn) -> Status {
+        for (int i = start; i < end; i++) {
+          ODE_ASSIGN_OR_RETURN(Ref<StockItem> ref,
+                               txn.New<StockItem>("item", 1.0, i, 0));
+          refs_.push_back(ref);
+        }
+        return Status::OK();
+      }));
+    }
+  }
+
+  std::unique_ptr<TestDb> db_;
+  std::vector<Ref<StockItem>> refs_;
+};
+
+// The parallel collect returns exactly the serial scan's refs in exactly the
+// serial scan's order (morsel slots concatenate in scan order), and the
+// merged ExecStats match the serial counters.
+TEST_F(ParallelQueryTest, CollectMatchesSerialOrdered) {
+  Open(/*query_threads=*/4);
+  Seed(1200);
+
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+  ForAll<StockItem> serial(*snap);
+  auto serial_refs = ASSERT_OK_AND_UNWRAP(serial.Collect());
+  ASSERT_EQ(serial_refs.size(), 1200u);
+  EXPECT_EQ(serial.exec_stats().workers, 0u);
+
+  ForAll<StockItem> parallel(*snap);
+  parallel.Parallel();
+  EXPECT_TRUE(parallel.WillRunParallel());
+  auto parallel_refs = ASSERT_OK_AND_UNWRAP(parallel.Collect());
+  ASSERT_EQ(parallel_refs.size(), serial_refs.size());
+  for (size_t i = 0; i < serial_refs.size(); i++) {
+    EXPECT_EQ(parallel_refs[i].oid(), serial_refs[i].oid()) << "at " << i;
+  }
+
+  const auto& stats = parallel.exec_stats();
+  EXPECT_EQ(stats.access_path, "scan");
+  EXPECT_GT(stats.workers, 0u);
+  EXPECT_EQ(stats.clusters, 1u);
+  EXPECT_EQ(stats.rows_scanned, serial.exec_stats().rows_scanned);
+  EXPECT_EQ(stats.rows_returned, serial.exec_stats().rows_returned);
+  ASSERT_OK(snap->Commit());
+}
+
+// Filtered scans and the aggregate helpers produce the serial answers, with
+// the merged ExecStats counting every scanned row once across workers.
+TEST_F(ParallelQueryTest, FilteredAggregatesMatchSerial) {
+  Open(/*query_threads=*/4);
+  Seed(1000);
+
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+  auto filtered = [](ForAll<StockItem> loop) {
+    return std::move(loop).SuchThat(
+        [](const StockItem& s) { return s.quantity() % 3 == 0; });
+  };
+  auto quantity = [](const StockItem& s) {
+    return static_cast<double>(s.quantity());
+  };
+
+  // Integer-valued doubles: parallel re-association cannot change the sum.
+  double serial_sum = ASSERT_OK_AND_UNWRAP(
+      Sum<StockItem>(filtered(ForAll<StockItem>(*snap)), *snap, quantity));
+  double parallel_sum = ASSERT_OK_AND_UNWRAP(Sum<StockItem>(
+      filtered(ForAll<StockItem>(*snap).Parallel()), *snap, quantity));
+  EXPECT_EQ(parallel_sum, serial_sum);
+
+  double serial_avg = ASSERT_OK_AND_UNWRAP(
+      Avg<StockItem>(filtered(ForAll<StockItem>(*snap)), *snap, quantity));
+  double parallel_avg = ASSERT_OK_AND_UNWRAP(Avg<StockItem>(
+      filtered(ForAll<StockItem>(*snap).Parallel()), *snap, quantity));
+  EXPECT_DOUBLE_EQ(parallel_avg, serial_avg);
+
+  // Exercise the worker-side predicate + merged counters through a counted
+  // scan as well.
+  ForAll<StockItem> loop(*snap);
+  loop.SuchThat([](const StockItem& s) { return s.quantity() % 3 == 0; })
+      .Parallel(2);
+  size_t n = ASSERT_OK_AND_UNWRAP(loop.Count());
+  EXPECT_EQ(n, 334u);  // 0, 3, ..., 999
+  EXPECT_EQ(loop.exec_stats().workers, 2u);
+  EXPECT_EQ(loop.exec_stats().rows_scanned, 1000u);
+  EXPECT_EQ(loop.exec_stats().rows_returned, 334u);
+  ASSERT_OK(snap->Commit());
+}
+
+// MinBy/MaxBy under ties: every item shares the key, so "the" extremum is
+// whichever object the serial scan visits first — the parallel merge must
+// pick the same one (strict < in fold and ascending slot merge).
+TEST_F(ParallelQueryTest, MinMaxTiesResolveLikeSerial) {
+  Open(/*query_threads=*/4);
+  Seed(700);
+
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+  auto constant = [](const StockItem&) { return 7; };
+  auto serial_min = ASSERT_OK_AND_UNWRAP(
+      (MinBy<StockItem, int>(ForAll<StockItem>(*snap), *snap, constant)));
+  auto parallel_min = ASSERT_OK_AND_UNWRAP((MinBy<StockItem, int>(
+      ForAll<StockItem>(*snap).Parallel(), *snap, constant)));
+  EXPECT_EQ(parallel_min.oid(), serial_min.oid());
+
+  auto serial_max = ASSERT_OK_AND_UNWRAP(
+      (MaxBy<StockItem, int>(ForAll<StockItem>(*snap), *snap, constant)));
+  auto parallel_max = ASSERT_OK_AND_UNWRAP((MaxBy<StockItem, int>(
+      ForAll<StockItem>(*snap).Parallel(), *snap, constant)));
+  EXPECT_EQ(parallel_max.oid(), serial_max.oid());
+  ASSERT_OK(snap->Commit());
+}
+
+// Snapshot consistency under concurrent committing writers: the parallel
+// workers all join the coordinator's cut, so repeated parallel sums over one
+// snapshot return the exact seed-time total no matter what commits land
+// meanwhile; a snapshot minted afterwards sees every writer increment.
+TEST_F(ParallelQueryTest, SnapshotConsistentUnderWriters) {
+  Open(/*query_threads=*/4);
+  const int kItems = 900;
+  Seed(kItems);
+  const double seed_total =
+      static_cast<double>(kItems) * (kItems - 1) / 2.0;
+
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+
+  constexpr int kWriters = 2;
+  constexpr int kWritesEach = 25;
+  std::atomic<bool> go{false};
+  std::vector<Status> writer_status(kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; w++) {
+    writers.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < kWritesEach; i++) {
+        Status s = (*db_)->RunTransaction([&](Transaction& txn) -> Status {
+          Ref<StockItem> victim = refs_[(w * kWritesEach + i) % refs_.size()];
+          ODE_ASSIGN_OR_RETURN(StockItem * obj, txn.Write(victim));
+          obj->set_quantity(obj->quantity() + 1);
+          return Status::OK();
+        });
+        if (!s.ok()) {
+          writer_status[w] = s;
+          return;
+        }
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  auto quantity = [](const StockItem& s) {
+    return static_cast<double>(s.quantity());
+  };
+  for (int round = 0; round < 8; round++) {
+    double sum = ASSERT_OK_AND_UNWRAP(Sum<StockItem>(
+        ForAll<StockItem>(*snap).Parallel(), *snap, quantity));
+    EXPECT_EQ(sum, seed_total) << "round " << round;
+  }
+  for (auto& t : writers) t.join();
+  for (const Status& s : writer_status) ASSERT_OK(s);
+  ASSERT_OK(snap->Commit());
+
+  auto after = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+  double sum = ASSERT_OK_AND_UNWRAP(
+      Sum<StockItem>(ForAll<StockItem>(*after).Parallel(), *after, quantity));
+  EXPECT_EQ(sum, seed_total + kWriters * kWritesEach);
+  ASSERT_OK(after->Commit());
+}
+
+// All-or-nothing admission: while another job holds every pool thread, a
+// parallel query fails with Busy (no silent degradation, no queuing); once
+// the pool drains the identical query succeeds. Oversized and zero-width
+// requests are rejected outright.
+TEST_F(ParallelQueryTest, PoolExhaustionIsBusy) {
+  Open(/*query_threads=*/2);
+  Seed(600);
+
+  QueryPool* pool = (*db_)->query_pool();
+  ASSERT_NE(pool, nullptr);
+  ASSERT_EQ(pool->thread_count(), 2u);
+  EXPECT_TRUE(pool->Run(3, [](size_t) { return Status::OK(); }).IsBusy());
+  EXPECT_TRUE(
+      pool->Run(0, [](size_t) { return Status::OK(); }).IsInvalidArgument());
+
+  std::atomic<int> started{0};
+  std::atomic<bool> release{false};
+  Status holder_status;
+  std::thread holder([&] {
+    holder_status = pool->Run(2, [&](size_t) -> Status {
+      started.fetch_add(1, std::memory_order_acq_rel);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return Status::OK();
+    });
+  });
+  while (started.load(std::memory_order_acquire) < 2) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(pool->idle_count(), 0u);
+
+  {
+    auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+    ForAll<StockItem> loop(*snap);
+    loop.Parallel();
+    auto got = loop.Collect();
+    EXPECT_TRUE(got.status().IsBusy()) << got.status().ToString();
+    ASSERT_OK(snap->Commit());
+  }
+
+  release.store(true, std::memory_order_release);
+  holder.join();
+  ASSERT_OK(holder_status);
+
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+  ForAll<StockItem> loop(*snap);
+  loop.Parallel();
+  auto refs = ASSERT_OK_AND_UNWRAP(loop.Collect());
+  EXPECT_EQ(refs.size(), 600u);
+  EXPECT_GT(loop.exec_stats().workers, 0u);
+  ASSERT_OK(snap->Commit());
+}
+
+// Ineligible loops run serially and count query.parallel.fallbacks: a
+// locked (non-snapshot) transaction, and an explicit oid list inside a
+// snapshot. Results stay correct either way.
+TEST_F(ParallelQueryTest, IneligibleLoopsFallBackSerial) {
+  Open(/*query_threads=*/4);
+  Seed(600);
+  const Counter* fallbacks = (*db_)->core_metrics().parallel_fallbacks;
+
+  uint64_t before = fallbacks->value();
+  ASSERT_OK((*db_)->RunTransaction([&](Transaction& txn) -> Status {
+    ForAll<StockItem> loop(txn);
+    loop.Parallel();
+    EXPECT_FALSE(loop.WillRunParallel());
+    ODE_ASSIGN_OR_RETURN(size_t n, loop.Count());
+    EXPECT_EQ(n, 600u);
+    EXPECT_EQ(loop.exec_stats().workers, 0u);
+    return Status::OK();
+  }));
+  EXPECT_EQ(fallbacks->value(), before + 1);
+
+  before = fallbacks->value();
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+  ForAll<StockItem> loop(*snap);
+  loop.OverOids({refs_[0].oid(), refs_[1].oid()}).Parallel();
+  EXPECT_FALSE(loop.WillRunParallel());
+  auto refs = ASSERT_OK_AND_UNWRAP(loop.Collect());
+  EXPECT_EQ(refs.size(), 2u);
+  EXPECT_EQ(loop.exec_stats().workers, 0u);
+  EXPECT_EQ(fallbacks->value(), before + 1);
+  ASSERT_OK(snap->Commit());
+}
+
+// Degenerate shapes: an empty cluster yields an empty result (no workers
+// dispatched), and a width request above the pool size clamps to the pool
+// rather than failing.
+TEST_F(ParallelQueryTest, EmptyClusterAndClampedWidth) {
+  Open(/*query_threads=*/2);
+  ASSERT_OK((*db_)->CreateCluster<Person>());
+  Seed(600);
+
+  auto snap = ASSERT_OK_AND_UNWRAP((*db_)->BeginSnapshot());
+  ForAll<Person> empty(*snap);
+  empty.Parallel();
+  auto none = ASSERT_OK_AND_UNWRAP(empty.Collect());
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(empty.exec_stats().workers, 0u);
+
+  ForAll<StockItem> wide(*snap);
+  wide.Parallel(16);  // pool only has 2 threads
+  auto refs = ASSERT_OK_AND_UNWRAP(wide.Collect());
+  EXPECT_EQ(refs.size(), 600u);
+  EXPECT_EQ(wide.exec_stats().workers, 2u);
+  ASSERT_OK(snap->Commit());
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_JSON artifacts and flag metric regressions.
+
+Usage:
+  bench_diff.py BASELINE CURRENT [--threshold 0.15] [--advisory]
+
+BASELINE and CURRENT are files holding one parsed BENCH_JSON object each
+(what CI's `grep '^BENCH_JSON ' | sed 's/^BENCH_JSON //'` produces): a dict
+with "bench" and "metrics" keys. Only the "metrics" dicts are compared; the
+registry snapshot is machine-state, not a contract.
+
+Direction is inferred from the metric name: latency/size-like metrics
+(*_ms, *_us, *_ns, *_bytes, *_kib) regress when they grow, everything else
+(throughput, speedups, commits-per-fsync, counts) regresses when it shrinks.
+A metric is a REGRESSION when it is worse than the baseline by more than
+--threshold (fractional, default 0.15 = 15%). Metrics present on only one
+side are reported but never fail the run — benches grow new metrics.
+
+Exit status: 0 when no regression (or --advisory), 1 on regressions, 2 on
+usage/parse errors.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER_SUFFIXES = ("_ms", "_us", "_ns", "_bytes", "_kib")
+
+
+def lower_is_better(name: str) -> bool:
+    return name.endswith(LOWER_IS_BETTER_SUFFIXES)
+
+
+def load_metrics(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        print(f"bench_diff: {path} has no 'metrics' dict", file=sys.stderr)
+        sys.exit(2)
+    return doc.get("bench", "?"), metrics
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_JSON artifacts with a regression gate.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional regression tolerance (default 0.15)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report regressions but always exit 0")
+    args = parser.parse_args()
+
+    base_name, base = load_metrics(args.baseline)
+    cur_name, cur = load_metrics(args.current)
+    if base_name != cur_name:
+        print(f"bench_diff: comparing different benches "
+              f"({base_name} vs {cur_name})", file=sys.stderr)
+
+    regressions = []
+    print(f"{'metric':40s} {'baseline':>12s} {'current':>12s} "
+          f"{'delta':>8s}  verdict")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:40s} {'-':>12s} {cur[name]:12.4g} {'':>8s}  new")
+            continue
+        if name not in cur:
+            print(f"{name:40s} {base[name]:12.4g} {'-':>12s} {'':>8s}  "
+                  f"removed")
+            continue
+        b, c = float(base[name]), float(cur[name])
+        if b == 0:
+            delta = 0.0 if c == 0 else float("inf")
+        else:
+            delta = (c - b) / abs(b)
+        worse = delta > args.threshold if lower_is_better(name) \
+            else delta < -args.threshold
+        verdict = "REGRESSION" if worse else "ok"
+        if worse:
+            regressions.append(name)
+        print(f"{name:40s} {b:12.4g} {c:12.4g} {delta:+7.1%}  {verdict}")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 0 if args.advisory else 1
+    print("\nbench_diff: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -238,6 +238,30 @@ Status CmdStats(Database& db) {
          static_cast<unsigned long long>(pool.stats().hits),
          static_cast<unsigned long long>(pool.stats().misses));
   const auto snap = db.engine().metrics().TakeSnapshot();
+  // Prefetch vs demand: how much of the pool's disk traffic came in through
+  // batched reads (storage.readbatch.*) instead of one-page demand misses.
+  const uint64_t prefetch_loads = snap.counter("storage.pool.prefetch_loads");
+  if (prefetch_loads > 0) {
+    printf("pool prefetch     : %llu loaded / %llu already resident "
+           "(%llu preadv batches)\n",
+           static_cast<unsigned long long>(prefetch_loads),
+           static_cast<unsigned long long>(
+               snap.counter("storage.pool.prefetch_hits")),
+           static_cast<unsigned long long>(
+               snap.counter("storage.readbatch.batches")));
+  }
+  const uint64_t checkpoints = engine_stats.checkpoints;
+  if (checkpoints > 0) {
+    printf("checkpoints       : %llu (%llu fuzzy, %llu deferred, "
+           "%llu pages written behind)\n",
+           static_cast<unsigned long long>(checkpoints),
+           static_cast<unsigned long long>(
+               snap.counter("storage.checkpoint.fuzzy")),
+           static_cast<unsigned long long>(
+               snap.counter("storage.checkpoint.deferred")),
+           static_cast<unsigned long long>(
+               snap.counter("storage.checkpoint.write_behind_pages")));
+  }
   const uint64_t gc_fsyncs = snap.counter("storage.wal.group_commit.fsyncs");
   const uint64_t gc_commits = snap.counter("storage.wal.group_commit.commits");
   if (gc_fsyncs > 0) {
